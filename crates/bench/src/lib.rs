@@ -1,0 +1,16 @@
+//! Shared experiment runners for the OFFRAMPS reproduction.
+//!
+//! Every table and figure of the paper has a runner here; the Criterion
+//! benches in `benches/` and the runnable examples in the workspace root
+//! both call into this crate so the numbers in `EXPERIMENTS.md`, the
+//! bench output and the examples can never drift apart.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod fig4;
+pub mod overhead;
+pub mod table1;
+pub mod table2;
+pub mod workloads;

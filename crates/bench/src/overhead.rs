@@ -1,0 +1,83 @@
+//! §V-B overhead regeneration.
+//!
+//! The paper reports: maximum propagation delay 12.923 ns (on `Y_DIR`),
+//! control-signal frequencies below 20 kHz, minimum pulse widths of
+//! 1 µs, and "no effect on print quality while running our detection
+//! hardware". This module measures all four on the simulation.
+
+use serde::Serialize;
+
+use offramps::{MitmConfig, SignalPath, TestBench};
+use offramps_gcode::Program;
+use offramps_printer::quality::{PartReport, QualityConfig};
+
+/// Measured §V-B quantities.
+#[derive(Debug, Clone, Serialize)]
+pub struct OverheadReport {
+    /// Interceptor per-edge delay, nanoseconds (model parameter,
+    /// defaults to the paper's measured 12.923 ns rounded to 13).
+    pub pipeline_delay_ns: u64,
+    /// Peak observed control-signal frequency, Hz.
+    pub max_signal_frequency_hz: f64,
+    /// The pin exhibiting the peak frequency.
+    pub busiest_pin: String,
+    /// Minimum observed STEP pulse width, ns.
+    pub min_pulse_width_ns: u64,
+    /// Flow ratio of a capture-path print vs a bypass print (1.0 = the
+    /// monitor had no effect on the part).
+    pub capture_vs_bypass_flow_ratio: f64,
+    /// Layers shifted between the two prints (0 = no effect).
+    pub capture_vs_bypass_shifted_layers: usize,
+    /// Total control edges observed.
+    pub control_edges: u64,
+}
+
+/// Runs the same job through bypass and capture paths with tracing and
+/// measures the §V-B quantities.
+pub fn regenerate(program: &Program, seed: u64) -> OverheadReport {
+    let bypass = TestBench::new(seed)
+        .signal_path(SignalPath::bypass())
+        .record_trace(true)
+        .run(program)
+        .expect("bypass run");
+    let capture = TestBench::new(seed)
+        .signal_path(SignalPath::capture())
+        .run(program)
+        .expect("capture run");
+
+    let trace = bypass.trace.as_ref().expect("trace enabled");
+    let summary = trace.summary();
+    let qcfg = QualityConfig::default();
+    let rep = PartReport::compare(&bypass.part, &capture.part, &qcfg);
+
+    OverheadReport {
+        pipeline_delay_ns: MitmConfig::default().pipeline_delay.as_nanos(),
+        max_signal_frequency_hz: summary.max_frequency_hz.unwrap_or(0.0),
+        busiest_pin: summary
+            .busiest_pin
+            .map(|p| p.name().to_string())
+            .unwrap_or_default(),
+        min_pulse_width_ns: summary.min_pulse_width.map(|d| d.as_nanos()).unwrap_or(0),
+        capture_vs_bypass_flow_ratio: rep.flow_ratio,
+        capture_vs_bypass_shifted_layers: rep.shifted_layers,
+        control_edges: summary.events,
+    }
+}
+
+/// Formats the report for the console.
+pub fn format_report(r: &OverheadReport) -> String {
+    format!(
+        "pipeline delay:        {} ns/edge, quantized to the 10 ns fabric clock (paper: 12.923 ns max)\n\
+         max signal frequency:  {:.1} Hz on {}   (paper: < 20 kHz)\n\
+         min pulse width:       {} ns   (paper: >= 1 us)\n\
+         capture vs bypass:     flow ratio {:.4}, {} shifted layers   (paper: no effect)\n\
+         control edges seen:    {}",
+        r.pipeline_delay_ns,
+        r.max_signal_frequency_hz,
+        r.busiest_pin,
+        r.min_pulse_width_ns,
+        r.capture_vs_bypass_flow_ratio,
+        r.capture_vs_bypass_shifted_layers,
+        r.control_edges,
+    )
+}

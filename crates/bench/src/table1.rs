@@ -1,0 +1,243 @@
+//! Table I regeneration: the nine Trojans and their measured effects.
+//!
+//! The paper demonstrates each Trojan with a photographed part or an
+//! observed machine behaviour. Here every Trojan runs against the same
+//! co-simulated printer and the "Printed Part" column becomes measured
+//! geometry/plant evidence.
+
+use serde::Serialize;
+
+use offramps::trojans::{
+    AxisShiftTrojan, FanUnderspeedTrojan, FlowReductionTrojan, HeaterDosTrojan,
+    RetractionMode, RetractionTrojan, StepperDosTrojan, ThermalRunawayTrojan, Trojan,
+    ZShiftTrojan, ZWobbleTrojan,
+};
+use offramps::{RunArtifacts, SignalPath, TestBench};
+use offramps_des::SimDuration;
+use offramps_firmware::{FirmwareError, FwState};
+use offramps_printer::quality::{PartReport, QualityConfig};
+
+use crate::workloads::{standard_part, tall_part, FAST_LAYER_Z_STEPS};
+
+/// One regenerated Table I row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Trojan id (T0–T9).
+    pub id: String,
+    /// Type column (PM / DoS / D / None).
+    pub kind: String,
+    /// Scenario column.
+    pub scenario: String,
+    /// The paper's effect description.
+    pub paper_effect: String,
+    /// Our measured evidence.
+    pub measured: String,
+    /// Whether the measured effect matches the paper's claim.
+    pub matches_paper: bool,
+}
+
+fn trojan_for(id: usize) -> Option<Box<dyn Trojan>> {
+    match id {
+        1 => Some(Box::new(AxisShiftTrojan::with_params(
+            SimDuration::from_secs(10),
+            40,
+            80,
+        ))),
+        2 => Some(Box::new(FlowReductionTrojan::half())),
+        3 => Some(Box::new(RetractionTrojan::new(RetractionMode::Over))),
+        4 => Some(Box::new(ZWobbleTrojan::with_params(
+            FAST_LAYER_Z_STEPS,
+            30,
+            60,
+            1,
+            3,
+        ))),
+        5 => Some(Box::new(ZShiftTrojan::with_params(
+            FAST_LAYER_Z_STEPS,
+            200,
+            2,
+            None,
+        ))),
+        6 => Some(Box::new(HeaterDosTrojan::new())),
+        7 => Some(Box::new(ThermalRunawayTrojan::hotend())),
+        8 => Some(Box::new(StepperDosTrojan::new())),
+        9 => Some(Box::new(FanUnderspeedTrojan::quarter())),
+        _ => None,
+    }
+}
+
+fn run(id: usize, seed: u64) -> RunArtifacts {
+    let program = if matches!(id, 4 | 5) { tall_part() } else { standard_part() };
+    let mut bench = TestBench::new(seed).signal_path(SignalPath::bypass());
+    if let Some(trojan) = trojan_for(id) {
+        bench = bench.with_trojan(trojan);
+    }
+    if id == 7 {
+        // Watch the plant keep heating after the firmware kills itself.
+        bench = bench.drain_time(SimDuration::from_secs(180));
+    }
+    bench.run(&program).expect("table 1 run")
+}
+
+/// Runs T0 (golden) plus T1–T9 and derives the measured-effect column.
+pub fn regenerate(seed: u64) -> Vec<Table1Row> {
+    let qcfg = QualityConfig::default();
+    let golden_standard = run(0, seed);
+    // A separate golden for the tall workload used by T4/T5.
+    let golden_tall = {
+        let program = tall_part();
+        TestBench::new(seed).run(&program).expect("golden tall run")
+    };
+
+    let mut rows = Vec::new();
+    rows.push(Table1Row {
+        id: "T0".into(),
+        kind: "None".into(),
+        scenario: "None".into(),
+        paper_effect: "Golden print".into(),
+        measured: {
+            let rep = PartReport::compare(&golden_standard.part, &golden_standard.part, &qcfg);
+            format!(
+                "clean print: {} layers, flow ratio {:.3}, finished={}",
+                rep.golden_layers,
+                rep.flow_ratio,
+                matches!(golden_standard.fw_state, FwState::Finished)
+            )
+        },
+        matches_paper: matches!(golden_standard.fw_state, FwState::Finished),
+    });
+
+    for id in 1..=9 {
+        let art = run(id, seed + id as u64);
+        let golden = if matches!(id, 4 | 5) { &golden_tall } else { &golden_standard };
+        let rep = PartReport::compare(&golden.part, &art.part, &qcfg);
+        let trojan = trojan_for(id).expect("ids 1..=9 exist");
+        let (measured, ok) = measure(id, &art, golden, &rep);
+        rows.push(Table1Row {
+            id: trojan.id().into(),
+            kind: trojan.kind().into(),
+            scenario: trojan.scenario().into(),
+            paper_effect: trojan.effect().into(),
+            measured,
+            matches_paper: ok,
+        });
+    }
+    rows
+}
+
+fn measure(
+    id: usize,
+    art: &RunArtifacts,
+    golden: &RunArtifacts,
+    rep: &PartReport,
+) -> (String, bool) {
+    match id {
+        1 => (
+            format!(
+                "max layer centroid offset {:.2} mm, {} layers shifted (golden: 0)",
+                rep.max_centroid_offset_mm, rep.shifted_layers
+            ),
+            rep.shifted_layers > 0 || rep.max_centroid_offset_mm > 0.2,
+        ),
+        2 => (
+            format!("flow ratio {:.3} (paper: 50% reduction)", rep.flow_ratio),
+            (rep.flow_ratio - 0.5).abs() < 0.1,
+        ),
+        3 => (
+            format!("flow ratio {:.3} (over-extrusion during Y moves)", rep.flow_ratio),
+            rep.flow_ratio > 1.05,
+        ),
+        4 => (
+            format!(
+                "{} of {} layers shifted, max offset {:.2} mm",
+                rep.shifted_layers, rep.test_layers, rep.max_centroid_offset_mm
+            ),
+            rep.shifted_layers > 0,
+        ),
+        5 => (
+            format!(
+                "max Z deviation {:.2} mm, max layer gap {:.2} mm (layer height 0.3)",
+                rep.max_z_deviation_mm, rep.max_layer_gap_mm
+            ),
+            rep.max_layer_gap_mm > 0.45 || rep.max_z_deviation_mm > 0.3,
+        ),
+        6 => {
+            let halted = matches!(
+                art.fw_state,
+                FwState::Halted(FirmwareError::HeatingFailed(_))
+                    | FwState::Halted(FirmwareError::ThermalRunaway(_))
+            );
+            (
+                format!(
+                    "firmware error state: {:?}; print aborted at {} (golden finished in {})",
+                    art.fw_state, art.sim_time, golden.sim_time
+                ),
+                halted,
+            )
+        }
+        7 => {
+            let peak = art.plant.hotend_peak_c;
+            let over = art.plant.hotend_seconds_over_damage;
+            let maxtemp_fired = matches!(
+                art.fw_state,
+                FwState::Halted(FirmwareError::MaxTemp(_))
+            );
+            (
+                format!(
+                    "hotend ran away: peak {peak:.1} C, {over:.0}s above the 290 C damage \
+                     point; firmware MAXTEMP kill {} — and was ignored by the Trojan",
+                    if maxtemp_fired { "fired" } else { "did not fire in time" }
+                ),
+                peak > 275.0,
+            )
+        }
+        8 => {
+            let missed: u64 = art.plant.steps_while_disabled.iter().sum();
+            (
+                format!(
+                    "{missed} STEP pulses hit disabled drivers; part flow ratio {:.3}, \
+                     {} layers shifted",
+                    rep.flow_ratio, rep.shifted_layers
+                ),
+                missed > 0,
+            )
+        }
+        9 => {
+            let ratio = if golden.plant.fan_duty > 0.0 {
+                art.plant.fan_duty / golden.plant.fan_duty
+            } else {
+                1.0
+            };
+            (
+                format!(
+                    "effective fan duty {:.2} vs golden {:.2} (ratio {:.2}, commanded scale 0.25)",
+                    art.plant.fan_duty, golden.plant.fan_duty, ratio
+                ),
+                ratio < 0.5,
+            )
+        }
+        _ => ("golden".into(), true),
+    }
+}
+
+/// Formats rows as an aligned text table.
+pub fn format_table(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<4} {:<5} {:<18} {:<7} {}\n",
+        "ID", "Type", "Scenario", "Match", "Measured effect"
+    ));
+    out.push_str(&"-".repeat(100));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:<4} {:<5} {:<18} {:<7} {}\n",
+            r.id,
+            r.kind,
+            r.scenario,
+            if r.matches_paper { "yes" } else { "NO" },
+            r.measured
+        ));
+    }
+    out
+}

@@ -1,0 +1,103 @@
+//! Table II regeneration: Flaw3D Trojan detection.
+//!
+//! "Each of these Trojans was printed and their pulse profiles were
+//! captured using the OFFRAMPS. Those captures were then compared
+//! against the known-good reference and the detection program was able
+//! to identify all of the Trojans."
+
+use serde::Serialize;
+
+use offramps::{detect, Capture, SignalPath, TestBench};
+use offramps_attacks::{Flaw3dTrojan, TABLE_II_CASES};
+use offramps_gcode::Program;
+
+/// One regenerated Table II row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    /// Test case number (1–8).
+    pub case: u32,
+    /// Reduction or Relocation.
+    pub trojan_type: String,
+    /// The paper's modification value column.
+    pub modification_value: f64,
+    /// Detection verdict (the paper: ✓ for all eight).
+    pub detected: bool,
+    /// Number of out-of-margin transactions.
+    pub mismatches: usize,
+    /// Largest percent difference found.
+    pub largest_percent: f64,
+    /// Whether the 0 %-margin totals check failed.
+    pub final_check_failed: bool,
+    /// Transactions compared.
+    pub transactions: usize,
+}
+
+/// Captures the golden reference print.
+pub fn golden_capture(program: &Program, seed: u64) -> Capture {
+    TestBench::new(seed)
+        .signal_path(SignalPath::capture())
+        .run(program)
+        .expect("golden capture run")
+        .capture
+        .expect("capture path active")
+}
+
+/// Runs one Flaw3D case and compares it to the golden capture.
+pub fn run_case(
+    case: u32,
+    trojan: Flaw3dTrojan,
+    program: &Program,
+    golden: &Capture,
+    seed: u64,
+) -> Table2Row {
+    let attacked = trojan.apply(program);
+    let art = TestBench::new(seed)
+        .signal_path(SignalPath::capture())
+        .run(&attacked)
+        .expect("table 2 run");
+    let capture = art.capture.expect("capture path active");
+    let report = detect::compare(golden, &capture, &detect::DetectorConfig::default());
+    Table2Row {
+        case,
+        trojan_type: trojan.type_name().into(),
+        modification_value: trojan.modification_value(),
+        detected: report.trojan_suspected,
+        mismatches: report.mismatches.len(),
+        largest_percent: report.largest_percent,
+        final_check_failed: report.final_totals_match == Some(false),
+        transactions: report.transactions_compared,
+    }
+}
+
+/// Regenerates all eight Table II rows against `program`.
+pub fn regenerate(program: &Program, seed: u64) -> Vec<Table2Row> {
+    let golden = golden_capture(program, seed);
+    TABLE_II_CASES
+        .iter()
+        .map(|(case, trojan)| run_case(*case, *trojan, program, &golden, seed + 100 + u64::from(*case)))
+        .collect()
+}
+
+/// Formats rows like the paper's Table II (plus our evidence columns).
+pub fn format_table(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<6} {:<12} {:<10} {:<9} {:<11} {:<10} {}\n",
+        "Case", "Type", "ModValue", "Detected", "Mismatches", "Largest%", "FinalCheck"
+    ));
+    out.push_str(&"-".repeat(72));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:<6} {:<12} {:<10} {:<9} {:<11} {:<10.2} {}\n",
+            r.case,
+            r.trojan_type,
+            r.modification_value,
+            if r.detected { "yes" } else { "NO" },
+            r.mismatches,
+            r.largest_percent,
+            if r.final_check_failed { "FAIL" } else { "pass" },
+        ));
+    }
+    out
+}

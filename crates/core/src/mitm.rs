@@ -1,0 +1,388 @@
+//! The OFFRAMPS machine-in-the-middle component.
+//!
+//! Every signal between the controller (firmware) and the driver board
+//! (plant) flows through [`Offramps`] in both directions, exactly like
+//! the physical board's jumper banks route every header pin through the
+//! Cmod-A7. Depending on the configured [`SignalPath`]:
+//!
+//! * **bypass** — events are forwarded verbatim (plus the fabric's
+//!   pipeline delay),
+//! * **modify** — control events run through the armed Trojans' control
+//!   units and mux (pass / drop / replace / inject),
+//! * **capture** — the monitoring pipeline counts steps and exports
+//!   16-byte transactions.
+//!
+//! [`SignalPath`]: crate::SignalPath
+
+use offramps_des::{DetRng, SeedSplitter, Tick};
+use offramps_signals::{PinClass, SignalEvent, SignalTrace};
+
+use crate::config::MitmConfig;
+use crate::monitor::{HomingDetector, Monitor};
+use crate::trojans::{Disposition, Trojan, TrojanCtx};
+
+/// Output of an interceptor step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MitmAction {
+    /// Deliver a control-direction event to the plant at the given time.
+    ToPlant(Tick, SignalEvent),
+    /// Deliver a feedback-direction event to the firmware at the given
+    /// time.
+    ToFirmware(Tick, SignalEvent),
+    /// Wake [`Offramps::on_tick`] at this time.
+    WakeAt(Tick),
+}
+
+/// Which way an event is travelling through the interceptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Control,
+    Feedback,
+}
+
+/// The interceptor. Construct with [`Offramps::new`], arm Trojans with
+/// [`Offramps::add_trojan`], then route every firmware output through
+/// [`Offramps::on_control`] and every plant output through
+/// [`Offramps::on_feedback`].
+#[derive(Debug)]
+pub struct Offramps {
+    config: MitmConfig,
+    trojans: Vec<Box<dyn Trojan>>,
+    monitor: Option<Monitor>,
+    homing: HomingDetector,
+    rng: DetRng,
+    trace: Option<SignalTrace>,
+    /// Control events seen (diagnostics).
+    pub control_events: u64,
+    /// Feedback events seen (diagnostics).
+    pub feedback_events: u64,
+    /// Events injected by Trojans (diagnostics).
+    pub injected_events: u64,
+    /// Events dropped or replaced by Trojans (diagnostics).
+    pub modified_events: u64,
+}
+
+impl Offramps {
+    /// Creates the interceptor. `seed` drives Trojan randomness.
+    pub fn new(config: MitmConfig, seed: u64) -> Self {
+        Offramps {
+            monitor: config
+                .path
+                .capture
+                .then(|| Monitor::new(config.export_period)),
+            config,
+            trojans: Vec::new(),
+            homing: HomingDetector::new(),
+            rng: SeedSplitter::new(seed).stream("offramps-trojans"),
+            trace: None,
+            control_events: 0,
+            feedback_events: 0,
+            injected_events: 0,
+            modified_events: 0,
+        }
+    }
+
+    /// Arms a Trojan (effective only when the path has `modify` set).
+    pub fn add_trojan(&mut self, trojan: Box<dyn Trojan>) {
+        self.trojans.push(trojan);
+    }
+
+    /// Enables raw signal tracing (the logic-analyzer role).
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(SignalTrace::new());
+        }
+    }
+
+    /// The recorded trace so far, if tracing is enabled.
+    pub fn trace(&self) -> Option<&SignalTrace> {
+        self.trace.as_ref()
+    }
+
+    /// The monitor, if the capture path is active.
+    pub fn monitor(&self) -> Option<&Monitor> {
+        self.monitor.as_ref()
+    }
+
+    /// Consumes the interceptor, returning `(capture, trace)`.
+    pub fn into_outputs(self) -> (Option<crate::Capture>, Option<SignalTrace>) {
+        (self.monitor.map(Monitor::into_capture), self.trace)
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MitmConfig {
+        &self.config
+    }
+
+    /// Routes one control-direction event (firmware → plant).
+    pub fn on_control(&mut self, now: Tick, event: SignalEvent) -> Vec<MitmAction> {
+        self.control_events += 1;
+        let mut out = Vec::new();
+
+        if let SignalEvent::Logic(logic) = event {
+            if let Some(trace) = self.trace.as_mut() {
+                trace.record(now, logic);
+            }
+        }
+
+        // Monitoring observes the controller's stream (§V counts the
+        // steps the Arduino sends).
+        if let Some(monitor) = self.monitor.as_mut() {
+            if let SignalEvent::Logic(logic) = event {
+                if let Some(wake) = monitor.on_control(now, logic) {
+                    out.push(MitmAction::WakeAt(wake));
+                }
+            }
+        }
+
+        // Trojan pipeline.
+        let mut forwarded = Some(event);
+        if self.config.path.modify {
+            forwarded = self.run_trojans(now, forwarded, Direction::Control, &mut out);
+        }
+
+        if let Some(ev) = forwarded {
+            out.push(MitmAction::ToPlant(now + self.config.pipeline_delay, ev));
+        }
+        out
+    }
+
+    /// Runs `event` through every armed Trojan, emitting injections and
+    /// wake requests; returns what survives the mux.
+    fn run_trojans(
+        &mut self,
+        now: Tick,
+        mut forwarded: Option<SignalEvent>,
+        direction: Direction,
+        out: &mut Vec<MitmAction>,
+    ) -> Option<SignalEvent> {
+        let mut injections = Vec::new();
+        let mut feedback_injections = Vec::new();
+        let mut wake = None;
+        let homed = self.homing.is_homed();
+        for trojan in &mut self.trojans {
+            let Some(ev) = forwarded else { break };
+            let mut ctx = TrojanCtx {
+                now,
+                homed,
+                rng: &mut self.rng,
+                injections: &mut injections,
+                feedback_injections: &mut feedback_injections,
+                wake: &mut wake,
+            };
+            let disposition = match direction {
+                Direction::Control => trojan.on_control(&mut ctx, &ev),
+                Direction::Feedback => trojan.on_feedback(&mut ctx, &ev),
+            };
+            match disposition {
+                Disposition::Pass => {}
+                Disposition::Drop => {
+                    self.modified_events += 1;
+                    forwarded = None;
+                }
+                Disposition::Replace(new_ev) => {
+                    self.modified_events += 1;
+                    forwarded = Some(new_ev);
+                }
+            }
+        }
+        self.injected_events += (injections.len() + feedback_injections.len()) as u64;
+        for (at, ev) in injections {
+            out.push(MitmAction::ToPlant(at + self.config.pipeline_delay, ev));
+        }
+        for (at, ev) in feedback_injections {
+            // Spoofed feedback is what the *firmware* experiences; the
+            // FPGA's own homing detector and monitor tap the output mux,
+            // so they see the spoof too.
+            if let SignalEvent::Logic(logic) = ev {
+                self.homing.observe(logic);
+                if let Some(monitor) = self.monitor.as_mut() {
+                    monitor.on_feedback(logic);
+                }
+            }
+            out.push(MitmAction::ToFirmware(at + self.config.pipeline_delay, ev));
+        }
+        if let Some(w) = wake {
+            out.push(MitmAction::WakeAt(w));
+        }
+        forwarded
+    }
+
+    /// Routes one feedback-direction event (plant → firmware).
+    pub fn on_feedback(&mut self, now: Tick, event: SignalEvent) -> Vec<MitmAction> {
+        self.feedback_events += 1;
+        let mut out = Vec::new();
+        if let SignalEvent::Logic(logic) = event {
+            debug_assert_eq!(
+                logic.pin.class(),
+                PinClass::Feedback,
+                "control pins must not arrive on the feedback path"
+            );
+            // Homing/monitoring observe the *true* feedback (the FPGA
+            // taps the wire before its own mux).
+            self.homing.observe(logic);
+            if let Some(monitor) = self.monitor.as_mut() {
+                monitor.on_feedback(logic);
+            }
+            if let Some(trace) = self.trace.as_mut() {
+                trace.record(now, logic);
+            }
+        }
+        let mut forwarded = Some(event);
+        if self.config.path.modify {
+            forwarded = self.run_trojans(now, forwarded, Direction::Feedback, &mut out);
+        }
+        if let Some(ev) = forwarded {
+            out.push(MitmAction::ToFirmware(now + self.config.pipeline_delay, ev));
+        }
+        out
+    }
+
+    /// Timer wake-up: runs the monitor's exporter and the Trojans'
+    /// timed behaviour.
+    pub fn on_tick(&mut self, now: Tick) -> Vec<MitmAction> {
+        let mut out = Vec::new();
+        if let Some(monitor) = self.monitor.as_mut() {
+            if let Some(next) = monitor.on_tick(now) {
+                out.push(MitmAction::WakeAt(next));
+            }
+        }
+        if self.config.path.modify {
+            let mut injections = Vec::new();
+            let mut feedback_injections = Vec::new();
+            let mut wake = None;
+            let homed = self.homing.is_homed();
+            for trojan in &mut self.trojans {
+                let mut ctx = TrojanCtx {
+                    now,
+                    homed,
+                    rng: &mut self.rng,
+                    injections: &mut injections,
+                    feedback_injections: &mut feedback_injections,
+                    wake: &mut wake,
+                };
+                trojan.on_wake(&mut ctx);
+            }
+            self.injected_events += (injections.len() + feedback_injections.len()) as u64;
+            for (at, ev) in injections {
+                out.push(MitmAction::ToPlant(at + self.config.pipeline_delay, ev));
+            }
+            for (at, ev) in feedback_injections {
+                out.push(MitmAction::ToFirmware(at + self.config.pipeline_delay, ev));
+            }
+            if let Some(w) = wake {
+                out.push(MitmAction::WakeAt(w));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SignalPath;
+    use crate::trojans::FlowReductionTrojan;
+    use offramps_des::SimDuration;
+    use offramps_signals::{Level, Pin};
+
+    fn bypass() -> Offramps {
+        Offramps::new(MitmConfig::default(), 1)
+    }
+
+    #[test]
+    fn bypass_forwards_with_pipeline_delay() {
+        let mut m = bypass();
+        let ev = SignalEvent::logic(Pin::XStep, Level::High);
+        let acts = m.on_control(Tick::from_micros(10), ev);
+        assert_eq!(
+            acts,
+            vec![MitmAction::ToPlant(
+                Tick::from_micros(10) + SimDuration::from_nanos(13),
+                ev
+            )]
+        );
+        assert_eq!(m.control_events, 1);
+    }
+
+    #[test]
+    fn feedback_forwards_to_firmware() {
+        let mut m = bypass();
+        let ev = SignalEvent::logic(Pin::XMin, Level::High);
+        let acts = m.on_feedback(Tick::from_micros(5), ev);
+        assert!(matches!(acts[0], MitmAction::ToFirmware(_, e) if e == ev));
+    }
+
+    #[test]
+    fn modify_path_applies_trojans() {
+        let cfg = MitmConfig { path: SignalPath::modify(), ..MitmConfig::default() };
+        let mut m = Offramps::new(cfg, 1);
+        m.add_trojan(Box::new(FlowReductionTrojan::half()));
+        // Extruding forward during XY motion: E DIR high, X pulses keep
+        // the motion window hot, then E pulses.
+        m.on_control(Tick::ZERO, SignalEvent::logic(Pin::EDir, Level::High));
+        let mut e_edges_forwarded = 0;
+        for i in 0..4u64 {
+            let t = Tick::from_micros(100 * i);
+            m.on_control(t, SignalEvent::logic(Pin::XStep, Level::High));
+            m.on_control(t, SignalEvent::logic(Pin::XStep, Level::Low));
+            let a = m.on_control(t, SignalEvent::logic(Pin::EStep, Level::High));
+            let b = m.on_control(t, SignalEvent::logic(Pin::EStep, Level::Low));
+            e_edges_forwarded += a.len() + b.len();
+        }
+        assert_eq!(
+            e_edges_forwarded, 4,
+            "half the E pulses (2 of 4) = 4 edges forwarded"
+        );
+        assert_eq!(m.modified_events, 4);
+    }
+
+    #[test]
+    fn trojans_inactive_on_bypass_path() {
+        let mut m = bypass();
+        m.add_trojan(Box::new(FlowReductionTrojan::half()));
+        m.on_control(Tick::ZERO, SignalEvent::logic(Pin::EDir, Level::High));
+        let mut forwarded = 0;
+        for i in 0..4u64 {
+            let t = Tick::from_micros(100 * i);
+            forwarded += m.on_control(t, SignalEvent::logic(Pin::EStep, Level::High)).len();
+            forwarded += m.on_control(t, SignalEvent::logic(Pin::EStep, Level::Low)).len();
+        }
+        assert_eq!(forwarded, 8, "bypass must not mask pulses");
+    }
+
+    #[test]
+    fn capture_path_builds_transactions() {
+        let cfg = MitmConfig { path: SignalPath::capture(), ..MitmConfig::default() };
+        let mut m = Offramps::new(cfg, 1);
+        // Home (feedback), then step, then tick past the period.
+        for pin in [Pin::XMin, Pin::XMin, Pin::YMin, Pin::YMin, Pin::ZMin, Pin::ZMin] {
+            m.on_feedback(Tick::from_millis(1), SignalEvent::logic(pin, Level::High));
+            m.on_feedback(Tick::from_millis(1), SignalEvent::logic(pin, Level::Low));
+        }
+        m.on_control(Tick::from_millis(10), SignalEvent::logic(Pin::XDir, Level::High));
+        let acts = m.on_control(Tick::from_millis(10), SignalEvent::logic(Pin::XStep, Level::High));
+        assert!(
+            acts.iter().any(|a| matches!(a, MitmAction::WakeAt(_))),
+            "first step after homing arms the export clock"
+        );
+        m.on_control(Tick::from_millis(10), SignalEvent::logic(Pin::XStep, Level::Low));
+        let acts = m.on_tick(Tick::from_millis(110));
+        assert!(acts.iter().any(|a| matches!(a, MitmAction::WakeAt(_))));
+        let cap = m.monitor().unwrap().capture();
+        assert_eq!(cap.len(), 1);
+        assert_eq!(cap.transactions()[0].counts[0], 1);
+    }
+
+    #[test]
+    fn trace_records_logic_events() {
+        let mut m = bypass();
+        m.enable_trace();
+        m.on_control(Tick::from_micros(1), SignalEvent::logic(Pin::XStep, Level::High));
+        m.on_control(Tick::from_micros(3), SignalEvent::logic(Pin::XStep, Level::Low));
+        assert_eq!(m.trace().unwrap().len(), 2);
+        let (cap, trace) = m.into_outputs();
+        assert!(cap.is_none());
+        assert_eq!(trace.unwrap().len(), 2);
+    }
+}

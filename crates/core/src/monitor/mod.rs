@@ -1,0 +1,9 @@
+//! Print monitoring (§V): homing detection, axis tracking, UART export.
+
+mod axis_track;
+mod homing;
+mod uart_export;
+
+pub use axis_track::AxisTracker;
+pub use homing::HomingDetector;
+pub use uart_export::Monitor;

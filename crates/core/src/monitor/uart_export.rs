@@ -1,0 +1,202 @@
+//! UART export of step-count transactions.
+//!
+//! "For accurate pulse counts between all tests, the counter to determine
+//! the frequency of the UART transactions starts after the print head is
+//! homed and the first STEP edge is found. … the UART control unit sends
+//! a 16-byte transaction containing step counts for all of the motors
+//! each 0.1 seconds."
+
+use offramps_des::{SimDuration, Tick};
+use offramps_signals::LogicEvent;
+
+use crate::capture::{Capture, Transaction};
+use crate::monitor::{AxisTracker, HomingDetector};
+
+/// The complete §V monitoring pipeline: homing detection → axis tracking
+/// → periodic transaction export.
+///
+/// Drive it with every control event ([`Monitor::on_control`]), every
+/// feedback event ([`Monitor::on_feedback`]), and timer wake-ups
+/// ([`Monitor::on_tick`]); collect the capture at the end.
+#[derive(Debug, Clone)]
+pub struct Monitor {
+    period: SimDuration,
+    homing: HomingDetector,
+    tracker: AxisTracker,
+    capture: Capture,
+    /// Set when homed and the first post-homing step edge was seen.
+    started_at: Option<Tick>,
+    next_sample: Option<Tick>,
+    next_index: u64,
+}
+
+impl Monitor {
+    /// Creates the monitor with the given export period (paper: 0.1 s).
+    pub fn new(period: SimDuration) -> Self {
+        let mut capture = Capture::new();
+        capture.period = period;
+        Monitor {
+            period,
+            homing: HomingDetector::new(),
+            tracker: AxisTracker::new(),
+            capture,
+            started_at: None,
+            next_sample: None,
+            next_index: 0,
+        }
+    }
+
+    /// Feeds a control-direction logic event. Returns the tick at which
+    /// the monitor wants its next wake-up, if it just armed the clock.
+    pub fn on_control(&mut self, now: Tick, event: LogicEvent) -> Option<Tick> {
+        let was_step_rise = self.tracker.observe(event);
+        if was_step_rise && self.homing.is_homed() && self.started_at.is_none() {
+            // Synchronization point: homed + first step edge.
+            self.started_at = Some(now);
+            let first = now + self.period;
+            self.next_sample = Some(first);
+            return Some(first);
+        }
+        None
+    }
+
+    /// Feeds a feedback-direction logic event (endstops). When homing
+    /// completes, counters are re-zeroed.
+    pub fn on_feedback(&mut self, event: LogicEvent) {
+        if self.homing.observe(event) {
+            // "When the printer is homed at the beginning of each print,
+            // the step counts and UART transaction counter are
+            // initialized."
+            self.tracker.reset();
+            self.started_at = None;
+            self.next_sample = None;
+        }
+    }
+
+    /// Timer wake-up: exports a transaction if one is due; returns the
+    /// next wanted wake-up.
+    pub fn on_tick(&mut self, now: Tick) -> Option<Tick> {
+        let due = self.next_sample?;
+        if now < due {
+            return Some(due);
+        }
+        let t = Transaction {
+            index: self.next_index,
+            counts: self.tracker.counts_i32(),
+        };
+        self.next_index += 1;
+        self.capture.push(t);
+        let next = due + self.period;
+        self.next_sample = Some(next);
+        Some(next)
+    }
+
+    /// True once the transaction clock is running.
+    pub fn is_armed(&self) -> bool {
+        self.started_at.is_some()
+    }
+
+    /// True once homing has been observed.
+    pub fn is_homed(&self) -> bool {
+        self.homing.is_homed()
+    }
+
+    /// The capture accumulated so far.
+    pub fn capture(&self) -> &Capture {
+        &self.capture
+    }
+
+    /// Consumes the monitor, returning the capture.
+    pub fn into_capture(self) -> Capture {
+        self.capture
+    }
+
+    /// The current raw counter values (diagnostics).
+    pub fn counts(&self) -> [i32; 4] {
+        self.tracker.counts_i32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offramps_signals::{Level, Pin};
+
+    fn home(m: &mut Monitor) {
+        for pin in [Pin::XMin, Pin::XMin, Pin::YMin, Pin::YMin, Pin::ZMin, Pin::ZMin] {
+            m.on_feedback(LogicEvent::new(pin, Level::High));
+            m.on_feedback(LogicEvent::new(pin, Level::Low));
+        }
+    }
+
+    fn pulse(m: &mut Monitor, now: Tick, pin: Pin) -> Option<Tick> {
+        let r = m.on_control(now, LogicEvent::new(pin, Level::High));
+        m.on_control(now + SimDuration::from_micros(2), LogicEvent::new(pin, Level::Low));
+        r
+    }
+
+    #[test]
+    fn clock_arms_after_homing_and_first_step() {
+        let mut m = Monitor::new(SimDuration::from_millis(100));
+        // Steps before homing do not arm the clock.
+        assert_eq!(pulse(&mut m, Tick::from_millis(5), Pin::XStep), None);
+        assert!(!m.is_armed());
+        home(&mut m);
+        assert!(m.is_homed());
+        let wake = pulse(&mut m, Tick::from_millis(50), Pin::XStep);
+        assert_eq!(wake, Some(Tick::from_millis(150)));
+        assert!(m.is_armed());
+    }
+
+    #[test]
+    fn counters_reset_at_homing() {
+        let mut m = Monitor::new(SimDuration::from_millis(100));
+        m.on_control(Tick::ZERO, LogicEvent::new(Pin::XDir, Level::High));
+        for i in 0..50 {
+            pulse(&mut m, Tick::from_millis(i), Pin::XStep);
+        }
+        home(&mut m);
+        assert_eq!(m.counts(), [0, 0, 0, 0], "homing must re-zero counters");
+    }
+
+    #[test]
+    fn transactions_sample_counts_each_period() {
+        let mut m = Monitor::new(SimDuration::from_millis(100));
+        home(&mut m);
+        m.on_control(Tick::from_millis(99), LogicEvent::new(Pin::XDir, Level::High));
+        pulse(&mut m, Tick::from_millis(100), Pin::XStep);
+        // 10 more steps before the first sample at t=200ms.
+        for i in 0..10 {
+            pulse(&mut m, Tick::from_millis(110 + i), Pin::XStep);
+        }
+        let next = m.on_tick(Tick::from_millis(200)).unwrap();
+        assert_eq!(next, Tick::from_millis(300));
+        assert_eq!(m.capture().len(), 1);
+        assert_eq!(m.capture().transactions()[0].counts[0], 11);
+        assert_eq!(m.capture().transactions()[0].index, 0);
+    }
+
+    #[test]
+    fn early_tick_is_a_noop() {
+        let mut m = Monitor::new(SimDuration::from_millis(100));
+        home(&mut m);
+        pulse(&mut m, Tick::from_millis(100), Pin::XStep);
+        let due = m.on_tick(Tick::from_millis(150)).unwrap();
+        assert_eq!(due, Tick::from_millis(200));
+        assert!(m.capture().is_empty());
+    }
+
+    #[test]
+    fn unarmed_monitor_never_samples() {
+        let mut m = Monitor::new(SimDuration::from_millis(100));
+        assert_eq!(m.on_tick(Tick::from_secs(10)), None);
+        assert!(m.capture().is_empty());
+    }
+
+    #[test]
+    fn into_capture_preserves_period() {
+        let m = Monitor::new(SimDuration::from_millis(50));
+        let cap = m.into_capture();
+        assert_eq!(cap.period, SimDuration::from_millis(50));
+    }
+}

@@ -1,0 +1,446 @@
+//! Full-loop co-simulation harness.
+//!
+//! [`TestBench`] wires the three components of the paper's test
+//! environment — Marlin-like firmware, the OFFRAMPS interceptor, and the
+//! RAMPS/printer plant — onto one deterministic event queue and runs a
+//! G-code program to completion, returning everything an experiment
+//! needs: the capture, the deposited part, firmware status, plant
+//! damage indicators, and (optionally) the raw signal trace.
+
+use std::fmt;
+
+use offramps_des::{EventQueue, SimDuration, Tick};
+use offramps_firmware::{Firmware, FirmwareConfig, FwAction, FwState};
+use offramps_gcode::Program;
+use offramps_printer::{PartModel, PlantAction, PlantConfig, PlantStatus, PrinterPlant};
+use offramps_signals::{SignalEvent, SignalTrace};
+
+use crate::capture::Capture;
+use crate::config::{MitmConfig, SignalPath};
+use crate::mitm::{MitmAction, Offramps};
+use crate::trojans::Trojan;
+
+/// Errors from a bench run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BenchError {
+    /// The simulation exceeded the wall-time limit while the firmware
+    /// was still running.
+    SimTimeLimit {
+        /// The limit that was hit.
+        limit: SimDuration,
+    },
+    /// The event queue drained while the firmware still reported
+    /// `Running` — a deadlock in the co-simulation.
+    Stalled {
+        /// Simulated time at the stall.
+        at: Tick,
+    },
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::SimTimeLimit { limit } => {
+                write!(f, "simulation exceeded the {limit} time limit")
+            }
+            BenchError::Stalled { at } => {
+                write!(f, "co-simulation stalled at {at} with the firmware running")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+/// Everything a run produces.
+#[derive(Debug)]
+pub struct RunArtifacts {
+    /// Final firmware state.
+    pub fw_state: FwState,
+    /// The monitor's capture (present when the capture path was active).
+    pub capture: Option<Capture>,
+    /// The deposited part.
+    pub part: PartModel,
+    /// Final plant status (positions, temperatures, damage counters).
+    pub plant: PlantStatus,
+    /// Raw control/feedback signal trace (present when tracing enabled).
+    pub trace: Option<SignalTrace>,
+    /// Simulated duration of the job.
+    pub sim_time: Tick,
+    /// Total events processed.
+    pub events: u64,
+    /// `(time, hotend °C, bed °C)` sampled at the ADC period.
+    pub temps: Vec<(Tick, f64, f64)>,
+    /// Firmware step counters at the end, [`offramps_signals::Axis::ALL`]
+    /// order.
+    pub fw_steps: [i64; 4],
+}
+
+/// Builder/harness for one co-simulated print job.
+///
+/// # Example
+///
+/// ```
+/// use offramps::{TestBench, SignalPath};
+/// use offramps_gcode::parse;
+///
+/// let program = parse("G28\nG1 X5 Y5 F3000\nM84\n")?;
+/// let run = TestBench::new(7).run(&program)?;
+/// assert!(matches!(run.fw_state, offramps_firmware::FwState::Finished));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct TestBench {
+    firmware_config: FirmwareConfig,
+    plant_config: PlantConfig,
+    mitm_config: MitmConfig,
+    trojans: Vec<Box<dyn Trojan>>,
+    seed: u64,
+    record_trace: bool,
+    max_sim_time: SimDuration,
+    drain_time: SimDuration,
+}
+
+/// The event vocabulary of the co-simulation.
+#[derive(Debug)]
+enum SimEvent {
+    FwWake,
+    PlantWake,
+    MitmWake,
+    CtrlToMitm(SignalEvent),
+    CtrlToPlant(SignalEvent),
+    FbToMitm(SignalEvent),
+    FbToFw(SignalEvent),
+}
+
+impl TestBench {
+    /// Creates a bench with default configs and the given master seed
+    /// (drives firmware time-noise, plant ADC noise and Trojan
+    /// randomness).
+    pub fn new(seed: u64) -> Self {
+        TestBench {
+            firmware_config: FirmwareConfig::default(),
+            plant_config: PlantConfig::default(),
+            mitm_config: MitmConfig::default(),
+            trojans: Vec::new(),
+            seed,
+            record_trace: false,
+            max_sim_time: SimDuration::from_secs(4 * 3600),
+            drain_time: SimDuration::from_secs(1),
+        }
+    }
+
+    /// Overrides the firmware configuration.
+    pub fn firmware_config(mut self, config: FirmwareConfig) -> Self {
+        self.firmware_config = config;
+        self
+    }
+
+    /// Overrides the plant configuration.
+    pub fn plant_config(mut self, config: PlantConfig) -> Self {
+        self.plant_config = config;
+        self
+    }
+
+    /// Selects the interceptor's signal path (Figure 3).
+    pub fn signal_path(mut self, path: SignalPath) -> Self {
+        self.mitm_config.path = path;
+        self
+    }
+
+    /// Overrides the whole interceptor configuration.
+    pub fn mitm_config(mut self, config: MitmConfig) -> Self {
+        self.mitm_config = config;
+        self
+    }
+
+    /// Arms a Trojan and switches the path to include modification.
+    pub fn with_trojan(mut self, trojan: Box<dyn Trojan>) -> Self {
+        self.mitm_config.path.modify = true;
+        self.trojans.push(trojan);
+        self
+    }
+
+    /// Enables raw signal tracing (slows large prints; great for VCD
+    /// export and overhead analysis).
+    pub fn record_trace(mut self, enable: bool) -> Self {
+        self.record_trace = enable;
+        self
+    }
+
+    /// Sets the simulated-time safety limit.
+    pub fn max_sim_time(mut self, limit: SimDuration) -> Self {
+        self.max_sim_time = limit;
+        self
+    }
+
+    /// Sets how long the simulation keeps running after the firmware
+    /// finishes or halts (default 1 s). Destructive-Trojan experiments
+    /// lengthen this to watch the plant keep heating after the firmware
+    /// killed itself (T7).
+    pub fn drain_time(mut self, drain: SimDuration) -> Self {
+        self.drain_time = drain;
+        self
+    }
+
+    /// Runs `program` to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`BenchError::SimTimeLimit`] if the job exceeds the simulated time
+    /// limit; [`BenchError::Stalled`] if the co-simulation deadlocks.
+    pub fn run(self, program: &Program) -> Result<RunArtifacts, BenchError> {
+        let mut fw = Firmware::new(self.firmware_config, program.clone(), self.seed);
+        let mut mitm = Offramps::new(self.mitm_config, self.seed);
+        for trojan in self.trojans {
+            mitm.add_trojan(trojan);
+        }
+        if self.record_trace {
+            mitm.enable_trace();
+        }
+        let mut plant = PrinterPlant::new(self.plant_config, self.seed);
+
+        let mut queue: EventQueue<SimEvent> = EventQueue::new();
+        let mut events: u64 = 0;
+        let mut temps: Vec<(Tick, f64, f64)> = Vec::new();
+        let limit_tick = Tick::ZERO + self.max_sim_time;
+
+        // One pending wake per component, deduplicated by cancellation:
+        // every component returns a WakeAt after every call, so naive
+        // scheduling grows quadratically in wake events.
+        let mut wakes = WakeSlots::default();
+
+        // Boot.
+        let fw_actions = fw.start(Tick::ZERO);
+        dispatch_fw(&mut queue, &mut wakes, Tick::ZERO, fw_actions);
+        let plant_actions = plant.start(Tick::ZERO);
+        dispatch_plant(&mut queue, &mut wakes, Tick::ZERO, plant_actions);
+
+        let mut stop_deadline: Option<Tick> = None;
+        let mut now = Tick::ZERO;
+
+        while let Some(event) = queue.pop() {
+            now = event.tick;
+            events += 1;
+
+            if now > limit_tick {
+                if matches!(fw.state(), FwState::Running) {
+                    return Err(BenchError::SimTimeLimit { limit: self.max_sim_time });
+                }
+                break;
+            }
+
+            match event.payload {
+                SimEvent::FwWake => {
+                    wakes.fw = None;
+                    let acts = fw.on_tick(now);
+                    dispatch_fw(&mut queue, &mut wakes, now, acts);
+                }
+                SimEvent::CtrlToMitm(ev) => {
+                    let acts = mitm.on_control(now, ev);
+                    dispatch_mitm(&mut queue, &mut wakes, acts);
+                }
+                SimEvent::CtrlToPlant(ev) => {
+                    let acts = plant.on_control(now, ev);
+                    dispatch_plant(&mut queue, &mut wakes, now, acts);
+                }
+                SimEvent::FbToMitm(ev) => {
+                    let acts = mitm.on_feedback(now, ev);
+                    dispatch_mitm(&mut queue, &mut wakes, acts);
+                }
+                SimEvent::FbToFw(ev) => {
+                    let acts = fw.on_feedback(now, ev);
+                    dispatch_fw(&mut queue, &mut wakes, now, acts);
+                }
+                SimEvent::PlantWake => {
+                    wakes.plant = None;
+                    let acts = plant.on_tick(now);
+                    dispatch_plant(&mut queue, &mut wakes, now, acts);
+                    let s = plant.status(now);
+                    temps.push((now, s.hotend_c, s.bed_c));
+                }
+                SimEvent::MitmWake => {
+                    wakes.mitm = None;
+                    let acts = mitm.on_tick(now);
+                    dispatch_mitm(&mut queue, &mut wakes, acts);
+                }
+            }
+
+            // Termination: once the firmware is done (or dead), drain for
+            // a grace period so in-flight signals settle, then stop.
+            if !matches!(fw.state(), FwState::Running) {
+                match stop_deadline {
+                    None => stop_deadline = Some(now + self.drain_time),
+                    Some(deadline) if now >= deadline => break,
+                    Some(_) => {}
+                }
+            }
+        }
+
+        if matches!(fw.state(), FwState::Running) && queue.is_empty() {
+            return Err(BenchError::Stalled { at: now });
+        }
+
+        let plant_status = plant.status(now);
+        let (capture, trace) = mitm.into_outputs();
+        Ok(RunArtifacts {
+            fw_state: fw.state(),
+            capture,
+            part: plant.into_part(),
+            plant: plant_status,
+            trace,
+            sim_time: now,
+            events,
+            temps,
+            fw_steps: fw.step_counts(),
+        })
+    }
+}
+
+/// At most one scheduled wake per component.
+#[derive(Debug, Default)]
+struct WakeSlots {
+    fw: Option<(Tick, offramps_des::EventId)>,
+    plant: Option<(Tick, offramps_des::EventId)>,
+    mitm: Option<(Tick, offramps_des::EventId)>,
+}
+
+/// Schedules `event` at `t` unless an equal-or-earlier wake for the same
+/// component is already pending; a later pending wake is cancelled.
+fn schedule_wake(
+    queue: &mut EventQueue<SimEvent>,
+    slot: &mut Option<(Tick, offramps_des::EventId)>,
+    t: Tick,
+    event: SimEvent,
+) {
+    if let Some((pending, id)) = *slot {
+        if pending <= t {
+            return;
+        }
+        queue.cancel(id);
+    }
+    let id = queue.schedule(t, event);
+    *slot = Some((t, id));
+}
+
+fn dispatch_fw(
+    queue: &mut EventQueue<SimEvent>,
+    wakes: &mut WakeSlots,
+    now: Tick,
+    actions: Vec<FwAction>,
+) {
+    for a in actions {
+        match a {
+            FwAction::Emit(ev) => {
+                queue.schedule(now, SimEvent::CtrlToMitm(ev));
+            }
+            FwAction::WakeAt(t) => schedule_wake(queue, &mut wakes.fw, t, SimEvent::FwWake),
+        }
+    }
+}
+
+fn dispatch_plant(
+    queue: &mut EventQueue<SimEvent>,
+    wakes: &mut WakeSlots,
+    now: Tick,
+    actions: Vec<PlantAction>,
+) {
+    for a in actions {
+        match a {
+            PlantAction::Emit(ev) => {
+                queue.schedule(now, SimEvent::FbToMitm(ev));
+            }
+            PlantAction::WakeAt(t) => {
+                schedule_wake(queue, &mut wakes.plant, t, SimEvent::PlantWake)
+            }
+        }
+    }
+}
+
+fn dispatch_mitm(queue: &mut EventQueue<SimEvent>, wakes: &mut WakeSlots, actions: Vec<MitmAction>) {
+    for a in actions {
+        match a {
+            MitmAction::ToPlant(t, ev) => {
+                queue.schedule(t, SimEvent::CtrlToPlant(ev));
+            }
+            MitmAction::ToFirmware(t, ev) => {
+                queue.schedule(t, SimEvent::FbToFw(ev));
+            }
+            MitmAction::WakeAt(t) => schedule_wake(queue, &mut wakes.mitm, t, SimEvent::MitmWake),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offramps_gcode::parse;
+
+    fn program(src: &str) -> Program {
+        parse(src).unwrap()
+    }
+
+    #[test]
+    fn homing_and_motion_complete() {
+        let run = TestBench::new(1)
+            .run(&program("G28\nG90\nG1 X10 Y5 F3000\nM84\n"))
+            .unwrap();
+        assert!(matches!(run.fw_state, FwState::Finished));
+        // Firmware thinks it is at (10, 5): 1000/500 steps.
+        assert_eq!(run.fw_steps[0], 1000);
+        assert_eq!(run.fw_steps[1], 500);
+        // The physical carriage agrees (endstop trigger offset is ~0.1mm).
+        assert!((run.plant.positions_mm[0] - 10.0).abs() < 0.2, "{}", run.plant.positions_mm[0]);
+        assert!((run.plant.positions_mm[1] - 5.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn capture_path_produces_transactions() {
+        let run = TestBench::new(2)
+            .signal_path(SignalPath::capture())
+            .run(&program("G28\nG90\nG1 X20 F1200\nG1 X0 F1200\nM84\n"))
+            .unwrap();
+        let cap = run.capture.expect("capture path");
+        assert!(cap.len() >= 5, "a couple of seconds of motion: {} txns", cap.len());
+        // X ends back at 0.
+        assert_eq!(cap.final_counts().unwrap()[0], 0);
+    }
+
+    #[test]
+    fn bypass_has_no_capture() {
+        let run = TestBench::new(3).run(&program("G28\nM84\n")).unwrap();
+        assert!(run.capture.is_none());
+        assert!(run.trace.is_none());
+    }
+
+    #[test]
+    fn trace_recording_works() {
+        let run = TestBench::new(4)
+            .record_trace(true)
+            .run(&program("G28\nG1 X1 F600\nM84\n"))
+            .unwrap();
+        let trace = run.trace.expect("trace enabled");
+        assert!(trace.len() > 100, "homing generates plenty of edges");
+    }
+
+    #[test]
+    fn heated_print_reaches_temperature() {
+        let run = TestBench::new(5)
+            .run(&program("M140 S60\nM104 S210\nG28\nM190 S60\nM109 S210\nM104 S0\nM140 S0\nM84\n"))
+            .unwrap();
+        assert!(matches!(run.fw_state, FwState::Finished));
+        let max_hotend = run.temps.iter().map(|(_, h, _)| *h).fold(0.0, f64::max);
+        assert!(max_hotend > 205.0, "hotend peaked at {max_hotend}");
+    }
+
+    #[test]
+    fn sim_time_limit_enforced() {
+        // A dwell longer than the limit.
+        let err = TestBench::new(6)
+            .max_sim_time(SimDuration::from_secs(2))
+            .run(&program("G4 P10000\n"))
+            .unwrap_err();
+        assert!(matches!(err, BenchError::SimTimeLimit { .. }));
+        assert!(err.to_string().contains("time limit"));
+    }
+}

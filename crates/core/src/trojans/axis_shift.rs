@@ -1,0 +1,156 @@
+//! Trojan T1 — "Loose Belt": random X/Y step injection.
+//!
+//! "Trojan T1 implements an arbitrary shift along the X and Y axes every
+//! ten seconds. … The FPGA on the OFFRAMPS allows to injection stepper
+//! motor pulses in between the original control pulses, causing longer
+//! travel motions of the print head. This effect is used by the Trojan to
+//! add extra steps without adding extra print time."
+
+use offramps_des::{SimDuration, Tick};
+use offramps_signals::{Pin, SignalEvent};
+
+use crate::trojans::{Disposition, PulseTrain, Trojan, TrojanCtx};
+
+/// T1: every `interval`, inject a random number of extra steps on X or Y.
+#[derive(Debug)]
+pub struct AxisShiftTrojan {
+    interval: SimDuration,
+    min_steps: u32,
+    max_steps: u32,
+    next_fire: Option<Tick>,
+    /// Total injected pulses (diagnostics).
+    pub injected_steps: u64,
+}
+
+impl AxisShiftTrojan {
+    /// Creates T1 with the paper's 10 s trigger interval and a shift of
+    /// 20–80 microsteps (0.2–0.8 mm at Prusa X/Y scaling).
+    pub fn new() -> Self {
+        Self::with_params(SimDuration::from_secs(10), 20, 80)
+    }
+
+    /// Fully parameterized constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_steps > max_steps` or `max_steps == 0`.
+    pub fn with_params(interval: SimDuration, min_steps: u32, max_steps: u32) -> Self {
+        assert!(min_steps <= max_steps && max_steps > 0, "invalid step range");
+        AxisShiftTrojan {
+            interval,
+            min_steps,
+            max_steps,
+            next_fire: None,
+            injected_steps: 0,
+        }
+    }
+}
+
+impl Default for AxisShiftTrojan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Trojan for AxisShiftTrojan {
+    fn id(&self) -> &'static str {
+        "T1"
+    }
+    fn kind(&self) -> &'static str {
+        "PM"
+    }
+    fn scenario(&self) -> &'static str {
+        "Loose Belt"
+    }
+    fn effect(&self) -> &'static str {
+        "Randomly changes steps from X or Y axis during print"
+    }
+
+    fn on_control(&mut self, ctx: &mut TrojanCtx<'_>, _event: &SignalEvent) -> Disposition {
+        // Arm once the printer has homed (the paper's homing-detection
+        // module gates Trojan activation).
+        if ctx.homed && self.next_fire.is_none() {
+            let at = ctx.now + self.interval;
+            self.next_fire = Some(at);
+            ctx.wake_at(at);
+        }
+        Disposition::Pass
+    }
+
+    fn on_wake(&mut self, ctx: &mut TrojanCtx<'_>) {
+        let Some(due) = self.next_fire else {
+            return;
+        };
+        if ctx.now < due {
+            ctx.wake_at(due);
+            return;
+        }
+        let pin = if ctx.rng.chance(0.5) { Pin::XStep } else { Pin::YStep };
+        let steps = if self.min_steps == self.max_steps {
+            self.min_steps
+        } else {
+            ctx.rng.uniform_u64(u64::from(self.min_steps), u64::from(self.max_steps) + 1) as u32
+        };
+        PulseTrain::steps(pin, steps).schedule(ctx.now, ctx);
+        self.injected_steps += u64::from(steps);
+        let next = ctx.now + self.interval;
+        self.next_fire = Some(next);
+        ctx.wake_at(next);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trojans::test_util::TrojanHarness;
+    use offramps_signals::Level;
+
+    #[test]
+    fn arms_only_after_homing() {
+        let mut h = TrojanHarness::new();
+        h.homed = false;
+        let mut t = AxisShiftTrojan::new();
+        h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::XStep, Level::High));
+        assert!(h.wake.is_none(), "not homed: no wake requested");
+        h.homed = true;
+        h.control(&mut t, Tick::from_secs(1), SignalEvent::logic(Pin::XStep, Level::High));
+        assert_eq!(h.wake, Some(Tick::from_secs(11)));
+    }
+
+    #[test]
+    fn fires_every_interval_with_bounded_steps() {
+        let mut h = TrojanHarness::new();
+        let mut t = AxisShiftTrojan::with_params(SimDuration::from_secs(10), 30, 30);
+        h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::XStep, Level::High));
+        h.wake = None;
+        h.wake(&mut t, Tick::from_secs(10));
+        assert_eq!(h.injections.len(), 60, "30 pulses = 60 edges");
+        assert_eq!(t.injected_steps, 30);
+        assert_eq!(h.wake, Some(Tick::from_secs(20)), "re-arms");
+        // Injected pins are X or Y STEP only.
+        for (_, ev) in &h.injections {
+            let pin = ev.as_logic().unwrap().pin;
+            assert!(pin == Pin::XStep || pin == Pin::YStep);
+        }
+    }
+
+    #[test]
+    fn spurious_wake_is_harmless() {
+        let mut h = TrojanHarness::new();
+        let mut t = AxisShiftTrojan::new();
+        h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::XStep, Level::High));
+        h.wake(&mut t, Tick::from_secs(3)); // before next_fire
+        assert!(h.injections.is_empty());
+        assert_eq!(h.wake, Some(Tick::from_secs(10)), "re-requests its due time");
+    }
+
+    #[test]
+    fn passes_all_events() {
+        let mut h = TrojanHarness::new();
+        let mut t = AxisShiftTrojan::new();
+        let d = h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::EStep, Level::High));
+        assert_eq!(d, Disposition::Pass);
+        assert_eq!(t.id(), "T1");
+        assert_eq!(t.kind(), "PM");
+    }
+}

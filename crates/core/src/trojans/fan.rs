@@ -1,0 +1,175 @@
+//! Trojan T9 — part-cooling fan tampering.
+//!
+//! "Trojan T9 affects the part-cooling fan on the printer and causes
+//! either over- or under-cooling during printing. … Control signals for
+//! this fan are passed through the FPGA for full control. Print quality
+//! can be degraded by either over- or under-cooling."
+//!
+//! The Trojan owns the D9 gate: it swallows the firmware's fan writes
+//! and re-synthesizes its own PWM whose duty is the firmware's intent
+//! scaled by a malicious factor.
+
+use offramps_des::{SimDuration, Tick};
+use offramps_signals::{Level, Pin, SignalEvent};
+
+use crate::trojans::{Disposition, Trojan, TrojanCtx};
+
+/// T9: rescale the fan duty (factor < 1 under-cools, > 1 would
+/// over-cool up to 100 %).
+#[derive(Debug)]
+pub struct FanUnderspeedTrojan {
+    scale: f64,
+    period: SimDuration,
+    /// What the firmware last asked for (level on D9).
+    commanded_high: bool,
+    pwm_running: bool,
+    output_high: bool,
+    /// Firmware fan writes swallowed.
+    pub swallowed_writes: u64,
+}
+
+impl FanUnderspeedTrojan {
+    /// The paper's mid-print fan reduction: 25 % of commanded cooling.
+    pub fn quarter() -> Self {
+        Self::new(0.25)
+    }
+
+    /// Creates T9 with an arbitrary duty scale in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < scale <= 1.0`.
+    pub fn new(scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        FanUnderspeedTrojan {
+            scale,
+            period: SimDuration::from_millis(20),
+            commanded_high: false,
+            pwm_running: false,
+            output_high: false,
+            swallowed_writes: 0,
+        }
+    }
+
+    fn emit(&mut self, ctx: &mut TrojanCtx<'_>, at: Tick, level: Level) {
+        ctx.inject(at, SignalEvent::logic(Pin::FanPwm, level));
+        self.output_high = level == Level::High;
+    }
+}
+
+impl Trojan for FanUnderspeedTrojan {
+    fn id(&self) -> &'static str {
+        "T9"
+    }
+    fn kind(&self) -> &'static str {
+        "PM"
+    }
+    fn scenario(&self) -> &'static str {
+        "Hardware Failure"
+    }
+    fn effect(&self) -> &'static str {
+        "Arbitrarily reducing part fan speed mid-print"
+    }
+
+    fn on_control(&mut self, ctx: &mut TrojanCtx<'_>, event: &SignalEvent) -> Disposition {
+        let Some(logic) = event.as_logic() else {
+            return Disposition::Pass;
+        };
+        if logic.pin != Pin::FanPwm {
+            return Disposition::Pass;
+        }
+        self.swallowed_writes += 1;
+        self.commanded_high = logic.level == Level::High;
+        if self.commanded_high && !self.pwm_running {
+            self.pwm_running = true;
+            // Start our own chopped PWM immediately.
+            self.emit(ctx, ctx.now, Level::High);
+            let high_time = self.period.mul_f64(self.scale);
+            self.emit(ctx, ctx.now + high_time, Level::Low);
+            ctx.wake_at(ctx.now + self.period);
+        } else if !self.commanded_high && self.pwm_running {
+            self.pwm_running = false;
+            self.emit(ctx, ctx.now, Level::Low);
+        }
+        Disposition::Drop // we own the pin
+    }
+
+    fn on_wake(&mut self, ctx: &mut TrojanCtx<'_>) {
+        if !self.pwm_running {
+            return;
+        }
+        if !self.commanded_high {
+            self.pwm_running = false;
+            self.emit(ctx, ctx.now, Level::Low);
+            return;
+        }
+        // Next chopped period.
+        self.emit(ctx, ctx.now, Level::High);
+        let high_time = self.period.mul_f64(self.scale);
+        self.emit(ctx, ctx.now + high_time, Level::Low);
+        ctx.wake_at(ctx.now + self.period);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trojans::test_util::TrojanHarness;
+
+    #[test]
+    fn swallows_fan_writes_and_synthesizes_pwm() {
+        let mut h = TrojanHarness::new();
+        let mut t = FanUnderspeedTrojan::quarter();
+        let d = h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::FanPwm, Level::High));
+        assert_eq!(d, Disposition::Drop);
+        // One High now, one Low at 25% of 20ms = 5ms.
+        assert_eq!(h.injections.len(), 2);
+        assert_eq!(h.injections[0].0, Tick::ZERO);
+        assert_eq!(h.injections[1].0, Tick::from_millis(5));
+        assert_eq!(h.wake, Some(Tick::from_millis(20)));
+    }
+
+    #[test]
+    fn pwm_continues_until_commanded_off() {
+        let mut h = TrojanHarness::new();
+        let mut t = FanUnderspeedTrojan::quarter();
+        h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::FanPwm, Level::High));
+        h.injections.clear();
+        h.wake(&mut t, Tick::from_millis(20));
+        assert_eq!(h.injections.len(), 2, "next period emitted");
+        // Firmware turns the fan off.
+        h.injections.clear();
+        let d = h.control(&mut t, Tick::from_millis(30), SignalEvent::logic(Pin::FanPwm, Level::Low));
+        assert_eq!(d, Disposition::Drop);
+        assert_eq!(h.injections.len(), 1);
+        assert_eq!(h.injections[0].1, SignalEvent::logic(Pin::FanPwm, Level::Low));
+        // Wake after off: PWM stays stopped.
+        h.injections.clear();
+        h.wake(&mut t, Tick::from_millis(40));
+        assert!(h.injections.is_empty());
+    }
+
+    #[test]
+    fn duty_scale_math() {
+        let mut h = TrojanHarness::new();
+        let mut t = FanUnderspeedTrojan::new(0.5);
+        h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::FanPwm, Level::High));
+        // Low edge at 50% of the 20ms period.
+        assert_eq!(h.injections[1].0, Tick::from_millis(10));
+    }
+
+    #[test]
+    fn other_pins_pass() {
+        let mut h = TrojanHarness::new();
+        let mut t = FanUnderspeedTrojan::quarter();
+        let d = h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::XStep, Level::High));
+        assert_eq!(d, Disposition::Pass);
+        assert_eq!(t.swallowed_writes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in")]
+    fn rejects_invalid_scale() {
+        let _ = FanUnderspeedTrojan::new(0.0);
+    }
+}

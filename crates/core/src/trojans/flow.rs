@@ -1,0 +1,220 @@
+//! Trojan T2 — extrusion flow reduction by pulse masking.
+//!
+//! "The Trojaned part was printed while masking half of extruder stepper
+//! motor pulses sent to the RAMPS board, reducing the flow and amount of
+//! material extruded by 50%. This implements reduction Trojans from
+//! Flaw3D."
+//!
+//! The mask applies to *printing* extrusion: forward E pulses emitted
+//! while the head is moving in X/Y. Stationary forward pulses (retract
+//! refills, priming) pass, otherwise each retract cycle would leave the
+//! melt chamber under-primed and the reduction would compound far past
+//! the commanded factor. Distinguishing the two needs exactly the
+//! Edge-Detection Module the paper's framework provides.
+
+use offramps_des::{SimDuration, Tick};
+use offramps_signals::{Level, Pin, SignalEvent};
+
+use crate::trojans::{Disposition, Trojan, TrojanCtx};
+
+/// T2: keep only a fraction of forward extruder STEP pulses during
+/// X/Y motion.
+#[derive(Debug)]
+pub struct FlowReductionTrojan {
+    keep_ratio: f64,
+    accumulator: f64,
+    dir_positive: bool,
+    masking_pulse: bool,
+    step_high: bool,
+    last_xy_step: Option<Tick>,
+    xy_window: SimDuration,
+    /// Pulses suppressed so far.
+    pub masked_pulses: u64,
+    /// Pulses forwarded so far.
+    pub passed_pulses: u64,
+}
+
+impl FlowReductionTrojan {
+    /// The paper's T2: mask half the pulses (50 % flow).
+    pub fn half() -> Self {
+        Self::new(0.5)
+    }
+
+    /// Keep `keep_ratio` of printing E pulses (e.g. 0.5 → 50 % flow).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= keep_ratio <= 1.0`.
+    pub fn new(keep_ratio: f64) -> Self {
+        assert!((0.0..=1.0).contains(&keep_ratio), "ratio out of range");
+        FlowReductionTrojan {
+            keep_ratio,
+            accumulator: 0.0,
+            dir_positive: false,
+            masking_pulse: false,
+            step_high: false,
+            last_xy_step: None,
+            xy_window: SimDuration::from_millis(20),
+            masked_pulses: 0,
+            passed_pulses: 0,
+        }
+    }
+
+    fn xy_active(&self, now: Tick) -> bool {
+        self.last_xy_step
+            .is_some_and(|t| now.saturating_since(t) <= self.xy_window)
+    }
+}
+
+impl Trojan for FlowReductionTrojan {
+    fn id(&self) -> &'static str {
+        "T2"
+    }
+    fn kind(&self) -> &'static str {
+        "PM"
+    }
+    fn scenario(&self) -> &'static str {
+        "Incorrect Slicing"
+    }
+    fn effect(&self) -> &'static str {
+        "Constant over / under extrusion per print"
+    }
+
+    fn on_control(&mut self, ctx: &mut TrojanCtx<'_>, event: &SignalEvent) -> Disposition {
+        let Some(logic) = event.as_logic() else {
+            return Disposition::Pass;
+        };
+        match logic.pin {
+            Pin::XStep | Pin::YStep => {
+                if logic.level == Level::High {
+                    self.last_xy_step = Some(ctx.now);
+                }
+                Disposition::Pass
+            }
+            Pin::EDir => {
+                self.dir_positive = logic.level == Level::High;
+                Disposition::Pass
+            }
+            Pin::EStep => match (self.step_high, logic.level) {
+                (false, Level::High) => {
+                    self.step_high = true;
+                    // Retraction pulses and stationary refills/primes
+                    // pass; only printing extrusion is masked.
+                    if !self.dir_positive || !self.xy_active(ctx.now) {
+                        self.masking_pulse = false;
+                        return Disposition::Pass;
+                    }
+                    self.accumulator += self.keep_ratio;
+                    // Epsilon guards float accumulation (0.9 × 10 must
+                    // count as 9, not 8).
+                    if self.accumulator >= 1.0 - 1e-9 {
+                        self.accumulator -= 1.0;
+                        self.masking_pulse = false;
+                        self.passed_pulses += 1;
+                        Disposition::Pass
+                    } else {
+                        self.masking_pulse = true;
+                        self.masked_pulses += 1;
+                        Disposition::Drop
+                    }
+                }
+                (true, Level::Low) => {
+                    self.step_high = false;
+                    if self.masking_pulse {
+                        self.masking_pulse = false;
+                        Disposition::Drop // swallow the matching falling edge
+                    } else {
+                        Disposition::Pass
+                    }
+                }
+                _ => Disposition::Pass,
+            },
+            _ => Disposition::Pass,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trojans::test_util::TrojanHarness;
+
+    /// Sends `n` E pulses, keeping X active so the mask applies, and
+    /// returns how many passed.
+    fn run_pulses(trojan: &mut FlowReductionTrojan, n: usize, dir_high: bool) -> usize {
+        let mut h = TrojanHarness::new();
+        let dir = SignalEvent::logic(Pin::EDir, if dir_high { Level::High } else { Level::Low });
+        h.control(trojan, Tick::ZERO, dir);
+        let mut passed = 0;
+        for i in 0..n {
+            let t = Tick::from_micros(100 * i as u64);
+            // Keep the head moving: an X pulse right before each E pulse.
+            h.control(trojan, t, SignalEvent::logic(Pin::XStep, Level::High));
+            h.control(trojan, t, SignalEvent::logic(Pin::XStep, Level::Low));
+            let up = h.control(trojan, t, SignalEvent::logic(Pin::EStep, Level::High));
+            let down = h.control(trojan, t, SignalEvent::logic(Pin::EStep, Level::Low));
+            match (up, down) {
+                (Disposition::Pass, Disposition::Pass) => passed += 1,
+                (Disposition::Drop, Disposition::Drop) => {}
+                other => panic!("rise/fall must agree: {other:?}"),
+            }
+        }
+        passed
+    }
+
+    #[test]
+    fn half_masks_every_other_pulse() {
+        let mut t = FlowReductionTrojan::half();
+        let passed = run_pulses(&mut t, 1000, true);
+        assert_eq!(passed, 500);
+        assert_eq!(t.masked_pulses, 500);
+        assert_eq!(t.passed_pulses, 500);
+    }
+
+    #[test]
+    fn arbitrary_ratio() {
+        let mut t = FlowReductionTrojan::new(0.9);
+        let passed = run_pulses(&mut t, 1000, true);
+        assert_eq!(passed, 900);
+    }
+
+    #[test]
+    fn full_keep_passes_everything() {
+        let mut t = FlowReductionTrojan::new(1.0);
+        assert_eq!(run_pulses(&mut t, 100, true), 100);
+    }
+
+    #[test]
+    fn retraction_pulses_untouched() {
+        let mut t = FlowReductionTrojan::half();
+        let passed = run_pulses(&mut t, 100, false);
+        assert_eq!(passed, 100, "reverse (retract) pulses must pass");
+    }
+
+    #[test]
+    fn stationary_refills_untouched() {
+        // Forward E pulses with NO XY activity: refills/primes pass.
+        let mut h = TrojanHarness::new();
+        let mut t = FlowReductionTrojan::half();
+        h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::EDir, Level::High));
+        for i in 0..100u64 {
+            let at = Tick::from_millis(100 + i);
+            let up = h.control(&mut t, at, SignalEvent::logic(Pin::EStep, Level::High));
+            let down = h.control(&mut t, at, SignalEvent::logic(Pin::EStep, Level::Low));
+            assert_eq!((up, down), (Disposition::Pass, Disposition::Pass));
+        }
+        assert_eq!(t.masked_pulses, 0);
+    }
+
+    #[test]
+    fn other_pins_pass() {
+        let mut h = TrojanHarness::new();
+        let mut t = FlowReductionTrojan::half();
+        for _ in 0..10 {
+            let d = h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::ZStep, Level::High));
+            assert_eq!(d, Disposition::Pass);
+            let d = h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::ZStep, Level::Low));
+            assert_eq!(d, Disposition::Pass);
+        }
+    }
+}

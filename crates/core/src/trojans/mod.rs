@@ -1,0 +1,188 @@
+//! The Trojan-insertion framework (§IV) and Table I's nine Trojans.
+//!
+//! "A framework for the insertion of Trojans was created … Several
+//! sub-modules were created to control the insertion of Trojans":
+//!
+//! * **Pulse Generation Module** → [`PulseTrain`] (frequency, pulse
+//!   width, count),
+//! * **Edge Detection Module** → [`offramps_signals::EdgeDetector`]
+//!   (used by every Trojan through the interceptor),
+//! * **Homing Detection Module** → [`crate::monitor::HomingDetector`]
+//!   ("can determine when to activate Trojans"),
+//! * **Trojan Control Module** → the [`Trojan`] trait plus the
+//!   interceptor's mux: each control event flows through the armed
+//!   Trojans, which may pass, drop, replace, or inject signals.
+
+mod axis_shift;
+mod fan;
+mod feedback;
+mod flow;
+mod heater;
+mod pulse_gen;
+mod retraction;
+mod stepper_dos;
+mod zshift;
+mod zwobble;
+
+pub use axis_shift::AxisShiftTrojan;
+pub use fan::FanUnderspeedTrojan;
+pub use feedback::{EndstopSpoofTrojan, ThermistorSpoofTrojan};
+pub use flow::FlowReductionTrojan;
+pub use heater::{HeaterDosTrojan, ThermalRunawayTrojan};
+pub use pulse_gen::PulseTrain;
+pub use retraction::{RetractionMode, RetractionTrojan};
+pub use stepper_dos::StepperDosTrojan;
+pub use zshift::ZShiftTrojan;
+pub use zwobble::ZWobbleTrojan;
+
+use offramps_des::{DetRng, Tick};
+use offramps_signals::SignalEvent;
+
+/// What a Trojan decides to do with one through-going control event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Disposition {
+    /// Forward unchanged.
+    Pass,
+    /// Suppress entirely.
+    Drop,
+    /// Forward a different event instead.
+    Replace(SignalEvent),
+}
+
+/// Context handed to a Trojan on every invocation: the clock, homing
+/// state, a deterministic RNG stream, and channels for injecting events
+/// and requesting timer wake-ups.
+#[derive(Debug)]
+pub struct TrojanCtx<'a> {
+    /// Current simulation time.
+    pub now: Tick,
+    /// Whether the homing detector has seen a complete G28 cycle.
+    pub homed: bool,
+    /// Deterministic RNG stream dedicated to Trojan randomness.
+    pub rng: &'a mut DetRng,
+    pub(crate) injections: &'a mut Vec<(Tick, SignalEvent)>,
+    pub(crate) feedback_injections: &'a mut Vec<(Tick, SignalEvent)>,
+    pub(crate) wake: &'a mut Option<Tick>,
+}
+
+impl TrojanCtx<'_> {
+    /// Schedules an extra control-direction event (toward the plant) at
+    /// `at` (clamped to now).
+    pub fn inject(&mut self, at: Tick, event: SignalEvent) {
+        self.injections.push((at.max(self.now), event));
+    }
+
+    /// Schedules an extra feedback-direction event (toward the
+    /// firmware) at `at` — endstop/thermistor spoofing.
+    pub fn inject_feedback(&mut self, at: Tick, event: SignalEvent) {
+        self.feedback_injections.push((at.max(self.now), event));
+    }
+
+    /// Requests a wake-up no later than `at`.
+    pub fn wake_at(&mut self, at: Tick) {
+        *self.wake = Some(self.wake.map_or(at, |w| w.min(at)));
+    }
+}
+
+/// A hardware Trojan living in the interceptor's modification path.
+///
+/// Implementations receive every control-direction event and may pass,
+/// drop or replace it, inject additional events at arbitrary times, and
+/// request timer wake-ups ([`Trojan::on_wake`]) for time-triggered
+/// behaviour.
+pub trait Trojan: std::fmt::Debug {
+    /// Table I identifier, e.g. `"T2"`.
+    fn id(&self) -> &'static str;
+    /// Table I "Type": `PM` (part modification), `DoS`, or `D`
+    /// (destructive).
+    fn kind(&self) -> &'static str;
+    /// Table I "Scenario" the Trojan mimics.
+    fn scenario(&self) -> &'static str;
+    /// Table I "Effect" description.
+    fn effect(&self) -> &'static str;
+    /// Filter one control event.
+    fn on_control(&mut self, ctx: &mut TrojanCtx<'_>, event: &SignalEvent) -> Disposition;
+    /// Filter one feedback event (endstops, thermistor ADC). The default
+    /// passes everything: Table I's Trojans only tamper with the control
+    /// direction; the feedback-spoofing Trojans override this.
+    fn on_feedback(&mut self, _ctx: &mut TrojanCtx<'_>, _event: &SignalEvent) -> Disposition {
+        Disposition::Pass
+    }
+    /// Timer callback; fired at (or after) any requested wake time.
+    /// Spurious calls are possible — implementations check their own
+    /// schedule.
+    fn on_wake(&mut self, _ctx: &mut TrojanCtx<'_>) {}
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::*;
+    use offramps_des::DetRng;
+
+    /// Minimal harness for exercising a Trojan in isolation.
+    pub struct TrojanHarness {
+        pub rng: DetRng,
+        pub injections: Vec<(Tick, SignalEvent)>,
+        pub feedback_injections: Vec<(Tick, SignalEvent)>,
+        pub wake: Option<Tick>,
+        pub homed: bool,
+    }
+
+    impl TrojanHarness {
+        pub fn new() -> Self {
+            TrojanHarness {
+                rng: DetRng::from_seed(7),
+                injections: Vec::new(),
+                feedback_injections: Vec::new(),
+                wake: None,
+                homed: true,
+            }
+        }
+
+        pub fn control(
+            &mut self,
+            t: &mut dyn Trojan,
+            now: Tick,
+            ev: SignalEvent,
+        ) -> Disposition {
+            let mut ctx = TrojanCtx {
+                now,
+                homed: self.homed,
+                rng: &mut self.rng,
+                injections: &mut self.injections,
+                feedback_injections: &mut self.feedback_injections,
+                wake: &mut self.wake,
+            };
+            t.on_control(&mut ctx, &ev)
+        }
+
+        pub fn feedback(
+            &mut self,
+            t: &mut dyn Trojan,
+            now: Tick,
+            ev: SignalEvent,
+        ) -> Disposition {
+            let mut ctx = TrojanCtx {
+                now,
+                homed: self.homed,
+                rng: &mut self.rng,
+                injections: &mut self.injections,
+                feedback_injections: &mut self.feedback_injections,
+                wake: &mut self.wake,
+            };
+            t.on_feedback(&mut ctx, &ev)
+        }
+
+        pub fn wake(&mut self, t: &mut dyn Trojan, now: Tick) {
+            let mut ctx = TrojanCtx {
+                now,
+                homed: self.homed,
+                rng: &mut self.rng,
+                injections: &mut self.injections,
+                feedback_injections: &mut self.feedback_injections,
+                wake: &mut self.wake,
+            };
+            t.on_wake(&mut ctx);
+        }
+    }
+}

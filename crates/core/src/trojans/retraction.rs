@@ -1,0 +1,208 @@
+//! Trojan T3 — retraction/flow tampering during Y movement.
+//!
+//! "Retraction refers to the amount of filament that is pulled back
+//! during certain movements. By affecting extruder steps during some
+//! movements we can cause over or under extrusion in a way that could
+//! appear to a user as if part settings were incorrect when sliced. This
+//! Trojan is shown with over extrusion in Table I: T3."
+
+use offramps_des::{SimDuration, Tick};
+use offramps_signals::{Level, Pin, SignalEvent};
+
+use crate::trojans::{Disposition, Trojan, TrojanCtx};
+
+/// Direction of the T3 tamper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetractionMode {
+    /// Duplicate extruder pulses during Y movement (over-extrusion —
+    /// the variant photographed in Table I).
+    Over,
+    /// Drop extruder pulses during Y movement (under-extrusion).
+    Under,
+}
+
+/// T3: modifies extruder steps while the Y axis is moving.
+#[derive(Debug)]
+pub struct RetractionTrojan {
+    mode: RetractionMode,
+    /// A Y step within this window counts as "Y is moving".
+    activity_window: SimDuration,
+    last_y_step: Option<Tick>,
+    step_high: bool,
+    masking_pulse: bool,
+    drop_toggle: bool,
+    /// Extra pulses injected (Over mode).
+    pub injected_pulses: u64,
+    /// Pulses dropped (Under mode).
+    pub dropped_pulses: u64,
+}
+
+impl RetractionTrojan {
+    /// Creates T3 in the given mode with a 20 ms Y-activity window.
+    pub fn new(mode: RetractionMode) -> Self {
+        RetractionTrojan {
+            mode,
+            activity_window: SimDuration::from_millis(20),
+            last_y_step: None,
+            step_high: false,
+            masking_pulse: false,
+            drop_toggle: false,
+            injected_pulses: 0,
+            dropped_pulses: 0,
+        }
+    }
+
+    fn y_active(&self, now: Tick) -> bool {
+        self.last_y_step
+            .is_some_and(|t| now.saturating_since(t) <= self.activity_window)
+    }
+}
+
+impl Trojan for RetractionTrojan {
+    fn id(&self) -> &'static str {
+        "T3"
+    }
+    fn kind(&self) -> &'static str {
+        "PM"
+    }
+    fn scenario(&self) -> &'static str {
+        "Incorrect Slicing"
+    }
+    fn effect(&self) -> &'static str {
+        "Increases or decreases filament retraction during Y steps"
+    }
+
+    fn on_control(&mut self, ctx: &mut TrojanCtx<'_>, event: &SignalEvent) -> Disposition {
+        let Some(logic) = event.as_logic() else {
+            return Disposition::Pass;
+        };
+        match logic.pin {
+            Pin::YStep => {
+                if logic.level == Level::High {
+                    self.last_y_step = Some(ctx.now);
+                }
+                Disposition::Pass
+            }
+            Pin::EStep => {
+                match (self.step_high, logic.level) {
+                    (false, Level::High) => {
+                        self.step_high = true;
+                        if !self.y_active(ctx.now) {
+                            self.masking_pulse = false;
+                            return Disposition::Pass;
+                        }
+                        match self.mode {
+                            RetractionMode::Over => {
+                                // Duplicate: inject a twin pulse shortly
+                                // after the original.
+                                let at = ctx.now + SimDuration::from_micros(120);
+                                ctx.inject(at, SignalEvent::logic(Pin::EStep, Level::High));
+                                ctx.inject(
+                                    at + SimDuration::from_micros(10),
+                                    SignalEvent::logic(Pin::EStep, Level::Low),
+                                );
+                                self.injected_pulses += 1;
+                                Disposition::Pass
+                            }
+                            RetractionMode::Under => {
+                                self.drop_toggle = !self.drop_toggle;
+                                if self.drop_toggle {
+                                    self.masking_pulse = true;
+                                    self.dropped_pulses += 1;
+                                    Disposition::Drop
+                                } else {
+                                    Disposition::Pass
+                                }
+                            }
+                        }
+                    }
+                    (true, Level::Low) => {
+                        self.step_high = false;
+                        if self.masking_pulse {
+                            self.masking_pulse = false;
+                            Disposition::Drop
+                        } else {
+                            Disposition::Pass
+                        }
+                    }
+                    _ => Disposition::Pass,
+                }
+            }
+            _ => Disposition::Pass,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trojans::test_util::TrojanHarness;
+
+    fn e_pulse(h: &mut TrojanHarness, t: &mut RetractionTrojan, at: Tick) -> (Disposition, Disposition) {
+        let up = h.control(t, at, SignalEvent::logic(Pin::EStep, Level::High));
+        let down = h.control(
+            t,
+            at + SimDuration::from_micros(2),
+            SignalEvent::logic(Pin::EStep, Level::Low),
+        );
+        (up, down)
+    }
+
+    #[test]
+    fn over_mode_duplicates_during_y_motion() {
+        let mut h = TrojanHarness::new();
+        let mut t = RetractionTrojan::new(RetractionMode::Over);
+        // Y step marks activity.
+        h.control(&mut t, Tick::from_millis(10), SignalEvent::logic(Pin::YStep, Level::High));
+        let (up, _) = e_pulse(&mut h, &mut t, Tick::from_millis(11));
+        assert_eq!(up, Disposition::Pass);
+        assert_eq!(h.injections.len(), 2, "one extra pulse injected");
+        assert_eq!(t.injected_pulses, 1);
+    }
+
+    #[test]
+    fn no_tamper_without_y_activity() {
+        let mut h = TrojanHarness::new();
+        let mut t = RetractionTrojan::new(RetractionMode::Over);
+        let (up, down) = e_pulse(&mut h, &mut t, Tick::from_millis(100));
+        assert_eq!((up, down), (Disposition::Pass, Disposition::Pass));
+        assert!(h.injections.is_empty());
+    }
+
+    #[test]
+    fn window_expires() {
+        let mut h = TrojanHarness::new();
+        let mut t = RetractionTrojan::new(RetractionMode::Over);
+        h.control(&mut t, Tick::from_millis(10), SignalEvent::logic(Pin::YStep, Level::High));
+        // 50ms later: outside the 20ms window.
+        let _ = e_pulse(&mut h, &mut t, Tick::from_millis(60));
+        assert!(h.injections.is_empty());
+    }
+
+    #[test]
+    fn under_mode_drops_half_during_y() {
+        let mut h = TrojanHarness::new();
+        let mut t = RetractionTrojan::new(RetractionMode::Under);
+        let mut dropped = 0;
+        for i in 0..100u64 {
+            // Keep Y active continuously.
+            h.control(
+                &mut t,
+                Tick::from_millis(i),
+                SignalEvent::logic(Pin::YStep, Level::High),
+            );
+            h.control(
+                &mut t,
+                Tick::from_millis(i) + SimDuration::from_micros(2),
+                SignalEvent::logic(Pin::YStep, Level::Low),
+            );
+            let (up, down) = e_pulse(&mut h, &mut t, Tick::from_millis(i) + SimDuration::from_micros(100));
+            if up == Disposition::Drop {
+                assert_eq!(down, Disposition::Drop);
+                dropped += 1;
+            }
+        }
+        assert_eq!(dropped, 50);
+        assert_eq!(t.dropped_pulses, 50);
+    }
+}

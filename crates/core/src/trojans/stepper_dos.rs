@@ -1,0 +1,197 @@
+//! Trojan T8 — stepper driver denial-of-service via EN.
+//!
+//! "Each stepper motor driver has an input signal ∗_EN which determines
+//! if the motor is engaged and able to be moved. By actuating this signal
+//! throughout the print we can disable stepper motor movements
+//! strategically to fail a print."
+
+use offramps_des::{SimDuration, Tick};
+use offramps_signals::{Axis, Level, SignalEvent};
+
+use crate::trojans::{Disposition, Trojan, TrojanCtx};
+
+/// T8: periodically force the selected `*_EN` lines high (disabled) for
+/// a window, dropping the firmware's own EN writes while forced.
+#[derive(Debug)]
+pub struct StepperDosTrojan {
+    axes: [bool; 4],
+    period: SimDuration,
+    off_duration: SimDuration,
+    next_fire: Option<Tick>,
+    forced_until: Option<Tick>,
+    /// Number of disable windows fired.
+    pub windows_fired: u64,
+    /// Firmware EN writes dropped while forced.
+    pub dropped_writes: u64,
+}
+
+impl StepperDosTrojan {
+    /// Creates T8 against all four drivers: every 5 s, disable for 0.5 s.
+    pub fn new() -> Self {
+        Self::with_params([true; 4], SimDuration::from_secs(5), SimDuration::from_millis(500))
+    }
+
+    /// Fully parameterized constructor. `axes` is in [`Axis::ALL`] order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no axis is selected or `off_duration >= period`.
+    pub fn with_params(axes: [bool; 4], period: SimDuration, off_duration: SimDuration) -> Self {
+        assert!(axes.iter().any(|a| *a), "select at least one axis");
+        assert!(off_duration < period, "off window must fit inside the period");
+        StepperDosTrojan {
+            axes,
+            period,
+            off_duration,
+            next_fire: None,
+            forced_until: None,
+            windows_fired: 0,
+            dropped_writes: 0,
+        }
+    }
+
+    fn is_forced(&self, now: Tick) -> bool {
+        self.forced_until.is_some_and(|until| now < until)
+    }
+}
+
+impl Default for StepperDosTrojan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Trojan for StepperDosTrojan {
+    fn id(&self) -> &'static str {
+        "T8"
+    }
+    fn kind(&self) -> &'static str {
+        "DoS"
+    }
+    fn scenario(&self) -> &'static str {
+        "Hardware Failure"
+    }
+    fn effect(&self) -> &'static str {
+        "Arbitrarily deactivating stepper motors via EN signals"
+    }
+
+    fn on_control(&mut self, ctx: &mut TrojanCtx<'_>, event: &SignalEvent) -> Disposition {
+        if ctx.homed && self.next_fire.is_none() {
+            let at = ctx.now + self.period;
+            self.next_fire = Some(at);
+            ctx.wake_at(at);
+        }
+        let Some(logic) = event.as_logic() else {
+            return Disposition::Pass;
+        };
+        if logic.pin.is_enable() && self.is_forced(ctx.now) {
+            let axis = logic.pin.axis().expect("enable pins map to axes");
+            if self.axes[axis.index()] {
+                self.dropped_writes += 1;
+                return Disposition::Drop; // the line is ours until the window ends
+            }
+        }
+        Disposition::Pass
+    }
+
+    fn on_wake(&mut self, ctx: &mut TrojanCtx<'_>) {
+        let Some(due) = self.next_fire else {
+            return;
+        };
+        if ctx.now < due {
+            ctx.wake_at(due);
+            return;
+        }
+        // Begin a disable window: force EN high now, re-enable at the end.
+        let until = ctx.now + self.off_duration;
+        for axis in Axis::ALL {
+            if self.axes[axis.index()] {
+                ctx.inject(ctx.now, SignalEvent::logic(axis.enable_pin(), Level::High));
+                // Restore the energized state afterwards (the firmware
+                // believes the drivers were enabled the whole time).
+                ctx.inject(until, SignalEvent::logic(axis.enable_pin(), Level::Low));
+            }
+        }
+        self.forced_until = Some(until);
+        self.windows_fired += 1;
+        let next = ctx.now + self.period;
+        self.next_fire = Some(next);
+        ctx.wake_at(next);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trojans::test_util::TrojanHarness;
+    use offramps_signals::Pin;
+
+    #[test]
+    fn windows_toggle_en_lines() {
+        let mut h = TrojanHarness::new();
+        let mut t = StepperDosTrojan::new();
+        h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::XStep, Level::High));
+        h.wake(&mut t, Tick::from_secs(5));
+        assert_eq!(t.windows_fired, 1);
+        // 4 axes x (disable + re-enable).
+        assert_eq!(h.injections.len(), 8);
+        let highs = h
+            .injections
+            .iter()
+            .filter(|(_, e)| e.as_logic().unwrap().level == Level::High)
+            .count();
+        assert_eq!(highs, 4);
+        // Re-enable lands at the end of the window.
+        let reenable = h
+            .injections
+            .iter()
+            .find(|(_, e)| {
+                let l = e.as_logic().unwrap();
+                l.pin == Pin::XEnable && l.level == Level::Low
+            })
+            .unwrap();
+        assert_eq!(reenable.0, Tick::from_secs(5) + SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn firmware_writes_dropped_inside_window() {
+        let mut h = TrojanHarness::new();
+        let mut t = StepperDosTrojan::new();
+        h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::XStep, Level::High));
+        h.wake(&mut t, Tick::from_secs(5));
+        let inside = Tick::from_secs(5) + SimDuration::from_millis(100);
+        let d = h.control(&mut t, inside, SignalEvent::logic(Pin::XEnable, Level::Low));
+        assert_eq!(d, Disposition::Drop);
+        assert_eq!(t.dropped_writes, 1);
+        // Outside the window the write passes.
+        let after = Tick::from_secs(6);
+        let d = h.control(&mut t, after, SignalEvent::logic(Pin::XEnable, Level::Low));
+        assert_eq!(d, Disposition::Pass);
+    }
+
+    #[test]
+    fn axis_subset() {
+        let mut h = TrojanHarness::new();
+        let mut t = StepperDosTrojan::with_params(
+            [false, false, false, true], // extruder only
+            SimDuration::from_secs(2),
+            SimDuration::from_millis(200),
+        );
+        h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::XStep, Level::High));
+        h.wake(&mut t, Tick::from_secs(2));
+        assert_eq!(h.injections.len(), 2);
+        assert_eq!(h.injections[0].1.as_logic().unwrap().pin, Pin::EEnable);
+    }
+
+    #[test]
+    fn step_pulses_unaffected() {
+        let mut h = TrojanHarness::new();
+        let mut t = StepperDosTrojan::new();
+        h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::XStep, Level::High));
+        h.wake(&mut t, Tick::from_secs(5));
+        let inside = Tick::from_secs(5) + SimDuration::from_millis(1);
+        // T8 never drops STEP (the disabled driver ignores them anyway).
+        let d = h.control(&mut t, inside, SignalEvent::logic(Pin::XStep, Level::High));
+        assert_eq!(d, Disposition::Pass);
+    }
+}

@@ -1,0 +1,37 @@
+//! Deterministic discrete-event simulation (DES) kernel for the OFFRAMPS
+//! reproduction.
+//!
+//! The paper's OFFRAMPS board places a 100 MHz FPGA between a 3D printer's
+//! controller (an Arduino Mega running Marlin) and its driver board
+//! (RAMPS 1.4). This crate provides the substrate on which we co-simulate
+//! all three: a global clock with **10 ns resolution** (one FPGA clock
+//! period), a stable priority event queue, and seeded random number
+//! generation so that every experiment is exactly reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use offramps_des::{EventQueue, Tick, SimDuration};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(Tick::from_micros(5), "later");
+//! q.schedule(Tick::ZERO, "first");
+//! q.schedule(Tick::ZERO, "second"); // FIFO among equal ticks
+//!
+//! assert_eq!(q.pop().unwrap().payload, "first");
+//! assert_eq!(q.pop().unwrap().payload, "second");
+//! let ev = q.pop().unwrap();
+//! assert_eq!(ev.tick, Tick::from_micros(5));
+//! assert_eq!(ev.tick.as_duration(), SimDuration::from_micros(5));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod queue;
+mod rng;
+mod time;
+
+pub use queue::{Event, EventId, EventQueue};
+pub use rng::{DetRng, SeedSplitter};
+pub use time::{SimDuration, Tick, TICKS_PER_MICRO, TICKS_PER_MILLI, TICKS_PER_SEC, TICK_NS};

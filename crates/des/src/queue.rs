@@ -1,0 +1,283 @@
+//! Stable priority event queue.
+//!
+//! Events scheduled for the same tick are delivered in schedule (FIFO)
+//! order, which keeps co-simulation of the firmware, interceptor and plant
+//! deterministic: when a STEP edge and an endstop change land on the same
+//! tick, the one scheduled first is processed first, every run.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Tick;
+
+/// Identifier handed out for every scheduled event; can be used to cancel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+/// An event popped from the [`EventQueue`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event<E> {
+    /// The simulated instant the event fires at.
+    pub tick: Tick,
+    /// The identifier assigned at scheduling time.
+    pub id: EventId,
+    /// The caller-supplied payload.
+    pub payload: E,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    tick: Tick,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.tick == other.tick && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-tick-first and
+        // FIFO (lowest sequence number first) among equal ticks.
+        other
+            .tick
+            .cmp(&self.tick)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic, stable min-queue of timestamped events.
+///
+/// # Example
+///
+/// ```
+/// use offramps_des::{EventQueue, Tick};
+///
+/// let mut q = EventQueue::new();
+/// let id = q.schedule(Tick::from_micros(1), 42u32);
+/// q.cancel(id);
+/// assert!(q.pop().is_none()); // cancelled events are skipped
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<u64>,
+    last_popped: Tick,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            last_popped: Tick::ZERO,
+        }
+    }
+
+    /// Schedules `payload` to fire at `tick` and returns a cancellation
+    /// handle. Scheduling in the past (before the last popped event) is
+    /// allowed but the event fires "now", preserving pop monotonicity.
+    pub fn schedule(&mut self, tick: Tick, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let tick = tick.max(self.last_popped);
+        self.heap.push(Entry { tick, seq, payload });
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an already-fired or
+    /// unknown id is a no-op. Returns `true` if the id had not fired yet.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 < self.next_seq {
+            self.cancelled.insert(id.0)
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns the earliest pending event, skipping cancelled
+    /// ones. Returns `None` when the queue is exhausted.
+    pub fn pop(&mut self) -> Option<Event<E>> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.tick >= self.last_popped, "event queue went backwards");
+            self.last_popped = entry.tick;
+            return Some(Event {
+                tick: entry.tick,
+                id: EventId(entry.seq),
+                payload: entry.payload,
+            });
+        }
+        None
+    }
+
+    /// The tick of the earliest pending (non-cancelled) event.
+    pub fn peek_tick(&mut self) -> Option<Tick> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.tick);
+        }
+        None
+    }
+
+    /// Number of pending events, including not-yet-reaped cancelled ones.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The timestamp of the most recently popped event.
+    pub fn now(&self) -> Tick {
+        self.last_popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Tick::from_micros(3), 'c');
+        q.schedule(Tick::from_micros(1), 'a');
+        q.schedule(Tick::from_micros(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn fifo_among_equal_ticks() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Tick::from_micros(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Tick::from_micros(1), 'a');
+        q.schedule(Tick::from_micros(2), 'b');
+        assert!(q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().payload, 'b');
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_fired_event_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Tick::from_micros(1), 'a');
+        assert_eq!(q.pop().unwrap().payload, 'a');
+        // The id is known but already fired; cancelling marks it, but the
+        // mark can never suppress anything.
+        q.cancel(a);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn schedule_in_past_fires_now() {
+        let mut q = EventQueue::new();
+        q.schedule(Tick::from_micros(10), 'a');
+        assert_eq!(q.pop().unwrap().tick, Tick::from_micros(10));
+        q.schedule(Tick::from_micros(1), 'b');
+        let e = q.pop().unwrap();
+        assert_eq!(e.payload, 'b');
+        assert_eq!(e.tick, Tick::from_micros(10), "past event clamped to now");
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Tick::from_micros(4), 1);
+        let c = q.schedule(Tick::from_micros(2), 2);
+        q.cancel(c);
+        assert_eq!(q.peek_tick(), Some(Tick::from_micros(4)));
+        assert_eq!(q.pop().unwrap().tick, Tick::from_micros(4));
+        assert_eq!(q.peek_tick(), None);
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), Tick::ZERO);
+        q.schedule(Tick::from_millis(3), ());
+        q.pop();
+        assert_eq!(q.now(), Tick::from_millis(3));
+    }
+
+    proptest! {
+        /// Popped ticks are monotonically non-decreasing and FIFO-stable for
+        /// equal ticks, for arbitrary schedules.
+        #[test]
+        fn prop_monotone_and_stable(ticks in proptest::collection::vec(0u64..1_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in ticks.iter().enumerate() {
+                q.schedule(Tick::new(*t), i);
+            }
+            let mut last: Option<(Tick, usize)> = None;
+            while let Some(e) = q.pop() {
+                if let Some((lt, li)) = last {
+                    prop_assert!(e.tick >= lt);
+                    if e.tick == lt {
+                        prop_assert!(e.payload > li, "FIFO violated among equal ticks");
+                    }
+                }
+                last = Some((e.tick, e.payload));
+            }
+        }
+
+        /// Cancelling a subset removes exactly that subset.
+        #[test]
+        fn prop_cancellation(ticks in proptest::collection::vec(0u64..100, 1..100),
+                             mask in proptest::collection::vec(any::<bool>(), 100)) {
+            let mut q = EventQueue::new();
+            let mut expect = Vec::new();
+            let ids: Vec<_> = ticks.iter().enumerate()
+                .map(|(i, t)| (i, q.schedule(Tick::new(*t), i))).collect();
+            for (i, id) in &ids {
+                if mask[*i % mask.len()] {
+                    q.cancel(*id);
+                } else {
+                    expect.push(*i);
+                }
+            }
+            let mut got: Vec<usize> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+            got.sort_unstable();
+            expect.sort_unstable();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

@@ -1,0 +1,1186 @@
+//! The firmware state machine: G-code in, signals out.
+
+use std::collections::{BinaryHeap, VecDeque};
+
+use offramps_des::{DetRng, SeedSplitter, SimDuration, Tick};
+use offramps_gcode::{GCommand, Program};
+use offramps_signals::{
+    AnalogChannel, Axis, Level, Pin, SignalEvent, UartDirection,
+};
+
+use crate::config::FirmwareConfig;
+use crate::error::{FirmwareError, HeaterId};
+use crate::heaters::HeaterControl;
+use crate::motion::{cap_feedrate, MoveExec};
+use crate::thermistor_table::ThermistorTable;
+
+/// Output of a firmware step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FwAction {
+    /// A control-direction signal (flows through the interceptor to the
+    /// plant).
+    Emit(SignalEvent),
+    /// Wake [`Firmware::on_tick`] at this time.
+    WakeAt(Tick),
+}
+
+/// Lifecycle state of the controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FwState {
+    /// Executing the program.
+    Running,
+    /// Program completed normally.
+    Finished,
+    /// Killed by a protection fault (heaters off, steppers disabled).
+    Halted(FirmwareError),
+}
+
+/// PWM-driven output devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Device {
+    Hotend,
+    Bed,
+    Fan,
+}
+
+impl Device {
+    const ALL: [Device; 3] = [Device::Hotend, Device::Bed, Device::Fan];
+
+    fn pin(self) -> Pin {
+        match self {
+            Device::Hotend => Pin::HotendHeat,
+            Device::Bed => Pin::BedHeat,
+            Device::Fan => Pin::FanPwm,
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Device::Hotend => 0,
+            Device::Bed => 1,
+            Device::Fan => 2,
+        }
+    }
+}
+
+/// Internal scheduler tasks.
+#[derive(Debug, Clone, PartialEq)]
+enum Task {
+    /// Execute program commands until blocked.
+    Advance,
+    /// Emit the next step pulse of the current move.
+    Step { gen: u64 },
+    /// Drive the STEP pins of `mask` low.
+    StepLow { mask: [bool; 4] },
+    /// The current move's schedule is exhausted.
+    MoveDone { gen: u64 },
+    /// Temperature control-loop iteration.
+    TempLoop,
+    /// Start of a soft-PWM period for a device.
+    PwmPeriod(Device),
+    /// Mid-period gate-off for a device.
+    PwmOff { device: Device, gen: u64 },
+    /// Periodic display-UART status report.
+    Status,
+}
+
+#[derive(Debug)]
+struct AgendaEntry {
+    tick: Tick,
+    seq: u64,
+    task: Task,
+}
+
+impl PartialEq for AgendaEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.tick == other.tick && self.seq == other.seq
+    }
+}
+impl Eq for AgendaEntry {}
+impl PartialOrd for AgendaEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for AgendaEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap behaviour through reversal.
+        other
+            .tick
+            .cmp(&self.tick)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Homing sub-state.
+#[derive(Debug, Clone, PartialEq)]
+enum HomingPhase {
+    FastApproach,
+    Backoff,
+    SlowApproach,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct HomingState {
+    queue: VecDeque<Axis>,
+    current: Axis,
+    phase: HomingPhase,
+}
+
+/// What move completion continues into.
+#[derive(Debug, Clone, PartialEq)]
+enum ExecContext {
+    Program,
+    Homing(HomingState),
+}
+
+/// Why the program is not advancing right now.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Block {
+    None,
+    Move,
+    WaitTemp(HeaterId),
+}
+
+/// The Marlin-like firmware simulator. See the crate docs for an
+/// overview; drive it with [`Firmware::start`], [`Firmware::on_tick`] and
+/// [`Firmware::on_feedback`].
+///
+/// # Example
+///
+/// ```
+/// use offramps_firmware::{Firmware, FirmwareConfig, FwAction};
+/// use offramps_gcode::parse;
+/// use offramps_des::Tick;
+///
+/// let program = parse("G90\nM83\nG1 X1 F600\n")?;
+/// let mut fw = Firmware::new(FirmwareConfig::default(), program, 1);
+/// let actions = fw.start(Tick::ZERO);
+/// assert!(actions.iter().any(|a| matches!(a, FwAction::WakeAt(_))));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Firmware {
+    config: FirmwareConfig,
+    program: Vec<GCommand>,
+    pc: usize,
+    state: FwState,
+    agenda: BinaryHeap<AgendaEntry>,
+    agenda_seq: u64,
+
+    // Positioning.
+    absolute: bool,
+    e_absolute: bool,
+    feedrate_mm_s: f64,
+    /// Physical microsteps since the last home, per axis.
+    pos_steps: [i64; 4],
+    /// Physical steps corresponding to logical zero, per axis.
+    origin_steps: [f64; 4],
+    /// Current logical coordinate, per axis.
+    logical_mm: [f64; 4],
+    /// Last DIR level emitted per axis (None = never emitted).
+    dir_emitted: [Option<Level>; 4],
+    /// Last EN level emitted per axis.
+    en_emitted: [Option<Level>; 4],
+    current_move: Option<MoveExec>,
+    move_gen: u64,
+    context: ExecContext,
+    block: Block,
+    homed: bool,
+
+    // Heaters / fan.
+    hotend: HeaterControl,
+    bed: HeaterControl,
+    hotend_table: ThermistorTable,
+    bed_table: ThermistorTable,
+    adc_counts: [Option<u16>; 2],
+    pwm_duty: [u8; 3],
+    pwm_gen: [u64; 3],
+    gate_emitted: [Option<Level>; 3],
+
+    // Feedback.
+    endstop_high: [bool; 3],
+
+    // Time noise.
+    jitter_rng: DetRng,
+
+    /// Count of commands executed (diagnostics).
+    pub commands_executed: u64,
+}
+
+impl Firmware {
+    /// Creates the firmware with a parsed program. `seed` drives the
+    /// per-move time noise.
+    pub fn new(config: FirmwareConfig, program: Program, seed: u64) -> Self {
+        let split = SeedSplitter::new(seed);
+        Firmware {
+            hotend: HeaterControl::new_hotend(HeaterId::Hotend, &config),
+            bed: HeaterControl::new_bed(HeaterId::Bed, &config),
+            hotend_table: ThermistorTable::semitec_104gt2(),
+            bed_table: ThermistorTable::epcos_100k(),
+            config,
+            program: program.into_iter().collect(),
+            pc: 0,
+            state: FwState::Running,
+            agenda: BinaryHeap::new(),
+            agenda_seq: 0,
+            absolute: true,
+            e_absolute: true,
+            feedrate_mm_s: 0.0,
+            pos_steps: [0; 4],
+            origin_steps: [0.0; 4],
+            logical_mm: [0.0; 4],
+            dir_emitted: [None; 4],
+            en_emitted: [None; 4],
+            current_move: None,
+            move_gen: 0,
+            context: ExecContext::Program,
+            block: Block::None,
+            homed: false,
+            adc_counts: [None; 2],
+            pwm_duty: [0; 3],
+            pwm_gen: [0; 3],
+            gate_emitted: [None; 3],
+            endstop_high: [false; 3],
+            jitter_rng: split.stream("firmware-jitter"),
+            commands_executed: 0,
+        }
+    }
+
+    /// Boot: arms the periodic loops and begins executing the program.
+    /// Call once; returns the initial actions.
+    pub fn start(&mut self, now: Tick) -> Vec<FwAction> {
+        self.schedule(now + SimDuration::from_millis(self.config.temp_loop_ms), Task::TempLoop);
+        for (i, d) in Device::ALL.into_iter().enumerate() {
+            self.schedule(
+                now + SimDuration::from_millis(self.config.pwm_period_ms + i as u64),
+                Task::PwmPeriod(d),
+            );
+        }
+        if self.config.status_period_ms > 0 {
+            self.schedule(
+                now + SimDuration::from_millis(self.config.status_period_ms),
+                Task::Status,
+            );
+        }
+        // Small boot delay before the first command, like a real reset.
+        self.schedule(now + SimDuration::from_millis(10), Task::Advance);
+        self.wake_actions(Vec::new())
+    }
+
+    /// The current lifecycle state.
+    pub fn state(&self) -> FwState {
+        self.state
+    }
+
+    /// Physical step counters (microsteps since home), [`Axis::ALL`]
+    /// order.
+    pub fn step_counts(&self) -> [i64; 4] {
+        self.pos_steps
+    }
+
+    /// Logical position, mm, [`Axis::ALL`] order.
+    pub fn logical_position(&self) -> [f64; 4] {
+        self.logical_mm
+    }
+
+    /// True once G28 has completed at least once.
+    pub fn is_homed(&self) -> bool {
+        self.homed
+    }
+
+    fn schedule(&mut self, tick: Tick, task: Task) {
+        let seq = self.agenda_seq;
+        self.agenda_seq += 1;
+        self.agenda.push(AgendaEntry { tick, seq, task });
+    }
+
+    fn wake_actions(&self, mut out: Vec<FwAction>) -> Vec<FwAction> {
+        if let Some(e) = self.agenda.peek() {
+            out.push(FwAction::WakeAt(e.tick));
+        }
+        out
+    }
+
+    /// Handles a scheduler wake-up: runs everything due at or before
+    /// `now`.
+    pub fn on_tick(&mut self, now: Tick) -> Vec<FwAction> {
+        let mut out = Vec::new();
+        while let Some(head) = self.agenda.peek() {
+            if head.tick > now {
+                break;
+            }
+            let entry = self.agenda.pop().expect("peeked entry exists");
+            if matches!(self.state, FwState::Halted(_)) {
+                continue; // drain without acting
+            }
+            self.run_task(entry.tick, entry.task, &mut out);
+        }
+        self.wake_actions(out)
+    }
+
+    /// Handles a feedback-direction event (endstops, thermistor ADC).
+    pub fn on_feedback(&mut self, now: Tick, event: SignalEvent) -> Vec<FwAction> {
+        let mut out = Vec::new();
+        match event {
+            SignalEvent::Adc { channel, counts } => {
+                self.adc_counts[adc_index(channel)] = Some(counts);
+            }
+            SignalEvent::Logic(ev) => {
+                if let Some(axis) = ev.pin.axis() {
+                    if ev.pin == axis.min_endstop_pin().unwrap_or(ev.pin)
+                        && matches!(
+                            ev.pin,
+                            Pin::XMin | Pin::YMin | Pin::ZMin
+                        )
+                    {
+                        let rising = ev.level.is_high()
+                            && !self.endstop_high[axis.index()];
+                        self.endstop_high[axis.index()] = ev.level.is_high();
+                        if rising {
+                            self.on_endstop_hit(now, axis, &mut out);
+                        }
+                    }
+                }
+            }
+            SignalEvent::Uart { .. } => {}
+        }
+        self.wake_actions(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Task dispatch
+    // ------------------------------------------------------------------
+
+    fn run_task(&mut self, now: Tick, task: Task, out: &mut Vec<FwAction>) {
+        match task {
+            Task::Advance => self.advance_program(now, out),
+            Task::Step { gen } => self.step_pulse(now, gen, out),
+            Task::StepLow { mask } => {
+                for axis in Axis::ALL {
+                    if mask[axis.index()] {
+                        out.push(FwAction::Emit(SignalEvent::logic(
+                            axis.step_pin(),
+                            Level::Low,
+                        )));
+                    }
+                }
+            }
+            Task::MoveDone { gen } => {
+                if gen == self.move_gen && self.current_move.is_some() {
+                    self.current_move = None;
+                    self.move_completed(now, out);
+                }
+            }
+            Task::TempLoop => self.temp_loop(now, out),
+            Task::PwmPeriod(device) => self.pwm_period(now, device, out),
+            Task::PwmOff { device, gen } => {
+                if gen == self.pwm_gen[device.index()] {
+                    self.set_gate(device, Level::Low, out);
+                }
+            }
+            Task::Status => {
+                self.emit_status(out);
+                if !matches!(self.state, FwState::Finished) {
+                    self.schedule(
+                        now + SimDuration::from_millis(self.config.status_period_ms),
+                        Task::Status,
+                    );
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Program execution
+    // ------------------------------------------------------------------
+
+    fn advance_program(&mut self, now: Tick, out: &mut Vec<FwAction>) {
+        if self.block != Block::None || !matches!(self.state, FwState::Running) {
+            return;
+        }
+        loop {
+            let Some(cmd) = self.program.get(self.pc).cloned() else {
+                self.state = FwState::Finished;
+                return;
+            };
+            self.pc += 1;
+            self.commands_executed += 1;
+            match cmd {
+                GCommand::Move { rapid: _, x, y, z, e, feedrate } => {
+                    if let Some(f) = feedrate {
+                        self.feedrate_mm_s = f / 60.0;
+                    }
+                    if self.begin_move(now, [x, y, z], e, out) {
+                        self.block = Block::Move;
+                        return;
+                    }
+                    // Zero-length move: keep going.
+                }
+                GCommand::Dwell { milliseconds } => {
+                    self.block = Block::Move;
+                    let gen = self.bump_move_gen();
+                    self.schedule(
+                        now + SimDuration::from_secs_f64(milliseconds.max(0.0) / 1000.0),
+                        Task::MoveDone { gen },
+                    );
+                    // Dwell uses the move-completion path with no executor.
+                    self.current_move = Some(MoveExec::new(
+                        [0; 4],
+                        0.0,
+                        1.0,
+                        1.0,
+                        now,
+                        1.0,
+                    ));
+                    return;
+                }
+                GCommand::Home { x, y, z } => {
+                    let mut queue = VecDeque::new();
+                    if x {
+                        queue.push_back(Axis::X);
+                    }
+                    if y {
+                        queue.push_back(Axis::Y);
+                    }
+                    if z {
+                        queue.push_back(Axis::Z);
+                    }
+                    if queue.is_empty() {
+                        continue;
+                    }
+                    self.block = Block::Move;
+                    self.start_homing(now, queue, out);
+                    return;
+                }
+                GCommand::AbsolutePositioning => {
+                    self.absolute = true;
+                    self.e_absolute = true;
+                }
+                GCommand::RelativePositioning => {
+                    self.absolute = false;
+                    self.e_absolute = false;
+                }
+                GCommand::AbsoluteExtrusion => self.e_absolute = true,
+                GCommand::RelativeExtrusion => self.e_absolute = false,
+                GCommand::SetPosition { x, y, z, e } => {
+                    for (axis, v) in [(Axis::X, x), (Axis::Y, y), (Axis::Z, z), (Axis::E, e)] {
+                        if let Some(v) = v {
+                            let i = axis.index();
+                            self.origin_steps[i] =
+                                self.pos_steps[i] as f64 - v * self.config.steps_per_mm[i];
+                            self.logical_mm[i] = v;
+                        }
+                    }
+                }
+                GCommand::SetHotendTemp { celsius, wait } => {
+                    let current = self.read_temp(HeaterId::Hotend);
+                    self.hotend.set_target(now, celsius, current);
+                    if wait && celsius > 0.0 {
+                        self.block = Block::WaitTemp(HeaterId::Hotend);
+                        return;
+                    }
+                }
+                GCommand::SetBedTemp { celsius, wait } => {
+                    let current = self.read_temp(HeaterId::Bed);
+                    self.bed.set_target(now, celsius, current);
+                    if wait && celsius > 0.0 {
+                        self.block = Block::WaitTemp(HeaterId::Bed);
+                        return;
+                    }
+                }
+                GCommand::FanOn { duty } => self.pwm_duty[Device::Fan.index()] = duty,
+                GCommand::FanOff => self.pwm_duty[Device::Fan.index()] = 0,
+                GCommand::EnableSteppers => {
+                    for axis in Axis::ALL {
+                        self.set_enable(axis, true, out);
+                    }
+                }
+                GCommand::DisableSteppers => {
+                    for axis in Axis::ALL {
+                        self.set_enable(axis, false, out);
+                    }
+                }
+                GCommand::Raw { .. } => {}
+            }
+        }
+    }
+
+    /// Computes and starts a motion segment. Returns `false` when the
+    /// segment has no steps.
+    fn begin_move(
+        &mut self,
+        now: Tick,
+        xyz: [Option<f64>; 3],
+        e: Option<f64>,
+        out: &mut Vec<FwAction>,
+    ) -> bool {
+        let mut target = self.logical_mm;
+        for (i, t) in xyz.into_iter().enumerate() {
+            if let Some(t) = t {
+                target[i] = if self.absolute { t } else { self.logical_mm[i] + t };
+            }
+        }
+        if let Some(t) = e {
+            target[3] = if self.e_absolute { t } else { self.logical_mm[3] + t };
+        }
+        let axis_mm: [f64; 4] = std::array::from_fn(|i| target[i] - self.logical_mm[i]);
+        let dist_xyz =
+            (axis_mm[0].powi(2) + axis_mm[1].powi(2) + axis_mm[2].powi(2)).sqrt();
+        let dist = if dist_xyz > 1e-9 { dist_xyz } else { axis_mm[3].abs() };
+
+        let mut steps = [0i64; 4];
+        for i in 0..4 {
+            let target_steps =
+                (self.origin_steps[i] + target[i] * self.config.steps_per_mm[i]).round() as i64;
+            steps[i] = target_steps - self.pos_steps[i];
+        }
+        if steps.iter().all(|s| *s == 0) {
+            self.logical_mm = target;
+            return false;
+        }
+
+        let v_req = if self.feedrate_mm_s > 0.0 {
+            self.feedrate_mm_s
+        } else {
+            self.config.default_feedrate_mm_s
+        };
+        let v = cap_feedrate(dist, axis_mm, v_req, self.config.max_speed_mm_s).max(0.1);
+
+        self.launch_move(now, steps, dist.max(1e-6), v, out);
+        self.logical_mm = target;
+        true
+    }
+
+    /// Low-level move launch shared by program moves and homing.
+    fn launch_move(
+        &mut self,
+        now: Tick,
+        steps: [i64; 4],
+        dist_mm: f64,
+        v_mm_s: f64,
+        out: &mut Vec<FwAction>,
+    ) {
+        // Auto-enable drivers for moving axes (Marlin behaviour).
+        for axis in Axis::ALL {
+            if steps[axis.index()] != 0 {
+                self.set_enable(axis, true, out);
+            }
+        }
+        // DIR setup.
+        let mut dir_changed = false;
+        for axis in Axis::ALL {
+            let i = axis.index();
+            if steps[i] == 0 {
+                continue;
+            }
+            let level = Level::from(steps[i] > 0);
+            if self.dir_emitted[i] != Some(level) {
+                self.dir_emitted[i] = Some(level);
+                out.push(FwAction::Emit(SignalEvent::logic(axis.dir_pin(), level)));
+                dir_changed = true;
+            }
+        }
+        let start = now
+            + SimDuration::from_micros(if dir_changed { self.config.dir_setup_us } else { 0 });
+        let jitter = self.next_jitter();
+        let exec = MoveExec::new(steps, dist_mm, v_mm_s, self.config.acceleration_mm_s2, start, jitter);
+        let gen = self.bump_move_gen();
+        let first = exec.peek_tick();
+        let end = exec.end_tick();
+        self.current_move = Some(exec);
+        match first {
+            Some(t) => self.schedule(t, Task::Step { gen }),
+            None => self.schedule(end, Task::MoveDone { gen }),
+        }
+    }
+
+    fn next_jitter(&mut self) -> f64 {
+        let sigma = self.config.jitter_sigma;
+        if sigma <= 0.0 {
+            return 1.0;
+        }
+        let g = self.jitter_rng.gaussian(sigma).clamp(-3.0 * sigma, 3.0 * sigma);
+        (1.0 + g).max(0.5)
+    }
+
+    fn bump_move_gen(&mut self) -> u64 {
+        self.move_gen += 1;
+        self.move_gen
+    }
+
+    fn step_pulse(&mut self, now: Tick, gen: u64, out: &mut Vec<FwAction>) {
+        if gen != self.move_gen {
+            return; // stale task from an aborted move
+        }
+        let Some(exec) = self.current_move.as_mut() else {
+            return;
+        };
+        let Some((tick, mask)) = exec.next_step() else {
+            let end = exec.end_tick();
+            self.schedule(end.max(now), Task::MoveDone { gen });
+            return;
+        };
+        // This task was scheduled for exactly this step's tick.
+        debug_assert!(tick <= now, "step task fired before its schedule");
+        let directions = exec.directions;
+        let next = exec.peek_tick();
+        let end = exec.end_tick();
+        for axis in Axis::ALL {
+            let i = axis.index();
+            if mask[i] {
+                out.push(FwAction::Emit(SignalEvent::logic(axis.step_pin(), Level::High)));
+                self.pos_steps[i] += i64::from(directions[i]);
+            }
+        }
+        self.schedule(
+            now + SimDuration::from_micros(self.config.step_pulse_us),
+            Task::StepLow { mask },
+        );
+        match next {
+            Some(t) => self.schedule(t, Task::Step { gen }),
+            None => self.schedule(end.max(now), Task::MoveDone { gen }),
+        }
+    }
+
+    fn move_completed(&mut self, now: Tick, out: &mut Vec<FwAction>) {
+        match std::mem::replace(&mut self.context, ExecContext::Program) {
+            ExecContext::Program => {
+                self.block = Block::None;
+                self.schedule(now, Task::Advance);
+            }
+            ExecContext::Homing(h) => self.homing_move_done(now, h, out),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Homing
+    // ------------------------------------------------------------------
+
+    fn start_homing(&mut self, now: Tick, mut queue: VecDeque<Axis>, out: &mut Vec<FwAction>) {
+        let Some(axis) = queue.pop_front() else {
+            // All axes done.
+            self.homed = true;
+            self.block = Block::None;
+            self.context = ExecContext::Program;
+            self.schedule(now, Task::Advance);
+            return;
+        };
+        let state = HomingState {
+            queue,
+            current: axis,
+            phase: HomingPhase::FastApproach,
+        };
+        if self.endstop_high[axis.index()] {
+            // Already pressed: skip straight to back-off.
+            self.context = ExecContext::Homing(state);
+            self.homing_begin_backoff(now, axis, out);
+        } else {
+            self.context = ExecContext::Homing(state);
+            self.homing_begin_approach(now, axis, self.config.homing_speed_mm_s, out);
+        }
+    }
+
+    fn homing_begin_approach(
+        &mut self,
+        now: Tick,
+        axis: Axis,
+        speed: f64,
+        out: &mut Vec<FwAction>,
+    ) {
+        let i = axis.index();
+        let travel = self.config.homing_max_travel_mm;
+        let steps_count = (travel * self.config.steps_per_mm[i]).round() as i64;
+        let mut steps = [0i64; 4];
+        steps[i] = -steps_count;
+        self.launch_move(now, steps, travel, speed, out);
+    }
+
+    fn homing_begin_backoff(&mut self, now: Tick, axis: Axis, out: &mut Vec<FwAction>) {
+        if let ExecContext::Homing(h) = &mut self.context {
+            h.phase = HomingPhase::Backoff;
+        }
+        let i = axis.index();
+        let d = self.config.homing_backoff_mm;
+        let mut steps = [0i64; 4];
+        steps[i] = (d * self.config.steps_per_mm[i]).round() as i64;
+        let speed = self.config.homing_speed_mm_s / 2.0;
+        self.launch_move(now, steps, d, speed, out);
+    }
+
+    fn homing_begin_rebump(&mut self, now: Tick, axis: Axis, out: &mut Vec<FwAction>) {
+        if let ExecContext::Homing(h) = &mut self.context {
+            h.phase = HomingPhase::SlowApproach;
+        }
+        let i = axis.index();
+        let d = self.config.homing_backoff_mm * 2.0;
+        let mut steps = [0i64; 4];
+        steps[i] = -((d * self.config.steps_per_mm[i]).round() as i64);
+        self.launch_move(now, steps, d, self.config.homing_bump_speed_mm_s, out);
+    }
+
+    /// Endstop rising edge observed.
+    fn on_endstop_hit(&mut self, now: Tick, axis: Axis, out: &mut Vec<FwAction>) {
+        let ExecContext::Homing(h) = &self.context else {
+            return; // endstop chatter outside homing is ignored
+        };
+        if h.current != axis {
+            return;
+        }
+        match h.phase {
+            HomingPhase::FastApproach => {
+                self.abort_move();
+                self.homing_begin_backoff(now, axis, out);
+            }
+            HomingPhase::SlowApproach => {
+                self.abort_move();
+                self.zero_axis(axis);
+                let h = match std::mem::replace(&mut self.context, ExecContext::Program) {
+                    ExecContext::Homing(h) => h,
+                    ExecContext::Program => unreachable!("checked above"),
+                };
+                self.start_homing(now, h.queue, out);
+            }
+            HomingPhase::Backoff => {}
+        }
+    }
+
+    fn homing_move_done(&mut self, now: Tick, h: HomingState, out: &mut Vec<FwAction>) {
+        match h.phase {
+            HomingPhase::Backoff => {
+                let axis = h.current;
+                self.context = ExecContext::Homing(h);
+                self.homing_begin_rebump(now, axis, out);
+            }
+            HomingPhase::FastApproach | HomingPhase::SlowApproach => {
+                // Ran the whole travel without touching the switch.
+                self.kill(FirmwareError::EndstopNotFound(h.current), out);
+            }
+        }
+    }
+
+    fn abort_move(&mut self) {
+        self.current_move = None;
+        self.move_gen += 1; // invalidates pending Step / MoveDone tasks
+    }
+
+    fn zero_axis(&mut self, axis: Axis) {
+        let i = axis.index();
+        self.pos_steps[i] = 0;
+        self.origin_steps[i] = 0.0;
+        self.logical_mm[i] = 0.0;
+    }
+
+    // ------------------------------------------------------------------
+    // Heaters, fan, PWM
+    // ------------------------------------------------------------------
+
+    fn read_temp(&self, heater: HeaterId) -> f64 {
+        match heater {
+            HeaterId::Hotend => self.adc_counts[0]
+                .map(|c| self.hotend_table.counts_to_celsius(c))
+                .unwrap_or(25.0),
+            HeaterId::Bed => self.adc_counts[1]
+                .map(|c| self.bed_table.counts_to_celsius(c))
+                .unwrap_or(25.0),
+        }
+    }
+
+    fn temp_loop(&mut self, now: Tick, out: &mut Vec<FwAction>) {
+        // Run the two control loops if we have ADC data.
+        let mut fault = None;
+        if self.adc_counts[0].is_some() {
+            let t = self.read_temp(HeaterId::Hotend);
+            match self.hotend.update(now, t) {
+                Ok(duty) => self.pwm_duty[Device::Hotend.index()] = duty,
+                Err(e) => fault = Some(e),
+            }
+        }
+        if fault.is_none() && self.adc_counts[1].is_some() {
+            let t = self.read_temp(HeaterId::Bed);
+            match self.bed.update(now, t) {
+                Ok(duty) => self.pwm_duty[Device::Bed.index()] = duty,
+                Err(e) => fault = Some(e),
+            }
+        }
+        if let Some(e) = fault {
+            self.kill(e, out);
+            return;
+        }
+        // Release M109/M190 waits.
+        if let Block::WaitTemp(h) = self.block {
+            let reached = match h {
+                HeaterId::Hotend => self.hotend.reached(),
+                HeaterId::Bed => self.bed.reached(),
+            };
+            if reached {
+                self.block = Block::None;
+                self.schedule(now, Task::Advance);
+            }
+        }
+        // Marlin keeps regulating and protecting after the print ends
+        // (until a kill); the harness's drain window bounds the run.
+        self.schedule(
+            now + SimDuration::from_millis(self.config.temp_loop_ms),
+            Task::TempLoop,
+        );
+    }
+
+    fn pwm_period(&mut self, now: Tick, device: Device, out: &mut Vec<FwAction>) {
+        let duty = self.pwm_duty[device.index()];
+        let period = SimDuration::from_millis(self.config.pwm_period_ms);
+        self.pwm_gen[device.index()] += 1;
+        let gen = self.pwm_gen[device.index()];
+        match duty {
+            0 => self.set_gate(device, Level::Low, out),
+            255 => self.set_gate(device, Level::High, out),
+            d => {
+                self.set_gate(device, Level::High, out);
+                let high = period.mul_f64(f64::from(d) / 255.0);
+                self.schedule(now + high, Task::PwmOff { device, gen });
+            }
+        }
+        self.schedule(now + period, Task::PwmPeriod(device));
+    }
+
+    fn set_gate(&mut self, device: Device, level: Level, out: &mut Vec<FwAction>) {
+        if self.gate_emitted[device.index()] != Some(level) {
+            self.gate_emitted[device.index()] = Some(level);
+            out.push(FwAction::Emit(SignalEvent::logic(device.pin(), level)));
+        }
+    }
+
+    fn set_enable(&mut self, axis: Axis, enabled: bool, out: &mut Vec<FwAction>) {
+        let level = if enabled { Level::Low } else { Level::High };
+        let i = axis.index();
+        if self.en_emitted[i] != Some(level) {
+            self.en_emitted[i] = Some(level);
+            out.push(FwAction::Emit(SignalEvent::logic(axis.enable_pin(), level)));
+        }
+    }
+
+    fn emit_status(&mut self, out: &mut Vec<FwAction>) {
+        let line = format!(
+            "T:{:.1} B:{:.1} X:{:.2} Y:{:.2} Z:{:.2}\n",
+            self.read_temp(HeaterId::Hotend),
+            self.read_temp(HeaterId::Bed),
+            self.logical_mm[0],
+            self.logical_mm[1],
+            self.logical_mm[2],
+        );
+        for byte in line.bytes() {
+            out.push(FwAction::Emit(SignalEvent::Uart {
+                direction: UartDirection::ControllerToDisplay,
+                byte,
+            }));
+        }
+    }
+
+    /// Marlin `kill()`: heaters off, steppers disabled, machine halted.
+    fn kill(&mut self, error: FirmwareError, out: &mut Vec<FwAction>) {
+        for d in Device::ALL {
+            self.pwm_duty[d.index()] = 0;
+            self.set_gate(d, Level::Low, out);
+        }
+        for axis in Axis::ALL {
+            self.set_enable(axis, false, out);
+        }
+        self.abort_move();
+        self.agenda.clear();
+        self.state = FwState::Halted(error);
+    }
+}
+
+/// Maps an analog channel to its slot in `adc_counts`.
+fn adc_index(channel: AnalogChannel) -> usize {
+    match channel {
+        AnalogChannel::HotendTherm => 0,
+        AnalogChannel::BedTherm => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offramps_gcode::parse;
+
+    fn fw(src: &str) -> Firmware {
+        Firmware::new(
+            FirmwareConfig::deterministic(),
+            parse(src).unwrap(),
+            42,
+        )
+    }
+
+    /// Runs the firmware open-loop (no plant): feeds wake-ups until it
+    /// finishes, collecting all emitted events. Panics after too many
+    /// iterations (a stuck machine).
+    fn run_open_loop(fw: &mut Firmware) -> Vec<(Tick, SignalEvent)> {
+        let mut events = Vec::new();
+        let mut actions = fw.start(Tick::ZERO);
+        let mut guard = 0u64;
+        loop {
+            let mut next_wake: Option<Tick> = None;
+            for a in actions {
+                match a {
+                    FwAction::Emit(ev) => events.push((Tick::ZERO, ev)),
+                    FwAction::WakeAt(t) => {
+                        next_wake = Some(next_wake.map_or(t, |w: Tick| w.min(t)))
+                    }
+                }
+            }
+            match fw.state() {
+                FwState::Running => {}
+                _ => break,
+            }
+            let Some(t) = next_wake else { break };
+            actions = fw.on_tick(t);
+            guard += 1;
+            assert!(guard < 10_000_000, "firmware stuck");
+        }
+        events
+    }
+
+    fn count_rising(events: &[(Tick, SignalEvent)], pin: Pin) -> usize {
+        let mut last = Level::Low;
+        let mut n = 0;
+        for (_, ev) in events {
+            if let SignalEvent::Logic(l) = ev {
+                if l.pin == pin {
+                    if l.level == Level::High && last == Level::Low {
+                        n += 1;
+                    }
+                    last = l.level;
+                }
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn simple_move_emits_exact_steps() {
+        let mut f = fw("G90\nM83\nG1 X5 F600\n");
+        let events = run_open_loop(&mut f);
+        assert!(matches!(f.state(), FwState::Finished));
+        // 5mm * 100 steps/mm = 500 rising edges on X_STEP.
+        assert_eq!(count_rising(&events, Pin::XStep), 500);
+        assert_eq!(f.step_counts()[0], 500);
+    }
+
+    #[test]
+    fn relative_and_absolute_mix() {
+        let mut f = fw("G90\nG1 X5 F600\nG91\nG1 X-2\nG90\nG1 X10\n");
+        let _ = run_open_loop(&mut f);
+        assert_eq!(f.step_counts()[0], 1000, "final logical X=10 -> 1000 steps");
+        assert_eq!(f.logical_position()[0], 10.0);
+    }
+
+    #[test]
+    fn diagonal_move_steps_both_axes() {
+        let mut f = fw("G90\nG1 X3 Y4 F1200\n");
+        let events = run_open_loop(&mut f);
+        assert_eq!(count_rising(&events, Pin::XStep), 300);
+        assert_eq!(count_rising(&events, Pin::YStep), 400);
+    }
+
+    #[test]
+    fn g92_rebases_extrusion() {
+        let mut f = fw("G90\nM82\nG1 E2 F300\nG92 E0\nG1 E2 F300\n");
+        let _ = run_open_loop(&mut f);
+        // 2mm then re-zeroed then 2mm more: 4mm total * 280 = 1120 steps.
+        assert_eq!(f.step_counts()[3], 1120);
+    }
+
+    #[test]
+    fn dir_pin_reflects_sign() {
+        let mut f = fw("G90\nG1 X5 F600\nG1 X2 F600\n");
+        let events = run_open_loop(&mut f);
+        let dirs: Vec<Level> = events
+            .iter()
+            .filter_map(|(_, e)| e.as_logic())
+            .filter(|l| l.pin == Pin::XDir)
+            .map(|l| l.level)
+            .collect();
+        assert_eq!(dirs, vec![Level::High, Level::Low]);
+    }
+
+    #[test]
+    fn steppers_enabled_on_move_disabled_on_m84() {
+        let mut f = fw("G90\nG1 X1 F600\nM84\n");
+        let events = run_open_loop(&mut f);
+        let en: Vec<Level> = events
+            .iter()
+            .filter_map(|(_, e)| e.as_logic())
+            .filter(|l| l.pin == Pin::XEnable)
+            .map(|l| l.level)
+            .collect();
+        assert_eq!(en, vec![Level::Low, Level::High]);
+    }
+
+    #[test]
+    fn fan_pwm_duty() {
+        let mut f = fw("M106 S128\nG4 P100\nM107\nG4 P50\n");
+        let events = run_open_loop(&mut f);
+        assert!(count_rising(&events, Pin::FanPwm) >= 3, "several PWM periods");
+    }
+
+    #[test]
+    fn dwell_blocks_then_finishes() {
+        let mut f = fw("G4 P250\n");
+        let _ = run_open_loop(&mut f);
+        assert!(matches!(f.state(), FwState::Finished));
+    }
+
+    #[test]
+    fn status_reports_on_uart() {
+        let mut f = fw("G4 P2500\n");
+        let events = run_open_loop(&mut f);
+        let uart_bytes = events
+            .iter()
+            .filter(|(_, e)| matches!(e, SignalEvent::Uart { .. }))
+            .count();
+        assert!(uart_bytes > 30, "two status lines expected, got {uart_bytes}");
+    }
+
+    #[test]
+    fn m109_waits_for_adc_driven_temperature() {
+        let mut f = fw("M109 S210\n");
+        let mut actions = f.start(Tick::ZERO);
+        // Loop: respond to every wake; feed hot ADC counts after 1s.
+        let hot_counts = {
+            // ~210C on the Semitec table.
+            let t_k = 210.0 + 273.15;
+            let r = 100_000.0 * (4267.0_f64 * (1.0 / t_k - 1.0 / 298.15)).exp();
+            (r / (r + 4_700.0) * 1023.0).round() as u16
+        };
+        let cold_counts = 1000u16;
+        let mut now = Tick::ZERO;
+        let mut guard = 0;
+        while matches!(f.state(), FwState::Running) && guard < 100_000 {
+            guard += 1;
+            let mut wake = None;
+            for a in actions {
+                if let FwAction::WakeAt(t) = a {
+                    wake = Some(wake.map_or(t, |w: Tick| w.min(t)));
+                }
+            }
+            let Some(t) = wake else { break };
+            now = t;
+            // Feed ADC before each tick.
+            let counts = if now < Tick::from_secs(1) { cold_counts } else { hot_counts };
+            let _ = f.on_feedback(
+                now,
+                SignalEvent::Adc { channel: AnalogChannel::HotendTherm, counts },
+            );
+            let _ = f.on_feedback(
+                now,
+                SignalEvent::Adc { channel: AnalogChannel::BedTherm, counts: 1000 },
+            );
+            actions = f.on_tick(now);
+        }
+        assert!(
+            matches!(f.state(), FwState::Finished),
+            "M109 must complete once hot: {:?}",
+            f.state()
+        );
+        assert!(now >= Tick::from_secs(1), "must not finish while cold");
+    }
+
+    #[test]
+    fn heating_failure_kills_machine() {
+        // M109 but the ADC always reads ambient: watchdog must kill.
+        let mut f = fw("M109 S210\nG1 X5 F600\n");
+        let mut actions = f.start(Tick::ZERO);
+        let mut guard = 0;
+        while matches!(f.state(), FwState::Running) && guard < 100_000 {
+            guard += 1;
+            let mut wake = None;
+            for a in actions {
+                if let FwAction::WakeAt(t) = a {
+                    wake = Some(wake.map_or(t, |w: Tick| w.min(t)));
+                }
+            }
+            let Some(t) = wake else { break };
+            let _ = f.on_feedback(
+                t,
+                SignalEvent::Adc { channel: AnalogChannel::HotendTherm, counts: 1000 },
+            );
+            let _ = f.on_feedback(
+                t,
+                SignalEvent::Adc { channel: AnalogChannel::BedTherm, counts: 1000 },
+            );
+            actions = f.on_tick(t);
+        }
+        assert!(
+            matches!(
+                f.state(),
+                FwState::Halted(FirmwareError::HeatingFailed(HeaterId::Hotend))
+            ),
+            "got {:?}",
+            f.state()
+        );
+        // No motion should have happened after the kill.
+        assert_eq!(f.step_counts()[0], 0);
+    }
+
+    #[test]
+    fn feedrate_is_sticky() {
+        let mut f = fw("G90\nG1 X1 F600\nG1 X2\n");
+        let _ = run_open_loop(&mut f);
+        assert!(matches!(f.state(), FwState::Finished));
+    }
+
+    #[test]
+    fn unknown_commands_skipped() {
+        let mut f = fw("M115\nM73 P10\nG1 X1 F600\n");
+        let _ = run_open_loop(&mut f);
+        assert!(matches!(f.state(), FwState::Finished));
+        assert_eq!(f.step_counts()[0], 100);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use offramps_gcode::parse;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// For any sequence of absolute in-range moves, the firmware's
+        /// final step counters equal the last target times steps/mm —
+        /// no steps are ever lost or duplicated in open loop.
+        #[test]
+        fn prop_step_count_equals_target(
+            targets in proptest::collection::vec((0u32..200, 0u32..200), 1..6)
+        ) {
+            let mut src = String::from("G90\nM83\n");
+            for (x, y) in &targets {
+                src.push_str(&format!("G1 X{} Y{} F6000\n", *x as f64 / 10.0, *y as f64 / 10.0));
+            }
+            let mut fw = Firmware::new(
+                crate::FirmwareConfig::deterministic(),
+                parse(&src).unwrap(),
+                1,
+            );
+            // Open loop run.
+            let mut actions = fw.start(Tick::ZERO);
+            let mut guard = 0u64;
+            while matches!(fw.state(), FwState::Running) {
+                let mut wake: Option<Tick> = None;
+                for a in actions {
+                    if let FwAction::WakeAt(t) = a {
+                        wake = Some(wake.map_or(t, |w| w.min(t)));
+                    }
+                }
+                let Some(t) = wake else { break };
+                actions = fw.on_tick(t);
+                guard += 1;
+                prop_assert!(guard < 2_000_000, "stuck");
+            }
+            let (lx, ly) = *targets.last().unwrap();
+            prop_assert_eq!(fw.step_counts()[0], (lx as f64 / 10.0 * 100.0).round() as i64);
+            prop_assert_eq!(fw.step_counts()[1], (ly as f64 / 10.0 * 100.0).round() as i64);
+        }
+    }
+}

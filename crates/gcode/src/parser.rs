@@ -1,0 +1,373 @@
+//! Marlin-dialect G-code parser.
+//!
+//! Accepts the format emitted by Cura/Slic3r/PrusaSlicer and host software
+//! such as Repetier Host: `;` and `(...)` comments, optional `N` line
+//! numbers with `*` checksums, case-insensitive words, and decimal
+//! parameters.
+
+use std::fmt;
+
+use crate::ast::{GCommand, Program};
+
+/// Error produced when a line of G-code cannot be parsed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Explanation of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g-code parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// One `letter + value` G-code word.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Word {
+    letter: char,
+    value: f64,
+}
+
+/// Strips comments, line numbers and checksums; returns the significant
+/// text of the line (may be empty).
+fn strip_line(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_paren = false;
+    while let Some(c) = chars.next() {
+        match c {
+            ';' if !in_paren => break, // rest of line is a comment
+            '(' => in_paren = true,
+            ')' if in_paren => in_paren = false,
+            '*' if !in_paren => {
+                // Checksum: `*nn` terminates the significant text.
+                for d in chars.by_ref() {
+                    if !d.is_ascii_digit() && !d.is_whitespace() {
+                        break;
+                    }
+                }
+                break;
+            }
+            _ if in_paren => {}
+            _ => out.push(c),
+        }
+    }
+    out.trim().to_string()
+}
+
+/// Tokenizes significant text into words.
+fn tokenize(text: &str, line_no: usize) -> Result<Vec<Word>, ParseError> {
+    let mut words = Vec::new();
+    let bytes: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if !c.is_ascii_alphabetic() {
+            return Err(ParseError {
+                line: line_no,
+                message: format!("expected a word letter, found {c:?}"),
+            });
+        }
+        let letter = c.to_ascii_uppercase();
+        i += 1;
+        let start = i;
+        while i < bytes.len()
+            && (bytes[i].is_ascii_digit() || matches!(bytes[i], '.' | '-' | '+'))
+        {
+            i += 1;
+        }
+        let num: String = bytes[start..i].iter().collect();
+        // Bare letters (e.g. `G28 X`) mean "flag present" → value 1.
+        let value = if num.is_empty() {
+            1.0
+        } else {
+            num.parse::<f64>().map_err(|_| ParseError {
+                line: line_no,
+                message: format!("invalid number {num:?} for word {letter}"),
+            })?
+        };
+        words.push(Word { letter, value });
+    }
+    Ok(words)
+}
+
+fn find(words: &[Word], letter: char) -> Option<f64> {
+    words.iter().find(|w| w.letter == letter).map(|w| w.value)
+}
+
+fn has(words: &[Word], letter: char) -> bool {
+    words.iter().any(|w| w.letter == letter)
+}
+
+/// Parses one line of G-code. Returns `Ok(None)` for blank/comment-only
+/// lines.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed words or numbers. Unknown but
+/// well-formed commands parse to [`GCommand::Raw`].
+///
+/// # Example
+///
+/// ```
+/// use offramps_gcode::{parse_line, GCommand};
+/// let cmd = parse_line("M104 S210", 1)?.unwrap();
+/// assert_eq!(cmd, GCommand::SetHotendTemp { celsius: 210.0, wait: false });
+/// # Ok::<(), offramps_gcode::ParseError>(())
+/// ```
+pub fn parse_line(line: &str, line_no: usize) -> Result<Option<GCommand>, ParseError> {
+    let text = strip_line(line);
+    if text.is_empty() {
+        return Ok(None);
+    }
+    let mut words = tokenize(&text, line_no)?;
+    if words.is_empty() {
+        return Ok(None);
+    }
+    // Drop a leading line number word.
+    if words[0].letter == 'N' {
+        words.remove(0);
+        if words.is_empty() {
+            return Ok(None);
+        }
+    }
+    let head = words[0];
+    let rest = &words[1..];
+    let code = head.value;
+    let int_code = code as i64;
+    let is_int = (code - int_code as f64).abs() < f64::EPSILON;
+
+    let cmd = match (head.letter, int_code, is_int) {
+        ('G', 0, true) | ('G', 1, true) => GCommand::Move {
+            rapid: int_code == 0,
+            x: find(rest, 'X'),
+            y: find(rest, 'Y'),
+            z: find(rest, 'Z'),
+            e: find(rest, 'E'),
+            feedrate: find(rest, 'F'),
+        },
+        ('G', 4, true) => {
+            let ms = find(rest, 'P').unwrap_or_else(|| find(rest, 'S').map_or(0.0, |s| s * 1000.0));
+            GCommand::Dwell { milliseconds: ms }
+        }
+        ('G', 28, true) => {
+            let (x, y, z) = (has(rest, 'X'), has(rest, 'Y'), has(rest, 'Z'));
+            if !x && !y && !z {
+                GCommand::Home { x: true, y: true, z: true }
+            } else {
+                GCommand::Home { x, y, z }
+            }
+        }
+        ('G', 90, true) => GCommand::AbsolutePositioning,
+        ('G', 91, true) => GCommand::RelativePositioning,
+        ('G', 92, true) => GCommand::SetPosition {
+            x: find(rest, 'X'),
+            y: find(rest, 'Y'),
+            z: find(rest, 'Z'),
+            e: find(rest, 'E'),
+        },
+        ('M', 82, true) => GCommand::AbsoluteExtrusion,
+        ('M', 83, true) => GCommand::RelativeExtrusion,
+        ('M', 104, true) => GCommand::SetHotendTemp {
+            celsius: find(rest, 'S').unwrap_or(0.0),
+            wait: false,
+        },
+        ('M', 109, true) => GCommand::SetHotendTemp {
+            celsius: find(rest, 'S').or_else(|| find(rest, 'R')).unwrap_or(0.0),
+            wait: true,
+        },
+        ('M', 140, true) => GCommand::SetBedTemp {
+            celsius: find(rest, 'S').unwrap_or(0.0),
+            wait: false,
+        },
+        ('M', 190, true) => GCommand::SetBedTemp {
+            celsius: find(rest, 'S').or_else(|| find(rest, 'R')).unwrap_or(0.0),
+            wait: true,
+        },
+        ('M', 106, true) => {
+            let duty = find(rest, 'S').unwrap_or(255.0).clamp(0.0, 255.0).round() as u8;
+            GCommand::FanOn { duty }
+        }
+        ('M', 107, true) => GCommand::FanOff,
+        ('M', 17, true) => GCommand::EnableSteppers,
+        ('M', 18, true) | ('M', 84, true) => GCommand::DisableSteppers,
+        _ => GCommand::Raw { text },
+    };
+    Ok(Some(cmd))
+}
+
+/// Parses a complete G-code document.
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+///
+/// # Example
+///
+/// ```
+/// use offramps_gcode::parse;
+/// let p = parse("G90\nG28\nG1 X5 Y5 F3000\n")?;
+/// assert_eq!(p.len(), 3);
+/// # Ok::<(), offramps_gcode::ParseError>(())
+/// ```
+pub fn parse(source: &str) -> Result<Program, ParseError> {
+    let mut program = Program::new();
+    for (i, line) in source.lines().enumerate() {
+        if let Some(cmd) = parse_line(line, i + 1)? {
+            program.push(cmd);
+        }
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_moves_with_all_words() {
+        let c = parse_line("G1 X1.5 Y-2 Z0.3 E0.04 F1800", 1).unwrap().unwrap();
+        assert_eq!(
+            c,
+            GCommand::Move {
+                rapid: false,
+                x: Some(1.5),
+                y: Some(-2.0),
+                z: Some(0.3),
+                e: Some(0.04),
+                feedrate: Some(1800.0),
+            }
+        );
+    }
+
+    #[test]
+    fn g0_is_rapid() {
+        let c = parse_line("G0 X10", 1).unwrap().unwrap();
+        assert!(matches!(c, GCommand::Move { rapid: true, .. }));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        assert_eq!(parse_line("; pure comment", 1).unwrap(), None);
+        assert_eq!(parse_line("   ", 1).unwrap(), None);
+        assert_eq!(parse_line("(paren comment)", 1).unwrap(), None);
+        let c = parse_line("G28 ; home all", 1).unwrap().unwrap();
+        assert_eq!(c, GCommand::Home { x: true, y: true, z: true });
+    }
+
+    #[test]
+    fn home_with_axis_flags() {
+        let c = parse_line("G28 X Y", 1).unwrap().unwrap();
+        assert_eq!(c, GCommand::Home { x: true, y: true, z: false });
+        let c = parse_line("G28 Z", 1).unwrap().unwrap();
+        assert_eq!(c, GCommand::Home { x: false, y: false, z: true });
+    }
+
+    #[test]
+    fn line_numbers_and_checksums() {
+        let c = parse_line("N42 G1 X5*87", 1).unwrap().unwrap();
+        assert!(matches!(c, GCommand::Move { x: Some(x), .. } if x == 5.0));
+        // A pure line-number line is empty.
+        assert_eq!(parse_line("N10", 1).unwrap(), None);
+    }
+
+    #[test]
+    fn temperatures() {
+        assert_eq!(
+            parse_line("M109 S215", 1).unwrap().unwrap(),
+            GCommand::SetHotendTemp { celsius: 215.0, wait: true }
+        );
+        assert_eq!(
+            parse_line("M140 S60", 1).unwrap().unwrap(),
+            GCommand::SetBedTemp { celsius: 60.0, wait: false }
+        );
+        assert_eq!(
+            parse_line("M190 R55", 1).unwrap().unwrap(),
+            GCommand::SetBedTemp { celsius: 55.0, wait: true }
+        );
+    }
+
+    #[test]
+    fn fan_and_steppers() {
+        assert_eq!(
+            parse_line("M106 S128", 1).unwrap().unwrap(),
+            GCommand::FanOn { duty: 128 }
+        );
+        assert_eq!(parse_line("M106", 1).unwrap().unwrap(), GCommand::FanOn { duty: 255 });
+        assert_eq!(parse_line("M107", 1).unwrap().unwrap(), GCommand::FanOff);
+        assert_eq!(parse_line("M84", 1).unwrap().unwrap(), GCommand::DisableSteppers);
+        assert_eq!(parse_line("M17", 1).unwrap().unwrap(), GCommand::EnableSteppers);
+    }
+
+    #[test]
+    fn dwell_p_and_s() {
+        assert_eq!(
+            parse_line("G4 P500", 1).unwrap().unwrap(),
+            GCommand::Dwell { milliseconds: 500.0 }
+        );
+        assert_eq!(
+            parse_line("G4 S2", 1).unwrap().unwrap(),
+            GCommand::Dwell { milliseconds: 2000.0 }
+        );
+    }
+
+    #[test]
+    fn set_position() {
+        assert_eq!(
+            parse_line("G92 E0", 1).unwrap().unwrap(),
+            GCommand::SetPosition { x: None, y: None, z: None, e: Some(0.0) }
+        );
+    }
+
+    #[test]
+    fn unknown_commands_preserved() {
+        let c = parse_line("M115", 1).unwrap().unwrap();
+        assert_eq!(c, GCommand::Raw { text: "M115".into() });
+        let c = parse_line("M73 P10 R32", 1).unwrap().unwrap();
+        assert_eq!(c, GCommand::Raw { text: "M73 P10 R32".into() });
+    }
+
+    #[test]
+    fn lowercase_accepted() {
+        let c = parse_line("g1 x5 e0.1", 1).unwrap().unwrap();
+        assert!(matches!(c, GCommand::Move { x: Some(x), e: Some(_), .. } if x == 5.0));
+    }
+
+    #[test]
+    fn malformed_numbers_error() {
+        let e = parse_line("G1 X1.2.3", 1).unwrap_err();
+        assert!(e.message.contains("invalid number"));
+        assert_eq!(e.line, 1);
+        let e = parse_line("G1 X5 @", 7).unwrap_err();
+        assert_eq!(e.line, 7);
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn full_document() {
+        let src = "\
+; Sliced by offramps-gcode
+G90
+M83
+M140 S60
+M109 S215
+G28
+G1 Z0.2 F600
+G1 X20 Y20 E1.2 F1200
+M107
+M84
+";
+        let p = parse(src).unwrap();
+        assert_eq!(p.len(), 9);
+        assert!(matches!(p.commands()[2], GCommand::SetBedTemp { .. }));
+    }
+}

@@ -1,0 +1,202 @@
+//! Canonical G-code serialization.
+//!
+//! [`crate::Program::to_gcode`] emits one command per line in a canonical
+//! form chosen so that parsing the output reproduces the original AST
+//! (verified by a round-trip property test).
+
+use std::fmt::Write as _;
+
+use crate::ast::{GCommand, Program};
+
+/// Formats a float with minimal digits (Marlin accepts up to 5 decimals;
+/// we emit up to 5 and strip trailing zeros).
+fn fmt_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        let mut s = format!("{v:.5}");
+        while s.ends_with('0') {
+            s.pop();
+        }
+        if s.ends_with('.') {
+            s.pop();
+        }
+        s
+    }
+}
+
+fn push_word(out: &mut String, letter: char, value: Option<f64>) {
+    if let Some(v) = value {
+        let _ = write!(out, " {letter}{}", fmt_num(v));
+    }
+}
+
+/// Serializes one command to its canonical single-line form.
+pub(crate) fn command_to_string(cmd: &GCommand) -> String {
+    match cmd {
+        GCommand::Move { rapid, x, y, z, e, feedrate } => {
+            let mut s = String::from(if *rapid { "G0" } else { "G1" });
+            push_word(&mut s, 'X', *x);
+            push_word(&mut s, 'Y', *y);
+            push_word(&mut s, 'Z', *z);
+            push_word(&mut s, 'E', *e);
+            push_word(&mut s, 'F', *feedrate);
+            s
+        }
+        GCommand::Dwell { milliseconds } => format!("G4 P{}", fmt_num(*milliseconds)),
+        GCommand::Home { x, y, z } => {
+            if *x && *y && *z {
+                "G28".to_string()
+            } else {
+                let mut s = String::from("G28");
+                if *x {
+                    s.push_str(" X");
+                }
+                if *y {
+                    s.push_str(" Y");
+                }
+                if *z {
+                    s.push_str(" Z");
+                }
+                s
+            }
+        }
+        GCommand::AbsolutePositioning => "G90".to_string(),
+        GCommand::RelativePositioning => "G91".to_string(),
+        GCommand::SetPosition { x, y, z, e } => {
+            let mut s = String::from("G92");
+            push_word(&mut s, 'X', *x);
+            push_word(&mut s, 'Y', *y);
+            push_word(&mut s, 'Z', *z);
+            push_word(&mut s, 'E', *e);
+            s
+        }
+        GCommand::AbsoluteExtrusion => "M82".to_string(),
+        GCommand::RelativeExtrusion => "M83".to_string(),
+        GCommand::SetHotendTemp { celsius, wait } => {
+            format!("M{} S{}", if *wait { 109 } else { 104 }, fmt_num(*celsius))
+        }
+        GCommand::SetBedTemp { celsius, wait } => {
+            format!("M{} S{}", if *wait { 190 } else { 140 }, fmt_num(*celsius))
+        }
+        GCommand::FanOn { duty } => format!("M106 S{duty}"),
+        GCommand::FanOff => "M107".to_string(),
+        GCommand::EnableSteppers => "M17".to_string(),
+        GCommand::DisableSteppers => "M84".to_string(),
+        GCommand::Raw { text } => text.clone(),
+    }
+}
+
+/// Serializes a whole program, one command per line.
+pub(crate) fn program_to_string(program: &Program) -> String {
+    let mut out = String::new();
+    for cmd in program.commands() {
+        out.push_str(&command_to_string(cmd));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use proptest::prelude::*;
+
+    #[test]
+    fn canonical_forms() {
+        assert_eq!(
+            command_to_string(&GCommand::Move {
+                rapid: false,
+                x: Some(1.5),
+                y: None,
+                z: Some(0.3),
+                e: Some(-0.8),
+                feedrate: Some(1200.0),
+            }),
+            "G1 X1.5 Z0.3 E-0.8 F1200"
+        );
+        assert_eq!(
+            command_to_string(&GCommand::Home { x: true, y: false, z: false }),
+            "G28 X"
+        );
+        assert_eq!(
+            command_to_string(&GCommand::Home { x: true, y: true, z: true }),
+            "G28"
+        );
+        assert_eq!(
+            command_to_string(&GCommand::SetHotendTemp { celsius: 210.0, wait: true }),
+            "M109 S210"
+        );
+        assert_eq!(command_to_string(&GCommand::FanOn { duty: 64 }), "M106 S64");
+    }
+
+    #[test]
+    fn trailing_zero_stripping() {
+        assert_eq!(fmt_num(1.50000), "1.5");
+        assert_eq!(fmt_num(2.0), "2");
+        assert_eq!(fmt_num(-0.04), "-0.04");
+        assert_eq!(fmt_num(0.12345), "0.12345");
+    }
+
+    /// Snaps a value onto the exact 5-decimal grid the writer emits, so
+    /// the round trip is bit-identical.
+    fn grid(v: f64) -> f64 {
+        format!("{v:.5}").parse().expect("formatted float reparses")
+    }
+
+    fn arb_opt_mm() -> impl Strategy<Value = Option<f64>> {
+        proptest::option::of(
+            (-500i64..500i64, 0u32..100_000u32)
+                .prop_map(|(i, f)| grid(i as f64 + f as f64 / 100_000.0)),
+        )
+    }
+
+    fn arb_command() -> impl Strategy<Value = GCommand> {
+        prop_oneof![
+            (any::<bool>(), arb_opt_mm(), arb_opt_mm(), arb_opt_mm(), arb_opt_mm(),
+             proptest::option::of(1u32..100_000u32))
+                .prop_map(|(rapid, x, y, z, e, f)| GCommand::Move {
+                    rapid,
+                    x,
+                    y,
+                    z,
+                    e,
+                    feedrate: f.map(f64::from),
+                }),
+            (0u32..1_000_000u32).prop_map(|p| GCommand::Dwell { milliseconds: p as f64 }),
+            (any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(x, y, z)| {
+                if !x && !y && !z {
+                    GCommand::Home { x: true, y: true, z: true }
+                } else {
+                    GCommand::Home { x, y, z }
+                }
+            }),
+            Just(GCommand::AbsolutePositioning),
+            Just(GCommand::RelativePositioning),
+            (arb_opt_mm(), arb_opt_mm(), arb_opt_mm(), arb_opt_mm())
+                .prop_map(|(x, y, z, e)| GCommand::SetPosition { x, y, z, e }),
+            Just(GCommand::AbsoluteExtrusion),
+            Just(GCommand::RelativeExtrusion),
+            (0u32..400u32, any::<bool>())
+                .prop_map(|(c, w)| GCommand::SetHotendTemp { celsius: c as f64, wait: w }),
+            (0u32..120u32, any::<bool>())
+                .prop_map(|(c, w)| GCommand::SetBedTemp { celsius: c as f64, wait: w }),
+            any::<u8>().prop_map(|d| GCommand::FanOn { duty: d }),
+            Just(GCommand::FanOff),
+            Just(GCommand::EnableSteppers),
+            Just(GCommand::DisableSteppers),
+        ]
+    }
+
+    proptest! {
+        /// write → parse is the identity on typed commands.
+        #[test]
+        fn prop_round_trip(cmds in proptest::collection::vec(arb_command(), 0..50)) {
+            let program: Program = cmds.into_iter().collect();
+            let text = program.to_gcode();
+            let reparsed = parse(&text).expect("canonical output must parse");
+            prop_assert_eq!(program, reparsed);
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Golden-profile power comparison (the Gatlin-et-al.-style detector).
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::PowerTrace;
+
+/// Baseline detector tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerDetectorConfig {
+    /// A window is anomalous when |observed − golden| exceeds this many
+    /// noise sigmas.
+    pub sigma_threshold: f64,
+    /// Sensor noise sigma (must match the channel model), W.
+    pub noise_sigma_w: f64,
+    /// Windows are smoothed over this many samples before comparison
+    /// (the published systems average repetitions; single-shot systems
+    /// can only average time).
+    pub smoothing: usize,
+    /// Fraction of anomalous windows above which sabotage is suspected.
+    pub suspect_fraction: f64,
+}
+
+impl Default for PowerDetectorConfig {
+    fn default() -> Self {
+        PowerDetectorConfig {
+            sigma_threshold: 4.0,
+            noise_sigma_w: 1.5,
+            smoothing: 20,
+            suspect_fraction: 0.01,
+        }
+    }
+}
+
+/// Outcome of a power side-channel comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SideChannelReport {
+    /// Windows compared (after smoothing).
+    pub windows_compared: usize,
+    /// Windows whose smoothed deviation exceeded the threshold.
+    pub anomalous_windows: usize,
+    /// Largest smoothed deviation, W.
+    pub largest_deviation_w: f64,
+    /// The verdict.
+    pub sabotage_suspected: bool,
+}
+
+impl SideChannelReport {
+    /// Fraction of windows flagged.
+    pub fn anomaly_fraction(&self) -> f64 {
+        if self.windows_compared == 0 {
+            0.0
+        } else {
+            self.anomalous_windows as f64 / self.windows_compared as f64
+        }
+    }
+}
+
+/// The golden-profile comparator.
+///
+/// # Example
+///
+/// ```
+/// use offramps_sidechannel::{PowerDetector, PowerDetectorConfig, PowerModel};
+/// use offramps_signals::SignalTrace;
+///
+/// let model = PowerModel::default();
+/// let golden = model.synthesize(&SignalTrace::new(), 1);
+/// let detector = PowerDetector::new(golden, PowerDetectorConfig::default());
+/// let observed = model.synthesize(&SignalTrace::new(), 2);
+/// assert!(!detector.compare(&observed).sabotage_suspected);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerDetector {
+    golden: Vec<f64>,
+    config: PowerDetectorConfig,
+}
+
+fn smooth(samples: &[f64], k: usize) -> Vec<f64> {
+    if k <= 1 || samples.is_empty() {
+        return samples.to_vec();
+    }
+    let mut out = Vec::with_capacity(samples.len() / k + 1);
+    for chunk in samples.chunks(k) {
+        out.push(chunk.iter().sum::<f64>() / chunk.len() as f64);
+    }
+    out
+}
+
+impl PowerDetector {
+    /// Creates the detector from a golden power trace.
+    pub fn new(golden: PowerTrace, config: PowerDetectorConfig) -> Self {
+        PowerDetector {
+            golden: smooth(golden.samples(), config.smoothing),
+            config,
+        }
+    }
+
+    /// Compares an observed trace against the golden profile.
+    pub fn compare(&self, observed: &PowerTrace) -> SideChannelReport {
+        let obs = smooth(observed.samples(), self.config.smoothing);
+        let n = self.golden.len().min(obs.len());
+        // Smoothing over k windows reduces the noise on each compared
+        // value by sqrt(k); the *difference* of two noisy traces has
+        // sqrt(2) more.
+        let sigma_eff = self.config.noise_sigma_w
+            / (self.config.smoothing.max(1) as f64).sqrt()
+            * std::f64::consts::SQRT_2;
+        let threshold = self.config.sigma_threshold * sigma_eff;
+        let mut anomalous = 0usize;
+        let mut largest = 0.0f64;
+        for i in 0..n {
+            let dev = (self.golden[i] - obs[i]).abs();
+            largest = largest.max(dev);
+            if dev > threshold {
+                anomalous += 1;
+            }
+        }
+        let mut report = SideChannelReport {
+            windows_compared: n,
+            anomalous_windows: anomalous,
+            largest_deviation_w: largest,
+            sabotage_suspected: false,
+        };
+        report.sabotage_suspected =
+            report.anomaly_fraction() > self.config.suspect_fraction;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PowerModel;
+    use offramps_des::{SimDuration, Tick};
+    use offramps_signals::{Level, LogicEvent, Pin, SignalTrace};
+
+    fn print_like_trace(step_period_us: u64, seconds: u64) -> SignalTrace {
+        let mut t = SignalTrace::new();
+        let mut at = Tick::ZERO;
+        let end = Tick::from_secs(seconds);
+        while at < end {
+            t.record(at, LogicEvent::new(Pin::XStep, Level::High));
+            t.record(at + SimDuration::from_micros(2), LogicEvent::new(Pin::XStep, Level::Low));
+            at += SimDuration::from_micros(step_period_us);
+        }
+        t
+    }
+
+    #[test]
+    fn same_job_different_noise_is_clean() {
+        let trace = print_like_trace(250, 5);
+        let model = PowerModel::default();
+        let golden = model.synthesize(&trace, 1);
+        let det = PowerDetector::new(golden, PowerDetectorConfig::default());
+        let observed = model.synthesize(&trace, 2);
+        let rep = det.compare(&observed);
+        assert!(!rep.sabotage_suspected, "{rep:?}");
+    }
+
+    #[test]
+    fn gross_power_change_detected() {
+        let model = PowerModel::default();
+        let golden = model.synthesize(&print_like_trace(250, 5), 1);
+        // Half the step rate: ~4 W sustained difference.
+        let observed = model.synthesize(&print_like_trace(500, 5), 2);
+        let det = PowerDetector::new(golden, PowerDetectorConfig::default());
+        let rep = det.compare(&observed);
+        assert!(rep.sabotage_suspected, "{rep:?}");
+    }
+
+    #[test]
+    fn subtle_change_below_noise_floor_missed() {
+        // 2% step-rate change: ~0.16 W sustained vs the sensor noise —
+        // the side channel cannot see it (OFFRAMPS can).
+        let model = PowerModel::default();
+        let golden = model.synthesize(&print_like_trace(250, 5), 1);
+        let observed = model.synthesize(&print_like_trace(255, 5), 2);
+        let det = PowerDetector::new(golden, PowerDetectorConfig::default());
+        let rep = det.compare(&observed);
+        assert!(!rep.sabotage_suspected, "{rep:?}");
+    }
+
+    #[test]
+    fn smoothing_reduces_vector_length() {
+        assert_eq!(smooth(&[1.0; 100], 10).len(), 10);
+        assert_eq!(smooth(&[1.0; 5], 1).len(), 5);
+        assert!(smooth(&[], 10).is_empty());
+        // Mean preserved.
+        let s = smooth(&[2.0, 4.0, 6.0, 8.0], 2);
+        assert_eq!(s, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn report_fraction() {
+        let r = SideChannelReport {
+            windows_compared: 200,
+            anomalous_windows: 5,
+            largest_deviation_w: 9.0,
+            sabotage_suspected: true,
+        };
+        assert!((r.anomaly_fraction() - 0.025).abs() < 1e-12);
+    }
+}
+
+/// Repetition-calibrated detector, the way the published power-signature
+/// systems actually work: Gatlin et al. profile ~40 repeated prints and
+/// derive per-window statistics, so print-to-print "time noise" widens
+/// the acceptance band exactly where the machine is naturally variable.
+#[derive(Debug, Clone)]
+pub struct CalibratedPowerDetector {
+    mean: Vec<f64>,
+    band: Vec<f64>,
+    smoothing: usize,
+    sigma_threshold: f64,
+    suspect_fraction: f64,
+}
+
+impl CalibratedPowerDetector {
+    /// Calibrates from repeated golden prints (two or more).
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two repetitions.
+    pub fn calibrate(golden_runs: &[PowerTrace], config: PowerDetectorConfig) -> Self {
+        assert!(golden_runs.len() >= 2, "calibration needs repeated prints");
+        let smoothed: Vec<Vec<f64>> = golden_runs
+            .iter()
+            .map(|t| smooth(t.samples(), config.smoothing))
+            .collect();
+        let n = smoothed.iter().map(Vec::len).min().unwrap_or(0);
+        let m = smoothed.len() as f64;
+        let mut mean = vec![0.0; n];
+        let mut band = vec![0.0; n];
+        for w in 0..n {
+            let mu = smoothed.iter().map(|s| s[w]).sum::<f64>() / m;
+            let var = smoothed.iter().map(|s| (s[w] - mu).powi(2)).sum::<f64>() / m;
+            mean[w] = mu;
+            // Noise floor: even a perfectly repeatable window keeps the
+            // sensor-noise band.
+            let noise_floor = config.noise_sigma_w / (config.smoothing.max(1) as f64).sqrt();
+            band[w] = var.sqrt().max(noise_floor);
+        }
+        CalibratedPowerDetector {
+            mean,
+            band,
+            smoothing: config.smoothing,
+            sigma_threshold: config.sigma_threshold,
+            suspect_fraction: config.suspect_fraction,
+        }
+    }
+
+    /// Compares an observed print against the calibrated profile.
+    pub fn compare(&self, observed: &PowerTrace) -> SideChannelReport {
+        let obs = smooth(observed.samples(), self.smoothing);
+        let n = self.mean.len().min(obs.len());
+        let mut anomalous = 0usize;
+        let mut largest = 0.0f64;
+        for i in 0..n {
+            let dev = (self.mean[i] - obs[i]).abs();
+            largest = largest.max(dev);
+            if dev > self.sigma_threshold * self.band[i] {
+                anomalous += 1;
+            }
+        }
+        let mut report = SideChannelReport {
+            windows_compared: n,
+            anomalous_windows: anomalous,
+            largest_deviation_w: largest,
+            sabotage_suspected: false,
+        };
+        report.sabotage_suspected = report.anomaly_fraction() > self.suspect_fraction;
+        report
+    }
+}
+
+#[cfg(test)]
+mod calibrated_tests {
+    use super::*;
+    use crate::model::PowerModel;
+    use offramps_des::{SimDuration, Tick};
+    use offramps_signals::{Level, LogicEvent, Pin, SignalTrace};
+
+    fn train(step_period_us: u64, seconds: u64) -> SignalTrace {
+        let mut t = SignalTrace::new();
+        let mut at = Tick::ZERO;
+        while at < Tick::from_secs(seconds) {
+            t.record(at, LogicEvent::new(Pin::XStep, Level::High));
+            t.record(at + SimDuration::from_micros(2), LogicEvent::new(Pin::XStep, Level::Low));
+            at += SimDuration::from_micros(step_period_us);
+        }
+        t
+    }
+
+    #[test]
+    fn calibrated_clean_run_passes() {
+        let model = PowerModel::default();
+        let trace = train(250, 5);
+        let runs: Vec<_> = (0..5).map(|s| model.synthesize(&trace, s)).collect();
+        let det = CalibratedPowerDetector::calibrate(&runs, PowerDetectorConfig::default());
+        let rep = det.compare(&model.synthesize(&trace, 99));
+        assert!(!rep.sabotage_suspected, "{rep:?}");
+    }
+
+    #[test]
+    fn calibrated_detects_sustained_change() {
+        let model = PowerModel::default();
+        let runs: Vec<_> = (0..5).map(|s| model.synthesize(&train(250, 5), s)).collect();
+        let det = CalibratedPowerDetector::calibrate(&runs, PowerDetectorConfig::default());
+        let rep = det.compare(&model.synthesize(&train(500, 5), 99));
+        assert!(rep.sabotage_suspected, "{rep:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated prints")]
+    fn calibration_needs_repeats() {
+        let model = PowerModel::default();
+        let one = vec![model.synthesize(&train(250, 1), 0)];
+        let _ = CalibratedPowerDetector::calibrate(&one, PowerDetectorConfig::default());
+    }
+}

@@ -1,0 +1,37 @@
+//! Lossy power side-channel detection — the baseline OFFRAMPS is
+//! positioned against.
+//!
+//! The paper's related work (§II-B) surveys detection through physical
+//! side channels; the closest comparator is actuator **power
+//! signatures** (Gatlin et al.): record the power drawn by the stepper
+//! motors and heaters, compare against a golden power profile, and flag
+//! sabotage. That approach is inherently *lossy* — the channel
+//! aggregates all motors into one waveform and adds measurement noise —
+//! which is exactly why the paper argues OFFRAMPS, "by connecting
+//! directly to control signals, is uniquely able to modify or analyze
+//! prints with no loss of data."
+//!
+//! This crate makes that comparison quantitative:
+//!
+//! * [`PowerModel`] — synthesizes the power waveform a shunt sensor
+//!   would see from a recorded [`SignalTrace`]: per-motor stepping power
+//!   (proportional to step rate), heater gate power, fan power, summed
+//!   into **one** channel and corrupted with Gaussian sensor noise,
+//! * [`PowerDetector`] — the golden-profile comparator: windowed
+//!   absolute deviation against the golden trace with a noise-calibrated
+//!   threshold (the published power-signature systems average ~40
+//!   repetitions to fight exactly this noise; the baseline here gets the
+//!   single-shot channel, like OFFRAMPS does),
+//! * the `baseline` experiment in `offramps-bench` runs both detectors
+//!   over the Table II attacks and reports who catches what.
+//!
+//! [`SignalTrace`]: offramps_signals::SignalTrace
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod detector;
+mod model;
+
+pub use detector::{CalibratedPowerDetector, PowerDetector, PowerDetectorConfig, SideChannelReport};
+pub use model::{PowerModel, PowerTrace};

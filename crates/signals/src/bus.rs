@@ -1,0 +1,110 @@
+//! Instantaneous state of all interface lines.
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{Level, LogicEvent};
+use crate::pin::{Pin, ALL_PINS};
+
+/// The current logic level of every pin of the Arduino ↔ RAMPS interface.
+///
+/// The bus starts with every line low except the active-low stepper
+/// `*_EN` pins, which idle high (drivers disabled) — matching the reset
+/// state of the real boards.
+///
+/// # Example
+///
+/// ```
+/// use offramps_signals::{SignalBus, Pin, Level, LogicEvent};
+///
+/// let mut bus = SignalBus::new();
+/// assert_eq!(bus.level(Pin::XEnable), Level::High); // driver disabled
+/// let changed = bus.apply(LogicEvent::new(Pin::XEnable, Level::Low));
+/// assert!(changed);
+/// assert!(bus.is_enabled(offramps_signals::Axis::X));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignalBus {
+    levels: [Level; Pin::COUNT],
+}
+
+impl Default for SignalBus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SignalBus {
+    /// Creates a bus in the reset state.
+    pub fn new() -> Self {
+        let mut levels = [Level::Low; Pin::COUNT];
+        for pin in ALL_PINS {
+            if pin.is_enable() {
+                levels[pin.index()] = Level::High; // active-low: disabled
+            }
+        }
+        SignalBus { levels }
+    }
+
+    /// The current level of `pin`.
+    pub fn level(&self, pin: Pin) -> Level {
+        self.levels[pin.index()]
+    }
+
+    /// Applies a level change. Returns `true` if the level actually
+    /// changed (i.e. the event is an edge, not a repeat).
+    pub fn apply(&mut self, event: LogicEvent) -> bool {
+        let slot = &mut self.levels[event.pin.index()];
+        let changed = *slot != event.level;
+        *slot = event.level;
+        changed
+    }
+
+    /// True if the stepper driver of `axis` is enabled (`*_EN` low).
+    pub fn is_enabled(&self, axis: crate::pin::Axis) -> bool {
+        !self.level(axis.enable_pin()).is_high()
+    }
+
+    /// Iterator over `(pin, level)` pairs in stable pin order.
+    pub fn iter(&self) -> impl Iterator<Item = (Pin, Level)> + '_ {
+        ALL_PINS.iter().map(move |p| (*p, self.level(*p)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pin::Axis;
+
+    #[test]
+    fn reset_state_matches_hardware() {
+        let bus = SignalBus::new();
+        for axis in Axis::ALL {
+            assert!(!bus.is_enabled(axis), "{axis} must reset disabled");
+        }
+        assert_eq!(bus.level(Pin::XStep), Level::Low);
+        assert_eq!(bus.level(Pin::HotendHeat), Level::Low);
+    }
+
+    #[test]
+    fn apply_reports_edges_only() {
+        let mut bus = SignalBus::new();
+        assert!(bus.apply(LogicEvent::new(Pin::YStep, Level::High)));
+        assert!(!bus.apply(LogicEvent::new(Pin::YStep, Level::High)));
+        assert!(bus.apply(LogicEvent::new(Pin::YStep, Level::Low)));
+    }
+
+    #[test]
+    fn iter_covers_every_pin() {
+        let bus = SignalBus::new();
+        assert_eq!(bus.iter().count(), Pin::COUNT);
+    }
+
+    #[test]
+    fn enable_semantics_are_active_low() {
+        let mut bus = SignalBus::new();
+        bus.apply(LogicEvent::new(Pin::EEnable, Level::Low));
+        assert!(bus.is_enabled(Axis::E));
+        bus.apply(LogicEvent::new(Pin::EEnable, Level::High));
+        assert!(!bus.is_enabled(Axis::E));
+    }
+}

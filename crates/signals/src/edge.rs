@@ -1,0 +1,129 @@
+//! Edge detection — the primitive the paper's FPGA modules build on.
+//!
+//! The paper's *Edge Detection Module* "implements an edge detector to
+//! identify events such as print head movements or extrusions via
+//! observation of the STEP and DIR stepper motor driver signals". In the
+//! FPGA this is a one-flop delay and a comparator; here it is a per-pin
+//! last-level register.
+
+use crate::event::{Edge, Level, LogicEvent};
+use crate::pin::Pin;
+
+/// Detects edges on all pins from a stream of [`LogicEvent`]s.
+///
+/// # Example
+///
+/// ```
+/// use offramps_signals::{EdgeDetector, LogicEvent, Pin, Level, Edge, SignalBus};
+///
+/// // Pre-load the detector with the bus reset levels so the first real
+/// // transition is reported.
+/// let mut det = EdgeDetector::with_bus(&SignalBus::new());
+/// let e = det.observe(LogicEvent::new(Pin::XStep, Level::High));
+/// assert_eq!(e, Some(Edge::Rising));
+/// // Re-asserting the same level is not an edge.
+/// assert_eq!(det.observe(LogicEvent::new(Pin::XStep, Level::High)), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EdgeDetector {
+    last: [Level; Pin::COUNT],
+    initialized: [bool; Pin::COUNT],
+}
+
+impl Default for EdgeDetector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EdgeDetector {
+    /// Creates a detector with all pins in the unknown state; the first
+    /// observation of each pin initialises it and is never reported as an
+    /// edge (there is nothing to compare against).
+    pub fn new() -> Self {
+        EdgeDetector {
+            last: [Level::Low; Pin::COUNT],
+            initialized: [false; Pin::COUNT],
+        }
+    }
+
+    /// Creates a detector pre-loaded with the reset levels of `bus`, so
+    /// the very first real transition is detected as an edge.
+    pub fn with_bus(bus: &crate::bus::SignalBus) -> Self {
+        let mut det = EdgeDetector::new();
+        for (pin, level) in bus.iter() {
+            det.last[pin.index()] = level;
+            det.initialized[pin.index()] = true;
+        }
+        det
+    }
+
+    /// Feeds one event; returns the edge it produced, if any.
+    pub fn observe(&mut self, event: LogicEvent) -> Option<Edge> {
+        let i = event.pin.index();
+        if !self.initialized[i] {
+            self.initialized[i] = true;
+            self.last[i] = event.level;
+            return None;
+        }
+        if self.last[i] == event.level {
+            return None;
+        }
+        self.last[i] = event.level;
+        Some(Edge::to(event.level))
+    }
+
+    /// The last observed level of `pin`, if it has been observed.
+    pub fn last_level(&self, pin: Pin) -> Option<Level> {
+        self.initialized[pin.index()].then(|| self.last[pin.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::SignalBus;
+
+    #[test]
+    fn first_observation_is_not_an_edge() {
+        let mut det = EdgeDetector::new();
+        assert_eq!(det.observe(LogicEvent::new(Pin::ZDir, Level::High)), None);
+        assert_eq!(det.last_level(Pin::ZDir), Some(Level::High));
+        assert_eq!(det.last_level(Pin::XDir), None);
+    }
+
+    #[test]
+    fn detects_both_edges() {
+        let mut det = EdgeDetector::with_bus(&SignalBus::new());
+        assert_eq!(
+            det.observe(LogicEvent::new(Pin::EStep, Level::High)),
+            Some(Edge::Rising)
+        );
+        assert_eq!(
+            det.observe(LogicEvent::new(Pin::EStep, Level::Low)),
+            Some(Edge::Falling)
+        );
+    }
+
+    #[test]
+    fn with_bus_reports_first_transition() {
+        let det = EdgeDetector::with_bus(&SignalBus::new());
+        // Enable pins idle high on the bus, so a low is a falling edge.
+        let mut det = det;
+        assert_eq!(
+            det.observe(LogicEvent::new(Pin::XEnable, Level::Low)),
+            Some(Edge::Falling)
+        );
+    }
+
+    #[test]
+    fn pins_are_independent() {
+        let mut det = EdgeDetector::with_bus(&SignalBus::new());
+        det.observe(LogicEvent::new(Pin::XStep, Level::High));
+        // Y has not moved; its first rising edge is still detected.
+        assert_eq!(
+            det.observe(LogicEvent::new(Pin::YStep, Level::High)),
+            Some(Edge::Rising)
+        );
+    }
+}

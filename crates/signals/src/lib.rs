@@ -1,0 +1,46 @@
+//! Wire-level model of the Arduino Mega ↔ RAMPS 1.4 interface.
+//!
+//! The OFFRAMPS board physically interposes on every signal between the
+//! controller (Arduino Mega running Marlin) and the driver board
+//! (RAMPS 1.4). This crate defines that signal vocabulary for the
+//! simulation:
+//!
+//! * [`Pin`] — every digital line of the interface, with its real Arduino
+//!   Mega pin number from the RAMPS 1.4 pin map,
+//! * [`Level`], [`Edge`], [`LogicEvent`] — digital levels and transitions,
+//! * [`SignalEvent`] — the full event vocabulary that flows between the
+//!   firmware, the interceptor and the plant (logic edges, thermistor ADC
+//!   samples, UART bytes),
+//! * [`SignalBus`] — the instantaneous state of all lines,
+//! * [`SignalTrace`] — a recording of events with logic-analyzer style
+//!   queries (pulse counts, widths, frequencies) and VCD export,
+//! * [`EdgeDetector`] — the edge-detection primitive the paper's FPGA
+//!   modules are built from.
+//!
+//! # Example
+//!
+//! ```
+//! use offramps_signals::{Pin, Level, SignalBus, LogicEvent};
+//!
+//! let mut bus = SignalBus::new();
+//! bus.apply(LogicEvent::new(Pin::XStep, Level::High));
+//! assert_eq!(bus.level(Pin::XStep), Level::High);
+//! assert_eq!(Pin::XStep.arduino_pin(), 54); // A0 on the Mega
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bus;
+mod edge;
+mod event;
+mod pin;
+mod trace;
+mod vcd;
+
+pub use bus::SignalBus;
+pub use edge::EdgeDetector;
+pub use event::{AnalogChannel, Level, Edge, LogicEvent, SignalEvent, UartDirection};
+pub use pin::{Axis, Pin, PinClass, ALL_PINS, CONTROL_PINS, FEEDBACK_PINS};
+pub use trace::{PinStats, SignalTrace, TraceSummary};
+pub use vcd::write_vcd;

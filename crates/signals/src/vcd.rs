@@ -1,0 +1,110 @@
+//! Value-change-dump (VCD) export.
+//!
+//! Traces captured by the interceptor can be dumped in the standard VCD
+//! format and opened in GTKWave or PulseView — the workflow an engineer
+//! would use with the physical OFFRAMPS board and a logic analyzer.
+
+use std::io::{self, Write};
+
+use offramps_des::TICK_NS;
+
+use crate::event::Level;
+use crate::pin::{Pin, ALL_PINS};
+use crate::trace::SignalTrace;
+
+/// Writes `trace` to `out` as a VCD file with one scalar wire per pin.
+///
+/// A `&mut Vec<u8>` or any other [`Write`] implementor can be passed by
+/// mutable reference.
+///
+/// # Errors
+///
+/// Returns any I/O error from the underlying writer.
+///
+/// # Example
+///
+/// ```
+/// use offramps_signals::{SignalTrace, write_vcd};
+/// let trace = SignalTrace::new();
+/// let mut buf = Vec::new();
+/// write_vcd(&mut buf, &trace, "golden print")?;
+/// assert!(String::from_utf8(buf)?.contains("$timescale 10 ns"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn write_vcd<W: Write>(mut out: W, trace: &SignalTrace, comment: &str) -> io::Result<()> {
+    writeln!(out, "$comment OFFRAMPS capture: {comment} $end")?;
+    writeln!(out, "$timescale {TICK_NS} ns $end")?;
+    writeln!(out, "$scope module offramps $end")?;
+    for pin in ALL_PINS {
+        writeln!(out, "$var wire 1 {} {} $end", ident(pin), pin.name())?;
+    }
+    writeln!(out, "$upscope $end")?;
+    writeln!(out, "$enddefinitions $end")?;
+
+    // Initial values: everything unknown until first observation.
+    writeln!(out, "$dumpvars")?;
+    for pin in ALL_PINS {
+        writeln!(out, "x{}", ident(pin))?;
+    }
+    writeln!(out, "$end")?;
+
+    let mut last_tick = None;
+    for entry in trace.entries() {
+        if last_tick != Some(entry.tick) {
+            writeln!(out, "#{}", entry.tick.ticks())?;
+            last_tick = Some(entry.tick);
+        }
+        let bit = match entry.event.level {
+            Level::Low => '0',
+            Level::High => '1',
+        };
+        writeln!(out, "{bit}{}", ident(entry.event.pin))?;
+    }
+    Ok(())
+}
+
+/// Short printable VCD identifier for a pin (one char per pin, starting at
+/// `!` which is the first legal VCD identifier character).
+fn ident(pin: Pin) -> char {
+    char::from(b'!' + pin.index() as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::LogicEvent;
+    use offramps_des::Tick;
+
+    #[test]
+    fn header_declares_every_pin() {
+        let mut buf = Vec::new();
+        write_vcd(&mut buf, &SignalTrace::new(), "empty").unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        for pin in ALL_PINS {
+            assert!(text.contains(pin.name()), "missing {pin}");
+        }
+        assert!(text.contains("$timescale 10 ns $end"));
+    }
+
+    #[test]
+    fn events_serialize_in_order_with_shared_timestamps() {
+        let mut trace = SignalTrace::new();
+        trace.record(Tick::new(5), LogicEvent::new(Pin::XStep, Level::High));
+        trace.record(Tick::new(5), LogicEvent::new(Pin::YStep, Level::High));
+        trace.record(Tick::new(9), LogicEvent::new(Pin::XStep, Level::Low));
+        let mut buf = Vec::new();
+        write_vcd(&mut buf, &trace, "t").unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let body: Vec<&str> = text
+            .lines()
+            .skip_while(|l| !l.starts_with('#'))
+            .collect();
+        assert_eq!(body, vec!["#5", "1!", "1$", "#9", "0!"]);
+    }
+
+    #[test]
+    fn identifiers_unique() {
+        let ids: std::collections::HashSet<char> = ALL_PINS.iter().map(|p| ident(*p)).collect();
+        assert_eq!(ids.len(), ALL_PINS.len());
+    }
+}

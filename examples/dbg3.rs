@@ -1,0 +1,27 @@
+use offramps::{SignalPath, TestBench};
+use offramps_bench::workloads;
+use offramps_sidechannel::{PowerDetector, PowerDetectorConfig, PowerModel};
+
+fn main() {
+    let program = workloads::detection_part();
+    let model = PowerModel::default();
+    let trace = |seed: u64| {
+        TestBench::new(seed).signal_path(SignalPath::capture()).record_trace(true)
+            .run(&program).unwrap().trace.unwrap()
+    };
+    let golden = model.synthesize(&trace(77), 77);
+    let reprint = model.synthesize(&trace(78), 78);
+    let attacked_prog = offramps_attacks::Flaw3dTrojan::Reduction { factor: 0.5 }.apply(&program);
+    let attacked = model.synthesize(
+        &TestBench::new(80).signal_path(SignalPath::capture()).record_trace(true)
+            .run(&attacked_prog).unwrap().trace.unwrap(), 80);
+    for smoothing in [20usize, 50, 100, 200, 400] {
+        let cfg = PowerDetectorConfig { smoothing, ..Default::default() };
+        let det = PowerDetector::new(golden.clone(), cfg);
+        let clean = det.compare(&reprint);
+        let bad = det.compare(&attacked);
+        println!("smoothing {smoothing:>3}: clean frac {:.4} (dev {:.1} W) | x0.5 frac {:.4} (dev {:.1} W)",
+            clean.anomaly_fraction(), clean.largest_deviation_w,
+            bad.anomaly_fraction(), bad.largest_deviation_w);
+    }
+}

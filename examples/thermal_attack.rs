@@ -1,0 +1,75 @@
+//! Thermal Trojans head-to-head: T6 (heater DoS) vs T7 (forced thermal
+//! runaway), with temperature timelines.
+//!
+//! ```bash
+//! cargo run --release --example thermal_attack
+//! ```
+//!
+//! T6 starves the heaters: the firmware's heating-failed watchdog kills
+//! the print ("causing the Marlin firmware to enter an error state").
+//! T7 seizes the MOSFET gates: the firmware's MAXTEMP panic fires — and
+//! is ignored, because the Trojan owns the gate downstream of the
+//! firmware. The hotend sails past its working specification.
+
+use offramps::trojans::{HeaterDosTrojan, ThermalRunawayTrojan};
+use offramps::TestBench;
+use offramps_bench::workloads;
+use offramps_des::{SimDuration, Tick};
+
+fn sparkline(temps: &[(Tick, f64, f64)], buckets: usize) -> String {
+    if temps.is_empty() {
+        return String::new();
+    }
+    let max = temps.iter().map(|(_, h, _)| *h).fold(1.0_f64, f64::max);
+    let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#', '@'];
+    let stride = (temps.len() / buckets).max(1);
+    temps
+        .iter()
+        .step_by(stride)
+        .map(|(_, h, _)| {
+            let idx = ((h / max) * (glyphs.len() - 1) as f64).round() as usize;
+            glyphs[idx.min(glyphs.len() - 1)]
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = workloads::standard_part();
+
+    println!("=== golden (no Trojan) ===");
+    let golden = TestBench::new(1).run(&program)?;
+    let peak = golden.temps.iter().map(|(_, h, _)| *h).fold(0.0, f64::max);
+    println!("state: {:?}", golden.fw_state);
+    println!("hotend peak: {peak:.1} C (target 215)");
+    println!("timeline: {}\n", sparkline(&golden.temps, 60));
+
+    println!("=== T6: heater DoS ===");
+    let t6 = TestBench::new(2)
+        .with_trojan(Box::new(HeaterDosTrojan::new()))
+        .run(&program)?;
+    let peak = t6.temps.iter().map(|(_, h, _)| *h).fold(0.0, f64::max);
+    println!("state: {:?}", t6.fw_state);
+    println!("hotend peak: {peak:.1} C — heaters never powered");
+    println!("print aborted after {} (golden took {})", t6.sim_time, golden.sim_time);
+    println!("timeline: {}\n", sparkline(&t6.temps, 60));
+
+    println!("=== T7: forced thermal runaway ===");
+    let t7 = TestBench::new(3)
+        .with_trojan(Box::new(ThermalRunawayTrojan::hotend()))
+        .drain_time(SimDuration::from_secs(180))
+        .run(&program)?;
+    println!("state: {:?} (firmware killed itself)", t7.fw_state);
+    println!(
+        "hotend peak: {:.1} C — {:.0} s above the {:.0} C damage temperature",
+        t7.plant.hotend_peak_c, t7.plant.hotend_seconds_over_damage, 290.0
+    );
+    println!("timeline: {}", sparkline(&t7.temps, 60));
+    println!(
+        "\nThe firmware's MAXTEMP cutoff fired, but the Trojan holds the gate:\n\
+         the element keeps heating after the kill — the paper's purely\n\
+         destructive scenario."
+    );
+
+    assert!(t7.plant.hotend_peak_c > 275.0);
+    Ok(())
+}

@@ -1,0 +1,234 @@
+//! `offramps-cli` — drive the reproduction from the command line.
+//!
+//! ```bash
+//! # Slice a box to G-code:
+//! offramps-cli slice --width 10 --depth 10 --height 1.5 > part.gcode
+//!
+//! # Print it through the interceptor, capturing step counts:
+//! offramps-cli print part.gcode --capture golden.csv --seed 1
+//!
+//! # Print again with a Trojan armed:
+//! offramps-cli print part.gcode --capture bad.csv --seed 2 --trojan t2
+//!
+//! # Apply a Flaw3D attack to the G-code itself:
+//! offramps-cli attack part.gcode --reduction 0.9 > attacked.gcode
+//!
+//! # Detect (exit code 1 when a Trojan is suspected):
+//! offramps-cli detect golden.csv bad.csv
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, Read, Write};
+use std::process::ExitCode;
+
+use offramps::trojans::{
+    AxisShiftTrojan, EndstopSpoofTrojan, FanUnderspeedTrojan, FlowReductionTrojan,
+    HeaterDosTrojan, RetractionMode, RetractionTrojan, StepperDosTrojan,
+    ThermalRunawayTrojan, ThermistorSpoofTrojan, Trojan, ZShiftTrojan, ZWobbleTrojan,
+};
+use offramps::{detect, Capture, SignalPath, TestBench};
+use offramps_attacks::Flaw3dTrojan;
+use offramps_gcode::slicer::{slice, SlicerConfig, Solid};
+use offramps_gcode::{parse, ProgramStats};
+
+const USAGE: &str = "\
+offramps-cli — OFFRAMPS reproduction driver
+
+USAGE:
+  offramps-cli slice  [--width MM] [--depth MM] [--height MM] [--layer MM]
+  offramps-cli print  <file.gcode> [--seed N] [--capture out.csv]
+                      [--trojan t1|t2|t3|t4|t5|t6|t7|t8|t9|tx1|tx2] [--trace out.vcd]
+  offramps-cli attack <file.gcode> (--reduction FACTOR | --relocation N)
+  offramps-cli detect <golden.csv> <observed.csv> [--margin PCT]
+  offramps-cli stats  <file.gcode>
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Pulls `--flag value` out of `args`; returns the value.
+fn opt(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn opt_f64(args: &[String], flag: &str, default: f64) -> Result<f64, String> {
+    match opt(args, flag) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("{flag} expects a number, got {v:?}")),
+    }
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    let mut s = String::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut s))
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    Ok(s)
+}
+
+fn trojan_by_name(name: &str) -> Result<Box<dyn Trojan>, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "t1" => Box::new(AxisShiftTrojan::new()),
+        "t2" => Box::new(FlowReductionTrojan::half()),
+        "t3" => Box::new(RetractionTrojan::new(RetractionMode::Over)),
+        "t4" => Box::new(ZWobbleTrojan::new()),
+        "t5" => Box::new(ZShiftTrojan::delamination()),
+        "t6" => Box::new(HeaterDosTrojan::new()),
+        "t7" => Box::new(ThermalRunawayTrojan::hotend()),
+        "t8" => Box::new(StepperDosTrojan::new()),
+        "t9" => Box::new(FanUnderspeedTrojan::quarter()),
+        "tx1" => Box::new(EndstopSpoofTrojan::new()),
+        "tx2" => Box::new(ThermistorSpoofTrojan::reads_cold_by(30.0)),
+        other => return Err(format!("unknown trojan {other:?}")),
+    })
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing subcommand".into());
+    };
+    match cmd.as_str() {
+        "slice" => cmd_slice(&args[1..]),
+        "print" => cmd_print(&args[1..]),
+        "attack" => cmd_attack(&args[1..]),
+        "detect" => cmd_detect(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn cmd_slice(args: &[String]) -> Result<ExitCode, String> {
+    let width = opt_f64(args, "--width", 10.0)?;
+    let depth = opt_f64(args, "--depth", 10.0)?;
+    let height = opt_f64(args, "--height", 1.5)?;
+    let layer = opt_f64(args, "--layer", 0.3)?;
+    if width <= 0.0 || depth <= 0.0 || height <= 0.0 || layer <= 0.0 {
+        return Err("dimensions must be positive".into());
+    }
+    let cfg = SlicerConfig { layer_height: layer, ..SlicerConfig::fast() };
+    let program = slice(&Solid::rect_prism(width, depth, height), &cfg);
+    print!("{}", program.to_gcode());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_print(args: &[String]) -> Result<ExitCode, String> {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err("print needs a g-code file".into());
+    };
+    let program = parse(&read_file(path)?).map_err(|e| e.to_string())?;
+    let seed = opt_f64(args, "--seed", 1.0)? as u64;
+    let capture_path = opt(args, "--capture");
+    let trace_path = opt(args, "--trace");
+
+    let mut bench = TestBench::new(seed);
+    if capture_path.is_some() {
+        bench = bench.signal_path(SignalPath::capture());
+    }
+    if trace_path.is_some() {
+        bench = bench.record_trace(true);
+    }
+    if let Some(name) = opt(args, "--trojan") {
+        bench = bench.with_trojan(trojan_by_name(&name)?);
+    }
+    let run = bench.run(&program).map_err(|e| e.to_string())?;
+
+    println!("firmware state:   {:?}", run.fw_state);
+    println!("simulated time:   {}", run.sim_time);
+    println!("events processed: {}", run.events);
+    println!(
+        "hotend peak:      {:.1} C   fan duty: {:.2}",
+        run.plant.hotend_peak_c, run.plant.fan_duty
+    );
+    println!(
+        "deposited:        {:.2} mm filament over {} segments",
+        run.part.deposited_e_mm(),
+        run.part.segments().len()
+    );
+    if let (Some(p), Some(cap)) = (capture_path, run.capture.as_ref()) {
+        let f = File::create(&p).map_err(|e| format!("cannot write {p}: {e}"))?;
+        cap.write_csv(f).map_err(|e| e.to_string())?;
+        println!("capture written:  {p} ({} transactions)", cap.len());
+    }
+    if let (Some(p), Some(trace)) = (trace_path, run.trace.as_ref()) {
+        let f = File::create(&p).map_err(|e| format!("cannot write {p}: {e}"))?;
+        offramps_signals::write_vcd(std::io::BufWriter::new(f), trace, path)
+            .map_err(|e| e.to_string())?;
+        println!("VCD written:      {p} ({} events)", trace.len());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_attack(args: &[String]) -> Result<ExitCode, String> {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err("attack needs a g-code file".into());
+    };
+    let program = parse(&read_file(path)?).map_err(|e| e.to_string())?;
+    let trojan = if let Some(f) = opt(args, "--reduction") {
+        Flaw3dTrojan::Reduction {
+            factor: f.parse().map_err(|_| "bad --reduction factor")?,
+        }
+    } else if let Some(n) = opt(args, "--relocation") {
+        Flaw3dTrojan::Relocation {
+            every_n: n.parse().map_err(|_| "bad --relocation stride")?,
+        }
+    } else {
+        return Err("attack needs --reduction FACTOR or --relocation N".into());
+    };
+    let out = trojan.apply(&program);
+    std::io::stdout()
+        .write_all(out.to_gcode().as_bytes())
+        .map_err(|e| e.to_string())?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_detect(args: &[String]) -> Result<ExitCode, String> {
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [golden_path, observed_path] = files.as_slice() else {
+        return Err("detect needs <golden.csv> <observed.csv>".into());
+    };
+    let load = |p: &str| -> Result<Capture, String> {
+        let f = File::open(p).map_err(|e| format!("cannot open {p}: {e}"))?;
+        Capture::from_csv(BufReader::new(f)).map_err(|e| e.to_string())
+    };
+    let golden = load(golden_path)?;
+    let observed = load(observed_path)?;
+    let margin = opt_f64(args, "--margin", 5.0)? / 100.0;
+    let cfg = detect::DetectorConfig { margin, ..detect::DetectorConfig::default() };
+    let report = detect::compare(&golden, &observed, &cfg);
+    println!("{report}");
+    Ok(if report.trojan_suspected {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
+    let Some(path) = args.first() else {
+        return Err("stats needs a g-code file".into());
+    };
+    let program = parse(&read_file(path)?).map_err(|e| e.to_string())?;
+    let s = ProgramStats::analyze(&program);
+    println!("commands:         {}", program.len());
+    println!("layers:           {}", s.layer_count());
+    println!("filament (net):   {:.2} mm", s.net_extruded_mm);
+    println!("extrusion path:   {:.1} mm", s.extrusion_path_mm);
+    println!("travel path:      {:.1} mm", s.travel_path_mm);
+    println!("max hotend target:{:.0} C", s.max_hotend_target);
+    Ok(ExitCode::SUCCESS)
+}

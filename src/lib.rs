@@ -1,0 +1,13 @@
+//! Umbrella crate for the OFFRAMPS reproduction workspace.
+//!
+//! Re-exports the public API of every member crate so that examples and
+//! integration tests can use a single dependency. Library users should
+//! depend on the individual crates instead.
+
+pub use offramps as core;
+pub use offramps_attacks as attacks;
+pub use offramps_des as des;
+pub use offramps_firmware as firmware;
+pub use offramps_gcode as gcode;
+pub use offramps_printer as printer;
+pub use offramps_signals as signals;
