@@ -20,7 +20,14 @@ pub(crate) struct ExecState {
 
 impl Default for ExecState {
     fn default() -> Self {
-        ExecState { absolute: true, e_absolute: true, e: 0.0, x: 0.0, y: 0.0, z: 0.0 }
+        ExecState {
+            absolute: true,
+            e_absolute: true,
+            e: 0.0,
+            x: 0.0,
+            y: 0.0,
+            z: 0.0,
+        }
     }
 }
 
@@ -119,8 +126,10 @@ mod tests {
 
     #[test]
     fn absolute_delta_math() {
-        let mut s = ExecState::default();
-        s.e = 5.0;
+        let mut s = ExecState {
+            e: 5.0,
+            ..ExecState::default()
+        };
         assert_eq!(s.move_e_delta(Some(7.0)), 2.0);
         assert_eq!(s.rewrite_e(1.0), 6.0);
         s.apply_move(None, None, None, Some(7.0));
@@ -129,9 +138,11 @@ mod tests {
 
     #[test]
     fn relative_delta_math() {
-        let mut s = ExecState::default();
-        s.e_absolute = false;
-        s.e = 5.0;
+        let mut s = ExecState {
+            e_absolute: false,
+            e: 5.0,
+            ..ExecState::default()
+        };
         assert_eq!(s.move_e_delta(Some(2.0)), 2.0);
         assert_eq!(s.rewrite_e(1.0), 1.0);
         s.apply_move(None, None, None, Some(2.0));
@@ -142,9 +153,18 @@ mod tests {
     fn g92_and_home() {
         let mut s = ExecState::default();
         s.apply_move(Some(3.0), Some(4.0), None, Some(2.0));
-        s.apply_non_move(&GCommand::SetPosition { x: None, y: None, z: None, e: Some(0.0) });
+        s.apply_non_move(&GCommand::SetPosition {
+            x: None,
+            y: None,
+            z: None,
+            e: Some(0.0),
+        });
         assert_eq!(s.e, 0.0);
-        s.apply_non_move(&GCommand::Home { x: true, y: true, z: true });
+        s.apply_non_move(&GCommand::Home {
+            x: true,
+            y: true,
+            z: true,
+        });
         assert_eq!((s.x, s.y), (0.0, 0.0));
     }
 

@@ -22,7 +22,14 @@ pub fn scale_feedrates(program: &Program, factor: f64) -> Program {
     program
         .iter()
         .map(|cmd| match cmd {
-            GCommand::Move { rapid, x, y, z, e, feedrate } => GCommand::Move {
+            GCommand::Move {
+                rapid,
+                x,
+                y,
+                z,
+                e,
+                feedrate,
+            } => GCommand::Move {
                 rapid: *rapid,
                 x: *x,
                 y: *y,
@@ -43,11 +50,15 @@ pub fn offset_temperatures(program: &Program, delta_c: f64) -> Program {
         .iter()
         .map(|cmd| match cmd {
             GCommand::SetHotendTemp { celsius, wait } if *celsius > 0.0 => {
-                GCommand::SetHotendTemp { celsius: (celsius + delta_c).max(0.0), wait: *wait }
+                GCommand::SetHotendTemp {
+                    celsius: (celsius + delta_c).max(0.0),
+                    wait: *wait,
+                }
             }
-            GCommand::SetBedTemp { celsius, wait } if *celsius > 0.0 => {
-                GCommand::SetBedTemp { celsius: (celsius + delta_c).max(0.0), wait: *wait }
-            }
+            GCommand::SetBedTemp { celsius, wait } if *celsius > 0.0 => GCommand::SetBedTemp {
+                celsius: (celsius + delta_c).max(0.0),
+                wait: *wait,
+            },
             other => other.clone(),
         })
         .collect()
@@ -57,11 +68,7 @@ pub fn offset_temperatures(program: &Program, delta_c: f64) -> Program {
 /// first `keep_prefix` commands — the most blatant variant in \[12\]
 /// ("execution of alternative g-code", printing a totally incorrect
 /// object).
-pub fn substitute_program(
-    program: &Program,
-    keep_prefix: usize,
-    replacement: &Program,
-) -> Program {
+pub fn substitute_program(program: &Program, keep_prefix: usize, replacement: &Program) -> Program {
     program
         .iter()
         .take(keep_prefix)

@@ -8,14 +8,12 @@
 //! yielded eight Trojans from two categories" — reduction factors
 //! 0.5/0.85/0.9/0.98 and relocation every 5/10/20/100 movements.
 
-use serde::{Deserialize, Serialize};
-
 use offramps_gcode::{GCommand, Program};
 
 use crate::exec_state::ExecState;
 
 /// One Flaw3D-style G-code Trojan.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Flaw3dTrojan {
     /// Scale every extrusion delta by `factor` (< 1 under-extrudes).
     /// "Modification value for reduction is a factor by which extrusion
@@ -101,10 +99,16 @@ fn reduce(program: &Program, factor: f64) -> Program {
     let mut out = Program::new();
     for cmd in program.commands() {
         match cmd {
-            GCommand::Move { rapid, x, y, z, e, feedrate } => {
+            GCommand::Move {
+                rapid,
+                x,
+                y,
+                z,
+                e,
+                feedrate,
+            } => {
                 let delta = state.move_e_delta(*e);
-                let is_print_move =
-                    delta > 0.0 && (x.is_some() || y.is_some() || z.is_some());
+                let is_print_move = delta > 0.0 && (x.is_some() || y.is_some() || z.is_some());
                 let new_delta = if is_print_move { delta * factor } else { delta };
                 let new_e = e.map(|_| {
                     if state.e_absolute {
@@ -175,20 +179,30 @@ fn relocate(program: &Program, every_n: u32) -> Program {
     let mut out = Program::new();
     for cmd in program.commands() {
         match cmd {
-            GCommand::Move { rapid, x, y, z, e, feedrate } => {
+            GCommand::Move {
+                rapid,
+                x,
+                y,
+                z,
+                e,
+                feedrate,
+            } => {
                 let delta = state.move_e_delta(*e);
-                let is_print_move =
-                    delta > 0.0 && (x.is_some() || y.is_some() || z.is_some());
+                let is_print_move = delta > 0.0 && (x.is_some() || y.is_some() || z.is_some());
                 let mut new_delta = delta;
                 if is_print_move {
                     counter += 1;
-                    if counter % every_n == 0 && counter < total_print_moves {
+                    if counter.is_multiple_of(every_n) && counter < total_print_moves {
                         stolen += delta;
                         new_delta = 0.0;
                     } else if stolen > 0.0 {
                         // Re-deposit the withheld filament as a slow
                         // stationary blob before this move.
-                        let blob_e = if state.e_absolute { out_e + stolen } else { stolen };
+                        let blob_e = if state.e_absolute {
+                            out_e + stolen
+                        } else {
+                            stolen
+                        };
                         out.push(GCommand::Move {
                             rapid: false,
                             x: None,
@@ -319,7 +333,10 @@ mod tests {
         let mut xy_deltas = Vec::new();
         let mut blobs = Vec::new();
         for cmd in attacked.commands() {
-            if let GCommand::Move { e: Some(e), x, y, .. } = cmd {
+            if let GCommand::Move {
+                e: Some(e), x, y, ..
+            } = cmd
+            {
                 if x.is_some() || y.is_some() {
                     xy_deltas.push(*e);
                 } else if *e > 0.0 {
@@ -330,7 +347,11 @@ mod tests {
         assert_eq!(xy_deltas.len(), 8);
         assert_eq!(xy_deltas[1], 0.0, "second move robbed");
         assert_eq!(xy_deltas[2], 0.5, "third move keeps its own material");
-        assert_eq!(blobs, vec![0.5, 0.5, 0.5], "three blobs re-deposit the theft");
+        assert_eq!(
+            blobs,
+            vec![0.5, 0.5, 0.5],
+            "three blobs re-deposit the theft"
+        );
     }
 
     #[test]
@@ -340,10 +361,7 @@ mod tests {
         assert_eq!(TABLE_II_CASES[7].1.modification_value(), 100.0);
         assert_eq!(TABLE_II_CASES[0].1.type_name(), "Reduction");
         assert_eq!(TABLE_II_CASES[4].1.type_name(), "Relocation");
-        assert_eq!(
-            TABLE_II_CASES[6].1.to_string(),
-            "Relocation every 20"
-        );
+        assert_eq!(TABLE_II_CASES[6].1.to_string(), "Relocation every 20");
     }
 
     #[test]

@@ -8,14 +8,12 @@
 //! the toolpath still travels there (the part *looks* the same from
 //! outside) but no material is deposited — an internal void.
 
-use serde::{Deserialize, Serialize};
-
 use offramps_gcode::{GCommand, Program};
 
 use crate::exec_state::ExecState;
 
 /// An axis-aligned box inside the part where material is removed.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VoidRegion {
     /// Box minimum corner (x, y, z), mm.
     pub min: (f64, f64, f64),
@@ -54,11 +52,22 @@ pub fn insert_void(program: &Program, region: &VoidRegion) -> (Program, usize) {
     let mut out = Program::new();
     for cmd in program.commands() {
         match cmd {
-            GCommand::Move { rapid, x, y, z, e, feedrate } => {
+            GCommand::Move {
+                rapid,
+                x,
+                y,
+                z,
+                e,
+                feedrate,
+            } => {
                 let delta = state.move_e_delta(*e);
                 let (ox, oy, oz) = (state.x, state.y, state.z);
                 state.apply_move(*x, *y, *z, *e);
-                let mid = ((ox + state.x) / 2.0, (oy + state.y) / 2.0, (oz + state.z) / 2.0);
+                let mid = (
+                    (ox + state.x) / 2.0,
+                    (oy + state.y) / 2.0,
+                    (oz + state.z) / 2.0,
+                );
                 let in_region = region.contains(mid.0, mid.1, mid.2);
                 let is_print_move = delta > 0.0 && (x.is_some() || y.is_some());
                 let new_delta = if is_print_move && in_region {

@@ -19,7 +19,8 @@ fn margin_sweep() {
     let program = workloads::standard_part();
     let golden = table2::golden_capture(&program, 31);
     let reprint = table2::golden_capture(&program, 32);
-    let attacked_prog = Flaw3dTrojan::Reduction { factor: 0.85 }.apply(&program);
+    let attacked_prog =
+        std::sync::Arc::new(Flaw3dTrojan::Reduction { factor: 0.85 }.apply(&program));
     let attacked = TestBench::new(33)
         .signal_path(SignalPath::capture())
         .run(&attacked_prog)
@@ -42,8 +43,16 @@ fn margin_sweep() {
         println!(
             "{:<8} {:<22} {:<20}",
             format!("{pct}%"),
-            format!("{} (suspected: {})", fp.mismatches.len(), fp.trojan_suspected),
-            format!("{} (suspected: {})", tp.mismatches.len(), tp.trojan_suspected),
+            format!(
+                "{} (suspected: {})",
+                fp.mismatches.len(),
+                fp.trojan_suspected
+            ),
+            format!(
+                "{} (suspected: {})",
+                tp.mismatches.len(),
+                tp.trojan_suspected
+            ),
         );
     }
     println!();
@@ -52,12 +61,17 @@ fn margin_sweep() {
 fn period_sweep() {
     println!("--- export-period sweep (drift between known-good prints) ---");
     let program = workloads::standard_part();
-    println!("{:<12} {:<14} {:<10}", "period", "transactions", "max drift");
+    println!(
+        "{:<12} {:<14} {:<10}",
+        "period", "transactions", "max drift"
+    );
     for ms in [20u64, 50, 100, 200, 500] {
         let mitm = |seed: u64| {
-            let mut cfg = offramps::MitmConfig::default();
-            cfg.path = SignalPath::capture();
-            cfg.export_period = SimDuration::from_millis(ms);
+            let cfg = offramps::MitmConfig {
+                path: SignalPath::capture(),
+                export_period: SimDuration::from_millis(ms),
+                ..Default::default()
+            };
             TestBench::new(seed)
                 .mitm_config(cfg)
                 .run(&program)
@@ -70,7 +84,10 @@ fn period_sweep() {
         let rep = detect::compare(
             &a,
             &b,
-            &detect::DetectorConfig { final_check: false, ..Default::default() },
+            &detect::DetectorConfig {
+                final_check: false,
+                ..Default::default()
+            },
         );
         println!(
             "{:<12} {:<14} {:<10}",
@@ -96,7 +113,7 @@ fn stealth_frontier() {
         "factor", "window-only", "with final check"
     );
     for factor in [0.98_f64, 0.95, 0.9, 0.8, 0.5] {
-        let attacked_prog = Flaw3dTrojan::Reduction { factor }.apply(&program);
+        let attacked_prog = std::sync::Arc::new(Flaw3dTrojan::Reduction { factor }.apply(&program));
         let attacked = TestBench::new(60 + (factor * 100.0) as u64)
             .signal_path(SignalPath::capture())
             .run(&attacked_prog)
@@ -108,8 +125,16 @@ fn stealth_frontier() {
         println!(
             "{:<10} {:<18} {:<18}",
             factor,
-            if w.trojan_suspected { "detected" } else { "MISSED" },
-            if f.trojan_suspected { "detected" } else { "MISSED" },
+            if w.trojan_suspected {
+                "detected"
+            } else {
+                "MISSED"
+            },
+            if f.trojan_suspected {
+                "detected"
+            } else {
+                "MISSED"
+            },
         );
     }
     println!();

@@ -15,10 +15,9 @@ fn print_table() {
     let (ours, theirs) = baseline::score(&rows);
     println!("\nOFFRAMPS detected {ours}/8; power side-channel detected {theirs}/8");
     println!("(the paper: direct signal access loses no data; side-channels are lossy)\n");
-    if let Ok(json) = serde_json::to_string_pretty(&rows) {
-        let _ = std::fs::create_dir_all("target/experiments");
-        let _ = std::fs::write("target/experiments/baseline.json", json);
-    }
+    let json = offramps_bench::json::to_string_pretty(&rows);
+    let _ = std::fs::create_dir_all("target/experiments");
+    let _ = std::fs::write("target/experiments/baseline.json", json);
 }
 
 fn benches(c: &mut Criterion) {

@@ -7,7 +7,9 @@ use offramps::{detect, Capture, OnlineDetector};
 use offramps_bench::{fig4, table2, workloads};
 
 fn print_figure() {
-    println!("\n================ FIGURE 4 (detection of an emulated Flaw3D Trojan) ================");
+    println!(
+        "\n================ FIGURE 4 (detection of an emulated Flaw3D Trojan) ================"
+    );
     let program = workloads::detection_part();
     let fig = fig4::regenerate(&program, 11);
     let (golden, trojaned) = fig.excerpt(6);
@@ -16,10 +18,12 @@ fn print_figure() {
     println!("(c) detection tool output:\n{}\n", fig.report);
     let _ = std::fs::create_dir_all("target/experiments");
     let _ = std::fs::write("target/experiments/fig4_golden.csv", fig.golden.to_csv());
-    let _ = std::fs::write("target/experiments/fig4_trojaned.csv", fig.trojaned.to_csv());
-    if let Ok(json) = serde_json::to_string_pretty(&fig.report) {
-        let _ = std::fs::write("target/experiments/fig4_report.json", json);
-    }
+    let _ = std::fs::write(
+        "target/experiments/fig4_trojaned.csv",
+        fig.trojaned.to_csv(),
+    );
+    let json = offramps_bench::json::to_string_pretty(&fig.report);
+    let _ = std::fs::write("target/experiments/fig4_report.json", json);
 }
 
 fn benches(c: &mut Criterion) {
@@ -35,8 +39,7 @@ fn benches(c: &mut Criterion) {
     });
     group.bench_function("online_feed_full_print", |b| {
         b.iter(|| {
-            let mut det =
-                OnlineDetector::new(golden.clone(), detect::DetectorConfig::default());
+            let mut det = OnlineDetector::new(golden.clone(), detect::DetectorConfig::default());
             for t in golden.transactions() {
                 det.feed(*t);
             }

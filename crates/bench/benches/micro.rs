@@ -37,8 +37,7 @@ fn benches(c: &mut Criterion) {
     });
     group.bench_function("exec_2000_steps", |b| {
         b.iter(|| {
-            let mut exec =
-                MoveExec::new([2000, 777, 0, 333], 20.0, 40.0, 1000.0, Tick::ZERO, 1.0);
+            let mut exec = MoveExec::new([2000, 777, 0, 333], 20.0, 40.0, 1000.0, Tick::ZERO, 1.0);
             let mut n = 0;
             while exec.next_step().is_some() {
                 n += 1;

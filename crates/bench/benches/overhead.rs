@@ -5,7 +5,7 @@ use criterion::{Criterion, SamplingMode};
 
 use offramps::{MitmConfig, Offramps, SignalPath};
 use offramps_bench::{overhead, workloads};
-use offramps_des::Tick;
+use offramps_des::{ActionSink, Tick};
 use offramps_signals::{Level, Pin, SignalEvent};
 
 fn print_report() {
@@ -13,10 +13,9 @@ fn print_report() {
     let program = workloads::standard_part();
     let report = overhead::regenerate(&program, 21);
     println!("{}\n", overhead::format_report(&report));
-    if let Ok(json) = serde_json::to_string_pretty(&report) {
-        let _ = std::fs::create_dir_all("target/experiments");
-        let _ = std::fs::write("target/experiments/overhead.json", json);
-    }
+    let json = offramps_bench::json::to_string_pretty(&report);
+    let _ = std::fs::create_dir_all("target/experiments");
+    let _ = std::fs::write("target/experiments/overhead.json", json);
 }
 
 /// Measures events/second through the interceptor for each Figure 3
@@ -32,24 +31,29 @@ fn benches(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter_batched(
                 || {
-                    let cfg = MitmConfig { path, ..MitmConfig::default() };
+                    let cfg = MitmConfig {
+                        path,
+                        ..MitmConfig::default()
+                    };
                     let mut m = Offramps::new(cfg, 1);
                     if path.modify {
-                        m.add_trojan(Box::new(
-                            offramps::trojans::FlowReductionTrojan::half(),
-                        ));
+                        m.add_trojan(Box::new(offramps::trojans::FlowReductionTrojan::half()));
                     }
                     m
                 },
                 |mut m| {
-                    // 10k step edges through the control path.
+                    // 10k step edges through the control path, reusing
+                    // one sink like the scheduler does.
+                    let mut sink = ActionSink::new();
                     for i in 0..5_000u64 {
                         let t = Tick::from_micros(i * 100);
-                        m.on_control(t, SignalEvent::logic(Pin::XStep, Level::High));
-                        m.on_control(
-                            t + offramps_des::SimDuration::from_micros(2),
-                            SignalEvent::logic(Pin::XStep, Level::Low),
-                        );
+                        sink.begin(t);
+                        m.on_control(t, SignalEvent::logic(Pin::XStep, Level::High), &mut sink);
+                        sink.drain().for_each(drop);
+                        let t2 = t + offramps_des::SimDuration::from_micros(2);
+                        sink.begin(t2);
+                        m.on_control(t2, SignalEvent::logic(Pin::XStep, Level::Low), &mut sink);
+                        sink.drain().for_each(drop);
                     }
                     m
                 },

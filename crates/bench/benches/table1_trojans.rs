@@ -14,10 +14,9 @@ fn print_table() {
     let ok = rows.iter().filter(|r| r.matches_paper).count();
     println!("rows matching the paper: {ok}/{}\n", rows.len());
     // Machine-readable copy for EXPERIMENTS.md.
-    if let Ok(json) = serde_json::to_string_pretty(&rows) {
-        let _ = std::fs::create_dir_all("target/experiments");
-        let _ = std::fs::write("target/experiments/table1.json", json);
-    }
+    let json = offramps_bench::json::to_string_pretty(&rows);
+    let _ = std::fs::create_dir_all("target/experiments");
+    let _ = std::fs::write("target/experiments/table1.json", json);
 }
 
 fn benches(c: &mut Criterion) {

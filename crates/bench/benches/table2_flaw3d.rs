@@ -14,10 +14,9 @@ fn print_table() {
     print!("{}", table2::format_table(&rows));
     let detected = rows.iter().filter(|r| r.detected).count();
     println!("detected: {detected}/8 (paper: 8/8)\n");
-    if let Ok(json) = serde_json::to_string_pretty(&rows) {
-        let _ = std::fs::create_dir_all("target/experiments");
-        let _ = std::fs::write("target/experiments/table2.json", json);
-    }
+    let json = offramps_bench::json::to_string_pretty(&rows);
+    let _ = std::fs::create_dir_all("target/experiments");
+    let _ = std::fs::write("target/experiments/table2.json", json);
 }
 
 fn benches(c: &mut Criterion) {
@@ -25,7 +24,7 @@ fn benches(c: &mut Criterion) {
     // host-side analysis that would run in real time during a print).
     let program = workloads::standard_part();
     let golden = table2::golden_capture(&program, 1);
-    let attacked = Flaw3dTrojan::Reduction { factor: 0.9 }.apply(&program);
+    let attacked = std::sync::Arc::new(Flaw3dTrojan::Reduction { factor: 0.9 }.apply(&program));
     let observed = TestBench::new(2)
         .signal_path(SignalPath::capture())
         .run(&attacked)

@@ -6,7 +6,7 @@
 //! experiment quantifies the claim: the same Table II attacks, judged by
 //! both detectors.
 
-use serde::Serialize;
+use std::sync::Arc;
 
 use offramps::{detect, SignalPath, TestBench};
 use offramps_attacks::TABLE_II_CASES;
@@ -15,7 +15,7 @@ use offramps_sidechannel::{CalibratedPowerDetector, PowerDetectorConfig, PowerMo
 use offramps_signals::SignalTrace;
 
 /// One row of the comparison.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BaselineRow {
     /// Table II case number.
     pub case: u32,
@@ -36,7 +36,7 @@ struct Run {
     power: PowerTrace,
 }
 
-fn run(program: &Program, seed: u64, model: &PowerModel) -> Run {
+fn run(program: &Arc<Program>, seed: u64, model: &PowerModel) -> Run {
     let art = TestBench::new(seed)
         .signal_path(SignalPath::capture())
         .record_trace(true)
@@ -58,7 +58,7 @@ pub const CALIBRATION_RUNS: usize = 5;
 /// eight Flaw3D cases under both detectors. The power baseline gets the
 /// repetition-calibration the published systems rely on; OFFRAMPS gets
 /// a single golden print, as in the paper.
-pub fn regenerate(program: &Program, seed: u64) -> Vec<BaselineRow> {
+pub fn regenerate(program: &Arc<Program>, seed: u64) -> Vec<BaselineRow> {
     let model = PowerModel::default();
     let golden = run(program, seed, &model);
     // Calibrate the power baseline from repeated golden prints.
@@ -73,7 +73,6 @@ pub fn regenerate(program: &Program, seed: u64) -> Vec<BaselineRow> {
             smoothing: 100, // 1 s windows tame move-boundary jitter
             suspect_fraction: 0.15,
             sigma_threshold: 5.0,
-            ..Default::default()
         },
     );
     let dcfg = detect::DetectorConfig::default();
@@ -95,7 +94,7 @@ pub fn regenerate(program: &Program, seed: u64) -> Vec<BaselineRow> {
         });
     }
     rows.extend(TABLE_II_CASES.iter().map(|(case, trojan)| {
-        let attacked_program = trojan.apply(program);
+        let attacked_program = Arc::new(trojan.apply(program));
         let attacked = run(&attacked_program, seed + 200 + u64::from(*case), &model);
         let offramps_rep = detect::compare(&golden.capture, &attacked.capture, &dcfg);
         let power_rep = power_detector.compare(&attacked.power);
@@ -109,6 +108,19 @@ pub fn regenerate(program: &Program, seed: u64) -> Vec<BaselineRow> {
         }
     }));
     rows
+}
+
+impl crate::json::ToJson for BaselineRow {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        let mut w = crate::json::ObjectWriter::new(out, indent);
+        w.int("case", self.case as i128)
+            .string("trojan_type", &self.trojan_type)
+            .float("modification_value", self.modification_value)
+            .bool("offramps_detected", self.offramps_detected)
+            .bool("power_detected", self.power_detected)
+            .float("power_deviation_w", self.power_deviation_w);
+        w.finish();
+    }
 }
 
 /// Formats the comparison table.
@@ -151,7 +163,11 @@ pub fn format_table(rows: &[BaselineRow]) -> String {
 /// caught.
 pub fn score(rows: &[BaselineRow]) -> (usize, usize) {
     (
-        rows.iter().filter(|r| r.case > 0 && r.offramps_detected).count(),
-        rows.iter().filter(|r| r.case > 0 && r.power_detected).count(),
+        rows.iter()
+            .filter(|r| r.case > 0 && r.offramps_detected)
+            .count(),
+        rows.iter()
+            .filter(|r| r.case > 0 && r.power_detected)
+            .count(),
     )
 }

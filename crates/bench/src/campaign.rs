@@ -1,0 +1,597 @@
+//! Parallel scenario campaigns: trojan × workload × seed, fanned across
+//! worker threads with deterministic results.
+//!
+//! The paper's evaluation is a matrix — nine Table I Trojans, the
+//! Flaw3D variants of Table II, the Figure 4 sweep — and scaling the
+//! reproduction means running whole matrices at once. A
+//! [`CampaignSpec`] names the matrix; [`run_campaign`] executes every
+//! scenario on a `std::thread` worker pool. Each scenario's seed is
+//! derived from the campaign's master seed and the scenario's *label*
+//! via [`SeedSplitter`], never from scheduling order, so the campaign
+//! produces **byte-identical summaries for any thread count** — the
+//! property the `campaign_determinism` integration test pins down.
+//!
+//! Every scenario prints through the capture path and is judged against
+//! a golden capture of the same workload (also derived from the master
+//! seed), giving the summary its detection column. Two attack families
+//! can populate the matrix:
+//!
+//! * **hardware Trojans** (`t1`–`t9`, `tx1`, `tx2`) armed inside the
+//!   interceptor — the monitor taps the *controller's* stream upstream
+//!   of the Trojan mux, so their signal tampering is invisible to the
+//!   step-count detector (the paper never co-locates its attack and
+//!   defense). Trojans whose physical damage feeds back into motion —
+//!   shifted axes re-homing, lost steps, spoofed endstops — still
+//!   surface indirectly; pure flow/fan/heater tampering stays unseen,
+//!   the paper's §VI limitation;
+//! * **Flaw3D G-code attacks** (`flaw3d-r<percent>` reductions,
+//!   `flaw3d-rel<n>` relocations) applied *upstream* of the firmware —
+//!   exactly the attacks the paper's detection program catches, and the
+//!   rows where the detection column earns its keep.
+//!
+//! Short prints export few transactions, so a single sampling-boundary
+//! wobble would trip the paper's 1 % suspect fraction; the campaign
+//! therefore additionally requires at least two mismatching
+//! transactions before flagging a run.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use offramps::{detect, trojans, Capture, SignalPath, TestBench, Trojan};
+use offramps_attacks::Flaw3dTrojan;
+use offramps_des::SeedSplitter;
+use offramps_gcode::Program;
+
+use crate::json::{ObjectWriter, ToJson};
+use crate::workloads;
+
+/// The standard print jobs a campaign can fan over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadId {
+    /// 5×5×0.6 mm smoke-test part (2 layers).
+    Mini,
+    /// The standard 10×10×1.5 mm experiment part (5 layers).
+    Standard,
+    /// The taller 8×8×3 mm part used by Z-axis Trojans (10 layers).
+    Tall,
+    /// The Table II / Figure 4 detection workload (20 layers).
+    Detection,
+}
+
+impl WorkloadId {
+    /// Every workload, in canonical order.
+    pub const ALL: [WorkloadId; 4] = [
+        WorkloadId::Mini,
+        WorkloadId::Standard,
+        WorkloadId::Tall,
+        WorkloadId::Detection,
+    ];
+
+    /// The stable name used in labels, summaries and the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadId::Mini => "mini",
+            WorkloadId::Standard => "standard",
+            WorkloadId::Tall => "tall",
+            WorkloadId::Detection => "detection",
+        }
+    }
+
+    /// Parses a CLI name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown name back.
+    pub fn from_name(name: &str) -> Result<Self, String> {
+        match name.to_ascii_lowercase().as_str() {
+            "mini" => Ok(WorkloadId::Mini),
+            "standard" => Ok(WorkloadId::Standard),
+            "tall" => Ok(WorkloadId::Tall),
+            "detection" => Ok(WorkloadId::Detection),
+            other => Err(format!("unknown workload {other:?}")),
+        }
+    }
+
+    /// Slices the workload's program. Each call re-slices — hold on to
+    /// the returned `Arc` when running many scenarios ([`run_campaign`]
+    /// caches one per workload).
+    pub fn program(self) -> Arc<Program> {
+        match self {
+            WorkloadId::Mini => workloads::mini_part(),
+            WorkloadId::Standard => workloads::standard_part(),
+            WorkloadId::Tall => workloads::tall_part(),
+            WorkloadId::Detection => workloads::detection_part(),
+        }
+    }
+}
+
+/// What a scenario arms or applies.
+#[derive(Debug)]
+pub enum Attack {
+    /// A clean reprint.
+    None,
+    /// A hardware Trojan armed in the interceptor.
+    Trojan(Box<dyn Trojan>),
+    /// A Flaw3D G-code transform applied upstream of the firmware.
+    Flaw3d(Flaw3dTrojan),
+}
+
+/// Parses an attack name: `"none"`, a roster Trojan id, a
+/// `flaw3d-r<percent>` reduction, or a `flaw3d-rel<n>` relocation.
+///
+/// # Errors
+///
+/// Returns the unknown name back.
+///
+/// # Example
+///
+/// ```
+/// use offramps_bench::campaign::{parse_attack, Attack};
+///
+/// assert!(matches!(parse_attack("none").unwrap(), Attack::None));
+/// assert!(matches!(parse_attack("t2").unwrap(), Attack::Trojan(_)));
+/// assert!(matches!(parse_attack("flaw3d-r90").unwrap(), Attack::Flaw3d(_)));
+/// assert!(parse_attack("bogus").is_err());
+/// ```
+pub fn parse_attack(name: &str) -> Result<Attack, String> {
+    let name = name.to_ascii_lowercase();
+    if name == "none" {
+        return Ok(Attack::None);
+    }
+    // Check the longer prefix first: "flaw3d-rel…" also starts with
+    // "flaw3d-r".
+    if let Some(n) = name.strip_prefix("flaw3d-rel") {
+        let every_n: u32 = n
+            .parse()
+            .map_err(|_| format!("bad relocation stride in {name:?}"))?;
+        if every_n == 0 {
+            return Err(format!("relocation stride must be positive in {name:?}"));
+        }
+        return Ok(Attack::Flaw3d(Flaw3dTrojan::Relocation { every_n }));
+    }
+    if let Some(pct) = name.strip_prefix("flaw3d-r") {
+        let pct: f64 = pct
+            .parse()
+            .map_err(|_| format!("bad reduction percent in {name:?}"))?;
+        if !(0.0..=100.0).contains(&pct) {
+            return Err(format!("reduction percent out of range in {name:?}"));
+        }
+        return Ok(Attack::Flaw3d(Flaw3dTrojan::Reduction {
+            factor: pct / 100.0,
+        }));
+    }
+    trojans::by_name(&name).map(Attack::Trojan)
+}
+
+/// A campaign matrix: every listed attack (plus `"none"` for clean
+/// reprints) against every workload, `runs_per_cell` times.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Master seed; every scenario seed is derived from it by label.
+    pub master_seed: u64,
+    /// Attack names accepted by [`parse_attack`]: `"none"`, Trojan
+    /// roster ids, or Flaw3D transforms.
+    pub trojans: Vec<String>,
+    /// Workloads to print.
+    pub workloads: Vec<WorkloadId>,
+    /// Independent seeds per (trojan, workload) cell.
+    pub runs_per_cell: u32,
+}
+
+impl CampaignSpec {
+    /// The default matrix: a clean reprint, all eleven roster Trojans,
+    /// and three Flaw3D attacks on the mini workload, one run each.
+    pub fn default_matrix(master_seed: u64) -> Self {
+        let mut trojans = vec!["none".to_string()];
+        trojans.extend(trojans::TROJAN_NAMES.iter().map(|s| s.to_string()));
+        trojans.extend(["flaw3d-r50", "flaw3d-r90", "flaw3d-rel20"].map(String::from));
+        CampaignSpec {
+            master_seed,
+            trojans,
+            workloads: vec![WorkloadId::Mini],
+            runs_per_cell: 1,
+        }
+    }
+
+    /// Validates attack names and expands the matrix into scenarios,
+    /// in deterministic (attack-major) order.
+    ///
+    /// # Errors
+    ///
+    /// Reports the first unknown attack name.
+    pub fn scenarios(&self) -> Result<Vec<Scenario>, String> {
+        let split = SeedSplitter::new(self.master_seed);
+        let mut out = Vec::new();
+        for trojan in &self.trojans {
+            parse_attack(trojan)?;
+            for workload in &self.workloads {
+                for run in 0..self.runs_per_cell.max(1) {
+                    let label = format!("campaign/{}/{}/{}", workload.name(), trojan, run);
+                    out.push(Scenario {
+                        index: out.len(),
+                        trojan: trojan.clone(),
+                        workload: *workload,
+                        run,
+                        seed: split.derive(&label),
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The seed a workload's golden capture runs under.
+    pub fn golden_seed(&self, workload: WorkloadId) -> u64 {
+        SeedSplitter::new(self.master_seed).derive(&format!("campaign/golden/{}", workload.name()))
+    }
+}
+
+/// One cell × run of the campaign matrix.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Position in the expanded matrix (summary order).
+    pub index: usize,
+    /// Attack name (see [`parse_attack`]), or `"none"`.
+    pub trojan: String,
+    /// The workload printed.
+    pub workload: WorkloadId,
+    /// Run number within the cell.
+    pub run: u32,
+    /// The derived seed.
+    pub seed: u64,
+}
+
+/// Outcome of one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// Final firmware state (or the bench error), rendered.
+    pub fw_state: String,
+    /// Events processed by the scheduler.
+    pub events: u64,
+    /// Simulated nanoseconds of the job.
+    pub sim_ns: u64,
+    /// Firmware step counters at the end.
+    pub fw_steps: [i64; 4],
+    /// Whether the step-count detector flagged the print against the
+    /// workload's golden capture.
+    pub detected: bool,
+    /// Out-of-margin transaction values against the golden capture.
+    pub mismatches: usize,
+    /// Host milliseconds the run took (excluded from the deterministic
+    /// summary).
+    pub wall_ms: u64,
+}
+
+impl ScenarioResult {
+    /// The deterministic summary line for this result — everything
+    /// except host timing.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{:<4} {:<10} {:<12} {:<4} {:<18} {:>9} {:>12} {:<9} {:>6}  [{} {} {} {}]",
+            self.scenario.index,
+            self.scenario.workload.name(),
+            self.scenario.trojan,
+            self.scenario.run,
+            self.fw_state,
+            self.events,
+            self.sim_ns,
+            if self.detected { "DETECTED" } else { "clean" },
+            self.mismatches,
+            self.fw_steps[0],
+            self.fw_steps[1],
+            self.fw_steps[2],
+            self.fw_steps[3],
+        )
+    }
+}
+
+impl ToJson for ScenarioResult {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        let mut w = ObjectWriter::new(out, indent);
+        w.int("index", self.scenario.index as i128)
+            .string("workload", self.scenario.workload.name())
+            .string("trojan", &self.scenario.trojan)
+            .int("run", self.scenario.run as i128)
+            .int("seed", self.scenario.seed as i128)
+            .string("fw_state", &self.fw_state)
+            .int("events", self.events as i128)
+            .int("sim_ns", self.sim_ns as i128)
+            .bool("detected", self.detected)
+            .int("mismatches", self.mismatches as i128);
+        w.finish();
+    }
+}
+
+/// Everything a campaign produced.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Per-scenario results, in matrix order regardless of which worker
+    /// ran what.
+    pub results: Vec<ScenarioResult>,
+    /// Worker threads used (informational; does not affect results).
+    pub threads: usize,
+    /// Host seconds for the whole campaign.
+    pub wall_s: f64,
+}
+
+impl CampaignReport {
+    /// Total simulation events across all scenarios.
+    pub fn total_events(&self) -> u64 {
+        self.results.iter().map(|r| r.events).sum()
+    }
+
+    /// Scenarios the detector flagged.
+    pub fn detections(&self) -> usize {
+        self.results.iter().filter(|r| r.detected).count()
+    }
+
+    /// Aggregate throughput over host time (non-deterministic).
+    pub fn events_per_sec(&self) -> f64 {
+        self.total_events() as f64 / self.wall_s.max(1e-9)
+    }
+
+    /// The deterministic summary table: identical for every thread
+    /// count, byte for byte.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<4} {:<10} {:<12} {:<4} {:<18} {:>9} {:>12} {:<9} {:>6}  fw_steps\n",
+            "#", "workload", "trojan", "run", "fw_state", "events", "sim_ns", "verdict", "mism"
+        ));
+        out.push_str(&"-".repeat(100));
+        out.push('\n');
+        for r in &self.results {
+            out.push_str(&r.summary_line());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "runs: {}   events: {}   detections: {}\n",
+            self.results.len(),
+            self.total_events(),
+            self.detections(),
+        ));
+        out
+    }
+}
+
+impl ToJson for CampaignReport {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        let mut w = ObjectWriter::new(out, indent);
+        w.int("runs", self.results.len() as i128)
+            .int("events", self.total_events() as i128)
+            .int("detections", self.detections() as i128)
+            .value("results", &self.results);
+        w.finish();
+    }
+}
+
+/// Maps `f` over `items` on a pool of `threads` workers, preserving
+/// input order in the output. Work is claimed from a shared atomic
+/// index, so stragglers never idle the pool.
+fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = threads.max(1).min(items.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(item);
+                *slots[i].lock().expect("result slot") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("poisoned slot")
+                .expect("worker filled slot")
+        })
+        .collect()
+}
+
+/// The detector configuration a campaign judges with: the paper's
+/// defaults, except that at least two mismatching transactions are
+/// required — on short captures a single sampling-boundary wobble would
+/// otherwise exceed the 1 % suspect fraction.
+fn campaign_detector(golden: &Capture, observed: &Capture) -> detect::DetectorConfig {
+    let n = golden.len().min(observed.len()).max(1);
+    detect::DetectorConfig {
+        suspect_fraction: f64::max(0.01, 1.8 / n as f64),
+        ..detect::DetectorConfig::default()
+    }
+}
+
+/// Runs one scenario against its workload's golden capture.
+fn run_scenario(scenario: &Scenario, program: &Arc<Program>, golden: &Capture) -> ScenarioResult {
+    let mut bench = TestBench::new(scenario.seed).signal_path(SignalPath::capture());
+    let mut job = Arc::clone(program);
+    match parse_attack(&scenario.trojan).expect("names validated by CampaignSpec") {
+        Attack::None => {}
+        Attack::Trojan(trojan) => bench = bench.with_trojan(trojan),
+        Attack::Flaw3d(attack) => job = Arc::new(attack.apply(program)),
+    }
+    let t0 = Instant::now();
+    match bench.run(&job) {
+        Ok(art) => {
+            let report = art
+                .capture
+                .as_ref()
+                .map(|cap| detect::compare(golden, cap, &campaign_detector(golden, cap)));
+            ScenarioResult {
+                scenario: scenario.clone(),
+                fw_state: format!("{:?}", art.fw_state),
+                events: art.events,
+                sim_ns: art.sim_time.as_duration().as_nanos(),
+                fw_steps: art.fw_steps,
+                detected: report.as_ref().is_some_and(|r| r.trojan_suspected),
+                mismatches: report.map_or(0, |r| r.mismatches.len()),
+                wall_ms: t0.elapsed().as_millis() as u64,
+            }
+        }
+        Err(e) => ScenarioResult {
+            scenario: scenario.clone(),
+            fw_state: format!("error: {e}"),
+            events: 0,
+            sim_ns: 0,
+            fw_steps: [0; 4],
+            detected: false,
+            mismatches: 0,
+            wall_ms: t0.elapsed().as_millis() as u64,
+        },
+    }
+}
+
+/// Executes the campaign on `threads` workers.
+///
+/// Programs are sliced once per workload and shared as `Arc<Program>`;
+/// golden captures are produced first (also in parallel), then the full
+/// scenario matrix fans out. Results are assembled in matrix order.
+///
+/// # Errors
+///
+/// Reports an invalid trojan name in the spec.
+///
+/// # Example
+///
+/// ```
+/// use offramps_bench::campaign::{run_campaign, CampaignSpec, WorkloadId};
+///
+/// let spec = CampaignSpec {
+///     master_seed: 7,
+///     trojans: vec!["none".into(), "t2".into()],
+///     workloads: vec![WorkloadId::Mini],
+///     runs_per_cell: 1,
+/// };
+/// let one = run_campaign(&spec, 1).unwrap();
+/// let four = run_campaign(&spec, 4).unwrap();
+/// assert_eq!(one.summary(), four.summary()); // thread count is invisible
+/// ```
+pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> Result<CampaignReport, String> {
+    let scenarios = spec.scenarios()?;
+    let t0 = Instant::now();
+
+    // Slice each workload once (order-preserving dedup: Vec::dedup only
+    // removes *consecutive* duplicates).
+    let mut workload_set: Vec<WorkloadId> = Vec::new();
+    for w in &spec.workloads {
+        if !workload_set.contains(w) {
+            workload_set.push(*w);
+        }
+    }
+    let programs: HashMap<WorkloadId, Arc<Program>> =
+        workload_set.iter().map(|w| (*w, w.program())).collect();
+
+    // Golden captures, one per workload, fanned over the pool.
+    let goldens: HashMap<WorkloadId, Capture> = workload_set
+        .iter()
+        .zip(parallel_map(&workload_set, threads, |w| {
+            TestBench::new(spec.golden_seed(*w))
+                .signal_path(SignalPath::capture())
+                .run(&programs[w])
+                .expect("golden campaign run")
+                .capture
+                .expect("capture path active")
+        }))
+        .map(|(w, cap)| (*w, cap))
+        .collect();
+
+    // The scenario matrix.
+    let results = parallel_map(&scenarios, threads, |sc| {
+        run_scenario(sc, &programs[&sc.workload], &goldens[&sc.workload])
+    });
+
+    Ok(CampaignReport {
+        results,
+        threads,
+        wall_s: t0.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_expands_trojan_major() {
+        let spec = CampaignSpec {
+            master_seed: 1,
+            trojans: vec!["none".into(), "t2".into()],
+            workloads: vec![WorkloadId::Mini, WorkloadId::Tall],
+            runs_per_cell: 2,
+        };
+        let scenarios = spec.scenarios().unwrap();
+        assert_eq!(scenarios.len(), 8);
+        assert_eq!(scenarios[0].trojan, "none");
+        assert_eq!(scenarios[0].workload, WorkloadId::Mini);
+        assert_eq!(scenarios[3].workload, WorkloadId::Tall);
+        assert_eq!(scenarios[4].trojan, "t2");
+        assert!(scenarios.iter().enumerate().all(|(i, s)| s.index == i));
+    }
+
+    #[test]
+    fn seeds_depend_on_labels_not_positions() {
+        let wide = CampaignSpec {
+            master_seed: 9,
+            trojans: vec!["none".into(), "t1".into(), "t2".into()],
+            workloads: vec![WorkloadId::Mini],
+            runs_per_cell: 1,
+        };
+        let narrow = CampaignSpec {
+            master_seed: 9,
+            trojans: vec!["t2".into()],
+            workloads: vec![WorkloadId::Mini],
+            runs_per_cell: 1,
+        };
+        let wide_t2 = wide
+            .scenarios()
+            .unwrap()
+            .into_iter()
+            .find(|s| s.trojan == "t2")
+            .unwrap();
+        let narrow_t2 = narrow.scenarios().unwrap()[0].clone();
+        assert_eq!(
+            wide_t2.seed, narrow_t2.seed,
+            "seed must not depend on matrix shape"
+        );
+    }
+
+    #[test]
+    fn unknown_trojan_rejected() {
+        let spec = CampaignSpec {
+            master_seed: 1,
+            trojans: vec!["t99".into()],
+            workloads: vec![WorkloadId::Mini],
+            runs_per_cell: 1,
+        };
+        assert!(spec.scenarios().is_err());
+    }
+
+    #[test]
+    fn workload_names_round_trip() {
+        for w in WorkloadId::ALL {
+            assert_eq!(WorkloadId::from_name(w.name()).unwrap(), w);
+        }
+        assert!(WorkloadId::from_name("nope").is_err());
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..57).collect();
+        for threads in [1, 3, 8] {
+            let out = parallel_map(&items, threads, |x| x * 2);
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+}

@@ -4,6 +4,8 @@
 //! same indices from a Flaw3D relocation print, and (c) the detection
 //! tool's output identifying out-of-margin transactions.
 
+use std::sync::Arc;
+
 use offramps::{detect, Capture, DetectionReport};
 use offramps_attacks::Flaw3dTrojan;
 use offramps_gcode::Program;
@@ -24,16 +26,20 @@ pub struct Fig4 {
 
 /// Regenerates Figure 4 with the paper's Trojan (relocation every 20
 /// moves).
-pub fn regenerate(program: &Program, seed: u64) -> Fig4 {
+pub fn regenerate(program: &Arc<Program>, seed: u64) -> Fig4 {
     let golden = golden_capture(program, seed);
-    let attacked = Flaw3dTrojan::Relocation { every_n: 20 }.apply(program);
+    let attacked = Arc::new(Flaw3dTrojan::Relocation { every_n: 20 }.apply(program));
     let art = TestBench::new(seed + 1)
         .signal_path(SignalPath::capture())
         .run(&attacked)
         .expect("fig4 trojan run");
     let trojaned = art.capture.expect("capture path active");
     let report = detect::compare(&golden, &trojaned, &detect::DetectorConfig::default());
-    Fig4 { golden, trojaned, report }
+    Fig4 {
+        golden,
+        trojaned,
+        report,
+    }
 }
 
 impl Fig4 {

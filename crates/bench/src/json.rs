@@ -1,0 +1,264 @@
+//! Minimal JSON emission for experiment reports.
+//!
+//! The offline build has no `serde`/`serde_json`, so the report types
+//! hand-serialize through this small [`ToJson`] trait instead. Output is
+//! pretty-printed with two-space indentation, close enough to
+//! `serde_json::to_string_pretty` that the `target/experiments/*.json`
+//! artifacts keep their shape.
+
+use std::fmt::Write as _;
+
+/// Serializes a value to a JSON fragment.
+pub trait ToJson {
+    /// Appends this value's JSON representation to `out` with the given
+    /// indentation depth (in two-space levels).
+    fn write_json(&self, out: &mut String, indent: usize);
+
+    /// This value as a pretty-printed JSON string.
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.write_json(&mut s, 0);
+        s
+    }
+}
+
+/// Pretty-prints any [`ToJson`] value — the drop-in replacement for
+/// `serde_json::to_string_pretty` (minus the `Result`, since nothing
+/// here can fail).
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json()
+}
+
+/// Escapes a string for a JSON string literal (quotes included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` the way JSON expects (finite; NaN/inf become null).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{:.1}", v)
+        } else {
+            format!("{v}")
+        }
+    } else {
+        "null".into()
+    }
+}
+
+/// Builder for one JSON object at a given indentation level.
+pub struct ObjectWriter<'a> {
+    out: &'a mut String,
+    indent: usize,
+    first: bool,
+}
+
+impl<'a> ObjectWriter<'a> {
+    /// Opens an object.
+    pub fn new(out: &'a mut String, indent: usize) -> Self {
+        out.push('{');
+        ObjectWriter {
+            out,
+            indent,
+            first: true,
+        }
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        self.out.push('\n');
+        for _ in 0..=self.indent {
+            self.out.push_str("  ");
+        }
+        self.out.push_str(&escape(name));
+        self.out.push_str(": ");
+    }
+
+    /// Emits a pre-rendered JSON fragment under `name`.
+    pub fn raw(&mut self, name: &str, fragment: &str) -> &mut Self {
+        self.key(name);
+        self.out.push_str(fragment);
+        self
+    }
+
+    /// Emits a string field.
+    pub fn string(&mut self, name: &str, value: &str) -> &mut Self {
+        self.key(name);
+        let escaped = escape(value);
+        self.out.push_str(&escaped);
+        self
+    }
+
+    /// Emits a float field.
+    pub fn float(&mut self, name: &str, value: f64) -> &mut Self {
+        self.key(name);
+        let rendered = number(value);
+        self.out.push_str(&rendered);
+        self
+    }
+
+    /// Emits an integer field.
+    pub fn int(&mut self, name: &str, value: i128) -> &mut Self {
+        self.key(name);
+        let _ = write!(self.out, "{value}");
+        self
+    }
+
+    /// Emits a boolean field.
+    pub fn bool(&mut self, name: &str, value: bool) -> &mut Self {
+        self.key(name);
+        self.out.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Emits a nested [`ToJson`] value.
+    pub fn value<T: ToJson>(&mut self, name: &str, value: &T) -> &mut Self {
+        self.key(name);
+        value.write_json(self.out, self.indent + 1);
+        self
+    }
+
+    /// Closes the object.
+    pub fn finish(self) {
+        self.out.push('\n');
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+        self.out.push('}');
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        if self.is_empty() {
+            out.push_str("[]");
+            return;
+        }
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            for _ in 0..=indent {
+                out.push_str("  ");
+            }
+            item.write_json(out, indent + 1);
+        }
+        out.push('\n');
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+        out.push(']');
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        self.as_slice().write_json(out, indent);
+    }
+}
+
+impl ToJson for offramps::Mismatch {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        let mut w = ObjectWriter::new(out, indent);
+        w.int("index", self.index as i128)
+            .int("axis", self.axis as i128)
+            .int("golden", self.golden as i128)
+            .int("observed", self.observed as i128)
+            .float("percent", self.percent);
+        w.finish();
+    }
+}
+
+impl ToJson for offramps::DetectionReport {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        let mut w = ObjectWriter::new(out, indent);
+        w.bool("trojan_suspected", self.trojan_suspected)
+            .float("largest_percent", self.largest_percent)
+            .int("transactions_compared", self.transactions_compared as i128)
+            .int("length_difference", self.length_difference as i128);
+        match self.final_totals_match {
+            Some(v) => w.bool("final_totals_match", v),
+            None => w.raw("final_totals_match", "null"),
+        };
+        w.value("mismatches", &self.mismatches);
+        w.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Point {
+        x: f64,
+        label: String,
+    }
+
+    impl ToJson for Point {
+        fn write_json(&self, out: &mut String, indent: usize) {
+            let mut w = ObjectWriter::new(out, indent);
+            w.float("x", self.x).string("label", &self.label);
+            w.finish();
+        }
+    }
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_render_json_safe() {
+        assert_eq!(number(1.0), "1.0");
+        assert_eq!(number(0.5), "0.5");
+        assert_eq!(number(f64::NAN), "null");
+    }
+
+    #[test]
+    fn objects_and_arrays_nest() {
+        let pts = vec![
+            Point {
+                x: 1.0,
+                label: "a".into(),
+            },
+            Point {
+                x: 2.5,
+                label: "b \"q\"".into(),
+            },
+        ];
+        let json = to_string_pretty(&pts);
+        assert!(json.starts_with("[\n  {\n"));
+        assert!(json.contains("\"x\": 1.0"));
+        assert!(json.contains("\"label\": \"b \\\"q\\\"\""));
+        assert!(json.ends_with("\n]"));
+    }
+
+    #[test]
+    fn empty_vec_is_compact() {
+        let v: Vec<Point> = Vec::new();
+        assert_eq!(to_string_pretty(&v), "[]");
+    }
+}

@@ -9,7 +9,9 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod campaign;
 pub mod fig4;
+pub mod json;
 pub mod overhead;
 pub mod table1;
 pub mod table2;

@@ -5,14 +5,14 @@
 //! 1 µs, and "no effect on print quality while running our detection
 //! hardware". This module measures all four on the simulation.
 
-use serde::Serialize;
+use std::sync::Arc;
 
 use offramps::{MitmConfig, SignalPath, TestBench};
 use offramps_gcode::Program;
 use offramps_printer::quality::{PartReport, QualityConfig};
 
 /// Measured §V-B quantities.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct OverheadReport {
     /// Interceptor per-edge delay, nanoseconds (model parameter,
     /// defaults to the paper's measured 12.923 ns rounded to 13).
@@ -34,7 +34,7 @@ pub struct OverheadReport {
 
 /// Runs the same job through bypass and capture paths with tracing and
 /// measures the §V-B quantities.
-pub fn regenerate(program: &Program, seed: u64) -> OverheadReport {
+pub fn regenerate(program: &Arc<Program>, seed: u64) -> OverheadReport {
     let bypass = TestBench::new(seed)
         .signal_path(SignalPath::bypass())
         .record_trace(true)
@@ -61,6 +61,26 @@ pub fn regenerate(program: &Program, seed: u64) -> OverheadReport {
         capture_vs_bypass_flow_ratio: rep.flow_ratio,
         capture_vs_bypass_shifted_layers: rep.shifted_layers,
         control_edges: summary.events,
+    }
+}
+
+impl crate::json::ToJson for OverheadReport {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        let mut w = crate::json::ObjectWriter::new(out, indent);
+        w.int("pipeline_delay_ns", self.pipeline_delay_ns as i128)
+            .float("max_signal_frequency_hz", self.max_signal_frequency_hz)
+            .string("busiest_pin", &self.busiest_pin)
+            .int("min_pulse_width_ns", self.min_pulse_width_ns as i128)
+            .float(
+                "capture_vs_bypass_flow_ratio",
+                self.capture_vs_bypass_flow_ratio,
+            )
+            .int(
+                "capture_vs_bypass_shifted_layers",
+                self.capture_vs_bypass_shifted_layers as i128,
+            )
+            .int("control_edges", self.control_edges as i128);
+        w.finish();
     }
 }
 

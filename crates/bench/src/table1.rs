@@ -5,12 +5,9 @@
 //! co-simulated printer and the "Printed Part" column becomes measured
 //! geometry/plant evidence.
 
-use serde::Serialize;
-
 use offramps::trojans::{
-    AxisShiftTrojan, FanUnderspeedTrojan, FlowReductionTrojan, HeaterDosTrojan,
-    RetractionMode, RetractionTrojan, StepperDosTrojan, ThermalRunawayTrojan, Trojan,
-    ZShiftTrojan, ZWobbleTrojan,
+    AxisShiftTrojan, FanUnderspeedTrojan, FlowReductionTrojan, HeaterDosTrojan, RetractionMode,
+    RetractionTrojan, StepperDosTrojan, ThermalRunawayTrojan, Trojan, ZShiftTrojan, ZWobbleTrojan,
 };
 use offramps::{RunArtifacts, SignalPath, TestBench};
 use offramps_des::SimDuration;
@@ -20,7 +17,7 @@ use offramps_printer::quality::{PartReport, QualityConfig};
 use crate::workloads::{standard_part, tall_part, FAST_LAYER_Z_STEPS};
 
 /// One regenerated Table I row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Trojan id (T0–T9).
     pub id: String,
@@ -67,7 +64,11 @@ fn trojan_for(id: usize) -> Option<Box<dyn Trojan>> {
 }
 
 fn run(id: usize, seed: u64) -> RunArtifacts {
-    let program = if matches!(id, 4 | 5) { tall_part() } else { standard_part() };
+    let program = if matches!(id, 4 | 5) {
+        tall_part()
+    } else {
+        standard_part()
+    };
     let mut bench = TestBench::new(seed).signal_path(SignalPath::bypass());
     if let Some(trojan) = trojan_for(id) {
         bench = bench.with_trojan(trojan);
@@ -109,7 +110,11 @@ pub fn regenerate(seed: u64) -> Vec<Table1Row> {
 
     for id in 1..=9 {
         let art = run(id, seed + id as u64);
-        let golden = if matches!(id, 4 | 5) { &golden_tall } else { &golden_standard };
+        let golden = if matches!(id, 4 | 5) {
+            &golden_tall
+        } else {
+            &golden_standard
+        };
         let rep = PartReport::compare(&golden.part, &art.part, &qcfg);
         let trojan = trojan_for(id).expect("ids 1..=9 exist");
         let (measured, ok) = measure(id, &art, golden, &rep);
@@ -144,7 +149,10 @@ fn measure(
             (rep.flow_ratio - 0.5).abs() < 0.1,
         ),
         3 => (
-            format!("flow ratio {:.3} (over-extrusion during Y moves)", rep.flow_ratio),
+            format!(
+                "flow ratio {:.3} (over-extrusion during Y moves)",
+                rep.flow_ratio
+            ),
             rep.flow_ratio > 1.05,
         ),
         4 => (
@@ -178,15 +186,16 @@ fn measure(
         7 => {
             let peak = art.plant.hotend_peak_c;
             let over = art.plant.hotend_seconds_over_damage;
-            let maxtemp_fired = matches!(
-                art.fw_state,
-                FwState::Halted(FirmwareError::MaxTemp(_))
-            );
+            let maxtemp_fired = matches!(art.fw_state, FwState::Halted(FirmwareError::MaxTemp(_)));
             (
                 format!(
                     "hotend ran away: peak {peak:.1} C, {over:.0}s above the 290 C damage \
                      point; firmware MAXTEMP kill {} — and was ignored by the Trojan",
-                    if maxtemp_fired { "fired" } else { "did not fire in time" }
+                    if maxtemp_fired {
+                        "fired"
+                    } else {
+                        "did not fire in time"
+                    }
                 ),
                 peak > 275.0,
             )
@@ -217,6 +226,19 @@ fn measure(
             )
         }
         _ => ("golden".into(), true),
+    }
+}
+
+impl crate::json::ToJson for Table1Row {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        let mut w = crate::json::ObjectWriter::new(out, indent);
+        w.string("id", &self.id)
+            .string("kind", &self.kind)
+            .string("scenario", &self.scenario)
+            .string("paper_effect", &self.paper_effect)
+            .string("measured", &self.measured)
+            .bool("matches_paper", self.matches_paper);
+        w.finish();
     }
 }
 

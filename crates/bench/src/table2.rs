@@ -5,14 +5,14 @@
 //! against the known-good reference and the detection program was able
 //! to identify all of the Trojans."
 
-use serde::Serialize;
+use std::sync::Arc;
 
 use offramps::{detect, Capture, SignalPath, TestBench};
 use offramps_attacks::{Flaw3dTrojan, TABLE_II_CASES};
 use offramps_gcode::Program;
 
 /// One regenerated Table II row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table2Row {
     /// Test case number (1–8).
     pub case: u32,
@@ -33,7 +33,7 @@ pub struct Table2Row {
 }
 
 /// Captures the golden reference print.
-pub fn golden_capture(program: &Program, seed: u64) -> Capture {
+pub fn golden_capture(program: &Arc<Program>, seed: u64) -> Capture {
     TestBench::new(seed)
         .signal_path(SignalPath::capture())
         .run(program)
@@ -46,11 +46,11 @@ pub fn golden_capture(program: &Program, seed: u64) -> Capture {
 pub fn run_case(
     case: u32,
     trojan: Flaw3dTrojan,
-    program: &Program,
+    program: &Arc<Program>,
     golden: &Capture,
     seed: u64,
 ) -> Table2Row {
-    let attacked = trojan.apply(program);
+    let attacked = Arc::new(trojan.apply(program));
     let art = TestBench::new(seed)
         .signal_path(SignalPath::capture())
         .run(&attacked)
@@ -70,12 +70,35 @@ pub fn run_case(
 }
 
 /// Regenerates all eight Table II rows against `program`.
-pub fn regenerate(program: &Program, seed: u64) -> Vec<Table2Row> {
+pub fn regenerate(program: &Arc<Program>, seed: u64) -> Vec<Table2Row> {
     let golden = golden_capture(program, seed);
     TABLE_II_CASES
         .iter()
-        .map(|(case, trojan)| run_case(*case, *trojan, program, &golden, seed + 100 + u64::from(*case)))
+        .map(|(case, trojan)| {
+            run_case(
+                *case,
+                *trojan,
+                program,
+                &golden,
+                seed + 100 + u64::from(*case),
+            )
+        })
         .collect()
+}
+
+impl crate::json::ToJson for Table2Row {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        let mut w = crate::json::ObjectWriter::new(out, indent);
+        w.int("case", self.case as i128)
+            .string("trojan_type", &self.trojan_type)
+            .float("modification_value", self.modification_value)
+            .bool("detected", self.detected)
+            .int("mismatches", self.mismatches as i128)
+            .float("largest_percent", self.largest_percent)
+            .bool("final_check_failed", self.final_check_failed)
+            .int("transactions", self.transactions as i128);
+        w.finish();
+    }
 }
 
 /// Formats rows like the paper's Table II (plus our evidence columns).

@@ -1,4 +1,7 @@
-//! Standard print jobs used across the experiments.
+//! Standard print jobs used across the experiments, returned as
+//! `Arc<Program>` so one sliced program can be shared across runs and
+//! threads without copying (each call still slices; cache the `Arc` to
+//! reuse it).
 //!
 //! The paper prints on a Prusa i3 MK3S+; its Table I parts sit on graph
 //! paper with ¼-inch ruling, i.e. centimetre-scale test prints. Full
@@ -7,42 +10,53 @@
 //! has everything the Trojans need (multiple layers, perimeters, infill,
 //! travels, retractions, heat-up, fan activation).
 
+use std::sync::Arc;
+
 use offramps_gcode::slicer::{slice, SlicerConfig, Solid};
 use offramps_gcode::Program;
 
 /// The standard multi-layer experiment part: 10×10×1.5 mm prism,
 /// 0.3 mm layers (5 layers), one perimeter plus infill, heated, fan on
 /// from layer 2.
-pub fn standard_part() -> Program {
-    slice(&Solid::rect_prism(10.0, 10.0, 1.5), &SlicerConfig::fast())
+pub fn standard_part() -> Arc<Program> {
+    Arc::new(slice(
+        &Solid::rect_prism(10.0, 10.0, 1.5),
+        &SlicerConfig::fast(),
+    ))
 }
 
 /// A minimal but complete job for smoke tests: 5×5×0.6 mm, 2 layers.
-pub fn mini_part() -> Program {
-    slice(&Solid::rect_prism(5.0, 5.0, 0.6), &SlicerConfig::fast())
+pub fn mini_part() -> Arc<Program> {
+    Arc::new(slice(
+        &Solid::rect_prism(5.0, 5.0, 0.6),
+        &SlicerConfig::fast(),
+    ))
 }
 
 /// A taller part for Z-axis Trojans (T4/T5): 8×8×3 mm, 10 layers.
-pub fn tall_part() -> Program {
-    slice(&Solid::rect_prism(8.0, 8.0, 3.0), &SlicerConfig::fast())
+pub fn tall_part() -> Arc<Program> {
+    Arc::new(slice(
+        &Solid::rect_prism(8.0, 8.0, 3.0),
+        &SlicerConfig::fast(),
+    ))
 }
 
 /// The Table II / Figure 4 detection workload: a longer job
 /// (12×12×6 mm, 20 layers, denser infill → several hundred extruding
 /// movements) so even the stealthiest relocation stride (every 100
 /// movements) fires several times, as in the paper's full-size prints.
-pub fn detection_part() -> Program {
+pub fn detection_part() -> Arc<Program> {
     let cfg = SlicerConfig {
         infill_spacing: 1.2,
         ..SlicerConfig::fast()
     };
-    slice(&Solid::rect_prism(12.0, 12.0, 6.0), &cfg)
+    Arc::new(slice(&Solid::rect_prism(12.0, 12.0, 6.0), &cfg))
 }
 
 /// The paper's 20 mm calibration cube with default (0.2 mm) slicing —
 /// the heavyweight workload for final validation runs.
-pub fn calibration_cube() -> Program {
-    slice(&Solid::calibration_cube(), &SlicerConfig::default())
+pub fn calibration_cube() -> Arc<Program> {
+    Arc::new(slice(&Solid::calibration_cube(), &SlicerConfig::default()))
 }
 
 /// Z microsteps per layer for the fast profile (0.3 mm × 400 steps/mm),
@@ -72,6 +86,9 @@ mod tests {
     fn layer_steps_constant_is_consistent() {
         use offramps_gcode::slicer::SlicerConfig;
         let cfg = SlicerConfig::fast();
-        assert_eq!((cfg.layer_height * 400.0).round() as u64, FAST_LAYER_Z_STEPS);
+        assert_eq!(
+            (cfg.layer_height * 400.0).round() as u64,
+            FAST_LAYER_Z_STEPS
+        );
     }
 }

@@ -8,16 +8,13 @@
 use std::fmt;
 use std::io::{self, BufRead, Write};
 
-use bytes::{Buf, BufMut};
-use serde::{Deserialize, Serialize};
-
 use offramps_des::SimDuration;
 
 /// Bytes per exported transaction: four big-endian `i32` counters.
 pub const TRANSACTION_BYTES: usize = 16;
 
 /// One exported step-count sample.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Transaction {
     /// Sample index (0.1 s apart in the default configuration).
     pub index: u64,
@@ -31,19 +28,17 @@ impl Transaction {
     /// natural layout for a UART register dump).
     pub fn to_wire(&self) -> [u8; TRANSACTION_BYTES] {
         let mut buf = [0u8; TRANSACTION_BYTES];
-        {
-            let mut w = &mut buf[..];
-            for c in self.counts {
-                w.put_i32(c);
-            }
+        for (slot, c) in buf.chunks_exact_mut(4).zip(self.counts) {
+            slot.copy_from_slice(&c.to_be_bytes());
         }
         buf
     }
 
     /// Parses the 16-byte wire format.
     pub fn from_wire(index: u64, bytes: &[u8; TRANSACTION_BYTES]) -> Self {
-        let mut r = &bytes[..];
-        let counts = std::array::from_fn(|_| r.get_i32());
+        let counts = std::array::from_fn(|i| {
+            i32::from_be_bytes(bytes[i * 4..i * 4 + 4].try_into().expect("4-byte chunk"))
+        });
         Transaction { index, counts }
     }
 }
@@ -72,7 +67,7 @@ impl fmt::Display for Transaction {
 /// assert_eq!(cap, back);
 /// # Ok::<(), std::io::Error>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Capture {
     transactions: Vec<Transaction>,
     /// Sampling period of this capture.
@@ -158,7 +153,11 @@ impl Capture {
             if fields.len() != 5 {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
-                    format!("line {}: expected 5 fields, found {}", lineno + 1, fields.len()),
+                    format!(
+                        "line {}: expected 5 fields, found {}",
+                        lineno + 1,
+                        fields.len()
+                    ),
                 ));
             }
             let parse = |s: &str| {
@@ -197,7 +196,10 @@ mod tests {
     use super::*;
 
     fn tx(i: u64, x: i32, y: i32, z: i32, e: i32) -> Transaction {
-        Transaction { index: i, counts: [x, y, z, e] }
+        Transaction {
+            index: i,
+            counts: [x, y, z, e],
+        }
     }
 
     #[test]
@@ -255,29 +257,42 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
+    use offramps_des::DetRng;
 
-    proptest! {
-        /// CSV round-trips arbitrary captures exactly.
-        #[test]
-        fn prop_csv_round_trip(rows in proptest::collection::vec(
-            (any::<i32>(), any::<i32>(), any::<i32>(), any::<i32>()), 0..100)) {
-            let cap: Capture = rows.iter().enumerate().map(|(i, (x, y, z, e))| Transaction {
-                index: i as u64,
-                counts: [*x, *y, *z, *e],
-            }).collect();
+    fn any_i32(rng: &mut DetRng) -> i32 {
+        rng.next_u64() as u32 as i32
+    }
+
+    /// CSV round-trips arbitrary captures exactly.
+    #[test]
+    fn csv_round_trips_random_captures() {
+        for seed in 0u64..64 {
+            let mut rng = DetRng::from_seed(seed);
+            let n = rng.uniform_u64(0, 100) as usize;
+            let cap: Capture = (0..n)
+                .map(|i| Transaction {
+                    index: i as u64,
+                    counts: std::array::from_fn(|_| any_i32(&mut rng)),
+                })
+                .collect();
             let back = Capture::from_csv(cap.to_csv().as_bytes()).unwrap();
-            prop_assert_eq!(cap, back);
+            assert_eq!(cap, back, "seed {seed}");
         }
+    }
 
-        /// The wire format round-trips arbitrary counters exactly.
-        #[test]
-        fn prop_wire_round_trip(x in any::<i32>(), y in any::<i32>(),
-                                z in any::<i32>(), e in any::<i32>(), idx in any::<u64>()) {
-            let t = Transaction { index: idx, counts: [x, y, z, e] };
-            prop_assert_eq!(Transaction::from_wire(idx, &t.to_wire()), t);
+    /// The wire format round-trips arbitrary counters exactly.
+    #[test]
+    fn wire_round_trips_random_counters() {
+        for seed in 0u64..256 {
+            let mut rng = DetRng::from_seed(seed ^ 0x3333);
+            let idx = rng.next_u64();
+            let t = Transaction {
+                index: idx,
+                counts: std::array::from_fn(|_| any_i32(&mut rng)),
+            };
+            assert_eq!(Transaction::from_wire(idx, &t.to_wire()), t, "seed {seed}");
         }
     }
 }

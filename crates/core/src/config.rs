@@ -1,14 +1,12 @@
 //! Signal-path configuration (paper Figure 3 and the jumper banks).
 
-use serde::{Deserialize, Serialize};
-
 use offramps_des::SimDuration;
 
 /// How the OFFRAMPS jumpers route signals (Figure 3): straight through,
 /// through the Trojan logic, through the pulse-capture logic, or both
 /// FPGA paths at once (possible in hardware; the paper avoids evaluating
 /// attack and defense co-located, and so do our experiments).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SignalPath {
     /// Trojan/modification logic is in-circuit.
     pub modify: bool,
@@ -19,22 +17,34 @@ pub struct SignalPath {
 impl SignalPath {
     /// Figure 3(a): unmodified signal chain.
     pub const fn bypass() -> Self {
-        SignalPath { modify: false, capture: false }
+        SignalPath {
+            modify: false,
+            capture: false,
+        }
     }
 
     /// Figure 3(b): FPGA for signal modification.
     pub const fn modify() -> Self {
-        SignalPath { modify: true, capture: false }
+        SignalPath {
+            modify: true,
+            capture: false,
+        }
     }
 
     /// Figure 3(c): FPGA for signal recording.
     pub const fn capture() -> Self {
-        SignalPath { modify: false, capture: true }
+        SignalPath {
+            modify: false,
+            capture: true,
+        }
     }
 
     /// Both FPGA paths (never used for the paper's evaluations).
     pub const fn modify_and_capture() -> Self {
-        SignalPath { modify: true, capture: true }
+        SignalPath {
+            modify: true,
+            capture: true,
+        }
     }
 }
 
@@ -45,7 +55,7 @@ impl Default for SignalPath {
 }
 
 /// Interceptor configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MitmConfig {
     /// Jumper routing.
     pub path: SignalPath,

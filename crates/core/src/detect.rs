@@ -10,15 +10,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::capture::{Capture, Transaction};
 
 /// Axis labels in transaction order (the paper's CSV columns).
 pub const AXIS_LABELS: [&str; 4] = ["X", "Y", "Z", "E"];
 
 /// Detector tuning.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DetectorConfig {
     /// Windowed margin of error as a fraction (paper: 0.05).
     pub margin: f64,
@@ -46,7 +44,7 @@ impl Default for DetectorConfig {
 }
 
 /// One out-of-margin transaction value.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Mismatch {
     /// Transaction index.
     pub index: u64,
@@ -71,7 +69,7 @@ impl fmt::Display for Mismatch {
 }
 
 /// Result of comparing a capture against the golden reference.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DetectionReport {
     /// All out-of-margin values, in order.
     pub mismatches: Vec<Mismatch>,
@@ -239,7 +237,11 @@ impl OnlineDetector {
         self.compared += 1;
         let mut out = Vec::new();
         for axis in 0..4 {
-            let pct = percent_diff(g.counts[axis], t.counts[axis], self.config.denominator_floor);
+            let pct = percent_diff(
+                g.counts[axis],
+                t.counts[axis],
+                self.config.denominator_floor,
+            );
             self.largest = self.largest.max(pct);
             if pct > self.config.margin * 100.0 {
                 out.push(Mismatch {
@@ -321,7 +323,10 @@ mod tests {
                 }),
             })
             .collect();
-        let cfg = DetectorConfig { final_check: false, ..DetectorConfig::default() };
+        let cfg = DetectorConfig {
+            final_check: false,
+            ..DetectorConfig::default()
+        };
         let r = compare(&g, &o, &cfg);
         assert!(!r.trojan_suspected, "{r}");
         assert!(r.largest_percent < 5.0);
@@ -352,12 +357,21 @@ mod tests {
     #[test]
     fn denominator_floor_suppresses_near_zero_noise() {
         let g: Capture = (0..100)
-            .map(|i| Transaction { index: i, counts: [0, 0, 0, 0] })
+            .map(|i| Transaction {
+                index: i,
+                counts: [0, 0, 0, 0],
+            })
             .collect();
         let o: Capture = (0..100)
-            .map(|i| Transaction { index: i, counts: [1, -1, 0, 1] })
+            .map(|i| Transaction {
+                index: i,
+                counts: [1, -1, 0, 1],
+            })
             .collect();
-        let cfg = DetectorConfig { final_check: false, ..DetectorConfig::default() };
+        let cfg = DetectorConfig {
+            final_check: false,
+            ..DetectorConfig::default()
+        };
         let r = compare(&g, &o, &cfg);
         assert!(!r.trojan_suspected, "1-step wobble near zero must not flag");
     }
@@ -414,47 +428,69 @@ mod tests {
     fn shorter_observed_capture_compares_prefix() {
         let g = ramp(100, 1.0);
         let o: Capture = g.transactions()[..60].iter().copied().collect();
-        let r = compare(&g, &o, &DetectorConfig { final_check: false, ..Default::default() });
+        let r = compare(
+            &g,
+            &o,
+            &DetectorConfig {
+                final_check: false,
+                ..Default::default()
+            },
+        );
         assert_eq!(r.transactions_compared, 60);
         assert_eq!(r.length_difference, 40);
     }
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
+    use offramps_des::DetRng;
 
-    fn arb_capture(n: usize) -> impl Strategy<Value = Capture> {
-        proptest::collection::vec(
-            (-100_000i32..100_000, -100_000i32..100_000,
-             -100_000i32..100_000, -100_000i32..100_000),
-            1..n,
-        )
-        .prop_map(|rows| {
-            rows.into_iter()
-                .enumerate()
-                .map(|(i, (x, y, z, e))| Transaction { index: i as u64, counts: [x, y, z, e] })
-                .collect()
-        })
+    /// Deterministic stand-in for proptest's capture generator.
+    fn random_capture(rng: &mut DetRng, max_rows: usize) -> Capture {
+        let n = rng.uniform_u64(1, max_rows as u64) as usize;
+        (0..n)
+            .map(|i| Transaction {
+                index: i as u64,
+                counts: std::array::from_fn(|_| rng.uniform_u64(0, 200_000) as i32 - 100_000),
+            })
+            .collect()
     }
 
-    proptest! {
-        /// Comparing any capture against itself is always clean.
-        #[test]
-        fn prop_self_compare_clean(cap in arb_capture(60)) {
+    /// Comparing any capture against itself is always clean.
+    #[test]
+    fn self_compare_is_clean() {
+        for seed in 0u64..64 {
+            let mut rng = DetRng::from_seed(seed);
+            let cap = random_capture(&mut rng, 60);
             let rep = compare(&cap, &cap.clone(), &DetectorConfig::default());
-            prop_assert!(!rep.trojan_suspected);
-            prop_assert_eq!(rep.mismatches.len(), 0);
-            prop_assert_eq!(rep.largest_percent, 0.0);
-            prop_assert_eq!(rep.final_totals_match, Some(true));
+            assert!(!rep.trojan_suspected, "seed {seed}");
+            assert_eq!(rep.mismatches.len(), 0, "seed {seed}");
+            assert_eq!(rep.largest_percent, 0.0, "seed {seed}");
+            assert_eq!(rep.final_totals_match, Some(true), "seed {seed}");
         }
+    }
 
-        /// Scaling any axis far outside the margin is always suspected
-        /// (when values are large enough to exceed the floor).
-        #[test]
-        fn prop_gross_tamper_detected(cap in arb_capture(60)) {
-            prop_assume!(cap.transactions().iter().all(|t| t.counts[0].abs() > 1_000));
+    /// Scaling any axis far outside the margin is always suspected
+    /// (when values are large enough to exceed the floor).
+    #[test]
+    fn gross_tamper_detected() {
+        for seed in 0u64..64 {
+            let mut rng = DetRng::from_seed(seed ^ 0xbeef);
+            let n = rng.uniform_u64(1, 60) as usize;
+            let cap: Capture = (0..n)
+                .map(|i| Transaction {
+                    index: i as u64,
+                    counts: std::array::from_fn(|_| {
+                        let magnitude = rng.uniform_u64(1_001, 100_000) as i32;
+                        if rng.chance(0.5) {
+                            magnitude
+                        } else {
+                            -magnitude
+                        }
+                    }),
+                })
+                .collect();
             let tampered: Capture = cap
                 .transactions()
                 .iter()
@@ -464,12 +500,17 @@ mod proptests {
                 })
                 .collect();
             let rep = compare(&cap, &tampered, &DetectorConfig::default());
-            prop_assert!(rep.trojan_suspected);
+            assert!(rep.trojan_suspected, "seed {seed}");
         }
+    }
 
-        /// The offline and online detectors agree on mismatch counts.
-        #[test]
-        fn prop_offline_online_agree(cap in arb_capture(60), scale in 1i32..3) {
+    /// The offline and online detectors agree on mismatch counts.
+    #[test]
+    fn offline_online_agree() {
+        for seed in 0u64..64 {
+            let mut rng = DetRng::from_seed(seed ^ 0xcafe);
+            let cap = random_capture(&mut rng, 60);
+            let scale = rng.uniform_u64(1, 3) as i32;
             let observed: Capture = cap
                 .transactions()
                 .iter()
@@ -478,15 +519,22 @@ mod proptests {
                     counts: std::array::from_fn(|i| t.counts[i].saturating_mul(scale)),
                 })
                 .collect();
-            let cfg = DetectorConfig { final_check: false, ..DetectorConfig::default() };
+            let cfg = DetectorConfig {
+                final_check: false,
+                ..DetectorConfig::default()
+            };
             let offline = compare(&cap, &observed, &cfg);
             let mut online = OnlineDetector::new(cap.clone(), cfg);
             let mut online_mismatches = 0usize;
             for t in observed.transactions() {
                 online_mismatches += online.feed(*t).len();
             }
-            prop_assert_eq!(offline.mismatches.len(), online_mismatches);
-            prop_assert_eq!(offline.largest_percent, online.largest_percent());
+            assert_eq!(offline.mismatches.len(), online_mismatches, "seed {seed}");
+            assert_eq!(
+                offline.largest_percent,
+                online.largest_percent(),
+                "seed {seed}"
+            );
         }
     }
 }

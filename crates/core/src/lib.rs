@@ -22,11 +22,12 @@
 //! # Quickstart
 //!
 //! ```
+//! use std::sync::Arc;
 //! use offramps::{TestBench, SignalPath};
 //! use offramps_gcode::slicer::{slice, SlicerConfig, Solid};
 //!
 //! let cfg = SlicerConfig::fast();
-//! let program = slice(&Solid::rect_prism(5.0, 5.0, 0.3), &cfg);
+//! let program = Arc::new(slice(&Solid::rect_prism(5.0, 5.0, 0.3), &cfg));
 //! let run = TestBench::new(1).signal_path(SignalPath::capture()).run(&program)?;
 //! let capture = run.capture.expect("capture path records transactions");
 //! assert!(capture.len() > 0);
@@ -47,6 +48,6 @@ pub mod trojans;
 pub use capture::{Capture, Transaction, TRANSACTION_BYTES};
 pub use config::{MitmConfig, SignalPath};
 pub use detect::{DetectionReport, DetectorConfig, Mismatch, OnlineDetector};
-pub use mitm::{MitmAction, Offramps};
+pub use mitm::Offramps;
 pub use testbench::{BenchError, RunArtifacts, TestBench};
 pub use trojans::{Disposition, Trojan, TrojanCtx};

@@ -14,24 +14,24 @@
 //!
 //! [`SignalPath`]: crate::SignalPath
 
-use offramps_des::{DetRng, SeedSplitter, Tick};
+use offramps_des::{ActionSink, DetRng, InPort, OutPort, SeedSplitter, SimComponent, Tick};
 use offramps_signals::{PinClass, SignalEvent, SignalTrace};
 
 use crate::config::MitmConfig;
 use crate::monitor::{HomingDetector, Monitor};
 use crate::trojans::{Disposition, Trojan, TrojanCtx};
 
-/// Output of an interceptor step.
-#[derive(Debug, Clone, PartialEq)]
-pub enum MitmAction {
-    /// Deliver a control-direction event to the plant at the given time.
-    ToPlant(Tick, SignalEvent),
-    /// Deliver a feedback-direction event to the firmware at the given
-    /// time.
-    ToFirmware(Tick, SignalEvent),
-    /// Wake [`Offramps::on_tick`] at this time.
-    WakeAt(Tick),
-}
+/// Output port: control-direction events heading to the plant.
+pub const PORT_TO_PLANT: OutPort = OutPort(0);
+
+/// Output port: feedback-direction events heading to the firmware.
+pub const PORT_TO_FIRMWARE: OutPort = OutPort(1);
+
+/// Input port: control-direction events arriving from the firmware.
+pub const PORT_CTRL_IN: InPort = InPort(0);
+
+/// Input port: feedback-direction events arriving from the plant.
+pub const PORT_FEEDBACK_IN: InPort = InPort(1);
 
 /// Which way an event is travelling through the interceptor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,9 +115,13 @@ impl Offramps {
     }
 
     /// Routes one control-direction event (firmware → plant).
-    pub fn on_control(&mut self, now: Tick, event: SignalEvent) -> Vec<MitmAction> {
+    pub fn on_control(
+        &mut self,
+        now: Tick,
+        event: SignalEvent,
+        sink: &mut ActionSink<SignalEvent>,
+    ) {
         self.control_events += 1;
-        let mut out = Vec::new();
 
         if let SignalEvent::Logic(logic) = event {
             if let Some(trace) = self.trace.as_mut() {
@@ -130,7 +134,7 @@ impl Offramps {
         if let Some(monitor) = self.monitor.as_mut() {
             if let SignalEvent::Logic(logic) = event {
                 if let Some(wake) = monitor.on_control(now, logic) {
-                    out.push(MitmAction::WakeAt(wake));
+                    sink.wake_at(wake);
                 }
             }
         }
@@ -138,13 +142,12 @@ impl Offramps {
         // Trojan pipeline.
         let mut forwarded = Some(event);
         if self.config.path.modify {
-            forwarded = self.run_trojans(now, forwarded, Direction::Control, &mut out);
+            forwarded = self.run_trojans(now, forwarded, Direction::Control, sink);
         }
 
         if let Some(ev) = forwarded {
-            out.push(MitmAction::ToPlant(now + self.config.pipeline_delay, ev));
+            sink.send_at(PORT_TO_PLANT, now + self.config.pipeline_delay, ev);
         }
-        out
     }
 
     /// Runs `event` through every armed Trojan, emitting injections and
@@ -154,7 +157,7 @@ impl Offramps {
         now: Tick,
         mut forwarded: Option<SignalEvent>,
         direction: Direction,
-        out: &mut Vec<MitmAction>,
+        sink: &mut ActionSink<SignalEvent>,
     ) -> Option<SignalEvent> {
         let mut injections = Vec::new();
         let mut feedback_injections = Vec::new();
@@ -188,7 +191,7 @@ impl Offramps {
         }
         self.injected_events += (injections.len() + feedback_injections.len()) as u64;
         for (at, ev) in injections {
-            out.push(MitmAction::ToPlant(at + self.config.pipeline_delay, ev));
+            sink.send_at(PORT_TO_PLANT, at + self.config.pipeline_delay, ev);
         }
         for (at, ev) in feedback_injections {
             // Spoofed feedback is what the *firmware* experiences; the
@@ -200,18 +203,22 @@ impl Offramps {
                     monitor.on_feedback(logic);
                 }
             }
-            out.push(MitmAction::ToFirmware(at + self.config.pipeline_delay, ev));
+            sink.send_at(PORT_TO_FIRMWARE, at + self.config.pipeline_delay, ev);
         }
         if let Some(w) = wake {
-            out.push(MitmAction::WakeAt(w));
+            sink.wake_at(w);
         }
         forwarded
     }
 
     /// Routes one feedback-direction event (plant → firmware).
-    pub fn on_feedback(&mut self, now: Tick, event: SignalEvent) -> Vec<MitmAction> {
+    pub fn on_feedback(
+        &mut self,
+        now: Tick,
+        event: SignalEvent,
+        sink: &mut ActionSink<SignalEvent>,
+    ) {
         self.feedback_events += 1;
-        let mut out = Vec::new();
         if let SignalEvent::Logic(logic) = event {
             debug_assert_eq!(
                 logic.pin.class(),
@@ -230,21 +237,19 @@ impl Offramps {
         }
         let mut forwarded = Some(event);
         if self.config.path.modify {
-            forwarded = self.run_trojans(now, forwarded, Direction::Feedback, &mut out);
+            forwarded = self.run_trojans(now, forwarded, Direction::Feedback, sink);
         }
         if let Some(ev) = forwarded {
-            out.push(MitmAction::ToFirmware(now + self.config.pipeline_delay, ev));
+            sink.send_at(PORT_TO_FIRMWARE, now + self.config.pipeline_delay, ev);
         }
-        out
     }
 
     /// Timer wake-up: runs the monitor's exporter and the Trojans'
     /// timed behaviour.
-    pub fn on_tick(&mut self, now: Tick) -> Vec<MitmAction> {
-        let mut out = Vec::new();
+    pub fn on_tick(&mut self, now: Tick, sink: &mut ActionSink<SignalEvent>) {
         if let Some(monitor) = self.monitor.as_mut() {
             if let Some(next) = monitor.on_tick(now) {
-                out.push(MitmAction::WakeAt(next));
+                sink.wake_at(next);
             }
         }
         if self.config.path.modify {
@@ -265,16 +270,37 @@ impl Offramps {
             }
             self.injected_events += (injections.len() + feedback_injections.len()) as u64;
             for (at, ev) in injections {
-                out.push(MitmAction::ToPlant(at + self.config.pipeline_delay, ev));
+                sink.send_at(PORT_TO_PLANT, at + self.config.pipeline_delay, ev);
             }
             for (at, ev) in feedback_injections {
-                out.push(MitmAction::ToFirmware(at + self.config.pipeline_delay, ev));
+                sink.send_at(PORT_TO_FIRMWARE, at + self.config.pipeline_delay, ev);
             }
             if let Some(w) = wake {
-                out.push(MitmAction::WakeAt(w));
+                sink.wake_at(w);
             }
         }
-        out
+    }
+}
+
+impl SimComponent for Offramps {
+    type Payload = SignalEvent;
+
+    fn on_event(
+        &mut self,
+        now: Tick,
+        port: InPort,
+        payload: SignalEvent,
+        sink: &mut ActionSink<SignalEvent>,
+    ) {
+        match port {
+            PORT_CTRL_IN => self.on_control(now, payload, sink),
+            PORT_FEEDBACK_IN => self.on_feedback(now, payload, sink),
+            other => panic!("Offramps has no input port {other:?}"),
+        }
+    }
+
+    fn on_tick(&mut self, now: Tick, sink: &mut ActionSink<SignalEvent>) {
+        Offramps::on_tick(self, now, sink);
     }
 }
 
@@ -283,24 +309,47 @@ mod tests {
     use super::*;
     use crate::config::SignalPath;
     use crate::trojans::FlowReductionTrojan;
-    use offramps_des::SimDuration;
+    use offramps_des::{SimDuration, SinkAction};
     use offramps_signals::{Level, Pin};
 
     fn bypass() -> Offramps {
         Offramps::new(MitmConfig::default(), 1)
     }
 
+    /// Drives one control event through a fresh sink.
+    fn on_control(m: &mut Offramps, t: Tick, ev: SignalEvent) -> Vec<SinkAction<SignalEvent>> {
+        let mut sink = ActionSink::new();
+        sink.begin(t);
+        m.on_control(t, ev, &mut sink);
+        sink.drain().collect()
+    }
+
+    fn on_feedback(m: &mut Offramps, t: Tick, ev: SignalEvent) -> Vec<SinkAction<SignalEvent>> {
+        let mut sink = ActionSink::new();
+        sink.begin(t);
+        m.on_feedback(t, ev, &mut sink);
+        sink.drain().collect()
+    }
+
+    fn on_tick(m: &mut Offramps, t: Tick) -> Vec<SinkAction<SignalEvent>> {
+        let mut sink = ActionSink::new();
+        sink.begin(t);
+        m.on_tick(t, &mut sink);
+        sink.drain().collect()
+    }
+
     #[test]
     fn bypass_forwards_with_pipeline_delay() {
         let mut m = bypass();
         let ev = SignalEvent::logic(Pin::XStep, Level::High);
-        let acts = m.on_control(Tick::from_micros(10), ev);
+        let acts = on_control(&mut m, Tick::from_micros(10), ev);
         assert_eq!(
             acts,
-            vec![MitmAction::ToPlant(
-                Tick::from_micros(10) + SimDuration::from_nanos(13),
-                ev
-            )]
+            vec![SinkAction::Send {
+                port: PORT_TO_PLANT,
+                at: Tick::from_micros(10) + SimDuration::from_nanos(13),
+                payload: ev,
+            }]
         );
         assert_eq!(m.control_events, 1);
     }
@@ -309,25 +358,34 @@ mod tests {
     fn feedback_forwards_to_firmware() {
         let mut m = bypass();
         let ev = SignalEvent::logic(Pin::XMin, Level::High);
-        let acts = m.on_feedback(Tick::from_micros(5), ev);
-        assert!(matches!(acts[0], MitmAction::ToFirmware(_, e) if e == ev));
+        let acts = on_feedback(&mut m, Tick::from_micros(5), ev);
+        assert!(
+            matches!(acts[0], SinkAction::Send { port: PORT_TO_FIRMWARE, payload: e, .. } if e == ev)
+        );
     }
 
     #[test]
     fn modify_path_applies_trojans() {
-        let cfg = MitmConfig { path: SignalPath::modify(), ..MitmConfig::default() };
+        let cfg = MitmConfig {
+            path: SignalPath::modify(),
+            ..MitmConfig::default()
+        };
         let mut m = Offramps::new(cfg, 1);
         m.add_trojan(Box::new(FlowReductionTrojan::half()));
         // Extruding forward during XY motion: E DIR high, X pulses keep
         // the motion window hot, then E pulses.
-        m.on_control(Tick::ZERO, SignalEvent::logic(Pin::EDir, Level::High));
+        on_control(
+            &mut m,
+            Tick::ZERO,
+            SignalEvent::logic(Pin::EDir, Level::High),
+        );
         let mut e_edges_forwarded = 0;
         for i in 0..4u64 {
             let t = Tick::from_micros(100 * i);
-            m.on_control(t, SignalEvent::logic(Pin::XStep, Level::High));
-            m.on_control(t, SignalEvent::logic(Pin::XStep, Level::Low));
-            let a = m.on_control(t, SignalEvent::logic(Pin::EStep, Level::High));
-            let b = m.on_control(t, SignalEvent::logic(Pin::EStep, Level::Low));
+            on_control(&mut m, t, SignalEvent::logic(Pin::XStep, Level::High));
+            on_control(&mut m, t, SignalEvent::logic(Pin::XStep, Level::Low));
+            let a = on_control(&mut m, t, SignalEvent::logic(Pin::EStep, Level::High));
+            let b = on_control(&mut m, t, SignalEvent::logic(Pin::EStep, Level::Low));
             e_edges_forwarded += a.len() + b.len();
         }
         assert_eq!(
@@ -341,34 +399,68 @@ mod tests {
     fn trojans_inactive_on_bypass_path() {
         let mut m = bypass();
         m.add_trojan(Box::new(FlowReductionTrojan::half()));
-        m.on_control(Tick::ZERO, SignalEvent::logic(Pin::EDir, Level::High));
+        on_control(
+            &mut m,
+            Tick::ZERO,
+            SignalEvent::logic(Pin::EDir, Level::High),
+        );
         let mut forwarded = 0;
         for i in 0..4u64 {
             let t = Tick::from_micros(100 * i);
-            forwarded += m.on_control(t, SignalEvent::logic(Pin::EStep, Level::High)).len();
-            forwarded += m.on_control(t, SignalEvent::logic(Pin::EStep, Level::Low)).len();
+            forwarded += on_control(&mut m, t, SignalEvent::logic(Pin::EStep, Level::High)).len();
+            forwarded += on_control(&mut m, t, SignalEvent::logic(Pin::EStep, Level::Low)).len();
         }
         assert_eq!(forwarded, 8, "bypass must not mask pulses");
     }
 
     #[test]
     fn capture_path_builds_transactions() {
-        let cfg = MitmConfig { path: SignalPath::capture(), ..MitmConfig::default() };
+        let cfg = MitmConfig {
+            path: SignalPath::capture(),
+            ..MitmConfig::default()
+        };
         let mut m = Offramps::new(cfg, 1);
         // Home (feedback), then step, then tick past the period.
-        for pin in [Pin::XMin, Pin::XMin, Pin::YMin, Pin::YMin, Pin::ZMin, Pin::ZMin] {
-            m.on_feedback(Tick::from_millis(1), SignalEvent::logic(pin, Level::High));
-            m.on_feedback(Tick::from_millis(1), SignalEvent::logic(pin, Level::Low));
+        for pin in [
+            Pin::XMin,
+            Pin::XMin,
+            Pin::YMin,
+            Pin::YMin,
+            Pin::ZMin,
+            Pin::ZMin,
+        ] {
+            on_feedback(
+                &mut m,
+                Tick::from_millis(1),
+                SignalEvent::logic(pin, Level::High),
+            );
+            on_feedback(
+                &mut m,
+                Tick::from_millis(1),
+                SignalEvent::logic(pin, Level::Low),
+            );
         }
-        m.on_control(Tick::from_millis(10), SignalEvent::logic(Pin::XDir, Level::High));
-        let acts = m.on_control(Tick::from_millis(10), SignalEvent::logic(Pin::XStep, Level::High));
+        on_control(
+            &mut m,
+            Tick::from_millis(10),
+            SignalEvent::logic(Pin::XDir, Level::High),
+        );
+        let acts = on_control(
+            &mut m,
+            Tick::from_millis(10),
+            SignalEvent::logic(Pin::XStep, Level::High),
+        );
         assert!(
-            acts.iter().any(|a| matches!(a, MitmAction::WakeAt(_))),
+            acts.iter().any(|a| matches!(a, SinkAction::WakeAt(_))),
             "first step after homing arms the export clock"
         );
-        m.on_control(Tick::from_millis(10), SignalEvent::logic(Pin::XStep, Level::Low));
-        let acts = m.on_tick(Tick::from_millis(110));
-        assert!(acts.iter().any(|a| matches!(a, MitmAction::WakeAt(_))));
+        on_control(
+            &mut m,
+            Tick::from_millis(10),
+            SignalEvent::logic(Pin::XStep, Level::Low),
+        );
+        let acts = on_tick(&mut m, Tick::from_millis(110));
+        assert!(acts.iter().any(|a| matches!(a, SinkAction::WakeAt(_))));
         let cap = m.monitor().unwrap().capture();
         assert_eq!(cap.len(), 1);
         assert_eq!(cap.transactions()[0].counts[0], 1);
@@ -378,8 +470,16 @@ mod tests {
     fn trace_records_logic_events() {
         let mut m = bypass();
         m.enable_trace();
-        m.on_control(Tick::from_micros(1), SignalEvent::logic(Pin::XStep, Level::High));
-        m.on_control(Tick::from_micros(3), SignalEvent::logic(Pin::XStep, Level::Low));
+        on_control(
+            &mut m,
+            Tick::from_micros(1),
+            SignalEvent::logic(Pin::XStep, Level::High),
+        );
+        on_control(
+            &mut m,
+            Tick::from_micros(3),
+            SignalEvent::logic(Pin::XStep, Level::Low),
+        );
         assert_eq!(m.trace().unwrap().len(), 2);
         let (cap, trace) = m.into_outputs();
         assert!(cap.is_none());

@@ -124,7 +124,10 @@ mod tests {
         assert!(!touch(&mut det, Pin::YMin));
         assert!(!touch(&mut det, Pin::YMin));
         assert!(!touch(&mut det, Pin::ZMin));
-        assert!(touch(&mut det, Pin::ZMin), "second Z touch completes homing");
+        assert!(
+            touch(&mut det, Pin::ZMin),
+            "second Z touch completes homing"
+        );
         assert!(det.is_homed());
         assert_eq!(det.order_violations, 0);
     }
@@ -141,7 +144,14 @@ mod tests {
     #[test]
     fn out_of_order_flagged() {
         let mut det = HomingDetector::new();
-        for pin in [Pin::ZMin, Pin::ZMin, Pin::XMin, Pin::XMin, Pin::YMin, Pin::YMin] {
+        for pin in [
+            Pin::ZMin,
+            Pin::ZMin,
+            Pin::XMin,
+            Pin::XMin,
+            Pin::YMin,
+            Pin::YMin,
+        ] {
             touch(&mut det, pin);
         }
         assert!(det.is_homed(), "still homes — order is a diagnostic");
@@ -155,7 +165,7 @@ mod tests {
         det.observe(LogicEvent::new(Pin::XMin, Level::High)); // repeat
         det.observe(LogicEvent::new(Pin::XMin, Level::Low));
         det.observe(LogicEvent::new(Pin::XMin, Level::Low)); // repeat
-        // Only one rising edge so far.
+                                                             // Only one rising edge so far.
         assert!(!det.is_homed());
         touch(&mut det, Pin::XMin);
         for pin in [Pin::YMin, Pin::YMin, Pin::ZMin, Pin::ZMin] {
@@ -167,7 +177,14 @@ mod tests {
     #[test]
     fn reset_rearms() {
         let mut det = HomingDetector::new();
-        for pin in [Pin::XMin, Pin::XMin, Pin::YMin, Pin::YMin, Pin::ZMin, Pin::ZMin] {
+        for pin in [
+            Pin::XMin,
+            Pin::XMin,
+            Pin::YMin,
+            Pin::YMin,
+            Pin::ZMin,
+            Pin::ZMin,
+        ] {
             touch(&mut det, pin);
         }
         assert!(det.is_homed());

@@ -123,7 +123,14 @@ mod tests {
     use offramps_signals::{Level, Pin};
 
     fn home(m: &mut Monitor) {
-        for pin in [Pin::XMin, Pin::XMin, Pin::YMin, Pin::YMin, Pin::ZMin, Pin::ZMin] {
+        for pin in [
+            Pin::XMin,
+            Pin::XMin,
+            Pin::YMin,
+            Pin::YMin,
+            Pin::ZMin,
+            Pin::ZMin,
+        ] {
             m.on_feedback(LogicEvent::new(pin, Level::High));
             m.on_feedback(LogicEvent::new(pin, Level::Low));
         }
@@ -131,7 +138,10 @@ mod tests {
 
     fn pulse(m: &mut Monitor, now: Tick, pin: Pin) -> Option<Tick> {
         let r = m.on_control(now, LogicEvent::new(pin, Level::High));
-        m.on_control(now + SimDuration::from_micros(2), LogicEvent::new(pin, Level::Low));
+        m.on_control(
+            now + SimDuration::from_micros(2),
+            LogicEvent::new(pin, Level::Low),
+        );
         r
     }
 
@@ -163,7 +173,10 @@ mod tests {
     fn transactions_sample_counts_each_period() {
         let mut m = Monitor::new(SimDuration::from_millis(100));
         home(&mut m);
-        m.on_control(Tick::from_millis(99), LogicEvent::new(Pin::XDir, Level::High));
+        m.on_control(
+            Tick::from_millis(99),
+            LogicEvent::new(Pin::XDir, Level::High),
+        );
         pulse(&mut m, Tick::from_millis(100), Pin::XStep);
         // 10 more steps before the first sample at t=200ms.
         for i in 0..10 {

@@ -2,22 +2,29 @@
 //!
 //! [`TestBench`] wires the three components of the paper's test
 //! environment — Marlin-like firmware, the OFFRAMPS interceptor, and the
-//! RAMPS/printer plant — onto one deterministic event queue and runs a
+//! RAMPS/printer plant — onto one deterministic [`Scheduler`] and runs a
 //! G-code program to completion, returning everything an experiment
 //! needs: the capture, the deposited part, firmware status, plant
 //! damage indicators, and (optionally) the raw signal trace.
+//!
+//! The bench itself is a thin composition: all queueing, wake-slot
+//! deduplication and routing lives in [`offramps_des::Scheduler`]; the
+//! components speak the uniform [`SimComponent`] interface. Programs are
+//! passed as [`Arc<Program>`] so fanning one job across a whole campaign
+//! of scenarios never copies the command list.
 
 use std::fmt;
+use std::sync::Arc;
 
-use offramps_des::{EventQueue, SimDuration, Tick};
-use offramps_firmware::{Firmware, FirmwareConfig, FwAction, FwState};
+use offramps_des::{CompId, ComponentSet, Scheduler, SimComponent, SimDuration, StepKind, Tick};
+use offramps_firmware::{Firmware, FirmwareConfig, FwState};
 use offramps_gcode::Program;
-use offramps_printer::{PartModel, PlantAction, PlantConfig, PlantStatus, PrinterPlant};
+use offramps_printer::{PartModel, PlantConfig, PlantStatus, PrinterPlant};
 use offramps_signals::{SignalEvent, SignalTrace};
 
 use crate::capture::Capture;
 use crate::config::{MitmConfig, SignalPath};
-use crate::mitm::{MitmAction, Offramps};
+use crate::mitm::Offramps;
 use crate::trojans::Trojan;
 
 /// Errors from a bench run.
@@ -81,10 +88,11 @@ pub struct RunArtifacts {
 /// # Example
 ///
 /// ```
+/// use std::sync::Arc;
 /// use offramps::{TestBench, SignalPath};
 /// use offramps_gcode::parse;
 ///
-/// let program = parse("G28\nG1 X5 Y5 F3000\nM84\n")?;
+/// let program = Arc::new(parse("G28\nG1 X5 Y5 F3000\nM84\n")?);
 /// let run = TestBench::new(7).run(&program)?;
 /// assert!(matches!(run.fw_state, offramps_firmware::FwState::Finished));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
@@ -101,16 +109,32 @@ pub struct TestBench {
     drain_time: SimDuration,
 }
 
-/// The event vocabulary of the co-simulation.
-#[derive(Debug)]
-enum SimEvent {
-    FwWake,
-    PlantWake,
-    MitmWake,
-    CtrlToMitm(SignalEvent),
-    CtrlToPlant(SignalEvent),
-    FbToMitm(SignalEvent),
-    FbToFw(SignalEvent),
+/// The three components of the loop, presented to the scheduler in a
+/// fixed registration order.
+struct Rig {
+    fw: Firmware,
+    mitm: Offramps,
+    plant: PrinterPlant,
+}
+
+/// Registration order inside [`Rig`].
+const FW: usize = 0;
+const MITM: usize = 1;
+const PLANT: usize = 2;
+
+impl ComponentSet<SignalEvent> for Rig {
+    fn len(&self) -> usize {
+        3
+    }
+
+    fn component(&mut self, id: CompId) -> &mut dyn SimComponent<Payload = SignalEvent> {
+        match id.index() {
+            FW => &mut self.fw,
+            MITM => &mut self.mitm,
+            PLANT => &mut self.plant,
+            other => panic!("the bench has no component {other}"),
+        }
+    }
 }
 
 impl TestBench {
@@ -183,14 +207,49 @@ impl TestBench {
         self
     }
 
+    /// Wires the three components onto a fresh scheduler (paper
+    /// Figure 3: every signal flows through the interceptor, both
+    /// directions).
+    fn wire() -> Scheduler<SignalEvent> {
+        let mut sched = Scheduler::new();
+        let fw = sched.add_component();
+        let mitm = sched.add_component();
+        let plant = sched.add_component();
+        debug_assert_eq!((fw.index(), mitm.index(), plant.index()), (FW, MITM, PLANT));
+        sched.connect(
+            fw,
+            offramps_firmware::PORT_CTRL,
+            mitm,
+            crate::mitm::PORT_CTRL_IN,
+        );
+        sched.connect(
+            plant,
+            offramps_printer::PORT_FEEDBACK,
+            mitm,
+            crate::mitm::PORT_FEEDBACK_IN,
+        );
+        sched.connect(
+            mitm,
+            crate::mitm::PORT_TO_PLANT,
+            plant,
+            offramps_printer::PORT_CTRL,
+        );
+        sched.connect(
+            mitm,
+            crate::mitm::PORT_TO_FIRMWARE,
+            fw,
+            offramps_firmware::PORT_FEEDBACK,
+        );
+        sched
+    }
+
     /// Runs `program` to completion.
     ///
     /// # Errors
     ///
     /// [`BenchError::SimTimeLimit`] if the job exceeds the simulated time
     /// limit; [`BenchError::Stalled`] if the co-simulation deadlocks.
-    pub fn run(self, program: &Program) -> Result<RunArtifacts, BenchError> {
-        let mut fw = Firmware::new(self.firmware_config, program.clone(), self.seed);
+    pub fn run(self, program: &Arc<Program>) -> Result<RunArtifacts, BenchError> {
         let mut mitm = Offramps::new(self.mitm_config, self.seed);
         for trojan in self.trojans {
             mitm.add_trojan(trojan);
@@ -198,176 +257,64 @@ impl TestBench {
         if self.record_trace {
             mitm.enable_trace();
         }
-        let mut plant = PrinterPlant::new(self.plant_config, self.seed);
+        let mut rig = Rig {
+            fw: Firmware::new(self.firmware_config, Arc::clone(program), self.seed),
+            mitm,
+            plant: PrinterPlant::new(self.plant_config, self.seed),
+        };
 
-        let mut queue: EventQueue<SimEvent> = EventQueue::new();
-        let mut events: u64 = 0;
+        let mut sched = Self::wire();
         let mut temps: Vec<(Tick, f64, f64)> = Vec::new();
         let limit_tick = Tick::ZERO + self.max_sim_time;
-
-        // One pending wake per component, deduplicated by cancellation:
-        // every component returns a WakeAt after every call, so naive
-        // scheduling grows quadratically in wake events.
-        let mut wakes = WakeSlots::default();
-
-        // Boot.
-        let fw_actions = fw.start(Tick::ZERO);
-        dispatch_fw(&mut queue, &mut wakes, Tick::ZERO, fw_actions);
-        let plant_actions = plant.start(Tick::ZERO);
-        dispatch_plant(&mut queue, &mut wakes, Tick::ZERO, plant_actions);
-
         let mut stop_deadline: Option<Tick> = None;
-        let mut now = Tick::ZERO;
 
-        while let Some(event) = queue.pop() {
-            now = event.tick;
-            events += 1;
+        sched.start(&mut rig);
 
-            if now > limit_tick {
-                if matches!(fw.state(), FwState::Running) {
-                    return Err(BenchError::SimTimeLimit { limit: self.max_sim_time });
+        while let Some(next) = sched.peek_tick() {
+            if next > limit_tick {
+                if matches!(rig.fw.state(), FwState::Running) {
+                    return Err(BenchError::SimTimeLimit {
+                        limit: self.max_sim_time,
+                    });
                 }
                 break;
             }
+            let step = sched.step(&mut rig).expect("peeked event exists");
 
-            match event.payload {
-                SimEvent::FwWake => {
-                    wakes.fw = None;
-                    let acts = fw.on_tick(now);
-                    dispatch_fw(&mut queue, &mut wakes, now, acts);
-                }
-                SimEvent::CtrlToMitm(ev) => {
-                    let acts = mitm.on_control(now, ev);
-                    dispatch_mitm(&mut queue, &mut wakes, acts);
-                }
-                SimEvent::CtrlToPlant(ev) => {
-                    let acts = plant.on_control(now, ev);
-                    dispatch_plant(&mut queue, &mut wakes, now, acts);
-                }
-                SimEvent::FbToMitm(ev) => {
-                    let acts = mitm.on_feedback(now, ev);
-                    dispatch_mitm(&mut queue, &mut wakes, acts);
-                }
-                SimEvent::FbToFw(ev) => {
-                    let acts = fw.on_feedback(now, ev);
-                    dispatch_fw(&mut queue, &mut wakes, now, acts);
-                }
-                SimEvent::PlantWake => {
-                    wakes.plant = None;
-                    let acts = plant.on_tick(now);
-                    dispatch_plant(&mut queue, &mut wakes, now, acts);
-                    let s = plant.status(now);
-                    temps.push((now, s.hotend_c, s.bed_c));
-                }
-                SimEvent::MitmWake => {
-                    wakes.mitm = None;
-                    let acts = mitm.on_tick(now);
-                    dispatch_mitm(&mut queue, &mut wakes, acts);
-                }
+            if step.comp.index() == PLANT && step.kind == StepKind::Wake {
+                let s = rig.plant.status(step.tick);
+                temps.push((step.tick, s.hotend_c, s.bed_c));
             }
 
             // Termination: once the firmware is done (or dead), drain for
             // a grace period so in-flight signals settle, then stop.
-            if !matches!(fw.state(), FwState::Running) {
+            if !matches!(rig.fw.state(), FwState::Running) {
                 match stop_deadline {
-                    None => stop_deadline = Some(now + self.drain_time),
-                    Some(deadline) if now >= deadline => break,
+                    None => stop_deadline = Some(step.tick + self.drain_time),
+                    Some(deadline) if step.tick >= deadline => break,
                     Some(_) => {}
                 }
             }
         }
 
-        if matches!(fw.state(), FwState::Running) && queue.is_empty() {
+        let now = sched.now();
+        if matches!(rig.fw.state(), FwState::Running) && sched.is_empty() {
             return Err(BenchError::Stalled { at: now });
         }
 
-        let plant_status = plant.status(now);
-        let (capture, trace) = mitm.into_outputs();
+        let plant_status = rig.plant.status(now);
+        let (capture, trace) = rig.mitm.into_outputs();
         Ok(RunArtifacts {
-            fw_state: fw.state(),
+            fw_state: rig.fw.state(),
             capture,
-            part: plant.into_part(),
+            part: rig.plant.into_part(),
             plant: plant_status,
             trace,
             sim_time: now,
-            events,
+            events: sched.events(),
             temps,
-            fw_steps: fw.step_counts(),
+            fw_steps: rig.fw.step_counts(),
         })
-    }
-}
-
-/// At most one scheduled wake per component.
-#[derive(Debug, Default)]
-struct WakeSlots {
-    fw: Option<(Tick, offramps_des::EventId)>,
-    plant: Option<(Tick, offramps_des::EventId)>,
-    mitm: Option<(Tick, offramps_des::EventId)>,
-}
-
-/// Schedules `event` at `t` unless an equal-or-earlier wake for the same
-/// component is already pending; a later pending wake is cancelled.
-fn schedule_wake(
-    queue: &mut EventQueue<SimEvent>,
-    slot: &mut Option<(Tick, offramps_des::EventId)>,
-    t: Tick,
-    event: SimEvent,
-) {
-    if let Some((pending, id)) = *slot {
-        if pending <= t {
-            return;
-        }
-        queue.cancel(id);
-    }
-    let id = queue.schedule(t, event);
-    *slot = Some((t, id));
-}
-
-fn dispatch_fw(
-    queue: &mut EventQueue<SimEvent>,
-    wakes: &mut WakeSlots,
-    now: Tick,
-    actions: Vec<FwAction>,
-) {
-    for a in actions {
-        match a {
-            FwAction::Emit(ev) => {
-                queue.schedule(now, SimEvent::CtrlToMitm(ev));
-            }
-            FwAction::WakeAt(t) => schedule_wake(queue, &mut wakes.fw, t, SimEvent::FwWake),
-        }
-    }
-}
-
-fn dispatch_plant(
-    queue: &mut EventQueue<SimEvent>,
-    wakes: &mut WakeSlots,
-    now: Tick,
-    actions: Vec<PlantAction>,
-) {
-    for a in actions {
-        match a {
-            PlantAction::Emit(ev) => {
-                queue.schedule(now, SimEvent::FbToMitm(ev));
-            }
-            PlantAction::WakeAt(t) => {
-                schedule_wake(queue, &mut wakes.plant, t, SimEvent::PlantWake)
-            }
-        }
-    }
-}
-
-fn dispatch_mitm(queue: &mut EventQueue<SimEvent>, wakes: &mut WakeSlots, actions: Vec<MitmAction>) {
-    for a in actions {
-        match a {
-            MitmAction::ToPlant(t, ev) => {
-                queue.schedule(t, SimEvent::CtrlToPlant(ev));
-            }
-            MitmAction::ToFirmware(t, ev) => {
-                queue.schedule(t, SimEvent::FbToFw(ev));
-            }
-            MitmAction::WakeAt(t) => schedule_wake(queue, &mut wakes.mitm, t, SimEvent::MitmWake),
-        }
     }
 }
 
@@ -376,8 +323,8 @@ mod tests {
     use super::*;
     use offramps_gcode::parse;
 
-    fn program(src: &str) -> Program {
-        parse(src).unwrap()
+    fn program(src: &str) -> Arc<Program> {
+        Arc::new(parse(src).unwrap())
     }
 
     #[test]
@@ -390,7 +337,11 @@ mod tests {
         assert_eq!(run.fw_steps[0], 1000);
         assert_eq!(run.fw_steps[1], 500);
         // The physical carriage agrees (endstop trigger offset is ~0.1mm).
-        assert!((run.plant.positions_mm[0] - 10.0).abs() < 0.2, "{}", run.plant.positions_mm[0]);
+        assert!(
+            (run.plant.positions_mm[0] - 10.0).abs() < 0.2,
+            "{}",
+            run.plant.positions_mm[0]
+        );
         assert!((run.plant.positions_mm[1] - 5.0).abs() < 0.2);
     }
 
@@ -401,7 +352,11 @@ mod tests {
             .run(&program("G28\nG90\nG1 X20 F1200\nG1 X0 F1200\nM84\n"))
             .unwrap();
         let cap = run.capture.expect("capture path");
-        assert!(cap.len() >= 5, "a couple of seconds of motion: {} txns", cap.len());
+        assert!(
+            cap.len() >= 5,
+            "a couple of seconds of motion: {} txns",
+            cap.len()
+        );
         // X ends back at 0.
         assert_eq!(cap.final_counts().unwrap()[0], 0);
     }
@@ -426,7 +381,9 @@ mod tests {
     #[test]
     fn heated_print_reaches_temperature() {
         let run = TestBench::new(5)
-            .run(&program("M140 S60\nM104 S210\nG28\nM190 S60\nM109 S210\nM104 S0\nM140 S0\nM84\n"))
+            .run(&program(
+                "M140 S60\nM104 S210\nG28\nM190 S60\nM109 S210\nM104 S0\nM140 S0\nM84\n",
+            ))
             .unwrap();
         assert!(matches!(run.fw_state, FwState::Finished));
         let max_hotend = run.temps.iter().map(|(_, h, _)| *h).fold(0.0, f64::max);
@@ -442,5 +399,25 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, BenchError::SimTimeLimit { .. }));
         assert!(err.to_string().contains("time limit"));
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        let job = program("G28\nG90\nG1 X8 Y3 F3000\nG1 X0 Y0 F3000\nM84\n");
+        let a = TestBench::new(11)
+            .signal_path(SignalPath::capture())
+            .run(&job)
+            .unwrap();
+        let b = TestBench::new(11)
+            .signal_path(SignalPath::capture())
+            .run(&job)
+            .unwrap();
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.sim_time, b.sim_time);
+        assert_eq!(a.fw_steps, b.fw_steps);
+        assert_eq!(
+            a.capture.unwrap().transactions(),
+            b.capture.unwrap().transactions()
+        );
     }
 }

@@ -35,7 +35,10 @@ impl AxisShiftTrojan {
     ///
     /// Panics if `min_steps > max_steps` or `max_steps == 0`.
     pub fn with_params(interval: SimDuration, min_steps: u32, max_steps: u32) -> Self {
-        assert!(min_steps <= max_steps && max_steps > 0, "invalid step range");
+        assert!(
+            min_steps <= max_steps && max_steps > 0,
+            "invalid step range"
+        );
         AxisShiftTrojan {
             interval,
             min_steps,
@@ -85,11 +88,17 @@ impl Trojan for AxisShiftTrojan {
             ctx.wake_at(due);
             return;
         }
-        let pin = if ctx.rng.chance(0.5) { Pin::XStep } else { Pin::YStep };
+        let pin = if ctx.rng.chance(0.5) {
+            Pin::XStep
+        } else {
+            Pin::YStep
+        };
         let steps = if self.min_steps == self.max_steps {
             self.min_steps
         } else {
-            ctx.rng.uniform_u64(u64::from(self.min_steps), u64::from(self.max_steps) + 1) as u32
+            ctx.rng
+                .uniform_u64(u64::from(self.min_steps), u64::from(self.max_steps) + 1)
+                as u32
         };
         PulseTrain::steps(pin, steps).schedule(ctx.now, ctx);
         self.injected_steps += u64::from(steps);
@@ -110,10 +119,18 @@ mod tests {
         let mut h = TrojanHarness::new();
         h.homed = false;
         let mut t = AxisShiftTrojan::new();
-        h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::XStep, Level::High));
+        h.control(
+            &mut t,
+            Tick::ZERO,
+            SignalEvent::logic(Pin::XStep, Level::High),
+        );
         assert!(h.wake.is_none(), "not homed: no wake requested");
         h.homed = true;
-        h.control(&mut t, Tick::from_secs(1), SignalEvent::logic(Pin::XStep, Level::High));
+        h.control(
+            &mut t,
+            Tick::from_secs(1),
+            SignalEvent::logic(Pin::XStep, Level::High),
+        );
         assert_eq!(h.wake, Some(Tick::from_secs(11)));
     }
 
@@ -121,7 +138,11 @@ mod tests {
     fn fires_every_interval_with_bounded_steps() {
         let mut h = TrojanHarness::new();
         let mut t = AxisShiftTrojan::with_params(SimDuration::from_secs(10), 30, 30);
-        h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::XStep, Level::High));
+        h.control(
+            &mut t,
+            Tick::ZERO,
+            SignalEvent::logic(Pin::XStep, Level::High),
+        );
         h.wake = None;
         h.wake(&mut t, Tick::from_secs(10));
         assert_eq!(h.injections.len(), 60, "30 pulses = 60 edges");
@@ -138,17 +159,29 @@ mod tests {
     fn spurious_wake_is_harmless() {
         let mut h = TrojanHarness::new();
         let mut t = AxisShiftTrojan::new();
-        h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::XStep, Level::High));
+        h.control(
+            &mut t,
+            Tick::ZERO,
+            SignalEvent::logic(Pin::XStep, Level::High),
+        );
         h.wake(&mut t, Tick::from_secs(3)); // before next_fire
         assert!(h.injections.is_empty());
-        assert_eq!(h.wake, Some(Tick::from_secs(10)), "re-requests its due time");
+        assert_eq!(
+            h.wake,
+            Some(Tick::from_secs(10)),
+            "re-requests its due time"
+        );
     }
 
     #[test]
     fn passes_all_events() {
         let mut h = TrojanHarness::new();
         let mut t = AxisShiftTrojan::new();
-        let d = h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::EStep, Level::High));
+        let d = h.control(
+            &mut t,
+            Tick::ZERO,
+            SignalEvent::logic(Pin::EStep, Level::High),
+        );
         assert_eq!(d, Disposition::Pass);
         assert_eq!(t.id(), "T1");
         assert_eq!(t.kind(), "PM");

@@ -120,7 +120,11 @@ mod tests {
     fn swallows_fan_writes_and_synthesizes_pwm() {
         let mut h = TrojanHarness::new();
         let mut t = FanUnderspeedTrojan::quarter();
-        let d = h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::FanPwm, Level::High));
+        let d = h.control(
+            &mut t,
+            Tick::ZERO,
+            SignalEvent::logic(Pin::FanPwm, Level::High),
+        );
         assert_eq!(d, Disposition::Drop);
         // One High now, one Low at 25% of 20ms = 5ms.
         assert_eq!(h.injections.len(), 2);
@@ -133,16 +137,27 @@ mod tests {
     fn pwm_continues_until_commanded_off() {
         let mut h = TrojanHarness::new();
         let mut t = FanUnderspeedTrojan::quarter();
-        h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::FanPwm, Level::High));
+        h.control(
+            &mut t,
+            Tick::ZERO,
+            SignalEvent::logic(Pin::FanPwm, Level::High),
+        );
         h.injections.clear();
         h.wake(&mut t, Tick::from_millis(20));
         assert_eq!(h.injections.len(), 2, "next period emitted");
         // Firmware turns the fan off.
         h.injections.clear();
-        let d = h.control(&mut t, Tick::from_millis(30), SignalEvent::logic(Pin::FanPwm, Level::Low));
+        let d = h.control(
+            &mut t,
+            Tick::from_millis(30),
+            SignalEvent::logic(Pin::FanPwm, Level::Low),
+        );
         assert_eq!(d, Disposition::Drop);
         assert_eq!(h.injections.len(), 1);
-        assert_eq!(h.injections[0].1, SignalEvent::logic(Pin::FanPwm, Level::Low));
+        assert_eq!(
+            h.injections[0].1,
+            SignalEvent::logic(Pin::FanPwm, Level::Low)
+        );
         // Wake after off: PWM stays stopped.
         h.injections.clear();
         h.wake(&mut t, Tick::from_millis(40));
@@ -153,7 +168,11 @@ mod tests {
     fn duty_scale_math() {
         let mut h = TrojanHarness::new();
         let mut t = FanUnderspeedTrojan::new(0.5);
-        h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::FanPwm, Level::High));
+        h.control(
+            &mut t,
+            Tick::ZERO,
+            SignalEvent::logic(Pin::FanPwm, Level::High),
+        );
         // Low edge at 50% of the 20ms period.
         assert_eq!(h.injections[1].0, Tick::from_millis(10));
     }
@@ -162,7 +181,11 @@ mod tests {
     fn other_pins_pass() {
         let mut h = TrojanHarness::new();
         let mut t = FanUnderspeedTrojan::quarter();
-        let d = h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::XStep, Level::High));
+        let d = h.control(
+            &mut t,
+            Tick::ZERO,
+            SignalEvent::logic(Pin::XStep, Level::High),
+        );
         assert_eq!(d, Disposition::Pass);
         assert_eq!(t.swallowed_writes, 0);
     }

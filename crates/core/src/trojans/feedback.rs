@@ -106,28 +106,23 @@ impl Trojan for EndstopSpoofTrojan {
                     self.steps_this_approach = 0;
                 }
             }
-            Pin::XStep => {
-                if self.edges.observe(logic) == Some(Edge::Rising) && self.dir_negative {
-                    self.steps_this_approach += 1;
-                    let threshold = if self.approaches_spoofed == 0 {
-                        self.after_steps
-                    } else {
-                        self.rebump_steps
-                    };
-                    if self.steps_this_approach == threshold {
-                        // Premature "switch pressed": rising edge now,
-                        // release after the firmware has backed away.
-                        self.approaches_spoofed += 1;
-                        self.spoofs_fired += 1;
-                        ctx.inject_feedback(
-                            ctx.now,
-                            SignalEvent::logic(Pin::XMin, Level::High),
-                        );
-                        ctx.inject_feedback(
-                            ctx.now + SimDuration::from_millis(30),
-                            SignalEvent::logic(Pin::XMin, Level::Low),
-                        );
-                    }
+            Pin::XStep if self.edges.observe(logic) == Some(Edge::Rising) && self.dir_negative => {
+                self.steps_this_approach += 1;
+                let threshold = if self.approaches_spoofed == 0 {
+                    self.after_steps
+                } else {
+                    self.rebump_steps
+                };
+                if self.steps_this_approach == threshold {
+                    // Premature "switch pressed": rising edge now,
+                    // release after the firmware has backed away.
+                    self.approaches_spoofed += 1;
+                    self.spoofs_fired += 1;
+                    ctx.inject_feedback(ctx.now, SignalEvent::logic(Pin::XMin, Level::High));
+                    ctx.inject_feedback(
+                        ctx.now + SimDuration::from_millis(30),
+                        SignalEvent::logic(Pin::XMin, Level::Low),
+                    );
                 }
             }
             _ => {}
@@ -233,7 +228,11 @@ impl Trojan for ThermistorSpoofTrojan {
     }
 
     fn on_feedback(&mut self, _ctx: &mut TrojanCtx<'_>, event: &SignalEvent) -> Disposition {
-        if let SignalEvent::Adc { channel: AnalogChannel::HotendTherm, counts } = event {
+        if let SignalEvent::Adc {
+            channel: AnalogChannel::HotendTherm,
+            counts,
+        } = event
+        {
             let true_temp = self.counts_to_temp(*counts);
             let spoofed = self.temp_to_counts(self.spoofed_temp(true_temp));
             self.samples_spoofed += 1;
@@ -258,7 +257,11 @@ mod tests {
         h.homed = false;
         let mut t = EndstopSpoofTrojan::after_steps(10);
         // Fast approach.
-        h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::XDir, Level::Low));
+        h.control(
+            &mut t,
+            Tick::ZERO,
+            SignalEvent::logic(Pin::XDir, Level::Low),
+        );
         for i in 0..10u64 {
             let at = Tick::from_millis(i);
             h.control(&mut t, at, SignalEvent::logic(Pin::XStep, Level::High));
@@ -266,8 +269,16 @@ mod tests {
         }
         assert_eq!(t.spoofs_fired, 1);
         // Back-off (positive) then re-bump (negative).
-        h.control(&mut t, Tick::from_millis(20), SignalEvent::logic(Pin::XDir, Level::High));
-        h.control(&mut t, Tick::from_millis(30), SignalEvent::logic(Pin::XDir, Level::Low));
+        h.control(
+            &mut t,
+            Tick::from_millis(20),
+            SignalEvent::logic(Pin::XDir, Level::High),
+        );
+        h.control(
+            &mut t,
+            Tick::from_millis(30),
+            SignalEvent::logic(Pin::XDir, Level::Low),
+        );
         for i in 0..10u64 {
             let at = Tick::from_millis(40 + i);
             h.control(&mut t, at, SignalEvent::logic(Pin::XStep, Level::High));
@@ -289,14 +300,34 @@ mod tests {
         let mut h = TrojanHarness::new();
         h.homed = false;
         let mut t = EndstopSpoofTrojan::after_steps(1);
-        h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::XDir, Level::Low));
-        h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::XStep, Level::High));
-        h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::XStep, Level::Low));
-        let d = h.feedback(&mut t, Tick::from_secs(1), SignalEvent::logic(Pin::XMin, Level::High));
+        h.control(
+            &mut t,
+            Tick::ZERO,
+            SignalEvent::logic(Pin::XDir, Level::Low),
+        );
+        h.control(
+            &mut t,
+            Tick::ZERO,
+            SignalEvent::logic(Pin::XStep, Level::High),
+        );
+        h.control(
+            &mut t,
+            Tick::ZERO,
+            SignalEvent::logic(Pin::XStep, Level::Low),
+        );
+        let d = h.feedback(
+            &mut t,
+            Tick::from_secs(1),
+            SignalEvent::logic(Pin::XMin, Level::High),
+        );
         assert_eq!(d, Disposition::Drop);
         assert_eq!(t.real_events_suppressed, 1);
         // Y endstop unaffected.
-        let d = h.feedback(&mut t, Tick::from_secs(1), SignalEvent::logic(Pin::YMin, Level::High));
+        let d = h.feedback(
+            &mut t,
+            Tick::from_secs(1),
+            SignalEvent::logic(Pin::YMin, Level::High),
+        );
         assert_eq!(d, Disposition::Pass);
     }
 
@@ -307,8 +338,16 @@ mod tests {
         let mut t = EndstopSpoofTrojan::after_steps(4);
         // Two spoofed approaches retire the Trojan.
         for approach in 0..2 {
-            h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::XDir, Level::High));
-            h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::XDir, Level::Low));
+            h.control(
+                &mut t,
+                Tick::ZERO,
+                SignalEvent::logic(Pin::XDir, Level::High),
+            );
+            h.control(
+                &mut t,
+                Tick::ZERO,
+                SignalEvent::logic(Pin::XDir, Level::Low),
+            );
             for i in 0..4u64 {
                 let at = Tick::from_millis(approach * 100 + i);
                 h.control(&mut t, at, SignalEvent::logic(Pin::XStep, Level::High));
@@ -318,7 +357,11 @@ mod tests {
         assert_eq!(t.spoofs_fired, 2);
         // A genuine press now passes (the end-of-print G28 re-references
         // truthfully — which is exactly how the detector catches TX1).
-        let d = h.feedback(&mut t, Tick::from_secs(9), SignalEvent::logic(Pin::XMin, Level::High));
+        let d = h.feedback(
+            &mut t,
+            Tick::from_secs(9),
+            SignalEvent::logic(Pin::XMin, Level::High),
+        );
         assert_eq!(d, Disposition::Pass);
     }
 
@@ -335,7 +378,10 @@ mod tests {
         let d = h.feedback(
             &mut t,
             Tick::ZERO,
-            SignalEvent::Adc { channel: AnalogChannel::HotendTherm, counts: true_counts },
+            SignalEvent::Adc {
+                channel: AnalogChannel::HotendTherm,
+                counts: true_counts,
+            },
         );
         let Disposition::Replace(SignalEvent::Adc { counts, .. }) = d else {
             panic!("expected replacement, got {d:?}");
@@ -355,7 +401,10 @@ mod tests {
         let d = h.feedback(
             &mut t,
             Tick::ZERO,
-            SignalEvent::Adc { channel: AnalogChannel::BedTherm, counts: 500 },
+            SignalEvent::Adc {
+                channel: AnalogChannel::BedTherm,
+                counts: 500,
+            },
         );
         assert_eq!(d, Disposition::Pass);
     }

@@ -196,7 +196,11 @@ mod tests {
         // Forward E pulses with NO XY activity: refills/primes pass.
         let mut h = TrojanHarness::new();
         let mut t = FlowReductionTrojan::half();
-        h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::EDir, Level::High));
+        h.control(
+            &mut t,
+            Tick::ZERO,
+            SignalEvent::logic(Pin::EDir, Level::High),
+        );
         for i in 0..100u64 {
             let at = Tick::from_millis(100 + i);
             let up = h.control(&mut t, at, SignalEvent::logic(Pin::EStep, Level::High));
@@ -211,9 +215,17 @@ mod tests {
         let mut h = TrojanHarness::new();
         let mut t = FlowReductionTrojan::half();
         for _ in 0..10 {
-            let d = h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::ZStep, Level::High));
+            let d = h.control(
+                &mut t,
+                Tick::ZERO,
+                SignalEvent::logic(Pin::ZStep, Level::High),
+            );
             assert_eq!(d, Disposition::Pass);
-            let d = h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::ZStep, Level::Low));
+            let d = h.control(
+                &mut t,
+                Tick::ZERO,
+                SignalEvent::logic(Pin::ZStep, Level::Low),
+            );
             assert_eq!(d, Disposition::Pass);
         }
     }

@@ -26,7 +26,10 @@ pub struct HeaterTargets {
 
 impl HeaterTargets {
     /// Both heaters (the paper's configuration).
-    pub const BOTH: HeaterTargets = HeaterTargets { hotend: true, bed: true };
+    pub const BOTH: HeaterTargets = HeaterTargets {
+        hotend: true,
+        bed: true,
+    };
 
     fn owns(&self, pin: Pin) -> bool {
         (pin == Pin::HotendHeat && self.hotend) || (pin == Pin::BedHeat && self.bed)
@@ -49,7 +52,10 @@ impl HeaterDosTrojan {
 
     /// Creates T6 against a subset of heaters.
     pub fn targeting(targets: HeaterTargets) -> Self {
-        HeaterDosTrojan { targets, suppressed: 0 }
+        HeaterDosTrojan {
+            targets,
+            suppressed: 0,
+        }
     }
 }
 
@@ -98,7 +104,10 @@ impl ThermalRunawayTrojan {
     /// Creates T7 against the hotend only (the paper's demonstration
     /// heated the hotend past spec within seconds).
     pub fn hotend() -> Self {
-        Self::targeting(HeaterTargets { hotend: true, bed: false })
+        Self::targeting(HeaterTargets {
+            hotend: true,
+            bed: false,
+        })
     }
 
     /// Creates T7 against a subset of heaters.
@@ -160,24 +169,43 @@ mod tests {
     fn t6_forces_gates_low() {
         let mut h = TrojanHarness::new();
         let mut t = HeaterDosTrojan::new();
-        let d = h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::HotendHeat, Level::High));
+        let d = h.control(
+            &mut t,
+            Tick::ZERO,
+            SignalEvent::logic(Pin::HotendHeat, Level::High),
+        );
         assert_eq!(
             d,
             Disposition::Replace(SignalEvent::logic(Pin::HotendHeat, Level::Low))
         );
-        let d = h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::BedHeat, Level::High));
+        let d = h.control(
+            &mut t,
+            Tick::ZERO,
+            SignalEvent::logic(Pin::BedHeat, Level::High),
+        );
         assert!(matches!(d, Disposition::Replace(_)));
         assert_eq!(t.suppressed, 2);
         // Lows pass (already the forced state).
-        let d = h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::HotendHeat, Level::Low));
+        let d = h.control(
+            &mut t,
+            Tick::ZERO,
+            SignalEvent::logic(Pin::HotendHeat, Level::Low),
+        );
         assert_eq!(d, Disposition::Pass);
     }
 
     #[test]
     fn t6_targeting_subset() {
         let mut h = TrojanHarness::new();
-        let mut t = HeaterDosTrojan::targeting(HeaterTargets { hotend: true, bed: false });
-        let d = h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::BedHeat, Level::High));
+        let mut t = HeaterDosTrojan::targeting(HeaterTargets {
+            hotend: true,
+            bed: false,
+        });
+        let d = h.control(
+            &mut t,
+            Tick::ZERO,
+            SignalEvent::logic(Pin::BedHeat, Level::High),
+        );
         assert_eq!(d, Disposition::Pass, "bed untouched");
     }
 
@@ -185,7 +213,11 @@ mod tests {
     fn t6_leaves_motion_alone() {
         let mut h = TrojanHarness::new();
         let mut t = HeaterDosTrojan::new();
-        let d = h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::XStep, Level::High));
+        let d = h.control(
+            &mut t,
+            Tick::ZERO,
+            SignalEvent::logic(Pin::XStep, Level::High),
+        );
         assert_eq!(d, Disposition::Pass);
     }
 
@@ -194,14 +226,22 @@ mod tests {
         let mut h = TrojanHarness::new();
         let mut t = ThermalRunawayTrojan::hotend();
         // First event arms and injects the forced High.
-        let d = h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::XStep, Level::High));
+        let d = h.control(
+            &mut t,
+            Tick::ZERO,
+            SignalEvent::logic(Pin::XStep, Level::High),
+        );
         assert_eq!(d, Disposition::Pass);
         assert_eq!(
             h.injections,
             vec![(Tick::ZERO, SignalEvent::logic(Pin::HotendHeat, Level::High))]
         );
         // Firmware panic tries to turn the heater off: suppressed.
-        let d = h.control(&mut t, Tick::from_secs(5), SignalEvent::logic(Pin::HotendHeat, Level::Low));
+        let d = h.control(
+            &mut t,
+            Tick::from_secs(5),
+            SignalEvent::logic(Pin::HotendHeat, Level::Low),
+        );
         assert_eq!(
             d,
             Disposition::Replace(SignalEvent::logic(Pin::HotendHeat, Level::High))
@@ -213,8 +253,16 @@ mod tests {
     fn t7_bed_untouched_in_hotend_mode() {
         let mut h = TrojanHarness::new();
         let mut t = ThermalRunawayTrojan::hotend();
-        h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::XStep, Level::High));
-        let d = h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::BedHeat, Level::Low));
+        h.control(
+            &mut t,
+            Tick::ZERO,
+            SignalEvent::logic(Pin::XStep, Level::High),
+        );
+        let d = h.control(
+            &mut t,
+            Tick::ZERO,
+            SignalEvent::logic(Pin::BedHeat, Level::Low),
+        );
         assert_eq!(d, Disposition::Pass);
         assert_eq!(h.injections.len(), 1, "only the hotend gate injected");
     }

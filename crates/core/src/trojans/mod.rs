@@ -114,6 +114,44 @@ pub trait Trojan: std::fmt::Debug {
     fn on_wake(&mut self, _ctx: &mut TrojanCtx<'_>) {}
 }
 
+/// The canonical Trojan roster: every id accepted by [`by_name`], i.e.
+/// Table I's T1–T9 plus the feedback-path extensions TX1/TX2.
+pub const TROJAN_NAMES: [&str; 11] = [
+    "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "tx1", "tx2",
+];
+
+/// Instantiates a Trojan from its roster id (case-insensitive), with
+/// each implementation's default parameters. Shared by the CLI's
+/// `--trojan` flag and the campaign runner's scenario matrix.
+///
+/// # Errors
+///
+/// Returns the unknown name back when it is not in [`TROJAN_NAMES`].
+///
+/// # Example
+///
+/// ```
+/// let trojan = offramps::trojans::by_name("t2").unwrap();
+/// assert_eq!(trojan.id(), "T2");
+/// assert!(offramps::trojans::by_name("t99").is_err());
+/// ```
+pub fn by_name(name: &str) -> Result<Box<dyn Trojan>, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "t1" => Box::new(AxisShiftTrojan::new()),
+        "t2" => Box::new(FlowReductionTrojan::half()),
+        "t3" => Box::new(RetractionTrojan::new(RetractionMode::Over)),
+        "t4" => Box::new(ZWobbleTrojan::new()),
+        "t5" => Box::new(ZShiftTrojan::delamination()),
+        "t6" => Box::new(HeaterDosTrojan::new()),
+        "t7" => Box::new(ThermalRunawayTrojan::hotend()),
+        "t8" => Box::new(StepperDosTrojan::new()),
+        "t9" => Box::new(FanUnderspeedTrojan::quarter()),
+        "tx1" => Box::new(EndstopSpoofTrojan::new()),
+        "tx2" => Box::new(ThermistorSpoofTrojan::reads_cold_by(30.0)),
+        other => return Err(format!("unknown trojan {other:?}")),
+    })
+}
+
 #[cfg(test)]
 pub(crate) mod test_util {
     use super::*;
@@ -139,12 +177,7 @@ pub(crate) mod test_util {
             }
         }
 
-        pub fn control(
-            &mut self,
-            t: &mut dyn Trojan,
-            now: Tick,
-            ev: SignalEvent,
-        ) -> Disposition {
+        pub fn control(&mut self, t: &mut dyn Trojan, now: Tick, ev: SignalEvent) -> Disposition {
             let mut ctx = TrojanCtx {
                 now,
                 homed: self.homed,
@@ -156,12 +189,7 @@ pub(crate) mod test_util {
             t.on_control(&mut ctx, &ev)
         }
 
-        pub fn feedback(
-            &mut self,
-            t: &mut dyn Trojan,
-            now: Tick,
-            ev: SignalEvent,
-        ) -> Disposition {
+        pub fn feedback(&mut self, t: &mut dyn Trojan, now: Tick, ev: SignalEvent) -> Disposition {
             let mut ctx = TrojanCtx {
                 now,
                 homed: self.homed,

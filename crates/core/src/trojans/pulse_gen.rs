@@ -52,8 +52,16 @@ impl PulseTrain {
     ///
     /// Panics if `width >= period`.
     pub fn with_timing(pin: Pin, count: u32, period: SimDuration, width: SimDuration) -> Self {
-        assert!(width < period, "pulse width must be shorter than the period");
-        PulseTrain { pin, count, period, width }
+        assert!(
+            width < period,
+            "pulse width must be shorter than the period"
+        );
+        PulseTrain {
+            pin,
+            count,
+            period,
+            width,
+        }
     }
 
     /// Schedules the whole train through the Trojan context, starting at
@@ -110,7 +118,11 @@ mod tests {
     fn schedules_count_pulses_with_exact_timing() {
         let mut h = TrojanHarness::new();
         let mut t = OneShot(Some(PulseTrain::steps(Pin::YStep, 3)));
-        h.control(&mut t, Tick::from_millis(1), SignalEvent::logic(Pin::XStep, Level::High));
+        h.control(
+            &mut t,
+            Tick::from_millis(1),
+            SignalEvent::logic(Pin::XStep, Level::High),
+        );
         // 3 pulses = 6 events.
         assert_eq!(h.injections.len(), 6);
         let (t0, ev0) = h.injections[0];
@@ -126,11 +138,11 @@ mod tests {
     #[test]
     fn duration_math() {
         let t = PulseTrain::steps(Pin::XStep, 10);
+        assert_eq!(t.duration(), SimDuration::from_micros(9 * 500 + 10));
         assert_eq!(
-            t.duration(),
-            SimDuration::from_micros(9 * 500 + 10)
+            PulseTrain::steps(Pin::XStep, 0).duration(),
+            SimDuration::ZERO
         );
-        assert_eq!(PulseTrain::steps(Pin::XStep, 0).duration(), SimDuration::ZERO);
     }
 
     #[test]

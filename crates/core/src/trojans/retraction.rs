@@ -138,7 +138,11 @@ mod tests {
     use super::*;
     use crate::trojans::test_util::TrojanHarness;
 
-    fn e_pulse(h: &mut TrojanHarness, t: &mut RetractionTrojan, at: Tick) -> (Disposition, Disposition) {
+    fn e_pulse(
+        h: &mut TrojanHarness,
+        t: &mut RetractionTrojan,
+        at: Tick,
+    ) -> (Disposition, Disposition) {
         let up = h.control(t, at, SignalEvent::logic(Pin::EStep, Level::High));
         let down = h.control(
             t,
@@ -153,7 +157,11 @@ mod tests {
         let mut h = TrojanHarness::new();
         let mut t = RetractionTrojan::new(RetractionMode::Over);
         // Y step marks activity.
-        h.control(&mut t, Tick::from_millis(10), SignalEvent::logic(Pin::YStep, Level::High));
+        h.control(
+            &mut t,
+            Tick::from_millis(10),
+            SignalEvent::logic(Pin::YStep, Level::High),
+        );
         let (up, _) = e_pulse(&mut h, &mut t, Tick::from_millis(11));
         assert_eq!(up, Disposition::Pass);
         assert_eq!(h.injections.len(), 2, "one extra pulse injected");
@@ -173,7 +181,11 @@ mod tests {
     fn window_expires() {
         let mut h = TrojanHarness::new();
         let mut t = RetractionTrojan::new(RetractionMode::Over);
-        h.control(&mut t, Tick::from_millis(10), SignalEvent::logic(Pin::YStep, Level::High));
+        h.control(
+            &mut t,
+            Tick::from_millis(10),
+            SignalEvent::logic(Pin::YStep, Level::High),
+        );
         // 50ms later: outside the 20ms window.
         let _ = e_pulse(&mut h, &mut t, Tick::from_millis(60));
         assert!(h.injections.is_empty());
@@ -196,7 +208,11 @@ mod tests {
                 Tick::from_millis(i) + SimDuration::from_micros(2),
                 SignalEvent::logic(Pin::YStep, Level::Low),
             );
-            let (up, down) = e_pulse(&mut h, &mut t, Tick::from_millis(i) + SimDuration::from_micros(100));
+            let (up, down) = e_pulse(
+                &mut h,
+                &mut t,
+                Tick::from_millis(i) + SimDuration::from_micros(100),
+            );
             if up == Disposition::Drop {
                 assert_eq!(down, Disposition::Drop);
                 dropped += 1;

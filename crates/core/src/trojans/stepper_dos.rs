@@ -28,7 +28,11 @@ pub struct StepperDosTrojan {
 impl StepperDosTrojan {
     /// Creates T8 against all four drivers: every 5 s, disable for 0.5 s.
     pub fn new() -> Self {
-        Self::with_params([true; 4], SimDuration::from_secs(5), SimDuration::from_millis(500))
+        Self::with_params(
+            [true; 4],
+            SimDuration::from_secs(5),
+            SimDuration::from_millis(500),
+        )
     }
 
     /// Fully parameterized constructor. `axes` is in [`Axis::ALL`] order.
@@ -38,7 +42,10 @@ impl StepperDosTrojan {
     /// Panics if no axis is selected or `off_duration >= period`.
     pub fn with_params(axes: [bool; 4], period: SimDuration, off_duration: SimDuration) -> Self {
         assert!(axes.iter().any(|a| *a), "select at least one axis");
-        assert!(off_duration < period, "off window must fit inside the period");
+        assert!(
+            off_duration < period,
+            "off window must fit inside the period"
+        );
         StepperDosTrojan {
             axes,
             period,
@@ -130,7 +137,11 @@ mod tests {
     fn windows_toggle_en_lines() {
         let mut h = TrojanHarness::new();
         let mut t = StepperDosTrojan::new();
-        h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::XStep, Level::High));
+        h.control(
+            &mut t,
+            Tick::ZERO,
+            SignalEvent::logic(Pin::XStep, Level::High),
+        );
         h.wake(&mut t, Tick::from_secs(5));
         assert_eq!(t.windows_fired, 1);
         // 4 axes x (disable + re-enable).
@@ -150,14 +161,21 @@ mod tests {
                 l.pin == Pin::XEnable && l.level == Level::Low
             })
             .unwrap();
-        assert_eq!(reenable.0, Tick::from_secs(5) + SimDuration::from_millis(500));
+        assert_eq!(
+            reenable.0,
+            Tick::from_secs(5) + SimDuration::from_millis(500)
+        );
     }
 
     #[test]
     fn firmware_writes_dropped_inside_window() {
         let mut h = TrojanHarness::new();
         let mut t = StepperDosTrojan::new();
-        h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::XStep, Level::High));
+        h.control(
+            &mut t,
+            Tick::ZERO,
+            SignalEvent::logic(Pin::XStep, Level::High),
+        );
         h.wake(&mut t, Tick::from_secs(5));
         let inside = Tick::from_secs(5) + SimDuration::from_millis(100);
         let d = h.control(&mut t, inside, SignalEvent::logic(Pin::XEnable, Level::Low));
@@ -177,7 +195,11 @@ mod tests {
             SimDuration::from_secs(2),
             SimDuration::from_millis(200),
         );
-        h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::XStep, Level::High));
+        h.control(
+            &mut t,
+            Tick::ZERO,
+            SignalEvent::logic(Pin::XStep, Level::High),
+        );
         h.wake(&mut t, Tick::from_secs(2));
         assert_eq!(h.injections.len(), 2);
         assert_eq!(h.injections[0].1.as_logic().unwrap().pin, Pin::EEnable);
@@ -187,7 +209,11 @@ mod tests {
     fn step_pulses_unaffected() {
         let mut h = TrojanHarness::new();
         let mut t = StepperDosTrojan::new();
-        h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::XStep, Level::High));
+        h.control(
+            &mut t,
+            Tick::ZERO,
+            SignalEvent::logic(Pin::XStep, Level::High),
+        );
         h.wake(&mut t, Tick::from_secs(5));
         let inside = Tick::from_secs(5) + SimDuration::from_millis(1);
         // T8 never drops STEP (the disabled driver ignores them anyway).

@@ -110,21 +110,18 @@ impl Trojan for ZShiftTrojan {
                 self.edges.observe(logic);
                 self.z_dir_positive = logic.level == Level::High;
             }
-            Pin::ZStep => {
+            Pin::ZStep
                 if self.edges.observe(logic) == Some(Edge::Rising)
                     && ctx.homed
-                    && self.z_dir_positive
-                {
-                    self.z_steps_up += 1;
-                    if self.z_steps_up % self.layer_steps == 0 {
-                        self.layers_seen += 1;
-                        if self.next_layer_trigger > 0
-                            && self.layers_seen == self.next_layer_trigger
-                        {
-                            self.fire(ctx);
-                            if let Some(gap) = self.repeat_every {
-                                self.next_layer_trigger = self.layers_seen + gap;
-                            }
+                    && self.z_dir_positive =>
+            {
+                self.z_steps_up += 1;
+                if self.z_steps_up.is_multiple_of(self.layer_steps) {
+                    self.layers_seen += 1;
+                    if self.next_layer_trigger > 0 && self.layers_seen == self.next_layer_trigger {
+                        self.fire(ctx);
+                        if let Some(gap) = self.repeat_every {
+                            self.next_layer_trigger = self.layers_seen + gap;
                         }
                     }
                 }
@@ -142,7 +139,11 @@ mod tests {
     use offramps_des::Tick;
 
     fn z_layer(h: &mut TrojanHarness, t: &mut ZShiftTrojan, steps: u64, base_us: u64) {
-        h.control(t, Tick::from_micros(base_us), SignalEvent::logic(Pin::ZDir, Level::High));
+        h.control(
+            t,
+            Tick::from_micros(base_us),
+            SignalEvent::logic(Pin::ZDir, Level::High),
+        );
         for i in 0..steps {
             let at = Tick::from_micros(base_us + 10 * i);
             h.control(t, at, SignalEvent::logic(Pin::ZStep, Level::High));
@@ -170,10 +171,18 @@ mod tests {
     fn start_of_print_variant() {
         let mut h = TrojanHarness::new();
         let mut t = ZShiftTrojan::adhesion_failure();
-        h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::XStep, Level::High));
+        h.control(
+            &mut t,
+            Tick::ZERO,
+            SignalEvent::logic(Pin::XStep, Level::High),
+        );
         assert_eq!(t.injected_steps, 150);
         // Second event does not re-fire.
-        h.control(&mut t, Tick::from_micros(10), SignalEvent::logic(Pin::XStep, Level::Low));
+        h.control(
+            &mut t,
+            Tick::from_micros(10),
+            SignalEvent::logic(Pin::XStep, Level::Low),
+        );
         assert_eq!(t.injected_steps, 150);
     }
 
@@ -193,7 +202,11 @@ mod tests {
         let mut h = TrojanHarness::new();
         h.homed = false;
         let mut t = ZShiftTrojan::adhesion_failure();
-        h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::XStep, Level::High));
+        h.control(
+            &mut t,
+            Tick::ZERO,
+            SignalEvent::logic(Pin::XStep, Level::High),
+        );
         assert_eq!(t.injected_steps, 0);
     }
 }

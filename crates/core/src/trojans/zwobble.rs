@@ -50,7 +50,10 @@ impl ZWobbleTrojan {
         max_layer_gap: u64,
     ) -> Self {
         assert!(layer_steps > 0, "layer_steps must be positive");
-        assert!(min_shift <= max_shift && max_shift > 0, "invalid shift range");
+        assert!(
+            min_shift <= max_shift && max_shift > 0,
+            "invalid shift range"
+        );
         assert!(
             min_layer_gap <= max_layer_gap && max_layer_gap > 0,
             "invalid layer gap range"
@@ -74,7 +77,8 @@ impl ZWobbleTrojan {
         if self.min_layer_gap == self.max_layer_gap {
             self.min_layer_gap
         } else {
-            ctx.rng.uniform_u64(self.min_layer_gap, self.max_layer_gap + 1)
+            ctx.rng
+                .uniform_u64(self.min_layer_gap, self.max_layer_gap + 1)
         }
     }
 }
@@ -108,36 +112,33 @@ impl Trojan for ZWobbleTrojan {
                 self.edges.observe(logic);
                 self.z_dir_positive = logic.level == Level::High;
             }
-            Pin::ZStep => {
+            Pin::ZStep
                 if self.edges.observe(logic) == Some(Edge::Rising)
                     && ctx.homed
-                    && self.z_dir_positive
-                {
-                    self.z_steps_up += 1;
-                    if self.z_steps_up % self.layer_steps == 0 {
-                        self.layers_seen += 1;
-                        let trigger = *self
-                            .next_trigger_layer
-                            .get_or_insert_with(|| {
-                                // Initialized lazily so the RNG draw order
-                                // is stable.
-                                self.layers_seen
-                            });
-                        if self.layers_seen >= trigger {
-                            let steps = if self.min_shift == self.max_shift {
-                                self.min_shift
-                            } else {
-                                ctx.rng.uniform_u64(
-                                    u64::from(self.min_shift),
-                                    u64::from(self.max_shift) + 1,
-                                ) as u32
-                            };
-                            PulseTrain::steps(Pin::XStep, steps).schedule(ctx.now, ctx);
-                            PulseTrain::steps(Pin::YStep, steps).schedule(ctx.now, ctx);
-                            self.shifts_fired += 1;
-                            let gap = self.draw_gap(ctx);
-                            self.next_trigger_layer = Some(self.layers_seen + gap);
-                        }
+                    && self.z_dir_positive =>
+            {
+                self.z_steps_up += 1;
+                if self.z_steps_up.is_multiple_of(self.layer_steps) {
+                    self.layers_seen += 1;
+                    let trigger = *self.next_trigger_layer.get_or_insert({
+                        // Initialized lazily so the RNG draw order
+                        // is stable.
+                        self.layers_seen
+                    });
+                    if self.layers_seen >= trigger {
+                        let steps = if self.min_shift == self.max_shift {
+                            self.min_shift
+                        } else {
+                            ctx.rng.uniform_u64(
+                                u64::from(self.min_shift),
+                                u64::from(self.max_shift) + 1,
+                            ) as u32
+                        };
+                        PulseTrain::steps(Pin::XStep, steps).schedule(ctx.now, ctx);
+                        PulseTrain::steps(Pin::YStep, steps).schedule(ctx.now, ctx);
+                        self.shifts_fired += 1;
+                        let gap = self.draw_gap(ctx);
+                        self.next_trigger_layer = Some(self.layers_seen + gap);
                     }
                 }
             }
@@ -154,7 +155,11 @@ mod tests {
     use offramps_des::Tick;
 
     fn z_layer(h: &mut TrojanHarness, t: &mut ZWobbleTrojan, steps: u64, base_us: u64) {
-        h.control(t, Tick::from_micros(base_us), SignalEvent::logic(Pin::ZDir, Level::High));
+        h.control(
+            t,
+            Tick::from_micros(base_us),
+            SignalEvent::logic(Pin::ZDir, Level::High),
+        );
         for i in 0..steps {
             let at = Tick::from_micros(base_us + 10 * i);
             h.control(t, at, SignalEvent::logic(Pin::ZStep, Level::High));
@@ -188,7 +193,11 @@ mod tests {
     fn ignores_downward_z() {
         let mut h = TrojanHarness::new();
         let mut t = ZWobbleTrojan::with_params(10, 10, 10, 1, 1);
-        h.control(&mut t, Tick::ZERO, SignalEvent::logic(Pin::ZDir, Level::Low));
+        h.control(
+            &mut t,
+            Tick::ZERO,
+            SignalEvent::logic(Pin::ZDir, Level::Low),
+        );
         for i in 0..100 {
             let at = Tick::from_micros(10 * i);
             h.control(&mut t, at, SignalEvent::logic(Pin::ZStep, Level::High));

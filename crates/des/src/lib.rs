@@ -28,10 +28,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod component;
 mod queue;
 mod rng;
+mod scheduler;
 mod time;
 
+pub use component::{ActionSink, CompId, InPort, OutPort, SimComponent, SinkAction};
 pub use queue::{Event, EventId, EventQueue};
 pub use rng::{DetRng, SeedSplitter};
+pub use scheduler::{ComponentSet, Scheduler, StepInfo, StepKind};
 pub use time::{SimDuration, Tick, TICKS_PER_MICRO, TICKS_PER_MILLI, TICKS_PER_SEC, TICK_NS};

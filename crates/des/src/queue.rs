@@ -163,7 +163,7 @@ impl<E> EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::DetRng;
 
     #[test]
     fn pops_in_time_order() {
@@ -238,11 +238,14 @@ mod tests {
         assert_eq!(q.now(), Tick::from_millis(3));
     }
 
-    proptest! {
-        /// Popped ticks are monotonically non-decreasing and FIFO-stable for
-        /// equal ticks, for arbitrary schedules.
-        #[test]
-        fn prop_monotone_and_stable(ticks in proptest::collection::vec(0u64..1_000, 1..200)) {
+    /// Popped ticks are monotonically non-decreasing and FIFO-stable for
+    /// equal ticks, for arbitrary schedules.
+    #[test]
+    fn monotone_and_stable_over_random_schedules() {
+        for seed in 0u64..64 {
+            let mut rng = DetRng::from_seed(seed);
+            let n = rng.uniform_u64(1, 200) as usize;
+            let ticks: Vec<u64> = (0..n).map(|_| rng.uniform_u64(0, 1_000)).collect();
             let mut q = EventQueue::new();
             for (i, t) in ticks.iter().enumerate() {
                 q.schedule(Tick::new(*t), i);
@@ -250,25 +253,35 @@ mod tests {
             let mut last: Option<(Tick, usize)> = None;
             while let Some(e) = q.pop() {
                 if let Some((lt, li)) = last {
-                    prop_assert!(e.tick >= lt);
+                    assert!(e.tick >= lt, "seed {seed}");
                     if e.tick == lt {
-                        prop_assert!(e.payload > li, "FIFO violated among equal ticks");
+                        assert!(
+                            e.payload > li,
+                            "FIFO violated among equal ticks (seed {seed})"
+                        );
                     }
                 }
                 last = Some((e.tick, e.payload));
             }
         }
+    }
 
-        /// Cancelling a subset removes exactly that subset.
-        #[test]
-        fn prop_cancellation(ticks in proptest::collection::vec(0u64..100, 1..100),
-                             mask in proptest::collection::vec(any::<bool>(), 100)) {
+    /// Cancelling a subset removes exactly that subset.
+    #[test]
+    fn cancellation_removes_exact_subset() {
+        for seed in 0u64..64 {
+            let mut rng = DetRng::from_seed(seed ^ 0x1234);
+            let n = rng.uniform_u64(1, 100) as usize;
+            let ticks: Vec<u64> = (0..n).map(|_| rng.uniform_u64(0, 100)).collect();
             let mut q = EventQueue::new();
             let mut expect = Vec::new();
-            let ids: Vec<_> = ticks.iter().enumerate()
-                .map(|(i, t)| (i, q.schedule(Tick::new(*t), i))).collect();
+            let ids: Vec<_> = ticks
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (i, q.schedule(Tick::new(*t), i)))
+                .collect();
             for (i, id) in &ids {
-                if mask[*i % mask.len()] {
+                if rng.chance(0.5) {
                     q.cancel(*id);
                 } else {
                     expect.push(*i);
@@ -277,7 +290,7 @@ mod tests {
             let mut got: Vec<usize> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
             got.sort_unstable();
             expect.sort_unstable();
-            prop_assert_eq!(got, expect);
+            assert_eq!(got, expect, "seed {seed}");
         }
     }
 }

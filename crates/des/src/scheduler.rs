@@ -1,0 +1,482 @@
+//! The co-simulation scheduler: one event queue, per-component wake
+//! slots, and a routing table over [`SimComponent`] ports.
+//!
+//! The scheduler owns all kernel state (queue, wake slots, the reusable
+//! [`ActionSink`]) but **not** the components themselves: every call to
+//! [`Scheduler::step`] borrows them through a [`ComponentSet`], so a
+//! harness keeps full access to its components between steps — for
+//! sampling observables, checking termination conditions, or tearing
+//! the simulation down early.
+//!
+//! # Example
+//!
+//! ```
+//! use offramps_des::{
+//!     ActionSink, CompId, ComponentSet, InPort, OutPort, Scheduler, SimComponent, Tick,
+//! };
+//!
+//! /// Sends one ping at t=1us, then stops.
+//! struct Ping;
+//! /// Counts the pings it receives.
+//! struct Pong(u64);
+//!
+//! impl SimComponent for Ping {
+//!     type Payload = u64;
+//!     fn start(&mut self, now: Tick, sink: &mut ActionSink<u64>) {
+//!         sink.send_at(OutPort(0), now + offramps_des::SimDuration::from_micros(1), 42);
+//!     }
+//!     fn on_event(&mut self, _: Tick, _: InPort, _: u64, _: &mut ActionSink<u64>) {}
+//!     fn on_tick(&mut self, _: Tick, _: &mut ActionSink<u64>) {}
+//! }
+//! impl SimComponent for Pong {
+//!     type Payload = u64;
+//!     fn on_event(&mut self, _: Tick, _: InPort, n: u64, _: &mut ActionSink<u64>) {
+//!         self.0 += n;
+//!     }
+//!     fn on_tick(&mut self, _: Tick, _: &mut ActionSink<u64>) {}
+//! }
+//!
+//! struct World { ping: Ping, pong: Pong }
+//! impl ComponentSet<u64> for World {
+//!     fn len(&self) -> usize { 2 }
+//!     fn component(&mut self, id: CompId) -> &mut dyn SimComponent<Payload = u64> {
+//!         match id.index() { 0 => &mut self.ping, _ => &mut self.pong }
+//!     }
+//! }
+//!
+//! let mut sched: Scheduler<u64> = Scheduler::new();
+//! let ping = sched.add_component();
+//! let pong = sched.add_component();
+//! sched.connect(ping, OutPort(0), pong, InPort(0));
+//! let mut world = World { ping: Ping, pong: Pong(0) };
+//! sched.start(&mut world);
+//! while sched.step(&mut world).is_some() {}
+//! assert_eq!(world.pong.0, 42);
+//! ```
+
+use crate::component::{ActionSink, CompId, InPort, OutPort, SimComponent, SinkAction};
+use crate::queue::{EventId, EventQueue};
+use crate::time::Tick;
+
+/// Mutable access to the components registered with a [`Scheduler`],
+/// indexed by [`CompId`] in registration order.
+///
+/// The scheduler borrows the set only for the duration of one
+/// [`Scheduler::step`] call, which is what lets the owning harness
+/// inspect its components freely between steps.
+pub trait ComponentSet<P> {
+    /// Number of components; must equal the number registered.
+    fn len(&self) -> usize;
+
+    /// True when the set is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The component registered as `id`.
+    fn component(&mut self, id: CompId) -> &mut dyn SimComponent<Payload = P>;
+}
+
+impl<P> ComponentSet<P> for [&mut dyn SimComponent<Payload = P>] {
+    fn len(&self) -> usize {
+        <[_]>::len(self)
+    }
+
+    fn component(&mut self, id: CompId) -> &mut dyn SimComponent<Payload = P> {
+        &mut *self[id.index()]
+    }
+}
+
+/// What the kernel's event queue carries.
+#[derive(Debug)]
+enum Dispatch<P> {
+    /// A routed payload heading for `dest`'s input `port`.
+    Deliver {
+        dest: CompId,
+        port: InPort,
+        payload: P,
+    },
+    /// A timer wake-up for a component.
+    Wake(CompId),
+}
+
+/// What kind of stimulus one [`Scheduler::step`] delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepKind {
+    /// The component's `on_tick` ran.
+    Wake,
+    /// The component's `on_event` ran with a payload on this input port.
+    Event(InPort),
+}
+
+/// Report of one processed event, returned by [`Scheduler::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepInfo {
+    /// Simulation time of the event.
+    pub tick: Tick,
+    /// The component that handled it.
+    pub comp: CompId,
+    /// Whether it was a wake-up or a routed payload.
+    pub kind: StepKind,
+}
+
+/// The co-simulation kernel: event queue, routing table, per-component
+/// wake slots, and the reusable action sink.
+///
+/// Wake requests are deduplicated per component: at most one wake is
+/// pending at a time, and an earlier request replaces a later pending
+/// one (components re-arm themselves each time they run, so naive
+/// scheduling would grow quadratically in wake events).
+#[derive(Debug)]
+pub struct Scheduler<P> {
+    queue: EventQueue<Dispatch<P>>,
+    /// `routes[comp][out_port]` — where each output port delivers.
+    routes: Vec<Vec<Option<(CompId, InPort)>>>,
+    /// At most one pending wake per component.
+    wakes: Vec<Option<(Tick, EventId)>>,
+    sink: ActionSink<P>,
+    events: u64,
+}
+
+impl<P> Default for Scheduler<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> Scheduler<P> {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        Scheduler {
+            queue: EventQueue::new(),
+            routes: Vec::new(),
+            wakes: Vec::new(),
+            sink: ActionSink::new(),
+
+            events: 0,
+        }
+    }
+
+    /// Registers the next component slot and returns its id. Components
+    /// are later presented to [`Scheduler::step`] through a
+    /// [`ComponentSet`] in the same order.
+    pub fn add_component(&mut self) -> CompId {
+        let id = CompId(self.routes.len());
+        self.routes.push(Vec::new());
+        self.wakes.push(None);
+        id
+    }
+
+    /// Routes `from`'s output `port` to `to`'s input `in_port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either component id was not issued by this scheduler.
+    pub fn connect(&mut self, from: CompId, port: OutPort, to: CompId, in_port: InPort) {
+        assert!(to.0 < self.routes.len(), "unknown destination component");
+        let table = &mut self.routes[from.0];
+        if table.len() <= port.0 {
+            table.resize(port.0 + 1, None);
+        }
+        table[port.0] = Some((to, in_port));
+    }
+
+    /// Boots every component: calls [`SimComponent::start`] in
+    /// registration order, applying each component's actions before the
+    /// next boots (matching the behaviour of a hand-written harness that
+    /// dispatches after each `start` call).
+    pub fn start<C: ComponentSet<P> + ?Sized>(&mut self, comps: &mut C) {
+        debug_assert_eq!(
+            comps.len(),
+            self.routes.len(),
+            "component set size mismatch"
+        );
+        let now = self.queue.now();
+        for index in 0..self.routes.len() {
+            let id = CompId(index);
+            self.sink.begin(now);
+            comps.component(id).start(now, &mut self.sink);
+            self.apply_sink(id);
+        }
+    }
+
+    /// Pops and delivers the next event. Returns `None` when the queue
+    /// is exhausted.
+    pub fn step<C: ComponentSet<P> + ?Sized>(&mut self, comps: &mut C) -> Option<StepInfo> {
+        let event = self.queue.pop()?;
+        self.events += 1;
+        let tick = event.tick;
+        let info = match event.payload {
+            Dispatch::Wake(comp) => {
+                self.wakes[comp.0] = None;
+                self.sink.begin(tick);
+                comps.component(comp).on_tick(tick, &mut self.sink);
+                self.apply_sink(comp);
+                StepInfo {
+                    tick,
+                    comp,
+                    kind: StepKind::Wake,
+                }
+            }
+            Dispatch::Deliver {
+                dest,
+                port,
+                payload,
+            } => {
+                self.sink.begin(tick);
+                comps
+                    .component(dest)
+                    .on_event(tick, port, payload, &mut self.sink);
+                self.apply_sink(dest);
+                StepInfo {
+                    tick,
+                    comp: dest,
+                    kind: StepKind::Event(port),
+                }
+            }
+        };
+        Some(info)
+    }
+
+    /// The tick of the next pending event, if any.
+    pub fn peek_tick(&mut self) -> Option<Tick> {
+        self.queue.peek_tick()
+    }
+
+    /// The timestamp of the most recently processed event.
+    pub fn now(&self) -> Tick {
+        self.queue.now()
+    }
+
+    /// Total events processed so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_tick().is_none()
+    }
+
+    /// Current allocation of the shared action sink, in actions
+    /// (diagnostics: stable in steady state).
+    pub fn sink_capacity(&self) -> usize {
+        self.sink.capacity()
+    }
+
+    /// Drains the shared sink, routing sends into the queue and folding
+    /// wake requests into `from`'s wake slot.
+    fn apply_sink(&mut self, from: CompId) {
+        for action in self.sink.drain() {
+            match action {
+                SinkAction::Send { port, at, payload } => {
+                    let Some(Some((dest, in_port))) = self.routes[from.0].get(port.0).copied()
+                    else {
+                        panic!(
+                            "component {} sent on unconnected output port {}",
+                            from.0, port.0
+                        );
+                    };
+                    self.queue.schedule(
+                        at,
+                        Dispatch::Deliver {
+                            dest,
+                            port: in_port,
+                            payload,
+                        },
+                    );
+                }
+                SinkAction::WakeAt(t) => {
+                    let slot = &mut self.wakes[from.0];
+                    if let Some((pending, id)) = *slot {
+                        if pending <= t {
+                            continue;
+                        }
+                        self.queue.cancel(id);
+                    }
+                    let id = self.queue.schedule(t, Dispatch::Wake(from));
+                    *slot = Some((t, id));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// Asks for several wakes per callback; counts how often it runs.
+    #[derive(Debug, Default)]
+    struct Waker {
+        ticks: Vec<Tick>,
+        requests: Vec<Vec<u64>>,
+    }
+
+    impl SimComponent for Waker {
+        type Payload = ();
+
+        fn start(&mut self, now: Tick, sink: &mut ActionSink<()>) {
+            for micros in self.requests.first().cloned().unwrap_or_default() {
+                sink.wake_at(now + SimDuration::from_micros(micros));
+            }
+        }
+
+        fn on_event(&mut self, _: Tick, _: InPort, _: (), _: &mut ActionSink<()>) {}
+
+        fn on_tick(&mut self, now: Tick, sink: &mut ActionSink<()>) {
+            self.ticks.push(now);
+            for micros in self
+                .requests
+                .get(self.ticks.len())
+                .cloned()
+                .unwrap_or_default()
+            {
+                sink.wake_at(now + SimDuration::from_micros(micros));
+            }
+        }
+    }
+
+    fn run(requests: Vec<Vec<u64>>) -> Vec<Tick> {
+        let mut sched: Scheduler<()> = Scheduler::new();
+        sched.add_component();
+        let mut waker = Waker {
+            ticks: Vec::new(),
+            requests,
+        };
+        let mut set: [&mut dyn SimComponent<Payload = ()>; 1] = [&mut waker];
+        sched.start(&mut set[..]);
+        while sched.step(&mut set[..]).is_some() {}
+        waker.ticks
+    }
+
+    #[test]
+    fn wake_slots_deduplicate_to_earliest() {
+        // Three requests in one callback: only the earliest fires.
+        let ticks = run(vec![vec![30, 10, 20]]);
+        assert_eq!(ticks, vec![Tick::from_micros(10)]);
+    }
+
+    #[test]
+    fn earlier_request_replaces_pending_later_one() {
+        // First callback asks for 50 then 5: 5 wins; the second callback
+        // re-arms at +100.
+        let ticks = run(vec![vec![50, 5], vec![100]]);
+        assert_eq!(ticks, vec![Tick::from_micros(5), Tick::from_micros(105)]);
+    }
+
+    #[test]
+    fn later_request_cannot_postpone_pending_wake() {
+        let ticks = run(vec![vec![5, 50]]);
+        assert_eq!(ticks, vec![Tick::from_micros(5)]);
+    }
+
+    #[test]
+    fn events_are_counted_and_clock_advances() {
+        let mut sched: Scheduler<()> = Scheduler::new();
+        sched.add_component();
+        let mut waker = Waker {
+            ticks: Vec::new(),
+            requests: vec![vec![7], vec![3]],
+        };
+        let mut set: [&mut dyn SimComponent<Payload = ()>; 1] = [&mut waker];
+        sched.start(&mut set[..]);
+        while sched.step(&mut set[..]).is_some() {}
+        assert_eq!(sched.events(), 2);
+        assert_eq!(sched.now(), Tick::from_micros(10));
+        assert!(sched.is_empty());
+    }
+
+    /// Two components bouncing a counter payload through routed ports.
+    #[derive(Debug, Default)]
+    struct Echo {
+        seen: Vec<u64>,
+        bounces: u64,
+    }
+
+    impl SimComponent for Echo {
+        type Payload = u64;
+
+        fn on_event(&mut self, now: Tick, port: InPort, payload: u64, sink: &mut ActionSink<u64>) {
+            assert_eq!(port, InPort(9), "routed onto the configured input port");
+            self.seen.push(payload);
+            if payload < self.bounces {
+                sink.send_at(OutPort(0), now + SimDuration::from_micros(1), payload + 1);
+            }
+        }
+
+        fn on_tick(&mut self, _: Tick, _: &mut ActionSink<u64>) {}
+    }
+
+    #[test]
+    fn routing_delivers_across_components() {
+        let mut sched: Scheduler<u64> = Scheduler::new();
+        let a = sched.add_component();
+        let b = sched.add_component();
+        sched.connect(a, OutPort(0), b, InPort(9));
+        sched.connect(b, OutPort(0), a, InPort(9));
+
+        let mut left = Echo {
+            seen: Vec::new(),
+            bounces: 6,
+        };
+        let mut right = Echo {
+            seen: Vec::new(),
+            bounces: 6,
+        };
+        {
+            let mut set: [&mut dyn SimComponent<Payload = u64>; 2] = [&mut left, &mut right];
+            sched.start(&mut set[..]);
+            // Kick things off: deliver 0 to component a "from outside" by
+            // letting component a send to itself? Instead: route through b.
+            // Simplest: schedule via a's own sink by invoking on_event
+            // directly is not possible here, so use a starter component
+            // pattern: send from a by pushing through the sink in start is
+            // what Ping does in the module docs; here we just deliver the
+            // first payload manually through b's route by stepping a fake
+            // wake. Re-create: use left.on_event via scheduler delivery.
+            // (Covered by the doctest; this test drives the bounce loop.)
+            sched.sink.begin(Tick::ZERO);
+            sched.sink.send(OutPort(0), 0u64);
+            sched.apply_sink(a);
+            while sched.step(&mut set[..]).is_some() {}
+        }
+        // a sent 0 → b; then odd numbers land on a, even on b.
+        assert_eq!(right.seen, vec![0, 2, 4, 6]);
+        assert_eq!(left.seen, vec![1, 3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unconnected output port")]
+    fn unrouted_send_panics() {
+        let mut sched: Scheduler<u64> = Scheduler::new();
+        let a = sched.add_component();
+        sched.sink.begin(Tick::ZERO);
+        sched.sink.send(OutPort(3), 1u64);
+        sched.apply_sink(a);
+    }
+
+    #[test]
+    fn sink_capacity_stabilises() {
+        let mut sched: Scheduler<()> = Scheduler::new();
+        sched.add_component();
+        let requests: Vec<Vec<u64>> = (0..200).map(|i| vec![1 + i % 3, 2, 3]).collect();
+        let mut waker = Waker {
+            ticks: Vec::new(),
+            requests,
+        };
+        let mut set: [&mut dyn SimComponent<Payload = ()>; 1] = [&mut waker];
+        sched.start(&mut set[..]);
+        for _ in 0..10 {
+            sched.step(&mut set[..]);
+        }
+        let cap = sched.sink_capacity();
+        while sched.step(&mut set[..]).is_some() {}
+        assert_eq!(
+            sched.sink_capacity(),
+            cap,
+            "steady state must not reallocate"
+        );
+    }
+}

@@ -8,8 +8,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// Nanoseconds per tick (100 MHz clock).
 pub const TICK_NS: u64 = 10;
 /// Ticks per microsecond.
@@ -33,9 +31,7 @@ pub const TICKS_PER_SEC: u64 = 1_000_000_000 / TICK_NS;
 /// let t = Tick::from_millis(1) + SimDuration::from_micros(5);
 /// assert_eq!(t.as_nanos(), 1_005_000);
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Tick(u64);
 
 impl Tick {
@@ -75,7 +71,10 @@ impl Tick {
     ///
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "seconds must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "seconds must be finite and non-negative"
+        );
         Tick((s * TICKS_PER_SEC as f64).round() as u64)
     }
 
@@ -162,9 +161,7 @@ impl Sub<Tick> for Tick {
 /// assert_eq!(d * 3, SimDuration::from_millis(300));
 /// assert_eq!(d.as_secs_f64(), 0.1);
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -202,7 +199,10 @@ impl SimDuration {
     ///
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "seconds must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "seconds must be finite and non-negative"
+        );
         SimDuration((s * TICKS_PER_SEC as f64).round() as u64)
     }
 
@@ -237,7 +237,10 @@ impl SimDuration {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        assert!(factor.is_finite() && factor >= 0.0, "factor must be finite and non-negative");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "factor must be finite and non-negative"
+        );
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 }
@@ -328,7 +331,10 @@ mod tests {
     #[test]
     fn from_secs_f64_rounds() {
         assert_eq!(Tick::from_secs_f64(0.1), Tick::from_millis(100));
-        assert_eq!(SimDuration::from_secs_f64(1e-6), SimDuration::from_micros(1));
+        assert_eq!(
+            SimDuration::from_secs_f64(1e-6),
+            SimDuration::from_micros(1)
+        );
     }
 
     #[test]

@@ -1,10 +1,8 @@
 //! Firmware configuration (the analogue of Marlin's `Configuration.h`).
 
-use serde::{Deserialize, Serialize};
-
 /// Tunables of the simulated firmware. Defaults approximate a Prusa-like
 /// RAMPS machine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FirmwareConfig {
     /// Microsteps per mm for X, Y, Z, E (must match the plant).
     pub steps_per_mm: [f64; 4],

@@ -2,12 +2,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use offramps_signals::Axis;
 
 /// Which heating element a thermal fault concerns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HeaterId {
     /// The hotend (RAMPS D10).
     Hotend,
@@ -25,7 +23,7 @@ impl fmt::Display for HeaterId {
 }
 
 /// Fatal conditions that halt the firmware (Marlin "killed" states).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FirmwareError {
     /// Heating watchdog expired: the element never warmed up
     /// (Marlin: "Heating failed").

@@ -8,15 +8,13 @@
 //! the element keeps heating, demonstrating why firmware-level fail-safes
 //! cannot contain hardware Trojans.
 
-use serde::{Deserialize, Serialize};
-
 use offramps_des::Tick;
 
 use crate::config::FirmwareConfig;
 use crate::error::{FirmwareError, HeaterId};
 
 /// Watchdog phase for one heater.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum HeaterProtection {
     /// Heater off, nothing monitored.
     Idle,
@@ -50,7 +48,7 @@ pub enum HeaterProtection {
 /// let duty = h.update(Tick::from_millis(100), 25.0).unwrap();
 /// assert_eq!(duty, 255, "full power when far below target");
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HeaterControl {
     id: HeaterId,
     target_c: f64,
@@ -164,7 +162,10 @@ impl HeaterControl {
         // --- watchdog / runaway ---
         match self.protection {
             HeaterProtection::Idle => {}
-            HeaterProtection::Heating { watch_temp_c, deadline } => {
+            HeaterProtection::Heating {
+                watch_temp_c,
+                deadline,
+            } => {
                 if temp_c >= self.target_c - self.runaway_hysteresis_c {
                     self.reached = true;
                     self.protection = HeaterProtection::Regulating { below_since: None };
@@ -183,12 +184,12 @@ impl HeaterControl {
                 if temp_c < self.target_c - self.runaway_hysteresis_c {
                     match below_since {
                         None => {
-                            self.protection =
-                                HeaterProtection::Regulating { below_since: Some(now) };
+                            self.protection = HeaterProtection::Regulating {
+                                below_since: Some(now),
+                            };
                         }
                         Some(since) => {
-                            if now.saturating_since(since).as_secs_f64() >= self.runaway_period_s
-                            {
+                            if now.saturating_since(since).as_secs_f64() >= self.runaway_period_s {
                                 return Err(FirmwareError::ThermalRunaway(self.id));
                             }
                         }
@@ -275,7 +276,10 @@ mod tests {
                 break;
             }
         }
-        assert_eq!(tripped, Some(FirmwareError::HeatingFailed(HeaterId::Hotend)));
+        assert_eq!(
+            tripped,
+            Some(FirmwareError::HeatingFailed(HeaterId::Hotend))
+        );
     }
 
     #[test]
@@ -304,15 +308,15 @@ mod tests {
         let mut tripped = None;
         for _ in 0..200 {
             t += SimDuration::from_millis(c.temp_loop_ms);
-            match h.update(t, 150.0) {
-                Err(e) => {
-                    tripped = Some(e);
-                    break;
-                }
-                Ok(_) => {}
+            if let Err(e) = h.update(t, 150.0) {
+                tripped = Some(e);
+                break;
             }
         }
-        assert_eq!(tripped, Some(FirmwareError::ThermalRunaway(HeaterId::Hotend)));
+        assert_eq!(
+            tripped,
+            Some(FirmwareError::ThermalRunaway(HeaterId::Hotend))
+        );
         // It must take at least runaway_period_s to trip.
         assert!(t.as_secs_f64() >= c.runaway_period_s);
     }

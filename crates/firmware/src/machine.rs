@@ -1,12 +1,13 @@
 //! The firmware state machine: G-code in, signals out.
 
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
-use offramps_des::{DetRng, SeedSplitter, SimDuration, Tick};
-use offramps_gcode::{GCommand, Program};
-use offramps_signals::{
-    AnalogChannel, Axis, Level, Pin, SignalEvent, UartDirection,
+use offramps_des::{
+    ActionSink, DetRng, InPort, OutPort, SeedSplitter, SimComponent, SimDuration, Tick,
 };
+use offramps_gcode::{GCommand, Program};
+use offramps_signals::{AnalogChannel, Axis, Level, Pin, SignalEvent, UartDirection};
 
 use crate::config::FirmwareConfig;
 use crate::error::{FirmwareError, HeaterId};
@@ -14,15 +15,13 @@ use crate::heaters::HeaterControl;
 use crate::motion::{cap_feedrate, MoveExec};
 use crate::thermistor_table::ThermistorTable;
 
-/// Output of a firmware step.
-#[derive(Debug, Clone, PartialEq)]
-pub enum FwAction {
-    /// A control-direction signal (flows through the interceptor to the
-    /// plant).
-    Emit(SignalEvent),
-    /// Wake [`Firmware::on_tick`] at this time.
-    WakeAt(Tick),
-}
+/// The firmware's single output port: control-direction signals that
+/// flow through the interceptor to the plant.
+pub const PORT_CTRL: OutPort = OutPort(0);
+
+/// The firmware's single input port: feedback-direction signals
+/// (endstops, thermistor ADC samples).
+pub const PORT_FEEDBACK: InPort = InPort(0);
 
 /// Lifecycle state of the controller.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -144,25 +143,31 @@ enum Block {
 
 /// The Marlin-like firmware simulator. See the crate docs for an
 /// overview; drive it with [`Firmware::start`], [`Firmware::on_tick`] and
-/// [`Firmware::on_feedback`].
+/// [`Firmware::on_feedback`] — or let a [`Scheduler`] do it through the
+/// [`SimComponent`] impl.
+///
+/// [`Scheduler`]: offramps_des::Scheduler
 ///
 /// # Example
 ///
 /// ```
-/// use offramps_firmware::{Firmware, FirmwareConfig, FwAction};
+/// use std::sync::Arc;
+/// use offramps_firmware::{Firmware, FirmwareConfig};
+/// use offramps_des::{ActionSink, SinkAction, Tick};
 /// use offramps_gcode::parse;
-/// use offramps_des::Tick;
 ///
-/// let program = parse("G90\nM83\nG1 X1 F600\n")?;
+/// let program = Arc::new(parse("G90\nM83\nG1 X1 F600\n")?);
 /// let mut fw = Firmware::new(FirmwareConfig::default(), program, 1);
-/// let actions = fw.start(Tick::ZERO);
-/// assert!(actions.iter().any(|a| matches!(a, FwAction::WakeAt(_))));
+/// let mut sink = ActionSink::new();
+/// sink.begin(Tick::ZERO);
+/// fw.start(Tick::ZERO, &mut sink);
+/// assert!(sink.actions().iter().any(|a| matches!(a, SinkAction::WakeAt(_))));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
 pub struct Firmware {
     config: FirmwareConfig,
-    program: Vec<GCommand>,
+    program: Arc<Program>,
     pc: usize,
     state: FwState,
     agenda: BinaryHeap<AgendaEntry>,
@@ -209,9 +214,11 @@ pub struct Firmware {
 }
 
 impl Firmware {
-    /// Creates the firmware with a parsed program. `seed` drives the
-    /// per-move time noise.
-    pub fn new(config: FirmwareConfig, program: Program, seed: u64) -> Self {
+    /// Creates the firmware with a parsed program. The program is shared
+    /// by reference — a campaign fanning one job across many scenarios
+    /// never copies the command list. `seed` drives the per-move time
+    /// noise.
+    pub fn new(config: FirmwareConfig, program: Arc<Program>, seed: u64) -> Self {
         let split = SeedSplitter::new(seed);
         Firmware {
             hotend: HeaterControl::new_hotend(HeaterId::Hotend, &config),
@@ -219,7 +226,7 @@ impl Firmware {
             hotend_table: ThermistorTable::semitec_104gt2(),
             bed_table: ThermistorTable::epcos_100k(),
             config,
-            program: program.into_iter().collect(),
+            program,
             pc: 0,
             state: FwState::Running,
             agenda: BinaryHeap::new(),
@@ -248,9 +255,12 @@ impl Firmware {
     }
 
     /// Boot: arms the periodic loops and begins executing the program.
-    /// Call once; returns the initial actions.
-    pub fn start(&mut self, now: Tick) -> Vec<FwAction> {
-        self.schedule(now + SimDuration::from_millis(self.config.temp_loop_ms), Task::TempLoop);
+    /// Call once; initial signals and the first wake-up land in `sink`.
+    pub fn start(&mut self, now: Tick, sink: &mut ActionSink<SignalEvent>) {
+        self.schedule(
+            now + SimDuration::from_millis(self.config.temp_loop_ms),
+            Task::TempLoop,
+        );
         for (i, d) in Device::ALL.into_iter().enumerate() {
             self.schedule(
                 now + SimDuration::from_millis(self.config.pwm_period_ms + i as u64),
@@ -265,7 +275,7 @@ impl Firmware {
         }
         // Small boot delay before the first command, like a real reset.
         self.schedule(now + SimDuration::from_millis(10), Task::Advance);
-        self.wake_actions(Vec::new())
+        self.arm_wake(sink);
     }
 
     /// The current lifecycle state.
@@ -295,17 +305,15 @@ impl Firmware {
         self.agenda.push(AgendaEntry { tick, seq, task });
     }
 
-    fn wake_actions(&self, mut out: Vec<FwAction>) -> Vec<FwAction> {
+    fn arm_wake(&self, sink: &mut ActionSink<SignalEvent>) {
         if let Some(e) = self.agenda.peek() {
-            out.push(FwAction::WakeAt(e.tick));
+            sink.wake_at(e.tick);
         }
-        out
     }
 
     /// Handles a scheduler wake-up: runs everything due at or before
     /// `now`.
-    pub fn on_tick(&mut self, now: Tick) -> Vec<FwAction> {
-        let mut out = Vec::new();
+    pub fn on_tick(&mut self, now: Tick, sink: &mut ActionSink<SignalEvent>) {
         while let Some(head) = self.agenda.peek() {
             if head.tick > now {
                 break;
@@ -314,14 +322,18 @@ impl Firmware {
             if matches!(self.state, FwState::Halted(_)) {
                 continue; // drain without acting
             }
-            self.run_task(entry.tick, entry.task, &mut out);
+            self.run_task(entry.tick, entry.task, sink);
         }
-        self.wake_actions(out)
+        self.arm_wake(sink);
     }
 
     /// Handles a feedback-direction event (endstops, thermistor ADC).
-    pub fn on_feedback(&mut self, now: Tick, event: SignalEvent) -> Vec<FwAction> {
-        let mut out = Vec::new();
+    pub fn on_feedback(
+        &mut self,
+        now: Tick,
+        event: SignalEvent,
+        sink: &mut ActionSink<SignalEvent>,
+    ) {
         match event {
             SignalEvent::Adc { channel, counts } => {
                 self.adc_counts[adc_index(channel)] = Some(counts);
@@ -329,58 +341,51 @@ impl Firmware {
             SignalEvent::Logic(ev) => {
                 if let Some(axis) = ev.pin.axis() {
                     if ev.pin == axis.min_endstop_pin().unwrap_or(ev.pin)
-                        && matches!(
-                            ev.pin,
-                            Pin::XMin | Pin::YMin | Pin::ZMin
-                        )
+                        && matches!(ev.pin, Pin::XMin | Pin::YMin | Pin::ZMin)
                     {
-                        let rising = ev.level.is_high()
-                            && !self.endstop_high[axis.index()];
+                        let rising = ev.level.is_high() && !self.endstop_high[axis.index()];
                         self.endstop_high[axis.index()] = ev.level.is_high();
                         if rising {
-                            self.on_endstop_hit(now, axis, &mut out);
+                            self.on_endstop_hit(now, axis, sink);
                         }
                     }
                 }
             }
             SignalEvent::Uart { .. } => {}
         }
-        self.wake_actions(out)
+        self.arm_wake(sink);
     }
 
     // ------------------------------------------------------------------
     // Task dispatch
     // ------------------------------------------------------------------
 
-    fn run_task(&mut self, now: Tick, task: Task, out: &mut Vec<FwAction>) {
+    fn run_task(&mut self, now: Tick, task: Task, sink: &mut ActionSink<SignalEvent>) {
         match task {
-            Task::Advance => self.advance_program(now, out),
-            Task::Step { gen } => self.step_pulse(now, gen, out),
+            Task::Advance => self.advance_program(now, sink),
+            Task::Step { gen } => self.step_pulse(now, gen, sink),
             Task::StepLow { mask } => {
                 for axis in Axis::ALL {
                     if mask[axis.index()] {
-                        out.push(FwAction::Emit(SignalEvent::logic(
-                            axis.step_pin(),
-                            Level::Low,
-                        )));
+                        sink.send(PORT_CTRL, SignalEvent::logic(axis.step_pin(), Level::Low));
                     }
                 }
             }
             Task::MoveDone { gen } => {
                 if gen == self.move_gen && self.current_move.is_some() {
                     self.current_move = None;
-                    self.move_completed(now, out);
+                    self.move_completed(now, sink);
                 }
             }
-            Task::TempLoop => self.temp_loop(now, out),
-            Task::PwmPeriod(device) => self.pwm_period(now, device, out),
+            Task::TempLoop => self.temp_loop(now, sink),
+            Task::PwmPeriod(device) => self.pwm_period(now, device, sink),
             Task::PwmOff { device, gen } => {
                 if gen == self.pwm_gen[device.index()] {
-                    self.set_gate(device, Level::Low, out);
+                    self.set_gate(device, Level::Low, sink);
                 }
             }
             Task::Status => {
-                self.emit_status(out);
+                self.emit_status(sink);
                 if !matches!(self.state, FwState::Finished) {
                     self.schedule(
                         now + SimDuration::from_millis(self.config.status_period_ms),
@@ -395,23 +400,30 @@ impl Firmware {
     // Program execution
     // ------------------------------------------------------------------
 
-    fn advance_program(&mut self, now: Tick, out: &mut Vec<FwAction>) {
+    fn advance_program(&mut self, now: Tick, sink: &mut ActionSink<SignalEvent>) {
         if self.block != Block::None || !matches!(self.state, FwState::Running) {
             return;
         }
         loop {
-            let Some(cmd) = self.program.get(self.pc).cloned() else {
+            let Some(cmd) = self.program.commands().get(self.pc).cloned() else {
                 self.state = FwState::Finished;
                 return;
             };
             self.pc += 1;
             self.commands_executed += 1;
             match cmd {
-                GCommand::Move { rapid: _, x, y, z, e, feedrate } => {
+                GCommand::Move {
+                    rapid: _,
+                    x,
+                    y,
+                    z,
+                    e,
+                    feedrate,
+                } => {
                     if let Some(f) = feedrate {
                         self.feedrate_mm_s = f / 60.0;
                     }
-                    if self.begin_move(now, [x, y, z], e, out) {
+                    if self.begin_move(now, [x, y, z], e, sink) {
                         self.block = Block::Move;
                         return;
                     }
@@ -425,14 +437,7 @@ impl Firmware {
                         Task::MoveDone { gen },
                     );
                     // Dwell uses the move-completion path with no executor.
-                    self.current_move = Some(MoveExec::new(
-                        [0; 4],
-                        0.0,
-                        1.0,
-                        1.0,
-                        now,
-                        1.0,
-                    ));
+                    self.current_move = Some(MoveExec::new([0; 4], 0.0, 1.0, 1.0, now, 1.0));
                     return;
                 }
                 GCommand::Home { x, y, z } => {
@@ -450,7 +455,7 @@ impl Firmware {
                         continue;
                     }
                     self.block = Block::Move;
-                    self.start_homing(now, queue, out);
+                    self.start_homing(now, queue, sink);
                     return;
                 }
                 GCommand::AbsolutePositioning => {
@@ -493,12 +498,12 @@ impl Firmware {
                 GCommand::FanOff => self.pwm_duty[Device::Fan.index()] = 0,
                 GCommand::EnableSteppers => {
                     for axis in Axis::ALL {
-                        self.set_enable(axis, true, out);
+                        self.set_enable(axis, true, sink);
                     }
                 }
                 GCommand::DisableSteppers => {
                     for axis in Axis::ALL {
-                        self.set_enable(axis, false, out);
+                        self.set_enable(axis, false, sink);
                     }
                 }
                 GCommand::Raw { .. } => {}
@@ -513,21 +518,32 @@ impl Firmware {
         now: Tick,
         xyz: [Option<f64>; 3],
         e: Option<f64>,
-        out: &mut Vec<FwAction>,
+        sink: &mut ActionSink<SignalEvent>,
     ) -> bool {
         let mut target = self.logical_mm;
         for (i, t) in xyz.into_iter().enumerate() {
             if let Some(t) = t {
-                target[i] = if self.absolute { t } else { self.logical_mm[i] + t };
+                target[i] = if self.absolute {
+                    t
+                } else {
+                    self.logical_mm[i] + t
+                };
             }
         }
         if let Some(t) = e {
-            target[3] = if self.e_absolute { t } else { self.logical_mm[3] + t };
+            target[3] = if self.e_absolute {
+                t
+            } else {
+                self.logical_mm[3] + t
+            };
         }
         let axis_mm: [f64; 4] = std::array::from_fn(|i| target[i] - self.logical_mm[i]);
-        let dist_xyz =
-            (axis_mm[0].powi(2) + axis_mm[1].powi(2) + axis_mm[2].powi(2)).sqrt();
-        let dist = if dist_xyz > 1e-9 { dist_xyz } else { axis_mm[3].abs() };
+        let dist_xyz = (axis_mm[0].powi(2) + axis_mm[1].powi(2) + axis_mm[2].powi(2)).sqrt();
+        let dist = if dist_xyz > 1e-9 {
+            dist_xyz
+        } else {
+            axis_mm[3].abs()
+        };
 
         let mut steps = [0i64; 4];
         for i in 0..4 {
@@ -547,7 +563,7 @@ impl Firmware {
         };
         let v = cap_feedrate(dist, axis_mm, v_req, self.config.max_speed_mm_s).max(0.1);
 
-        self.launch_move(now, steps, dist.max(1e-6), v, out);
+        self.launch_move(now, steps, dist.max(1e-6), v, sink);
         self.logical_mm = target;
         true
     }
@@ -559,12 +575,12 @@ impl Firmware {
         steps: [i64; 4],
         dist_mm: f64,
         v_mm_s: f64,
-        out: &mut Vec<FwAction>,
+        sink: &mut ActionSink<SignalEvent>,
     ) {
         // Auto-enable drivers for moving axes (Marlin behaviour).
         for axis in Axis::ALL {
             if steps[axis.index()] != 0 {
-                self.set_enable(axis, true, out);
+                self.set_enable(axis, true, sink);
             }
         }
         // DIR setup.
@@ -577,14 +593,25 @@ impl Firmware {
             let level = Level::from(steps[i] > 0);
             if self.dir_emitted[i] != Some(level) {
                 self.dir_emitted[i] = Some(level);
-                out.push(FwAction::Emit(SignalEvent::logic(axis.dir_pin(), level)));
+                sink.send(PORT_CTRL, SignalEvent::logic(axis.dir_pin(), level));
                 dir_changed = true;
             }
         }
         let start = now
-            + SimDuration::from_micros(if dir_changed { self.config.dir_setup_us } else { 0 });
+            + SimDuration::from_micros(if dir_changed {
+                self.config.dir_setup_us
+            } else {
+                0
+            });
         let jitter = self.next_jitter();
-        let exec = MoveExec::new(steps, dist_mm, v_mm_s, self.config.acceleration_mm_s2, start, jitter);
+        let exec = MoveExec::new(
+            steps,
+            dist_mm,
+            v_mm_s,
+            self.config.acceleration_mm_s2,
+            start,
+            jitter,
+        );
         let gen = self.bump_move_gen();
         let first = exec.peek_tick();
         let end = exec.end_tick();
@@ -600,7 +627,10 @@ impl Firmware {
         if sigma <= 0.0 {
             return 1.0;
         }
-        let g = self.jitter_rng.gaussian(sigma).clamp(-3.0 * sigma, 3.0 * sigma);
+        let g = self
+            .jitter_rng
+            .gaussian(sigma)
+            .clamp(-3.0 * sigma, 3.0 * sigma);
         (1.0 + g).max(0.5)
     }
 
@@ -609,7 +639,7 @@ impl Firmware {
         self.move_gen
     }
 
-    fn step_pulse(&mut self, now: Tick, gen: u64, out: &mut Vec<FwAction>) {
+    fn step_pulse(&mut self, now: Tick, gen: u64, sink: &mut ActionSink<SignalEvent>) {
         if gen != self.move_gen {
             return; // stale task from an aborted move
         }
@@ -629,7 +659,7 @@ impl Firmware {
         for axis in Axis::ALL {
             let i = axis.index();
             if mask[i] {
-                out.push(FwAction::Emit(SignalEvent::logic(axis.step_pin(), Level::High)));
+                sink.send(PORT_CTRL, SignalEvent::logic(axis.step_pin(), Level::High));
                 self.pos_steps[i] += i64::from(directions[i]);
             }
         }
@@ -643,13 +673,13 @@ impl Firmware {
         }
     }
 
-    fn move_completed(&mut self, now: Tick, out: &mut Vec<FwAction>) {
+    fn move_completed(&mut self, now: Tick, sink: &mut ActionSink<SignalEvent>) {
         match std::mem::replace(&mut self.context, ExecContext::Program) {
             ExecContext::Program => {
                 self.block = Block::None;
                 self.schedule(now, Task::Advance);
             }
-            ExecContext::Homing(h) => self.homing_move_done(now, h, out),
+            ExecContext::Homing(h) => self.homing_move_done(now, h, sink),
         }
     }
 
@@ -657,7 +687,12 @@ impl Firmware {
     // Homing
     // ------------------------------------------------------------------
 
-    fn start_homing(&mut self, now: Tick, mut queue: VecDeque<Axis>, out: &mut Vec<FwAction>) {
+    fn start_homing(
+        &mut self,
+        now: Tick,
+        mut queue: VecDeque<Axis>,
+        sink: &mut ActionSink<SignalEvent>,
+    ) {
         let Some(axis) = queue.pop_front() else {
             // All axes done.
             self.homed = true;
@@ -674,10 +709,10 @@ impl Firmware {
         if self.endstop_high[axis.index()] {
             // Already pressed: skip straight to back-off.
             self.context = ExecContext::Homing(state);
-            self.homing_begin_backoff(now, axis, out);
+            self.homing_begin_backoff(now, axis, sink);
         } else {
             self.context = ExecContext::Homing(state);
-            self.homing_begin_approach(now, axis, self.config.homing_speed_mm_s, out);
+            self.homing_begin_approach(now, axis, self.config.homing_speed_mm_s, sink);
         }
     }
 
@@ -686,17 +721,17 @@ impl Firmware {
         now: Tick,
         axis: Axis,
         speed: f64,
-        out: &mut Vec<FwAction>,
+        sink: &mut ActionSink<SignalEvent>,
     ) {
         let i = axis.index();
         let travel = self.config.homing_max_travel_mm;
         let steps_count = (travel * self.config.steps_per_mm[i]).round() as i64;
         let mut steps = [0i64; 4];
         steps[i] = -steps_count;
-        self.launch_move(now, steps, travel, speed, out);
+        self.launch_move(now, steps, travel, speed, sink);
     }
 
-    fn homing_begin_backoff(&mut self, now: Tick, axis: Axis, out: &mut Vec<FwAction>) {
+    fn homing_begin_backoff(&mut self, now: Tick, axis: Axis, sink: &mut ActionSink<SignalEvent>) {
         if let ExecContext::Homing(h) = &mut self.context {
             h.phase = HomingPhase::Backoff;
         }
@@ -705,10 +740,10 @@ impl Firmware {
         let mut steps = [0i64; 4];
         steps[i] = (d * self.config.steps_per_mm[i]).round() as i64;
         let speed = self.config.homing_speed_mm_s / 2.0;
-        self.launch_move(now, steps, d, speed, out);
+        self.launch_move(now, steps, d, speed, sink);
     }
 
-    fn homing_begin_rebump(&mut self, now: Tick, axis: Axis, out: &mut Vec<FwAction>) {
+    fn homing_begin_rebump(&mut self, now: Tick, axis: Axis, sink: &mut ActionSink<SignalEvent>) {
         if let ExecContext::Homing(h) = &mut self.context {
             h.phase = HomingPhase::SlowApproach;
         }
@@ -716,11 +751,11 @@ impl Firmware {
         let d = self.config.homing_backoff_mm * 2.0;
         let mut steps = [0i64; 4];
         steps[i] = -((d * self.config.steps_per_mm[i]).round() as i64);
-        self.launch_move(now, steps, d, self.config.homing_bump_speed_mm_s, out);
+        self.launch_move(now, steps, d, self.config.homing_bump_speed_mm_s, sink);
     }
 
     /// Endstop rising edge observed.
-    fn on_endstop_hit(&mut self, now: Tick, axis: Axis, out: &mut Vec<FwAction>) {
+    fn on_endstop_hit(&mut self, now: Tick, axis: Axis, sink: &mut ActionSink<SignalEvent>) {
         let ExecContext::Homing(h) = &self.context else {
             return; // endstop chatter outside homing is ignored
         };
@@ -730,7 +765,7 @@ impl Firmware {
         match h.phase {
             HomingPhase::FastApproach => {
                 self.abort_move();
-                self.homing_begin_backoff(now, axis, out);
+                self.homing_begin_backoff(now, axis, sink);
             }
             HomingPhase::SlowApproach => {
                 self.abort_move();
@@ -739,22 +774,22 @@ impl Firmware {
                     ExecContext::Homing(h) => h,
                     ExecContext::Program => unreachable!("checked above"),
                 };
-                self.start_homing(now, h.queue, out);
+                self.start_homing(now, h.queue, sink);
             }
             HomingPhase::Backoff => {}
         }
     }
 
-    fn homing_move_done(&mut self, now: Tick, h: HomingState, out: &mut Vec<FwAction>) {
+    fn homing_move_done(&mut self, now: Tick, h: HomingState, sink: &mut ActionSink<SignalEvent>) {
         match h.phase {
             HomingPhase::Backoff => {
                 let axis = h.current;
                 self.context = ExecContext::Homing(h);
-                self.homing_begin_rebump(now, axis, out);
+                self.homing_begin_rebump(now, axis, sink);
             }
             HomingPhase::FastApproach | HomingPhase::SlowApproach => {
                 // Ran the whole travel without touching the switch.
-                self.kill(FirmwareError::EndstopNotFound(h.current), out);
+                self.kill(FirmwareError::EndstopNotFound(h.current), sink);
             }
         }
     }
@@ -786,7 +821,7 @@ impl Firmware {
         }
     }
 
-    fn temp_loop(&mut self, now: Tick, out: &mut Vec<FwAction>) {
+    fn temp_loop(&mut self, now: Tick, sink: &mut ActionSink<SignalEvent>) {
         // Run the two control loops if we have ADC data.
         let mut fault = None;
         if self.adc_counts[0].is_some() {
@@ -804,7 +839,7 @@ impl Firmware {
             }
         }
         if let Some(e) = fault {
-            self.kill(e, out);
+            self.kill(e, sink);
             return;
         }
         // Release M109/M190 waits.
@@ -826,16 +861,16 @@ impl Firmware {
         );
     }
 
-    fn pwm_period(&mut self, now: Tick, device: Device, out: &mut Vec<FwAction>) {
+    fn pwm_period(&mut self, now: Tick, device: Device, sink: &mut ActionSink<SignalEvent>) {
         let duty = self.pwm_duty[device.index()];
         let period = SimDuration::from_millis(self.config.pwm_period_ms);
         self.pwm_gen[device.index()] += 1;
         let gen = self.pwm_gen[device.index()];
         match duty {
-            0 => self.set_gate(device, Level::Low, out),
-            255 => self.set_gate(device, Level::High, out),
+            0 => self.set_gate(device, Level::Low, sink),
+            255 => self.set_gate(device, Level::High, sink),
             d => {
-                self.set_gate(device, Level::High, out);
+                self.set_gate(device, Level::High, sink);
                 let high = period.mul_f64(f64::from(d) / 255.0);
                 self.schedule(now + high, Task::PwmOff { device, gen });
             }
@@ -843,23 +878,23 @@ impl Firmware {
         self.schedule(now + period, Task::PwmPeriod(device));
     }
 
-    fn set_gate(&mut self, device: Device, level: Level, out: &mut Vec<FwAction>) {
+    fn set_gate(&mut self, device: Device, level: Level, sink: &mut ActionSink<SignalEvent>) {
         if self.gate_emitted[device.index()] != Some(level) {
             self.gate_emitted[device.index()] = Some(level);
-            out.push(FwAction::Emit(SignalEvent::logic(device.pin(), level)));
+            sink.send(PORT_CTRL, SignalEvent::logic(device.pin(), level));
         }
     }
 
-    fn set_enable(&mut self, axis: Axis, enabled: bool, out: &mut Vec<FwAction>) {
+    fn set_enable(&mut self, axis: Axis, enabled: bool, sink: &mut ActionSink<SignalEvent>) {
         let level = if enabled { Level::Low } else { Level::High };
         let i = axis.index();
         if self.en_emitted[i] != Some(level) {
             self.en_emitted[i] = Some(level);
-            out.push(FwAction::Emit(SignalEvent::logic(axis.enable_pin(), level)));
+            sink.send(PORT_CTRL, SignalEvent::logic(axis.enable_pin(), level));
         }
     }
 
-    fn emit_status(&mut self, out: &mut Vec<FwAction>) {
+    fn emit_status(&mut self, sink: &mut ActionSink<SignalEvent>) {
         let line = format!(
             "T:{:.1} B:{:.1} X:{:.2} Y:{:.2} Z:{:.2}\n",
             self.read_temp(HeaterId::Hotend),
@@ -869,25 +904,50 @@ impl Firmware {
             self.logical_mm[2],
         );
         for byte in line.bytes() {
-            out.push(FwAction::Emit(SignalEvent::Uart {
-                direction: UartDirection::ControllerToDisplay,
-                byte,
-            }));
+            sink.send(
+                PORT_CTRL,
+                SignalEvent::Uart {
+                    direction: UartDirection::ControllerToDisplay,
+                    byte,
+                },
+            );
         }
     }
 
     /// Marlin `kill()`: heaters off, steppers disabled, machine halted.
-    fn kill(&mut self, error: FirmwareError, out: &mut Vec<FwAction>) {
+    fn kill(&mut self, error: FirmwareError, sink: &mut ActionSink<SignalEvent>) {
         for d in Device::ALL {
             self.pwm_duty[d.index()] = 0;
-            self.set_gate(d, Level::Low, out);
+            self.set_gate(d, Level::Low, sink);
         }
         for axis in Axis::ALL {
-            self.set_enable(axis, false, out);
+            self.set_enable(axis, false, sink);
         }
         self.abort_move();
         self.agenda.clear();
         self.state = FwState::Halted(error);
+    }
+}
+
+impl SimComponent for Firmware {
+    type Payload = SignalEvent;
+
+    fn start(&mut self, now: Tick, sink: &mut ActionSink<SignalEvent>) {
+        Firmware::start(self, now, sink);
+    }
+
+    fn on_event(
+        &mut self,
+        now: Tick,
+        _port: InPort,
+        payload: SignalEvent,
+        sink: &mut ActionSink<SignalEvent>,
+    ) {
+        self.on_feedback(now, payload, sink);
+    }
+
+    fn on_tick(&mut self, now: Tick, sink: &mut ActionSink<SignalEvent>) {
+        Firmware::on_tick(self, now, sink);
     }
 }
 
@@ -902,39 +962,51 @@ fn adc_index(channel: AnalogChannel) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use offramps_des::SinkAction;
     use offramps_gcode::parse;
 
     fn fw(src: &str) -> Firmware {
         Firmware::new(
             FirmwareConfig::deterministic(),
-            parse(src).unwrap(),
+            Arc::new(parse(src).unwrap()),
             42,
         )
+    }
+
+    /// Drains `sink`, appending emitted events to `events` and returning
+    /// the earliest requested wake time, if any.
+    fn drain(
+        sink: &mut ActionSink<SignalEvent>,
+        events: &mut Vec<(Tick, SignalEvent)>,
+    ) -> Option<Tick> {
+        let mut next_wake: Option<Tick> = None;
+        for a in sink.drain() {
+            match a {
+                SinkAction::Send { at, payload, .. } => events.push((at, payload)),
+                SinkAction::WakeAt(t) => next_wake = Some(next_wake.map_or(t, |w: Tick| w.min(t))),
+            }
+        }
+        next_wake
     }
 
     /// Runs the firmware open-loop (no plant): feeds wake-ups until it
     /// finishes, collecting all emitted events. Panics after too many
     /// iterations (a stuck machine).
-    fn run_open_loop(fw: &mut Firmware) -> Vec<(Tick, SignalEvent)> {
+    pub(crate) fn run_open_loop(fw: &mut Firmware) -> Vec<(Tick, SignalEvent)> {
         let mut events = Vec::new();
-        let mut actions = fw.start(Tick::ZERO);
+        let mut sink = ActionSink::new();
+        sink.begin(Tick::ZERO);
+        fw.start(Tick::ZERO, &mut sink);
         let mut guard = 0u64;
         loop {
-            let mut next_wake: Option<Tick> = None;
-            for a in actions {
-                match a {
-                    FwAction::Emit(ev) => events.push((Tick::ZERO, ev)),
-                    FwAction::WakeAt(t) => {
-                        next_wake = Some(next_wake.map_or(t, |w: Tick| w.min(t)))
-                    }
-                }
-            }
+            let next_wake = drain(&mut sink, &mut events);
             match fw.state() {
                 FwState::Running => {}
                 _ => break,
             }
             let Some(t) = next_wake else { break };
-            actions = fw.on_tick(t);
+            sink.begin(t);
+            fw.on_tick(t, &mut sink);
             guard += 1;
             assert!(guard < 10_000_000, "firmware stuck");
         }
@@ -1021,7 +1093,10 @@ mod tests {
     fn fan_pwm_duty() {
         let mut f = fw("M106 S128\nG4 P100\nM107\nG4 P50\n");
         let events = run_open_loop(&mut f);
-        assert!(count_rising(&events, Pin::FanPwm) >= 3, "several PWM periods");
+        assert!(
+            count_rising(&events, Pin::FanPwm) >= 3,
+            "several PWM periods"
+        );
     }
 
     #[test]
@@ -1039,13 +1114,18 @@ mod tests {
             .iter()
             .filter(|(_, e)| matches!(e, SignalEvent::Uart { .. }))
             .count();
-        assert!(uart_bytes > 30, "two status lines expected, got {uart_bytes}");
+        assert!(
+            uart_bytes > 30,
+            "two status lines expected, got {uart_bytes}"
+        );
     }
 
     #[test]
     fn m109_waits_for_adc_driven_temperature() {
         let mut f = fw("M109 S210\n");
-        let mut actions = f.start(Tick::ZERO);
+        let mut sink = ActionSink::new();
+        sink.begin(Tick::ZERO);
+        f.start(Tick::ZERO, &mut sink);
         // Loop: respond to every wake; feed hot ADC counts after 1s.
         let hot_counts = {
             // ~210C on the Semitec table.
@@ -1056,27 +1136,36 @@ mod tests {
         let cold_counts = 1000u16;
         let mut now = Tick::ZERO;
         let mut guard = 0;
+        let mut scratch = Vec::new();
         while matches!(f.state(), FwState::Running) && guard < 100_000 {
             guard += 1;
-            let mut wake = None;
-            for a in actions {
-                if let FwAction::WakeAt(t) = a {
-                    wake = Some(wake.map_or(t, |w: Tick| w.min(t)));
-                }
-            }
+            let wake = drain(&mut sink, &mut scratch);
             let Some(t) = wake else { break };
             now = t;
             // Feed ADC before each tick.
-            let counts = if now < Tick::from_secs(1) { cold_counts } else { hot_counts };
-            let _ = f.on_feedback(
+            let counts = if now < Tick::from_secs(1) {
+                cold_counts
+            } else {
+                hot_counts
+            };
+            sink.begin(now);
+            f.on_feedback(
                 now,
-                SignalEvent::Adc { channel: AnalogChannel::HotendTherm, counts },
+                SignalEvent::Adc {
+                    channel: AnalogChannel::HotendTherm,
+                    counts,
+                },
+                &mut sink,
             );
-            let _ = f.on_feedback(
+            f.on_feedback(
                 now,
-                SignalEvent::Adc { channel: AnalogChannel::BedTherm, counts: 1000 },
+                SignalEvent::Adc {
+                    channel: AnalogChannel::BedTherm,
+                    counts: 1000,
+                },
+                &mut sink,
             );
-            actions = f.on_tick(now);
+            f.on_tick(now, &mut sink);
         }
         assert!(
             matches!(f.state(), FwState::Finished),
@@ -1090,26 +1179,33 @@ mod tests {
     fn heating_failure_kills_machine() {
         // M109 but the ADC always reads ambient: watchdog must kill.
         let mut f = fw("M109 S210\nG1 X5 F600\n");
-        let mut actions = f.start(Tick::ZERO);
+        let mut sink = ActionSink::new();
+        sink.begin(Tick::ZERO);
+        f.start(Tick::ZERO, &mut sink);
         let mut guard = 0;
+        let mut scratch = Vec::new();
         while matches!(f.state(), FwState::Running) && guard < 100_000 {
             guard += 1;
-            let mut wake = None;
-            for a in actions {
-                if let FwAction::WakeAt(t) = a {
-                    wake = Some(wake.map_or(t, |w: Tick| w.min(t)));
-                }
-            }
+            let wake = drain(&mut sink, &mut scratch);
             let Some(t) = wake else { break };
-            let _ = f.on_feedback(
+            sink.begin(t);
+            f.on_feedback(
                 t,
-                SignalEvent::Adc { channel: AnalogChannel::HotendTherm, counts: 1000 },
+                SignalEvent::Adc {
+                    channel: AnalogChannel::HotendTherm,
+                    counts: 1000,
+                },
+                &mut sink,
             );
-            let _ = f.on_feedback(
+            f.on_feedback(
                 t,
-                SignalEvent::Adc { channel: AnalogChannel::BedTherm, counts: 1000 },
+                SignalEvent::Adc {
+                    channel: AnalogChannel::BedTherm,
+                    counts: 1000,
+                },
+                &mut sink,
             );
-            actions = f.on_tick(t);
+            f.on_tick(t, &mut sink);
         }
         assert!(
             matches!(
@@ -1140,47 +1236,53 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
+    use offramps_des::DetRng;
     use offramps_gcode::parse;
-    use proptest::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-        /// For any sequence of absolute in-range moves, the firmware's
-        /// final step counters equal the last target times steps/mm —
-        /// no steps are ever lost or duplicated in open loop.
-        #[test]
-        fn prop_step_count_equals_target(
-            targets in proptest::collection::vec((0u32..200, 0u32..200), 1..6)
-        ) {
+    /// For any sequence of absolute in-range moves, the firmware's
+    /// final step counters equal the last target times steps/mm —
+    /// no steps are ever lost or duplicated in open loop.
+    #[test]
+    fn step_count_equals_target_over_random_programs() {
+        for seed in 0u64..24 {
+            let mut rng = DetRng::from_seed(seed);
+            let n = rng.uniform_u64(1, 6) as usize;
+            let targets: Vec<(u32, u32)> = (0..n)
+                .map(|_| {
+                    (
+                        rng.uniform_u64(0, 200) as u32,
+                        rng.uniform_u64(0, 200) as u32,
+                    )
+                })
+                .collect();
             let mut src = String::from("G90\nM83\n");
             for (x, y) in &targets {
-                src.push_str(&format!("G1 X{} Y{} F6000\n", *x as f64 / 10.0, *y as f64 / 10.0));
+                src.push_str(&format!(
+                    "G1 X{} Y{} F6000\n",
+                    *x as f64 / 10.0,
+                    *y as f64 / 10.0
+                ));
             }
             let mut fw = Firmware::new(
                 crate::FirmwareConfig::deterministic(),
-                parse(&src).unwrap(),
+                std::sync::Arc::new(parse(&src).unwrap()),
                 1,
             );
-            // Open loop run.
-            let mut actions = fw.start(Tick::ZERO);
-            let mut guard = 0u64;
-            while matches!(fw.state(), FwState::Running) {
-                let mut wake: Option<Tick> = None;
-                for a in actions {
-                    if let FwAction::WakeAt(t) = a {
-                        wake = Some(wake.map_or(t, |w| w.min(t)));
-                    }
-                }
-                let Some(t) = wake else { break };
-                actions = fw.on_tick(t);
-                guard += 1;
-                prop_assert!(guard < 2_000_000, "stuck");
-            }
+            let events = super::tests::run_open_loop(&mut fw);
+            drop(events);
             let (lx, ly) = *targets.last().unwrap();
-            prop_assert_eq!(fw.step_counts()[0], (lx as f64 / 10.0 * 100.0).round() as i64);
-            prop_assert_eq!(fw.step_counts()[1], (ly as f64 / 10.0 * 100.0).round() as i64);
+            assert_eq!(
+                fw.step_counts()[0],
+                (lx as f64 / 10.0 * 100.0).round() as i64,
+                "seed {seed}"
+            );
+            assert_eq!(
+                fw.step_counts()[1],
+                (ly as f64 / 10.0 * 100.0).round() as i64,
+                "seed {seed}"
+            );
         }
     }
 }

@@ -7,12 +7,10 @@
 //! caps and a deterministic per-move duration jitter modelling the "time
 //! noise" of real prints.
 
-use serde::{Deserialize, Serialize};
-
 use offramps_des::{SimDuration, Tick};
 
 /// The velocity profile of one segment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Trapezoid {
     /// Total path length, mm.
     pub dist_mm: f64,
@@ -33,7 +31,10 @@ impl Trapezoid {
     ///
     /// Panics if `dist_mm`, `v_req` or `accel` are not strictly positive.
     pub fn plan(dist_mm: f64, v_req: f64, accel: f64) -> Self {
-        assert!(dist_mm > 0.0 && v_req > 0.0 && accel > 0.0, "invalid profile inputs");
+        assert!(
+            dist_mm > 0.0 && v_req > 0.0 && accel > 0.0,
+            "invalid profile inputs"
+        );
         // Distance needed to reach v_req from rest.
         let d_acc = v_req * v_req / (2.0 * accel);
         if 2.0 * d_acc <= dist_mm {
@@ -102,7 +103,7 @@ impl Trapezoid {
 /// }
 /// assert_eq!((x, e), (100, 50));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MoveExec {
     steps_abs: [u64; 4],
     /// Signed direction of each axis (+1, 0, −1).
@@ -184,14 +185,14 @@ impl MoveExec {
         let tick = self.start + SimDuration::from_secs_f64(t);
         let mut mask = [false; 4];
         mask[self.dominant] = true;
-        for i in 0..4 {
+        for (i, m) in mask.iter_mut().enumerate() {
             if i == self.dominant || self.steps_abs[i] == 0 {
                 continue;
             }
             self.bres_err[i] += self.steps_abs[i] as i64;
             if self.bres_err[i] >= self.n as i64 {
                 self.bres_err[i] -= self.n as i64;
-                mask[i] = true;
+                *m = true;
             }
         }
         Some((tick, mask))
@@ -241,7 +242,7 @@ pub fn cap_feedrate(path_mm: f64, axis_mm: [f64; 4], v_req: f64, max_axis: [f64;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use offramps_des::DetRng;
 
     #[test]
     fn trapezoid_phases() {
@@ -276,8 +277,7 @@ mod tests {
 
     #[test]
     fn exec_emits_exact_step_counts() {
-        let mut exec =
-            MoveExec::new([100, -37, 0, 12], 1.0, 40.0, 1000.0, Tick::ZERO, 1.0);
+        let mut exec = MoveExec::new([100, -37, 0, 12], 1.0, 40.0, 1000.0, Tick::ZERO, 1.0);
         let mut counts = [0i64; 4];
         let mut last_tick = Tick::ZERO;
         while let Some((tick, mask)) = exec.next_step() {
@@ -313,7 +313,12 @@ mod tests {
     #[test]
     fn cap_feedrate_respects_slowest_axis() {
         // Pure Z move at 12 mm/s cap.
-        let v = cap_feedrate(5.0, [0.0, 0.0, 5.0, 0.0], 100.0, [200.0, 200.0, 12.0, 120.0]);
+        let v = cap_feedrate(
+            5.0,
+            [0.0, 0.0, 5.0, 0.0],
+            100.0,
+            [200.0, 200.0, 12.0, 120.0],
+        );
         assert!((v - 12.0).abs() < 1e-12);
         // Diagonal XY: no cap below 200/frac.
         let v = cap_feedrate(
@@ -329,8 +334,7 @@ mod tests {
     fn step_rate_matches_cruise_speed() {
         // During cruise, X steps at v * steps_per_mm. 20 mm at 40 mm/s,
         // 100 steps/mm → 4 kHz → 250 us between steps mid-move.
-        let mut exec =
-            MoveExec::new([2000, 0, 0, 0], 20.0, 40.0, 1000.0, Tick::ZERO, 1.0);
+        let mut exec = MoveExec::new([2000, 0, 0, 0], 20.0, 40.0, 1000.0, Tick::ZERO, 1.0);
         let mut times = Vec::new();
         while let Some((t, _)) = exec.next_step() {
             times.push(t.ticks());
@@ -341,38 +345,51 @@ mod tests {
         assert!((dt_us - 250.0).abs() < 5.0, "got {dt_us} us");
     }
 
-    proptest! {
-        /// Bresenham delivers exactly |delta| steps per axis, for any mix.
-        #[test]
-        fn prop_step_conservation(dx in -500i64..500, dy in -500i64..500,
-                                  dz in -100i64..100, de in -300i64..300) {
-            prop_assume!(dx != 0 || dy != 0 || dz != 0 || de != 0);
-            let dist = ((dx*dx + dy*dy) as f64).sqrt().max(0.1);
-            let mut exec = MoveExec::new([dx, dy, dz, de], dist, 40.0, 1000.0,
-                                         Tick::ZERO, 1.0);
+    /// Bresenham delivers exactly |delta| steps per axis, for any mix.
+    #[test]
+    fn step_conservation_over_random_moves() {
+        for seed in 0u64..128 {
+            let mut rng = DetRng::from_seed(seed);
+            let dx = rng.uniform_u64(0, 1000) as i64 - 500;
+            let dy = rng.uniform_u64(0, 1000) as i64 - 500;
+            let dz = rng.uniform_u64(0, 200) as i64 - 100;
+            let de = rng.uniform_u64(0, 600) as i64 - 300;
+            if dx == 0 && dy == 0 && dz == 0 && de == 0 {
+                continue;
+            }
+            let dist = ((dx * dx + dy * dy) as f64).sqrt().max(0.1);
+            let mut exec = MoveExec::new([dx, dy, dz, de], dist, 40.0, 1000.0, Tick::ZERO, 1.0);
             let mut counts = [0i64; 4];
             while let Some((_, mask)) = exec.next_step() {
                 for i in 0..4 {
-                    if mask[i] { counts[i] += i64::from(exec.directions[i]); }
+                    if mask[i] {
+                        counts[i] += i64::from(exec.directions[i]);
+                    }
                 }
             }
-            prop_assert_eq!(counts, [dx, dy, dz, de]);
+            assert_eq!(counts, [dx, dy, dz, de], "seed {seed}");
         }
+    }
 
-        /// The schedule never exceeds the requested cruise speed on the
-        /// dominant axis (interval between dominant steps >= 1/(v*spm)).
-        #[test]
-        fn prop_speed_limit(n in 100u64..2000, v in 5.0f64..100.0) {
+    /// The schedule never exceeds the requested cruise speed on the
+    /// dominant axis (interval between dominant steps >= 1/(v*spm)).
+    #[test]
+    fn speed_limit_over_random_moves() {
+        for seed in 0u64..32 {
+            let mut rng = DetRng::from_seed(seed ^ 0x5151);
+            let n = rng.uniform_u64(100, 2000);
+            let v = rng.uniform_f64(5.0, 100.0);
             let dist = n as f64 / 100.0; // 100 steps/mm
-            let mut exec = MoveExec::new([n as i64, 0, 0, 0], dist, v, 1000.0,
-                                         Tick::ZERO, 1.0);
+            let mut exec = MoveExec::new([n as i64, 0, 0, 0], dist, v, 1000.0, Tick::ZERO, 1.0);
             let min_interval_s = (1.0 / (v * 100.0)) * 0.999; // tolerance
             let mut last: Option<Tick> = None;
             while let Some((t, _)) = exec.next_step() {
                 if let Some(l) = last {
                     let dt = t.saturating_since(l).as_secs_f64();
-                    prop_assert!(dt >= min_interval_s - 1e-7,
-                        "step interval {dt} below cruise minimum {min_interval_s}");
+                    assert!(
+                        dt >= min_interval_s - 1e-7,
+                        "step interval {dt} below cruise minimum {min_interval_s} (seed {seed})"
+                    );
                 }
                 last = Some(t);
             }

@@ -6,8 +6,6 @@
 //! then interpolates counts → °C exactly as Marlin does, including the
 //! quantization error a real table has.
 
-use serde::{Deserialize, Serialize};
-
 /// Piecewise-linear counts → temperature table.
 ///
 /// # Example
@@ -18,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// let temp = t.counts_to_celsius(512);
 /// assert!(temp > 20.0 && temp < 120.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThermistorTable {
     /// `(adc_counts, celsius)` pairs, counts ascending.
     entries: Vec<(u16, f64)>,

@@ -2,14 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// One G-code command, as Marlin interprets it.
 ///
 /// Only the commands the firmware simulator executes are typed; anything
 /// else is preserved verbatim in [`GCommand::Raw`] so programs survive a
 /// parse → write round trip.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum GCommand {
     /// `G0`/`G1` — linear move. Unset axes keep their current target.
     Move {
@@ -125,7 +123,7 @@ impl fmt::Display for GCommand {
 /// let text = p.to_gcode();
 /// assert!(text.starts_with("G28"));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Program {
     commands: Vec<GCommand>,
 }
@@ -133,7 +131,9 @@ pub struct Program {
 impl Program {
     /// Creates an empty program.
     pub fn new() -> Self {
-        Program { commands: Vec::new() }
+        Program {
+            commands: Vec::new(),
+        }
     }
 
     /// Appends a command.
@@ -209,12 +209,9 @@ mod tests {
 
     #[test]
     fn program_collect_and_iterate() {
-        let p: Program = vec![
-            GCommand::EnableSteppers,
-            GCommand::FanOff,
-        ]
-        .into_iter()
-        .collect();
+        let p: Program = vec![GCommand::EnableSteppers, GCommand::FanOff]
+            .into_iter()
+            .collect();
         assert_eq!(p.len(), 2);
         assert_eq!(p.iter().count(), 2);
         assert_eq!((&p).into_iter().count(), 2);

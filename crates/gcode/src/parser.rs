@@ -20,7 +20,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "g-code parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "g-code parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -80,8 +84,7 @@ fn tokenize(text: &str, line_no: usize) -> Result<Vec<Word>, ParseError> {
         let letter = c.to_ascii_uppercase();
         i += 1;
         let start = i;
-        while i < bytes.len()
-            && (bytes[i].is_ascii_digit() || matches!(bytes[i], '.' | '-' | '+'))
+        while i < bytes.len() && (bytes[i].is_ascii_digit() || matches!(bytes[i], '.' | '-' | '+'))
         {
             i += 1;
         }
@@ -162,7 +165,11 @@ pub fn parse_line(line: &str, line_no: usize) -> Result<Option<GCommand>, ParseE
         ('G', 28, true) => {
             let (x, y, z) = (has(rest, 'X'), has(rest, 'Y'), has(rest, 'Z'));
             if !x && !y && !z {
-                GCommand::Home { x: true, y: true, z: true }
+                GCommand::Home {
+                    x: true,
+                    y: true,
+                    z: true,
+                }
             } else {
                 GCommand::Home { x, y, z }
             }
@@ -235,7 +242,9 @@ mod tests {
 
     #[test]
     fn parses_moves_with_all_words() {
-        let c = parse_line("G1 X1.5 Y-2 Z0.3 E0.04 F1800", 1).unwrap().unwrap();
+        let c = parse_line("G1 X1.5 Y-2 Z0.3 E0.04 F1800", 1)
+            .unwrap()
+            .unwrap();
         assert_eq!(
             c,
             GCommand::Move {
@@ -261,15 +270,36 @@ mod tests {
         assert_eq!(parse_line("   ", 1).unwrap(), None);
         assert_eq!(parse_line("(paren comment)", 1).unwrap(), None);
         let c = parse_line("G28 ; home all", 1).unwrap().unwrap();
-        assert_eq!(c, GCommand::Home { x: true, y: true, z: true });
+        assert_eq!(
+            c,
+            GCommand::Home {
+                x: true,
+                y: true,
+                z: true
+            }
+        );
     }
 
     #[test]
     fn home_with_axis_flags() {
         let c = parse_line("G28 X Y", 1).unwrap().unwrap();
-        assert_eq!(c, GCommand::Home { x: true, y: true, z: false });
+        assert_eq!(
+            c,
+            GCommand::Home {
+                x: true,
+                y: true,
+                z: false
+            }
+        );
         let c = parse_line("G28 Z", 1).unwrap().unwrap();
-        assert_eq!(c, GCommand::Home { x: false, y: false, z: true });
+        assert_eq!(
+            c,
+            GCommand::Home {
+                x: false,
+                y: false,
+                z: true
+            }
+        );
     }
 
     #[test]
@@ -284,15 +314,24 @@ mod tests {
     fn temperatures() {
         assert_eq!(
             parse_line("M109 S215", 1).unwrap().unwrap(),
-            GCommand::SetHotendTemp { celsius: 215.0, wait: true }
+            GCommand::SetHotendTemp {
+                celsius: 215.0,
+                wait: true
+            }
         );
         assert_eq!(
             parse_line("M140 S60", 1).unwrap().unwrap(),
-            GCommand::SetBedTemp { celsius: 60.0, wait: false }
+            GCommand::SetBedTemp {
+                celsius: 60.0,
+                wait: false
+            }
         );
         assert_eq!(
             parse_line("M190 R55", 1).unwrap().unwrap(),
-            GCommand::SetBedTemp { celsius: 55.0, wait: true }
+            GCommand::SetBedTemp {
+                celsius: 55.0,
+                wait: true
+            }
         );
     }
 
@@ -302,21 +341,34 @@ mod tests {
             parse_line("M106 S128", 1).unwrap().unwrap(),
             GCommand::FanOn { duty: 128 }
         );
-        assert_eq!(parse_line("M106", 1).unwrap().unwrap(), GCommand::FanOn { duty: 255 });
+        assert_eq!(
+            parse_line("M106", 1).unwrap().unwrap(),
+            GCommand::FanOn { duty: 255 }
+        );
         assert_eq!(parse_line("M107", 1).unwrap().unwrap(), GCommand::FanOff);
-        assert_eq!(parse_line("M84", 1).unwrap().unwrap(), GCommand::DisableSteppers);
-        assert_eq!(parse_line("M17", 1).unwrap().unwrap(), GCommand::EnableSteppers);
+        assert_eq!(
+            parse_line("M84", 1).unwrap().unwrap(),
+            GCommand::DisableSteppers
+        );
+        assert_eq!(
+            parse_line("M17", 1).unwrap().unwrap(),
+            GCommand::EnableSteppers
+        );
     }
 
     #[test]
     fn dwell_p_and_s() {
         assert_eq!(
             parse_line("G4 P500", 1).unwrap().unwrap(),
-            GCommand::Dwell { milliseconds: 500.0 }
+            GCommand::Dwell {
+                milliseconds: 500.0
+            }
         );
         assert_eq!(
             parse_line("G4 S2", 1).unwrap().unwrap(),
-            GCommand::Dwell { milliseconds: 2000.0 }
+            GCommand::Dwell {
+                milliseconds: 2000.0
+            }
         );
     }
 
@@ -324,16 +376,31 @@ mod tests {
     fn set_position() {
         assert_eq!(
             parse_line("G92 E0", 1).unwrap().unwrap(),
-            GCommand::SetPosition { x: None, y: None, z: None, e: Some(0.0) }
+            GCommand::SetPosition {
+                x: None,
+                y: None,
+                z: None,
+                e: Some(0.0)
+            }
         );
     }
 
     #[test]
     fn unknown_commands_preserved() {
         let c = parse_line("M115", 1).unwrap().unwrap();
-        assert_eq!(c, GCommand::Raw { text: "M115".into() });
+        assert_eq!(
+            c,
+            GCommand::Raw {
+                text: "M115".into()
+            }
+        );
         let c = parse_line("M73 P10 R32", 1).unwrap().unwrap();
-        assert_eq!(c, GCommand::Raw { text: "M73 P10 R32".into() });
+        assert_eq!(
+            c,
+            GCommand::Raw {
+                text: "M73 P10 R32".into()
+            }
+        );
     }
 
     #[test]

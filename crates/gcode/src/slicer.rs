@@ -20,12 +20,10 @@
 //! assert_eq!(stats.layer_count(), 5); // 1.0mm at 0.2mm layers
 //! ```
 
-use serde::{Deserialize, Serialize};
-
 use crate::ast::{GCommand, Program};
 
 /// Slicing parameters (defaults match a common 0.4 mm-nozzle PLA profile).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SlicerConfig {
     /// Layer height, mm.
     pub layer_height: f64,
@@ -107,7 +105,7 @@ impl SlicerConfig {
 }
 
 /// A convex solid the slicer understands.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Solid {
     /// Axis-aligned rectangular prism, centred on `SlicerConfig::center`.
     RectPrism {
@@ -141,7 +139,11 @@ impl Solid {
             width > 0.0 && depth > 0.0 && height > 0.0,
             "solid dimensions must be positive"
         );
-        Solid::RectPrism { width, depth, height }
+        Solid::RectPrism {
+            width,
+            depth,
+            height,
+        }
     }
 
     /// Convenience constructor for a cylinder-like prism.
@@ -150,9 +152,16 @@ impl Solid {
     ///
     /// Panics if `radius`/`height` are not positive or `segments < 3`.
     pub fn cylinder(radius: f64, height: f64, segments: u32) -> Self {
-        assert!(radius > 0.0 && height > 0.0, "solid dimensions must be positive");
+        assert!(
+            radius > 0.0 && height > 0.0,
+            "solid dimensions must be positive"
+        );
         assert!(segments >= 3, "a prism needs at least 3 segments");
-        Solid::Prism { radius, height, segments }
+        Solid::Prism {
+            radius,
+            height,
+            segments,
+        }
     }
 
     /// The 20 mm calibration cube used throughout the paper's Table I.
@@ -180,7 +189,9 @@ impl Solid {
                     (center.0 - hw, center.1 + hd),
                 ]
             }
-            Solid::Prism { radius, segments, .. } => (0..*segments)
+            Solid::Prism {
+                radius, segments, ..
+            } => (0..*segments)
                 .map(|i| {
                     let a = 2.0 * std::f64::consts::PI * f64::from(i) / f64::from(*segments);
                     (center.0 + radius * a.cos(), center.1 + radius * a.sin())
@@ -384,19 +395,43 @@ fn round5(v: f64) -> f64 {
 /// Panics if `cfg.layer_height` or geometric parameters are not positive.
 pub fn slice(solid: &Solid, cfg: &SlicerConfig) -> Program {
     assert!(cfg.layer_height > 0.0, "layer height must be positive");
-    assert!(cfg.extrusion_width > 0.0, "extrusion width must be positive");
+    assert!(
+        cfg.extrusion_width > 0.0,
+        "extrusion width must be positive"
+    );
     let mut em = Emitter::new(cfg);
 
     // ---- start sequence (heat, home, positioning modes) ----
     em.push(GCommand::AbsolutePositioning);
     em.push(GCommand::RelativeExtrusion);
-    em.push(GCommand::SetBedTemp { celsius: cfg.bed_temp, wait: false });
-    em.push(GCommand::SetHotendTemp { celsius: cfg.hotend_temp, wait: false });
-    em.push(GCommand::Home { x: true, y: true, z: true });
-    em.push(GCommand::SetBedTemp { celsius: cfg.bed_temp, wait: true });
-    em.push(GCommand::SetHotendTemp { celsius: cfg.hotend_temp, wait: true });
+    em.push(GCommand::SetBedTemp {
+        celsius: cfg.bed_temp,
+        wait: false,
+    });
+    em.push(GCommand::SetHotendTemp {
+        celsius: cfg.hotend_temp,
+        wait: false,
+    });
+    em.push(GCommand::Home {
+        x: true,
+        y: true,
+        z: true,
+    });
+    em.push(GCommand::SetBedTemp {
+        celsius: cfg.bed_temp,
+        wait: true,
+    });
+    em.push(GCommand::SetHotendTemp {
+        celsius: cfg.hotend_temp,
+        wait: true,
+    });
     em.push(GCommand::EnableSteppers);
-    em.push(GCommand::SetPosition { x: None, y: None, z: None, e: Some(0.0) });
+    em.push(GCommand::SetPosition {
+        x: None,
+        y: None,
+        z: None,
+        e: Some(0.0),
+    });
 
     let layer_count = (solid.height() / cfg.layer_height).round().max(1.0) as usize;
     let outline = solid.outline(cfg.center);
@@ -415,7 +450,11 @@ pub fn slice(solid: &Solid, cfg: &SlicerConfig) -> Program {
             e: None,
             feedrate: Some(600.0),
         });
-        let speed = if layer == 0 { cfg.first_layer_speed } else { cfg.print_speed };
+        let speed = if layer == 0 {
+            cfg.first_layer_speed
+        } else {
+            cfg.print_speed
+        };
 
         // Perimeters, outside-in: loop i inset by (i + 0.5) widths.
         let mut innermost = None;
@@ -474,10 +513,20 @@ pub fn slice(solid: &Solid, cfg: &SlicerConfig) -> Program {
             feedrate: Some(cfg.retract_speed * 60.0),
         });
     }
-    em.push(GCommand::SetHotendTemp { celsius: 0.0, wait: false });
-    em.push(GCommand::SetBedTemp { celsius: 0.0, wait: false });
+    em.push(GCommand::SetHotendTemp {
+        celsius: 0.0,
+        wait: false,
+    });
+    em.push(GCommand::SetBedTemp {
+        celsius: 0.0,
+        wait: false,
+    });
     em.push(GCommand::FanOff);
-    em.push(GCommand::Home { x: true, y: true, z: false });
+    em.push(GCommand::Home {
+        x: true,
+        y: true,
+        z: false,
+    });
     em.push(GCommand::DisableSteppers);
     em.program
 }
@@ -518,7 +567,11 @@ mod tests {
         let p = slice(&Solid::rect_prism(10.0, 10.0, 3.0), &cfg);
         let s = ProgramStats::analyze(&p);
         assert_eq!(s.layer_count(), 10, "3mm at 0.3mm layers");
-        assert!(s.total_extruded_mm > 1.0, "extruded {}", s.total_extruded_mm);
+        assert!(
+            s.total_extruded_mm > 1.0,
+            "extruded {}",
+            s.total_extruded_mm
+        );
         // Bead volume ~= path length * width * height. Retract/un-retract
         // pairs cancel in `net_extruded_mm`; the final end-of-print retract
         // is never refed, so add it back to get the filament in the part.
@@ -557,7 +610,10 @@ mod tests {
     fn start_sequence_heats_then_homes_then_waits() {
         let p = slice(&Solid::rect_prism(5.0, 5.0, 0.3), &SlicerConfig::fast());
         let cmds = p.commands();
-        let home_idx = cmds.iter().position(|c| matches!(c, GCommand::Home { .. })).unwrap();
+        let home_idx = cmds
+            .iter()
+            .position(|c| matches!(c, GCommand::Home { .. }))
+            .unwrap();
         let heat_idx = cmds
             .iter()
             .position(|c| matches!(c, GCommand::SetHotendTemp { wait: false, .. }))
@@ -582,9 +638,10 @@ mod tests {
     fn retraction_emitted_for_long_travels() {
         let cfg = SlicerConfig::fast();
         let p = slice(&Solid::rect_prism(12.0, 12.0, 0.3), &cfg);
-        let has_retract = p.commands().iter().any(
-            |c| matches!(c, GCommand::Move { e: Some(e), x: None, y: None, .. } if *e < 0.0),
-        );
+        let has_retract = p
+            .commands()
+            .iter()
+            .any(|c| matches!(c, GCommand::Move { e: Some(e), x: None, y: None, .. } if *e < 0.0));
         assert!(has_retract, "expected at least one retract");
     }
 

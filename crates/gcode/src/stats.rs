@@ -6,12 +6,10 @@
 //! semantics (positioning modes, `G92` re-zeroing, sticky feedrates) that
 //! yields the quantities the detector and the experiments reason about.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ast::{GCommand, Program};
 
 /// Options for statistics extraction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StatsConfig {
     /// Two Z values closer than this count as the same layer (mm).
     pub layer_epsilon: f64,
@@ -19,7 +17,9 @@ pub struct StatsConfig {
 
 impl Default for StatsConfig {
     fn default() -> Self {
-        StatsConfig { layer_epsilon: 1e-6 }
+        StatsConfig {
+            layer_epsilon: 1e-6,
+        }
     }
 }
 
@@ -35,7 +35,7 @@ impl Default for StatsConfig {
 /// assert_eq!(s.extrusion_path_mm, 20.0);
 /// # Ok::<(), offramps_gcode::ParseError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProgramStats {
     /// Net filament pushed forward, mm (retracts subtract).
     pub net_extruded_mm: f64,
@@ -136,7 +136,8 @@ impl ProgramStats {
                 _ => {}
             }
         }
-        out.layers.sort_by(|a, b| a.partial_cmp(b).expect("layer z is never NaN"));
+        out.layers
+            .sort_by(|a, b| a.partial_cmp(b).expect("layer z is never NaN"));
         out
     }
 
@@ -272,9 +273,7 @@ mod tests {
 
     #[test]
     fn layers_detected() {
-        let s = stats(
-            "G90\nM83\nG1 Z0.2\nG1 X10 E1\nG1 Z0.4\nG1 X0 E1\nG1 Z0.4\nG1 Y5 E0.5\n",
-        );
+        let s = stats("G90\nM83\nG1 Z0.2\nG1 X10 E1\nG1 Z0.4\nG1 X0 E1\nG1 Z0.4\nG1 Y5 E0.5\n");
         assert_eq!(s.layer_count(), 2);
         assert_eq!(s.layers, vec![0.2, 0.4]);
     }

@@ -34,7 +34,14 @@ fn push_word(out: &mut String, letter: char, value: Option<f64>) {
 /// Serializes one command to its canonical single-line form.
 pub(crate) fn command_to_string(cmd: &GCommand) -> String {
     match cmd {
-        GCommand::Move { rapid, x, y, z, e, feedrate } => {
+        GCommand::Move {
+            rapid,
+            x,
+            y,
+            z,
+            e,
+            feedrate,
+        } => {
             let mut s = String::from(if *rapid { "G0" } else { "G1" });
             push_word(&mut s, 'X', *x);
             push_word(&mut s, 'Y', *y);
@@ -101,7 +108,6 @@ pub(crate) fn program_to_string(program: &Program) -> String {
 mod tests {
     use super::*;
     use crate::parser::parse;
-    use proptest::prelude::*;
 
     #[test]
     fn canonical_forms() {
@@ -117,15 +123,26 @@ mod tests {
             "G1 X1.5 Z0.3 E-0.8 F1200"
         );
         assert_eq!(
-            command_to_string(&GCommand::Home { x: true, y: false, z: false }),
+            command_to_string(&GCommand::Home {
+                x: true,
+                y: false,
+                z: false
+            }),
             "G28 X"
         );
         assert_eq!(
-            command_to_string(&GCommand::Home { x: true, y: true, z: true }),
+            command_to_string(&GCommand::Home {
+                x: true,
+                y: true,
+                z: true
+            }),
             "G28"
         );
         assert_eq!(
-            command_to_string(&GCommand::SetHotendTemp { celsius: 210.0, wait: true }),
+            command_to_string(&GCommand::SetHotendTemp {
+                celsius: 210.0,
+                wait: true
+            }),
             "M109 S210"
         );
         assert_eq!(command_to_string(&GCommand::FanOn { duty: 64 }), "M106 S64");
@@ -145,58 +162,108 @@ mod tests {
         format!("{v:.5}").parse().expect("formatted float reparses")
     }
 
-    fn arb_opt_mm() -> impl Strategy<Value = Option<f64>> {
-        proptest::option::of(
-            (-500i64..500i64, 0u32..100_000u32)
-                .prop_map(|(i, f)| grid(i as f64 + f as f64 / 100_000.0)),
-        )
+    /// Seeded stand-in for a property-based generator (the build is
+    /// offline, so `proptest` is unavailable): a tiny deterministic
+    /// command fuzzer driven by a splitmix-style stream.
+    struct CmdGen {
+        state: u64,
     }
 
-    fn arb_command() -> impl Strategy<Value = GCommand> {
-        prop_oneof![
-            (any::<bool>(), arb_opt_mm(), arb_opt_mm(), arb_opt_mm(), arb_opt_mm(),
-             proptest::option::of(1u32..100_000u32))
-                .prop_map(|(rapid, x, y, z, e, f)| GCommand::Move {
-                    rapid,
-                    x,
-                    y,
-                    z,
-                    e,
-                    feedrate: f.map(f64::from),
-                }),
-            (0u32..1_000_000u32).prop_map(|p| GCommand::Dwell { milliseconds: p as f64 }),
-            (any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(x, y, z)| {
-                if !x && !y && !z {
-                    GCommand::Home { x: true, y: true, z: true }
-                } else {
-                    GCommand::Home { x, y, z }
+    impl CmdGen {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        fn range(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+
+        fn flag(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+
+        fn opt_mm(&mut self) -> Option<f64> {
+            if self.flag() {
+                let i = self.range(1000) as i64 - 500;
+                let f = self.range(100_000);
+                Some(grid(i as f64 + f as f64 / 100_000.0))
+            } else {
+                None
+            }
+        }
+
+        fn command(&mut self) -> GCommand {
+            match self.range(14) {
+                0 => GCommand::Move {
+                    rapid: self.flag(),
+                    x: self.opt_mm(),
+                    y: self.opt_mm(),
+                    z: self.opt_mm(),
+                    e: self.opt_mm(),
+                    feedrate: if self.flag() {
+                        Some((1 + self.range(99_999)) as f64)
+                    } else {
+                        None
+                    },
+                },
+                1 => GCommand::Dwell {
+                    milliseconds: self.range(1_000_000) as f64,
+                },
+                2 => {
+                    let (x, y, z) = (self.flag(), self.flag(), self.flag());
+                    if !x && !y && !z {
+                        GCommand::Home {
+                            x: true,
+                            y: true,
+                            z: true,
+                        }
+                    } else {
+                        GCommand::Home { x, y, z }
+                    }
                 }
-            }),
-            Just(GCommand::AbsolutePositioning),
-            Just(GCommand::RelativePositioning),
-            (arb_opt_mm(), arb_opt_mm(), arb_opt_mm(), arb_opt_mm())
-                .prop_map(|(x, y, z, e)| GCommand::SetPosition { x, y, z, e }),
-            Just(GCommand::AbsoluteExtrusion),
-            Just(GCommand::RelativeExtrusion),
-            (0u32..400u32, any::<bool>())
-                .prop_map(|(c, w)| GCommand::SetHotendTemp { celsius: c as f64, wait: w }),
-            (0u32..120u32, any::<bool>())
-                .prop_map(|(c, w)| GCommand::SetBedTemp { celsius: c as f64, wait: w }),
-            any::<u8>().prop_map(|d| GCommand::FanOn { duty: d }),
-            Just(GCommand::FanOff),
-            Just(GCommand::EnableSteppers),
-            Just(GCommand::DisableSteppers),
-        ]
+                3 => GCommand::AbsolutePositioning,
+                4 => GCommand::RelativePositioning,
+                5 => GCommand::SetPosition {
+                    x: self.opt_mm(),
+                    y: self.opt_mm(),
+                    z: self.opt_mm(),
+                    e: self.opt_mm(),
+                },
+                6 => GCommand::AbsoluteExtrusion,
+                7 => GCommand::RelativeExtrusion,
+                8 => GCommand::SetHotendTemp {
+                    celsius: self.range(400) as f64,
+                    wait: self.flag(),
+                },
+                9 => GCommand::SetBedTemp {
+                    celsius: self.range(120) as f64,
+                    wait: self.flag(),
+                },
+                10 => GCommand::FanOn {
+                    duty: self.range(256) as u8,
+                },
+                11 => GCommand::FanOff,
+                12 => GCommand::EnableSteppers,
+                _ => GCommand::DisableSteppers,
+            }
+        }
     }
 
-    proptest! {
-        /// write → parse is the identity on typed commands.
-        #[test]
-        fn prop_round_trip(cmds in proptest::collection::vec(arb_command(), 0..50)) {
-            let program: Program = cmds.into_iter().collect();
+    /// write → parse is the identity on typed commands, over a few
+    /// hundred randomly generated programs.
+    #[test]
+    fn random_round_trip() {
+        for seed in 0u64..200 {
+            let mut gen = CmdGen { state: seed };
+            let len = gen.range(50) as usize;
+            let program: Program = (0..len).map(|_| gen.command()).collect();
             let text = program.to_gcode();
             let reparsed = parse(&text).expect("canonical output must parse");
-            prop_assert_eq!(program, reparsed);
+            assert_eq!(program, reparsed, "seed {seed}");
         }
     }
 }

@@ -4,12 +4,10 @@
 //! mechanical MIN endstops, driven by a RAMPS 1.4 with A4988 drivers at
 //! 1/16 microstepping and a 24 V supply.
 
-use serde::{Deserialize, Serialize};
-
 use offramps_signals::Axis;
 
 /// Per-axis mechanical parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AxisConfig {
     /// Microsteps per millimetre of carriage travel (at the driver's
     /// configured microstep mode).
@@ -64,7 +62,7 @@ impl AxisConfig {
 /// keeping whole-print simulations fast; the *shape* (first-order rise,
 /// overshoot behaviour under PID, unbounded rise at 100 % duty) matches
 /// the physical hotend/bed the paper heated.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThermalConfig {
     /// Heater power when the MOSFET gate is high, W.
     pub power_w: f64,
@@ -129,7 +127,7 @@ impl ThermalConfig {
 }
 
 /// Complete plant configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlantConfig {
     /// Mechanics of X, Y, Z, E in [`Axis::ALL`] order.
     pub axes: [AxisConfig; 4],

@@ -6,10 +6,8 @@
 //! under-/over-extrusion, layer shifts and delamination-scale Z errors —
 //! the exact defects T1–T5 and T9 cause.
 
-use serde::{Deserialize, Serialize};
-
 /// One extruded path segment at a fixed Z.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Segment {
     /// Layer height of the segment, mm.
     pub z_mm: f64,
@@ -39,7 +37,7 @@ impl Segment {
 }
 
 /// Aggregate description of one printed layer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LayerSummary {
     /// Layer Z, mm.
     pub z_mm: f64,
@@ -56,7 +54,7 @@ pub struct LayerSummary {
 }
 
 /// The complete deposited part.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PartModel {
     segments: Vec<Segment>,
     /// Filament pushed forward over the whole job, mm.
@@ -93,7 +91,12 @@ impl PartModel {
                     z_mm: 0.0,
                     path_mm: 0.0,
                     e_mm: 0.0,
-                    bbox: [f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY],
+                    bbox: [
+                        f64::INFINITY,
+                        f64::INFINITY,
+                        f64::NEG_INFINITY,
+                        f64::NEG_INFINITY,
+                    ],
                     centroid: (0.0, 0.0),
                     segments: 0,
                 };
@@ -146,7 +149,7 @@ impl PartModel {
 /// let part = dep.finish();
 /// assert!((part.deposited_e_mm() - 0.37).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DepositionModel {
     resolution_mm: f64,
     part: PartModel,
@@ -330,7 +333,12 @@ mod tests {
 
     #[test]
     fn segment_geometry_helpers() {
-        let s = Segment { z_mm: 0.2, from: (0.0, 0.0), to: (3.0, 4.0), e_mm: 0.1 };
+        let s = Segment {
+            z_mm: 0.2,
+            from: (0.0, 0.0),
+            to: (3.0, 4.0),
+            e_mm: 0.1,
+        };
         assert!((s.length_mm() - 5.0).abs() < 1e-12);
         assert_eq!(s.midpoint(), (1.5, 2.0));
     }

@@ -12,13 +12,11 @@
 //! * the active-low ENABLE input gates everything: while disabled the
 //!   driver ignores STEP entirely (the basis of Trojan T8).
 
-use serde::{Deserialize, Serialize};
-
 use offramps_des::Tick;
 use offramps_signals::{Level, LogicEvent};
 
 /// Microstep resolution selected by the RAMPS jumpers under the driver.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum MicrostepMode {
     /// Full steps.
     Full,
@@ -29,6 +27,7 @@ pub enum MicrostepMode {
     /// 1/8 step.
     Eighth,
     /// 1/16 step (all three jumpers installed — the common RAMPS setup).
+    #[default]
     Sixteenth,
 }
 
@@ -57,12 +56,6 @@ impl MicrostepMode {
     }
 }
 
-impl Default for MicrostepMode {
-    fn default() -> Self {
-        MicrostepMode::Sixteenth
-    }
-}
-
 /// One A4988 driver: STEP/DIR/ENABLE in, microstep position out.
 ///
 /// # Example
@@ -79,7 +72,7 @@ impl Default for MicrostepMode {
 /// drv.step_edge(Tick::from_micros(2), Level::Low);
 /// assert_eq!(drv.position_microsteps(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct A4988Driver {
     min_pulse_ns: u64,
     enabled: bool,
@@ -213,9 +206,15 @@ mod tests {
         let mut d = enabled_driver();
         d.set_dir(Level::High);
         assert_eq!(pulse(&mut d, Tick::ZERO, SimDuration::from_micros(2)), 1);
-        assert_eq!(pulse(&mut d, Tick::from_micros(10), SimDuration::from_micros(2)), 1);
+        assert_eq!(
+            pulse(&mut d, Tick::from_micros(10), SimDuration::from_micros(2)),
+            1
+        );
         d.set_dir(Level::Low);
-        assert_eq!(pulse(&mut d, Tick::from_micros(20), SimDuration::from_micros(2)), -1);
+        assert_eq!(
+            pulse(&mut d, Tick::from_micros(20), SimDuration::from_micros(2)),
+            -1
+        );
         assert_eq!(d.position_microsteps(), 1);
     }
 
@@ -235,7 +234,10 @@ mod tests {
         // 0.5 us < 1 us minimum.
         assert_eq!(pulse(&mut d, Tick::ZERO, SimDuration::from_nanos(500)), 0);
         assert_eq!(d.short_pulses, 1);
-        assert_eq!(pulse(&mut d, Tick::from_micros(5), SimDuration::from_micros(1)), 1);
+        assert_eq!(
+            pulse(&mut d, Tick::from_micros(5), SimDuration::from_micros(1)),
+            1
+        );
     }
 
     #[test]
@@ -274,7 +276,10 @@ mod tests {
         d.apply(Tick::ZERO, LogicEvent::new(Pin::XEnable, Level::Low));
         d.apply(Tick::ZERO, LogicEvent::new(Pin::XDir, Level::High));
         d.apply(Tick::ZERO, LogicEvent::new(Pin::XStep, Level::High));
-        let delta = d.apply(Tick::from_micros(2), LogicEvent::new(Pin::XStep, Level::Low));
+        let delta = d.apply(
+            Tick::from_micros(2),
+            LogicEvent::new(Pin::XStep, Level::Low),
+        );
         assert_eq!(delta, 1);
         assert!(d.is_enabled());
         assert!(d.is_dir_positive());

@@ -7,8 +7,6 @@
 //! reads out the *effective* duty, which is how Trojan T9's tampering
 //! becomes observable.
 
-use serde::{Deserialize, Serialize};
-
 use offramps_des::Tick;
 use offramps_signals::Level;
 
@@ -25,7 +23,7 @@ use offramps_signals::Level;
 /// fan.set_gate(Tick::ZERO, Level::High);
 /// assert!(fan.rpm(Tick::from_secs(5)) > 5_900.0); // spun up
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FanPlant {
     tau_s: f64,
     max_rpm: f64,

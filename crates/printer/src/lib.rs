@@ -42,5 +42,5 @@ pub use deposition::{DepositionModel, LayerSummary, PartModel, Segment};
 pub use driver::{A4988Driver, MicrostepMode};
 pub use fan::FanPlant;
 pub use mechanism::AxisMechanism;
-pub use plant::{PlantAction, PlantStatus, PrinterPlant};
+pub use plant::{PlantStatus, PrinterPlant, PORT_CTRL, PORT_FEEDBACK};
 pub use thermal::{HeaterPlant, Thermistor};

@@ -1,7 +1,5 @@
 //! Carriage kinematics, travel limits and endstops.
 
-use serde::{Deserialize, Serialize};
-
 use offramps_signals::Level;
 
 use crate::config::AxisConfig;
@@ -23,7 +21,7 @@ use crate::config::AxisConfig;
 /// for _ in 0..5_000 { mech.advance(-1); } // 50 mm worth of -X microsteps
 /// assert_eq!(mech.endstop_level(), Level::High); // switch pressed
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AxisMechanism {
     config: AxisConfig,
     /// Carriage position, microsteps relative to logical zero.
@@ -52,7 +50,10 @@ impl AxisMechanism {
     /// Moves the carriage by one (+1/−1) microstep, honouring the travel
     /// limits. Returns `true` if the carriage actually moved.
     pub fn advance(&mut self, delta: i64) -> bool {
-        debug_assert!(delta == 1 || delta == -1, "drivers step one microstep at a time");
+        debug_assert!(
+            delta == 1 || delta == -1,
+            "drivers step one microstep at a time"
+        );
         let new = self.position_steps + delta;
         let mm = new as f64 / self.config.steps_per_mm;
         if mm < -self.config.overtravel_mm || mm > self.config.travel_mm {

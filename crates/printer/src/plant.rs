@@ -6,12 +6,8 @@
 //! firmware needs: endstop transitions and periodic thermistor ADC
 //! samples.
 
-use serde::{Deserialize, Serialize};
-
-use offramps_des::{DetRng, SimDuration, Tick};
-use offramps_signals::{
-    AnalogChannel, Axis, Level, LogicEvent, Pin, SignalEvent,
-};
+use offramps_des::{ActionSink, DetRng, InPort, OutPort, SimComponent, SimDuration, Tick};
+use offramps_signals::{AnalogChannel, Axis, Level, LogicEvent, Pin, SignalEvent};
 
 use crate::config::PlantConfig;
 use crate::deposition::{DepositionModel, PartModel};
@@ -20,18 +16,17 @@ use crate::fan::FanPlant;
 use crate::mechanism::AxisMechanism;
 use crate::thermal::HeaterPlant;
 
-/// Output of a plant step: either a feedback event to send upstream or a
-/// request to be woken again at a given time.
-#[derive(Debug, Clone, PartialEq)]
-pub enum PlantAction {
-    /// Feedback for the firmware (via the interceptor).
-    Emit(SignalEvent),
-    /// Wake the plant's [`PrinterPlant::on_tick`] at this time.
-    WakeAt(Tick),
-}
+/// The plant's single output port: feedback-direction signals (endstop
+/// transitions, thermistor ADC samples) for the firmware, via the
+/// interceptor.
+pub const PORT_FEEDBACK: OutPort = OutPort(0);
+
+/// The plant's single input port: control-direction signals arriving
+/// from the interceptor.
+pub const PORT_CTRL: InPort = InPort(0);
 
 /// Instantaneous observable state of the plant.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlantStatus {
     /// Carriage/extruder positions, mm, in [`Axis::ALL`] order.
     pub positions_mm: [f64; 4],
@@ -64,12 +59,21 @@ pub struct PlantStatus {
 /// use offramps_des::Tick;
 /// use offramps_signals::{SignalEvent, Pin, Level};
 ///
+/// use offramps_des::ActionSink;
+///
 /// let mut plant = PrinterPlant::new(PlantConfig::default(), 7);
+/// let mut sink = ActionSink::new();
 /// // Enable the X driver and pulse it once.
-/// plant.on_control(Tick::ZERO, SignalEvent::logic(Pin::XEnable, Level::Low));
-/// plant.on_control(Tick::ZERO, SignalEvent::logic(Pin::XDir, Level::High));
-/// plant.on_control(Tick::from_micros(1), SignalEvent::logic(Pin::XStep, Level::High));
-/// plant.on_control(Tick::from_micros(3), SignalEvent::logic(Pin::XStep, Level::Low));
+/// for (t, pin, level) in [
+///     (0u64, Pin::XEnable, Level::Low),
+///     (0, Pin::XDir, Level::High),
+///     (1, Pin::XStep, Level::High),
+///     (3, Pin::XStep, Level::Low),
+/// ] {
+///     sink.begin(Tick::from_micros(t));
+///     plant.on_control(Tick::from_micros(t), SignalEvent::logic(pin, level), &mut sink);
+///     sink.drain().for_each(drop);
+/// }
 /// let before = plant.status(Tick::from_micros(3)).positions_mm[0];
 /// assert!(before > 0.0);
 /// ```
@@ -89,10 +93,10 @@ pub struct PrinterPlant {
 impl PrinterPlant {
     /// Creates the plant. `seed` drives ADC read-out noise.
     pub fn new(config: PlantConfig, seed: u64) -> Self {
-        let drivers =
-            std::array::from_fn(|_| A4988Driver::new(config.min_step_pulse_ns));
+        let drivers = std::array::from_fn(|_| A4988Driver::new(config.min_step_pulse_ns));
         let mechs = std::array::from_fn(|i| AxisMechanism::new(config.axes[i]));
-        let plant = PrinterPlant {
+
+        PrinterPlant {
             drivers,
             hotend: HeaterPlant::new(config.hotend),
             bed: HeaterPlant::new(config.bed),
@@ -105,40 +109,38 @@ impl PrinterPlant {
             mechs,
             adc_rng: DetRng::from_seed(seed ^ 0xadc0_ffee),
             config,
-        };
-        plant
+        }
     }
 
     /// Initial feedback burst: current endstop levels plus the first ADC
     /// wake-up. Call once at simulation start.
-    pub fn start(&mut self, now: Tick) -> Vec<PlantAction> {
-        let mut out = Vec::new();
+    pub fn start(&mut self, now: Tick, sink: &mut ActionSink<SignalEvent>) {
         for axis in Axis::MOTION {
             let pin = axis.min_endstop_pin().expect("motion axes have endstops");
-            out.push(PlantAction::Emit(SignalEvent::logic(
-                pin,
-                self.endstop_levels[axis.index()],
-            )));
+            sink.send(
+                PORT_FEEDBACK,
+                SignalEvent::logic(pin, self.endstop_levels[axis.index()]),
+            );
         }
-        out.push(PlantAction::WakeAt(
-            now + SimDuration::from_millis(self.config.adc_period_ms),
-        ));
-        out
+        sink.wake_at(now + SimDuration::from_millis(self.config.adc_period_ms));
     }
 
     /// Processes one control-direction event.
-    pub fn on_control(&mut self, now: Tick, event: SignalEvent) -> Vec<PlantAction> {
-        let mut out = Vec::new();
+    pub fn on_control(
+        &mut self,
+        now: Tick,
+        event: SignalEvent,
+        sink: &mut ActionSink<SignalEvent>,
+    ) {
         match event {
-            SignalEvent::Logic(ev) => self.on_logic(now, ev, &mut out),
+            SignalEvent::Logic(ev) => self.on_logic(now, ev, sink),
             // The display UART terminates at the (unmodelled) LCD; ADC
             // events never arrive on the control side.
             SignalEvent::Uart { .. } | SignalEvent::Adc { .. } => {}
         }
-        out
     }
 
-    fn on_logic(&mut self, now: Tick, ev: LogicEvent, out: &mut Vec<PlantAction>) {
+    fn on_logic(&mut self, now: Tick, ev: LogicEvent, sink: &mut ActionSink<SignalEvent>) {
         match ev.pin {
             Pin::HotendHeat => self.hotend.set_gate(now, ev.level),
             Pin::BedHeat => self.bed.set_gate(now, ev.level),
@@ -149,7 +151,7 @@ impl PrinterPlant {
                     if p.class() == offramps_signals::PinClass::Control {
                         let delta = self.drivers[axis.index()].apply(now, ev);
                         if delta != 0 {
-                            self.commit_step(axis, delta, out);
+                            self.commit_step(axis, delta, sink);
                         }
                     }
                 }
@@ -157,7 +159,7 @@ impl PrinterPlant {
         }
     }
 
-    fn commit_step(&mut self, axis: Axis, delta: i64, out: &mut Vec<PlantAction>) {
+    fn commit_step(&mut self, axis: Axis, delta: i64, sink: &mut ActionSink<SignalEvent>) {
         let moved = self.mechs[axis.index()].advance(delta);
         if !moved {
             return;
@@ -175,14 +177,13 @@ impl PrinterPlant {
             let level = self.mechs[axis.index()].endstop_level();
             if level != self.endstop_levels[axis.index()] {
                 self.endstop_levels[axis.index()] = level;
-                out.push(PlantAction::Emit(SignalEvent::logic(pin, level)));
+                sink.send(PORT_FEEDBACK, SignalEvent::logic(pin, level));
             }
         }
     }
 
     /// Periodic wake-up: samples both thermistors and re-arms the timer.
-    pub fn on_tick(&mut self, now: Tick) -> Vec<PlantAction> {
-        let mut out = Vec::new();
+    pub fn on_tick(&mut self, now: Tick, sink: &mut ActionSink<SignalEvent>) {
         for channel in AnalogChannel::ALL {
             let counts = match channel {
                 AnalogChannel::HotendTherm => self.hotend.read_adc(now),
@@ -191,12 +192,15 @@ impl PrinterPlant {
             // ±1 LSB conversion noise.
             let noise = self.adc_rng.uniform_u64(0, 3) as i32 - 1;
             let noisy = (i32::from(counts) + noise).clamp(0, 1023) as u16;
-            out.push(PlantAction::Emit(SignalEvent::Adc { channel, counts: noisy }));
+            sink.send(
+                PORT_FEEDBACK,
+                SignalEvent::Adc {
+                    channel,
+                    counts: noisy,
+                },
+            );
         }
-        out.push(PlantAction::WakeAt(
-            now + SimDuration::from_millis(self.config.adc_period_ms),
-        ));
-        out
+        sink.wake_at(now + SimDuration::from_millis(self.config.adc_period_ms));
     }
 
     /// Observable plant state at `now`.
@@ -210,9 +214,7 @@ impl PrinterPlant {
             fan_rpm: self.fan.rpm(now),
             fan_duty: self.fan.lifetime_duty(),
             lost_steps: std::array::from_fn(|i| self.mechs[i].lost_steps),
-            steps_while_disabled: std::array::from_fn(|i| {
-                self.drivers[i].steps_while_disabled
-            }),
+            steps_while_disabled: std::array::from_fn(|i| self.drivers[i].steps_while_disabled),
             short_pulses: std::array::from_fn(|i| self.drivers[i].short_pulses),
         }
     }
@@ -238,21 +240,50 @@ impl PrinterPlant {
     }
 }
 
+impl SimComponent for PrinterPlant {
+    type Payload = SignalEvent;
+
+    fn start(&mut self, now: Tick, sink: &mut ActionSink<SignalEvent>) {
+        PrinterPlant::start(self, now, sink);
+    }
+
+    fn on_event(
+        &mut self,
+        now: Tick,
+        _port: InPort,
+        payload: SignalEvent,
+        sink: &mut ActionSink<SignalEvent>,
+    ) {
+        self.on_control(now, payload, sink);
+    }
+
+    fn on_tick(&mut self, now: Tick, sink: &mut ActionSink<SignalEvent>) {
+        PrinterPlant::on_tick(self, now, sink);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use offramps_des::SinkAction;
 
     fn plant() -> PrinterPlant {
         PrinterPlant::new(PlantConfig::default(), 1)
     }
 
-    fn step(p: &mut PrinterPlant, t_us: u64, axis: Axis) -> Vec<PlantAction> {
-        let mut acts = p.on_control(
-            Tick::from_micros(t_us),
-            SignalEvent::logic(axis.step_pin(), Level::High),
-        );
-        acts.extend(p.on_control(
-            Tick::from_micros(t_us + 2),
+    /// Drives one control event and returns the sink's actions.
+    fn control(p: &mut PrinterPlant, t_us: u64, ev: SignalEvent) -> Vec<SinkAction<SignalEvent>> {
+        let mut sink = ActionSink::new();
+        sink.begin(Tick::from_micros(t_us));
+        p.on_control(Tick::from_micros(t_us), ev, &mut sink);
+        sink.drain().collect()
+    }
+
+    fn step(p: &mut PrinterPlant, t_us: u64, axis: Axis) -> Vec<SinkAction<SignalEvent>> {
+        let mut acts = control(p, t_us, SignalEvent::logic(axis.step_pin(), Level::High));
+        acts.extend(control(
+            p,
+            t_us + 2,
             SignalEvent::logic(axis.step_pin(), Level::Low),
         ));
         acts
@@ -261,8 +292,8 @@ mod tests {
     #[test]
     fn steps_move_carriage() {
         let mut p = plant();
-        p.on_control(Tick::ZERO, SignalEvent::logic(Pin::XEnable, Level::Low));
-        p.on_control(Tick::ZERO, SignalEvent::logic(Pin::XDir, Level::High));
+        control(&mut p, 0, SignalEvent::logic(Pin::XEnable, Level::Low));
+        control(&mut p, 0, SignalEvent::logic(Pin::XDir, Level::High));
         let x0 = p.status(Tick::ZERO).positions_mm[0];
         for i in 0..100 {
             step(&mut p, 10 + i * 10, Axis::X);
@@ -274,7 +305,7 @@ mod tests {
     #[test]
     fn disabled_driver_does_not_move() {
         let mut p = plant();
-        p.on_control(Tick::ZERO, SignalEvent::logic(Pin::XDir, Level::High));
+        control(&mut p, 0, SignalEvent::logic(Pin::XDir, Level::High));
         let x0 = p.status(Tick::ZERO).positions_mm[0];
         step(&mut p, 10, Axis::X);
         let s = p.status(Tick::from_millis(1));
@@ -285,13 +316,17 @@ mod tests {
     #[test]
     fn homing_toward_zero_triggers_endstop() {
         let mut p = plant();
-        p.on_control(Tick::ZERO, SignalEvent::logic(Pin::XEnable, Level::Low));
-        p.on_control(Tick::ZERO, SignalEvent::logic(Pin::XDir, Level::Low)); // negative
+        control(&mut p, 0, SignalEvent::logic(Pin::XEnable, Level::Low));
+        control(&mut p, 0, SignalEvent::logic(Pin::XDir, Level::Low)); // negative
         p.mechanism_mut(Axis::X).reference_at(0.5);
         let mut endstop_events = Vec::new();
         for i in 0..200 {
             for a in step(&mut p, 10 + i * 10, Axis::X) {
-                if let PlantAction::Emit(SignalEvent::Logic(ev)) = a {
+                if let SinkAction::Send {
+                    payload: SignalEvent::Logic(ev),
+                    ..
+                } = a
+                {
                     endstop_events.push(ev);
                 }
             }
@@ -304,25 +339,40 @@ mod tests {
     #[test]
     fn start_reports_endstops_and_schedules_adc() {
         let mut p = plant();
-        let acts = p.start(Tick::ZERO);
+        let mut sink = ActionSink::new();
+        sink.begin(Tick::ZERO);
+        p.start(Tick::ZERO, &mut sink);
+        let acts: Vec<_> = sink.drain().collect();
         let emits = acts
             .iter()
-            .filter(|a| matches!(a, PlantAction::Emit(SignalEvent::Logic(_))))
+            .filter(|a| {
+                matches!(
+                    a,
+                    SinkAction::Send {
+                        payload: SignalEvent::Logic(_),
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(emits, 3);
-        assert!(acts.iter().any(|a| matches!(a, PlantAction::WakeAt(_))));
+        assert!(acts.iter().any(|a| matches!(a, SinkAction::WakeAt(_))));
     }
 
     #[test]
     fn adc_tick_reports_both_channels_and_rearms() {
         let mut p = plant();
-        let acts = p.on_tick(Tick::from_millis(100));
+        let mut sink = ActionSink::new();
+        sink.begin(Tick::from_millis(100));
+        p.on_tick(Tick::from_millis(100), &mut sink);
+        let acts: Vec<_> = sink.drain().collect();
         let adc: Vec<_> = acts
             .iter()
             .filter_map(|a| match a {
-                PlantAction::Emit(SignalEvent::Adc { channel, counts }) => {
-                    Some((*channel, *counts))
-                }
+                SinkAction::Send {
+                    payload: SignalEvent::Adc { channel, counts },
+                    ..
+                } => Some((*channel, *counts)),
                 _ => None,
             })
             .collect();
@@ -331,14 +381,14 @@ mod tests {
         assert!(adc.iter().all(|(_, c)| *c > 900), "{adc:?}");
         assert!(matches!(
             acts.last(),
-            Some(PlantAction::WakeAt(t)) if *t == Tick::from_millis(200)
+            Some(SinkAction::WakeAt(t)) if *t == Tick::from_millis(200)
         ));
     }
 
     #[test]
     fn heater_gate_heats_element() {
         let mut p = plant();
-        p.on_control(Tick::ZERO, SignalEvent::logic(Pin::HotendHeat, Level::High));
+        control(&mut p, 0, SignalEvent::logic(Pin::HotendHeat, Level::High));
         let s = p.status(Tick::from_secs(30));
         assert!(s.hotend_c > 100.0, "got {}", s.hotend_c);
         assert!(s.bed_c < 30.0);
@@ -347,7 +397,7 @@ mod tests {
     #[test]
     fn fan_gate_spins_fan() {
         let mut p = plant();
-        p.on_control(Tick::ZERO, SignalEvent::logic(Pin::FanPwm, Level::High));
+        control(&mut p, 0, SignalEvent::logic(Pin::FanPwm, Level::High));
         assert!(p.status(Tick::from_secs(3)).fan_rpm > 5_000.0);
     }
 
@@ -355,8 +405,8 @@ mod tests {
     fn extrusion_plus_motion_deposits() {
         let mut p = plant();
         for axis in [Axis::X, Axis::E] {
-            p.on_control(Tick::ZERO, SignalEvent::logic(axis.enable_pin(), Level::Low));
-            p.on_control(Tick::ZERO, SignalEvent::logic(axis.dir_pin(), Level::High));
+            control(&mut p, 0, SignalEvent::logic(axis.enable_pin(), Level::Low));
+            control(&mut p, 0, SignalEvent::logic(axis.dir_pin(), Level::High));
         }
         // Interleave X and E steps: 400 X steps (4mm), 100 E steps.
         let mut t = 10;
@@ -375,8 +425,9 @@ mod tests {
     #[test]
     fn uart_is_sunk_silently() {
         let mut p = plant();
-        let acts = p.on_control(
-            Tick::ZERO,
+        let acts = control(
+            &mut p,
+            0,
             SignalEvent::Uart {
                 direction: offramps_signals::UartDirection::ControllerToDisplay,
                 byte: 0x55,

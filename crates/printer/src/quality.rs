@@ -7,12 +7,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::deposition::PartModel;
 
 /// Thresholds for defect classification.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QualityConfig {
     /// Z quantum used to group segments into layers, mm.
     pub z_quantum_mm: f64,
@@ -33,7 +31,7 @@ impl Default for QualityConfig {
 }
 
 /// Measured geometric differences between a test part and the golden part.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PartReport {
     /// Test filament volume / golden filament volume.
     pub flow_ratio: f64,
@@ -75,9 +73,8 @@ impl PartReport {
         let mut max_z_dev = 0.0_f64;
         let mut bbox_dev = 0.0_f64;
         for (g, t) in gl.iter().zip(tl.iter()) {
-            let d = ((g.centroid.0 - t.centroid.0).powi(2)
-                + (g.centroid.1 - t.centroid.1).powi(2))
-            .sqrt();
+            let d = ((g.centroid.0 - t.centroid.0).powi(2) + (g.centroid.1 - t.centroid.1).powi(2))
+                .sqrt();
             max_centroid = max_centroid.max(d);
             if d > config.shift_threshold_mm {
                 shifted += 1;
@@ -118,7 +115,11 @@ impl PartReport {
 impl fmt::Display for PartReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "flow ratio:           {:.3}", self.flow_ratio)?;
-        writeln!(f, "max centroid offset:  {:.3} mm", self.max_centroid_offset_mm)?;
+        writeln!(
+            f,
+            "max centroid offset:  {:.3} mm",
+            self.max_centroid_offset_mm
+        )?;
         writeln!(f, "shifted layers:       {}", self.shifted_layers)?;
         writeln!(f, "max Z deviation:      {:.3} mm", self.max_z_deviation_mm)?;
         writeln!(f, "bbox deviation:       {:.3} mm", self.bbox_deviation_mm)?;

@@ -6,8 +6,6 @@
 //! integrates lazily — exactly at gate edges and read-outs — which keeps
 //! the event count independent of thermal resolution.
 
-use serde::{Deserialize, Serialize};
-
 use offramps_des::Tick;
 use offramps_signals::Level;
 
@@ -27,7 +25,7 @@ use crate::config::ThermalConfig;
 /// let t = h.temperature_c(Tick::from_secs(30));
 /// assert!(t > 100.0, "30 s at full power heats well past 100 C, got {t}");
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HeaterPlant {
     config: ThermalConfig,
     gate_high: bool,
@@ -124,7 +122,7 @@ impl HeaterPlant {
 /// Both the plant (physics → counts) and a firmware lookup table
 /// (counts → temperature) are derived from this model; Marlin similarly
 /// ships per-thermistor tables.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Thermistor {
     /// Beta coefficient, K.
     pub beta: f64,
@@ -239,7 +237,11 @@ mod tests {
 
     #[test]
     fn thermistor_round_trip() {
-        let th = Thermistor { beta: 4267.0, r25: 100_000.0, pullup: 4_700.0 };
+        let th = Thermistor {
+            beta: 4267.0,
+            r25: 100_000.0,
+            pullup: 4_700.0,
+        };
         for temp in [25.0_f64, 60.0, 120.0, 215.0, 260.0] {
             let counts = th.temp_to_counts(temp);
             let back = th.counts_to_temp(counts);
@@ -252,7 +254,11 @@ mod tests {
 
     #[test]
     fn thermistor_is_monotone_decreasing() {
-        let th = Thermistor { beta: 4267.0, r25: 100_000.0, pullup: 4_700.0 };
+        let th = Thermistor {
+            beta: 4267.0,
+            r25: 100_000.0,
+            pullup: 4_700.0,
+        };
         let mut last = u16::MAX;
         for t in (0..300).step_by(10) {
             let c = th.temp_to_counts(f64::from(t));
@@ -263,9 +269,16 @@ mod tests {
 
     #[test]
     fn adc_fault_extremes() {
-        let th = Thermistor { beta: 4267.0, r25: 100_000.0, pullup: 4_700.0 };
+        let th = Thermistor {
+            beta: 4267.0,
+            r25: 100_000.0,
+            pullup: 4_700.0,
+        };
         assert!(th.counts_to_temp(0) > 400.0, "short reads implausibly hot");
-        assert!(th.counts_to_temp(1023) < -40.0, "open reads implausibly cold");
+        assert!(
+            th.counts_to_temp(1023) < -40.0,
+            "open reads implausibly cold"
+        );
     }
 
     #[test]

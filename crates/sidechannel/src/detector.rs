@@ -1,11 +1,9 @@
 //! Golden-profile power comparison (the Gatlin-et-al.-style detector).
 
-use serde::{Deserialize, Serialize};
-
 use crate::model::PowerTrace;
 
 /// Baseline detector tuning.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerDetectorConfig {
     /// A window is anomalous when |observed − golden| exceeds this many
     /// noise sigmas.
@@ -32,7 +30,7 @@ impl Default for PowerDetectorConfig {
 }
 
 /// Outcome of a power side-channel comparison.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SideChannelReport {
     /// Windows compared (after smoothing).
     pub windows_compared: usize,
@@ -102,14 +100,13 @@ impl PowerDetector {
         // Smoothing over k windows reduces the noise on each compared
         // value by sqrt(k); the *difference* of two noisy traces has
         // sqrt(2) more.
-        let sigma_eff = self.config.noise_sigma_w
-            / (self.config.smoothing.max(1) as f64).sqrt()
+        let sigma_eff = self.config.noise_sigma_w / (self.config.smoothing.max(1) as f64).sqrt()
             * std::f64::consts::SQRT_2;
         let threshold = self.config.sigma_threshold * sigma_eff;
         let mut anomalous = 0usize;
         let mut largest = 0.0f64;
-        for i in 0..n {
-            let dev = (self.golden[i] - obs[i]).abs();
+        for (g, o) in self.golden.iter().zip(&obs).take(n) {
+            let dev = (g - o).abs();
             largest = largest.max(dev);
             if dev > threshold {
                 anomalous += 1;
@@ -121,8 +118,7 @@ impl PowerDetector {
             largest_deviation_w: largest,
             sabotage_suspected: false,
         };
-        report.sabotage_suspected =
-            report.anomaly_fraction() > self.config.suspect_fraction;
+        report.sabotage_suspected = report.anomaly_fraction() > self.config.suspect_fraction;
         report
     }
 }
@@ -140,7 +136,10 @@ mod tests {
         let end = Tick::from_secs(seconds);
         while at < end {
             t.record(at, LogicEvent::new(Pin::XStep, Level::High));
-            t.record(at + SimDuration::from_micros(2), LogicEvent::new(Pin::XStep, Level::Low));
+            t.record(
+                at + SimDuration::from_micros(2),
+                LogicEvent::new(Pin::XStep, Level::Low),
+            );
             at += SimDuration::from_micros(step_period_us);
         }
         t
@@ -255,8 +254,8 @@ impl CalibratedPowerDetector {
         let n = self.mean.len().min(obs.len());
         let mut anomalous = 0usize;
         let mut largest = 0.0f64;
-        for i in 0..n {
-            let dev = (self.mean[i] - obs[i]).abs();
+        for (i, o) in obs.iter().enumerate().take(n) {
+            let dev = (self.mean[i] - o).abs();
             largest = largest.max(dev);
             if dev > self.sigma_threshold * self.band[i] {
                 anomalous += 1;
@@ -285,7 +284,10 @@ mod calibrated_tests {
         let mut at = Tick::ZERO;
         while at < Tick::from_secs(seconds) {
             t.record(at, LogicEvent::new(Pin::XStep, Level::High));
-            t.record(at + SimDuration::from_micros(2), LogicEvent::new(Pin::XStep, Level::Low));
+            t.record(
+                at + SimDuration::from_micros(2),
+                LogicEvent::new(Pin::XStep, Level::Low),
+            );
             at += SimDuration::from_micros(step_period_us);
         }
         t
@@ -304,7 +306,9 @@ mod calibrated_tests {
     #[test]
     fn calibrated_detects_sustained_change() {
         let model = PowerModel::default();
-        let runs: Vec<_> = (0..5).map(|s| model.synthesize(&train(250, 5), s)).collect();
+        let runs: Vec<_> = (0..5)
+            .map(|s| model.synthesize(&train(250, 5), s))
+            .collect();
         let det = CalibratedPowerDetector::calibrate(&runs, PowerDetectorConfig::default());
         let rep = det.compare(&model.synthesize(&train(500, 5), 99));
         assert!(rep.sabotage_suspected, "{rep:?}");

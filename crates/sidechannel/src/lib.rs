@@ -33,5 +33,7 @@
 mod detector;
 mod model;
 
-pub use detector::{CalibratedPowerDetector, PowerDetector, PowerDetectorConfig, SideChannelReport};
+pub use detector::{
+    CalibratedPowerDetector, PowerDetector, PowerDetectorConfig, SideChannelReport,
+};
 pub use model::{PowerModel, PowerTrace};

@@ -1,13 +1,11 @@
 //! Power-waveform synthesis from control signals.
 
-use serde::{Deserialize, Serialize};
-
 use offramps_des::{DetRng, SimDuration, Tick};
 use offramps_signals::{Axis, Level, Pin, SignalTrace};
 
 /// Electrical model of the printer as seen by one aggregate power
 /// sensor on the supply rail.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerModel {
     /// Sample rate of the sensor, Hz.
     pub sample_rate_hz: f64,
@@ -48,7 +46,7 @@ impl Default for PowerModel {
 }
 
 /// A sampled aggregate power waveform.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerTrace {
     samples_w: Vec<f64>,
     period: SimDuration,
@@ -95,11 +93,7 @@ impl PowerModel {
     /// OFFRAMPS' per-pin view.
     pub fn synthesize(&self, trace: &SignalTrace, seed: u64) -> PowerTrace {
         let period = SimDuration::from_secs_f64(1.0 / self.sample_rate_hz);
-        let end = trace
-            .entries()
-            .last()
-            .map(|e| e.tick)
-            .unwrap_or(Tick::ZERO);
+        let end = trace.entries().last().map(|e| e.tick).unwrap_or(Tick::ZERO);
         let n = (end.ticks() / period.ticks() + 1) as usize;
 
         // Per-window step counts per motor.
@@ -123,8 +117,7 @@ impl PowerModel {
                 let overlap_start = from.max(w_start);
                 let overlap_end = to.min(w_end);
                 if overlap_end > overlap_start {
-                    *slot += (overlap_end - overlap_start).as_secs_f64()
-                        / period.as_secs_f64();
+                    *slot += (overlap_end - overlap_start).as_secs_f64() / period.as_secs_f64();
                 }
             }
         };
@@ -221,7 +214,10 @@ mod tests {
     use offramps_signals::LogicEvent;
 
     fn noiseless() -> PowerModel {
-        PowerModel { noise_sigma_w: 1e-12, ..PowerModel::default() }
+        PowerModel {
+            noise_sigma_w: 1e-12,
+            ..PowerModel::default()
+        }
     }
 
     fn step_train(trace: &mut SignalTrace, pin: Pin, start_ms: u64, n: u64, period_us: u64) {
@@ -252,10 +248,23 @@ mod tests {
         // Heater tap enabled explicitly for this test.
         let mut trace = SignalTrace::new();
         trace.record(Tick::ZERO, LogicEvent::new(Pin::BedHeat, Level::High));
-        trace.record(Tick::from_millis(500), LogicEvent::new(Pin::BedHeat, Level::Low));
-        trace.record(Tick::from_millis(600), LogicEvent::new(Pin::XStep, Level::High));
-        trace.record(Tick::from_millis(601), LogicEvent::new(Pin::XStep, Level::Low));
-        let p = PowerModel { include_heaters: true, ..noiseless() }.synthesize(&trace, 1);
+        trace.record(
+            Tick::from_millis(500),
+            LogicEvent::new(Pin::BedHeat, Level::Low),
+        );
+        trace.record(
+            Tick::from_millis(600),
+            LogicEvent::new(Pin::XStep, Level::High),
+        );
+        trace.record(
+            Tick::from_millis(601),
+            LogicEvent::new(Pin::XStep, Level::Low),
+        );
+        let p = PowerModel {
+            include_heaters: true,
+            ..noiseless()
+        }
+        .synthesize(&trace, 1);
         // First 0.5 s at 250 W, afterwards ~0.
         assert!(p.samples()[10] > 200.0, "{}", p.samples()[10]);
         assert!(p.samples()[55] < 50.0, "{}", p.samples()[55]);

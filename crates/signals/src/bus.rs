@@ -1,7 +1,5 @@
 //! Instantaneous state of all interface lines.
 
-use serde::{Deserialize, Serialize};
-
 use crate::event::{Level, LogicEvent};
 use crate::pin::{Pin, ALL_PINS};
 
@@ -22,7 +20,7 @@ use crate::pin::{Pin, ALL_PINS};
 /// assert!(changed);
 /// assert!(bus.is_enabled(offramps_signals::Axis::X));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SignalBus {
     levels: [Level; Pin::COUNT],
 }

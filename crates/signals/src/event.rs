@@ -2,14 +2,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::pin::Pin;
 
 /// A digital logic level.
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Level {
     /// Logic low (0 V).
     #[default]
@@ -61,7 +57,7 @@ impl fmt::Display for Level {
 }
 
 /// A logic transition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Edge {
     /// Low → high.
     Rising,
@@ -88,7 +84,7 @@ impl Edge {
 }
 
 /// A level change on one digital pin.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LogicEvent {
     /// The pin that changed.
     pub pin: Pin,
@@ -116,7 +112,7 @@ impl fmt::Display for LogicEvent {
 
 /// An analog channel of the interface (read via the FPGA's XADC in the
 /// paper; thermistor dividers on the RAMPS).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AnalogChannel {
     /// Hotend thermistor (RAMPS `T0`, Mega A13).
     HotendTherm,
@@ -144,7 +140,7 @@ impl fmt::Display for AnalogChannel {
 }
 
 /// Direction of a UART byte relative to the Arduino.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UartDirection {
     /// Arduino → display/control board (through the RAMPS AUX headers).
     ControllerToDisplay,
@@ -158,7 +154,7 @@ pub enum UartDirection {
 /// UART is modelled per-byte rather than per-bit (see `DESIGN.md` §4):
 /// the interceptor's monitoring treats UART frames as opaque payloads, so
 /// bit-level events would add cost without changing any measurement.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SignalEvent {
     /// A digital level change.
     Logic(LogicEvent),
@@ -241,10 +237,7 @@ mod tests {
     #[test]
     fn signal_event_accessors() {
         let ev = SignalEvent::logic(Pin::XDir, Level::Low);
-        assert_eq!(
-            ev.as_logic(),
-            Some(LogicEvent::new(Pin::XDir, Level::Low))
-        );
+        assert_eq!(ev.as_logic(), Some(LogicEvent::new(Pin::XDir, Level::Low)));
         let adc = SignalEvent::Adc {
             channel: AnalogChannel::HotendTherm,
             counts: 512,

@@ -40,7 +40,7 @@ mod vcd;
 
 pub use bus::SignalBus;
 pub use edge::EdgeDetector;
-pub use event::{AnalogChannel, Level, Edge, LogicEvent, SignalEvent, UartDirection};
+pub use event::{AnalogChannel, Edge, Level, LogicEvent, SignalEvent, UartDirection};
 pub use pin::{Axis, Pin, PinClass, ALL_PINS, CONTROL_PINS, FEEDBACK_PINS};
 pub use trace::{PinStats, SignalTrace, TraceSummary};
 pub use vcd::write_vcd;

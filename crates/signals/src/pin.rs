@@ -6,8 +6,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// One motion axis or the extruder.
 ///
 /// # Example
@@ -17,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(Axis::X.step_pin(), Pin::XStep);
 /// assert_eq!(Axis::ALL.len(), 4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Axis {
     /// Gantry X (left/right).
     X,
@@ -99,7 +97,7 @@ impl fmt::Display for Axis {
 
 /// Whether a pin carries control (Arduino → RAMPS) or feedback
 /// (RAMPS → Arduino) information.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PinClass {
     /// Driven by the firmware, consumed by the driver board.
     Control,
@@ -113,7 +111,7 @@ pub enum PinClass {
 /// The analog thermistor channels are *not* pins: they are modelled as
 /// [`crate::AnalogChannel`] samples because the Artix-7 reads them through
 /// its XADC rather than as logic levels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Pin {
     /// X stepper STEP (Mega pin 54 / A0).
     XStep,
@@ -286,7 +284,10 @@ impl Pin {
 
     /// True for the four `*_EN` pins.
     pub const fn is_enable(self) -> bool {
-        matches!(self, Pin::XEnable | Pin::YEnable | Pin::ZEnable | Pin::EEnable)
+        matches!(
+            self,
+            Pin::XEnable | Pin::YEnable | Pin::ZEnable | Pin::EEnable
+        )
     }
 
     /// True for the heater gates (D8 bed, D10 hotend).

@@ -7,15 +7,13 @@
 //! authors report in §V-B (maximum signal frequency below 20 kHz, minimum
 //! pulse width 1 µs).
 
-use serde::{Deserialize, Serialize};
-
 use offramps_des::{SimDuration, Tick};
 
 use crate::event::{Edge, Level, LogicEvent};
 use crate::pin::{Pin, ALL_PINS};
 
 /// One recorded transition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEntry {
     /// When the transition occurred.
     pub tick: Tick,
@@ -24,7 +22,7 @@ pub struct TraceEntry {
 }
 
 /// Pulse statistics for a single pin.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PinStats {
     /// Number of rising edges.
     pub rising_edges: u64,
@@ -50,7 +48,7 @@ impl PinStats {
 }
 
 /// Whole-trace summary across pins (§V-B quantities).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceSummary {
     /// Total recorded transitions.
     pub events: u64,
@@ -81,7 +79,7 @@ pub struct TraceSummary {
 /// assert_eq!(stats.rising_edges, 1);
 /// assert_eq!(stats.min_pulse_width.unwrap().as_nanos(), 2_000);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SignalTrace {
     entries: Vec<TraceEntry>,
 }
@@ -89,7 +87,9 @@ pub struct SignalTrace {
 impl SignalTrace {
     /// Creates an empty trace.
     pub fn new() -> Self {
-        SignalTrace { entries: Vec::new() }
+        SignalTrace {
+            entries: Vec::new(),
+        }
     }
 
     /// Appends one transition.
@@ -336,9 +336,18 @@ mod tests {
     fn repeated_levels_are_not_edges() {
         let mut t = SignalTrace::new();
         t.record(Tick::ZERO, LogicEvent::new(Pin::XStep, Level::Low));
-        t.record(Tick::from_micros(1), LogicEvent::new(Pin::XStep, Level::Low));
-        t.record(Tick::from_micros(2), LogicEvent::new(Pin::XStep, Level::High));
-        t.record(Tick::from_micros(3), LogicEvent::new(Pin::XStep, Level::High));
+        t.record(
+            Tick::from_micros(1),
+            LogicEvent::new(Pin::XStep, Level::Low),
+        );
+        t.record(
+            Tick::from_micros(2),
+            LogicEvent::new(Pin::XStep, Level::High),
+        );
+        t.record(
+            Tick::from_micros(3),
+            LogicEvent::new(Pin::XStep, Level::High),
+        );
         let s = t.pin_stats(Pin::XStep);
         assert_eq!(s.rising_edges, 1);
         assert_eq!(s.falling_edges, 0);
@@ -346,51 +355,76 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
+    use offramps_des::DetRng;
 
-    proptest! {
-        /// For any well-formed pulse train, rising and falling edges
-        /// balance (every pulse closes) and the full-range window query
-        /// agrees with pin_stats.
-        #[test]
-        fn prop_pulse_accounting(widths in proptest::collection::vec(1u64..50, 1..100)) {
+    /// For any well-formed pulse train, rising and falling edges
+    /// balance (every pulse closes) and the full-range window query
+    /// agrees with pin_stats.
+    #[test]
+    fn pulse_accounting_over_random_trains() {
+        for seed in 0u64..64 {
+            let mut rng = DetRng::from_seed(seed);
+            let n = rng.uniform_u64(1, 100) as usize;
+            let widths: Vec<u64> = (0..n).map(|_| rng.uniform_u64(1, 50)).collect();
             let mut t = SignalTrace::new();
             let mut at = 0u64;
             for w in &widths {
-                t.record(Tick::from_micros(at), LogicEvent::new(Pin::EStep, Level::High));
-                t.record(Tick::from_micros(at + w), LogicEvent::new(Pin::EStep, Level::Low));
+                t.record(
+                    Tick::from_micros(at),
+                    LogicEvent::new(Pin::EStep, Level::High),
+                );
+                t.record(
+                    Tick::from_micros(at + w),
+                    LogicEvent::new(Pin::EStep, Level::Low),
+                );
                 at += w + 100;
             }
             let s = t.pin_stats(Pin::EStep);
-            prop_assert_eq!(s.rising_edges, widths.len() as u64);
-            prop_assert_eq!(s.falling_edges, widths.len() as u64);
-            prop_assert_eq!(
+            assert_eq!(s.rising_edges, widths.len() as u64, "seed {seed}");
+            assert_eq!(s.falling_edges, widths.len() as u64, "seed {seed}");
+            assert_eq!(
                 s.min_pulse_width,
-                Some(SimDuration::from_micros(*widths.iter().min().unwrap()))
+                Some(SimDuration::from_micros(*widths.iter().min().unwrap())),
+                "seed {seed}"
             );
             let window_count = t.edges_in_window(
-                Pin::EStep, Edge::Rising, Tick::ZERO, Tick::from_micros(at + 1));
-            prop_assert_eq!(window_count, widths.len() as u64);
+                Pin::EStep,
+                Edge::Rising,
+                Tick::ZERO,
+                Tick::from_micros(at + 1),
+            );
+            assert_eq!(window_count, widths.len() as u64, "seed {seed}");
         }
+    }
 
-        /// Window queries partition: counting in [0,m) plus [m,end)
-        /// equals counting in [0,end).
-        #[test]
-        fn prop_window_partition(n in 1usize..60, split in 0u64..6_000) {
+    /// Window queries partition: counting in [0,m) plus [m,end)
+    /// equals counting in [0,end).
+    #[test]
+    fn window_queries_partition() {
+        for seed in 0u64..64 {
+            let mut rng = DetRng::from_seed(seed ^ 0x77);
+            let n = rng.uniform_u64(1, 60) as usize;
+            let split = rng.uniform_u64(0, 6_000);
             let mut t = SignalTrace::new();
             for i in 0..n {
                 let at = i as u64 * 100;
-                t.record(Tick::from_micros(at), LogicEvent::new(Pin::XStep, Level::High));
-                t.record(Tick::from_micros(at + 2), LogicEvent::new(Pin::XStep, Level::Low));
+                t.record(
+                    Tick::from_micros(at),
+                    LogicEvent::new(Pin::XStep, Level::High),
+                );
+                t.record(
+                    Tick::from_micros(at + 2),
+                    LogicEvent::new(Pin::XStep, Level::Low),
+                );
             }
             let end = Tick::from_micros(n as u64 * 100 + 10);
             let mid = Tick::from_micros(split);
             let a = t.edges_in_window(Pin::XStep, Edge::Rising, Tick::ZERO, mid.min(end));
             let b = t.edges_in_window(Pin::XStep, Edge::Rising, mid.min(end), end);
             let whole = t.edges_in_window(Pin::XStep, Edge::Rising, Tick::ZERO, end);
-            prop_assert_eq!(a + b, whole);
+            assert_eq!(a + b, whole, "seed {seed}");
         }
     }
 }

@@ -95,10 +95,7 @@ mod tests {
         let mut buf = Vec::new();
         write_vcd(&mut buf, &trace, "t").unwrap();
         let text = String::from_utf8(buf).unwrap();
-        let body: Vec<&str> = text
-            .lines()
-            .skip_while(|l| !l.starts_with('#'))
-            .collect();
+        let body: Vec<&str> = text.lines().skip_while(|l| !l.starts_with('#')).collect();
         assert_eq!(body, vec!["#5", "1!", "1$", "#9", "0!"]);
     }
 

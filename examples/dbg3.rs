@@ -6,17 +6,34 @@ fn main() {
     let program = workloads::detection_part();
     let model = PowerModel::default();
     let trace = |seed: u64| {
-        TestBench::new(seed).signal_path(SignalPath::capture()).record_trace(true)
-            .run(&program).unwrap().trace.unwrap()
+        TestBench::new(seed)
+            .signal_path(SignalPath::capture())
+            .record_trace(true)
+            .run(&program)
+            .unwrap()
+            .trace
+            .unwrap()
     };
     let golden = model.synthesize(&trace(77), 77);
     let reprint = model.synthesize(&trace(78), 78);
-    let attacked_prog = offramps_attacks::Flaw3dTrojan::Reduction { factor: 0.5 }.apply(&program);
+    let attacked_prog = std::sync::Arc::new(
+        offramps_attacks::Flaw3dTrojan::Reduction { factor: 0.5 }.apply(&program),
+    );
     let attacked = model.synthesize(
-        &TestBench::new(80).signal_path(SignalPath::capture()).record_trace(true)
-            .run(&attacked_prog).unwrap().trace.unwrap(), 80);
+        &TestBench::new(80)
+            .signal_path(SignalPath::capture())
+            .record_trace(true)
+            .run(&attacked_prog)
+            .unwrap()
+            .trace
+            .unwrap(),
+        80,
+    );
     for smoothing in [20usize, 50, 100, 200, 400] {
-        let cfg = PowerDetectorConfig { smoothing, ..Default::default() };
+        let cfg = PowerDetectorConfig {
+            smoothing,
+            ..Default::default()
+        };
         let det = PowerDetector::new(golden.clone(), cfg);
         let clean = det.compare(&reprint);
         let bad = det.compare(&attacked);

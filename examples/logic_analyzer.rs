@@ -33,7 +33,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("\n--- per-pin pulse counts ---");
-    for pin in [Pin::XStep, Pin::YStep, Pin::ZStep, Pin::EStep, Pin::HotendHeat, Pin::FanPwm] {
+    for pin in [
+        Pin::XStep,
+        Pin::YStep,
+        Pin::ZStep,
+        Pin::EStep,
+        Pin::HotendHeat,
+        Pin::FanPwm,
+    ] {
         let s = trace.pin_stats(pin);
         println!(
             "{:<8} rising={:<7} min_pulse={:?}",

@@ -72,7 +72,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "step-count detector:   {} (largest diff {:.2}%)",
-        if det.trojan_suspected { "TROJAN SUSPECTED" } else { "sees nothing" },
+        if det.trojan_suspected {
+            "TROJAN SUSPECTED"
+        } else {
+            "sees nothing"
+        },
         det.largest_percent
     );
     println!(

@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap();
 
     println!("printing a Flaw3D-compromised job (reduction x0.85)...\n");
-    let attacked = Flaw3dTrojan::Reduction { factor: 0.85 }.apply(&program);
+    let attacked = std::sync::Arc::new(Flaw3dTrojan::Reduction { factor: 0.85 }.apply(&program));
     let run = TestBench::new(2)
         .signal_path(SignalPath::capture())
         .run(&attacked)?;

@@ -23,9 +23,10 @@ use offramps_gcode::ProgramStats;
 use offramps_printer::quality::{PartReport, QualityConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Slice.
+    // 1. Slice. The program is shared by Arc: every bench run and the
+    //    attack transform below reuse it without copying.
     let config = SlicerConfig::fast();
-    let program = slice(&Solid::rect_prism(10.0, 10.0, 1.5), &config);
+    let program = std::sync::Arc::new(slice(&Solid::rect_prism(10.0, 10.0, 1.5), &config));
     let stats = ProgramStats::analyze(&program);
     println!(
         "sliced: {} commands, {} layers, {:.1} mm of filament commanded\n",
@@ -56,7 +57,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Flaw3D-style G-code attack (upstream of the firmware), printed
     //    through the *capture* path: the detector catches it.
-    let flaw3d_program = Flaw3dTrojan::Reduction { factor: 0.5 }.apply(&program);
+    let flaw3d_program =
+        std::sync::Arc::new(Flaw3dTrojan::Reduction { factor: 0.5 }.apply(&program));
     let compromised = TestBench::new(3)
         .signal_path(SignalPath::capture())
         .run(&flaw3d_program)?;
@@ -68,6 +70,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n--- detection report (Flaw3D reduction x0.5) ---\n{report}");
 
     assert!(quality.flow_ratio < 0.7, "T2 must starve the part");
-    assert!(report.trojan_suspected, "the Flaw3D attack must be detected");
+    assert!(
+        report.trojan_suspected,
+        "the Flaw3D attack must be detected"
+    );
     Ok(())
 }

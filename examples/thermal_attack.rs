@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let peak = t6.temps.iter().map(|(_, h, _)| *h).fold(0.0, f64::max);
     println!("state: {:?}", t6.fw_state);
     println!("hotend peak: {peak:.1} C — heaters never powered");
-    println!("print aborted after {} (golden took {})", t6.sim_time, golden.sim_time);
+    println!(
+        "print aborted after {} (golden took {})",
+        t6.sim_time, golden.sim_time
+    );
     println!("timeline: {}\n", sparkline(&t6.temps, 60));
 
     println!("=== T7: forced thermal runaway ===");

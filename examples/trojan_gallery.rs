@@ -19,7 +19,10 @@ fn main() {
         .map(|r| r.id.as_str())
         .collect();
     if mismatched.is_empty() {
-        println!("\nAll {} rows reproduce the paper's described effects.", rows.len());
+        println!(
+            "\nAll {} rows reproduce the paper's described effects.",
+            rows.len()
+        );
     } else {
         println!("\nWARNING: rows not matching the paper: {mismatched:?}");
         std::process::exit(1);

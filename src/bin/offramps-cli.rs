@@ -20,14 +20,12 @@
 use std::fs::File;
 use std::io::{BufReader, Read, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use offramps::trojans::{
-    AxisShiftTrojan, EndstopSpoofTrojan, FanUnderspeedTrojan, FlowReductionTrojan,
-    HeaterDosTrojan, RetractionMode, RetractionTrojan, StepperDosTrojan,
-    ThermalRunawayTrojan, ThermistorSpoofTrojan, Trojan, ZShiftTrojan, ZWobbleTrojan,
-};
+use offramps::trojans;
 use offramps::{detect, Capture, SignalPath, TestBench};
 use offramps_attacks::Flaw3dTrojan;
+use offramps_bench::campaign::{run_campaign, CampaignSpec, WorkloadId};
 use offramps_gcode::slicer::{slice, SlicerConfig, Solid};
 use offramps_gcode::{parse, ProgramStats};
 
@@ -35,12 +33,23 @@ const USAGE: &str = "\
 offramps-cli — OFFRAMPS reproduction driver
 
 USAGE:
-  offramps-cli slice  [--width MM] [--depth MM] [--height MM] [--layer MM]
-  offramps-cli print  <file.gcode> [--seed N] [--capture out.csv]
-                      [--trojan t1|t2|t3|t4|t5|t6|t7|t8|t9|tx1|tx2] [--trace out.vcd]
-  offramps-cli attack <file.gcode> (--reduction FACTOR | --relocation N)
-  offramps-cli detect <golden.csv> <observed.csv> [--margin PCT]
-  offramps-cli stats  <file.gcode>
+  offramps-cli slice    [--width MM] [--depth MM] [--height MM] [--layer MM]
+  offramps-cli print    <file.gcode> [--seed N] [--capture out.csv]
+                        [--trojan t1|t2|t3|t4|t5|t6|t7|t8|t9|tx1|tx2] [--trace out.vcd]
+  offramps-cli attack   <file.gcode> (--reduction FACTOR | --relocation N)
+  offramps-cli detect   <golden.csv> <observed.csv> [--margin PCT]
+  offramps-cli stats    <file.gcode>
+  offramps-cli campaign [--threads N] [--seed N] [--runs K] [--json out.json]
+                        [--trojans none,t1,...,flaw3d-r90,flaw3d-rel20|all]
+                        [--workloads mini,standard,tall,detection]
+
+The campaign subcommand fans the attack x workload x seed matrix across
+worker threads; results are identical for every --threads value.
+Attacks: none, hardware Trojans t1-t9/tx1/tx2 (the monitor taps
+upstream of the Trojan mux, so only Trojans whose physical damage feeds
+back into motion surface in the capture), and upstream Flaw3D G-code
+attacks flaw3d-r<pct> / flaw3d-rel<n> (the rows the detector reliably
+catches).
 ";
 
 fn main() -> ExitCode {
@@ -65,7 +74,18 @@ fn opt(args: &[String], flag: &str) -> Option<String> {
 fn opt_f64(args: &[String], flag: &str, default: f64) -> Result<f64, String> {
     match opt(args, flag) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("{flag} expects a number, got {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{flag} expects a number, got {v:?}")),
+    }
+}
+
+fn opt_u64(args: &[String], flag: &str, default: u64) -> Result<u64, String> {
+    match opt(args, flag) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{flag} expects a non-negative integer, got {v:?}")),
     }
 }
 
@@ -75,23 +95,6 @@ fn read_file(path: &str) -> Result<String, String> {
         .and_then(|mut f| f.read_to_string(&mut s))
         .map_err(|e| format!("cannot read {path}: {e}"))?;
     Ok(s)
-}
-
-fn trojan_by_name(name: &str) -> Result<Box<dyn Trojan>, String> {
-    Ok(match name.to_ascii_lowercase().as_str() {
-        "t1" => Box::new(AxisShiftTrojan::new()),
-        "t2" => Box::new(FlowReductionTrojan::half()),
-        "t3" => Box::new(RetractionTrojan::new(RetractionMode::Over)),
-        "t4" => Box::new(ZWobbleTrojan::new()),
-        "t5" => Box::new(ZShiftTrojan::delamination()),
-        "t6" => Box::new(HeaterDosTrojan::new()),
-        "t7" => Box::new(ThermalRunawayTrojan::hotend()),
-        "t8" => Box::new(StepperDosTrojan::new()),
-        "t9" => Box::new(FanUnderspeedTrojan::quarter()),
-        "tx1" => Box::new(EndstopSpoofTrojan::new()),
-        "tx2" => Box::new(ThermistorSpoofTrojan::reads_cold_by(30.0)),
-        other => return Err(format!("unknown trojan {other:?}")),
-    })
 }
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
@@ -104,6 +107,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "attack" => cmd_attack(&args[1..]),
         "detect" => cmd_detect(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
+        "campaign" => cmd_campaign(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -120,7 +124,10 @@ fn cmd_slice(args: &[String]) -> Result<ExitCode, String> {
     if width <= 0.0 || depth <= 0.0 || height <= 0.0 || layer <= 0.0 {
         return Err("dimensions must be positive".into());
     }
-    let cfg = SlicerConfig { layer_height: layer, ..SlicerConfig::fast() };
+    let cfg = SlicerConfig {
+        layer_height: layer,
+        ..SlicerConfig::fast()
+    };
     let program = slice(&Solid::rect_prism(width, depth, height), &cfg);
     print!("{}", program.to_gcode());
     Ok(ExitCode::SUCCESS)
@@ -130,8 +137,8 @@ fn cmd_print(args: &[String]) -> Result<ExitCode, String> {
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
         return Err("print needs a g-code file".into());
     };
-    let program = parse(&read_file(path)?).map_err(|e| e.to_string())?;
-    let seed = opt_f64(args, "--seed", 1.0)? as u64;
+    let program = Arc::new(parse(&read_file(path)?).map_err(|e| e.to_string())?);
+    let seed = opt_u64(args, "--seed", 1)?;
     let capture_path = opt(args, "--capture");
     let trace_path = opt(args, "--trace");
 
@@ -143,7 +150,7 @@ fn cmd_print(args: &[String]) -> Result<ExitCode, String> {
         bench = bench.record_trace(true);
     }
     if let Some(name) = opt(args, "--trojan") {
-        bench = bench.with_trojan(trojan_by_name(&name)?);
+        bench = bench.with_trojan(trojans::by_name(&name)?);
     }
     let run = bench.run(&program).map_err(|e| e.to_string())?;
 
@@ -208,7 +215,10 @@ fn cmd_detect(args: &[String]) -> Result<ExitCode, String> {
     let golden = load(golden_path)?;
     let observed = load(observed_path)?;
     let margin = opt_f64(args, "--margin", 5.0)? / 100.0;
-    let cfg = detect::DetectorConfig { margin, ..detect::DetectorConfig::default() };
+    let cfg = detect::DetectorConfig {
+        margin,
+        ..detect::DetectorConfig::default()
+    };
     let report = detect::compare(&golden, &observed, &cfg);
     println!("{report}");
     Ok(if report.trojan_suspected {
@@ -216,6 +226,41 @@ fn cmd_detect(args: &[String]) -> Result<ExitCode, String> {
     } else {
         ExitCode::SUCCESS
     })
+}
+
+fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
+    let threads = opt_u64(args, "--threads", 1)? as usize;
+    let seed = opt_u64(args, "--seed", 42)?;
+    let runs = opt_u64(args, "--runs", 1)? as u32;
+
+    let mut spec = CampaignSpec::default_matrix(seed);
+    spec.runs_per_cell = runs.max(1);
+    if let Some(list) = opt(args, "--trojans") {
+        if list != "all" {
+            spec.trojans = list.split(',').map(|s| s.trim().to_string()).collect();
+        }
+    }
+    if let Some(list) = opt(args, "--workloads") {
+        spec.workloads = list
+            .split(',')
+            .map(|w| WorkloadId::from_name(w.trim()))
+            .collect::<Result<Vec<_>, _>>()?;
+    }
+
+    let report = run_campaign(&spec, threads.max(1))?;
+    print!("{}", report.summary());
+    println!(
+        "threads: {}   wall: {:.2}s   throughput: {:.0} events/s",
+        report.threads,
+        report.wall_s,
+        report.events_per_sec()
+    );
+    if let Some(path) = opt(args, "--json") {
+        use offramps_bench::json::ToJson;
+        std::fs::write(&path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("report written:  {path}");
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {

@@ -6,8 +6,10 @@
 
 pub use offramps as core;
 pub use offramps_attacks as attacks;
+pub use offramps_bench as bench;
 pub use offramps_des as des;
 pub use offramps_firmware as firmware;
 pub use offramps_gcode as gcode;
 pub use offramps_printer as printer;
+pub use offramps_sidechannel as sidechannel;
 pub use offramps_signals as signals;

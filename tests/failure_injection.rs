@@ -53,7 +53,11 @@ fn open_thermistor_mintemp() {
         run.fw_state
     );
     // The heater never ran away.
-    assert!(run.plant.hotend_peak_c < 100.0, "{}", run.plant.hotend_peak_c);
+    assert!(
+        run.plant.hotend_peak_c < 100.0,
+        "{}",
+        run.plant.hotend_peak_c
+    );
 }
 
 /// An underpowered heater (brown-out / damaged cartridge) cannot reach
@@ -111,10 +115,16 @@ fn thermal_runaway_protection_fires() {
 #[test]
 fn narrow_pulses_rejected_by_driver() {
     use offramps_firmware::FirmwareConfig;
-    let mut fw = FirmwareConfig::default();
-    fw.step_pulse_us = 0; // malformed firmware: zero-width pulses
-    let mut plant = PlantConfig::default();
-    plant.min_step_pulse_ns = 1_000;
+    // Malformed firmware: zero-width pulses against a driver that
+    // requires 1 us.
+    let fw = FirmwareConfig {
+        step_pulse_us: 0,
+        ..FirmwareConfig::default()
+    };
+    let plant = PlantConfig {
+        min_step_pulse_ns: 1_000,
+        ..PlantConfig::default()
+    };
     let run = TestBench::new(5)
         .firmware_config(fw)
         .plant_config(plant)
@@ -122,13 +132,13 @@ fn narrow_pulses_rejected_by_driver() {
     // Zero-width pulses collapse rising/falling onto one tick; the
     // driver rejects them all, so homing can never touch the endstop:
     // the firmware must halt rather than hang (or the run errors out).
-    match run {
-        Ok(art) => assert!(
+    // A sim-time-limit error is also an acceptable outcome.
+    if let Ok(art) = run {
+        assert!(
             matches!(art.fw_state, FwState::Halted(_)),
             "{:?}",
             art.fw_state
-        ),
-        Err(_) => {} // sim-time limit is also an acceptable outcome
+        );
     }
 }
 

@@ -11,7 +11,11 @@ use offramps_printer::quality::{PartReport, QualityConfig};
 fn bypass_is_transparent() {
     let program = workloads::mini_part();
     let run = TestBench::new(1).run(&program).unwrap();
-    assert!(matches!(run.fw_state, FwState::Finished), "{:?}", run.fw_state);
+    assert!(
+        matches!(run.fw_state, FwState::Finished),
+        "{:?}",
+        run.fw_state
+    );
     // Firmware's step counters and the plant's physical position agree
     // on every axis (modulo the endstop trigger offset established at
     // homing).
@@ -77,13 +81,18 @@ fn trojan_needs_the_modify_jumper() {
     let golden = TestBench::new(4).run(&program).unwrap();
     // with_trojan() normally sets modify; force it back off to model
     // the jumpers physically bypassing the FPGA.
-    let mut cfg = offramps::MitmConfig::default();
-    cfg.path = SignalPath::bypass();
+    let cfg = offramps::MitmConfig {
+        path: SignalPath::bypass(),
+        ..Default::default()
+    };
     let mut bench = TestBench::new(4).with_trojan(Box::new(FlowReductionTrojan::half()));
     bench = bench.mitm_config(cfg);
     let run = bench.run(&program).unwrap();
     let rep = PartReport::compare(&golden.part, &run.part, &QualityConfig::default());
-    assert!((rep.flow_ratio - 1.0).abs() < 1e-9, "bypass defeats the Trojan");
+    assert!(
+        (rep.flow_ratio - 1.0).abs() < 1e-9,
+        "bypass defeats the Trojan"
+    );
 }
 
 /// The homing→print cycle works through every path configuration.

@@ -11,7 +11,9 @@ use offramps_des::SimDuration;
 use offramps_printer::quality::{PartReport, QualityConfig};
 
 fn golden(seed: u64) -> offramps::RunArtifacts {
-    TestBench::new(seed).run(&workloads::standard_part()).unwrap()
+    TestBench::new(seed)
+        .run(&workloads::standard_part())
+        .unwrap()
 }
 
 #[test]
@@ -78,7 +80,11 @@ fn t5_zshift_opens_layer_gap() {
     let rep = PartReport::compare(&g.part, &run.part, &QualityConfig::default());
     // 0.3mm layers + 0.5mm injected = a 0.8mm gap somewhere.
     assert!(rep.max_layer_gap_mm > 0.7, "got {}", rep.max_layer_gap_mm);
-    assert!(rep.max_z_deviation_mm > 0.4, "got {}", rep.max_z_deviation_mm);
+    assert!(
+        rep.max_z_deviation_mm > 0.4,
+        "got {}",
+        rep.max_z_deviation_mm
+    );
 }
 
 #[test]
@@ -111,7 +117,11 @@ fn t9_quarter_duty_slows_fan() {
         .with_trojan(Box::new(FanUnderspeedTrojan::quarter()))
         .run(&workloads::standard_part())
         .unwrap();
-    assert!(g.plant.fan_duty > 0.1, "golden fan ran: {}", g.plant.fan_duty);
+    assert!(
+        g.plant.fan_duty > 0.1,
+        "golden fan ran: {}",
+        g.plant.fan_duty
+    );
     let ratio = run.plant.fan_duty / g.plant.fan_duty;
     assert!(
         (ratio - 0.25).abs() < 0.08,

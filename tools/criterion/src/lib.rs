@@ -1,0 +1,311 @@
+//! A dependency-free stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment for this repository is fully offline, so the
+//! real crates.io `criterion` cannot be vendored. This shim exposes the
+//! subset of its API the workspace benches use — `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`/`iter_batched`, `SamplingMode`,
+//! `Throughput`, `BatchSize`, `black_box` — and reports simple
+//! wall-clock statistics (min / mean per iteration) instead of
+//! criterion's full statistical machinery. Swap the path dependency for
+//! the real crate when a registry is available; no bench source changes
+//! are needed.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising a value away.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Sampling strategy. Accepted for API compatibility; the shim always
+/// samples the same way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingMode {
+    /// Criterion's automatic choice.
+    Auto,
+    /// Linearly increasing iteration counts.
+    Linear,
+    /// A flat iteration count per sample.
+    Flat,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes, decimal multiple.
+    BytesDecimal(u64),
+}
+
+/// How batched inputs are sized in [`Bencher::iter_batched`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output; criterion would batch many per allocation.
+    SmallInput,
+    /// Large setup output.
+    LargeInput,
+    /// One setup call per iteration.
+    PerIteration,
+}
+
+/// Timing results of one benchmark.
+#[derive(Debug, Clone)]
+struct Sample {
+    name: String,
+    min: Duration,
+    mean: Duration,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<Sample>,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies command-line configuration. The shim honours a single
+    /// positional argument as a substring filter on benchmark names and
+    /// ignores criterion's flags.
+    pub fn configure_from_args(mut self) -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        self.filter = filter;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside a group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name.to_string(), 10, None, f);
+        self
+    }
+
+    /// Prints the collected timing table.
+    pub fn final_summary(&mut self) {
+        if self.results.is_empty() {
+            return;
+        }
+        println!(
+            "\n{:<44} {:>14} {:>14} {:>9}",
+            "benchmark", "min", "mean", "samples"
+        );
+        println!("{}", "-".repeat(86));
+        for s in &self.results {
+            let rate = s
+                .throughput
+                .map(|t| throughput_rate(t, s.mean))
+                .unwrap_or_default();
+            println!(
+                "{:<44} {:>14} {:>14} {:>9}{}",
+                s.name,
+                format_duration(s.min),
+                format_duration(s.mean),
+                s.samples,
+                rate,
+            );
+        }
+    }
+
+    fn run_one<F>(
+        &mut self,
+        name: String,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            budget: Duration::from_millis(300),
+            max_samples: sample_size.clamp(3, 30),
+        };
+        f(&mut bencher);
+        if bencher.samples.is_empty() {
+            return;
+        }
+        let min = bencher.samples.iter().copied().min().expect("non-empty");
+        let total: Duration = bencher.samples.iter().sum();
+        let mean = total / bencher.samples.len() as u32;
+        self.results.push(Sample {
+            name,
+            min,
+            mean,
+            samples: bencher.samples.len(),
+            throughput,
+        });
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sampling mode (accepted for compatibility).
+    pub fn sampling_mode(&mut self, _mode: SamplingMode) -> &mut Self {
+        self
+    }
+
+    /// Sets the target number of samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates the group's per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        let (size, throughput) = (self.sample_size, self.throughput);
+        self.criterion.run_one(full, size, throughput, f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Hands the routine under test to the timing loop.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    max_samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up (untimed).
+        black_box(routine());
+        let started = Instant::now();
+        while self.samples.len() < self.max_samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if started.elapsed() > self.budget && self.samples.len() >= 3 {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let started = Instant::now();
+        while self.samples.len() < self.max_samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+            if started.elapsed() > self.budget && self.samples.len() >= 3 {
+                break;
+            }
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn throughput_rate(t: Throughput, mean: Duration) -> String {
+    let secs = mean.as_secs_f64().max(1e-12);
+    match t {
+        Throughput::Bytes(b) | Throughput::BytesDecimal(b) => {
+            format!("  ({:.1} MiB/s)", b as f64 / secs / (1024.0 * 1024.0))
+        }
+        Throughput::Elements(n) => format!("  ({:.0} elem/s)", n as f64 / secs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(5)
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].samples >= 3);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("zzz".into()),
+            ..Default::default()
+        };
+        c.bench_function("abc", |b| b.iter(|| ()));
+        assert!(c.results.is_empty());
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(10)), "10 ns");
+        assert_eq!(format_duration(Duration::from_micros(2)), "2.00 us");
+        assert_eq!(format_duration(Duration::from_millis(3)), "3.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(4)), "4.00 s");
+    }
+}
