@@ -251,9 +251,7 @@ fn relocate(program: &Program, every_n: u32) -> Program {
     out
 }
 
-fn round5(v: f64) -> f64 {
-    (v * 100_000.0).round() / 100_000.0
-}
+use offramps_gcode::snap5 as round5;
 
 #[cfg(test)]
 mod tests {

@@ -1,4 +1,4 @@
-//! Parallel scenario campaigns: trojan × workload × seed, fanned across
+//! Parallel scenario campaigns: attack × workload × seed, fanned across
 //! worker threads with deterministic results.
 //!
 //! The paper's evaluation is a matrix — nine Table I Trojans, the
@@ -11,101 +11,50 @@
 //! produces **byte-identical summaries for any thread count** — the
 //! property the `campaign_determinism` integration test pins down.
 //!
+//! The matrix composes three open-ended axes:
+//!
+//! * **workloads** — any [`Workload`] from the open registry: the four
+//!   canonical paper prints and/or a procedurally generated corpus
+//!   ([`crate::corpus::CorpusSpec`]), keyed everywhere by label;
+//! * **attacks** — `"none"`, hardware Trojans by roster id or
+//!   parameterized spec (`t2:0.25`, `t5:200@2`, … — see
+//!   [`offramps::trojans::by_spec`]), and upstream Flaw3D transforms
+//!   (`flaw3d-r<pct>`, `flaw3d-rel<n>`); [`sweep_attacks`] expands the
+//!   default intensity/trigger grids;
+//! * **seeds** — `runs_per_cell` independent reprints per cell.
+//!
 //! Every scenario prints through the capture path and is judged against
 //! a golden capture of the same workload (also derived from the master
-//! seed), giving the summary its detection column. Two attack families
-//! can populate the matrix:
+//! seed), giving the summary its detection column. Hardware Trojans
+//! (`t1`–`t9`, `tx1`, `tx2`) are armed inside the interceptor — the
+//! monitor taps the *controller's* stream upstream of the Trojan mux,
+//! so their signal tampering is invisible to the step-count detector
+//! (the paper never co-locates its attack and defense); Trojans whose
+//! physical damage feeds back into motion still surface indirectly.
+//! Flaw3D G-code attacks apply *upstream* of the firmware — exactly the
+//! attacks the paper's detection program catches.
 //!
-//! * **hardware Trojans** (`t1`–`t9`, `tx1`, `tx2`) armed inside the
-//!   interceptor — the monitor taps the *controller's* stream upstream
-//!   of the Trojan mux, so their signal tampering is invisible to the
-//!   step-count detector (the paper never co-locates its attack and
-//!   defense). Trojans whose physical damage feeds back into motion —
-//!   shifted axes re-homing, lost steps, spoofed endstops — still
-//!   surface indirectly; pure flow/fan/heater tampering stays unseen,
-//!   the paper's §VI limitation;
-//! * **Flaw3D G-code attacks** (`flaw3d-r<percent>` reductions,
-//!   `flaw3d-rel<n>` relocations) applied *upstream* of the firmware —
-//!   exactly the attacks the paper's detection program catches, and the
-//!   rows where the detection column earns its keep.
-//!
-//! Short prints export few transactions, so a single sampling-boundary
-//! wobble would trip the paper's 1 % suspect fraction; the campaign
-//! therefore additionally requires at least two mismatching
-//! transactions before flagging a run.
+//! Short prints export few transactions, so a couple of
+//! sampling-boundary wobbles would trip the paper's 1 % suspect
+//! fraction; the campaign therefore additionally requires at least
+//! three mismatching transactions before flagging a run. Each
+//! scenario's
+//! `transactions_compared`, `mismatches` and the suspect-fraction
+//! threshold it was judged with are part of the report, so the verdict
+//! is auditable from the JSON artifact alone.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use offramps::{detect, trojans, Capture, SignalPath, TestBench, Trojan};
+use offramps::{detect, trojans, Capture, GoldenSet, SignalPath, TestBench, Trojan};
 use offramps_attacks::Flaw3dTrojan;
 use offramps_des::SeedSplitter;
 use offramps_gcode::Program;
 
 use crate::json::{ObjectWriter, ToJson};
-use crate::workloads;
-
-/// The standard print jobs a campaign can fan over.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum WorkloadId {
-    /// 5×5×0.6 mm smoke-test part (2 layers).
-    Mini,
-    /// The standard 10×10×1.5 mm experiment part (5 layers).
-    Standard,
-    /// The taller 8×8×3 mm part used by Z-axis Trojans (10 layers).
-    Tall,
-    /// The Table II / Figure 4 detection workload (20 layers).
-    Detection,
-}
-
-impl WorkloadId {
-    /// Every workload, in canonical order.
-    pub const ALL: [WorkloadId; 4] = [
-        WorkloadId::Mini,
-        WorkloadId::Standard,
-        WorkloadId::Tall,
-        WorkloadId::Detection,
-    ];
-
-    /// The stable name used in labels, summaries and the CLI.
-    pub fn name(self) -> &'static str {
-        match self {
-            WorkloadId::Mini => "mini",
-            WorkloadId::Standard => "standard",
-            WorkloadId::Tall => "tall",
-            WorkloadId::Detection => "detection",
-        }
-    }
-
-    /// Parses a CLI name.
-    ///
-    /// # Errors
-    ///
-    /// Returns the unknown name back.
-    pub fn from_name(name: &str) -> Result<Self, String> {
-        match name.to_ascii_lowercase().as_str() {
-            "mini" => Ok(WorkloadId::Mini),
-            "standard" => Ok(WorkloadId::Standard),
-            "tall" => Ok(WorkloadId::Tall),
-            "detection" => Ok(WorkloadId::Detection),
-            other => Err(format!("unknown workload {other:?}")),
-        }
-    }
-
-    /// Slices the workload's program. Each call re-slices — hold on to
-    /// the returned `Arc` when running many scenarios ([`run_campaign`]
-    /// caches one per workload).
-    pub fn program(self) -> Arc<Program> {
-        match self {
-            WorkloadId::Mini => workloads::mini_part(),
-            WorkloadId::Standard => workloads::standard_part(),
-            WorkloadId::Tall => workloads::tall_part(),
-            WorkloadId::Detection => workloads::detection_part(),
-        }
-    }
-}
+use crate::workloads::Workload;
 
 /// What a scenario arms or applies.
 #[derive(Debug)]
@@ -118,8 +67,9 @@ pub enum Attack {
     Flaw3d(Flaw3dTrojan),
 }
 
-/// Parses an attack name: `"none"`, a roster Trojan id, a
-/// `flaw3d-r<percent>` reduction, or a `flaw3d-rel<n>` relocation.
+/// Parses an attack name: `"none"`, a roster Trojan id or parameterized
+/// spec (see [`trojans::by_spec`]), a `flaw3d-r<percent>` reduction, or
+/// a `flaw3d-rel<n>` relocation.
 ///
 /// # Errors
 ///
@@ -132,6 +82,7 @@ pub enum Attack {
 ///
 /// assert!(matches!(parse_attack("none").unwrap(), Attack::None));
 /// assert!(matches!(parse_attack("t2").unwrap(), Attack::Trojan(_)));
+/// assert!(matches!(parse_attack("t2:0.25").unwrap(), Attack::Trojan(_)));
 /// assert!(matches!(parse_attack("flaw3d-r90").unwrap(), Attack::Flaw3d(_)));
 /// assert!(parse_attack("bogus").is_err());
 /// ```
@@ -162,7 +113,51 @@ pub fn parse_attack(name: &str) -> Result<Attack, String> {
             factor: pct / 100.0,
         }));
     }
-    trojans::by_name(&name).map(Attack::Trojan)
+    trojans::by_spec(&name).map(Attack::Trojan)
+}
+
+/// The default attack-parameter sweep: Flaw3D reduction/relocation
+/// grids plus Trojan intensity and trigger-layer grids — 33 attacks
+/// including the clean reprint. Composed with a corpus it turns a
+/// campaign into a thousands-of-cells stress matrix
+/// (`offramps-cli campaign --corpus N --sweep`).
+pub fn sweep_attacks() -> Vec<String> {
+    let mut out = vec!["none".to_string()];
+    // Flaw3D reduction-percent grid (Table II's four values plus two
+    // midpoints).
+    for pct in [50, 75, 85, 90, 95, 98] {
+        out.push(format!("flaw3d-r{pct}"));
+    }
+    // Flaw3D relocation-stride grid.
+    for n in [5, 10, 20, 50, 100] {
+        out.push(format!("flaw3d-rel{n}"));
+    }
+    // Trojan intensity grids (see `trojans::by_spec` for the grammar).
+    for keep in ["0.25", "0.5", "0.75"] {
+        out.push(format!("t2:{keep}"));
+    }
+    for scale in ["0.25", "0.5", "0.75"] {
+        out.push(format!("t9:{scale}"));
+    }
+    // Trigger-layer grid for the Z-shift Trojan.
+    for (steps, layer) in [(100, 1), (200, 2), (200, 5)] {
+        out.push(format!("t5:{steps}@{layer}"));
+    }
+    for (lo, hi) in [(10, 40), (30, 80)] {
+        out.push(format!("t4:{lo}-{hi}"));
+    }
+    for off in [15, 30] {
+        out.push(format!("tx2:{off}"));
+    }
+    // Fast-interval variant of T1 next to the paper's 10 s default, the
+    // remaining roster Trojans at their defaults, and a late endstop
+    // spoof.
+    out.extend(
+        ["t1", "t1:2", "t3", "t6", "t7", "t8", "tx1", "tx1:5000"]
+            .iter()
+            .map(|s| s.to_string()),
+    );
+    out
 }
 
 /// A campaign matrix: every listed attack (plus `"none"` for clean
@@ -172,10 +167,10 @@ pub struct CampaignSpec {
     /// Master seed; every scenario seed is derived from it by label.
     pub master_seed: u64,
     /// Attack names accepted by [`parse_attack`]: `"none"`, Trojan
-    /// roster ids, or Flaw3D transforms.
+    /// roster ids / parameterized specs, or Flaw3D transforms.
     pub trojans: Vec<String>,
-    /// Workloads to print.
-    pub workloads: Vec<WorkloadId>,
+    /// Workloads to print (canonical and/or corpus-generated).
+    pub workloads: Vec<Workload>,
     /// Independent seeds per (trojan, workload) cell.
     pub runs_per_cell: u32,
 }
@@ -190,29 +185,36 @@ impl CampaignSpec {
         CampaignSpec {
             master_seed,
             trojans,
-            workloads: vec![WorkloadId::Mini],
+            workloads: vec![Workload::mini()],
             runs_per_cell: 1,
         }
     }
 
-    /// Validates attack names and expands the matrix into scenarios,
-    /// in deterministic (attack-major) order.
+    /// Validates attack names and workload labels, then expands the
+    /// matrix into scenarios in deterministic (attack-major) order.
     ///
     /// # Errors
     ///
-    /// Reports the first unknown attack name.
+    /// Reports the first unknown attack name or duplicate workload
+    /// label.
     pub fn scenarios(&self) -> Result<Vec<Scenario>, String> {
+        let mut seen = std::collections::HashSet::new();
+        for w in &self.workloads {
+            if !seen.insert(w.label()) {
+                return Err(format!("duplicate workload label {:?}", w.label()));
+            }
+        }
         let split = SeedSplitter::new(self.master_seed);
         let mut out = Vec::new();
         for trojan in &self.trojans {
             parse_attack(trojan)?;
             for workload in &self.workloads {
                 for run in 0..self.runs_per_cell.max(1) {
-                    let label = format!("campaign/{}/{}/{}", workload.name(), trojan, run);
+                    let label = format!("campaign/{}/{}/{}", workload.label(), trojan, run);
                     out.push(Scenario {
                         index: out.len(),
                         trojan: trojan.clone(),
-                        workload: *workload,
+                        workload: workload.label().to_string(),
                         run,
                         seed: split.derive(&label),
                     });
@@ -222,9 +224,10 @@ impl CampaignSpec {
         Ok(out)
     }
 
-    /// The seed a workload's golden capture runs under.
-    pub fn golden_seed(&self, workload: WorkloadId) -> u64 {
-        SeedSplitter::new(self.master_seed).derive(&format!("campaign/golden/{}", workload.name()))
+    /// The seed a workload's golden capture runs under, derived from
+    /// the workload *label* so corpus growth never perturbs it.
+    pub fn golden_seed(&self, workload_label: &str) -> u64 {
+        SeedSplitter::new(self.master_seed).derive(&format!("campaign/golden/{workload_label}"))
     }
 }
 
@@ -235,8 +238,8 @@ pub struct Scenario {
     pub index: usize,
     /// Attack name (see [`parse_attack`]), or `"none"`.
     pub trojan: String,
-    /// The workload printed.
-    pub workload: WorkloadId,
+    /// Label of the workload printed.
+    pub workload: String,
     /// Run number within the cell.
     pub run: u32,
     /// The derived seed.
@@ -261,8 +264,15 @@ pub struct ScenarioResult {
     pub detected: bool,
     /// Out-of-margin transaction values against the golden capture.
     pub mismatches: usize,
+    /// Transactions the detector compared (the denominator of the
+    /// suspect fraction — with `mismatches`, makes the verdict
+    /// auditable from the JSON report alone).
+    pub transactions_compared: usize,
+    /// The suspect-fraction threshold this scenario was judged with
+    /// (the paper's 1 %, floored at two mismatching transactions).
+    pub suspect_fraction: f64,
     /// Host milliseconds the run took (excluded from the deterministic
-    /// summary).
+    /// summary and JSON; see [`CampaignReport::timing_json`]).
     pub wall_ms: u64,
 }
 
@@ -273,7 +283,7 @@ impl ScenarioResult {
         format!(
             "{:<4} {:<10} {:<12} {:<4} {:<18} {:>9} {:>12} {:<9} {:>6}  [{} {} {} {}]",
             self.scenario.index,
-            self.scenario.workload.name(),
+            self.scenario.workload,
             self.scenario.trojan,
             self.scenario.run,
             self.fw_state,
@@ -293,7 +303,7 @@ impl ToJson for ScenarioResult {
     fn write_json(&self, out: &mut String, indent: usize) {
         let mut w = ObjectWriter::new(out, indent);
         w.int("index", self.scenario.index as i128)
-            .string("workload", self.scenario.workload.name())
+            .string("workload", &self.scenario.workload)
             .string("trojan", &self.scenario.trojan)
             .int("run", self.scenario.run as i128)
             .int("seed", self.scenario.seed as i128)
@@ -301,7 +311,9 @@ impl ToJson for ScenarioResult {
             .int("events", self.events as i128)
             .int("sim_ns", self.sim_ns as i128)
             .bool("detected", self.detected)
-            .int("mismatches", self.mismatches as i128);
+            .int("mismatches", self.mismatches as i128)
+            .int("transactions_compared", self.transactions_compared as i128)
+            .float("suspect_fraction", self.suspect_fraction);
         w.finish();
     }
 }
@@ -309,6 +321,9 @@ impl ToJson for ScenarioResult {
 /// Everything a campaign produced.
 #[derive(Debug)]
 pub struct CampaignReport {
+    /// The spec that ran (workload labels and attack names feed the
+    /// JSON metadata block).
+    pub spec: CampaignSpec,
     /// Per-scenario results, in matrix order regardless of which worker
     /// ran what.
     pub results: Vec<ScenarioResult>,
@@ -356,12 +371,54 @@ impl CampaignReport {
         ));
         out
     }
+
+    /// Host-timing sidecar: per-scenario wall milliseconds plus the
+    /// pool shape, as JSON. Kept out of [`ToJson::to_json`] (and out of
+    /// [`CampaignReport::summary`]) because wall time varies run to run
+    /// — the main artifacts stay byte-identical for any thread count.
+    pub fn timing_json(&self) -> String {
+        let mut out = String::new();
+        let mut w = ObjectWriter::new(&mut out, 0);
+        w.int("threads", self.threads as i128)
+            .float("wall_s", self.wall_s)
+            .float("events_per_sec", self.events_per_sec());
+        let mut scenarios = String::from("[");
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                scenarios.push(',');
+            }
+            scenarios.push_str(&format!(
+                "\n    {{\"index\": {}, \"wall_ms\": {}}}",
+                r.scenario.index, r.wall_ms
+            ));
+        }
+        scenarios.push_str("\n  ]");
+        w.raw("scenarios", &scenarios);
+        w.finish();
+        out
+    }
 }
 
 impl ToJson for CampaignReport {
     fn write_json(&self, out: &mut String, indent: usize) {
+        let workloads: Vec<String> = self
+            .spec
+            .workloads
+            .iter()
+            .map(|w| crate::json::escape(w.label()))
+            .collect();
+        let attacks: Vec<String> = self
+            .spec
+            .trojans
+            .iter()
+            .map(|t| crate::json::escape(t))
+            .collect();
         let mut w = ObjectWriter::new(out, indent);
-        w.int("runs", self.results.len() as i128)
+        w.int("master_seed", self.spec.master_seed as i128)
+            .int("runs_per_cell", self.spec.runs_per_cell.max(1) as i128)
+            .raw("workloads", &format!("[{}]", workloads.join(", ")))
+            .raw("attacks", &format!("[{}]", attacks.join(", ")))
+            .int("runs", self.results.len() as i128)
             .int("events", self.total_events() as i128)
             .int("detections", self.detections() as i128)
             .value("results", &self.results);
@@ -402,13 +459,18 @@ where
 }
 
 /// The detector configuration a campaign judges with: the paper's
-/// defaults, except that at least two mismatching transactions are
-/// required — on short captures a single sampling-boundary wobble would
-/// otherwise exceed the 1 % suspect fraction.
+/// defaults, except that at least three mismatching transactions are
+/// required. Short prints export few transactions, and clean reprints
+/// can wobble at independent sampling boundaries (time noise shifts
+/// which 0.1 s window a step burst lands in) plus once more where the
+/// end-of-print conclusion sample of the shorter capture lines up
+/// against a periodic sample of the longer — two wobbles on a
+/// 70-transaction capture would exceed the paper's 1 % suspect
+/// fraction, so the floor sits just above them.
 fn campaign_detector(golden: &Capture, observed: &Capture) -> detect::DetectorConfig {
     let n = golden.len().min(observed.len()).max(1);
     detect::DetectorConfig {
-        suspect_fraction: f64::max(0.01, 1.8 / n as f64),
+        suspect_fraction: f64::max(0.01, 2.8 / n as f64),
         ..detect::DetectorConfig::default()
     }
 }
@@ -425,10 +487,14 @@ fn run_scenario(scenario: &Scenario, program: &Arc<Program>, golden: &Capture) -
     let t0 = Instant::now();
     match bench.run(&job) {
         Ok(art) => {
-            let report = art
-                .capture
-                .as_ref()
-                .map(|cap| detect::compare(golden, cap, &campaign_detector(golden, cap)));
+            let judged = art.capture.as_ref().map(|cap| {
+                let cfg = campaign_detector(golden, cap);
+                (detect::compare(golden, cap, &cfg), cfg.suspect_fraction)
+            });
+            let (report, suspect_fraction) = match judged {
+                Some((report, fraction)) => (Some(report), fraction),
+                None => (None, 0.0),
+            };
             ScenarioResult {
                 scenario: scenario.clone(),
                 fw_state: format!("{:?}", art.fw_state),
@@ -436,7 +502,9 @@ fn run_scenario(scenario: &Scenario, program: &Arc<Program>, golden: &Capture) -
                 sim_ns: art.sim_time.as_duration().as_nanos(),
                 fw_steps: art.fw_steps,
                 detected: report.as_ref().is_some_and(|r| r.trojan_suspected),
-                mismatches: report.map_or(0, |r| r.mismatches.len()),
+                mismatches: report.as_ref().map_or(0, |r| r.mismatches.len()),
+                transactions_compared: report.as_ref().map_or(0, |r| r.transactions_compared),
+                suspect_fraction,
                 wall_ms: t0.elapsed().as_millis() as u64,
             }
         }
@@ -448,6 +516,8 @@ fn run_scenario(scenario: &Scenario, program: &Arc<Program>, golden: &Capture) -
             fw_steps: [0; 4],
             detected: false,
             mismatches: 0,
+            transactions_compared: 0,
+            suspect_fraction: 0.0,
             wall_ms: t0.elapsed().as_millis() as u64,
         },
     }
@@ -455,23 +525,26 @@ fn run_scenario(scenario: &Scenario, program: &Arc<Program>, golden: &Capture) -
 
 /// Executes the campaign on `threads` workers.
 ///
-/// Programs are sliced once per workload and shared as `Arc<Program>`;
-/// golden captures are produced first (also in parallel), then the full
-/// scenario matrix fans out. Results are assembled in matrix order.
+/// Programs are sliced once per workload label and shared as
+/// `Arc<Program>`; golden captures are produced first (also in
+/// parallel) into a label-keyed [`GoldenSet`], then the full scenario
+/// matrix fans out. Results are assembled in matrix order.
 ///
 /// # Errors
 ///
-/// Reports an invalid trojan name in the spec.
+/// Reports an invalid trojan name or duplicate workload label in the
+/// spec.
 ///
 /// # Example
 ///
 /// ```
-/// use offramps_bench::campaign::{run_campaign, CampaignSpec, WorkloadId};
+/// use offramps_bench::campaign::{run_campaign, CampaignSpec};
+/// use offramps_bench::workloads::Workload;
 ///
 /// let spec = CampaignSpec {
 ///     master_seed: 7,
 ///     trojans: vec!["none".into(), "t2".into()],
-///     workloads: vec![WorkloadId::Mini],
+///     workloads: vec![Workload::mini()],
 ///     runs_per_cell: 1,
 /// };
 /// let one = run_campaign(&spec, 1).unwrap();
@@ -482,37 +555,41 @@ pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> Result<CampaignRepor
     let scenarios = spec.scenarios()?;
     let t0 = Instant::now();
 
-    // Slice each workload once (order-preserving dedup: Vec::dedup only
-    // removes *consecutive* duplicates).
-    let mut workload_set: Vec<WorkloadId> = Vec::new();
-    for w in &spec.workloads {
-        if !workload_set.contains(w) {
-            workload_set.push(*w);
-        }
-    }
-    let programs: HashMap<WorkloadId, Arc<Program>> =
-        workload_set.iter().map(|w| (*w, w.program())).collect();
-
-    // Golden captures, one per workload, fanned over the pool.
-    let goldens: HashMap<WorkloadId, Capture> = workload_set
+    // Slice each workload once (labels validated unique by
+    // `scenarios()` above).
+    let programs: HashMap<&str, Arc<Program>> = spec
+        .workloads
         .iter()
-        .zip(parallel_map(&workload_set, threads, |w| {
-            TestBench::new(spec.golden_seed(*w))
+        .zip(parallel_map(&spec.workloads, threads, Workload::program))
+        .map(|(w, program)| (w.label(), program))
+        .collect();
+
+    // Golden captures, one per workload label, fanned over the pool.
+    let goldens: GoldenSet = spec
+        .workloads
+        .iter()
+        .zip(parallel_map(&spec.workloads, threads, |w| {
+            TestBench::new(spec.golden_seed(w.label()))
                 .signal_path(SignalPath::capture())
-                .run(&programs[w])
+                .run(&programs[w.label()])
                 .expect("golden campaign run")
                 .capture
                 .expect("capture path active")
         }))
-        .map(|(w, cap)| (*w, cap))
+        .map(|(w, cap)| (w.label().to_string(), cap))
         .collect();
 
     // The scenario matrix.
     let results = parallel_map(&scenarios, threads, |sc| {
-        run_scenario(sc, &programs[&sc.workload], &goldens[&sc.workload])
+        run_scenario(
+            sc,
+            &programs[sc.workload.as_str()],
+            goldens.get(&sc.workload).expect("golden per workload"),
+        )
     });
 
     Ok(CampaignReport {
+        spec: spec.clone(),
         results,
         threads,
         wall_s: t0.elapsed().as_secs_f64(),
@@ -528,14 +605,14 @@ mod tests {
         let spec = CampaignSpec {
             master_seed: 1,
             trojans: vec!["none".into(), "t2".into()],
-            workloads: vec![WorkloadId::Mini, WorkloadId::Tall],
+            workloads: vec![Workload::mini(), Workload::tall()],
             runs_per_cell: 2,
         };
         let scenarios = spec.scenarios().unwrap();
         assert_eq!(scenarios.len(), 8);
         assert_eq!(scenarios[0].trojan, "none");
-        assert_eq!(scenarios[0].workload, WorkloadId::Mini);
-        assert_eq!(scenarios[3].workload, WorkloadId::Tall);
+        assert_eq!(scenarios[0].workload, "mini");
+        assert_eq!(scenarios[3].workload, "tall");
         assert_eq!(scenarios[4].trojan, "t2");
         assert!(scenarios.iter().enumerate().all(|(i, s)| s.index == i));
     }
@@ -545,13 +622,13 @@ mod tests {
         let wide = CampaignSpec {
             master_seed: 9,
             trojans: vec!["none".into(), "t1".into(), "t2".into()],
-            workloads: vec![WorkloadId::Mini],
+            workloads: vec![Workload::mini()],
             runs_per_cell: 1,
         };
         let narrow = CampaignSpec {
             master_seed: 9,
             trojans: vec!["t2".into()],
-            workloads: vec![WorkloadId::Mini],
+            workloads: vec![Workload::mini()],
             runs_per_cell: 1,
         };
         let wide_t2 = wide
@@ -572,18 +649,44 @@ mod tests {
         let spec = CampaignSpec {
             master_seed: 1,
             trojans: vec!["t99".into()],
-            workloads: vec![WorkloadId::Mini],
+            workloads: vec![Workload::mini()],
             runs_per_cell: 1,
         };
         assert!(spec.scenarios().is_err());
     }
 
     #[test]
-    fn workload_names_round_trip() {
-        for w in WorkloadId::ALL {
-            assert_eq!(WorkloadId::from_name(w.name()).unwrap(), w);
+    fn duplicate_workload_labels_rejected() {
+        let spec = CampaignSpec {
+            master_seed: 1,
+            trojans: vec!["none".into()],
+            workloads: vec![Workload::mini(), Workload::mini()],
+            runs_per_cell: 1,
+        };
+        let err = spec.scenarios().unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn sweep_grid_is_valid_and_sized() {
+        let sweep = sweep_attacks();
+        assert!(sweep.len() >= 30, "grid has {} attacks", sweep.len());
+        assert_eq!(sweep[0], "none");
+        for attack in &sweep {
+            parse_attack(attack).unwrap_or_else(|e| panic!("{attack}: {e}"));
         }
-        assert!(WorkloadId::from_name("nope").is_err());
+        let unique: std::collections::HashSet<&String> = sweep.iter().collect();
+        assert_eq!(unique.len(), sweep.len(), "grid entries must be unique");
+    }
+
+    #[test]
+    fn parameterized_attacks_parse() {
+        assert!(matches!(
+            parse_attack("t5:200@2").unwrap(),
+            Attack::Trojan(_)
+        ));
+        assert!(parse_attack("t5:200").is_err());
+        assert!(parse_attack("t2:0").is_err());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 pub mod baseline;
 pub mod campaign;
+pub mod corpus;
 pub mod fig4;
 pub mod json;
 pub mod overhead;

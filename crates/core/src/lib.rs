@@ -45,7 +45,7 @@ pub mod monitor;
 mod testbench;
 pub mod trojans;
 
-pub use capture::{Capture, Transaction, TRANSACTION_BYTES};
+pub use capture::{Capture, GoldenSet, Transaction, TRANSACTION_BYTES};
 pub use config::{MitmConfig, SignalPath};
 pub use detect::{DetectionReport, DetectorConfig, Mismatch, OnlineDetector};
 pub use mitm::Offramps;

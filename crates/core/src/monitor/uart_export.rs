@@ -28,6 +28,7 @@ pub struct Monitor {
     started_at: Option<Tick>,
     next_sample: Option<Tick>,
     next_index: u64,
+    flushed: bool,
 }
 
 impl Monitor {
@@ -43,6 +44,7 @@ impl Monitor {
             started_at: None,
             next_sample: None,
             next_index: 0,
+            flushed: false,
         }
     }
 
@@ -91,6 +93,29 @@ impl Monitor {
         Some(next)
     }
 
+    /// Exports one final "conclusion" transaction with the current
+    /// exact counters. The paper's 0 %-margin final check runs "at the
+    /// conclusion of the print" — but the last *periodic* sample can
+    /// predate tail motion (the end-of-print retract) by up to one
+    /// period, so two clean prints with different time-noise seeds can
+    /// disagree on their last sampled totals. At campaign scale that
+    /// false-positives clean reprints; the conclusion sample pins the
+    /// final totals exactly. No-op until the transaction clock armed,
+    /// and idempotent — a second flush (e.g. an explicit call followed
+    /// by [`Monitor::into_capture`]) appends nothing.
+    pub fn flush(&mut self) {
+        if self.started_at.is_none() || self.flushed {
+            return;
+        }
+        self.flushed = true;
+        let t = Transaction {
+            index: self.next_index,
+            counts: self.tracker.counts_i32(),
+        };
+        self.next_index += 1;
+        self.capture.push(t);
+    }
+
     /// True once the transaction clock is running.
     pub fn is_armed(&self) -> bool {
         self.started_at.is_some()
@@ -106,8 +131,10 @@ impl Monitor {
         &self.capture
     }
 
-    /// Consumes the monitor, returning the capture.
-    pub fn into_capture(self) -> Capture {
+    /// Consumes the monitor, returning the capture (with the
+    /// end-of-print conclusion sample appended — see [`Monitor::flush`]).
+    pub fn into_capture(mut self) -> Capture {
+        self.flush();
         self.capture
     }
 
@@ -211,5 +238,52 @@ mod tests {
         let m = Monitor::new(SimDuration::from_millis(50));
         let cap = m.into_capture();
         assert_eq!(cap.period, SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn into_capture_appends_conclusion_sample() {
+        let mut m = Monitor::new(SimDuration::from_millis(100));
+        home(&mut m);
+        m.on_control(
+            Tick::from_millis(99),
+            LogicEvent::new(Pin::XDir, Level::High),
+        );
+        pulse(&mut m, Tick::from_millis(100), Pin::XStep);
+        m.on_tick(Tick::from_millis(200));
+        // Tail motion after the last periodic sample.
+        for i in 0..5 {
+            pulse(&mut m, Tick::from_millis(210 + i), Pin::XStep);
+        }
+        let cap = m.into_capture();
+        assert_eq!(cap.len(), 2, "periodic sample + conclusion sample");
+        assert_eq!(
+            cap.transactions()[1].counts[0],
+            6,
+            "conclusion sample holds exact totals"
+        );
+        assert_eq!(cap.transactions()[1].index, 1);
+    }
+
+    #[test]
+    fn unarmed_monitor_flushes_nothing() {
+        let mut m = Monitor::new(SimDuration::from_millis(100));
+        m.flush();
+        assert!(m.capture().is_empty());
+        assert!(m.into_capture().is_empty());
+    }
+
+    #[test]
+    fn flush_is_idempotent() {
+        let mut m = Monitor::new(SimDuration::from_millis(100));
+        home(&mut m);
+        m.on_control(
+            Tick::from_millis(99),
+            LogicEvent::new(Pin::XDir, Level::High),
+        );
+        pulse(&mut m, Tick::from_millis(100), Pin::XStep);
+        m.flush();
+        m.flush();
+        let cap = m.into_capture();
+        assert_eq!(cap.len(), 1, "explicit flush + into_capture adds one");
     }
 }

@@ -152,6 +152,149 @@ pub fn by_name(name: &str) -> Result<Box<dyn Trojan>, String> {
     })
 }
 
+/// Instantiates a Trojan from a *parameterized* spec string — the
+/// grammar behind campaign attack-parameter sweeps. A bare roster id
+/// falls back to [`by_name`]'s defaults; `id:param` selects an
+/// intensity or trigger point:
+///
+/// | spec             | Trojan                                            |
+/// |------------------|---------------------------------------------------|
+/// | `t1:<secs>`      | axis shift every `<secs>` seconds                 |
+/// | `t2:<keep>`      | flow reduction keeping `<keep>` ∈ (0, 1] of pulses|
+/// | `t4:<min>-<max>` | Z wobble of `<min>`–`<max>` µsteps                |
+/// | `t5:<steps>@<layer>` | Z shift of `<steps>` µsteps after `<layer>`   |
+/// | `t9:<scale>`     | fan underspeed at `<scale>` ∈ (0, 1] duty         |
+/// | `tx1:<steps>`    | endstop spoof after `<steps>` X µsteps            |
+/// | `tx2:<celsius>`  | thermistor reads cold by `<celsius>` °C           |
+///
+/// Every spec is validated here (never via constructor panics), so a
+/// campaign can reject a bad grid up front.
+///
+/// # Errors
+///
+/// Returns a description of the malformed spec.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(offramps::trojans::by_spec("t2:0.25").unwrap().id(), "T2");
+/// assert_eq!(offramps::trojans::by_spec("t5:200@4").unwrap().id(), "T5");
+/// assert!(offramps::trojans::by_spec("t2:1.5").is_err());
+/// assert!(offramps::trojans::by_spec("t3:1").is_err()); // t3 takes no parameter
+/// ```
+pub fn by_spec(spec: &str) -> Result<Box<dyn Trojan>, String> {
+    let spec = spec.to_ascii_lowercase();
+    let Some((id, param)) = spec.split_once(':') else {
+        return by_name(&spec);
+    };
+    let ratio = |what: &str| -> Result<f64, String> {
+        let v: f64 = param
+            .parse()
+            .map_err(|_| format!("bad {what} in {spec:?}"))?;
+        if v > 0.0 && v <= 1.0 {
+            Ok(v)
+        } else {
+            Err(format!("{what} must be in (0, 1] in {spec:?}"))
+        }
+    };
+    Ok(match id {
+        "t1" => {
+            let secs: f64 = param
+                .parse()
+                .map_err(|_| format!("bad interval in {spec:?}"))?;
+            if !(secs > 0.0 && secs.is_finite()) {
+                return Err(format!("interval must be positive in {spec:?}"));
+            }
+            Box::new(AxisShiftTrojan::with_params(
+                offramps_des::SimDuration::from_secs_f64(secs),
+                20,
+                80,
+            ))
+        }
+        "t2" => Box::new(FlowReductionTrojan::new(ratio("keep ratio")?)),
+        "t4" => {
+            let (lo, hi) = param
+                .split_once('-')
+                .ok_or_else(|| format!("t4 wants <min>-<max> µsteps, got {spec:?}"))?;
+            let lo: u32 = lo.parse().map_err(|_| format!("bad min in {spec:?}"))?;
+            let hi: u32 = hi.parse().map_err(|_| format!("bad max in {spec:?}"))?;
+            if lo > hi || hi == 0 {
+                return Err(format!("empty wobble range in {spec:?}"));
+            }
+            Box::new(ZWobbleTrojan::with_params(120, lo, hi, 1, 4))
+        }
+        "t5" => {
+            let (steps, layer) = param
+                .split_once('@')
+                .ok_or_else(|| format!("t5 wants <steps>@<layer>, got {spec:?}"))?;
+            let steps: u32 = steps
+                .parse()
+                .map_err(|_| format!("bad steps in {spec:?}"))?;
+            let layer: u64 = layer
+                .parse()
+                .map_err(|_| format!("bad layer in {spec:?}"))?;
+            if steps == 0 {
+                return Err(format!("shift must be positive in {spec:?}"));
+            }
+            Box::new(ZShiftTrojan::with_params(120, steps, layer, None))
+        }
+        "t9" => Box::new(FanUnderspeedTrojan::new(ratio("duty scale")?)),
+        "tx1" => {
+            let steps: u32 = param
+                .parse()
+                .map_err(|_| format!("bad step count in {spec:?}"))?;
+            Box::new(EndstopSpoofTrojan::after_steps(steps))
+        }
+        "tx2" => {
+            let offset: f64 = param
+                .parse()
+                .map_err(|_| format!("bad offset in {spec:?}"))?;
+            if !(offset > 0.0 && offset.is_finite()) {
+                return Err(format!("offset must be positive in {spec:?}"));
+            }
+            Box::new(ThermistorSpoofTrojan::reads_cold_by(offset))
+        }
+        other if TROJAN_NAMES.contains(&other) => {
+            return Err(format!("trojan {other:?} takes no parameter (in {spec:?})"))
+        }
+        other => return Err(format!("unknown trojan {other:?} (in {spec:?})")),
+    })
+}
+
+#[cfg(test)]
+mod spec_tests {
+    use super::*;
+
+    #[test]
+    fn bare_names_still_resolve() {
+        for name in TROJAN_NAMES {
+            assert!(by_spec(name).is_ok(), "{name}");
+        }
+    }
+
+    #[test]
+    fn parameterized_specs_resolve() {
+        for spec in [
+            "t1:2.5", "t2:0.25", "t2:1", "t4:10-40", "t4:30-80", "t5:100@1", "t5:200@5", "t9:0.5",
+            "tx1:5000", "tx2:15",
+        ] {
+            let t = by_spec(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            let id = spec.split(':').next().unwrap().to_ascii_uppercase();
+            assert_eq!(t.id(), id, "{spec}");
+        }
+    }
+
+    #[test]
+    fn bad_specs_error_without_panicking() {
+        for spec in [
+            "t2:0", "t2:1.5", "t2:x", "t4:40-10", "t4:5", "t5:0@2", "t5:100", "t9:-1", "t1:0",
+            "tx2:nan", "t3:1", "t6:2", "t99:1",
+        ] {
+            assert!(by_spec(spec).is_err(), "{spec} should be rejected");
+        }
+    }
+}
+
 #[cfg(test)]
 pub(crate) mod test_util {
     use super::*;

@@ -29,9 +29,12 @@
 mod ast;
 mod parser;
 pub mod slicer;
+pub mod spec;
 mod stats;
 mod writer;
 
 pub use ast::{GCommand, Program};
 pub use parser::{parse, parse_line, ParseError};
+pub use spec::WorkloadSpec;
 pub use stats::{ProgramStats, StatsConfig};
+pub use writer::snap5;

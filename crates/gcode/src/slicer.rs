@@ -22,6 +22,19 @@
 
 use crate::ast::{GCommand, Program};
 
+/// How infill scanlines are oriented from layer to layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InfillPattern {
+    /// Alternate the scan direction 90° every layer (the classic
+    /// rectilinear grid; the default and the behaviour of every paper
+    /// workload).
+    #[default]
+    Crosshatch,
+    /// Keep every layer's scanlines parallel — weaker parts, but a
+    /// distinct motion signature (long runs of same-axis moves).
+    Aligned,
+}
+
 /// Slicing parameters (defaults match a common 0.4 mm-nozzle PLA profile).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SlicerConfig {
@@ -35,6 +48,8 @@ pub struct SlicerConfig {
     pub perimeters: u32,
     /// Spacing between infill lines, mm (0 disables infill).
     pub infill_spacing: f64,
+    /// Layer-to-layer infill orientation.
+    pub infill_pattern: InfillPattern,
     /// Print-move speed, mm/s.
     pub print_speed: f64,
     /// First-layer print speed, mm/s.
@@ -67,6 +82,7 @@ impl Default for SlicerConfig {
             filament_diameter: 1.75,
             perimeters: 2,
             infill_spacing: 2.0,
+            infill_pattern: InfillPattern::Crosshatch,
             print_speed: 40.0,
             first_layer_speed: 20.0,
             travel_speed: 120.0,
@@ -383,17 +399,32 @@ impl<'a> Emitter<'a> {
     }
 }
 
-fn round5(v: f64) -> f64 {
-    (v * 100_000.0).round() / 100_000.0
-}
+use crate::writer::snap5 as round5;
 
 /// Slices `solid` with `cfg` into a complete printable program
-/// (heat-up, homing, layers, cool-down).
+/// (heat-up, homing, layers, cool-down). The part is centred on
+/// `cfg.center`; multi-part plates go through [`slice_plate`].
 ///
 /// # Panics
 ///
 /// Panics if `cfg.layer_height` or geometric parameters are not positive.
 pub fn slice(solid: &Solid, cfg: &SlicerConfig) -> Program {
+    slice_plate(std::slice::from_ref(&(solid.clone(), cfg.center)), cfg)
+}
+
+/// Slices a whole build plate: each `(solid, centre)` island is printed
+/// in order within every layer, so multi-island plates produce the long
+/// inter-part travels (with retraction) that make a workload
+/// travel-heavy. A single-island plate emits exactly the same program as
+/// [`slice`]. Layers continue until the tallest island is finished;
+/// shorter islands simply stop contributing.
+///
+/// # Panics
+///
+/// Panics if `parts` is empty, or if `cfg.layer_height` or geometric
+/// parameters are not positive.
+pub fn slice_plate(parts: &[(Solid, (f64, f64))], cfg: &SlicerConfig) -> Program {
+    assert!(!parts.is_empty(), "a plate needs at least one part");
     assert!(cfg.layer_height > 0.0, "layer height must be positive");
     assert!(
         cfg.extrusion_width > 0.0,
@@ -433,8 +464,18 @@ pub fn slice(solid: &Solid, cfg: &SlicerConfig) -> Program {
         e: Some(0.0),
     });
 
-    let layer_count = (solid.height() / cfg.layer_height).round().max(1.0) as usize;
-    let outline = solid.outline(cfg.center);
+    let layer_count = parts
+        .iter()
+        .map(|(solid, _)| (solid.height() / cfg.layer_height).round().max(1.0) as usize)
+        .max()
+        .expect("non-empty plate");
+    let outlines: Vec<(usize, Vec<(f64, f64)>)> = parts
+        .iter()
+        .map(|(solid, center)| {
+            let layers = (solid.height() / cfg.layer_height).round().max(1.0) as usize;
+            (layers, solid.outline(*center))
+        })
+        .collect();
 
     for layer in 0..layer_count {
         let z = cfg.layer_height * (layer + 1) as f64;
@@ -456,47 +497,57 @@ pub fn slice(solid: &Solid, cfg: &SlicerConfig) -> Program {
             cfg.print_speed
         };
 
-        // Perimeters, outside-in: loop i inset by (i + 0.5) widths.
-        let mut innermost = None;
-        for i in 0..cfg.perimeters {
-            let d = cfg.extrusion_width * (f64::from(i) + 0.5);
-            match inset_convex(&outline, d) {
-                Some(loop_poly) => {
-                    em.polygon(&loop_poly, speed);
-                    innermost = Some(loop_poly);
-                }
-                None => break,
+        for (part_layers, outline) in &outlines {
+            if layer >= *part_layers {
+                continue; // this island already topped out
             }
-        }
 
-        // Infill: scanlines inside the innermost perimeter (inset one more
-        // width so infill slightly overlaps the perimeter). Alternate scan
-        // direction each line and orientation each layer.
-        if cfg.infill_spacing > 0.0 {
-            if let Some(inner) = innermost
-                .as_ref()
-                .and_then(|p| inset_convex(p, cfg.extrusion_width * 0.5))
-            {
-                let rotate = layer % 2 == 1;
-                let poly: Vec<(f64, f64)> = if rotate {
-                    inner.iter().map(|(x, y)| (*y, *x)).collect()
-                } else {
-                    inner.clone()
-                };
-                let min_y = poly.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
-                let max_y = poly.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
-                let mut y = min_y + cfg.infill_spacing / 2.0;
-                let mut flip = false;
-                while y < max_y {
-                    if let Some((lo, hi)) = scanline_range(&poly, y) {
-                        let (sx, ex) = if flip { (hi, lo) } else { (lo, hi) };
-                        let (tsx, tsy) = if rotate { (y, sx) } else { (sx, y) };
-                        let (tex, tey) = if rotate { (y, ex) } else { (ex, y) };
-                        em.travel_to(tsx, tsy);
-                        em.print_to(tex, tey, speed);
-                        flip = !flip;
+            // Perimeters, outside-in: loop i inset by (i + 0.5) widths.
+            let mut innermost = None;
+            for i in 0..cfg.perimeters {
+                let d = cfg.extrusion_width * (f64::from(i) + 0.5);
+                match inset_convex(outline, d) {
+                    Some(loop_poly) => {
+                        em.polygon(&loop_poly, speed);
+                        innermost = Some(loop_poly);
                     }
-                    y += cfg.infill_spacing;
+                    None => break,
+                }
+            }
+
+            // Infill: scanlines inside the innermost perimeter (inset one
+            // more width so infill slightly overlaps the perimeter).
+            // Alternate scan direction each line; orientation per layer is
+            // the configured pattern's choice.
+            if cfg.infill_spacing > 0.0 {
+                if let Some(inner) = innermost
+                    .as_ref()
+                    .and_then(|p| inset_convex(p, cfg.extrusion_width * 0.5))
+                {
+                    let rotate = match cfg.infill_pattern {
+                        InfillPattern::Crosshatch => layer % 2 == 1,
+                        InfillPattern::Aligned => false,
+                    };
+                    let poly: Vec<(f64, f64)> = if rotate {
+                        inner.iter().map(|(x, y)| (*y, *x)).collect()
+                    } else {
+                        inner.clone()
+                    };
+                    let min_y = poly.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+                    let max_y = poly.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+                    let mut y = min_y + cfg.infill_spacing / 2.0;
+                    let mut flip = false;
+                    while y < max_y {
+                        if let Some((lo, hi)) = scanline_range(&poly, y) {
+                            let (sx, ex) = if flip { (hi, lo) } else { (lo, hi) };
+                            let (tsx, tsy) = if rotate { (y, sx) } else { (sx, y) };
+                            let (tex, tey) = if rotate { (y, ex) } else { (ex, y) };
+                            em.travel_to(tsx, tsy);
+                            em.print_to(tex, tey, speed);
+                            flip = !flip;
+                        }
+                        y += cfg.infill_spacing;
+                    }
                 }
             }
         }
@@ -655,6 +706,98 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_degenerate_solid() {
         let _ = Solid::rect_prism(0.0, 5.0, 5.0);
+    }
+
+    #[test]
+    fn single_island_plate_equals_slice() {
+        let cfg = SlicerConfig::fast();
+        let solid = Solid::rect_prism(7.0, 6.0, 0.9);
+        let direct = slice(&solid, &cfg);
+        let plated = slice_plate(&[(solid, cfg.center)], &cfg);
+        assert_eq!(direct.to_gcode(), plated.to_gcode());
+    }
+
+    #[test]
+    fn two_island_plate_adds_travel_and_doubles_material() {
+        let cfg = SlicerConfig::fast();
+        let solid = Solid::rect_prism(5.0, 5.0, 0.6);
+        let one = ProgramStats::analyze(&slice(&solid, &cfg));
+        let plate = slice_plate(
+            &[(solid.clone(), (25.0, 30.0)), (solid.clone(), (40.0, 30.0))],
+            &cfg,
+        );
+        let two = ProgramStats::analyze(&plate);
+        assert_eq!(one.layer_count(), two.layer_count());
+        let material_ratio = two.total_extruded_mm / one.total_extruded_mm;
+        assert!(
+            (material_ratio - 2.0).abs() < 0.05,
+            "material ratio {material_ratio}"
+        );
+        assert!(
+            two.travel_path_mm > one.travel_path_mm + 10.0,
+            "island hops must add travel: {} vs {}",
+            two.travel_path_mm,
+            one.travel_path_mm
+        );
+    }
+
+    #[test]
+    fn shorter_island_stops_contributing() {
+        let cfg = SlicerConfig::fast();
+        let plate = slice_plate(
+            &[
+                (Solid::rect_prism(5.0, 5.0, 1.2), (25.0, 30.0)),
+                (Solid::rect_prism(5.0, 5.0, 0.3), (40.0, 30.0)),
+            ],
+            &cfg,
+        );
+        let s = ProgramStats::analyze(&plate);
+        assert_eq!(s.layer_count(), 4, "tallest island sets the layer count");
+    }
+
+    /// Counts extruding XY moves that change Y (vertical strokes). A
+    /// square's perimeter contributes exactly two per loop per layer;
+    /// horizontal infill contributes none.
+    fn vertical_extruding_moves(p: &Program) -> usize {
+        let (mut x, mut y) = (f64::NAN, f64::NAN);
+        let mut count = 0;
+        for cmd in p.commands() {
+            if let GCommand::Move {
+                x: mx, y: my, e, ..
+            } = cmd
+            {
+                let (nx, ny) = (mx.unwrap_or(x), my.unwrap_or(y));
+                if e.is_some_and(|e| e > 0.0) && (ny - y).abs() > 1e-9 {
+                    count += 1;
+                }
+                (x, y) = (nx, ny);
+            }
+        }
+        count
+    }
+
+    #[test]
+    fn aligned_infill_never_rotates() {
+        let solid = Solid::rect_prism(8.0, 8.0, 0.9); // 3 layers
+        let crosshatch = slice(&solid, &SlicerConfig::fast());
+        let aligned = slice(
+            &solid,
+            &SlicerConfig {
+                infill_pattern: InfillPattern::Aligned,
+                ..SlicerConfig::fast()
+            },
+        );
+        assert_ne!(crosshatch.to_gcode(), aligned.to_gcode());
+        // Aligned: only perimeter verticals (2 per layer, 1 perimeter).
+        assert_eq!(vertical_extruding_moves(&aligned), 6);
+        // Crosshatch: the middle layer's infill runs vertically too.
+        assert!(vertical_extruding_moves(&crosshatch) > 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one part")]
+    fn rejects_empty_plate() {
+        let _ = slice_plate(&[], &SlicerConfig::fast());
     }
 
     #[test]

@@ -8,6 +8,17 @@ use std::fmt::Write as _;
 
 use crate::ast::{GCommand, Program};
 
+/// Snaps a value onto the writer's canonical 5-decimal grid: the
+/// nearest representable double to `v` rounded at 5 decimals, so
+/// serializing and re-parsing the snapped value is exact
+/// (`parse(format(snap5(v))) == snap5(v)`). The single grid shared by
+/// the slicer (every emitted coordinate), the Flaw3D transforms
+/// (rewritten E words) and the corpus sampler (continuous config
+/// knobs).
+pub fn snap5(v: f64) -> f64 {
+    (v * 100_000.0).round() / 100_000.0
+}
+
 /// Formats a float with minimal digits (Marlin accepts up to 5 decimals;
 /// we emit up to 5 and strip trailing zeros).
 fn fmt_num(v: f64) -> String {

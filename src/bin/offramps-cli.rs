@@ -25,7 +25,9 @@ use std::sync::Arc;
 use offramps::trojans;
 use offramps::{detect, Capture, SignalPath, TestBench};
 use offramps_attacks::Flaw3dTrojan;
-use offramps_bench::campaign::{run_campaign, CampaignSpec, WorkloadId};
+use offramps_bench::campaign::{run_campaign, sweep_attacks, CampaignSpec};
+use offramps_bench::corpus::CorpusSpec;
+use offramps_bench::workloads::Workload;
 use offramps_gcode::slicer::{slice, SlicerConfig, Solid};
 use offramps_gcode::{parse, ProgramStats};
 
@@ -42,14 +44,27 @@ USAGE:
   offramps-cli campaign [--threads N] [--seed N] [--runs K] [--json out.json]
                         [--trojans none,t1,...,flaw3d-r90,flaw3d-rel20|all]
                         [--workloads mini,standard,tall,detection]
+                        [--corpus N] [--sweep] [--list]
+                        [--timing-json out.json]
 
 The campaign subcommand fans the attack x workload x seed matrix across
 worker threads; results are identical for every --threads value.
 Attacks: none, hardware Trojans t1-t9/tx1/tx2 (the monitor taps
 upstream of the Trojan mux, so only Trojans whose physical damage feeds
-back into motion surface in the capture), and upstream Flaw3D G-code
-attacks flaw3d-r<pct> / flaw3d-rel<n> (the rows the detector reliably
-catches).
+back into motion surface in the capture), parameterized Trojan specs
+(t2:0.25 flow, t5:200@2 Z-shift at a layer, t9:0.5 fan, ...), and
+upstream Flaw3D G-code attacks flaw3d-r<pct> / flaw3d-rel<n> (the rows
+the detector reliably catches).
+
+  --corpus N      append N procedurally generated workloads (from the
+                  master seed; same seed => byte-identical corpus)
+  --sweep         use the attack-parameter sweep grid (Flaw3D
+                  reduction/relocation grids + Trojan intensity and
+                  trigger-layer grids, 33 attacks) instead of --trojans
+  --list          print the expanded workloads, attacks and scenario
+                  count, then exit without simulating
+  --timing-json   write the non-deterministic host-timing sidecar
+                  (per-scenario wall_ms) next to the deterministic report
 ";
 
 fn main() -> ExitCode {
@@ -240,11 +255,35 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
             spec.trojans = list.split(',').map(|s| s.trim().to_string()).collect();
         }
     }
+    if args.iter().any(|a| a == "--sweep") {
+        spec.trojans = sweep_attacks();
+    }
     if let Some(list) = opt(args, "--workloads") {
         spec.workloads = list
             .split(',')
-            .map(|w| WorkloadId::from_name(w.trim()))
+            .map(|w| Workload::from_name(w.trim()))
             .collect::<Result<Vec<_>, _>>()?;
+    }
+    let corpus = opt_u64(args, "--corpus", 0)? as u32;
+    if corpus > 0 {
+        spec.workloads.extend(CorpusSpec::new(corpus).expand(seed));
+    }
+
+    if args.iter().any(|a| a == "--list") {
+        let scenarios = spec.scenarios()?;
+        println!("workloads ({}):", spec.workloads.len());
+        for w in &spec.workloads {
+            println!("  {:<10} {}", w.label(), w.spec().summary());
+        }
+        println!("attacks ({}):", spec.trojans.len());
+        println!("  {}", spec.trojans.join(", "));
+        println!(
+            "scenarios: {}   (runs per cell: {}, master seed: {})",
+            scenarios.len(),
+            spec.runs_per_cell.max(1),
+            spec.master_seed
+        );
+        return Ok(ExitCode::SUCCESS);
     }
 
     let report = run_campaign(&spec, threads.max(1))?;
@@ -259,6 +298,11 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
         use offramps_bench::json::ToJson;
         std::fs::write(&path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("report written:  {path}");
+    }
+    if let Some(path) = opt(args, "--timing-json") {
+        std::fs::write(&path, report.timing_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("timings written: {path}");
     }
     Ok(ExitCode::SUCCESS)
 }

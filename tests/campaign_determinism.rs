@@ -1,16 +1,20 @@
 //! The campaign runner's core guarantee: a fixed-seed campaign produces
 //! **byte-identical** summaries no matter how many worker threads
 //! execute it. Scenario seeds derive from labels, not scheduling order,
-//! and results are assembled in matrix order.
+//! and results are assembled in matrix order. The same holds with a
+//! procedurally generated corpus in the matrix: corpus expansion is a
+//! pure function of the master seed.
 
-use offramps_bench::campaign::{run_campaign, CampaignSpec, WorkloadId};
+use offramps_bench::campaign::{run_campaign, CampaignSpec};
+use offramps_bench::corpus::CorpusSpec;
 use offramps_bench::json::ToJson;
+use offramps_bench::workloads::Workload;
 
 fn spec() -> CampaignSpec {
     CampaignSpec {
         master_seed: 2024,
         trojans: vec!["none".into(), "t2".into(), "flaw3d-r50".into()],
-        workloads: vec![WorkloadId::Mini],
+        workloads: vec![Workload::mini()],
         runs_per_cell: 1,
     }
 }
@@ -67,4 +71,94 @@ fn campaign_detects_trojans_and_clears_clean_reprints() {
     // Every scenario actually simulated something.
     assert!(report.results.iter().all(|r| r.events > 0));
     assert!(report.total_events() > 0);
+
+    // The verdict is auditable from the report alone: the detector's
+    // inputs ride along with every judged scenario.
+    for r in &report.results {
+        assert!(
+            r.transactions_compared > 0,
+            "missing denominator: {}",
+            r.summary_line()
+        );
+        assert!(r.suspect_fraction > 0.0);
+        let json = r.to_json();
+        assert!(json.contains("\"transactions_compared\""), "{json}");
+        assert!(json.contains("\"suspect_fraction\""), "{json}");
+    }
+}
+
+/// Same master seed ⇒ byte-identical corpus: labels, specs and the
+/// sliced G-code itself.
+#[test]
+fn corpus_expansion_is_byte_identical() {
+    let a = CorpusSpec::new(6).expand(2024);
+    let b = CorpusSpec::new(6).expand(2024);
+    for (wa, wb) in a.iter().zip(&b) {
+        assert_eq!(wa.label(), wb.label());
+        assert_eq!(wa.spec(), wb.spec());
+        assert_eq!(
+            wa.program().to_gcode(),
+            wb.program().to_gcode(),
+            "corpus workload {} must slice byte-identically",
+            wa.label()
+        );
+    }
+}
+
+/// A corpus-bearing campaign (generated workloads × a parameterized
+/// attack grid) stays byte-identical across 1, 2 and 8 worker threads.
+#[test]
+fn corpus_campaign_is_thread_invariant() {
+    let corpus_spec = || {
+        let mut workloads = vec![Workload::mini()];
+        workloads.extend(CorpusSpec::new(4).expand(77));
+        CampaignSpec {
+            master_seed: 77,
+            trojans: vec![
+                "none".into(),
+                "t2:0.5".into(),
+                "t5:200@1".into(),
+                "flaw3d-r75".into(),
+            ],
+            workloads,
+            runs_per_cell: 1,
+        }
+    };
+    let one = run_campaign(&corpus_spec(), 1).expect("valid spec");
+    let two = run_campaign(&corpus_spec(), 2).expect("valid spec");
+    let eight = run_campaign(&corpus_spec(), 8).expect("valid spec");
+
+    assert_eq!(one.results.len(), 20, "4 attacks x (mini + 4 corpus)");
+    let s1 = one.summary();
+    assert_eq!(s1, two.summary(), "2 threads diverged from 1");
+    assert_eq!(s1, eight.summary(), "8 threads diverged from 1");
+    let j1 = one.to_json();
+    assert_eq!(j1, two.to_json());
+    assert_eq!(j1, eight.to_json());
+
+    // Corpus metadata is part of the artifact.
+    assert!(j1.contains("\"master_seed\": 77"), "{}", &j1[..200]);
+    assert!(j1.contains("\"gen-003\""));
+
+    // The canonical workload's scenario seeds are label-derived, so the
+    // corpus riding along must not perturb them: the mini/none row
+    // equals the one from a corpus-free campaign with the same seed.
+    let solo = CampaignSpec {
+        master_seed: 77,
+        trojans: vec!["none".into()],
+        workloads: vec![Workload::mini()],
+        runs_per_cell: 1,
+    };
+    let solo_report = run_campaign(&solo, 1).expect("valid spec");
+    let mini_none = one
+        .results
+        .iter()
+        .find(|r| r.scenario.workload == "mini" && r.scenario.trojan == "none")
+        .expect("mini/none ran");
+    assert_eq!(
+        mini_none.scenario.seed,
+        solo_report.results[0].scenario.seed
+    );
+    assert_eq!(mini_none.fw_steps, solo_report.results[0].fw_steps);
+    assert_eq!(mini_none.events, solo_report.results[0].events);
 }
