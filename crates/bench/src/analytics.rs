@@ -1,0 +1,349 @@
+//! Corpus-wide detection analytics: per-attack ROC over a
+//! suspect-fraction threshold grid.
+//!
+//! The paper judges every print at a single threshold (1 % suspect
+//! fraction). But each scenario record already carries the detector's
+//! raw material — `mismatched_transactions` over
+//! `transactions_compared`, plus the 0 %-margin final-totals bit — so
+//! verdicts can be **re-judged offline at any threshold** without
+//! re-running a single simulation. Sweeping [`THRESHOLD_GRID`] over a
+//! whole campaign (or a whole scenario store) yields, per attack, a
+//! detection-rate curve; the `"none"` attack's curve is the
+//! false-positive rate at the same thresholds, and the two together are
+//! the corpus-wide ROC.
+//!
+//! Re-judging goes through the same
+//! [`detect::floored_suspect_fraction`] helper as the live campaign
+//! judge, so the curve's value at the default 1 % base threshold
+//! reproduces each record's stored verdict exactly (an invariant the
+//! tests pin).
+
+use std::collections::BTreeMap;
+
+use offramps::detect;
+
+use crate::campaign::ScenarioResult;
+use crate::json::{ObjectWriter, ToJson, Value};
+
+/// The default suspect-fraction threshold grid: a log-ish sweep from
+/// "flag anything" to "flag only gross tampering", with the paper's
+/// 1 % in the middle. Ten points ≥ the eight the analytics contract
+/// promises.
+pub const THRESHOLD_GRID: [f64; 10] = [0.0, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5];
+
+/// One scenario's detection inputs, abstracted away from where the
+/// record came from (a live [`ScenarioResult`] or a store payload).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// Attack spec string (`"none"` for clean reprints).
+    pub attack: String,
+    /// Workload label the scenario printed.
+    pub workload: String,
+    /// Transactions with at least one out-of-margin axis.
+    pub mismatched_transactions: usize,
+    /// Transactions the detector compared.
+    pub transactions_compared: usize,
+    /// The end-of-print 0 %-margin totals check.
+    pub final_totals_match: Option<bool>,
+    /// Whether the scenario was judged at all (bench errors are not).
+    pub judged: bool,
+}
+
+impl Observation {
+    /// Extracts the detection inputs from a live campaign result.
+    pub fn from_result(r: &ScenarioResult) -> Observation {
+        Observation {
+            attack: r.scenario.trojan.clone(),
+            workload: r.scenario.workload.clone(),
+            mismatched_transactions: r.mismatched_transactions,
+            transactions_compared: r.transactions_compared,
+            final_totals_match: r.final_totals_match,
+            judged: r.suspect_fraction.is_some(),
+        }
+    }
+
+    /// Extracts the detection inputs from a decoded store payload (see
+    /// [`crate::cache::encode_result`]).
+    ///
+    /// # Errors
+    ///
+    /// Reports the first missing or mistyped field.
+    pub fn from_payload(v: &Value) -> Result<Observation, String> {
+        let str_field = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("payload missing string {key:?}"))
+        };
+        let count_field = |key: &str| -> Result<usize, String> {
+            v.get(key)
+                .and_then(Value::as_u64)
+                .map(|n| n as usize)
+                .ok_or_else(|| format!("payload missing count {key:?}"))
+        };
+        Ok(Observation {
+            attack: str_field("trojan")?,
+            workload: str_field("workload")?,
+            mismatched_transactions: count_field("mismatched_transactions")?,
+            transactions_compared: count_field("transactions_compared")?,
+            final_totals_match: match v.get("final_totals_match") {
+                None | Some(Value::Null) => None,
+                Some(Value::Bool(b)) => Some(*b),
+                Some(_) => return Err("final_totals_match is not bool/null".into()),
+            },
+            judged: v.get("suspect_fraction").is_some(),
+        })
+    }
+
+    /// Re-judges this scenario at `base` suspect fraction: the same
+    /// verdict rule as the live campaign judge — mismatch fraction over
+    /// the floored threshold, or a failed 0 %-margin totals check.
+    /// Unjudged scenarios are never detected.
+    pub fn detected_at(&self, base: f64) -> bool {
+        if !self.judged {
+            return false;
+        }
+        let threshold = detect::floored_suspect_fraction(base, self.transactions_compared);
+        let fraction = if self.transactions_compared == 0 {
+            0.0
+        } else {
+            self.mismatched_transactions as f64 / self.transactions_compared as f64
+        };
+        fraction > threshold || self.final_totals_match == Some(false)
+    }
+}
+
+/// One attack's detection-rate curve over the threshold grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackCurve {
+    /// Attack spec string.
+    pub attack: String,
+    /// Scenario records contributing (judged or not).
+    pub scenarios: usize,
+    /// Records that were actually judged (the rate's denominator).
+    pub judged: usize,
+    /// Detection rate at each grid threshold, `0.0` when nothing was
+    /// judged.
+    pub detection_rate: Vec<f64>,
+}
+
+impl ToJson for AttackCurve {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        let rates: Vec<String> = self
+            .detection_rate
+            .iter()
+            .map(|r| crate::json::number(*r))
+            .collect();
+        let mut w = ObjectWriter::new(out, indent);
+        w.string("attack", &self.attack)
+            .int("scenarios", self.scenarios as i128)
+            .int("judged", self.judged as i128)
+            .raw("detection_rate", &format!("[{}]", rates.join(", ")));
+        w.finish();
+    }
+}
+
+/// Per-attack ROC analytics over a set of scenario observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyticsReport {
+    /// The suspect-fraction grid every curve is evaluated on.
+    pub thresholds: Vec<f64>,
+    /// One curve per attack, sorted by attack name (deterministic
+    /// regardless of input order).
+    pub curves: Vec<AttackCurve>,
+}
+
+impl AnalyticsReport {
+    /// Sweeps `thresholds` over `observations`, grouping by attack.
+    pub fn over(observations: &[Observation], thresholds: &[f64]) -> AnalyticsReport {
+        let mut groups: BTreeMap<&str, Vec<&Observation>> = BTreeMap::new();
+        for obs in observations {
+            groups.entry(&obs.attack).or_default().push(obs);
+        }
+        let curves = groups
+            .into_iter()
+            .map(|(attack, group)| {
+                let judged = group.iter().filter(|o| o.judged).count();
+                let detection_rate = thresholds
+                    .iter()
+                    .map(|&t| {
+                        if judged == 0 {
+                            return 0.0;
+                        }
+                        let hits = group.iter().filter(|o| o.detected_at(t)).count();
+                        hits as f64 / judged as f64
+                    })
+                    .collect();
+                AttackCurve {
+                    attack: attack.to_string(),
+                    scenarios: group.len(),
+                    judged,
+                    detection_rate,
+                }
+            })
+            .collect();
+        AnalyticsReport {
+            thresholds: thresholds.to_vec(),
+            curves,
+        }
+    }
+
+    /// The analytics for a campaign's own results, on the default grid.
+    pub fn from_results(results: &[ScenarioResult]) -> AnalyticsReport {
+        let observations: Vec<Observation> = results.iter().map(Observation::from_result).collect();
+        AnalyticsReport::over(&observations, &THRESHOLD_GRID)
+    }
+
+    /// The `"none"` attack's curve — the false-positive rate at each
+    /// threshold, i.e. the ROC's x-axis for every other curve.
+    pub fn false_positive_curve(&self) -> Option<&AttackCurve> {
+        self.curves.iter().find(|c| c.attack == "none")
+    }
+
+    /// The curve for a specific attack.
+    pub fn curve(&self, attack: &str) -> Option<&AttackCurve> {
+        self.curves.iter().find(|c| c.attack == attack)
+    }
+
+    /// A deterministic human-readable table: one row per attack, one
+    /// column per threshold, false-positive row first.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:<14} {:>5} {:>6}", "attack", "runs", "judged"));
+        for t in &self.thresholds {
+            out.push_str(&format!(" {:>6}", format!("{t}")));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(27 + 7 * self.thresholds.len()));
+        out.push('\n');
+        let rows: Vec<&AttackCurve> = self
+            .false_positive_curve()
+            .into_iter()
+            .chain(self.curves.iter().filter(|c| c.attack != "none"))
+            .collect();
+        for c in rows {
+            out.push_str(&format!(
+                "{:<14} {:>5} {:>6}",
+                c.attack, c.scenarios, c.judged
+            ));
+            for r in &c.detection_rate {
+                out.push_str(&format!(" {:>6.3}", r));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl ToJson for AnalyticsReport {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        let grid: Vec<String> = self
+            .thresholds
+            .iter()
+            .map(|t| crate::json::number(*t))
+            .collect();
+        let mut w = ObjectWriter::new(out, indent);
+        w.raw("thresholds", &format!("[{}]", grid.join(", ")));
+        if let Some(fp) = self.false_positive_curve() {
+            let rates: Vec<String> = fp
+                .detection_rate
+                .iter()
+                .map(|r| crate::json::number(*r))
+                .collect();
+            w.raw("false_positive_rate", &format!("[{}]", rates.join(", ")));
+        }
+        w.value("attacks", &self.curves);
+        w.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(attack: &str, mismatched: usize, compared: usize, totals: Option<bool>) -> Observation {
+        Observation {
+            attack: attack.into(),
+            workload: "w".into(),
+            mismatched_transactions: mismatched,
+            transactions_compared: compared,
+            final_totals_match: totals,
+            judged: true,
+        }
+    }
+
+    #[test]
+    fn grid_has_at_least_eight_thresholds_and_the_papers_default() {
+        assert!(THRESHOLD_GRID.len() >= 8);
+        assert!(THRESHOLD_GRID.contains(&0.01));
+        assert!(THRESHOLD_GRID.windows(2).all(|w| w[0] < w[1]), "sorted");
+    }
+
+    #[test]
+    fn rejudging_is_monotone_in_threshold() {
+        let o = obs("t", 30, 1_000, Some(true));
+        let verdicts: Vec<bool> = THRESHOLD_GRID.iter().map(|&t| o.detected_at(t)).collect();
+        // Once a higher threshold clears it, it stays cleared.
+        for pair in verdicts.windows(2) {
+            assert!(pair[0] || !pair[1], "{verdicts:?}");
+        }
+        assert!(verdicts[0], "3% mismatches over threshold 0");
+        assert!(!verdicts[THRESHOLD_GRID.len() - 1], "3% under 50%");
+    }
+
+    #[test]
+    fn floor_applies_to_the_grid_and_final_check_floors_the_curve() {
+        // 1 wobble in 50 transactions: under the 2.8-transaction floor
+        // even at base threshold 0.
+        assert!(!obs("t", 1, 50, Some(true)).detected_at(0.0));
+        // A failed totals check is caught at every threshold.
+        let sneaky = obs("t", 0, 50, Some(false));
+        assert!(THRESHOLD_GRID.iter().all(|&t| sneaky.detected_at(t)));
+        // Unjudged scenarios never count as detected.
+        let unjudged = Observation {
+            judged: false,
+            ..obs("t", 50, 50, Some(false))
+        };
+        assert!(THRESHOLD_GRID.iter().all(|&t| !unjudged.detected_at(t)));
+    }
+
+    #[test]
+    fn report_groups_sorts_and_rates() {
+        let observations = vec![
+            obs("t2", 40, 100, Some(true)),  // 40% fraction
+            obs("t2", 0, 100, Some(true)),   // clean
+            obs("none", 0, 100, Some(true)), // clean
+            obs("flaw3d", 90, 100, Some(false)),
+        ];
+        let report = AnalyticsReport::over(&observations, &THRESHOLD_GRID);
+        let attacks: Vec<&str> = report.curves.iter().map(|c| c.attack.as_str()).collect();
+        assert_eq!(attacks, vec!["flaw3d", "none", "t2"], "sorted by name");
+        let t2 = report.curve("t2").unwrap();
+        assert_eq!(t2.scenarios, 2);
+        assert_eq!(t2.detection_rate[3], 0.5, "one of two t2 runs over 1%");
+        assert_eq!(
+            report.false_positive_curve().unwrap().detection_rate[3],
+            0.0
+        );
+        let flaw = report.curve("flaw3d").unwrap();
+        assert!(
+            flaw.detection_rate.iter().all(|&r| r == 1.0),
+            "totals check floors the curve"
+        );
+
+        let json = crate::json::to_string_pretty(&report);
+        let v = crate::json::parse(&json).unwrap();
+        assert_eq!(
+            v.get("thresholds").unwrap().as_array().unwrap().len(),
+            THRESHOLD_GRID.len()
+        );
+        assert_eq!(v.get("attacks").unwrap().as_array().unwrap().len(), 3);
+        assert!(v.get("false_positive_rate").is_some());
+
+        let table = report.summary();
+        assert!(table.starts_with("attack"), "{table}");
+        assert!(table.contains("flaw3d"), "{table}");
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[2].starts_with("none"), "FPR row leads: {table}");
+    }
+}

@@ -1,0 +1,502 @@
+//! Incremental campaigns: wire the scenario matrix through the
+//! content-addressed [`offramps_store::Store`].
+//!
+//! Every scenario's outcome is a pure function of its inputs — the
+//! workload spec, the attack spec, the golden and run seeds, and the
+//! detector policy. [`scenario_key`] spells those inputs out as a
+//! canonical string (with a format-version salt), and
+//! [`run_campaign_cached`] consults the store before simulating: hits
+//! are decoded back into [`ScenarioResult`]s, only misses fan out to
+//! the worker pool, and fresh results are appended to the store in
+//! matrix order. A 10k-scenario rerun after a one-line corpus change
+//! recomputes exactly the delta.
+//!
+//! Two invariants the integration tests pin:
+//!
+//! * **Byte identity.** The summary and JSON report are identical
+//!   whether results come from cache or fresh runs, for any thread
+//!   count (host timing is already excluded from both artifacts).
+//! * **Content addressing is the only invalidation.** Nothing expires;
+//!   changing any fingerprinted input (or bumping
+//!   [`SCENARIO_KEY_VERSION`]) changes the key, so stale records are
+//!   simply never addressed again.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+use offramps_gcode::slicer::Solid;
+use offramps_gcode::spec::WorkloadSpec;
+use offramps_gcode::Program;
+use offramps_store::Store;
+
+use crate::campaign::{
+    campaign_detector_policy, run_scenario, CampaignReport, CampaignSpec, Scenario, ScenarioResult,
+};
+use crate::json::{self, ObjectWriter, Value};
+use crate::workloads::Workload;
+
+/// Version salt baked into every scenario key. Bump it whenever the
+/// meaning of a stored result changes (new payload fields, a detector
+/// semantics change that the policy string cannot express, a capture
+/// format change): the whole previous generation of records stops
+/// being addressed at once.
+pub const SCENARIO_KEY_VERSION: u32 = 1;
+
+/// The literal key prefix for the current generation (kept in lockstep
+/// with [`SCENARIO_KEY_VERSION`] by a unit test) so per-record checks
+/// never allocate.
+const SCENARIO_KEY_PREFIX: &str = "offramps-scenario/v1|";
+
+/// Whether a store key is a current-generation scenario record (the
+/// `analytics` CLI skips foreign or previous-generation records).
+pub fn is_scenario_key(key: &str) -> bool {
+    key.starts_with(SCENARIO_KEY_PREFIX)
+}
+
+/// Decodes every current-generation scenario record in a store into
+/// analytics observations, in the store's deterministic (fingerprint)
+/// order. Returns the observations and the number of skipped records
+/// (foreign keys, previous generations, undecodable payloads).
+pub fn store_observations(store: &Store) -> (Vec<crate::analytics::Observation>, usize) {
+    let mut observations = Vec::new();
+    let mut skipped = 0usize;
+    for (key, value) in store.iter() {
+        if !is_scenario_key(key) {
+            skipped += 1;
+            continue;
+        }
+        match json::parse(value).and_then(|v| crate::analytics::Observation::from_payload(&v)) {
+            Ok(obs) => observations.push(obs),
+            Err(_) => skipped += 1,
+        }
+    }
+    (observations, skipped)
+}
+
+/// Cache effectiveness of one [`run_campaign_cached`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Scenarios answered from the store.
+    pub hits: usize,
+    /// Scenarios that had to be simulated (and were then stored).
+    pub misses: usize,
+}
+
+impl CacheStats {
+    /// Total scenarios consulted.
+    pub fn total(&self) -> usize {
+        self.hits + self.misses
+    }
+
+    /// The one-line human rendering the CLI and CI smoke grep for.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "cache: hits={} misses={} (executed {} of {} scenarios)",
+            self.hits,
+            self.misses,
+            self.misses,
+            self.total()
+        )
+    }
+}
+
+fn canon_f64(v: f64) -> String {
+    // Shortest round-trip rendering: canonical and exact.
+    format!("{v}")
+}
+
+/// The canonical JSON rendering of a workload spec: compact, fixed
+/// field order, shortest-round-trip floats. Equal specs — and only
+/// equal specs — produce equal strings, so this is the workload's
+/// content address regardless of the label it runs under.
+pub fn canonical_workload_json(spec: &WorkloadSpec) -> String {
+    let solid = match &spec.solid {
+        Solid::RectPrism {
+            width,
+            depth,
+            height,
+        } => format!(
+            r#"{{"type":"rect","width":{},"depth":{},"height":{}}}"#,
+            canon_f64(*width),
+            canon_f64(*depth),
+            canon_f64(*height)
+        ),
+        Solid::Prism {
+            radius,
+            height,
+            segments,
+        } => format!(
+            r#"{{"type":"prism","radius":{},"height":{},"segments":{}}}"#,
+            canon_f64(*radius),
+            canon_f64(*height),
+            segments
+        ),
+    };
+    let c = &spec.config;
+    format!(
+        concat!(
+            r#"{{"solid":{},"copies":{},"spacing":{},"config":{{"#,
+            r#""layer_height":{},"extrusion_width":{},"filament_diameter":{},"#,
+            r#""perimeters":{},"infill_spacing":{},"infill_pattern":"{:?}","#,
+            r#""print_speed":{},"first_layer_speed":{},"travel_speed":{},"#,
+            r#""retract_len":{},"retract_speed":{},"hotend_temp":{},"bed_temp":{},"#,
+            r#""fan_duty":{},"fan_from_layer":{},"flow":{},"center":[{},{}]}}}}"#
+        ),
+        solid,
+        spec.copies,
+        canon_f64(spec.spacing),
+        canon_f64(c.layer_height),
+        canon_f64(c.extrusion_width),
+        canon_f64(c.filament_diameter),
+        c.perimeters,
+        canon_f64(c.infill_spacing),
+        c.infill_pattern,
+        canon_f64(c.print_speed),
+        canon_f64(c.first_layer_speed),
+        canon_f64(c.travel_speed),
+        canon_f64(c.retract_len),
+        canon_f64(c.retract_speed),
+        canon_f64(c.hotend_temp),
+        canon_f64(c.bed_temp),
+        c.fan_duty,
+        c.fan_from_layer,
+        canon_f64(c.flow),
+        canon_f64(spec.config.center.0),
+        canon_f64(spec.config.center.1),
+    )
+}
+
+/// The canonical key addressing one scenario's result: every input that
+/// influences the outcome, spelled out. The workload enters as its
+/// canonical spec JSON (not its label), the attack as its parsed spec
+/// string, the detector as the full judging policy, plus both seeds and
+/// the format-version salt.
+pub fn scenario_key(
+    workload_json: &str,
+    attack: &str,
+    golden_seed: u64,
+    run_seed: u64,
+    detector_policy: &str,
+) -> String {
+    format!(
+        "{SCENARIO_KEY_PREFIX}workload={workload_json}|attack={attack}|golden_seed={golden_seed}|run_seed={run_seed}|detector={detector_policy}"
+    )
+}
+
+/// Encodes a scenario's outcome as the store payload: every
+/// deterministic field of [`ScenarioResult`] (host timing excluded),
+/// plus the attack and workload label so store-wide analytics can group
+/// records without re-deriving a campaign spec.
+pub fn encode_result(r: &ScenarioResult) -> String {
+    let mut out = String::new();
+    let mut w = ObjectWriter::new(&mut out, 0);
+    w.string("trojan", &r.scenario.trojan)
+        .string("workload", &r.scenario.workload)
+        .string("fw_state", &r.fw_state)
+        .int("events", r.events as i128)
+        .int("sim_ns", r.sim_ns as i128)
+        .raw(
+            "fw_steps",
+            &format!(
+                "[{}, {}, {}, {}]",
+                r.fw_steps[0], r.fw_steps[1], r.fw_steps[2], r.fw_steps[3]
+            ),
+        );
+    // The verdict fields go through the same writer as the report JSON,
+    // so the payload can never drift from what `ScenarioResult`
+    // serializes.
+    r.write_verdict_fields(&mut w);
+    w.finish();
+    out
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    v.get(key).ok_or_else(|| format!("payload missing {key:?}"))
+}
+
+fn int_field(v: &Value, key: &str) -> Result<u64, String> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("payload field {key:?} is not an integer"))
+}
+
+/// Decodes a store payload back into a [`ScenarioResult`] for the given
+/// scenario slot. The decoded result renders byte-identically to the
+/// fresh one in both the summary table and the JSON report; only
+/// `wall_ms` (excluded from both) is zeroed.
+pub fn decode_result(scenario: Scenario, payload: &str) -> Result<ScenarioResult, String> {
+    let v = json::parse(payload)?;
+    let steps = field(&v, "fw_steps")?
+        .as_array()
+        .ok_or("payload field \"fw_steps\" is not an array")?;
+    if steps.len() != 4 {
+        return Err(format!("fw_steps has {} entries", steps.len()));
+    }
+    let mut fw_steps = [0i64; 4];
+    for (slot, step) in fw_steps.iter_mut().zip(steps) {
+        *slot = step.as_i128().ok_or("fw_steps entry is not an integer")? as i64;
+    }
+    let final_totals_match = match field(&v, "final_totals_match")? {
+        Value::Null => None,
+        Value::Bool(b) => Some(*b),
+        _ => return Err("payload field \"final_totals_match\" is not bool/null".into()),
+    };
+    let suspect_fraction = match v.get("suspect_fraction") {
+        None => None,
+        Some(f) => Some(
+            f.as_f64()
+                .ok_or("payload field \"suspect_fraction\" is not a number")?,
+        ),
+    };
+    Ok(ScenarioResult {
+        scenario,
+        fw_state: field(&v, "fw_state")?
+            .as_str()
+            .ok_or("payload field \"fw_state\" is not a string")?
+            .to_string(),
+        events: int_field(&v, "events")?,
+        sim_ns: int_field(&v, "sim_ns")?,
+        fw_steps,
+        detected: field(&v, "detected")?
+            .as_bool()
+            .ok_or("payload field \"detected\" is not a bool")?,
+        mismatches: int_field(&v, "mismatches")? as usize,
+        mismatched_transactions: int_field(&v, "mismatched_transactions")? as usize,
+        transactions_compared: int_field(&v, "transactions_compared")? as usize,
+        final_totals_match,
+        suspect_fraction,
+        wall_ms: 0,
+    })
+}
+
+/// Runs the campaign through the store: cached scenarios are decoded,
+/// only misses are simulated (on `threads` workers), and fresh results
+/// are appended to the store in matrix order. Workload slicing and
+/// golden captures are computed only for workloads with at least one
+/// miss — a fully cached rerun executes **zero** simulation.
+///
+/// # Errors
+///
+/// Reports an invalid spec (like [`crate::campaign::run_campaign`]) or
+/// a store I/O failure. A record that exists but fails to decode is
+/// treated as a miss and recomputed (the rewrite supersedes it).
+pub fn run_campaign_cached(
+    spec: &CampaignSpec,
+    threads: usize,
+    store: &mut Store,
+) -> Result<(CampaignReport, CacheStats), String> {
+    let scenarios = spec.scenarios()?;
+    let t0 = Instant::now();
+
+    let canon: HashMap<&str, String> = spec
+        .workloads
+        .iter()
+        .map(|w| (w.label(), canonical_workload_json(w.spec())))
+        .collect();
+    let policy = campaign_detector_policy();
+    let keys: Vec<String> = scenarios
+        .iter()
+        .map(|sc| {
+            scenario_key(
+                &canon[sc.workload.as_str()],
+                &sc.trojan,
+                spec.golden_seed(&sc.workload),
+                sc.seed,
+                &policy,
+            )
+        })
+        .collect();
+
+    let mut results: Vec<Option<ScenarioResult>> = Vec::with_capacity(scenarios.len());
+    let mut misses: Vec<&Scenario> = Vec::new();
+    for (sc, key) in scenarios.iter().zip(&keys) {
+        let decoded = store
+            .get(key)
+            .and_then(|p| decode_result(sc.clone(), p).ok());
+        if decoded.is_none() {
+            misses.push(sc);
+        }
+        results.push(decoded);
+    }
+    let stats = CacheStats {
+        hits: scenarios.len() - misses.len(),
+        misses: misses.len(),
+    };
+
+    if !misses.is_empty() {
+        let needed: HashSet<&str> = misses.iter().map(|sc| sc.workload.as_str()).collect();
+        let workloads: Vec<&Workload> = spec
+            .workloads
+            .iter()
+            .filter(|w| needed.contains(w.label()))
+            .collect();
+        let programs: HashMap<&str, Arc<Program>> = workloads
+            .iter()
+            .zip(crate::campaign::parallel_map(&workloads, threads, |w| {
+                w.program()
+            }))
+            .map(|(w, program)| (w.label(), program))
+            .collect();
+        let goldens: HashMap<&str, offramps::Capture> = workloads
+            .iter()
+            .zip(crate::campaign::parallel_map(&workloads, threads, |w| {
+                crate::campaign::golden_capture(spec, w, &programs[w.label()])
+            }))
+            .map(|(w, cap)| (w.label(), cap))
+            .collect();
+
+        let fresh = crate::campaign::parallel_map(&misses, threads, |sc| {
+            run_scenario(
+                sc,
+                &programs[sc.workload.as_str()],
+                &goldens[sc.workload.as_str()],
+            )
+        });
+        for r in fresh {
+            let index = r.scenario.index;
+            store
+                .put(&keys[index], &encode_result(&r))
+                .map_err(|e| format!("cannot append to scenario store: {e}"))?;
+            results[index] = Some(r);
+        }
+    }
+
+    let results: Vec<ScenarioResult> = results
+        .into_iter()
+        .map(|r| r.expect("every scenario is either a hit or a recomputed miss"))
+        .collect();
+    Ok((
+        CampaignReport {
+            spec: spec.clone(),
+            results,
+            threads,
+            wall_s: t0.elapsed().as_secs_f64(),
+        },
+        stats,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::ToJson;
+    use offramps::detect;
+    use offramps_gcode::slicer::SlicerConfig;
+
+    #[test]
+    fn canonical_json_distinguishes_specs_and_is_stable() {
+        let a = Workload::mini();
+        let b = Workload::standard();
+        assert_eq!(
+            canonical_workload_json(a.spec()),
+            canonical_workload_json(a.spec())
+        );
+        assert_ne!(
+            canonical_workload_json(a.spec()),
+            canonical_workload_json(b.spec())
+        );
+        // It is valid JSON on our own parser.
+        let v = json::parse(&canonical_workload_json(a.spec())).unwrap();
+        assert_eq!(v.get("copies").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            v.get("config").unwrap().get("perimeters").unwrap().as_u64(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn canonical_json_reacts_to_every_knob_group() {
+        let base = WorkloadSpec::single(Solid::rect_prism(5.0, 5.0, 0.6), SlicerConfig::fast());
+        let base_json = canonical_workload_json(&base);
+        let mut geometry = base.clone();
+        geometry.solid = Solid::rect_prism(5.0, 5.5, 0.6);
+        let mut profile = base.clone();
+        profile.config.flow = 1.05;
+        let mut plate = base.clone();
+        plate.copies = 2;
+        plate.spacing = 11.0;
+        for (name, spec) in [
+            ("geometry", geometry),
+            ("profile", profile),
+            ("plate", plate),
+        ] {
+            assert_ne!(base_json, canonical_workload_json(&spec), "{name}");
+        }
+    }
+
+    #[test]
+    fn scenario_keys_separate_every_input() {
+        let w = canonical_workload_json(Workload::mini().spec());
+        let policy = campaign_detector_policy();
+        let base = scenario_key(&w, "t2", 1, 2, &policy);
+        assert_ne!(base, scenario_key(&w, "t2:0.5", 1, 2, &policy));
+        assert_ne!(base, scenario_key(&w, "t2", 3, 2, &policy));
+        assert_ne!(base, scenario_key(&w, "t2", 1, 4, &policy));
+        assert_ne!(base, scenario_key(&w, "t2", 1, 2, "other policy"));
+        assert!(is_scenario_key(&base));
+        assert!(!is_scenario_key("offramps-scenario/v0|stale"));
+        // The allocation-free prefix stays in lockstep with the salt.
+        assert_eq!(
+            SCENARIO_KEY_PREFIX,
+            format!("offramps-scenario/v{SCENARIO_KEY_VERSION}|")
+        );
+    }
+
+    #[test]
+    fn result_payload_round_trips_exactly() {
+        let scenario = Scenario {
+            index: 3,
+            trojan: "t5:200@2".into(),
+            workload: "gen-001".into(),
+            run: 0,
+            seed: u64::MAX - 17, // exercises > 2^53 integers
+        };
+        let original = ScenarioResult {
+            scenario: scenario.clone(),
+            fw_state: "Finished".into(),
+            events: 123_456_789_012,
+            sim_ns: 34_300_000_000,
+            fw_steps: [-12, 0, 240, 666],
+            detected: true,
+            mismatches: 28,
+            mismatched_transactions: 17,
+            transactions_compared: 70,
+            final_totals_match: Some(false),
+            suspect_fraction: Some(detect::floored_suspect_fraction(0.01, 70)),
+            wall_ms: 999, // must NOT survive: host timing is not cached
+        };
+        let decoded = decode_result(scenario, &encode_result(&original)).unwrap();
+        assert_eq!(decoded.suspect_fraction, original.suspect_fraction);
+        assert_eq!(decoded.fw_steps, original.fw_steps);
+        assert_eq!(decoded.summary_line(), original.summary_line());
+        assert_eq!(decoded.to_json(), original.to_json());
+        assert_eq!(decoded.wall_ms, 0);
+
+        // Unjudged (error) scenarios: suspect_fraction stays absent.
+        let error = ScenarioResult {
+            suspect_fraction: None,
+            final_totals_match: None,
+            fw_state: "error: thermal runaway".into(),
+            ..original
+        };
+        let payload = encode_result(&error);
+        assert!(!payload.contains("suspect_fraction"), "{payload}");
+        let decoded = decode_result(error.scenario.clone(), &payload).unwrap();
+        assert_eq!(decoded.suspect_fraction, None);
+        assert_eq!(decoded.to_json(), error.to_json());
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let scenario = Scenario {
+            index: 0,
+            trojan: "none".into(),
+            workload: "mini".into(),
+            run: 0,
+            seed: 1,
+        };
+        assert!(decode_result(scenario.clone(), "{}").is_err());
+        assert!(decode_result(scenario, "not json").is_err());
+    }
+}

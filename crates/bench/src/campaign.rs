@@ -262,15 +262,28 @@ pub struct ScenarioResult {
     /// Whether the step-count detector flagged the print against the
     /// workload's golden capture.
     pub detected: bool,
-    /// Out-of-margin transaction values against the golden capture.
+    /// Out-of-margin transaction *values* against the golden capture
+    /// (a transaction with two bad axes counts twice).
     pub mismatches: usize,
+    /// Transactions with at least one out-of-margin axis — the
+    /// numerator the suspect-fraction verdict actually uses. With
+    /// `transactions_compared` this lets the verdict be re-judged
+    /// offline at any threshold (the analytics ROC sweep).
+    pub mismatched_transactions: usize,
     /// Transactions the detector compared (the denominator of the
-    /// suspect fraction — with `mismatches`, makes the verdict
+    /// suspect fraction — with the counts above, makes the verdict
     /// auditable from the JSON report alone).
     pub transactions_compared: usize,
+    /// The end-of-print 0 %-margin totals check (`None` when either
+    /// capture was empty or the scenario was never judged).
+    pub final_totals_match: Option<bool>,
     /// The suspect-fraction threshold this scenario was judged with
-    /// (the paper's 1 %, floored at two mismatching transactions).
-    pub suspect_fraction: f64,
+    /// (the paper's 1 %, floored by
+    /// [`offramps::detect::floored_suspect_fraction`]). `None` — and
+    /// absent from the JSON — for scenarios that were never judged
+    /// (bench errors): an unjudged run is not a run judged at
+    /// threshold 0.
+    pub suspect_fraction: Option<f64>,
     /// Host milliseconds the run took (excluded from the deterministic
     /// summary and JSON; see [`CampaignReport::timing_json`]).
     pub wall_ms: u64,
@@ -299,6 +312,28 @@ impl ScenarioResult {
     }
 }
 
+impl ScenarioResult {
+    /// Emits the detection-verdict fields shared by the report JSON and
+    /// the scenario-store payload — one writer, so the two formats can
+    /// never drift apart field by field.
+    pub(crate) fn write_verdict_fields(&self, w: &mut ObjectWriter<'_>) {
+        w.bool("detected", self.detected)
+            .int("mismatches", self.mismatches as i128)
+            .int(
+                "mismatched_transactions",
+                self.mismatched_transactions as i128,
+            )
+            .int("transactions_compared", self.transactions_compared as i128);
+        match self.final_totals_match {
+            Some(v) => w.bool("final_totals_match", v),
+            None => w.raw("final_totals_match", "null"),
+        };
+        if let Some(fraction) = self.suspect_fraction {
+            w.float("suspect_fraction", fraction);
+        }
+    }
+}
+
 impl ToJson for ScenarioResult {
     fn write_json(&self, out: &mut String, indent: usize) {
         let mut w = ObjectWriter::new(out, indent);
@@ -309,11 +344,8 @@ impl ToJson for ScenarioResult {
             .int("seed", self.scenario.seed as i128)
             .string("fw_state", &self.fw_state)
             .int("events", self.events as i128)
-            .int("sim_ns", self.sim_ns as i128)
-            .bool("detected", self.detected)
-            .int("mismatches", self.mismatches as i128)
-            .int("transactions_compared", self.transactions_compared as i128)
-            .float("suspect_fraction", self.suspect_fraction);
+            .int("sim_ns", self.sim_ns as i128);
+        self.write_verdict_fields(&mut w);
         w.finish();
     }
 }
@@ -421,6 +453,10 @@ impl ToJson for CampaignReport {
             .int("runs", self.results.len() as i128)
             .int("events", self.total_events() as i128)
             .int("detections", self.detections() as i128)
+            .value(
+                "analytics",
+                &crate::analytics::AnalyticsReport::from_results(&self.results),
+            )
             .value("results", &self.results);
         w.finish();
     }
@@ -429,7 +465,7 @@ impl ToJson for CampaignReport {
 /// Maps `f` over `items` on a pool of `threads` workers, preserving
 /// input order in the output. Work is claimed from a shared atomic
 /// index, so stragglers never idle the pool.
-fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+pub(crate) fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -459,24 +495,53 @@ where
 }
 
 /// The detector configuration a campaign judges with: the paper's
-/// defaults, except that at least three mismatching transactions are
-/// required. Short prints export few transactions, and clean reprints
-/// can wobble at independent sampling boundaries (time noise shifts
-/// which 0.1 s window a step burst lands in) plus once more where the
-/// end-of-print conclusion sample of the shorter capture lines up
-/// against a periodic sample of the longer — two wobbles on a
-/// 70-transaction capture would exceed the paper's 1 % suspect
-/// fraction, so the floor sits just above them.
-fn campaign_detector(golden: &Capture, observed: &Capture) -> detect::DetectorConfig {
-    let n = golden.len().min(observed.len()).max(1);
+/// defaults, with the suspect fraction floored by
+/// [`detect::floored_suspect_fraction`] so a couple of
+/// sampling-boundary wobbles on a short print can never flag a clean
+/// reprint (see [`detect::SUSPECT_TRANSACTION_FLOOR`]).
+pub(crate) fn campaign_detector(golden: &Capture, observed: &Capture) -> detect::DetectorConfig {
+    let n = golden.len().min(observed.len());
+    let base = detect::DetectorConfig::default();
     detect::DetectorConfig {
-        suspect_fraction: f64::max(0.01, 2.8 / n as f64),
-        ..detect::DetectorConfig::default()
+        suspect_fraction: detect::floored_suspect_fraction(base.suspect_fraction, n),
+        ..base
     }
 }
 
+/// The canonical rendering of the campaign's judging policy — every
+/// knob that shapes a verdict, for the scenario store's content
+/// addressing. A change to the detector defaults or the floor constant
+/// changes this string, which invalidates every cached verdict at
+/// once (by changing their keys, not by deleting anything).
+pub fn campaign_detector_policy() -> String {
+    let base = detect::DetectorConfig::default();
+    format!(
+        "margin={};floor={};base={};final={};txn_floor={}",
+        base.margin,
+        base.denominator_floor,
+        base.suspect_fraction,
+        base.final_check,
+        detect::SUSPECT_TRANSACTION_FLOOR,
+    )
+}
+
+/// Produces the golden capture for one workload under the campaign's
+/// label-derived golden seed.
+pub(crate) fn golden_capture(spec: &CampaignSpec, w: &Workload, program: &Arc<Program>) -> Capture {
+    TestBench::new(spec.golden_seed(w.label()))
+        .signal_path(SignalPath::capture())
+        .run(program)
+        .expect("golden campaign run")
+        .capture
+        .expect("capture path active")
+}
+
 /// Runs one scenario against its workload's golden capture.
-fn run_scenario(scenario: &Scenario, program: &Arc<Program>, golden: &Capture) -> ScenarioResult {
+pub(crate) fn run_scenario(
+    scenario: &Scenario,
+    program: &Arc<Program>,
+    golden: &Capture,
+) -> ScenarioResult {
     let mut bench = TestBench::new(scenario.seed).signal_path(SignalPath::capture());
     let mut job = Arc::clone(program);
     match parse_attack(&scenario.trojan).expect("names validated by CampaignSpec") {
@@ -492,8 +557,8 @@ fn run_scenario(scenario: &Scenario, program: &Arc<Program>, golden: &Capture) -
                 (detect::compare(golden, cap, &cfg), cfg.suspect_fraction)
             });
             let (report, suspect_fraction) = match judged {
-                Some((report, fraction)) => (Some(report), fraction),
-                None => (None, 0.0),
+                Some((report, fraction)) => (Some(report), Some(fraction)),
+                None => (None, None),
             };
             ScenarioResult {
                 scenario: scenario.clone(),
@@ -503,7 +568,9 @@ fn run_scenario(scenario: &Scenario, program: &Arc<Program>, golden: &Capture) -
                 fw_steps: art.fw_steps,
                 detected: report.as_ref().is_some_and(|r| r.trojan_suspected),
                 mismatches: report.as_ref().map_or(0, |r| r.mismatches.len()),
+                mismatched_transactions: report.as_ref().map_or(0, |r| r.mismatched_transactions()),
                 transactions_compared: report.as_ref().map_or(0, |r| r.transactions_compared),
+                final_totals_match: report.as_ref().and_then(|r| r.final_totals_match),
                 suspect_fraction,
                 wall_ms: t0.elapsed().as_millis() as u64,
             }
@@ -516,8 +583,10 @@ fn run_scenario(scenario: &Scenario, program: &Arc<Program>, golden: &Capture) -
             fw_steps: [0; 4],
             detected: false,
             mismatches: 0,
+            mismatched_transactions: 0,
             transactions_compared: 0,
-            suspect_fraction: 0.0,
+            final_totals_match: None,
+            suspect_fraction: None,
             wall_ms: t0.elapsed().as_millis() as u64,
         },
     }
@@ -569,12 +638,7 @@ pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> Result<CampaignRepor
         .workloads
         .iter()
         .zip(parallel_map(&spec.workloads, threads, |w| {
-            TestBench::new(spec.golden_seed(w.label()))
-                .signal_path(SignalPath::capture())
-                .run(&programs[w.label()])
-                .expect("golden campaign run")
-                .capture
-                .expect("capture path active")
+            golden_capture(spec, w, &programs[w.label()])
         }))
         .map(|(w, cap)| (w.label().to_string(), cap))
         .collect();

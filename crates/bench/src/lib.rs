@@ -8,7 +8,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analytics;
 pub mod baseline;
+pub mod cache;
 pub mod campaign;
 pub mod corpus;
 pub mod fig4;

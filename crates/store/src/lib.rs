@@ -1,0 +1,423 @@
+//! `offramps-store` — a dependency-free, content-addressed, sharded
+//! on-disk record store.
+//!
+//! Campaign-scale evaluation reruns the same scenario matrix over and
+//! over with small deltas: one more corpus part, one new attack spec,
+//! one detector tweak. The store turns those reruns incremental. Every
+//! record is addressed by a [`Fingerprint`] of its *canonical key* — a
+//! string spelling out every input that influenced the value — and
+//! appended to a shard log chosen by the fingerprint's top byte. An
+//! in-memory index (rebuilt by scanning the shard logs at
+//! [`Store::open`]) makes lookups O(1); a rerun only recomputes the
+//! scenarios whose keys are not yet present.
+//!
+//! Design points:
+//!
+//! * **Content addressing, verified.** The full key is stored with each
+//!   record and compared on [`Store::get`]; a hash collision degrades
+//!   to a cache miss, never to a wrong value.
+//! * **Append-only shard logs.** Records are single escaped lines in
+//!   `shards/<xx>.log` (256 shards by fingerprint prefix). Rewritten
+//!   keys append a new line; the last line wins on reload. A torn or
+//!   malformed line is skipped (and counted), never fatal.
+//! * **Deterministic iteration.** The index is a `BTreeMap` keyed by
+//!   fingerprint, so [`Store::iter`] walks records in a stable order
+//!   regardless of insertion history — analytics built on it are
+//!   byte-reproducible.
+//! * **No invalidation logic.** Values never expire; changing any
+//!   fingerprinted input changes the key, so stale records simply stop
+//!   being addressed. Bump a key-side format salt to retire a whole
+//!   generation at once.
+//!
+//! # Example
+//!
+//! ```
+//! use offramps_store::Store;
+//!
+//! let dir = std::env::temp_dir().join("offramps-store-doc");
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let mut store = Store::open(&dir).unwrap();
+//! assert!(store.get("scenario A").is_none());
+//! store.put("scenario A", "result payload").unwrap();
+//! assert_eq!(store.get("scenario A"), Some("result payload"));
+//!
+//! // Reopening rebuilds the index from the shard logs.
+//! let store = Store::open(&dir).unwrap();
+//! assert_eq!(store.len(), 1);
+//! assert_eq!(store.get("scenario A"), Some("result payload"));
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fingerprint;
+
+pub use fingerprint::Fingerprint;
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Number of shard logs a store fans its records over (fingerprint top
+/// byte).
+pub const SHARD_COUNT: usize = 256;
+
+/// On-disk record format tag; bump when the line layout changes.
+/// Records with an unknown tag are ignored on load (forward
+/// compatibility), so a downgrade sees misses, not corruption.
+const RECORD_TAG: &str = "v1";
+
+#[derive(Debug, Clone)]
+struct Record {
+    key: String,
+    value: String,
+}
+
+/// A content-addressed record store rooted at a directory.
+///
+/// See the [crate docs](crate) for layout and guarantees. All methods
+/// take the whole store; writers serialize through `&mut self` —
+/// callers running producers in parallel collect results first and
+/// append them in a deterministic order.
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+    index: BTreeMap<Fingerprint, Record>,
+    malformed: usize,
+}
+
+impl Store {
+    /// Opens (creating if needed) the store rooted at `root`, scanning
+    /// every shard log into the in-memory index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors creating the directory tree or
+    /// reading shard logs. Malformed *lines* are skipped and counted
+    /// ([`Store::malformed_lines`]), not errors.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Store> {
+        let root = root.into();
+        fs::create_dir_all(root.join("shards"))?;
+        let mut store = Store {
+            root,
+            index: BTreeMap::new(),
+            malformed: 0,
+        };
+        for shard in 0..SHARD_COUNT {
+            let path = store.shard_path(shard as u8);
+            let bytes = match fs::read(&path) {
+                Ok(b) => b,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            };
+            // Split on raw newlines and validate UTF-8 per *line*: one
+            // corrupted record must degrade to one skipped line, never
+            // poison the whole store.
+            for raw in bytes.split(|&b| b == b'\n') {
+                if raw.is_empty() {
+                    continue;
+                }
+                match std::str::from_utf8(raw).ok().and_then(parse_line) {
+                    Some((fp, record)) => {
+                        store.index.insert(fp, record);
+                    }
+                    None => store.malformed += 1,
+                }
+            }
+        }
+        Ok(store)
+    }
+
+    /// The directory this store lives in.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Number of distinct records indexed.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Lines skipped while loading (torn writes, foreign format tags).
+    pub fn malformed_lines(&self) -> usize {
+        self.malformed
+    }
+
+    /// Looks up the value stored under `key`, verifying the full key —
+    /// a fingerprint collision reads as a miss.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        let record = self.index.get(&Fingerprint::of(key))?;
+        (record.key == key).then_some(record.value.as_str())
+    }
+
+    /// Whether a record for `key` exists.
+    pub fn contains(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Stores `value` under `key`, appending to the key's shard log.
+    /// Re-putting an identical record is a no-op; a different value for
+    /// an existing key appends a superseding line (last wins on
+    /// reload).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors opening or appending the shard log.
+    pub fn put(&mut self, key: &str, value: &str) -> io::Result<()> {
+        let fp = Fingerprint::of(key);
+        if let Some(existing) = self.index.get(&fp) {
+            if existing.key == key && existing.value == value {
+                return Ok(());
+            }
+        }
+        let line = format!(
+            "{RECORD_TAG}\t{}\t{}\t{}\n",
+            fp.hex(),
+            escape_field(key),
+            escape_field(value)
+        );
+        let mut file = fs::File::options()
+            .append(true)
+            .create(true)
+            .open(self.shard_path(fp.shard()))?;
+        file.write_all(line.as_bytes())?;
+        self.index.insert(
+            fp,
+            Record {
+                key: key.to_string(),
+                value: value.to_string(),
+            },
+        );
+        Ok(())
+    }
+
+    /// All records as `(key, value)` pairs, in fingerprint order —
+    /// stable across insertion order and reloads.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.index
+            .values()
+            .map(|r| (r.key.as_str(), r.value.as_str()))
+    }
+
+    /// Shard logs currently on disk (created lazily on first write).
+    pub fn shard_files(&self) -> usize {
+        (0..SHARD_COUNT)
+            .filter(|&s| self.shard_path(s as u8).exists())
+            .count()
+    }
+
+    fn shard_path(&self, shard: u8) -> PathBuf {
+        self.root.join("shards").join(format!("{shard:02x}.log"))
+    }
+}
+
+/// Escapes a field for the one-line record format: backslash, tab, LF
+/// and CR — everything the line/field framing uses.
+fn escape_field(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape_field`]; `None` on a dangling or unknown escape.
+fn unescape_field(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            't' => out.push('\t'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Parses one shard-log line; `None` for anything malformed (wrong
+/// field count, bad escapes, fingerprint/key disagreement, foreign
+/// tag).
+fn parse_line(line: &str) -> Option<(Fingerprint, Record)> {
+    let mut fields = line.split('\t');
+    if fields.next()? != RECORD_TAG {
+        return None;
+    }
+    let fp = Fingerprint::from_hex(fields.next()?)?;
+    let key = unescape_field(fields.next()?)?;
+    let value = unescape_field(fields.next()?)?;
+    if fields.next().is_some() || Fingerprint::of(&key) != fp {
+        return None;
+    }
+    Some((fp, Record { key, value }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("offramps-store-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_get_round_trips_awkward_content() {
+        let root = temp_root("roundtrip");
+        let mut store = Store::open(&root).unwrap();
+        let cases = [
+            ("plain", "value"),
+            (
+                "tabs\tand\nnewlines\r",
+                "payload with\ttab and \\backslash\\ and\nnewline",
+            ),
+            ("unicode 😀 κλειδί", "{\n  \"json\": \"läuft\"\n}"),
+            ("", "empty key is a key too"),
+        ];
+        for (k, v) in cases {
+            store.put(k, v).unwrap();
+        }
+        for (k, v) in cases {
+            assert_eq!(store.get(k), Some(v), "key {k:?}");
+        }
+        // Survives a reload.
+        let reloaded = Store::open(&root).unwrap();
+        assert_eq!(reloaded.len(), cases.len());
+        assert_eq!(reloaded.malformed_lines(), 0);
+        for (k, v) in cases {
+            assert_eq!(reloaded.get(k), Some(v), "reloaded key {k:?}");
+        }
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn rewrite_last_wins_and_identical_put_is_noop() {
+        let root = temp_root("rewrite");
+        let mut store = Store::open(&root).unwrap();
+        store.put("k", "first").unwrap();
+        store.put("k", "first").unwrap(); // no-op
+        store.put("k", "second").unwrap();
+        assert_eq!(store.get("k"), Some("second"));
+        assert_eq!(store.len(), 1);
+
+        let reloaded = Store::open(&root).unwrap();
+        assert_eq!(reloaded.get("k"), Some("second"), "last line wins");
+        // The no-op put must not have appended: shard log has 2 lines.
+        let shard = reloaded.shard_path(Fingerprint::of("k").shard());
+        assert_eq!(fs::read_to_string(shard).unwrap().lines().count(), 2);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn records_shard_by_fingerprint_prefix() {
+        let root = temp_root("shards");
+        let mut store = Store::open(&root).unwrap();
+        for i in 0..64 {
+            store.put(&format!("key-{i}"), "v").unwrap();
+        }
+        assert!(
+            store.shard_files() > 16,
+            "{} shard files",
+            store.shard_files()
+        );
+        for i in 0..64 {
+            let key = format!("key-{i}");
+            let shard = store.shard_path(Fingerprint::of(&key).shard());
+            let log = fs::read_to_string(shard).unwrap();
+            assert!(log.contains(&Fingerprint::of(&key).hex()));
+        }
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn torn_foreign_and_non_utf8_lines_are_skipped() {
+        let root = temp_root("torn");
+        let mut store = Store::open(&root).unwrap();
+        store.put("good", "value").unwrap();
+        let shard = store.shard_path(Fingerprint::of("good").shard());
+        let mut log = fs::read(&shard).unwrap();
+        log.extend_from_slice(b"v1\tdeadbeef"); // torn mid-record, no newline
+        fs::write(&shard, &log).unwrap();
+        let other = store.shard_path(Fingerprint::of("good").shard().wrapping_add(1));
+        // A foreign future tag, a blank line (ignored, not malformed),
+        // a garbage line, and a non-UTF-8 line: each skipped on its
+        // own, never poisoning the rest of the store.
+        let mut junk = b"v9\tsome future format\n\nnot a record\n".to_vec();
+        junk.extend_from_slice(b"v1\t\xff\xfe broken utf8\n");
+        fs::write(&other, &junk).unwrap();
+
+        let reloaded = Store::open(&root).unwrap();
+        assert_eq!(reloaded.get("good"), Some("value"));
+        assert_eq!(reloaded.len(), 1);
+        assert_eq!(reloaded.malformed_lines(), 4);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn iteration_order_is_fingerprint_sorted() {
+        let root = temp_root("order");
+        let mut a = Store::open(&root).unwrap();
+        for i in 0..32 {
+            a.put(&format!("k{i}"), &format!("v{i}")).unwrap();
+        }
+        let order_a: Vec<String> = a.iter().map(|(k, _)| k.to_string()).collect();
+        // Insert in reverse into a fresh store: same iteration order.
+        let root_b = temp_root("order-b");
+        let mut b = Store::open(&root_b).unwrap();
+        for i in (0..32).rev() {
+            b.put(&format!("k{i}"), &format!("v{i}")).unwrap();
+        }
+        let order_b: Vec<String> = b.iter().map(|(k, _)| k.to_string()).collect();
+        assert_eq!(order_a, order_b);
+        let mut sorted = order_a.clone();
+        sorted.sort_by_key(|k| Fingerprint::of(k));
+        assert_eq!(order_a, sorted);
+        fs::remove_dir_all(&root).unwrap();
+        fs::remove_dir_all(&root_b).unwrap();
+    }
+
+    #[test]
+    fn collision_degrades_to_miss() {
+        // Force a fake collision by planting a record whose stored key
+        // differs from the probe key but shares its (planted)
+        // fingerprint slot: get() must verify the key bytes.
+        let root = temp_root("collision");
+        let mut store = Store::open(&root).unwrap();
+        store.put("real-key", "real-value").unwrap();
+        let fp = Fingerprint::of("real-key");
+        store.index.insert(
+            fp,
+            Record {
+                key: "other-key".into(),
+                value: "poison".into(),
+            },
+        );
+        assert_eq!(
+            store.get("real-key"),
+            None,
+            "key mismatch must read as a miss"
+        );
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

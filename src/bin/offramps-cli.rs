@@ -25,11 +25,14 @@ use std::sync::Arc;
 use offramps::trojans;
 use offramps::{detect, Capture, SignalPath, TestBench};
 use offramps_attacks::Flaw3dTrojan;
-use offramps_bench::campaign::{run_campaign, sweep_attacks, CampaignSpec};
+use offramps_bench::analytics::{AnalyticsReport, THRESHOLD_GRID};
+use offramps_bench::cache::{run_campaign_cached, store_observations};
+use offramps_bench::campaign::{run_campaign, sweep_attacks, CampaignReport, CampaignSpec};
 use offramps_bench::corpus::CorpusSpec;
 use offramps_bench::workloads::Workload;
 use offramps_gcode::slicer::{slice, SlicerConfig, Solid};
 use offramps_gcode::{parse, ProgramStats};
+use offramps_store::Store;
 
 const USAGE: &str = "\
 offramps-cli — OFFRAMPS reproduction driver
@@ -45,7 +48,8 @@ USAGE:
                         [--trojans none,t1,...,flaw3d-r90,flaw3d-rel20|all]
                         [--workloads mini,standard,tall,detection]
                         [--corpus N] [--sweep] [--list]
-                        [--timing-json out.json]
+                        [--cache DIR] [--timing-json out.json]
+  offramps-cli analytics --cache DIR [--json out.json]
 
 The campaign subcommand fans the attack x workload x seed matrix across
 worker threads; results are identical for every --threads value.
@@ -63,8 +67,18 @@ the detector reliably catches).
                   trigger-layer grids, 33 attacks) instead of --trojans
   --list          print the expanded workloads, attacks and scenario
                   count, then exit without simulating
+  --cache DIR     run the campaign through the persistent scenario store
+                  at DIR: cached scenarios are answered from disk, only
+                  new or invalidated ones are simulated, fresh results
+                  are appended. The summary and JSON are byte-identical
+                  to an uncached run for any thread count.
   --timing-json   write the non-deterministic host-timing sidecar
                   (per-scenario wall_ms) next to the deterministic report
+
+The analytics subcommand re-judges every scenario record in a store at
+a grid of suspect-fraction thresholds (no simulation): per-attack
+detection-rate curves plus the clean-reprint false-positive curve —
+the corpus-wide ROC.
 ";
 
 fn main() -> ExitCode {
@@ -123,6 +137,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "detect" => cmd_detect(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         "campaign" => cmd_campaign(&args[1..]),
+        "analytics" => cmd_analytics(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -286,7 +301,17 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
         return Ok(ExitCode::SUCCESS);
     }
 
-    let report = run_campaign(&spec, threads.max(1))?;
+    let report: CampaignReport;
+    let mut cache_line = None;
+    if let Some(dir) = opt(args, "--cache") {
+        let mut store =
+            Store::open(&dir).map_err(|e| format!("cannot open scenario store {dir}: {e}"))?;
+        let (cached_report, stats) = run_campaign_cached(&spec, threads.max(1), &mut store)?;
+        report = cached_report;
+        cache_line = Some(format!("{} (dir: {dir})", stats.summary_line()));
+    } else {
+        report = run_campaign(&spec, threads.max(1))?;
+    }
     print!("{}", report.summary());
     println!(
         "threads: {}   wall: {:.2}s   throughput: {:.0} events/s",
@@ -294,6 +319,9 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
         report.wall_s,
         report.events_per_sec()
     );
+    if let Some(line) = cache_line {
+        println!("{line}");
+    }
     if let Some(path) = opt(args, "--json") {
         use offramps_bench::json::ToJson;
         std::fs::write(&path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -303,6 +331,34 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
         std::fs::write(&path, report.timing_json())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("timings written: {path}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_analytics(args: &[String]) -> Result<ExitCode, String> {
+    let Some(dir) = opt(args, "--cache") else {
+        return Err("analytics needs --cache DIR".into());
+    };
+    let store = Store::open(&dir).map_err(|e| format!("cannot open scenario store {dir}: {e}"))?;
+    let (observations, skipped) = store_observations(&store);
+    if observations.is_empty() {
+        return Err(format!(
+            "no scenario records in {dir} (run `campaign --cache {dir}` first)"
+        ));
+    }
+    let report = AnalyticsReport::over(&observations, &THRESHOLD_GRID);
+    print!("{}", report.summary());
+    println!(
+        "records: {}   attacks: {}   thresholds: {}   skipped: {}",
+        observations.len(),
+        report.curves.len(),
+        report.thresholds.len(),
+        skipped
+    );
+    if let Some(path) = opt(args, "--json") {
+        use offramps_bench::json::ToJson;
+        std::fs::write(&path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("analytics written: {path}");
     }
     Ok(ExitCode::SUCCESS)
 }

@@ -80,9 +80,18 @@ fn campaign_detects_trojans_and_clears_clean_reprints() {
             "missing denominator: {}",
             r.summary_line()
         );
-        assert!(r.suspect_fraction > 0.0);
+        assert!(
+            r.suspect_fraction.is_some_and(|f| f > 0.0),
+            "judged scenario must carry its threshold: {}",
+            r.summary_line()
+        );
+        assert!(
+            r.mismatched_transactions <= r.mismatches,
+            "transaction count cannot exceed value count"
+        );
         let json = r.to_json();
         assert!(json.contains("\"transactions_compared\""), "{json}");
+        assert!(json.contains("\"mismatched_transactions\""), "{json}");
         assert!(json.contains("\"suspect_fraction\""), "{json}");
     }
 }
