@@ -31,6 +31,20 @@ use crate::json::{ObjectWriter, ToJson, Value};
 /// promises.
 pub const THRESHOLD_GRID: [f64; 10] = [0.0, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5];
 
+/// The power side-channel judge's sufficient statistics for one
+/// scenario (absent for records written before power evidence existed
+/// and for transaction-only campaigns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerObservation {
+    /// Smoothed windows whose deviation exceeded the sigma threshold.
+    pub anomalous_windows: usize,
+    /// Windows compared.
+    pub windows_compared: usize,
+    /// Whether the power judge actually judged (its stream may have
+    /// been missing for an individual scenario).
+    pub judged: bool,
+}
+
 /// One scenario's detection inputs, abstracted away from where the
 /// record came from (a live [`ScenarioResult`] or a store payload).
 #[derive(Debug, Clone, PartialEq)]
@@ -45,25 +59,37 @@ pub struct Observation {
     pub transactions_compared: usize,
     /// The end-of-print 0 %-margin totals check.
     pub final_totals_match: Option<bool>,
-    /// Whether the scenario was judged at all (bench errors are not).
+    /// Whether the transaction judge judged at all (bench errors are
+    /// not).
     pub judged: bool,
+    /// The power judge's statistics, when the record carries them.
+    pub power: Option<PowerObservation>,
 }
 
 impl Observation {
     /// Extracts the detection inputs from a live campaign result.
     pub fn from_result(r: &ScenarioResult) -> Observation {
+        let power = r.verdict.power().map(|e| PowerObservation {
+            anomalous_windows: e.flagged,
+            windows_compared: e.compared,
+            judged: e.judged(),
+        });
         Observation {
             attack: r.scenario.trojan.clone(),
             workload: r.scenario.workload.clone(),
-            mismatched_transactions: r.mismatched_transactions,
-            transactions_compared: r.transactions_compared,
-            final_totals_match: r.final_totals_match,
-            judged: r.suspect_fraction.is_some(),
+            mismatched_transactions: r.mismatched_transactions(),
+            transactions_compared: r.transactions_compared(),
+            final_totals_match: r.final_totals_match(),
+            judged: r.suspect_fraction().is_some(),
+            power,
         }
     }
 
     /// Extracts the detection inputs from a decoded store payload (see
-    /// [`crate::cache::encode_result`]).
+    /// [`crate::cache::encode_result`]). Records without an `evidence`
+    /// array — every record written before power evidence existed —
+    /// parse fine and simply carry no power statistics; the analytics
+    /// CLI counts and reports them instead of erroring.
     ///
     /// # Errors
     ///
@@ -81,6 +107,26 @@ impl Observation {
                 .map(|n| n as usize)
                 .ok_or_else(|| format!("payload missing count {key:?}"))
         };
+        let power = match v.get("evidence").and_then(Value::as_array) {
+            None => None,
+            Some(list) => list
+                .iter()
+                .find(|e| e.get("detector").and_then(Value::as_str) == Some("power"))
+                .map(|e| -> Result<PowerObservation, String> {
+                    let count = |key: &str| {
+                        e.get(key)
+                            .and_then(Value::as_u64)
+                            .map(|n| n as usize)
+                            .ok_or_else(|| format!("power evidence missing count {key:?}"))
+                    };
+                    Ok(PowerObservation {
+                        anomalous_windows: count("flagged")?,
+                        windows_compared: count("compared")?,
+                        judged: matches!(e.get("alarmed"), Some(Value::Bool(_))),
+                    })
+                })
+                .transpose()?,
+        };
         Ok(Observation {
             attack: str_field("trojan")?,
             workload: str_field("workload")?,
@@ -92,13 +138,15 @@ impl Observation {
                 Some(_) => return Err("final_totals_match is not bool/null".into()),
             },
             judged: v.get("suspect_fraction").is_some(),
+            power,
         })
     }
 
-    /// Re-judges this scenario at `base` suspect fraction: the same
-    /// verdict rule as the live campaign judge — mismatch fraction over
-    /// the floored threshold, or a failed 0 %-margin totals check.
-    /// Unjudged scenarios are never detected.
+    /// Re-judges this scenario's *transaction* evidence at `base`
+    /// suspect fraction: the same verdict rule as the live campaign
+    /// judge — mismatch fraction over the floored threshold, or a
+    /// failed 0 %-margin totals check. Unjudged scenarios are never
+    /// detected.
     pub fn detected_at(&self, base: f64) -> bool {
         if !self.judged {
             return false;
@@ -111,34 +159,79 @@ impl Observation {
         };
         fraction > threshold || self.final_totals_match == Some(false)
     }
+
+    /// Re-judges this scenario's *power* evidence at `base` suspect
+    /// fraction, through the same
+    /// [`offramps_sidechannel::suspect_anomaly_fraction`] rule as the
+    /// live power judge (so the two can never drift). `None` when the
+    /// record carries no judged power evidence.
+    pub fn power_detected_at(&self, base: f64) -> Option<bool> {
+        let p = self.power.filter(|p| p.judged)?;
+        Some(offramps_sidechannel::suspect_anomaly_fraction(
+            p.anomalous_windows,
+            p.windows_compared,
+            base,
+        ))
+    }
+
+    /// The **any-alarm** fusion of both re-judged modalities at `base`.
+    /// Analytics fused curves are any-alarm *by definition* — an
+    /// exploration of the most sensitive combined detector — regardless
+    /// of the fusion policy the live campaign stored its `detected`
+    /// verdicts under (an `--fuse all` store's fused curve can sit
+    /// above its stored detection rate).
+    pub fn fused_detected_at(&self, base: f64) -> bool {
+        self.detected_at(base) || self.power_detected_at(base).unwrap_or(false)
+    }
 }
 
-/// One attack's detection-rate curve over the threshold grid.
+/// One attack's detection-rate curves over the threshold grid: the
+/// transaction judge always, plus the power judge and the any-alarm
+/// fusion when the observations carry power evidence.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AttackCurve {
     /// Attack spec string.
     pub attack: String,
     /// Scenario records contributing (judged or not).
     pub scenarios: usize,
-    /// Records that were actually judged (the rate's denominator).
+    /// Records the transaction judge judged (that rate's denominator).
     pub judged: usize,
-    /// Detection rate at each grid threshold, `0.0` when nothing was
-    /// judged.
+    /// Transaction-judge detection rate at each grid threshold, `0.0`
+    /// when nothing was judged.
     pub detection_rate: Vec<f64>,
+    /// Records the power judge judged.
+    pub power_judged: usize,
+    /// Records judged by at least one modality (the fused rate's
+    /// denominator — a power-only record is a real fused observation).
+    pub fused_judged: usize,
+    /// Power-judge detection rate per threshold (over `power_judged`);
+    /// `None` when no record carries judged power evidence.
+    pub power_detection_rate: Option<Vec<f64>>,
+    /// Any-alarm fused detection rate per threshold (over
+    /// `fused_judged`); `None` alongside `power_detection_rate`. Fused
+    /// curves are any-alarm by definition (see
+    /// [`Observation::fused_detected_at`]), whatever fusion policy the
+    /// live campaign ran with.
+    pub fused_detection_rate: Option<Vec<f64>>,
 }
 
 impl ToJson for AttackCurve {
     fn write_json(&self, out: &mut String, indent: usize) {
-        let rates: Vec<String> = self
-            .detection_rate
-            .iter()
-            .map(|r| crate::json::number(*r))
-            .collect();
+        let render = crate::json::number_array;
         let mut w = ObjectWriter::new(out, indent);
         w.string("attack", &self.attack)
             .int("scenarios", self.scenarios as i128)
             .int("judged", self.judged as i128)
-            .raw("detection_rate", &format!("[{}]", rates.join(", ")));
+            .raw("detection_rate", &render(&self.detection_rate));
+        // Per-detector curves appear only for power-bearing corpora so
+        // transaction-only reports keep their pre-suite shape.
+        if let (Some(power), Some(fused)) = (&self.power_detection_rate, &self.fused_detection_rate)
+        {
+            w.int("power_judged", self.power_judged as i128)
+                .raw("power_detection_rate", &render(power))
+                .int("fused_judged", self.fused_judged as i128)
+                .raw("fused_detection_rate", &render(fused));
+        }
         w.finish();
     }
 }
@@ -164,21 +257,63 @@ impl AnalyticsReport {
             .into_iter()
             .map(|(attack, group)| {
                 let judged = group.iter().filter(|o| o.judged).count();
+                let power_judged = group
+                    .iter()
+                    .filter(|o| o.power.is_some_and(|p| p.judged))
+                    .count();
+                // The fused rate's denominator: records judged by *any*
+                // modality (a power-only record is a real fused
+                // observation even though the txn judge never saw it).
+                let judged_any = group
+                    .iter()
+                    .filter(|o| o.judged || o.power.is_some_and(|p| p.judged))
+                    .count();
+                let rate = |hits: usize, denom: usize| {
+                    if denom == 0 {
+                        0.0
+                    } else {
+                        hits as f64 / denom as f64
+                    }
+                };
                 let detection_rate = thresholds
                     .iter()
-                    .map(|&t| {
-                        if judged == 0 {
-                            return 0.0;
-                        }
-                        let hits = group.iter().filter(|o| o.detected_at(t)).count();
-                        hits as f64 / judged as f64
-                    })
+                    .map(|&t| rate(group.iter().filter(|o| o.detected_at(t)).count(), judged))
                     .collect();
+                let (power_detection_rate, fused_detection_rate) = if power_judged > 0 {
+                    let power = thresholds
+                        .iter()
+                        .map(|&t| {
+                            rate(
+                                group
+                                    .iter()
+                                    .filter(|o| o.power_detected_at(t) == Some(true))
+                                    .count(),
+                                power_judged,
+                            )
+                        })
+                        .collect();
+                    let fused = thresholds
+                        .iter()
+                        .map(|&t| {
+                            rate(
+                                group.iter().filter(|o| o.fused_detected_at(t)).count(),
+                                judged_any,
+                            )
+                        })
+                        .collect();
+                    (Some(power), Some(fused))
+                } else {
+                    (None, None)
+                };
                 AttackCurve {
                     attack: attack.to_string(),
                     scenarios: group.len(),
                     judged,
                     detection_rate,
+                    power_judged,
+                    fused_judged: judged_any,
+                    power_detection_rate,
+                    fused_detection_rate,
                 }
             })
             .collect();
@@ -205,10 +340,22 @@ impl AnalyticsReport {
         self.curves.iter().find(|c| c.attack == attack)
     }
 
-    /// A deterministic human-readable table: one row per attack, one
-    /// column per threshold, false-positive row first.
-    pub fn summary(&self) -> String {
-        let mut out = String::new();
+    /// Rows for a summary table, false-positive (`"none"`) row first.
+    fn summary_rows(&self) -> Vec<&AttackCurve> {
+        self.false_positive_curve()
+            .into_iter()
+            .chain(self.curves.iter().filter(|c| c.attack != "none"))
+            .collect()
+    }
+
+    /// Renders one threshold table over `rate` (rows without a rate are
+    /// skipped).
+    fn summary_table(
+        &self,
+        out: &mut String,
+        judged: impl Fn(&AttackCurve) -> usize,
+        rate: impl Fn(&AttackCurve) -> Option<&Vec<f64>>,
+    ) {
         out.push_str(&format!("{:<14} {:>5} {:>6}", "attack", "runs", "judged"));
         for t in &self.thresholds {
             out.push_str(&format!(" {:>6}", format!("{t}")));
@@ -216,20 +363,41 @@ impl AnalyticsReport {
         out.push('\n');
         out.push_str(&"-".repeat(27 + 7 * self.thresholds.len()));
         out.push('\n');
-        let rows: Vec<&AttackCurve> = self
-            .false_positive_curve()
-            .into_iter()
-            .chain(self.curves.iter().filter(|c| c.attack != "none"))
-            .collect();
-        for c in rows {
+        for c in self.summary_rows() {
+            let Some(rates) = rate(c) else { continue };
             out.push_str(&format!(
                 "{:<14} {:>5} {:>6}",
-                c.attack, c.scenarios, c.judged
+                c.attack,
+                c.scenarios,
+                judged(c)
             ));
-            for r in &c.detection_rate {
+            for r in rates {
                 out.push_str(&format!(" {:>6.3}", r));
             }
             out.push('\n');
+        }
+    }
+
+    /// A deterministic human-readable table: one row per attack, one
+    /// column per threshold, false-positive row first. Corpora with
+    /// power evidence get two more tables — the power judge's curves
+    /// and the any-alarm fusion — after the transaction table.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        self.summary_table(&mut out, |c| c.judged, |c| Some(&c.detection_rate));
+        if self.curves.iter().any(|c| c.power_detection_rate.is_some()) {
+            out.push_str("\npower side-channel (anomalous-window fraction over the same grid)\n");
+            self.summary_table(
+                &mut out,
+                |c| c.power_judged,
+                |c| c.power_detection_rate.as_ref(),
+            );
+            out.push_str("\nfused (any-alarm over both modalities)\n");
+            self.summary_table(
+                &mut out,
+                |c| c.fused_judged,
+                |c| c.fused_detection_rate.as_ref(),
+            );
         }
         out
     }
@@ -242,15 +410,18 @@ impl ToJson for AnalyticsReport {
             .iter()
             .map(|t| crate::json::number(*t))
             .collect();
+        let render = crate::json::number_array;
         let mut w = ObjectWriter::new(out, indent);
         w.raw("thresholds", &format!("[{}]", grid.join(", ")));
         if let Some(fp) = self.false_positive_curve() {
-            let rates: Vec<String> = fp
-                .detection_rate
-                .iter()
-                .map(|r| crate::json::number(*r))
-                .collect();
-            w.raw("false_positive_rate", &format!("[{}]", rates.join(", ")));
+            w.raw("false_positive_rate", &render(&fp.detection_rate));
+            // The per-detector false-positive curves ride along when
+            // the clean reprints carry power evidence.
+            if let (Some(power), Some(fused)) = (&fp.power_detection_rate, &fp.fused_detection_rate)
+            {
+                w.raw("power_false_positive_rate", &render(power))
+                    .raw("fused_false_positive_rate", &render(fused));
+            }
         }
         w.value("attacks", &self.curves);
         w.finish();
@@ -269,6 +440,18 @@ mod tests {
             transactions_compared: compared,
             final_totals_match: totals,
             judged: true,
+            power: None,
+        }
+    }
+
+    fn power(obs: Observation, anomalous: usize, compared: usize) -> Observation {
+        Observation {
+            power: Some(PowerObservation {
+                anomalous_windows: anomalous,
+                windows_compared: compared,
+                judged: true,
+            }),
+            ..obs
         }
     }
 
@@ -345,5 +528,68 @@ mod tests {
         assert!(table.contains("flaw3d"), "{table}");
         let lines: Vec<&str> = table.lines().collect();
         assert!(lines[2].starts_with("none"), "FPR row leads: {table}");
+        assert!(
+            !table.contains("power side-channel"),
+            "no power sections without power evidence: {table}"
+        );
+        assert!(!json.contains("power_detection_rate"), "{json}");
+    }
+
+    #[test]
+    fn power_evidence_adds_per_detector_and_fused_curves() {
+        let observations = vec![
+            // Transaction judge blind (co-located Trojan), power judge
+            // sees 30% anomalous windows.
+            power(obs("t2", 0, 100, Some(true)), 30, 100),
+            // Both modalities clean.
+            power(obs("none", 0, 100, Some(true)), 0, 100),
+            // A record written before power evidence existed.
+            obs("t2", 0, 100, Some(true)),
+        ];
+        let report = AnalyticsReport::over(&observations, &THRESHOLD_GRID);
+        let t2 = report.curve("t2").unwrap();
+        assert_eq!(t2.scenarios, 2);
+        assert_eq!(t2.judged, 2);
+        assert_eq!(t2.power_judged, 1, "pre-power record skipped for power");
+        let idx_01 = THRESHOLD_GRID.iter().position(|&t| t == 0.01).unwrap();
+        assert_eq!(t2.detection_rate[idx_01], 0.0, "txn judge is blind");
+        let power_rate = t2.power_detection_rate.as_ref().unwrap();
+        assert_eq!(power_rate[idx_01], 1.0, "power judge catches it");
+        let fused = t2.fused_detection_rate.as_ref().unwrap();
+        assert_eq!(
+            fused[idx_01], 0.5,
+            "fused over txn-judged denominator: 1 of 2"
+        );
+        // Monotone in threshold, like the transaction curves.
+        for pair in power_rate.windows(2) {
+            assert!(pair[0] >= pair[1], "{power_rate:?}");
+        }
+
+        let json = crate::json::to_string_pretty(&report);
+        assert!(json.contains("\"power_detection_rate\""), "{json}");
+        assert!(json.contains("\"fused_detection_rate\""), "{json}");
+        assert!(json.contains("\"power_false_positive_rate\""), "{json}");
+        let table = report.summary();
+        assert!(table.contains("power side-channel"), "{table}");
+        assert!(table.contains("fused (any-alarm"), "{table}");
+    }
+
+    #[test]
+    fn power_rejudge_rule_matches_live_judge() {
+        // fraction strictly over the threshold, never at it.
+        let o = power(obs("t", 0, 100, Some(true)), 15, 100);
+        assert_eq!(o.power_detected_at(0.15), Some(false), "0.15 !> 0.15");
+        assert_eq!(o.power_detected_at(0.1), Some(true));
+        // Unjudged power evidence re-judges as None, fuses as txn-only.
+        let unjudged = Observation {
+            power: Some(PowerObservation {
+                anomalous_windows: 50,
+                windows_compared: 100,
+                judged: false,
+            }),
+            ..obs("t", 90, 100, Some(false))
+        };
+        assert_eq!(unjudged.power_detected_at(0.0), None);
+        assert!(unjudged.fused_detected_at(0.01), "txn still alarms");
     }
 }

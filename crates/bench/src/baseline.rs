@@ -4,15 +4,18 @@
 //! "The OFFRAMPS, by connecting directly to control signals, is uniquely
 //! able to modify or analyze prints with no loss of data." This
 //! experiment quantifies the claim: the same Table II attacks, judged by
-//! both detectors.
+//! both detectors — expressed as a two-detector
+//! [`DetectorSuite`](offramps::DetectorSuite) so the judges (and the
+//! golden-evidence plumbing, via [`crate::detectors::golden_evidence`])
+//! are exactly the ones campaigns use and can never drift from them.
 
 use std::sync::Arc;
 
-use offramps::{detect, SignalPath, TestBench};
+use offramps::verdict::{FusionPolicy, Verdict};
 use offramps_attacks::TABLE_II_CASES;
 use offramps_gcode::Program;
-use offramps_sidechannel::{CalibratedPowerDetector, PowerDetectorConfig, PowerModel, PowerTrace};
-use offramps_signals::SignalTrace;
+
+use crate::detectors;
 
 /// One row of the comparison.
 #[derive(Debug, Clone)]
@@ -31,81 +34,62 @@ pub struct BaselineRow {
     pub power_deviation_w: f64,
 }
 
-struct Run {
-    capture: offramps::Capture,
-    power: PowerTrace,
-}
-
-fn run(program: &Arc<Program>, seed: u64, model: &PowerModel) -> Run {
-    let art = TestBench::new(seed)
-        .signal_path(SignalPath::capture())
-        .record_trace(true)
-        .run(program)
-        .expect("baseline run");
-    let trace: SignalTrace = art.trace.expect("trace enabled");
-    Run {
-        capture: art.capture.expect("capture path"),
-        power: model.synthesize(&trace, seed),
+impl BaselineRow {
+    fn from_verdict(case: u32, trojan_type: String, modification_value: f64, v: &Verdict) -> Self {
+        let power = v.power().expect("power judge in the baseline suite");
+        BaselineRow {
+            case,
+            trojan_type,
+            modification_value,
+            offramps_detected: v.txn().and_then(|e| e.alarmed).unwrap_or(false),
+            power_detected: power.alarmed.unwrap_or(false),
+            power_deviation_w: power.peak,
+        }
     }
 }
 
 /// Number of repeated golden prints used to calibrate the power
 /// baseline (the published system used ~40 physical repetitions; our
-/// simulated prints are cheap, but we keep the count modest).
+/// simulated prints are cheap, but we keep the count modest). This is
+/// the campaign power detector's calibration count too — one judge,
+/// two call sites.
 pub const CALIBRATION_RUNS: usize = 5;
 
 /// Runs the golden job plus a clean-reprint control (case 0) plus all
-/// eight Flaw3D cases under both detectors. The power baseline gets the
-/// repetition-calibration the published systems rely on; OFFRAMPS gets
-/// a single golden print, as in the paper.
+/// eight Flaw3D cases under both detectors of the campaign suite. The
+/// power baseline gets the repetition-calibration the published systems
+/// rely on; OFFRAMPS gets a single golden print, as in the paper.
 pub fn regenerate(program: &Arc<Program>, seed: u64) -> Vec<BaselineRow> {
-    let model = PowerModel::default();
-    let golden = run(program, seed, &model);
-    // Calibrate the power baseline from repeated golden prints.
-    let mut calib_traces: Vec<PowerTrace> = vec![golden.power.clone()];
-    for i in 1..CALIBRATION_RUNS as u64 {
-        calib_traces.push(run(program, seed + i, &model).power);
-    }
-    let power_detector = CalibratedPowerDetector::calibrate(
-        &calib_traces,
-        PowerDetectorConfig {
-            noise_sigma_w: model.noise_sigma_w,
-            smoothing: 100, // 1 s windows tame move-boundary jitter
-            suspect_fraction: 0.15,
-            sigma_threshold: 5.0,
-        },
-    );
-    let dcfg = detect::DetectorConfig::default();
+    let suite =
+        detectors::suite_from_names(&["txn".to_string(), "power".to_string()], FusionPolicy::Any)
+            .expect("baseline suite");
+    debug_assert_eq!(suite.golden_power_runs(), CALIBRATION_RUNS);
+
+    // Golden evidence through the same path campaigns use: the primary
+    // golden print plus calibration repetitions.
+    let calibration_seeds: Vec<u64> = (1..CALIBRATION_RUNS as u64).map(|i| seed + i).collect();
+    let golden = detectors::golden_evidence(program, seed, &calibration_seeds, &suite);
+
+    let judge = |job: &Arc<Program>, run_seed: u64| -> Verdict {
+        let art = detectors::capture_run(job, run_seed, suite.needs_power()).expect("baseline run");
+        let observed = detectors::observed_evidence(art, run_seed, &suite);
+        suite.judge(&golden, &observed)
+    };
 
     let mut rows = Vec::new();
     // Case 0: a clean reprint with fresh time noise — the false-positive
     // control for both detectors.
-    {
-        let clean = run(program, seed + 500, &model);
-        let offramps_rep = detect::compare(&golden.capture, &clean.capture, &dcfg);
-        let power_rep = power_detector.compare(&clean.power);
-        rows.push(BaselineRow {
-            case: 0,
-            trojan_type: "Clean".into(),
-            modification_value: 0.0,
-            offramps_detected: offramps_rep.trojan_suspected,
-            power_detected: power_rep.sabotage_suspected,
-            power_deviation_w: power_rep.largest_deviation_w,
-        });
-    }
+    let clean = judge(program, seed + 500);
+    rows.push(BaselineRow::from_verdict(0, "Clean".into(), 0.0, &clean));
     rows.extend(TABLE_II_CASES.iter().map(|(case, trojan)| {
         let attacked_program = Arc::new(trojan.apply(program));
-        let attacked = run(&attacked_program, seed + 200 + u64::from(*case), &model);
-        let offramps_rep = detect::compare(&golden.capture, &attacked.capture, &dcfg);
-        let power_rep = power_detector.compare(&attacked.power);
-        BaselineRow {
-            case: *case,
-            trojan_type: trojan.type_name().into(),
-            modification_value: trojan.modification_value(),
-            offramps_detected: offramps_rep.trojan_suspected,
-            power_detected: power_rep.sabotage_suspected,
-            power_deviation_w: power_rep.largest_deviation_w,
-        }
+        let verdict = judge(&attacked_program, seed + 200 + u64::from(*case));
+        BaselineRow::from_verdict(
+            *case,
+            trojan.type_name().into(),
+            trojan.modification_value(),
+            &verdict,
+        )
     }));
     rows
 }

@@ -30,9 +30,9 @@ use offramps_gcode::spec::WorkloadSpec;
 use offramps_gcode::Program;
 use offramps_store::Store;
 
-use crate::campaign::{
-    campaign_detector_policy, run_scenario, CampaignReport, CampaignSpec, Scenario, ScenarioResult,
-};
+use offramps::verdict::{Evidence, Verdict};
+
+use crate::campaign::{run_scenario, CampaignReport, CampaignSpec, Scenario, ScenarioResult};
 use crate::json::{self, ObjectWriter, Value};
 use crate::workloads::Workload;
 
@@ -170,8 +170,10 @@ pub fn canonical_workload_json(spec: &WorkloadSpec) -> String {
 /// The canonical key addressing one scenario's result: every input that
 /// influences the outcome, spelled out. The workload enters as its
 /// canonical spec JSON (not its label), the attack as its parsed spec
-/// string, the detector as the full judging policy, plus both seeds and
-/// the format-version salt.
+/// string, the detector suite as its full canonical policy string
+/// ([`offramps::verdict::DetectorSuite::policy`] — so changing the
+/// suite re-addresses every cached verdict), plus both seeds and the
+/// format-version salt.
 pub fn scenario_key(
     workload_json: &str,
     attack: &str,
@@ -221,10 +223,62 @@ fn int_field(v: &Value, key: &str) -> Result<u64, String> {
         .ok_or_else(|| format!("payload field {key:?} is not an integer"))
 }
 
+/// Decodes one entry of a payload's `evidence` array back into an
+/// [`Evidence`] (strict: every present field must have the right type;
+/// `threshold`, `final_totals_match` and `peak` may be absent — the
+/// partial-evidence shape unjudged detectors produce).
+fn decode_evidence(v: &Value) -> Result<Evidence, String> {
+    let alarmed = match field(v, "alarmed")? {
+        Value::Null => None,
+        Value::Bool(b) => Some(*b),
+        _ => return Err("evidence field \"alarmed\" is not bool/null".into()),
+    };
+    let threshold = match v.get("threshold") {
+        None => None,
+        Some(t) => Some(
+            t.as_f64()
+                .ok_or("evidence field \"threshold\" is not a number")?,
+        ),
+    };
+    let final_totals_match = match v.get("final_totals_match") {
+        None | Some(Value::Null) => None,
+        Some(Value::Bool(b)) => Some(*b),
+        Some(_) => return Err("evidence field \"final_totals_match\" is not bool/null".into()),
+    };
+    let peak = match v.get("peak") {
+        None => 0.0,
+        Some(p) => p
+            .as_f64()
+            .ok_or("evidence field \"peak\" is not a number")?,
+    };
+    Ok(Evidence {
+        detector: field(v, "detector")?
+            .as_str()
+            .ok_or("evidence field \"detector\" is not a string")?
+            .to_string(),
+        alarmed,
+        flagged: int_field(v, "flagged")? as usize,
+        flagged_values: int_field(v, "flagged_values")? as usize,
+        compared: int_field(v, "compared")? as usize,
+        threshold,
+        peak,
+        final_totals_match,
+    })
+}
+
 /// Decodes a store payload back into a [`ScenarioResult`] for the given
 /// scenario slot. The decoded result renders byte-identically to the
 /// fresh one in both the summary table and the JSON report; only
 /// `wall_ms` (excluded from both) is zeroed.
+///
+/// Multi-detector payloads carry their full per-detector statistics in
+/// the `evidence` array; transaction-only payloads (including every
+/// record written before the suite API existed) reconstruct the
+/// transaction judge's evidence from the legacy field names. Those
+/// legacy fields have never included the judge's `peak` deviation — it
+/// is not part of the transaction-only artifact contract — so decoded
+/// results reconstruct `peak: 0.0`; every field that *does* appear in
+/// the summary or JSON renders byte-identically.
 pub fn decode_result(scenario: Scenario, payload: &str) -> Result<ScenarioResult, String> {
     let v = json::parse(payload)?;
     let steps = field(&v, "fw_steps")?
@@ -237,17 +291,43 @@ pub fn decode_result(scenario: Scenario, payload: &str) -> Result<ScenarioResult
     for (slot, step) in fw_steps.iter_mut().zip(steps) {
         *slot = step.as_i128().ok_or("fw_steps entry is not an integer")? as i64;
     }
-    let final_totals_match = match field(&v, "final_totals_match")? {
-        Value::Null => None,
-        Value::Bool(b) => Some(*b),
-        _ => return Err("payload field \"final_totals_match\" is not bool/null".into()),
-    };
-    let suspect_fraction = match v.get("suspect_fraction") {
-        None => None,
-        Some(f) => Some(
-            f.as_f64()
-                .ok_or("payload field \"suspect_fraction\" is not a number")?,
-        ),
+    let detected = field(&v, "detected")?
+        .as_bool()
+        .ok_or("payload field \"detected\" is not a bool")?;
+    let evidence = match v.get("evidence") {
+        Some(list) => list
+            .as_array()
+            .ok_or("payload field \"evidence\" is not an array")?
+            .iter()
+            .map(decode_evidence)
+            .collect::<Result<Vec<_>, _>>()?,
+        None => {
+            // Pre-suite / transaction-only payload: the legacy fields
+            // *are* the transaction judge's sufficient statistics, and
+            // the fused verdict is its alarm.
+            let final_totals_match = match field(&v, "final_totals_match")? {
+                Value::Null => None,
+                Value::Bool(b) => Some(*b),
+                _ => return Err("payload field \"final_totals_match\" is not bool/null".into()),
+            };
+            let threshold = match v.get("suspect_fraction") {
+                None => None,
+                Some(f) => Some(
+                    f.as_f64()
+                        .ok_or("payload field \"suspect_fraction\" is not a number")?,
+                ),
+            };
+            vec![Evidence {
+                detector: offramps::TransactionDetector::NAME.to_string(),
+                alarmed: threshold.is_some().then_some(detected),
+                flagged: int_field(&v, "mismatched_transactions")? as usize,
+                flagged_values: int_field(&v, "mismatches")? as usize,
+                compared: int_field(&v, "transactions_compared")? as usize,
+                threshold,
+                peak: 0.0,
+                final_totals_match,
+            }]
+        }
     };
     Ok(ScenarioResult {
         scenario,
@@ -258,14 +338,10 @@ pub fn decode_result(scenario: Scenario, payload: &str) -> Result<ScenarioResult
         events: int_field(&v, "events")?,
         sim_ns: int_field(&v, "sim_ns")?,
         fw_steps,
-        detected: field(&v, "detected")?
-            .as_bool()
-            .ok_or("payload field \"detected\" is not a bool")?,
-        mismatches: int_field(&v, "mismatches")? as usize,
-        mismatched_transactions: int_field(&v, "mismatched_transactions")? as usize,
-        transactions_compared: int_field(&v, "transactions_compared")? as usize,
-        final_totals_match,
-        suspect_fraction,
+        verdict: Verdict {
+            alarmed: detected,
+            evidence,
+        },
         wall_ms: 0,
     })
 }
@@ -286,6 +362,7 @@ pub fn run_campaign_cached(
     threads: usize,
     store: &mut Store,
 ) -> Result<(CampaignReport, CacheStats), String> {
+    let suite = spec.suite()?;
     let scenarios = spec.scenarios()?;
     let t0 = Instant::now();
 
@@ -294,7 +371,7 @@ pub fn run_campaign_cached(
         .iter()
         .map(|w| (w.label(), canonical_workload_json(w.spec())))
         .collect();
-    let policy = campaign_detector_policy();
+    let policy = suite.policy();
     let keys: Vec<String> = scenarios
         .iter()
         .map(|sc| {
@@ -338,12 +415,12 @@ pub fn run_campaign_cached(
             }))
             .map(|(w, program)| (w.label(), program))
             .collect();
-        let goldens: HashMap<&str, offramps::Capture> = workloads
+        let goldens: HashMap<&str, offramps::EvidenceBundle> = workloads
             .iter()
             .zip(crate::campaign::parallel_map(&workloads, threads, |w| {
-                crate::campaign::golden_capture(spec, w, &programs[w.label()])
+                crate::campaign::golden_evidence(spec, w, &programs[w.label()], &suite)
             }))
-            .map(|(w, cap)| (w.label(), cap))
+            .map(|(w, bundle)| (w.label(), bundle))
             .collect();
 
         let fresh = crate::campaign::parallel_map(&misses, threads, |sc| {
@@ -351,6 +428,7 @@ pub fn run_campaign_cached(
                 sc,
                 &programs[sc.workload.as_str()],
                 &goldens[sc.workload.as_str()],
+                &suite,
             )
         });
         for r in fresh {
@@ -380,6 +458,7 @@ pub fn run_campaign_cached(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::campaign::campaign_detector_policy;
     use crate::json::ToJson;
     use offramps::detect;
     use offramps_gcode::slicer::SlicerConfig;
@@ -452,22 +531,30 @@ mod tests {
             run: 0,
             seed: u64::MAX - 17, // exercises > 2^53 integers
         };
+        let txn_evidence = Evidence {
+            detector: "txn".into(),
+            alarmed: Some(true),
+            flagged: 17,
+            flagged_values: 28,
+            compared: 70,
+            threshold: Some(detect::floored_suspect_fraction(0.01, 70)),
+            peak: 0.0,
+            final_totals_match: Some(false),
+        };
         let original = ScenarioResult {
             scenario: scenario.clone(),
             fw_state: "Finished".into(),
             events: 123_456_789_012,
             sim_ns: 34_300_000_000,
             fw_steps: [-12, 0, 240, 666],
-            detected: true,
-            mismatches: 28,
-            mismatched_transactions: 17,
-            transactions_compared: 70,
-            final_totals_match: Some(false),
-            suspect_fraction: Some(detect::floored_suspect_fraction(0.01, 70)),
+            verdict: Verdict {
+                alarmed: true,
+                evidence: vec![txn_evidence.clone()],
+            },
             wall_ms: 999, // must NOT survive: host timing is not cached
         };
         let decoded = decode_result(scenario, &encode_result(&original)).unwrap();
-        assert_eq!(decoded.suspect_fraction, original.suspect_fraction);
+        assert_eq!(decoded.suspect_fraction(), original.suspect_fraction());
         assert_eq!(decoded.fw_steps, original.fw_steps);
         assert_eq!(decoded.summary_line(), original.summary_line());
         assert_eq!(decoded.to_json(), original.to_json());
@@ -475,16 +562,65 @@ mod tests {
 
         // Unjudged (error) scenarios: suspect_fraction stays absent.
         let error = ScenarioResult {
-            suspect_fraction: None,
-            final_totals_match: None,
+            verdict: Verdict {
+                alarmed: false,
+                evidence: vec![Evidence::unjudged("txn")],
+            },
             fw_state: "error: thermal runaway".into(),
-            ..original
+            ..original.clone()
         };
         let payload = encode_result(&error);
         assert!(!payload.contains("suspect_fraction"), "{payload}");
         let decoded = decode_result(error.scenario.clone(), &payload).unwrap();
-        assert_eq!(decoded.suspect_fraction, None);
+        assert_eq!(decoded.suspect_fraction(), None);
         assert_eq!(decoded.to_json(), error.to_json());
+
+        // Multi-detector verdicts ride their full statistics in the
+        // evidence array — including partially judged suites.
+        let multi = ScenarioResult {
+            verdict: Verdict {
+                alarmed: true,
+                evidence: vec![
+                    Evidence {
+                        peak: 37.5,
+                        ..txn_evidence
+                    },
+                    Evidence {
+                        detector: "power".into(),
+                        alarmed: Some(false),
+                        flagged: 2,
+                        flagged_values: 2,
+                        compared: 41,
+                        threshold: Some(0.15),
+                        peak: 0.625,
+                        final_totals_match: None,
+                    },
+                ],
+            },
+            ..original.clone()
+        };
+        let payload = encode_result(&multi);
+        assert!(payload.contains("\"evidence\""), "{payload}");
+        let decoded = decode_result(multi.scenario.clone(), &payload).unwrap();
+        assert_eq!(decoded.verdict, multi.verdict, "evidence round-trips");
+        assert_eq!(decoded.to_json(), multi.to_json());
+
+        // A partially judged suite (power stream missing) keeps the
+        // unjudged evidence's absent fields absent.
+        let partial = ScenarioResult {
+            verdict: Verdict {
+                alarmed: true,
+                evidence: vec![
+                    multi.verdict.evidence[0].clone(),
+                    Evidence::unjudged("power"),
+                ],
+            },
+            ..original
+        };
+        let payload = encode_result(&partial);
+        let decoded = decode_result(partial.scenario.clone(), &payload).unwrap();
+        assert_eq!(decoded.verdict, partial.verdict);
+        assert_eq!(decoded.to_json(), partial.to_json());
     }
 
     #[test]

@@ -42,17 +42,26 @@
 //! `transactions_compared`, `mismatches` and the suspect-fraction
 //! threshold it was judged with are part of the report, so the verdict
 //! is auditable from the JSON artifact alone.
+//!
+//! Judging itself is pluggable: the spec names a
+//! [`offramps::verdict::DetectorSuite`] (`detectors`/`fusion` fields —
+//! the transaction judge alone by default, `txn,power` for
+//! multi-modality fusion with the driver-rail power side-channel), and
+//! every scenario's [`ScenarioResult`] carries the suite's fused
+//! [`Verdict`] with per-detector [`offramps::verdict::Evidence`].
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use offramps::{detect, trojans, Capture, GoldenSet, SignalPath, TestBench, Trojan};
+use offramps::verdict::{DetectorSuite, EvidenceBundle, FusionPolicy, Verdict};
+use offramps::{trojans, SignalPath, TestBench, TransactionDetector, Trojan};
 use offramps_attacks::Flaw3dTrojan;
 use offramps_des::SeedSplitter;
 use offramps_gcode::Program;
 
+use crate::detectors;
 use crate::json::{ObjectWriter, ToJson};
 use crate::workloads::Workload;
 
@@ -161,7 +170,8 @@ pub fn sweep_attacks() -> Vec<String> {
 }
 
 /// A campaign matrix: every listed attack (plus `"none"` for clean
-/// reprints) against every workload, `runs_per_cell` times.
+/// reprints) against every workload, `runs_per_cell` times, judged by
+/// the named detector suite.
 #[derive(Debug, Clone)]
 pub struct CampaignSpec {
     /// Master seed; every scenario seed is derived from it by label.
@@ -173,11 +183,17 @@ pub struct CampaignSpec {
     pub workloads: Vec<Workload>,
     /// Independent seeds per (trojan, workload) cell.
     pub runs_per_cell: u32,
+    /// Detector names accepted by [`crate::detectors::by_name`]
+    /// (`"txn"`, `"power"`); the suite judging every scenario.
+    pub detectors: Vec<String>,
+    /// How the suite fuses per-detector alarms.
+    pub fusion: FusionPolicy,
 }
 
 impl CampaignSpec {
     /// The default matrix: a clean reprint, all eleven roster Trojans,
-    /// and three Flaw3D attacks on the mini workload, one run each.
+    /// and three Flaw3D attacks on the mini workload, one run each,
+    /// judged by the transaction detector alone.
     pub fn default_matrix(master_seed: u64) -> Self {
         let mut trojans = vec!["none".to_string()];
         trojans.extend(trojans::TROJAN_NAMES.iter().map(|s| s.to_string()));
@@ -187,7 +203,29 @@ impl CampaignSpec {
             trojans,
             workloads: vec![Workload::mini()],
             runs_per_cell: 1,
+            detectors: vec![TransactionDetector::NAME.to_string()],
+            fusion: FusionPolicy::Any,
         }
+    }
+
+    /// Whether this spec judges with the default transaction-only
+    /// suite (report metadata stays in its pre-suite shape then).
+    /// Compares case-insensitively, like
+    /// [`crate::detectors::by_name`]'s resolution, so two specs that
+    /// build the identical suite produce identical artifacts.
+    pub fn default_detectors(&self) -> bool {
+        matches!(self.detectors.as_slice(),
+            [only] if only.trim().eq_ignore_ascii_case(TransactionDetector::NAME))
+            && self.fusion == FusionPolicy::Any
+    }
+
+    /// Builds the detector suite this campaign judges with.
+    ///
+    /// # Errors
+    ///
+    /// Reports an unknown detector name, duplicates, or an empty list.
+    pub fn suite(&self) -> Result<DetectorSuite, String> {
+        detectors::suite_from_names(&self.detectors, self.fusion)
     }
 
     /// Validates attack names and workload labels, then expands the
@@ -229,6 +267,16 @@ impl CampaignSpec {
     pub fn golden_seed(&self, workload_label: &str) -> u64 {
         SeedSplitter::new(self.master_seed).derive(&format!("campaign/golden/{workload_label}"))
     }
+
+    /// The seeds a workload's extra golden calibration repetitions run
+    /// under (label-derived, like every other campaign seed). Empty for
+    /// suites that calibrate from nothing beyond the primary run.
+    pub fn calibration_seeds(&self, workload_label: &str, golden_power_runs: usize) -> Vec<u64> {
+        let split = SeedSplitter::new(self.master_seed);
+        (1..golden_power_runs)
+            .map(|i| split.derive(&format!("campaign/golden/{workload_label}/calib/{i}")))
+            .collect()
+    }
 }
 
 /// One cell × run of the campaign matrix.
@@ -246,7 +294,9 @@ pub struct Scenario {
     pub seed: u64,
 }
 
-/// Outcome of one scenario.
+/// Outcome of one scenario: run artifacts plus the suite's fused
+/// [`Verdict`] with per-detector [`Evidence`] (sufficient statistics,
+/// so any threshold can be re-judged offline).
 #[derive(Debug, Clone)]
 pub struct ScenarioResult {
     /// The scenario that ran.
@@ -259,39 +309,53 @@ pub struct ScenarioResult {
     pub sim_ns: u64,
     /// Firmware step counters at the end.
     pub fw_steps: [i64; 4],
-    /// Whether the step-count detector flagged the print against the
-    /// workload's golden capture.
-    pub detected: bool,
-    /// Out-of-margin transaction *values* against the golden capture
-    /// (a transaction with two bad axes counts twice).
-    pub mismatches: usize,
-    /// Transactions with at least one out-of-margin axis — the
-    /// numerator the suspect-fraction verdict actually uses. With
-    /// `transactions_compared` this lets the verdict be re-judged
-    /// offline at any threshold (the analytics ROC sweep).
-    pub mismatched_transactions: usize,
-    /// Transactions the detector compared (the denominator of the
-    /// suspect fraction — with the counts above, makes the verdict
-    /// auditable from the JSON report alone).
-    pub transactions_compared: usize,
-    /// The end-of-print 0 %-margin totals check (`None` when either
-    /// capture was empty or the scenario was never judged).
-    pub final_totals_match: Option<bool>,
-    /// The suspect-fraction threshold this scenario was judged with
-    /// (the paper's 1 %, floored by
-    /// [`offramps::detect::floored_suspect_fraction`]). `None` — and
-    /// absent from the JSON — for scenarios that were never judged
-    /// (bench errors): an unjudged run is not a run judged at
-    /// threshold 0.
-    pub suspect_fraction: Option<f64>,
+    /// The detector suite's fused verdict and per-detector evidence.
+    pub verdict: Verdict,
     /// Host milliseconds the run took (excluded from the deterministic
     /// summary and JSON; see [`CampaignReport::timing_json`]).
     pub wall_ms: u64,
 }
 
 impl ScenarioResult {
+    /// Whether the suite's fused verdict flagged the print.
+    pub fn detected(&self) -> bool {
+        self.verdict.alarmed
+    }
+
+    /// Out-of-margin transaction *values* against the golden capture
+    /// (a transaction with two bad axes counts twice).
+    pub fn mismatches(&self) -> usize {
+        self.verdict.txn().map_or(0, |e| e.flagged_values)
+    }
+
+    /// Transactions with at least one out-of-margin axis — the
+    /// numerator the transaction judge's suspect fraction uses.
+    pub fn mismatched_transactions(&self) -> usize {
+        self.verdict.txn().map_or(0, |e| e.flagged)
+    }
+
+    /// Transactions the step-count judge compared.
+    pub fn transactions_compared(&self) -> usize {
+        self.verdict.txn().map_or(0, |e| e.compared)
+    }
+
+    /// The end-of-print 0 %-margin totals check (`None` when the
+    /// scenario was never judged).
+    pub fn final_totals_match(&self) -> Option<bool> {
+        self.verdict.txn().and_then(|e| e.final_totals_match)
+    }
+
+    /// The suspect-fraction threshold the transaction judge used
+    /// (`None` — and absent from the JSON — for scenarios that were
+    /// never judged: an unjudged run is not a run judged at
+    /// threshold 0).
+    pub fn suspect_fraction(&self) -> Option<f64> {
+        self.verdict.txn().and_then(|e| e.threshold)
+    }
+
     /// The deterministic summary line for this result — everything
-    /// except host timing.
+    /// except host timing. The verdict column is the suite's *fused*
+    /// alarm.
     pub fn summary_line(&self) -> String {
         format!(
             "{:<4} {:<10} {:<12} {:<4} {:<18} {:>9} {:>12} {:<9} {:>6}  [{} {} {} {}]",
@@ -302,34 +366,47 @@ impl ScenarioResult {
             self.fw_state,
             self.events,
             self.sim_ns,
-            if self.detected { "DETECTED" } else { "clean" },
-            self.mismatches,
+            if self.detected() { "DETECTED" } else { "clean" },
+            self.mismatches(),
             self.fw_steps[0],
             self.fw_steps[1],
             self.fw_steps[2],
             self.fw_steps[3],
         )
     }
-}
 
-impl ScenarioResult {
     /// Emits the detection-verdict fields shared by the report JSON and
     /// the scenario-store payload — one writer, so the two formats can
-    /// never drift apart field by field.
+    /// never drift apart field by field. The transaction judge's
+    /// statistics keep their pre-suite field names (and a
+    /// transaction-only verdict emits nothing else, so default
+    /// campaigns stay byte-identical); any further detectors ride in an
+    /// `evidence` array of per-detector sufficient statistics.
     pub(crate) fn write_verdict_fields(&self, w: &mut ObjectWriter<'_>) {
-        w.bool("detected", self.detected)
-            .int("mismatches", self.mismatches as i128)
+        w.bool("detected", self.detected())
+            .int("mismatches", self.mismatches() as i128)
             .int(
                 "mismatched_transactions",
-                self.mismatched_transactions as i128,
+                self.mismatched_transactions() as i128,
             )
-            .int("transactions_compared", self.transactions_compared as i128);
-        match self.final_totals_match {
+            .int(
+                "transactions_compared",
+                self.transactions_compared() as i128,
+            );
+        match self.final_totals_match() {
             Some(v) => w.bool("final_totals_match", v),
             None => w.raw("final_totals_match", "null"),
         };
-        if let Some(fraction) = self.suspect_fraction {
+        if let Some(fraction) = self.suspect_fraction() {
             w.float("suspect_fraction", fraction);
+        }
+        if self
+            .verdict
+            .evidence
+            .iter()
+            .any(|e| e.detector != offramps::TransactionDetector::NAME)
+        {
+            w.value("evidence", &self.verdict.evidence);
         }
     }
 }
@@ -371,9 +448,9 @@ impl CampaignReport {
         self.results.iter().map(|r| r.events).sum()
     }
 
-    /// Scenarios the detector flagged.
+    /// Scenarios the suite's fused verdict flagged.
     pub fn detections(&self) -> usize {
-        self.results.iter().filter(|r| r.detected).count()
+        self.results.iter().filter(|r| r.detected()).count()
     }
 
     /// Aggregate throughput over host time (non-deterministic).
@@ -447,8 +524,21 @@ impl ToJson for CampaignReport {
             .collect();
         let mut w = ObjectWriter::new(out, indent);
         w.int("master_seed", self.spec.master_seed as i128)
-            .int("runs_per_cell", self.spec.runs_per_cell.max(1) as i128)
-            .raw("workloads", &format!("[{}]", workloads.join(", ")))
+            .int("runs_per_cell", self.spec.runs_per_cell.max(1) as i128);
+        // Non-default suites are part of the artifact's metadata; the
+        // default transaction-only suite keeps the pre-suite shape so
+        // existing reports stay byte-identical.
+        if !self.spec.default_detectors() {
+            let detectors: Vec<String> = self
+                .spec
+                .detectors
+                .iter()
+                .map(|d| crate::json::escape(d))
+                .collect();
+            w.raw("detectors", &format!("[{}]", detectors.join(", ")))
+                .string("fusion", &self.spec.fusion.to_string());
+        }
+        w.raw("workloads", &format!("[{}]", workloads.join(", ")))
             .raw("attacks", &format!("[{}]", attacks.join(", ")))
             .int("runs", self.results.len() as i128)
             .int("events", self.total_events() as i128)
@@ -494,55 +584,42 @@ where
         .collect()
 }
 
-/// The detector configuration a campaign judges with: the paper's
-/// defaults, with the suspect fraction floored by
-/// [`detect::floored_suspect_fraction`] so a couple of
-/// sampling-boundary wobbles on a short print can never flag a clean
-/// reprint (see [`detect::SUSPECT_TRANSACTION_FLOOR`]).
-pub(crate) fn campaign_detector(golden: &Capture, observed: &Capture) -> detect::DetectorConfig {
-    let n = golden.len().min(observed.len());
-    let base = detect::DetectorConfig::default();
-    detect::DetectorConfig {
-        suspect_fraction: detect::floored_suspect_fraction(base.suspect_fraction, n),
-        ..base
-    }
+/// The canonical rendering of the *default* (transaction-only) judging
+/// policy — kept for store compatibility checks; campaigns key their
+/// records by [`DetectorSuite::policy`] of whatever suite they judge
+/// with, which renders exactly this string for the default suite.
+pub fn campaign_detector_policy() -> String {
+    DetectorSuite::transaction_default().policy()
 }
 
-/// The canonical rendering of the campaign's judging policy — every
-/// knob that shapes a verdict, for the scenario store's content
-/// addressing. A change to the detector defaults or the floor constant
-/// changes this string, which invalidates every cached verdict at
-/// once (by changing their keys, not by deleting anything).
-pub fn campaign_detector_policy() -> String {
-    let base = detect::DetectorConfig::default();
-    format!(
-        "margin={};floor={};base={};final={};txn_floor={}",
-        base.margin,
-        base.denominator_floor,
-        base.suspect_fraction,
-        base.final_check,
-        detect::SUSPECT_TRANSACTION_FLOOR,
+/// Produces the golden evidence bundle for one workload under the
+/// campaign's label-derived golden seed (plus calibration repetitions
+/// when the suite consumes power evidence).
+pub(crate) fn golden_evidence(
+    spec: &CampaignSpec,
+    w: &Workload,
+    program: &Arc<Program>,
+    suite: &DetectorSuite,
+) -> EvidenceBundle {
+    detectors::golden_evidence(
+        program,
+        spec.golden_seed(w.label()),
+        &spec.calibration_seeds(w.label(), suite.golden_power_runs()),
+        suite,
     )
 }
 
-/// Produces the golden capture for one workload under the campaign's
-/// label-derived golden seed.
-pub(crate) fn golden_capture(spec: &CampaignSpec, w: &Workload, program: &Arc<Program>) -> Capture {
-    TestBench::new(spec.golden_seed(w.label()))
-        .signal_path(SignalPath::capture())
-        .run(program)
-        .expect("golden campaign run")
-        .capture
-        .expect("capture path active")
-}
-
-/// Runs one scenario against its workload's golden capture.
+/// Runs one scenario and judges it with the suite against its
+/// workload's golden evidence.
 pub(crate) fn run_scenario(
     scenario: &Scenario,
     program: &Arc<Program>,
-    golden: &Capture,
+    golden: &EvidenceBundle,
+    suite: &DetectorSuite,
 ) -> ScenarioResult {
-    let mut bench = TestBench::new(scenario.seed).signal_path(SignalPath::capture());
+    let mut bench = TestBench::new(scenario.seed)
+        .signal_path(SignalPath::capture())
+        .record_plant_trace(suite.needs_power());
     let mut job = Arc::clone(program);
     match parse_attack(&scenario.trojan).expect("names validated by CampaignSpec") {
         Attack::None => {}
@@ -552,26 +629,18 @@ pub(crate) fn run_scenario(
     let t0 = Instant::now();
     match bench.run(&job) {
         Ok(art) => {
-            let judged = art.capture.as_ref().map(|cap| {
-                let cfg = campaign_detector(golden, cap);
-                (detect::compare(golden, cap, &cfg), cfg.suspect_fraction)
-            });
-            let (report, suspect_fraction) = match judged {
-                Some((report, fraction)) => (Some(report), Some(fraction)),
-                None => (None, None),
-            };
+            let fw_state = format!("{:?}", art.fw_state);
+            let events = art.events;
+            let sim_ns = art.sim_time.as_duration().as_nanos();
+            let fw_steps = art.fw_steps;
+            let observed = detectors::observed_evidence(art, scenario.seed, suite);
             ScenarioResult {
                 scenario: scenario.clone(),
-                fw_state: format!("{:?}", art.fw_state),
-                events: art.events,
-                sim_ns: art.sim_time.as_duration().as_nanos(),
-                fw_steps: art.fw_steps,
-                detected: report.as_ref().is_some_and(|r| r.trojan_suspected),
-                mismatches: report.as_ref().map_or(0, |r| r.mismatches.len()),
-                mismatched_transactions: report.as_ref().map_or(0, |r| r.mismatched_transactions()),
-                transactions_compared: report.as_ref().map_or(0, |r| r.transactions_compared),
-                final_totals_match: report.as_ref().and_then(|r| r.final_totals_match),
-                suspect_fraction,
+                fw_state,
+                events,
+                sim_ns,
+                fw_steps,
+                verdict: suite.judge(golden, &observed),
                 wall_ms: t0.elapsed().as_millis() as u64,
             }
         }
@@ -581,12 +650,7 @@ pub(crate) fn run_scenario(
             events: 0,
             sim_ns: 0,
             fw_steps: [0; 4],
-            detected: false,
-            mismatches: 0,
-            mismatched_transactions: 0,
-            transactions_compared: 0,
-            final_totals_match: None,
-            suspect_fraction: None,
+            verdict: suite.unjudged(),
             wall_ms: t0.elapsed().as_millis() as u64,
         },
     }
@@ -595,14 +659,15 @@ pub(crate) fn run_scenario(
 /// Executes the campaign on `threads` workers.
 ///
 /// Programs are sliced once per workload label and shared as
-/// `Arc<Program>`; golden captures are produced first (also in
-/// parallel) into a label-keyed [`GoldenSet`], then the full scenario
-/// matrix fans out. Results are assembled in matrix order.
+/// `Arc<Program>`; golden evidence bundles are produced first (also in
+/// parallel, with power calibration repetitions when the suite
+/// consumes them), then the full scenario matrix fans out. Results are
+/// assembled in matrix order.
 ///
 /// # Errors
 ///
-/// Reports an invalid trojan name or duplicate workload label in the
-/// spec.
+/// Reports an invalid trojan or detector name or a duplicate workload
+/// label in the spec.
 ///
 /// # Example
 ///
@@ -611,16 +676,16 @@ pub(crate) fn run_scenario(
 /// use offramps_bench::workloads::Workload;
 ///
 /// let spec = CampaignSpec {
-///     master_seed: 7,
 ///     trojans: vec!["none".into(), "t2".into()],
 ///     workloads: vec![Workload::mini()],
-///     runs_per_cell: 1,
+///     ..CampaignSpec::default_matrix(7)
 /// };
 /// let one = run_campaign(&spec, 1).unwrap();
 /// let four = run_campaign(&spec, 4).unwrap();
 /// assert_eq!(one.summary(), four.summary()); // thread count is invisible
 /// ```
 pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> Result<CampaignReport, String> {
+    let suite = spec.suite()?;
     let scenarios = spec.scenarios()?;
     let t0 = Instant::now();
 
@@ -633,14 +698,15 @@ pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> Result<CampaignRepor
         .map(|(w, program)| (w.label(), program))
         .collect();
 
-    // Golden captures, one per workload label, fanned over the pool.
-    let goldens: GoldenSet = spec
+    // Golden evidence, one bundle per workload label, fanned over the
+    // pool.
+    let goldens: HashMap<&str, EvidenceBundle> = spec
         .workloads
         .iter()
         .zip(parallel_map(&spec.workloads, threads, |w| {
-            golden_capture(spec, w, &programs[w.label()])
+            golden_evidence(spec, w, &programs[w.label()], &suite)
         }))
-        .map(|(w, cap)| (w.label().to_string(), cap))
+        .map(|(w, bundle)| (w.label(), bundle))
         .collect();
 
     // The scenario matrix.
@@ -648,7 +714,8 @@ pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> Result<CampaignRepor
         run_scenario(
             sc,
             &programs[sc.workload.as_str()],
-            goldens.get(&sc.workload).expect("golden per workload"),
+            &goldens[sc.workload.as_str()],
+            &suite,
         )
     });
 
@@ -667,10 +734,10 @@ mod tests {
     #[test]
     fn matrix_expands_trojan_major() {
         let spec = CampaignSpec {
-            master_seed: 1,
             trojans: vec!["none".into(), "t2".into()],
             workloads: vec![Workload::mini(), Workload::tall()],
             runs_per_cell: 2,
+            ..CampaignSpec::default_matrix(1)
         };
         let scenarios = spec.scenarios().unwrap();
         assert_eq!(scenarios.len(), 8);
@@ -684,16 +751,12 @@ mod tests {
     #[test]
     fn seeds_depend_on_labels_not_positions() {
         let wide = CampaignSpec {
-            master_seed: 9,
             trojans: vec!["none".into(), "t1".into(), "t2".into()],
-            workloads: vec![Workload::mini()],
-            runs_per_cell: 1,
+            ..CampaignSpec::default_matrix(9)
         };
         let narrow = CampaignSpec {
-            master_seed: 9,
             trojans: vec!["t2".into()],
-            workloads: vec![Workload::mini()],
-            runs_per_cell: 1,
+            ..CampaignSpec::default_matrix(9)
         };
         let wide_t2 = wide
             .scenarios()
@@ -709,12 +772,27 @@ mod tests {
     }
 
     #[test]
+    fn default_detectors_is_case_insensitive() {
+        let mut spec = CampaignSpec::default_matrix(1);
+        assert!(spec.default_detectors());
+        spec.detectors = vec!["TXN".into()];
+        assert!(spec.default_detectors(), "same suite, same artifact shape");
+        assert!(spec.suite().is_ok());
+        spec.detectors = vec![" txn ".into()];
+        assert!(spec.default_detectors());
+        assert!(spec.suite().is_ok(), "by_name trims like the CLI");
+        spec.detectors = vec!["txn".into(), "power".into()];
+        assert!(!spec.default_detectors());
+        spec.detectors = vec!["txn".into()];
+        spec.fusion = FusionPolicy::All;
+        assert!(!spec.default_detectors(), "fusion is part of the default");
+    }
+
+    #[test]
     fn unknown_trojan_rejected() {
         let spec = CampaignSpec {
-            master_seed: 1,
             trojans: vec!["t99".into()],
-            workloads: vec![Workload::mini()],
-            runs_per_cell: 1,
+            ..CampaignSpec::default_matrix(1)
         };
         assert!(spec.scenarios().is_err());
     }
@@ -722,10 +800,9 @@ mod tests {
     #[test]
     fn duplicate_workload_labels_rejected() {
         let spec = CampaignSpec {
-            master_seed: 1,
             trojans: vec!["none".into()],
             workloads: vec![Workload::mini(), Workload::mini()],
-            runs_per_cell: 1,
+            ..CampaignSpec::default_matrix(1)
         };
         let err = spec.scenarios().unwrap_err();
         assert!(err.contains("duplicate"), "{err}");

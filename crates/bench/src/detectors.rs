@@ -1,0 +1,144 @@
+//! Detector-suite construction and evidence production for campaigns
+//! and the baseline experiment.
+//!
+//! The judging API itself lives in [`offramps::verdict`]; this module
+//! is the harness side: resolving `--detectors txn,power` into a
+//! [`DetectorSuite`], and producing the golden/observed
+//! [`EvidenceBundle`]s a suite consumes. Campaigns and `baseline.rs`
+//! both route their golden runs through [`golden_evidence`], so the two
+//! can never drift in how a golden profile is produced.
+
+use std::sync::Arc;
+
+use offramps::verdict::{
+    DetectorSuite, EvidenceBundle, FusionPolicy, PowerSideChannelDetector, TransactionDetector,
+};
+use offramps::{Detector, RunArtifacts, SignalPath, TestBench};
+use offramps_gcode::Program;
+
+/// The detector names `--detectors` accepts.
+pub const DETECTOR_NAMES: [&str; 2] = [TransactionDetector::NAME, PowerSideChannelDetector::NAME];
+
+/// Resolves one detector name to its campaign-default configuration.
+///
+/// # Errors
+///
+/// Returns the unknown name back.
+pub fn by_name(name: &str) -> Result<Box<dyn Detector>, String> {
+    match name.trim().to_ascii_lowercase().as_str() {
+        "txn" => Ok(Box::new(TransactionDetector::campaign())),
+        "power" => Ok(Box::new(PowerSideChannelDetector::campaign())),
+        other => Err(format!(
+            "unknown detector {other:?} (expected one of: {})",
+            DETECTOR_NAMES.join(", ")
+        )),
+    }
+}
+
+/// Builds a suite from detector names (order preserved) and a fusion
+/// policy.
+///
+/// # Errors
+///
+/// Reports the first unknown name, duplicates, or an empty list.
+pub fn suite_from_names(names: &[String], fusion: FusionPolicy) -> Result<DetectorSuite, String> {
+    let detectors = names
+        .iter()
+        .map(|n| by_name(n))
+        .collect::<Result<Vec<_>, _>>()?;
+    DetectorSuite::new(detectors, fusion)
+}
+
+/// Runs one print through the capture path, recording the plant-side
+/// trace when the suite consumes power evidence.
+pub(crate) fn capture_run(
+    program: &Arc<Program>,
+    seed: u64,
+    needs_power: bool,
+) -> Result<RunArtifacts, offramps::BenchError> {
+    TestBench::new(seed)
+        .signal_path(SignalPath::capture())
+        .record_plant_trace(needs_power)
+        .run(program)
+}
+
+/// Turns one run's artifacts into the observed evidence bundle for
+/// `suite`: the transaction capture always, plus the power waveform
+/// synthesized from the plant-side trace (sensor noise seeded by the
+/// run's own seed) when the suite consumes it.
+pub fn observed_evidence(art: RunArtifacts, seed: u64, suite: &DetectorSuite) -> EvidenceBundle {
+    let power = match (suite.power_model(), art.plant_trace.as_ref()) {
+        (Some(model), Some(trace)) => Some(model.synthesize(trace, seed)),
+        _ => None,
+    };
+    EvidenceBundle {
+        capture: art.capture,
+        power,
+        power_calibration: Vec::new(),
+    }
+}
+
+/// Produces the golden evidence bundle for one workload: the golden
+/// capture under `primary_seed`, plus — when the suite consumes power —
+/// the golden power waveform and one calibration repetition per entry
+/// of `calibration_seeds` (the primary run is the first calibration
+/// trace). Both the campaign runner and the baseline experiment go
+/// through here.
+pub fn golden_evidence(
+    program: &Arc<Program>,
+    primary_seed: u64,
+    calibration_seeds: &[u64],
+    suite: &DetectorSuite,
+) -> EvidenceBundle {
+    let needs_power = suite.needs_power();
+    let art = capture_run(program, primary_seed, needs_power).expect("golden run");
+    let mut bundle = observed_evidence(art, primary_seed, suite);
+    if let (Some(model), Some(primary)) = (suite.power_model(), bundle.power.clone()) {
+        let mut calibration = vec![primary];
+        for &seed in calibration_seeds {
+            let art = capture_run(program, seed, true).expect("golden calibration run");
+            let trace = art.plant_trace.expect("plant trace enabled");
+            calibration.push(model.synthesize(&trace, seed));
+        }
+        bundle.power_calibration = calibration;
+    }
+    bundle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_resolve_and_unknown_rejected() {
+        for name in DETECTOR_NAMES {
+            assert_eq!(by_name(name).unwrap().name(), name);
+        }
+        assert!(by_name("sonar").is_err());
+        assert!(suite_from_names(&["txn".into(), "txn".into()], FusionPolicy::Any).is_err());
+        assert!(suite_from_names(&[], FusionPolicy::Any).is_err());
+        let suite = suite_from_names(&["txn".into(), "power".into()], FusionPolicy::All).unwrap();
+        assert_eq!(suite.names(), vec!["txn", "power"]);
+        assert_eq!(suite.fusion(), FusionPolicy::All);
+    }
+
+    #[test]
+    fn golden_evidence_scales_with_suite() {
+        let program = crate::workloads::Workload::mini().program();
+        let txn_only = suite_from_names(&["txn".into()], FusionPolicy::Any).unwrap();
+        let bundle = golden_evidence(&program, 7, &[], &txn_only);
+        assert!(bundle.capture.is_some());
+        assert!(bundle.power.is_none(), "no power work for txn-only suites");
+        assert!(bundle.power_calibration.is_empty());
+
+        let both = suite_from_names(&["txn".into(), "power".into()], FusionPolicy::Any).unwrap();
+        let bundle = golden_evidence(&program, 7, &[8, 9], &both);
+        assert!(bundle.capture.is_some());
+        assert!(bundle.power.is_some());
+        assert_eq!(
+            bundle.power_calibration.len(),
+            3,
+            "primary + two calibration repetitions"
+        );
+    }
+}

@@ -70,6 +70,14 @@ pub fn number(v: f64) -> String {
     }
 }
 
+/// Formats a slice of `f64`s as a single-line JSON array fragment
+/// (`[0.0, 0.5, 1.0]`) via [`number`] — the shared renderer for every
+/// rates array in the analytics JSON.
+pub fn number_array(values: &[f64]) -> String {
+    let rendered: Vec<String> = values.iter().map(|v| number(*v)).collect();
+    format!("[{}]", rendered.join(", "))
+}
+
 /// Builder for one JSON object at a given indentation level.
 pub struct ObjectWriter<'a> {
     out: &'a mut String,
@@ -500,6 +508,35 @@ impl ToJson for offramps::Mismatch {
             .int("golden", self.golden as i128)
             .int("observed", self.observed as i128)
             .float("percent", self.percent);
+        w.finish();
+    }
+}
+
+impl ToJson for offramps::Evidence {
+    /// One detector's sufficient statistics. Partial shapes are part of
+    /// the schema: `alarmed` is `null` and `threshold` absent for
+    /// unjudged evidence, `final_totals_match` and `peak` appear only
+    /// when the detector produced them (see
+    /// [`crate::cache::decode_result`] for the strict reader).
+    fn write_json(&self, out: &mut String, indent: usize) {
+        let mut w = ObjectWriter::new(out, indent);
+        w.string("detector", &self.detector);
+        match self.alarmed {
+            Some(a) => w.bool("alarmed", a),
+            None => w.raw("alarmed", "null"),
+        };
+        w.int("flagged", self.flagged as i128)
+            .int("flagged_values", self.flagged_values as i128)
+            .int("compared", self.compared as i128);
+        if let Some(threshold) = self.threshold {
+            w.float("threshold", threshold);
+        }
+        if self.judged() {
+            w.float("peak", self.peak);
+        }
+        if let Some(totals) = self.final_totals_match {
+            w.bool("final_totals_match", totals);
+        }
         w.finish();
     }
 }

@@ -13,6 +13,7 @@ pub mod baseline;
 pub mod cache;
 pub mod campaign;
 pub mod corpus;
+pub mod detectors;
 pub mod fig4;
 pub mod json;
 pub mod overhead;

@@ -191,72 +191,6 @@ impl FromIterator<Transaction> for Capture {
     }
 }
 
-/// Golden captures keyed by **workload label**.
-///
-/// Campaign-scale detection needs one golden capture per workload, and
-/// with an open workload registry (procedurally generated corpus parts
-/// next to the four canonical paper prints) the key must be the
-/// workload's stable string label, not a closed enum. The set is the
-/// shared store the campaign runner judges every scenario against.
-///
-/// # Example
-///
-/// ```
-/// use offramps::{Capture, GoldenSet};
-///
-/// let mut goldens = GoldenSet::new();
-/// goldens.insert("mini", Capture::new());
-/// assert!(goldens.get("mini").is_some());
-/// assert_eq!(goldens.labels(), vec!["mini"]);
-/// ```
-#[derive(Debug, Clone, Default)]
-pub struct GoldenSet {
-    map: std::collections::HashMap<String, Capture>,
-}
-
-impl GoldenSet {
-    /// Creates an empty set.
-    pub fn new() -> Self {
-        GoldenSet::default()
-    }
-
-    /// Stores `capture` as the golden reference for `label`, returning
-    /// the previous reference if one was registered.
-    pub fn insert(&mut self, label: impl Into<String>, capture: Capture) -> Option<Capture> {
-        self.map.insert(label.into(), capture)
-    }
-
-    /// The golden capture for `label`, if registered.
-    pub fn get(&self, label: &str) -> Option<&Capture> {
-        self.map.get(label)
-    }
-
-    /// Number of registered references.
-    pub fn len(&self) -> usize {
-        self.map.len()
-    }
-
-    /// True when no reference is registered.
-    pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
-    }
-
-    /// Registered labels, sorted (deterministic listing order).
-    pub fn labels(&self) -> Vec<&str> {
-        let mut labels: Vec<&str> = self.map.keys().map(String::as_str).collect();
-        labels.sort_unstable();
-        labels
-    }
-}
-
-impl FromIterator<(String, Capture)> for GoldenSet {
-    fn from_iter<I: IntoIterator<Item = (String, Capture)>>(iter: I) -> Self {
-        GoldenSet {
-            map: iter.into_iter().collect(),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,20 +214,6 @@ mod tests {
     fn wire_is_big_endian() {
         let t = tx(0, 1, 0, 0, 0);
         assert_eq!(&t.to_wire()[..4], &[0, 0, 0, 1]);
-    }
-
-    #[test]
-    fn golden_set_is_label_keyed() {
-        let mut set = GoldenSet::new();
-        assert!(set.is_empty());
-        set.insert("gen-042", Capture::new());
-        set.insert("mini", vec![tx(0, 1, 2, 3, 4)].into_iter().collect());
-        assert_eq!(set.len(), 2);
-        assert_eq!(set.get("mini").unwrap().len(), 1);
-        assert!(set.get("tall").is_none());
-        assert_eq!(set.labels(), vec!["gen-042", "mini"]);
-        let old = set.insert("mini", Capture::new());
-        assert_eq!(old.unwrap().len(), 1, "replaced reference is returned");
     }
 
     #[test]

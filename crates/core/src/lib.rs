@@ -44,10 +44,15 @@ pub mod mitm;
 pub mod monitor;
 mod testbench;
 pub mod trojans;
+pub mod verdict;
 
-pub use capture::{Capture, GoldenSet, Transaction, TRANSACTION_BYTES};
+pub use capture::{Capture, Transaction, TRANSACTION_BYTES};
 pub use config::{MitmConfig, SignalPath};
 pub use detect::{DetectionReport, DetectorConfig, Mismatch, OnlineDetector};
 pub use mitm::Offramps;
 pub use testbench::{BenchError, RunArtifacts, TestBench};
 pub use trojans::{Disposition, Trojan, TrojanCtx};
+pub use verdict::{
+    Detector, DetectorSuite, Evidence, EvidenceBundle, FusionPolicy, PowerSideChannelDetector,
+    TransactionDetector, Verdict,
+};

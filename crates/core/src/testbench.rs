@@ -70,8 +70,14 @@ pub struct RunArtifacts {
     pub part: PartModel,
     /// Final plant status (positions, temperatures, damage counters).
     pub plant: PlantStatus,
-    /// Raw control/feedback signal trace (present when tracing enabled).
+    /// Raw control/feedback signal trace as seen at the *controller*
+    /// side of the interceptor (present when tracing enabled).
     pub trace: Option<SignalTrace>,
+    /// Control signals the plant actually received — the driver-board
+    /// rail, downstream of any Trojan modification (present when
+    /// [`TestBench::record_plant_trace`] was enabled). This is the tap
+    /// point of a physical power side-channel sensor.
+    pub plant_trace: Option<SignalTrace>,
     /// Simulated duration of the job.
     pub sim_time: Tick,
     /// Total events processed.
@@ -105,6 +111,7 @@ pub struct TestBench {
     trojans: Vec<Box<dyn Trojan>>,
     seed: u64,
     record_trace: bool,
+    record_plant_trace: bool,
     max_sim_time: SimDuration,
     drain_time: SimDuration,
 }
@@ -149,6 +156,7 @@ impl TestBench {
             trojans: Vec::new(),
             seed,
             record_trace: false,
+            record_plant_trace: false,
             max_sim_time: SimDuration::from_secs(4 * 3600),
             drain_time: SimDuration::from_secs(1),
         }
@@ -189,6 +197,15 @@ impl TestBench {
     /// export and overhead analysis).
     pub fn record_trace(mut self, enable: bool) -> Self {
         self.record_trace = enable;
+        self
+    }
+
+    /// Enables plant-side signal tracing: the control events the driver
+    /// board actually received, downstream of the interceptor's Trojan
+    /// mux. Power side-channel synthesis uses this tap — a shunt sensor
+    /// measures what the motors really drew, modifications included.
+    pub fn record_plant_trace(mut self, enable: bool) -> Self {
+        self.record_plant_trace = enable;
         self
     }
 
@@ -262,6 +279,9 @@ impl TestBench {
             mitm,
             plant: PrinterPlant::new(self.plant_config, self.seed),
         };
+        if self.record_plant_trace {
+            rig.plant.enable_trace();
+        }
 
         let mut sched = Self::wire();
         let mut temps: Vec<(Tick, f64, f64)> = Vec::new();
@@ -303,6 +323,7 @@ impl TestBench {
         }
 
         let plant_status = rig.plant.status(now);
+        let plant_trace = rig.plant.take_trace();
         let (capture, trace) = rig.mitm.into_outputs();
         Ok(RunArtifacts {
             fw_state: rig.fw.state(),
@@ -310,6 +331,7 @@ impl TestBench {
             part: rig.plant.into_part(),
             plant: plant_status,
             trace,
+            plant_trace,
             sim_time: now,
             events: sched.events(),
             temps,
@@ -376,6 +398,43 @@ mod tests {
             .unwrap();
         let trace = run.trace.expect("trace enabled");
         assert!(trace.len() > 100, "homing generates plenty of edges");
+        assert!(run.plant_trace.is_none(), "plant tracing is separate");
+    }
+
+    #[test]
+    fn plant_trace_sees_trojan_modifications_controller_trace_does_not() {
+        // A flow-reduction Trojan masks half the E pulses downstream of
+        // the controller tap: the controller-side trace keeps every
+        // pulse, the plant-side trace loses the masked ones.
+        let job = program("G28\nG90\nG92 E0\nG1 X10 E5 F1200\nM84\n");
+        let clean = TestBench::new(9)
+            .record_trace(true)
+            .record_plant_trace(true)
+            .run(&job)
+            .unwrap();
+        let attacked = TestBench::new(9)
+            .record_trace(true)
+            .record_plant_trace(true)
+            .with_trojan(crate::trojans::by_name("t2").unwrap())
+            .run(&job)
+            .unwrap();
+        let e_edges = |t: &SignalTrace| {
+            t.entries()
+                .iter()
+                .filter(|e| e.event.pin == offramps_signals::Pin::EStep)
+                .count()
+        };
+        let clean_plant = clean.plant_trace.expect("plant trace enabled");
+        let attacked_plant = attacked.plant_trace.expect("plant trace enabled");
+        assert_eq!(
+            e_edges(&clean.trace.unwrap()),
+            e_edges(attacked.trace.as_ref().unwrap()),
+            "controller tap is upstream of the Trojan mux"
+        );
+        assert!(
+            e_edges(&attacked_plant) < e_edges(&clean_plant),
+            "plant tap must see the masked pulses disappear"
+        );
     }
 
     #[test]

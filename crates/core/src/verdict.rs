@@ -1,0 +1,712 @@
+//! Pluggable multi-modality judging: named detectors over named
+//! evidence streams, fused into one verdict.
+//!
+//! The paper's monitor is valuable precisely because a print can be
+//! judged from more than one evidence stream: the §V-C step-count
+//! comparison over the captured transactions, and (as the related-work
+//! baseline) a power side-channel over the driver rail. This module
+//! makes the judging layer a first-class API instead of a hard-wired
+//! comparator:
+//!
+//! * [`EvidenceBundle`] — the named evidence streams one print
+//!   produced (transaction capture, power trace, calibration repeats);
+//! * [`Detector`] — a named judge with a canonical policy string,
+//!   turning a golden and an observed bundle into [`Evidence`]
+//!   (sufficient statistics, not just a boolean);
+//! * [`DetectorSuite`] — an ordered set of detectors plus a
+//!   [`FusionPolicy`], producing a fused [`Verdict`];
+//! * [`TransactionDetector`] / [`PowerSideChannelDetector`] — the two
+//!   shipped modalities, the former reproducing the campaign judge
+//!   byte for byte, the latter wrapping the repetition-calibrated
+//!   power comparator from `offramps-sidechannel`.
+//!
+//! The two taps are *physically different*: the transaction monitor
+//! counts the controller's stream upstream of the Trojan mux, while a
+//! power sensor measures the driver rail downstream of it. A hardware
+//! Trojan that silently masks pulses is invisible to the first and
+//! visible to the second — which is exactly why fusing independent
+//! evidence channels beats any single judge.
+//!
+//! A suite's [`DetectorSuite::policy`] string spells out every knob
+//! that shapes a verdict; content-addressed stores key scenario records
+//! by it, so changing the suite (or any detector default) re-addresses
+//! every cached verdict at once.
+
+use std::fmt;
+
+use offramps_sidechannel::{
+    CalibratedPowerDetector, PowerDetector, PowerDetectorConfig, PowerModel, PowerTrace,
+};
+
+use crate::capture::Capture;
+use crate::detect::{self, DetectorConfig};
+
+/// The named evidence streams captured from one print.
+///
+/// A golden bundle may additionally carry `power_calibration`:
+/// repeated golden power traces (the published power-signature systems
+/// profile dozens of repetitions); observed bundles leave it empty.
+#[derive(Debug, Clone, Default)]
+pub struct EvidenceBundle {
+    /// The monitor's transaction capture (controller-side tap).
+    pub capture: Option<Capture>,
+    /// The synthesized power waveform (driver-rail tap).
+    pub power: Option<PowerTrace>,
+    /// Golden-side repetitions for calibration, primary run included.
+    /// With fewer than two entries the power judge falls back to the
+    /// single-profile comparator.
+    pub power_calibration: Vec<PowerTrace>,
+}
+
+/// One detector's judgment as sufficient statistics: everything needed
+/// to re-judge the scenario offline at any threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evidence {
+    /// The detector that produced this evidence (e.g. `"txn"`,
+    /// `"power"`).
+    pub detector: String,
+    /// The detector's own alarm; `None` when the evidence stream it
+    /// needs was absent (an unjudged scenario, not a clean one).
+    pub alarmed: Option<bool>,
+    /// Units with an out-of-band signal: mismatching transactions for
+    /// the step-count judge, anomalous windows for the power judge.
+    pub flagged: usize,
+    /// Individual out-of-band values (a transaction with two bad axes
+    /// counts twice); equals `flagged` for window-based judges.
+    pub flagged_values: usize,
+    /// Units the detector compared (the suspect-fraction denominator).
+    pub compared: usize,
+    /// The suspect-fraction threshold the verdict used; `None` when
+    /// unjudged.
+    pub threshold: Option<f64>,
+    /// Largest deviation seen: percent difference for the step-count
+    /// judge, watts for the power judge.
+    pub peak: f64,
+    /// The end-of-print 0 %-margin totals check (transaction judge
+    /// only; `None` elsewhere).
+    pub final_totals_match: Option<bool>,
+}
+
+impl Evidence {
+    /// Evidence for a scenario this detector could not judge (its
+    /// stream was never captured, or the bench run errored).
+    pub fn unjudged(detector: impl Into<String>) -> Evidence {
+        Evidence {
+            detector: detector.into(),
+            alarmed: None,
+            flagged: 0,
+            flagged_values: 0,
+            compared: 0,
+            threshold: None,
+            peak: 0.0,
+            final_totals_match: None,
+        }
+    }
+
+    /// True when the detector actually judged its stream.
+    pub fn judged(&self) -> bool {
+        self.alarmed.is_some()
+    }
+
+    /// Fraction of compared units flagged (0 when nothing compared).
+    pub fn flagged_fraction(&self) -> f64 {
+        if self.compared == 0 {
+            0.0
+        } else {
+            self.flagged as f64 / self.compared as f64
+        }
+    }
+}
+
+/// How a suite combines its detectors' alarms into one verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FusionPolicy {
+    /// Alarm when *any* judged detector alarms (the default: every
+    /// independent evidence channel gets veto power over "clean").
+    #[default]
+    Any,
+    /// Alarm only when *every* judged detector alarms (at least one
+    /// must have judged).
+    All,
+}
+
+impl FusionPolicy {
+    /// Fuses per-detector evidence into the suite alarm. Unjudged
+    /// evidence neither alarms nor vetoes.
+    pub fn fuse(self, evidence: &[Evidence]) -> bool {
+        let judged: Vec<bool> = evidence.iter().filter_map(|e| e.alarmed).collect();
+        match self {
+            FusionPolicy::Any => judged.iter().any(|&a| a),
+            FusionPolicy::All => !judged.is_empty() && judged.iter().all(|&a| a),
+        }
+    }
+
+    /// Parses `"any"` / `"all"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown name back.
+    pub fn parse(name: &str) -> Result<FusionPolicy, String> {
+        match name.to_ascii_lowercase().as_str() {
+            "any" => Ok(FusionPolicy::Any),
+            "all" => Ok(FusionPolicy::All),
+            other => Err(format!("unknown fusion policy {other:?} (any|all)")),
+        }
+    }
+}
+
+impl fmt::Display for FusionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FusionPolicy::Any => "any",
+            FusionPolicy::All => "all",
+        })
+    }
+}
+
+/// A suite's fused judgment of one print: the combined alarm plus every
+/// detector's evidence, in suite order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// The fused alarm.
+    pub alarmed: bool,
+    /// Per-detector evidence, in suite order.
+    pub evidence: Vec<Evidence>,
+}
+
+impl Verdict {
+    /// The evidence a named detector produced, if it is in the suite.
+    pub fn evidence_for(&self, detector: &str) -> Option<&Evidence> {
+        self.evidence.iter().find(|e| e.detector == detector)
+    }
+
+    /// Shorthand for the transaction judge's evidence.
+    pub fn txn(&self) -> Option<&Evidence> {
+        self.evidence_for(TransactionDetector::NAME)
+    }
+
+    /// Shorthand for the power judge's evidence.
+    pub fn power(&self) -> Option<&Evidence> {
+        self.evidence_for(PowerSideChannelDetector::NAME)
+    }
+}
+
+/// A named judge over evidence bundles.
+pub trait Detector: Send + Sync + fmt::Debug {
+    /// Short stable name (`"txn"`, `"power"`); keys evidence and CLI
+    /// selection.
+    fn name(&self) -> &'static str;
+
+    /// Canonical rendering of every knob that shapes this detector's
+    /// verdicts — the content-address component for cached results.
+    fn policy(&self) -> String;
+
+    /// Whether this detector needs a power trace captured.
+    fn needs_power(&self) -> bool {
+        false
+    }
+
+    /// How many repeated golden prints this detector wants for
+    /// calibration (0 = a single golden run suffices).
+    fn golden_power_runs(&self) -> usize {
+        0
+    }
+
+    /// The electrical model a harness should synthesize power traces
+    /// with, when this detector consumes them.
+    fn power_model(&self) -> Option<PowerModel> {
+        None
+    }
+
+    /// Judges an observed print against the golden evidence.
+    fn judge(&self, golden: &EvidenceBundle, observed: &EvidenceBundle) -> Evidence;
+}
+
+/// The §V-C step-count judge behind the [`Detector`] API: the paper's
+/// windowed margin comparison with the campaign's short-print floor
+/// ([`detect::floored_suspect_fraction`]) applied to the base suspect
+/// fraction.
+#[derive(Debug, Clone)]
+pub struct TransactionDetector {
+    /// Base tuning; the suspect fraction is floored per capture length
+    /// at judge time.
+    pub base: DetectorConfig,
+}
+
+impl TransactionDetector {
+    /// The detector's stable name.
+    pub const NAME: &'static str = "txn";
+
+    /// The campaign default: the paper's tuning.
+    pub fn campaign() -> TransactionDetector {
+        TransactionDetector {
+            base: DetectorConfig::default(),
+        }
+    }
+}
+
+impl Detector for TransactionDetector {
+    fn name(&self) -> &'static str {
+        TransactionDetector::NAME
+    }
+
+    /// Byte-compatible with the pre-suite campaign policy string, so a
+    /// scenario store warmed by a transaction-only campaign stays warm
+    /// across the API redesign.
+    fn policy(&self) -> String {
+        format!(
+            "margin={};floor={};base={};final={};txn_floor={}",
+            self.base.margin,
+            self.base.denominator_floor,
+            self.base.suspect_fraction,
+            self.base.final_check,
+            detect::SUSPECT_TRANSACTION_FLOOR,
+        )
+    }
+
+    fn judge(&self, golden: &EvidenceBundle, observed: &EvidenceBundle) -> Evidence {
+        let (Some(golden), Some(observed)) = (&golden.capture, &observed.capture) else {
+            return Evidence::unjudged(self.name());
+        };
+        let n = golden.len().min(observed.len());
+        let cfg = DetectorConfig {
+            suspect_fraction: detect::floored_suspect_fraction(self.base.suspect_fraction, n),
+            ..self.base
+        };
+        let report = detect::compare(golden, observed, &cfg);
+        Evidence {
+            detector: self.name().into(),
+            alarmed: Some(report.trojan_suspected),
+            flagged: report.mismatched_transactions(),
+            flagged_values: report.mismatches.len(),
+            compared: report.transactions_compared,
+            threshold: Some(cfg.suspect_fraction),
+            peak: report.largest_percent,
+            final_totals_match: report.final_totals_match,
+        }
+    }
+}
+
+/// The power side-channel judge behind the [`Detector`] API: golden
+/// power profiles (repetition-calibrated when the golden bundle carries
+/// ≥ 2 calibration traces, single-profile otherwise) compared against
+/// the observed driver-rail waveform.
+#[derive(Debug, Clone)]
+pub struct PowerSideChannelDetector {
+    /// Comparator tuning (sigma threshold, smoothing, suspect
+    /// fraction).
+    pub config: PowerDetectorConfig,
+    /// Electrical model the power traces are synthesized with.
+    pub model: PowerModel,
+    /// Golden repetitions to calibrate from.
+    pub calibration_runs: usize,
+}
+
+impl PowerSideChannelDetector {
+    /// The detector's stable name.
+    pub const NAME: &'static str = "power";
+
+    /// The campaign default: the repetition-calibrated configuration
+    /// the baseline experiment validated (1 s smoothing windows tame
+    /// move-boundary jitter; five golden repetitions).
+    pub fn campaign() -> PowerSideChannelDetector {
+        let model = PowerModel::default();
+        PowerSideChannelDetector {
+            config: PowerDetectorConfig {
+                sigma_threshold: 5.0,
+                noise_sigma_w: model.noise_sigma_w,
+                smoothing: 100,
+                suspect_fraction: 0.15,
+            },
+            model,
+            calibration_runs: 5,
+        }
+    }
+}
+
+impl Detector for PowerSideChannelDetector {
+    fn name(&self) -> &'static str {
+        PowerSideChannelDetector::NAME
+    }
+
+    fn policy(&self) -> String {
+        format!(
+            "sigma={};noise={};smooth={};base={};calib={};kstep_w={};hold_w={};rate_hz={};heaters={}",
+            self.config.sigma_threshold,
+            self.config.noise_sigma_w,
+            self.config.smoothing,
+            self.config.suspect_fraction,
+            self.calibration_runs,
+            self.model.motor_w_per_kstep,
+            self.model.motor_hold_w,
+            self.model.sample_rate_hz,
+            self.model.include_heaters,
+        )
+    }
+
+    fn needs_power(&self) -> bool {
+        true
+    }
+
+    fn golden_power_runs(&self) -> usize {
+        self.calibration_runs.max(1)
+    }
+
+    fn power_model(&self) -> Option<PowerModel> {
+        Some(self.model)
+    }
+
+    fn judge(&self, golden: &EvidenceBundle, observed: &EvidenceBundle) -> Evidence {
+        let Some(observed_power) = &observed.power else {
+            return Evidence::unjudged(self.name());
+        };
+        let report = if golden.power_calibration.len() >= 2 {
+            CalibratedPowerDetector::calibrate(&golden.power_calibration, self.config)
+                .compare(observed_power)
+        } else if let Some(golden_power) = &golden.power {
+            PowerDetector::new(golden_power.clone(), self.config).compare(observed_power)
+        } else {
+            return Evidence::unjudged(self.name());
+        };
+        Evidence {
+            detector: self.name().into(),
+            alarmed: Some(report.sabotage_suspected),
+            flagged: report.anomalous_windows,
+            flagged_values: report.anomalous_windows,
+            compared: report.windows_compared,
+            threshold: Some(self.config.suspect_fraction),
+            peak: report.largest_deviation_w,
+            final_totals_match: None,
+        }
+    }
+}
+
+/// An ordered, uniquely named set of detectors plus a fusion policy.
+#[derive(Debug)]
+pub struct DetectorSuite {
+    detectors: Vec<Box<dyn Detector>>,
+    fusion: FusionPolicy,
+}
+
+impl DetectorSuite {
+    /// Builds a suite.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty suite or duplicate detector names.
+    pub fn new(
+        detectors: Vec<Box<dyn Detector>>,
+        fusion: FusionPolicy,
+    ) -> Result<DetectorSuite, String> {
+        if detectors.is_empty() {
+            return Err("a detector suite needs at least one detector".into());
+        }
+        let mut seen = std::collections::HashSet::new();
+        for d in &detectors {
+            if !seen.insert(d.name()) {
+                return Err(format!("duplicate detector {:?} in suite", d.name()));
+            }
+        }
+        Ok(DetectorSuite { detectors, fusion })
+    }
+
+    /// The campaign default: the transaction judge alone, any-alarm
+    /// fusion.
+    pub fn transaction_default() -> DetectorSuite {
+        DetectorSuite {
+            detectors: vec![Box::new(TransactionDetector::campaign())],
+            fusion: FusionPolicy::Any,
+        }
+    }
+
+    /// Detector names in suite order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.detectors.iter().map(|d| d.name()).collect()
+    }
+
+    /// The detectors, in suite order.
+    pub fn detectors(&self) -> &[Box<dyn Detector>] {
+        &self.detectors
+    }
+
+    /// The fusion policy.
+    pub fn fusion(&self) -> FusionPolicy {
+        self.fusion
+    }
+
+    /// Whether any detector needs a power trace captured.
+    pub fn needs_power(&self) -> bool {
+        self.detectors.iter().any(|d| d.needs_power())
+    }
+
+    /// The most golden power repetitions any detector wants (0 when
+    /// none consume power).
+    pub fn golden_power_runs(&self) -> usize {
+        self.detectors
+            .iter()
+            .map(|d| d.golden_power_runs())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The electrical model power traces should be synthesized with
+    /// (the first power-consuming detector's).
+    pub fn power_model(&self) -> Option<PowerModel> {
+        self.detectors.iter().find_map(|d| d.power_model())
+    }
+
+    /// The canonical rendering of the whole judging policy. A
+    /// single-detector suite renders that detector's bare policy string
+    /// (so the transaction-only default stays byte-compatible with the
+    /// pre-suite campaign policy); multi-detector suites render
+    /// `name{policy}` joined by `+` with the fusion policy appended.
+    pub fn policy(&self) -> String {
+        if let [only] = self.detectors.as_slice() {
+            return only.policy();
+        }
+        let parts: Vec<String> = self
+            .detectors
+            .iter()
+            .map(|d| format!("{}{{{}}}", d.name(), d.policy()))
+            .collect();
+        format!("{}|fuse={}", parts.join("+"), self.fusion)
+    }
+
+    /// Judges an observed print against the golden evidence: every
+    /// detector in order, then fusion.
+    pub fn judge(&self, golden: &EvidenceBundle, observed: &EvidenceBundle) -> Verdict {
+        let evidence: Vec<Evidence> = self
+            .detectors
+            .iter()
+            .map(|d| d.judge(golden, observed))
+            .collect();
+        Verdict {
+            alarmed: self.fusion.fuse(&evidence),
+            evidence,
+        }
+    }
+
+    /// The verdict for a print that produced no evidence at all (a
+    /// bench error): every detector unjudged, no alarm.
+    pub fn unjudged(&self) -> Verdict {
+        Verdict {
+            alarmed: false,
+            evidence: self
+                .detectors
+                .iter()
+                .map(|d| Evidence::unjudged(d.name()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::Transaction;
+    use offramps_des::{SimDuration, Tick};
+    use offramps_signals::{Level, LogicEvent, Pin, SignalTrace};
+
+    fn ramp(n: usize, scale: f64) -> Capture {
+        (0..n)
+            .map(|i| Transaction {
+                index: i as u64,
+                counts: [
+                    (1_000.0 + 10.0 * i as f64) as i32,
+                    (2_000.0 * scale) as i32,
+                    100,
+                    (500.0 * scale * i as f64) as i32,
+                ],
+            })
+            .collect()
+    }
+
+    fn capture_bundle(cap: Capture) -> EvidenceBundle {
+        EvidenceBundle {
+            capture: Some(cap),
+            ..EvidenceBundle::default()
+        }
+    }
+
+    fn step_trace(period_us: u64, seconds: u64) -> SignalTrace {
+        let mut t = SignalTrace::new();
+        let mut at = Tick::ZERO;
+        while at < Tick::from_secs(seconds) {
+            t.record(at, LogicEvent::new(Pin::XStep, Level::High));
+            t.record(
+                at + SimDuration::from_micros(2),
+                LogicEvent::new(Pin::XStep, Level::Low),
+            );
+            at += SimDuration::from_micros(period_us);
+        }
+        t
+    }
+
+    #[test]
+    fn transaction_detector_matches_campaign_judge() {
+        let golden = ramp(100, 1.0);
+        let observed = ramp(100, 0.5);
+        let det = TransactionDetector::campaign();
+        let ev = det.judge(
+            &capture_bundle(golden.clone()),
+            &capture_bundle(observed.clone()),
+        );
+        let n = golden.len().min(observed.len());
+        let cfg = DetectorConfig {
+            suspect_fraction: detect::floored_suspect_fraction(0.01, n),
+            ..DetectorConfig::default()
+        };
+        let report = detect::compare(&golden, &observed, &cfg);
+        assert_eq!(ev.alarmed, Some(report.trojan_suspected));
+        assert_eq!(ev.flagged, report.mismatched_transactions());
+        assert_eq!(ev.flagged_values, report.mismatches.len());
+        assert_eq!(ev.compared, report.transactions_compared);
+        assert_eq!(ev.threshold, Some(cfg.suspect_fraction));
+        assert_eq!(ev.peak, report.largest_percent);
+        assert_eq!(ev.final_totals_match, report.final_totals_match);
+    }
+
+    #[test]
+    fn transaction_detector_unjudged_without_captures() {
+        let det = TransactionDetector::campaign();
+        let ev = det.judge(&EvidenceBundle::default(), &capture_bundle(ramp(10, 1.0)));
+        assert!(!ev.judged());
+        assert_eq!(ev.threshold, None);
+    }
+
+    #[test]
+    fn power_detector_calibrated_judges_sustained_change() {
+        let det = PowerSideChannelDetector::campaign();
+        let model = det.model;
+        let golden_runs: Vec<PowerTrace> = (0..5)
+            .map(|s| model.synthesize(&step_trace(250, 5), s))
+            .collect();
+        let golden = EvidenceBundle {
+            power: Some(golden_runs[0].clone()),
+            power_calibration: golden_runs,
+            ..EvidenceBundle::default()
+        };
+        let clean = EvidenceBundle {
+            power: Some(model.synthesize(&step_trace(250, 5), 99)),
+            ..EvidenceBundle::default()
+        };
+        let attacked = EvidenceBundle {
+            power: Some(model.synthesize(&step_trace(500, 5), 99)),
+            ..EvidenceBundle::default()
+        };
+        let clean_ev = det.judge(&golden, &clean);
+        assert_eq!(clean_ev.alarmed, Some(false), "{clean_ev:?}");
+        assert!(clean_ev.compared > 0);
+        let attacked_ev = det.judge(&golden, &attacked);
+        assert_eq!(attacked_ev.alarmed, Some(true), "{attacked_ev:?}");
+        assert!(attacked_ev.peak > 1.0, "watts of sustained deviation");
+        assert_eq!(attacked_ev.flagged, attacked_ev.flagged_values);
+        // Single golden profile (no calibration repeats) still judges.
+        let single = EvidenceBundle {
+            power: Some(model.synthesize(&step_trace(250, 5), 1)),
+            ..EvidenceBundle::default()
+        };
+        assert!(det.judge(&single, &attacked).judged());
+        // No power at all: unjudged.
+        assert!(!det.judge(&golden, &EvidenceBundle::default()).judged());
+    }
+
+    #[test]
+    fn fusion_policies() {
+        let ev = |name: &str, alarmed: Option<bool>| Evidence {
+            alarmed,
+            ..Evidence::unjudged(name)
+        };
+        let both = [ev("a", Some(true)), ev("b", Some(false))];
+        assert!(FusionPolicy::Any.fuse(&both));
+        assert!(!FusionPolicy::All.fuse(&both));
+        let agree = [ev("a", Some(true)), ev("b", Some(true))];
+        assert!(FusionPolicy::All.fuse(&agree));
+        // Unjudged evidence neither alarms nor vetoes.
+        let partial = [ev("a", Some(true)), ev("b", None)];
+        assert!(FusionPolicy::Any.fuse(&partial));
+        assert!(FusionPolicy::All.fuse(&partial));
+        let none = [ev("a", None), ev("b", None)];
+        assert!(!FusionPolicy::Any.fuse(&none));
+        assert!(!FusionPolicy::All.fuse(&none));
+        assert_eq!(FusionPolicy::parse("ALL").unwrap(), FusionPolicy::All);
+        assert!(FusionPolicy::parse("most").is_err());
+    }
+
+    #[test]
+    fn suite_policy_strings() {
+        let txn_only = DetectorSuite::transaction_default();
+        assert_eq!(
+            txn_only.policy(),
+            "margin=0.05;floor=32;base=0.01;final=true;txn_floor=2.8",
+            "single-detector suites render the bare policy for store compatibility"
+        );
+        let both = DetectorSuite::new(
+            vec![
+                Box::new(TransactionDetector::campaign()),
+                Box::new(PowerSideChannelDetector::campaign()),
+            ],
+            FusionPolicy::Any,
+        )
+        .unwrap();
+        let policy = both.policy();
+        assert!(policy.starts_with("txn{"), "{policy}");
+        assert!(policy.contains("+power{"), "{policy}");
+        assert!(policy.ends_with("|fuse=any"), "{policy}");
+        assert_ne!(policy, txn_only.policy());
+        let all = DetectorSuite::new(
+            vec![
+                Box::new(TransactionDetector::campaign()),
+                Box::new(PowerSideChannelDetector::campaign()),
+            ],
+            FusionPolicy::All,
+        )
+        .unwrap();
+        assert_ne!(all.policy(), policy, "fusion is part of the policy");
+    }
+
+    #[test]
+    fn suite_rejects_empty_and_duplicates() {
+        assert!(DetectorSuite::new(Vec::new(), FusionPolicy::Any).is_err());
+        let err = DetectorSuite::new(
+            vec![
+                Box::new(TransactionDetector::campaign()),
+                Box::new(TransactionDetector::campaign()),
+            ],
+            FusionPolicy::Any,
+        )
+        .unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn suite_judges_and_fuses() {
+        let suite = DetectorSuite::new(
+            vec![
+                Box::new(TransactionDetector::campaign()),
+                Box::new(PowerSideChannelDetector::campaign()),
+            ],
+            FusionPolicy::Any,
+        )
+        .unwrap();
+        assert!(suite.needs_power());
+        assert_eq!(suite.golden_power_runs(), 5);
+        assert!(suite.power_model().is_some());
+        assert_eq!(suite.names(), vec!["txn", "power"]);
+
+        // Transaction tamper, no power evidence: fused alarm rides on
+        // the one judged detector.
+        let verdict = suite.judge(
+            &capture_bundle(ramp(100, 1.0)),
+            &capture_bundle(ramp(100, 0.5)),
+        );
+        assert!(verdict.alarmed);
+        assert_eq!(verdict.txn().unwrap().alarmed, Some(true));
+        assert_eq!(verdict.power().unwrap().alarmed, None);
+
+        let unjudged = suite.unjudged();
+        assert!(!unjudged.alarmed);
+        assert_eq!(unjudged.evidence.len(), 2);
+        assert!(unjudged.evidence.iter().all(|e| !e.judged()));
+    }
+}

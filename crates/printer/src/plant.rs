@@ -7,7 +7,7 @@
 //! samples.
 
 use offramps_des::{ActionSink, DetRng, InPort, OutPort, SimComponent, SimDuration, Tick};
-use offramps_signals::{AnalogChannel, Axis, Level, LogicEvent, Pin, SignalEvent};
+use offramps_signals::{AnalogChannel, Axis, Level, LogicEvent, Pin, SignalEvent, SignalTrace};
 
 use crate::config::PlantConfig;
 use crate::deposition::{DepositionModel, PartModel};
@@ -88,6 +88,7 @@ pub struct PrinterPlant {
     deposition: DepositionModel,
     endstop_levels: [Level; 3],
     adc_rng: DetRng,
+    trace: Option<SignalTrace>,
 }
 
 impl PrinterPlant {
@@ -109,7 +110,25 @@ impl PrinterPlant {
             mechs,
             adc_rng: DetRng::from_seed(seed ^ 0xadc0_ffee),
             config,
+            trace: None,
         }
+    }
+
+    /// Enables recording of the control signals the plant actually
+    /// receives — the driver-board side of the loop, *downstream* of any
+    /// interceptor modification. A power side-channel sensor sits on
+    /// this rail, so waveforms synthesized from this trace reflect what
+    /// the motors really did, Trojans included (unlike the monitor's
+    /// controller-side tap).
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(SignalTrace::new());
+        }
+    }
+
+    /// Takes the recorded plant-side trace, if tracing was enabled.
+    pub fn take_trace(&mut self) -> Option<SignalTrace> {
+        self.trace.take()
     }
 
     /// Initial feedback burst: current endstop levels plus the first ADC
@@ -133,7 +152,12 @@ impl PrinterPlant {
         sink: &mut ActionSink<SignalEvent>,
     ) {
         match event {
-            SignalEvent::Logic(ev) => self.on_logic(now, ev, sink),
+            SignalEvent::Logic(ev) => {
+                if let Some(trace) = self.trace.as_mut() {
+                    trace.record(now, ev);
+                }
+                self.on_logic(now, ev, sink)
+            }
             // The display UART terminates at the (unmodelled) LCD; ADC
             // events never arrive on the control side.
             SignalEvent::Uart { .. } | SignalEvent::Adc { .. } => {}
@@ -420,6 +444,17 @@ mod tests {
         let part = p.into_part();
         assert!(part.total_forward_e_mm > 0.3);
         assert!(!part.segments().is_empty());
+    }
+
+    #[test]
+    fn plant_trace_records_received_control_signals() {
+        let mut p = plant();
+        p.enable_trace();
+        control(&mut p, 0, SignalEvent::logic(Pin::XEnable, Level::Low));
+        step(&mut p, 10, Axis::X);
+        let trace = p.take_trace().expect("tracing enabled");
+        assert_eq!(trace.len(), 3, "enable + step high/low");
+        assert!(p.take_trace().is_none(), "trace is taken once");
     }
 
     #[test]

@@ -53,6 +53,24 @@ impl SideChannelReport {
     }
 }
 
+/// The power judge's alarm rule: the anomalous-window fraction strictly
+/// over the suspect fraction (zero compared windows never alarm). Both
+/// live comparators and any offline re-judge (threshold-sweep
+/// analytics) go through this one helper, so a rule change can never
+/// silently diverge between them.
+pub fn suspect_anomaly_fraction(
+    anomalous_windows: usize,
+    windows_compared: usize,
+    suspect_fraction: f64,
+) -> bool {
+    let fraction = if windows_compared == 0 {
+        0.0
+    } else {
+        anomalous_windows as f64 / windows_compared as f64
+    };
+    fraction > suspect_fraction
+}
+
 /// The golden-profile comparator.
 ///
 /// # Example
@@ -118,7 +136,8 @@ impl PowerDetector {
             largest_deviation_w: largest,
             sabotage_suspected: false,
         };
-        report.sabotage_suspected = report.anomaly_fraction() > self.config.suspect_fraction;
+        report.sabotage_suspected =
+            suspect_anomaly_fraction(anomalous, n, self.config.suspect_fraction);
         report
     }
 }
@@ -267,7 +286,7 @@ impl CalibratedPowerDetector {
             largest_deviation_w: largest,
             sabotage_suspected: false,
         };
-        report.sabotage_suspected = report.anomaly_fraction() > self.suspect_fraction;
+        report.sabotage_suspected = suspect_anomaly_fraction(anomalous, n, self.suspect_fraction);
         report
     }
 }

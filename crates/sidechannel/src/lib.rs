@@ -34,6 +34,7 @@ mod detector;
 mod model;
 
 pub use detector::{
-    CalibratedPowerDetector, PowerDetector, PowerDetectorConfig, SideChannelReport,
+    suspect_anomaly_fraction, CalibratedPowerDetector, PowerDetector, PowerDetectorConfig,
+    SideChannelReport,
 };
 pub use model::{PowerModel, PowerTrace};

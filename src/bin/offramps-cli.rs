@@ -23,7 +23,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use offramps::trojans;
-use offramps::{detect, Capture, SignalPath, TestBench};
+use offramps::{detect, Capture, FusionPolicy, SignalPath, TestBench};
 use offramps_attacks::Flaw3dTrojan;
 use offramps_bench::analytics::{AnalyticsReport, THRESHOLD_GRID};
 use offramps_bench::cache::{run_campaign_cached, store_observations};
@@ -48,6 +48,7 @@ USAGE:
                         [--trojans none,t1,...,flaw3d-r90,flaw3d-rel20|all]
                         [--workloads mini,standard,tall,detection]
                         [--corpus N] [--sweep] [--list]
+                        [--detectors txn,power] [--fuse any|all]
                         [--cache DIR] [--timing-json out.json]
   offramps-cli analytics --cache DIR [--json out.json]
 
@@ -67,6 +68,15 @@ the detector reliably catches).
                   trigger-layer grids, 33 attacks) instead of --trojans
   --list          print the expanded workloads, attacks and scenario
                   count, then exit without simulating
+  --detectors     comma list of judges: txn (the paper's step-count
+                  comparison, the default) and/or power (the calibrated
+                  power side-channel over the driver rail — a tap
+                  *downstream* of the Trojan mux, so it sees signal
+                  tampering the upstream txn monitor cannot). Each
+                  scenario carries per-detector evidence in the JSON;
+                  the verdict column fuses them (--fuse any|all).
+                  Changing the suite changes scenario-store keys: no
+                  stale verdicts are ever served.
   --cache DIR     run the campaign through the persistent scenario store
                   at DIR: cached scenarios are answered from disk, only
                   new or invalidated ones are simulated, fresh results
@@ -78,7 +88,10 @@ the detector reliably catches).
 The analytics subcommand re-judges every scenario record in a store at
 a grid of suspect-fraction thresholds (no simulation): per-attack
 detection-rate curves plus the clean-reprint false-positive curve —
-the corpus-wide ROC.
+the corpus-wide ROC. Records carrying power evidence additionally get
+a power-judge curve and an any-alarm fused curve; records written
+before power evidence existed are reported (not errors) and feed only
+the transaction curves.
 ";
 
 fn main() -> ExitCode {
@@ -283,6 +296,18 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
     if corpus > 0 {
         spec.workloads.extend(CorpusSpec::new(corpus).expand(seed));
     }
+    if let Some(list) = opt(args, "--detectors") {
+        // Normalized here so equivalent invocations (`TXN`, ` txn `)
+        // produce byte-identical artifacts and store keys.
+        spec.detectors = list
+            .split(',')
+            .map(|s| s.trim().to_ascii_lowercase())
+            .collect();
+    }
+    if let Some(policy) = opt(args, "--fuse") {
+        spec.fusion = FusionPolicy::parse(&policy)?;
+    }
+    spec.suite()?; // validate detector names before simulating
 
     if args.iter().any(|a| a == "--list") {
         let scenarios = spec.scenarios()?;
@@ -292,6 +317,11 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
         }
         println!("attacks ({}):", spec.trojans.len());
         println!("  {}", spec.trojans.join(", "));
+        println!(
+            "detectors: {}   (fusion: {})",
+            spec.detectors.join(","),
+            spec.fusion
+        );
         println!(
             "scenarios: {}   (runs per cell: {}, master seed: {})",
             scenarios.len(),
@@ -348,6 +378,10 @@ fn cmd_analytics(args: &[String]) -> Result<ExitCode, String> {
     }
     let report = AnalyticsReport::over(&observations, &THRESHOLD_GRID);
     print!("{}", report.summary());
+    // Records written before power evidence existed (or by
+    // transaction-only suites) parse fine but cannot feed the power or
+    // fused curves — count and report them instead of erroring.
+    let pre_power = observations.iter().filter(|o| o.power.is_none()).count();
     println!(
         "records: {}   attacks: {}   thresholds: {}   skipped: {}",
         observations.len(),
@@ -355,6 +389,11 @@ fn cmd_analytics(args: &[String]) -> Result<ExitCode, String> {
         report.thresholds.len(),
         skipped
     );
+    if pre_power > 0 {
+        println!(
+            "pre-power records: {pre_power} (no power evidence; skipped for power/fused curves)"
+        );
+    }
     if let Some(path) = opt(args, "--json") {
         use offramps_bench::json::ToJson;
         std::fs::write(&path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;

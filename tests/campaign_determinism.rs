@@ -12,10 +12,8 @@ use offramps_bench::workloads::Workload;
 
 fn spec() -> CampaignSpec {
     CampaignSpec {
-        master_seed: 2024,
         trojans: vec!["none".into(), "t2".into(), "flaw3d-r50".into()],
-        workloads: vec![Workload::mini()],
-        runs_per_cell: 1,
+        ..CampaignSpec::default_matrix(2024)
     }
 }
 
@@ -49,14 +47,14 @@ fn campaign_detects_trojans_and_clears_clean_reprints() {
             .unwrap_or_else(|| panic!("scenario {name} ran"))
     };
     assert!(
-        !by_trojan("none").detected,
+        !by_trojan("none").detected(),
         "clean reprint flagged: {}",
         by_trojan("none").summary_line()
     );
     // The upstream Flaw3D reduction is exactly what the paper's detector
     // catches.
     assert!(
-        by_trojan("flaw3d-r50").detected,
+        by_trojan("flaw3d-r50").detected(),
         "Flaw3D reduction missed: {}",
         by_trojan("flaw3d-r50").summary_line()
     );
@@ -64,7 +62,7 @@ fn campaign_detects_trojans_and_clears_clean_reprints() {
     // controller's stream upstream of the Trojan mux (the paper never
     // co-locates its attack and defense).
     assert!(
-        !by_trojan("t2").detected,
+        !by_trojan("t2").detected(),
         "co-located hardware Trojan should evade the upstream tap: {}",
         by_trojan("t2").summary_line()
     );
@@ -76,17 +74,17 @@ fn campaign_detects_trojans_and_clears_clean_reprints() {
     // inputs ride along with every judged scenario.
     for r in &report.results {
         assert!(
-            r.transactions_compared > 0,
+            r.transactions_compared() > 0,
             "missing denominator: {}",
             r.summary_line()
         );
         assert!(
-            r.suspect_fraction.is_some_and(|f| f > 0.0),
+            r.suspect_fraction().is_some_and(|f| f > 0.0),
             "judged scenario must carry its threshold: {}",
             r.summary_line()
         );
         assert!(
-            r.mismatched_transactions <= r.mismatches,
+            r.mismatched_transactions() <= r.mismatches(),
             "transaction count cannot exceed value count"
         );
         let json = r.to_json();
@@ -122,7 +120,6 @@ fn corpus_campaign_is_thread_invariant() {
         let mut workloads = vec![Workload::mini()];
         workloads.extend(CorpusSpec::new(4).expand(77));
         CampaignSpec {
-            master_seed: 77,
             trojans: vec![
                 "none".into(),
                 "t2:0.5".into(),
@@ -130,7 +127,7 @@ fn corpus_campaign_is_thread_invariant() {
                 "flaw3d-r75".into(),
             ],
             workloads,
-            runs_per_cell: 1,
+            ..CampaignSpec::default_matrix(77)
         }
     };
     let one = run_campaign(&corpus_spec(), 1).expect("valid spec");
@@ -153,10 +150,8 @@ fn corpus_campaign_is_thread_invariant() {
     // corpus riding along must not perturb them: the mini/none row
     // equals the one from a corpus-free campaign with the same seed.
     let solo = CampaignSpec {
-        master_seed: 77,
         trojans: vec!["none".into()],
-        workloads: vec![Workload::mini()],
-        runs_per_cell: 1,
+        ..CampaignSpec::default_matrix(77)
     };
     let solo_report = run_campaign(&solo, 1).expect("valid spec");
     let mini_none = one

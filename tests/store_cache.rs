@@ -31,10 +31,9 @@ fn temp_store(name: &str) -> PathBuf {
 
 fn small_spec() -> CampaignSpec {
     CampaignSpec {
-        master_seed: 2024,
         trojans: vec!["none".into(), "t2".into(), "flaw3d-r50".into()],
         workloads: vec![Workload::mini(), Workload::tall()],
-        runs_per_cell: 1,
+        ..CampaignSpec::default_matrix(2024)
     }
 }
 
@@ -83,10 +82,8 @@ fn corpus_growth_recomputes_only_the_delta() {
     let root = temp_store("delta");
     let spec_n = |n: u32| {
         let mut spec = CampaignSpec {
-            master_seed: 7,
             trojans: vec!["none".into(), "t2:0.5".into()],
-            workloads: vec![Workload::mini()],
-            runs_per_cell: 1,
+            ..CampaignSpec::default_matrix(7)
         };
         spec.workloads.extend(CorpusSpec::new(n).expand(7));
         spec
@@ -111,6 +108,81 @@ fn corpus_growth_recomputes_only_the_delta() {
     std::fs::remove_dir_all(&root).unwrap();
 }
 
+/// Switching the detector suite re-addresses every scenario: suite B
+/// sees a cold cache, and switching back to suite A serves the original
+/// records byte-identically — no stale verdict is ever served across
+/// suites.
+#[test]
+fn suite_switch_invalidates_then_restores() {
+    let root = temp_store("suites");
+    let txn_spec = CampaignSpec {
+        trojans: vec!["none".into(), "t2".into()],
+        ..CampaignSpec::default_matrix(99)
+    };
+    let both_spec = CampaignSpec {
+        detectors: vec!["txn".into(), "power".into()],
+        ..txn_spec.clone()
+    };
+    // The transaction-only suite renders the pre-suite policy string,
+    // so stores warmed before the suite API stay warm.
+    assert_eq!(
+        txn_spec.suite().unwrap().policy(),
+        offramps_bench::campaign::campaign_detector_policy()
+    );
+
+    let mut store = Store::open(&root).unwrap();
+    let (first, stats) = run_campaign_cached(&txn_spec, 2, &mut store).expect("valid spec");
+    assert_eq!(stats, CacheStats { hits: 0, misses: 2 });
+
+    // Suite B (txn+power): every scenario is a miss — different keys.
+    let (both, stats) = run_campaign_cached(&both_spec, 2, &mut store).expect("valid spec");
+    assert_eq!(
+        stats,
+        CacheStats { hits: 0, misses: 2 },
+        "changing the suite must not serve stale verdicts"
+    );
+    assert!(both.to_json().contains("\"evidence\""));
+    assert_eq!(store.len(), 4, "both generations coexist");
+
+    // Back to suite A: all hits, artifacts byte-identical to the first
+    // run.
+    let (again, stats) = run_campaign_cached(&txn_spec, 4, &mut store).expect("valid spec");
+    assert_eq!(stats, CacheStats { hits: 2, misses: 0 });
+    assert_eq!(again.summary(), first.summary());
+    assert_eq!(again.to_json(), first.to_json());
+
+    // And suite B hits its own records too.
+    let (both_again, stats) = run_campaign_cached(&both_spec, 1, &mut store).expect("valid spec");
+    assert_eq!(stats, CacheStats { hits: 2, misses: 0 });
+    assert_eq!(both_again.summary(), both.summary());
+    assert_eq!(both_again.to_json(), both.to_json());
+
+    // Mixed-generation analytics: records written without power
+    // evidence parse fine (no errors), are counted, and feed only the
+    // transaction curves; power curves draw from the suite records.
+    let (observations, skipped) = store_observations(&store);
+    assert_eq!(observations.len(), 4);
+    assert_eq!(skipped, 0, "pre-power records must not be parse errors");
+    let pre_power = observations.iter().filter(|o| o.power.is_none()).count();
+    assert_eq!(pre_power, 2);
+    let analytics = AnalyticsReport::over(&observations, &THRESHOLD_GRID);
+    for curve in &analytics.curves {
+        assert_eq!(
+            curve.scenarios, 2,
+            "{}: one record per generation",
+            curve.attack
+        );
+        assert_eq!(
+            curve.power_judged, 1,
+            "{}: only the suite record carries power evidence",
+            curve.attack
+        );
+        assert!(curve.power_detection_rate.is_some());
+    }
+
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
 /// The acceptance pin: a `--corpus 16 --sweep` store (33 attacks ×
 /// 17 workloads = 561 scenarios) drives per-attack detection-rate
 /// curves over ≥ 8 thresholds, consistent with the live verdicts.
@@ -118,10 +190,8 @@ fn corpus_growth_recomputes_only_the_delta() {
 fn corpus_sweep_store_feeds_corpus_wide_roc_analytics() {
     let root = temp_store("roc");
     let mut spec = CampaignSpec {
-        master_seed: 42,
         trojans: sweep_attacks(),
-        workloads: vec![Workload::mini()],
-        runs_per_cell: 1,
+        ..CampaignSpec::default_matrix(42)
     };
     spec.workloads.extend(CorpusSpec::new(16).expand(42));
 
@@ -204,7 +274,7 @@ fn corpus_sweep_store_feeds_corpus_wide_roc_analytics() {
     ) {
         assert_eq!(
             obs.detected_at(0.01),
-            r.detected,
+            r.detected(),
             "re-judged verdict drifted: {}",
             r.summary_line()
         );
