@@ -1,26 +1,36 @@
-//! Corpus-wide detection analytics: per-attack ROC over a
-//! suspect-fraction threshold grid.
+//! Corpus-wide detection analytics: per-detector ROC over a
+//! suspect-fraction threshold grid, plus calibrated weighted fusion.
 //!
 //! The paper judges every print at a single threshold (1 % suspect
-//! fraction). But each scenario record already carries the detector's
-//! raw material — `mismatched_transactions` over
-//! `transactions_compared`, plus the 0 %-margin final-totals bit — so
-//! verdicts can be **re-judged offline at any threshold** without
-//! re-running a single simulation. Sweeping [`THRESHOLD_GRID`] over a
-//! whole campaign (or a whole scenario store) yields, per attack, a
-//! detection-rate curve; the `"none"` attack's curve is the
-//! false-positive rate at the same thresholds, and the two together are
-//! the corpus-wide ROC.
+//! fraction). But each scenario record already carries every detector's
+//! sufficient statistics — `mismatched_transactions` over
+//! `transactions_compared` plus the 0 %-margin final-totals bit for the
+//! transaction judge, anomalous windows over compared windows for each
+//! sampled side channel — so verdicts can be **re-judged offline at any
+//! threshold** without re-running a single simulation. Sweeping
+//! [`THRESHOLD_GRID`] over a whole campaign (or a whole scenario store)
+//! yields, per attack and per detector, a detection-rate curve; the
+//! `"none"` attack's curve is the false-positive rate at the same
+//! thresholds, and the two together are the corpus-wide ROC.
 //!
-//! Re-judging goes through the same
-//! [`detect::floored_suspect_fraction`] helper as the live campaign
-//! judge, so the curve's value at the default 1 % base threshold
-//! reproduces each record's stored verdict exactly (an invariant the
-//! tests pin).
+//! Re-judging goes through the same helpers as the live judges
+//! ([`detect::floored_suspect_fraction`] for the transaction judge,
+//! [`offramps_sidechannel::suspect_anomaly_fraction`] for every sampled
+//! channel), so each curve's value at the live base threshold
+//! reproduces the stored verdicts exactly (invariants the tests pin).
+//!
+//! On top of the per-detector curves, corpora observed by **two or more
+//! side modalities** get a *learned* fusion policy: per-modality weights
+//! fitted on the stored records (detection rate minus false-positive
+//! rate at each modality's live base threshold, clamped at zero) and a
+//! weighted-vote ROC next to the `any`-alarm fusion — the
+//! [`offramps::verdict::weighted_vote`] rule, so the offline curves and
+//! a live `--fuse weighted:…` campaign can never disagree.
 
 use std::collections::BTreeMap;
 
 use offramps::detect;
+use offramps::verdict::weighted_vote;
 
 use crate::campaign::ScenarioResult;
 use crate::json::{ObjectWriter, ToJson, Value};
@@ -31,17 +41,55 @@ use crate::json::{ObjectWriter, ToJson, Value};
 /// promises.
 pub const THRESHOLD_GRID: [f64; 10] = [0.0, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5];
 
-/// The power side-channel judge's sufficient statistics for one
-/// scenario (absent for records written before power evidence existed
-/// and for transaction-only campaigns).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct PowerObservation {
+/// Canonical rendering order for the side (non-transaction) detectors.
+pub const SIDE_DETECTOR_ORDER: [&str; 3] = ["power", "acoustic", "thermal"];
+
+/// The live base suspect fraction of the transaction judge (the
+/// paper's 1 %), used when fitting fusion weights.
+const TXN_FIT_BASE: f64 = 0.01;
+
+/// The live base suspect fraction of a sampled side-channel judge —
+/// the campaign default for that detector — used when fitting fusion
+/// weights, so the fit scores each modality at the threshold its
+/// stored alarms were actually judged with.
+fn side_fit_base(detector: &str) -> f64 {
+    match detector {
+        offramps::PowerSideChannelDetector::NAME => {
+            offramps::PowerSideChannelDetector::campaign()
+                .config
+                .suspect_fraction
+        }
+        offramps::AcousticDetector::NAME => {
+            offramps::AcousticDetector::campaign()
+                .config
+                .suspect_fraction
+        }
+        offramps::ThermalDetector::NAME => {
+            offramps::ThermalDetector::campaign()
+                .config
+                .suspect_fraction
+        }
+        // Unknown detectors (a store written by a newer build) fall
+        // back to the power/thermal-style default; their stored alarms
+        // still re-judge correctly — only the fitted weight is scored
+        // at a generic threshold.
+        _ => 0.15,
+    }
+}
+
+/// One sampled side-channel judge's sufficient statistics for one
+/// scenario (absent for records written before that modality existed
+/// and for suites that do not run it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SideObservation {
+    /// Detector name (`"power"`, `"acoustic"`, `"thermal"`).
+    pub detector: String,
     /// Smoothed windows whose deviation exceeded the sigma threshold.
     pub anomalous_windows: usize,
     /// Windows compared.
     pub windows_compared: usize,
-    /// Whether the power judge actually judged (its stream may have
-    /// been missing for an individual scenario).
+    /// Whether the judge actually judged (its stream may have been
+    /// missing for an individual scenario).
     pub judged: bool,
 }
 
@@ -62,18 +110,27 @@ pub struct Observation {
     /// Whether the transaction judge judged at all (bench errors are
     /// not).
     pub judged: bool,
-    /// The power judge's statistics, when the record carries them.
-    pub power: Option<PowerObservation>,
+    /// The sampled side-channel judges' statistics, when the record
+    /// carries them (canonical order).
+    pub side: Vec<SideObservation>,
 }
 
 impl Observation {
     /// Extracts the detection inputs from a live campaign result.
     pub fn from_result(r: &ScenarioResult) -> Observation {
-        let power = r.verdict.power().map(|e| PowerObservation {
-            anomalous_windows: e.flagged,
-            windows_compared: e.compared,
-            judged: e.judged(),
-        });
+        let mut side: Vec<SideObservation> = r
+            .verdict
+            .evidence
+            .iter()
+            .filter(|e| e.detector != offramps::TransactionDetector::NAME)
+            .map(|e| SideObservation {
+                detector: e.detector.clone(),
+                anomalous_windows: e.flagged,
+                windows_compared: e.compared,
+                judged: e.judged(),
+            })
+            .collect();
+        sort_side(&mut side);
         Observation {
             attack: r.scenario.trojan.clone(),
             workload: r.scenario.workload.clone(),
@@ -81,15 +138,16 @@ impl Observation {
             transactions_compared: r.transactions_compared(),
             final_totals_match: r.final_totals_match(),
             judged: r.suspect_fraction().is_some(),
-            power,
+            side,
         }
     }
 
     /// Extracts the detection inputs from a decoded store payload (see
     /// [`crate::cache::encode_result`]). Records without an `evidence`
-    /// array — every record written before power evidence existed —
-    /// parse fine and simply carry no power statistics; the analytics
-    /// CLI counts and reports them instead of erroring.
+    /// array — every record written before side-channel evidence
+    /// existed — parse fine and simply carry no side statistics; the
+    /// analytics CLI counts and reports them per detector instead of
+    /// erroring.
     ///
     /// # Errors
     ///
@@ -107,26 +165,31 @@ impl Observation {
                 .map(|n| n as usize)
                 .ok_or_else(|| format!("payload missing count {key:?}"))
         };
-        let power = match v.get("evidence").and_then(Value::as_array) {
-            None => None,
-            Some(list) => list
-                .iter()
-                .find(|e| e.get("detector").and_then(Value::as_str) == Some("power"))
-                .map(|e| -> Result<PowerObservation, String> {
-                    let count = |key: &str| {
-                        e.get(key)
-                            .and_then(Value::as_u64)
-                            .map(|n| n as usize)
-                            .ok_or_else(|| format!("power evidence missing count {key:?}"))
-                    };
-                    Ok(PowerObservation {
-                        anomalous_windows: count("flagged")?,
-                        windows_compared: count("compared")?,
-                        judged: matches!(e.get("alarmed"), Some(Value::Bool(_))),
-                    })
-                })
-                .transpose()?,
-        };
+        let mut side = Vec::new();
+        if let Some(list) = v.get("evidence").and_then(Value::as_array) {
+            for e in list {
+                let detector = e
+                    .get("detector")
+                    .and_then(Value::as_str)
+                    .ok_or("evidence entry missing detector name")?;
+                if detector == offramps::TransactionDetector::NAME {
+                    continue;
+                }
+                let count = |key: &str| {
+                    e.get(key)
+                        .and_then(Value::as_u64)
+                        .map(|n| n as usize)
+                        .ok_or_else(|| format!("{detector} evidence missing count {key:?}"))
+                };
+                side.push(SideObservation {
+                    detector: detector.to_string(),
+                    anomalous_windows: count("flagged")?,
+                    windows_compared: count("compared")?,
+                    judged: matches!(e.get("alarmed"), Some(Value::Bool(_))),
+                });
+            }
+        }
+        sort_side(&mut side);
         Ok(Observation {
             attack: str_field("trojan")?,
             workload: str_field("workload")?,
@@ -138,8 +201,18 @@ impl Observation {
                 Some(_) => return Err("final_totals_match is not bool/null".into()),
             },
             judged: v.get("suspect_fraction").is_some(),
-            power,
+            side,
         })
+    }
+
+    /// A named side judge's statistics, if the record carries them.
+    pub fn side_for(&self, detector: &str) -> Option<&SideObservation> {
+        self.side.iter().find(|s| s.detector == detector)
+    }
+
+    /// Shorthand for the power judge's statistics.
+    pub fn power(&self) -> Option<&SideObservation> {
+        self.side_for("power")
     }
 
     /// Re-judges this scenario's *transaction* evidence at `base`
@@ -160,34 +233,99 @@ impl Observation {
         fraction > threshold || self.final_totals_match == Some(false)
     }
 
-    /// Re-judges this scenario's *power* evidence at `base` suspect
-    /// fraction, through the same
-    /// [`offramps_sidechannel::suspect_anomaly_fraction`] rule as the
-    /// live power judge (so the two can never drift). `None` when the
-    /// record carries no judged power evidence.
-    pub fn power_detected_at(&self, base: f64) -> Option<bool> {
-        let p = self.power.filter(|p| p.judged)?;
+    /// Re-judges one side modality at `base` suspect fraction, through
+    /// the same [`offramps_sidechannel::suspect_anomaly_fraction`] rule
+    /// as the live judges (so the two can never drift). `None` when the
+    /// record carries no judged evidence for that detector.
+    pub fn side_detected_at(&self, detector: &str, base: f64) -> Option<bool> {
+        let s = self.side_for(detector).filter(|s| s.judged)?;
         Some(offramps_sidechannel::suspect_anomaly_fraction(
-            p.anomalous_windows,
-            p.windows_compared,
+            s.anomalous_windows,
+            s.windows_compared,
             base,
         ))
     }
 
-    /// The **any-alarm** fusion of both re-judged modalities at `base`.
+    /// Shorthand: re-judges the power evidence at `base`.
+    pub fn power_detected_at(&self, base: f64) -> Option<bool> {
+        self.side_detected_at("power", base)
+    }
+
+    /// The **any-alarm** fusion of every re-judged modality at `base`.
     /// Analytics fused curves are any-alarm *by definition* — an
     /// exploration of the most sensitive combined detector — regardless
     /// of the fusion policy the live campaign stored its `detected`
     /// verdicts under (an `--fuse all` store's fused curve can sit
     /// above its stored detection rate).
     pub fn fused_detected_at(&self, base: f64) -> bool {
-        self.detected_at(base) || self.power_detected_at(base).unwrap_or(false)
+        self.detected_at(base)
+            || self
+                .side
+                .iter()
+                .any(|s| self.side_detected_at(&s.detector, base) == Some(true))
+    }
+
+    /// The weighted-vote fusion of every re-judged modality at `base`,
+    /// under the given weights and vote threshold — the exact
+    /// [`weighted_vote`] rule a live `--fuse weighted:…` campaign uses.
+    pub fn weighted_detected_at(
+        &self,
+        weights: &[(String, f64)],
+        vote_threshold: f64,
+        base: f64,
+    ) -> bool {
+        let mut votes: Vec<(&str, bool)> = Vec::with_capacity(1 + self.side.len());
+        if self.judged {
+            votes.push((offramps::TransactionDetector::NAME, self.detected_at(base)));
+        }
+        for s in &self.side {
+            if let Some(alarm) = self.side_detected_at(&s.detector, base) {
+                votes.push((s.detector.as_str(), alarm));
+            }
+        }
+        weighted_vote(weights, vote_threshold, votes.into_iter())
+    }
+
+    /// Whether any modality (transaction or side) judged this record.
+    fn judged_any(&self) -> bool {
+        self.judged || self.side.iter().any(|s| s.judged)
     }
 }
 
+/// The canonical sort key for side detectors: `power`, `acoustic`,
+/// `thermal`, then anything else alphabetically — the one ordering
+/// every rendering surface (JSON keys, summary tables, weight fits)
+/// shares.
+fn canonical_rank(name: &str) -> (usize, &str) {
+    (
+        SIDE_DETECTOR_ORDER
+            .iter()
+            .position(|d| *d == name)
+            .unwrap_or(SIDE_DETECTOR_ORDER.len()),
+        name,
+    )
+}
+
+/// Orders side observations canonically so mixed-suite stores render
+/// deterministically.
+fn sort_side(side: &mut [SideObservation]) {
+    side.sort_by(|a, b| canonical_rank(&a.detector).cmp(&canonical_rank(&b.detector)));
+}
+
+/// One side detector's detection-rate curve within an attack group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SideCurve {
+    /// Detector name.
+    pub detector: String,
+    /// Records this judge judged (the rate's denominator).
+    pub judged: usize,
+    /// Detection rate at each grid threshold.
+    pub detection_rate: Vec<f64>,
+}
+
 /// One attack's detection-rate curves over the threshold grid: the
-/// transaction judge always, plus the power judge and the any-alarm
-/// fusion when the observations carry power evidence.
+/// transaction judge always, plus one curve per side modality present
+/// and the any-alarm fusion when any side evidence exists.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AttackCurve {
     /// Attack spec string.
@@ -199,20 +337,30 @@ pub struct AttackCurve {
     /// Transaction-judge detection rate at each grid threshold, `0.0`
     /// when nothing was judged.
     pub detection_rate: Vec<f64>,
-    /// Records the power judge judged.
-    pub power_judged: usize,
+    /// Per-side-detector curves, canonical order, only for detectors
+    /// that judged at least one record in this group.
+    pub side: Vec<SideCurve>,
     /// Records judged by at least one modality (the fused rate's
-    /// denominator — a power-only record is a real fused observation).
+    /// denominator — a side-only record is a real fused observation).
     pub fused_judged: usize,
-    /// Power-judge detection rate per threshold (over `power_judged`);
-    /// `None` when no record carries judged power evidence.
-    pub power_detection_rate: Option<Vec<f64>>,
     /// Any-alarm fused detection rate per threshold (over
-    /// `fused_judged`); `None` alongside `power_detection_rate`. Fused
+    /// `fused_judged`); `None` when no side evidence exists. Fused
     /// curves are any-alarm by definition (see
     /// [`Observation::fused_detected_at`]), whatever fusion policy the
     /// live campaign ran with.
     pub fused_detection_rate: Option<Vec<f64>>,
+}
+
+impl AttackCurve {
+    /// A named side detector's curve, if present.
+    pub fn side_curve(&self, detector: &str) -> Option<&SideCurve> {
+        self.side.iter().find(|s| s.detector == detector)
+    }
+
+    /// Shorthand for the power judge's curve.
+    pub fn power(&self) -> Option<&SideCurve> {
+        self.side_curve("power")
+    }
 }
 
 impl ToJson for AttackCurve {
@@ -223,15 +371,93 @@ impl ToJson for AttackCurve {
             .int("scenarios", self.scenarios as i128)
             .int("judged", self.judged as i128)
             .raw("detection_rate", &render(&self.detection_rate));
-        // Per-detector curves appear only for power-bearing corpora so
-        // transaction-only reports keep their pre-suite shape.
-        if let (Some(power), Some(fused)) = (&self.power_detection_rate, &self.fused_detection_rate)
-        {
-            w.int("power_judged", self.power_judged as i128)
-                .raw("power_detection_rate", &render(power))
-                .int("fused_judged", self.fused_judged as i128)
+        // Per-detector curves appear only for the modalities a corpus
+        // actually carries, so transaction-only reports keep their
+        // pre-suite shape (and txn+power reports their PR-4 shape).
+        for side in &self.side {
+            w.int(&format!("{}_judged", side.detector), side.judged as i128)
+                .raw(
+                    &format!("{}_detection_rate", side.detector),
+                    &render(&side.detection_rate),
+                );
+        }
+        if let Some(fused) = &self.fused_detection_rate {
+            w.int("fused_judged", self.fused_judged as i128)
                 .raw("fused_detection_rate", &render(fused));
         }
+        w.finish();
+    }
+}
+
+/// The calibrated weighted-fusion analytics: fitted weights plus the
+/// weighted-vote ROC over the same grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedFusionReport {
+    /// Per-modality weights (transaction judge first, then side
+    /// detectors in canonical order), fitted on the records.
+    pub weights: Vec<(String, f64)>,
+    /// The vote threshold (fraction of judged weight that must alarm).
+    pub vote_threshold: f64,
+    /// Per-attack weighted detection-rate curves, sorted by attack
+    /// name: `(attack, judged-by-any denominator, rates)`.
+    pub curves: Vec<(String, usize, Vec<f64>)>,
+}
+
+impl WeightedFusionReport {
+    /// The `"none"` attack's weighted curve — the weighted
+    /// false-positive rate.
+    pub fn false_positive_rate(&self) -> Option<&Vec<f64>> {
+        self.curves
+            .iter()
+            .find(|(attack, _, _)| attack == "none")
+            .map(|(_, _, rates)| rates)
+    }
+
+    /// The weighted curve for a specific attack.
+    pub fn curve(&self, attack: &str) -> Option<&Vec<f64>> {
+        self.curves
+            .iter()
+            .find(|(a, _, _)| a == attack)
+            .map(|(_, _, rates)| rates)
+    }
+
+    /// The equivalent live fusion policy (for `--fuse` reuse).
+    pub fn policy(&self) -> offramps::FusionPolicy {
+        offramps::FusionPolicy::Weighted {
+            weights: self.weights.clone(),
+            threshold: self.vote_threshold,
+        }
+    }
+}
+
+impl ToJson for WeightedFusionReport {
+    fn write_json(&self, out: &mut String, indent: usize) {
+        let render = crate::json::number_array;
+        let mut w = ObjectWriter::new(out, indent);
+        w.float("vote_threshold", self.vote_threshold);
+        let weights: Vec<String> = self
+            .weights
+            .iter()
+            .map(|(d, v)| format!("{}: {}", crate::json::escape(d), crate::json::number(*v)))
+            .collect();
+        w.raw("weights", &format!("{{{}}}", weights.join(", ")));
+        if let Some(fp) = self.false_positive_rate() {
+            w.raw("false_positive_rate", &render(fp));
+        }
+        let mut attacks = String::from("[");
+        for (i, (attack, judged, rates)) in self.curves.iter().enumerate() {
+            if i > 0 {
+                attacks.push(',');
+            }
+            attacks.push_str(&format!(
+                "\n    {{\"attack\": {}, \"judged\": {}, \"detection_rate\": {}}}",
+                crate::json::escape(attack),
+                judged,
+                render(rates)
+            ));
+        }
+        attacks.push_str("\n  ]");
+        w.raw("attacks", &attacks);
         w.finish();
     }
 }
@@ -244,6 +470,10 @@ pub struct AnalyticsReport {
     /// One curve per attack, sorted by attack name (deterministic
     /// regardless of input order).
     pub curves: Vec<AttackCurve>,
+    /// Calibrated weighted fusion — present only when the observations
+    /// carry two or more judged side modalities (the corpora where a
+    /// learned combination has something to learn).
+    pub weighted: Option<WeightedFusionReport>,
 }
 
 impl AnalyticsReport {
@@ -253,73 +483,123 @@ impl AnalyticsReport {
         for obs in observations {
             groups.entry(&obs.attack).or_default().push(obs);
         }
-        let curves = groups
-            .into_iter()
+        let rate = |hits: usize, denom: usize| {
+            if denom == 0 {
+                0.0
+            } else {
+                hits as f64 / denom as f64
+            }
+        };
+        let side_names = side_detector_names(observations);
+        let curves: Vec<AttackCurve> = groups
+            .iter()
             .map(|(attack, group)| {
                 let judged = group.iter().filter(|o| o.judged).count();
-                let power_judged = group
-                    .iter()
-                    .filter(|o| o.power.is_some_and(|p| p.judged))
-                    .count();
-                // The fused rate's denominator: records judged by *any*
-                // modality (a power-only record is a real fused
-                // observation even though the txn judge never saw it).
-                let judged_any = group
-                    .iter()
-                    .filter(|o| o.judged || o.power.is_some_and(|p| p.judged))
-                    .count();
-                let rate = |hits: usize, denom: usize| {
-                    if denom == 0 {
-                        0.0
-                    } else {
-                        hits as f64 / denom as f64
-                    }
-                };
                 let detection_rate = thresholds
                     .iter()
                     .map(|&t| rate(group.iter().filter(|o| o.detected_at(t)).count(), judged))
                     .collect();
-                let (power_detection_rate, fused_detection_rate) = if power_judged > 0 {
-                    let power = thresholds
+                let mut side = Vec::new();
+                for name in &side_names {
+                    let side_judged = group
                         .iter()
-                        .map(|&t| {
-                            rate(
-                                group
-                                    .iter()
-                                    .filter(|o| o.power_detected_at(t) == Some(true))
-                                    .count(),
-                                power_judged,
-                            )
-                        })
-                        .collect();
-                    let fused = thresholds
-                        .iter()
-                        .map(|&t| {
-                            rate(
-                                group.iter().filter(|o| o.fused_detected_at(t)).count(),
-                                judged_any,
-                            )
-                        })
-                        .collect();
-                    (Some(power), Some(fused))
+                        .filter(|o| o.side_for(name).is_some_and(|s| s.judged))
+                        .count();
+                    if side_judged == 0 {
+                        continue;
+                    }
+                    side.push(SideCurve {
+                        detector: name.clone(),
+                        judged: side_judged,
+                        detection_rate: thresholds
+                            .iter()
+                            .map(|&t| {
+                                rate(
+                                    group
+                                        .iter()
+                                        .filter(|o| o.side_detected_at(name, t) == Some(true))
+                                        .count(),
+                                    side_judged,
+                                )
+                            })
+                            .collect(),
+                    });
+                }
+                // The fused rate's denominator: records judged by *any*
+                // modality (a side-only record is a real fused
+                // observation even though the txn judge never saw it).
+                let fused_judged = group.iter().filter(|o| o.judged_any()).count();
+                let fused_detection_rate = if side.is_empty() {
+                    None
                 } else {
-                    (None, None)
+                    Some(
+                        thresholds
+                            .iter()
+                            .map(|&t| {
+                                rate(
+                                    group.iter().filter(|o| o.fused_detected_at(t)).count(),
+                                    fused_judged,
+                                )
+                            })
+                            .collect(),
+                    )
                 };
                 AttackCurve {
                     attack: attack.to_string(),
                     scenarios: group.len(),
                     judged,
                     detection_rate,
-                    power_judged,
-                    fused_judged: judged_any,
-                    power_detection_rate,
+                    side,
+                    fused_judged,
                     fused_detection_rate,
                 }
             })
             .collect();
+
+        // A learned fusion needs at least two side modalities to weigh
+        // against the transaction judge; txn-only and txn+power corpora
+        // keep their exact pre-refactor artifact shape.
+        let judged_side_modalities = side_names
+            .iter()
+            .filter(|name| {
+                observations
+                    .iter()
+                    .any(|o| o.side_for(name).is_some_and(|s| s.judged))
+            })
+            .count();
+        let weighted = (judged_side_modalities >= 2).then(|| {
+            let weights = fit_weights(observations, &side_names);
+            let vote_threshold = 0.5;
+            let curves = groups
+                .iter()
+                .map(|(attack, group)| {
+                    let judged_any = group.iter().filter(|o| o.judged_any()).count();
+                    let rates = thresholds
+                        .iter()
+                        .map(|&t| {
+                            rate(
+                                group
+                                    .iter()
+                                    .filter(|o| o.weighted_detected_at(&weights, vote_threshold, t))
+                                    .count(),
+                                judged_any,
+                            )
+                        })
+                        .collect();
+                    (attack.to_string(), judged_any, rates)
+                })
+                .collect();
+            WeightedFusionReport {
+                weights,
+                vote_threshold,
+                curves,
+            }
+        });
+
         AnalyticsReport {
             thresholds: thresholds.to_vec(),
             curves,
+            weighted,
         }
     }
 
@@ -340,6 +620,21 @@ impl AnalyticsReport {
         self.curves.iter().find(|c| c.attack == attack)
     }
 
+    /// The side detectors appearing anywhere in the report, canonical
+    /// order.
+    fn side_detectors(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = Vec::new();
+        for curve in &self.curves {
+            for side in &curve.side {
+                if !names.contains(&side.detector.as_str()) {
+                    names.push(&side.detector);
+                }
+            }
+        }
+        names.sort_by(|a, b| canonical_rank(a).cmp(&canonical_rank(b)));
+        names
+    }
+
     /// Rows for a summary table, false-positive (`"none"`) row first.
     fn summary_rows(&self) -> Vec<&AttackCurve> {
         self.false_positive_curve()
@@ -354,7 +649,7 @@ impl AnalyticsReport {
         &self,
         out: &mut String,
         judged: impl Fn(&AttackCurve) -> usize,
-        rate: impl Fn(&AttackCurve) -> Option<&Vec<f64>>,
+        rate: impl Fn(&AttackCurve) -> Option<Vec<f64>>,
     ) {
         out.push_str(&format!("{:<14} {:>5} {:>6}", "attack", "runs", "judged"));
         for t in &self.thresholds {
@@ -371,7 +666,7 @@ impl AnalyticsReport {
                 c.scenarios,
                 judged(c)
             ));
-            for r in rates {
+            for r in &rates {
                 out.push_str(&format!(" {:>6.3}", r));
             }
             out.push('\n');
@@ -380,27 +675,138 @@ impl AnalyticsReport {
 
     /// A deterministic human-readable table: one row per attack, one
     /// column per threshold, false-positive row first. Corpora with
-    /// power evidence get two more tables — the power judge's curves
-    /// and the any-alarm fusion — after the transaction table.
+    /// side-channel evidence get one more table per modality, then the
+    /// any-alarm fusion, then (for ≥ 2 side modalities) the calibrated
+    /// weighted fusion.
     pub fn summary(&self) -> String {
         let mut out = String::new();
-        self.summary_table(&mut out, |c| c.judged, |c| Some(&c.detection_rate));
-        if self.curves.iter().any(|c| c.power_detection_rate.is_some()) {
-            out.push_str("\npower side-channel (anomalous-window fraction over the same grid)\n");
+        self.summary_table(&mut out, |c| c.judged, |c| Some(c.detection_rate.clone()));
+        let side_names = self.side_detectors();
+        for name in &side_names {
+            out.push_str(&match *name {
+                "power" => "\npower side-channel (anomalous-window fraction over the same grid)\n"
+                    .to_string(),
+                "acoustic" => {
+                    "\nacoustic side-channel (anomalous-window fraction over the same grid)\n"
+                        .to_string()
+                }
+                "thermal" => {
+                    "\nthermal camera (anomalous-window fraction over the same grid)\n".to_string()
+                }
+                other => format!("\n{other} (anomalous-window fraction over the same grid)\n"),
+            });
             self.summary_table(
                 &mut out,
-                |c| c.power_judged,
-                |c| c.power_detection_rate.as_ref(),
+                |c| c.side_curve(name).map_or(0, |s| s.judged),
+                |c| c.side_curve(name).map(|s| s.detection_rate.clone()),
             );
-            out.push_str("\nfused (any-alarm over both modalities)\n");
+        }
+        if !side_names.is_empty() {
+            // The historical two-modality wording is part of the pinned
+            // txn+power artifact; wider suites say what they mean.
+            out.push_str(if side_names == ["power"] {
+                "\nfused (any-alarm over both modalities)\n"
+            } else {
+                "\nfused (any-alarm over all modalities)\n"
+            });
             self.summary_table(
                 &mut out,
                 |c| c.fused_judged,
-                |c| c.fused_detection_rate.as_ref(),
+                |c| c.fused_detection_rate.clone(),
+            );
+        }
+        if let Some(weighted) = &self.weighted {
+            let weights: Vec<String> = weighted
+                .weights
+                .iter()
+                .map(|(d, v)| format!("{d}={v}"))
+                .collect();
+            out.push_str(&format!(
+                "\nweighted fusion (calibrated: {}; vote threshold {})\n",
+                weights.join(", "),
+                weighted.vote_threshold
+            ));
+            self.summary_table(
+                &mut out,
+                |c| c.fused_judged,
+                |c| {
+                    weighted
+                        .curves
+                        .iter()
+                        .find(|(attack, _, _)| *attack == c.attack)
+                        .map(|(_, _, rates)| rates.clone())
+                },
             );
         }
         out
     }
+}
+
+/// Every side detector named by any observation, canonical order.
+fn side_detector_names(observations: &[Observation]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for obs in observations {
+        for s in &obs.side {
+            if !names.contains(&s.detector) {
+                names.push(s.detector.clone());
+            }
+        }
+    }
+    names.sort_by(|a, b| canonical_rank(a).cmp(&canonical_rank(b)));
+    names
+}
+
+/// Fits per-modality fusion weights on stored records: each modality's
+/// Youden-style score — detection rate over attack records minus
+/// false-positive rate over clean reprints, both at the modality's live
+/// base threshold — clamped at zero and rounded to 3 decimals (so
+/// policy strings stay short and runs stay reproducible). When every
+/// modality scores zero (e.g. an all-clean corpus), weights fall back
+/// to equal.
+pub fn fit_weights(observations: &[Observation], side_names: &[String]) -> Vec<(String, f64)> {
+    let mut modalities: Vec<(&str, f64)> =
+        vec![(offramps::TransactionDetector::NAME, TXN_FIT_BASE)];
+    for name in side_names {
+        modalities.push((name.as_str(), side_fit_base(name)));
+    }
+    let mut weights: Vec<(String, f64)> = Vec::new();
+    for (name, base) in modalities {
+        let alarm = |o: &Observation| -> Option<bool> {
+            if name == offramps::TransactionDetector::NAME {
+                o.judged.then(|| o.detected_at(base))
+            } else {
+                o.side_detected_at(name, base)
+            }
+        };
+        let rate_over = |attack_records: bool| -> f64 {
+            let mut judged = 0usize;
+            let mut hits = 0usize;
+            for o in observations {
+                if (o.attack == "none") == attack_records {
+                    continue;
+                }
+                if let Some(alarmed) = alarm(o) {
+                    judged += 1;
+                    if alarmed {
+                        hits += 1;
+                    }
+                }
+            }
+            if judged == 0 {
+                0.0
+            } else {
+                hits as f64 / judged as f64
+            }
+        };
+        let j = (rate_over(true) - rate_over(false)).max(0.0);
+        weights.push((name.to_string(), (j * 1000.0).round() / 1000.0));
+    }
+    if weights.iter().all(|(_, w)| *w == 0.0) {
+        for (_, w) in &mut weights {
+            *w = 1.0;
+        }
+    }
+    weights
 }
 
 impl ToJson for AnalyticsReport {
@@ -416,14 +822,21 @@ impl ToJson for AnalyticsReport {
         if let Some(fp) = self.false_positive_curve() {
             w.raw("false_positive_rate", &render(&fp.detection_rate));
             // The per-detector false-positive curves ride along when
-            // the clean reprints carry power evidence.
-            if let (Some(power), Some(fused)) = (&fp.power_detection_rate, &fp.fused_detection_rate)
-            {
-                w.raw("power_false_positive_rate", &render(power))
-                    .raw("fused_false_positive_rate", &render(fused));
+            // the clean reprints carry that modality's evidence.
+            for side in &fp.side {
+                w.raw(
+                    &format!("{}_false_positive_rate", side.detector),
+                    &render(&side.detection_rate),
+                );
+            }
+            if let Some(fused) = &fp.fused_detection_rate {
+                w.raw("fused_false_positive_rate", &render(fused));
             }
         }
         w.value("attacks", &self.curves);
+        if let Some(weighted) = &self.weighted {
+            w.value("weighted_fusion", weighted);
+        }
         w.finish();
     }
 }
@@ -440,19 +853,28 @@ mod tests {
             transactions_compared: compared,
             final_totals_match: totals,
             judged: true,
-            power: None,
+            side: Vec::new(),
         }
     }
 
+    fn with_side(
+        mut obs: Observation,
+        detector: &str,
+        anomalous: usize,
+        compared: usize,
+    ) -> Observation {
+        obs.side.push(SideObservation {
+            detector: detector.into(),
+            anomalous_windows: anomalous,
+            windows_compared: compared,
+            judged: true,
+        });
+        sort_side(&mut obs.side);
+        obs
+    }
+
     fn power(obs: Observation, anomalous: usize, compared: usize) -> Observation {
-        Observation {
-            power: Some(PowerObservation {
-                anomalous_windows: anomalous,
-                windows_compared: compared,
-                judged: true,
-            }),
-            ..obs
-        }
+        with_side(obs, "power", anomalous, compared)
     }
 
     #[test]
@@ -533,6 +955,7 @@ mod tests {
             "no power sections without power evidence: {table}"
         );
         assert!(!json.contains("power_detection_rate"), "{json}");
+        assert!(!json.contains("weighted_fusion"), "{json}");
     }
 
     #[test]
@@ -550,28 +973,38 @@ mod tests {
         let t2 = report.curve("t2").unwrap();
         assert_eq!(t2.scenarios, 2);
         assert_eq!(t2.judged, 2);
-        assert_eq!(t2.power_judged, 1, "pre-power record skipped for power");
+        let t2_power = t2.power().unwrap();
+        assert_eq!(t2_power.judged, 1, "pre-power record skipped for power");
         let idx_01 = THRESHOLD_GRID.iter().position(|&t| t == 0.01).unwrap();
         assert_eq!(t2.detection_rate[idx_01], 0.0, "txn judge is blind");
-        let power_rate = t2.power_detection_rate.as_ref().unwrap();
-        assert_eq!(power_rate[idx_01], 1.0, "power judge catches it");
+        assert_eq!(
+            t2_power.detection_rate[idx_01], 1.0,
+            "power judge catches it"
+        );
         let fused = t2.fused_detection_rate.as_ref().unwrap();
         assert_eq!(
             fused[idx_01], 0.5,
             "fused over txn-judged denominator: 1 of 2"
         );
         // Monotone in threshold, like the transaction curves.
-        for pair in power_rate.windows(2) {
-            assert!(pair[0] >= pair[1], "{power_rate:?}");
+        for pair in t2_power.detection_rate.windows(2) {
+            assert!(pair[0] >= pair[1], "{:?}", t2_power.detection_rate);
         }
 
         let json = crate::json::to_string_pretty(&report);
         assert!(json.contains("\"power_detection_rate\""), "{json}");
         assert!(json.contains("\"fused_detection_rate\""), "{json}");
         assert!(json.contains("\"power_false_positive_rate\""), "{json}");
+        assert!(
+            !json.contains("weighted_fusion"),
+            "one side modality: no learned fusion block: {json}"
+        );
         let table = report.summary();
         assert!(table.contains("power side-channel"), "{table}");
-        assert!(table.contains("fused (any-alarm"), "{table}");
+        assert!(
+            table.contains("fused (any-alarm over both modalities)"),
+            "{table}"
+        );
     }
 
     #[test]
@@ -582,14 +1015,113 @@ mod tests {
         assert_eq!(o.power_detected_at(0.1), Some(true));
         // Unjudged power evidence re-judges as None, fuses as txn-only.
         let unjudged = Observation {
-            power: Some(PowerObservation {
+            side: vec![SideObservation {
+                detector: "power".into(),
                 anomalous_windows: 50,
                 windows_compared: 100,
                 judged: false,
-            }),
+            }],
             ..obs("t", 90, 100, Some(false))
         };
         assert_eq!(unjudged.power_detected_at(0.0), None);
         assert!(unjudged.fused_detected_at(0.01), "txn still alarms");
+    }
+
+    #[test]
+    fn multi_modality_corpora_get_calibrated_weighted_fusion() {
+        // Acoustic catches t2 (txn/power blind), thermal catches tx2
+        // (everything else blind), nothing false-positives.
+        let quad = |attack: &str, txn: usize, p: usize, a: usize, th: usize| {
+            let o = obs(attack, txn, 100, Some(true));
+            let o = power(o, p, 100);
+            let o = with_side(o, "acoustic", a, 100);
+            with_side(o, "thermal", th, 100)
+        };
+        let observations = vec![
+            quad("none", 0, 0, 0, 0),
+            quad("t2", 0, 0, 40, 0),
+            quad("tx2", 0, 0, 0, 60),
+            quad("flaw3d", 50, 0, 10, 0),
+        ];
+        let report = AnalyticsReport::over(&observations, &THRESHOLD_GRID);
+        let weighted = report.weighted.as_ref().expect("two+ side modalities");
+        let names: Vec<&str> = weighted.weights.iter().map(|(d, _)| d.as_str()).collect();
+        assert_eq!(names, vec!["txn", "power", "acoustic", "thermal"]);
+        let weight = |d: &str| {
+            weighted
+                .weights
+                .iter()
+                .find(|(n, _)| n == d)
+                .map(|(_, w)| *w)
+                .unwrap()
+        };
+        assert!(weight("acoustic") > 0.0, "{:?}", weighted.weights);
+        assert!(weight("thermal") > 0.0, "{:?}", weighted.weights);
+        assert_eq!(
+            weight("power"),
+            0.0,
+            "power never fired: {:?}",
+            weighted.weights
+        );
+
+        // The weighted ROC exists for every attack, clean stays clean.
+        let idx_01 = THRESHOLD_GRID.iter().position(|&t| t == 0.01).unwrap();
+        assert_eq!(weighted.false_positive_rate().unwrap()[idx_01], 0.0);
+        assert!(weighted.curve("flaw3d").is_some());
+
+        // Per-detector curves for all three side modalities.
+        let t2 = report.curve("t2").unwrap();
+        assert!(t2.side_curve("acoustic").is_some());
+        assert!(t2.side_curve("thermal").is_some());
+
+        let json = crate::json::to_string_pretty(&report);
+        assert!(json.contains("\"acoustic_detection_rate\""), "{json}");
+        assert!(json.contains("\"thermal_false_positive_rate\""), "{json}");
+        assert!(json.contains("\"weighted_fusion\""), "{json}");
+        crate::json::parse(&json).expect("report JSON parses");
+        let table = report.summary();
+        assert!(table.contains("acoustic side-channel"), "{table}");
+        assert!(table.contains("thermal camera"), "{table}");
+        assert!(
+            table.contains("fused (any-alarm over all modalities)"),
+            "{table}"
+        );
+        assert!(table.contains("weighted fusion (calibrated:"), "{table}");
+    }
+
+    #[test]
+    fn fit_weights_falls_back_to_equal_on_informationless_corpora() {
+        let observations = vec![
+            power(obs("none", 0, 100, Some(true)), 0, 100),
+            power(obs("t9", 0, 100, Some(true)), 0, 100),
+        ];
+        let weights = fit_weights(&observations, &["power".to_string()]);
+        assert!(weights.iter().all(|(_, w)| *w == 1.0), "{weights:?}");
+    }
+
+    #[test]
+    fn weighted_rejudge_uses_the_live_vote_rule() {
+        let o = with_side(
+            power(obs("t", 0, 100, Some(true)), 40, 100),
+            "acoustic",
+            0,
+            100,
+        );
+        let equal = vec![
+            ("txn".to_string(), 1.0),
+            ("power".to_string(), 1.0),
+            ("acoustic".to_string(), 1.0),
+        ];
+        // One of three modalities alarms: majority vote says clean,
+        // any-style threshold flags it.
+        assert!(!o.weighted_detected_at(&equal, 0.5, 0.01));
+        assert!(o.weighted_detected_at(&equal, 0.0, 0.01));
+        // Weighting the alarming modality up flips the majority.
+        let tuned = vec![
+            ("txn".to_string(), 0.1),
+            ("power".to_string(), 2.0),
+            ("acoustic".to_string(), 0.1),
+        ];
+        assert!(o.weighted_detected_at(&tuned, 0.5, 0.01));
     }
 }

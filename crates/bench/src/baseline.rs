@@ -63,7 +63,7 @@ pub fn regenerate(program: &Arc<Program>, seed: u64) -> Vec<BaselineRow> {
     let suite =
         detectors::suite_from_names(&["txn".to_string(), "power".to_string()], FusionPolicy::Any)
             .expect("baseline suite");
-    debug_assert_eq!(suite.golden_power_runs(), CALIBRATION_RUNS);
+    debug_assert_eq!(suite.calibration_runs(), CALIBRATION_RUNS);
 
     // Golden evidence through the same path campaigns use: the primary
     // golden print plus calibration repetitions.
@@ -71,7 +71,8 @@ pub fn regenerate(program: &Arc<Program>, seed: u64) -> Vec<BaselineRow> {
     let golden = detectors::golden_evidence(program, seed, &calibration_seeds, &suite);
 
     let judge = |job: &Arc<Program>, run_seed: u64| -> Verdict {
-        let art = detectors::capture_run(job, run_seed, suite.needs_power()).expect("baseline run");
+        let art =
+            detectors::capture_run(job, run_seed, suite.needs_plant_trace()).expect("baseline run");
         let observed = detectors::observed_evidence(art, run_seed, &suite);
         suite.judge(&golden, &observed)
     };

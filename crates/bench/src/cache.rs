@@ -54,14 +54,30 @@ pub fn is_scenario_key(key: &str) -> bool {
     key.starts_with(SCENARIO_KEY_PREFIX)
 }
 
+/// The key prefix of campaign-provenance records (`campaign@1`): one
+/// record per campaign run, describing which campaign populated the
+/// store — the first rung of cross-campaign analytics slices.
+pub const CAMPAIGN_KEY_PREFIX: &str = "offramps-campaign/v1|";
+
+/// Whether a store key is a campaign-provenance record.
+pub fn is_campaign_key(key: &str) -> bool {
+    key.starts_with(CAMPAIGN_KEY_PREFIX)
+}
+
 /// Decodes every current-generation scenario record in a store into
 /// analytics observations, in the store's deterministic (fingerprint)
 /// order. Returns the observations and the number of skipped records
 /// (foreign keys, previous generations, undecodable payloads).
+/// Campaign-provenance records are this store's own metadata, not
+/// foreign junk — they are passed over without counting as skipped
+/// (read them with [`store_campaigns`]).
 pub fn store_observations(store: &Store) -> (Vec<crate::analytics::Observation>, usize) {
     let mut observations = Vec::new();
     let mut skipped = 0usize;
     for (key, value) in store.iter() {
+        if is_campaign_key(key) {
+            continue;
+        }
         if !is_scenario_key(key) {
             skipped += 1;
             continue;
@@ -72,6 +88,83 @@ pub fn store_observations(store: &Store) -> (Vec<crate::analytics::Observation>,
         }
     }
     (observations, skipped)
+}
+
+/// One campaign-provenance record: which campaign run populated (part
+/// of) the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignProvenance {
+    /// The campaign's master seed.
+    pub master_seed: u64,
+    /// Workloads in the matrix (the corpus size, canonical included).
+    pub workloads: usize,
+    /// Attacks in the matrix.
+    pub attacks: usize,
+    /// Independent runs per (attack, workload) cell.
+    pub runs_per_cell: u32,
+    /// Whether the attack list was the standard sweep grid
+    /// ([`crate::campaign::sweep_attacks`]).
+    pub sweep: bool,
+    /// The suite policy the campaign judged with.
+    pub policy: String,
+    /// Scenarios the matrix expanded to.
+    pub scenarios: usize,
+}
+
+/// The content-addressed key of one campaign's provenance record: the
+/// same campaign spec rerun (e.g. a warm rerun) rewrites its single
+/// record instead of accumulating duplicates.
+fn campaign_key(spec: &CampaignSpec, policy: &str, workload_labels: &str) -> String {
+    format!(
+        "{CAMPAIGN_KEY_PREFIX}master_seed={}|runs_per_cell={}|workloads={workload_labels}|attacks={}|policy={policy}",
+        spec.master_seed,
+        spec.runs_per_cell.max(1),
+        spec.trojans.join(","),
+    )
+}
+
+fn encode_campaign(spec: &CampaignSpec, policy: &str, scenarios: usize) -> String {
+    let sweep = spec.trojans == crate::campaign::sweep_attacks();
+    let mut out = String::new();
+    let mut w = ObjectWriter::new(&mut out, 0);
+    w.int("master_seed", spec.master_seed as i128)
+        .int("workloads", spec.workloads.len() as i128)
+        .int("attacks", spec.trojans.len() as i128)
+        .int("runs_per_cell", spec.runs_per_cell.max(1) as i128)
+        .bool("sweep", sweep)
+        .string("policy", policy)
+        .int("scenarios", scenarios as i128);
+    w.finish();
+    out
+}
+
+fn decode_campaign(payload: &str) -> Result<CampaignProvenance, String> {
+    let v = json::parse(payload)?;
+    Ok(CampaignProvenance {
+        master_seed: int_field(&v, "master_seed")?,
+        workloads: int_field(&v, "workloads")? as usize,
+        attacks: int_field(&v, "attacks")? as usize,
+        runs_per_cell: int_field(&v, "runs_per_cell")? as u32,
+        sweep: field(&v, "sweep")?
+            .as_bool()
+            .ok_or("campaign field \"sweep\" is not a bool")?,
+        policy: field(&v, "policy")?
+            .as_str()
+            .ok_or("campaign field \"policy\" is not a string")?
+            .to_string(),
+        scenarios: int_field(&v, "scenarios")? as usize,
+    })
+}
+
+/// Every decodable campaign-provenance record in the store, in the
+/// store's deterministic (fingerprint) order — the campaigns that
+/// populated it.
+pub fn store_campaigns(store: &Store) -> Vec<CampaignProvenance> {
+    store
+        .iter()
+        .filter(|(key, _)| is_campaign_key(key))
+        .filter_map(|(_, payload)| decode_campaign(payload).ok())
+        .collect()
 }
 
 /// Cache effectiveness of one [`run_campaign_cached`] call.
@@ -439,6 +532,17 @@ pub fn run_campaign_cached(
             results[index] = Some(r);
         }
     }
+
+    // Campaign-level provenance: one `campaign@1` record per campaign
+    // run (content-addressed by the spec, so warm reruns rewrite it in
+    // place) — `offramps-cli analytics` lists these.
+    let workload_labels: Vec<&str> = spec.workloads.iter().map(Workload::label).collect();
+    store
+        .put(
+            &campaign_key(spec, &policy, &workload_labels.join(",")),
+            &encode_campaign(spec, &policy, scenarios.len()),
+        )
+        .map_err(|e| format!("cannot append campaign provenance: {e}"))?;
 
     let results: Vec<ScenarioResult> = results
         .into_iter()

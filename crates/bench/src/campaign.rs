@@ -184,7 +184,8 @@ pub struct CampaignSpec {
     /// Independent seeds per (trojan, workload) cell.
     pub runs_per_cell: u32,
     /// Detector names accepted by [`crate::detectors::by_name`]
-    /// (`"txn"`, `"power"`); the suite judging every scenario.
+    /// (`"txn"`, `"power"`, `"acoustic"`, `"thermal"`); the suite
+    /// judging every scenario.
     pub detectors: Vec<String>,
     /// How the suite fuses per-detector alarms.
     pub fusion: FusionPolicy,
@@ -225,7 +226,7 @@ impl CampaignSpec {
     ///
     /// Reports an unknown detector name, duplicates, or an empty list.
     pub fn suite(&self) -> Result<DetectorSuite, String> {
-        detectors::suite_from_names(&self.detectors, self.fusion)
+        detectors::suite_from_names(&self.detectors, self.fusion.clone())
     }
 
     /// Validates attack names and workload labels, then expands the
@@ -270,10 +271,12 @@ impl CampaignSpec {
 
     /// The seeds a workload's extra golden calibration repetitions run
     /// under (label-derived, like every other campaign seed). Empty for
-    /// suites that calibrate from nothing beyond the primary run.
-    pub fn calibration_seeds(&self, workload_label: &str, golden_power_runs: usize) -> Vec<u64> {
+    /// suites that calibrate from nothing beyond the primary run; the
+    /// runs these seeds drive are shared by every repeat-calibrated
+    /// detector in the suite.
+    pub fn calibration_seeds(&self, workload_label: &str, calibration_runs: usize) -> Vec<u64> {
         let split = SeedSplitter::new(self.master_seed);
-        (1..golden_power_runs)
+        (1..calibration_runs)
             .map(|i| split.derive(&format!("campaign/golden/{workload_label}/calib/{i}")))
             .collect()
     }
@@ -593,8 +596,9 @@ pub fn campaign_detector_policy() -> String {
 }
 
 /// Produces the golden evidence bundle for one workload under the
-/// campaign's label-derived golden seed (plus calibration repetitions
-/// when the suite consumes power evidence).
+/// campaign's label-derived golden seed (plus shared calibration
+/// repetitions when any detector in the suite calibrates from
+/// repeated golden prints).
 pub(crate) fn golden_evidence(
     spec: &CampaignSpec,
     w: &Workload,
@@ -604,7 +608,7 @@ pub(crate) fn golden_evidence(
     detectors::golden_evidence(
         program,
         spec.golden_seed(w.label()),
-        &spec.calibration_seeds(w.label(), suite.golden_power_runs()),
+        &spec.calibration_seeds(w.label(), suite.calibration_runs()),
         suite,
     )
 }
@@ -619,7 +623,7 @@ pub(crate) fn run_scenario(
 ) -> ScenarioResult {
     let mut bench = TestBench::new(scenario.seed)
         .signal_path(SignalPath::capture())
-        .record_plant_trace(suite.needs_power());
+        .record_plant_trace(suite.needs_plant_trace());
     let mut job = Arc::clone(program);
     match parse_attack(&scenario.trojan).expect("names validated by CampaignSpec") {
         Attack::None => {}
@@ -660,7 +664,7 @@ pub(crate) fn run_scenario(
 ///
 /// Programs are sliced once per workload label and shared as
 /// `Arc<Program>`; golden evidence bundles are produced first (also in
-/// parallel, with power calibration repetitions when the suite
+/// parallel, with shared calibration repetitions when the suite
 /// consumes them), then the full scenario matrix fans out. Results are
 /// assembled in matrix order.
 ///

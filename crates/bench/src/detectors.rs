@@ -1,23 +1,35 @@
-//! Detector-suite construction and evidence production for campaigns
+//! Detector-suite construction and evidence provisioning for campaigns
 //! and the baseline experiment.
 //!
 //! The judging API itself lives in [`offramps::verdict`]; this module
-//! is the harness side: resolving `--detectors txn,power` into a
-//! [`DetectorSuite`], and producing the golden/observed
-//! [`EvidenceBundle`]s a suite consumes. Campaigns and `baseline.rs`
-//! both route their golden runs through [`golden_evidence`], so the two
-//! can never drift in how a golden profile is produced.
+//! is the harness side: resolving `--detectors txn,power,acoustic,
+//! thermal` into a [`DetectorSuite`], and producing the golden/observed
+//! [`EvidenceBundle`]s a suite consumes. Provisioning is **channel
+//! driven**: the suite's [`DetectorSuite::channel_plan`] says which
+//! channels to synthesize (and with which models), the bench records
+//! the plant-side trace only when a planned channel needs it, and the
+//! golden calibration repetitions are **shared** — one set of golden
+//! reruns per workload feeds every repeat-calibrated detector, instead
+//! of re-simulating per detector. Campaigns and `baseline.rs` both
+//! route their golden runs through [`golden_evidence`], so the two can
+//! never drift in how a golden profile is produced.
 
 use std::sync::Arc;
 
 use offramps::verdict::{
-    DetectorSuite, EvidenceBundle, FusionPolicy, PowerSideChannelDetector, TransactionDetector,
+    AcousticDetector, ChannelData, ChannelSynth, DetectorSuite, EvidenceBundle, FusionPolicy,
+    PowerSideChannelDetector, ThermalDetector, TransactionDetector,
 };
 use offramps::{Detector, RunArtifacts, SignalPath, TestBench};
 use offramps_gcode::Program;
 
-/// The detector names `--detectors` accepts.
-pub const DETECTOR_NAMES: [&str; 2] = [TransactionDetector::NAME, PowerSideChannelDetector::NAME];
+/// The detector names `--detectors` accepts, in canonical order.
+pub const DETECTOR_NAMES: [&str; 4] = [
+    TransactionDetector::NAME,
+    PowerSideChannelDetector::NAME,
+    AcousticDetector::NAME,
+    ThermalDetector::NAME,
+];
 
 /// Resolves one detector name to its campaign-default configuration.
 ///
@@ -28,6 +40,8 @@ pub fn by_name(name: &str) -> Result<Box<dyn Detector>, String> {
     match name.trim().to_ascii_lowercase().as_str() {
         "txn" => Ok(Box::new(TransactionDetector::campaign())),
         "power" => Ok(Box::new(PowerSideChannelDetector::campaign())),
+        "acoustic" => Ok(Box::new(AcousticDetector::campaign())),
+        "thermal" => Ok(Box::new(ThermalDetector::campaign())),
         other => Err(format!(
             "unknown detector {other:?} (expected one of: {})",
             DETECTOR_NAMES.join(", ")
@@ -40,7 +54,8 @@ pub fn by_name(name: &str) -> Result<Box<dyn Detector>, String> {
 ///
 /// # Errors
 ///
-/// Reports the first unknown name, duplicates, or an empty list.
+/// Reports the first unknown name, duplicates, an empty list, or a
+/// weighted fusion policy inconsistent with the suite.
 pub fn suite_from_names(names: &[String], fusion: FusionPolicy) -> Result<DetectorSuite, String> {
     let detectors = names
         .iter()
@@ -50,57 +65,113 @@ pub fn suite_from_names(names: &[String], fusion: FusionPolicy) -> Result<Detect
 }
 
 /// Runs one print through the capture path, recording the plant-side
-/// trace when the suite consumes power evidence.
+/// trace when the suite's channel plan consumes it.
 pub(crate) fn capture_run(
     program: &Arc<Program>,
     seed: u64,
-    needs_power: bool,
+    needs_plant_trace: bool,
 ) -> Result<RunArtifacts, offramps::BenchError> {
     TestBench::new(seed)
         .signal_path(SignalPath::capture())
-        .record_plant_trace(needs_power)
+        .record_plant_trace(needs_plant_trace)
         .run(program)
 }
 
-/// Turns one run's artifacts into the observed evidence bundle for
-/// `suite`: the transaction capture always, plus the power waveform
-/// synthesized from the plant-side trace (sensor noise seeded by the
-/// run's own seed) when the suite consumes it.
-pub fn observed_evidence(art: RunArtifacts, seed: u64, suite: &DetectorSuite) -> EvidenceBundle {
-    let power = match (suite.power_model(), art.plant_trace.as_ref()) {
-        (Some(model), Some(trace)) => Some(model.synthesize(trace, seed)),
-        _ => None,
-    };
-    EvidenceBundle {
-        capture: art.capture,
-        power,
-        power_calibration: Vec::new(),
+/// Synthesizes one planned channel from a run's artifacts (`None` when
+/// the artifacts lack the required source, e.g. no plant trace).
+/// Sensor noise is seeded by the run's own seed, per channel salt.
+fn synthesize(synth: &ChannelSynth, art: &RunArtifacts, seed: u64) -> Option<ChannelData> {
+    match synth {
+        ChannelSynth::Capture => art.capture.clone().map(ChannelData::Txn),
+        ChannelSynth::Power(model) => art
+            .plant_trace
+            .as_ref()
+            .map(|trace| ChannelData::Power(model.synthesize(trace, seed))),
+        ChannelSynth::Acoustic(model) => art
+            .plant_trace
+            .as_ref()
+            .map(|trace| ChannelData::Acoustic(model.synthesize(trace, seed))),
+        ChannelSynth::Thermal(camera) => {
+            Some(ChannelData::Thermal(camera.synthesize(&art.temps, seed)))
+        }
     }
 }
 
+/// Turns one run's artifacts into the observed evidence bundle for
+/// `suite`: exactly the channels the suite's plan asks for — the
+/// transaction capture, and/or waveforms synthesized from the
+/// plant-side trace and temperatures (sensor noise seeded by the run's
+/// own seed).
+pub fn observed_evidence(
+    mut art: RunArtifacts,
+    seed: u64,
+    suite: &DetectorSuite,
+) -> EvidenceBundle {
+    let mut bundle = EvidenceBundle::default();
+    for request in suite.channel_plan() {
+        // The capture is moved, not cloned — it is the hot path's
+        // biggest artifact.
+        let data = if matches!(request.synth, ChannelSynth::Capture) {
+            art.capture.take().map(ChannelData::Txn)
+        } else {
+            synthesize(&request.synth, &art, seed)
+        };
+        if let Some(data) = data {
+            bundle.insert(data);
+        }
+    }
+    bundle
+}
+
 /// Produces the golden evidence bundle for one workload: the golden
-/// capture under `primary_seed`, plus — when the suite consumes power —
-/// the golden power waveform and one calibration repetition per entry
-/// of `calibration_seeds` (the primary run is the first calibration
-/// trace). Both the campaign runner and the baseline experiment go
-/// through here.
+/// run under `primary_seed` synthesized into every planned channel,
+/// plus — when any detector calibrates from repetitions — **shared**
+/// golden reruns, one per entry of `calibration_seeds`, feeding every
+/// repeat-calibrated channel at once (the primary run is each
+/// channel's first calibration trace). Both the campaign runner and the
+/// baseline experiment go through here.
 pub fn golden_evidence(
     program: &Arc<Program>,
     primary_seed: u64,
     calibration_seeds: &[u64],
     suite: &DetectorSuite,
 ) -> EvidenceBundle {
-    let needs_power = suite.needs_power();
-    let art = capture_run(program, primary_seed, needs_power).expect("golden run");
+    let plan = suite.channel_plan();
+    let needs_plant_trace = plan.iter().any(|r| r.synth.needs_plant_trace());
+    let art = capture_run(program, primary_seed, needs_plant_trace).expect("golden run");
     let mut bundle = observed_evidence(art, primary_seed, suite);
-    if let (Some(model), Some(primary)) = (suite.power_model(), bundle.power.clone()) {
-        let mut calibration = vec![primary];
-        for &seed in calibration_seeds {
-            let art = capture_run(program, seed, true).expect("golden calibration run");
-            let trace = art.plant_trace.expect("plant trace enabled");
-            calibration.push(model.synthesize(&trace, seed));
+
+    let max_calibration = suite.calibration_runs();
+    if max_calibration >= 2 {
+        // One simulation per calibration seed, shared by every
+        // calibrated channel — never one set of reruns per detector.
+        let repeats: Vec<(u64, RunArtifacts)> = calibration_seeds
+            .iter()
+            .take(max_calibration - 1)
+            .map(|&seed| {
+                (
+                    seed,
+                    capture_run(program, seed, needs_plant_trace).expect("golden calibration run"),
+                )
+            })
+            .collect();
+        for request in &plan {
+            if request.calibration_runs < 2 {
+                continue;
+            }
+            let channel = request.synth.channel();
+            let Some(primary) = bundle.get(channel).cloned() else {
+                continue;
+            };
+            let mut runs = vec![primary];
+            for (seed, art) in repeats.iter().take(request.calibration_runs - 1) {
+                runs.push(
+                    synthesize(&request.synth, art, *seed)
+                        .expect("calibration run carries the planned channel source"),
+                );
+            }
+            bundle.insert_calibration(channel, runs);
         }
-        bundle.power_calibration = calibration;
     }
     bundle
 }
@@ -108,6 +179,7 @@ pub fn golden_evidence(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use offramps::Channel;
 
     #[test]
     fn names_resolve_and_unknown_rejected() {
@@ -119,7 +191,13 @@ mod tests {
         assert!(suite_from_names(&[], FusionPolicy::Any).is_err());
         let suite = suite_from_names(&["txn".into(), "power".into()], FusionPolicy::All).unwrap();
         assert_eq!(suite.names(), vec!["txn", "power"]);
-        assert_eq!(suite.fusion(), FusionPolicy::All);
+        assert_eq!(suite.fusion(), &FusionPolicy::All);
+        let quad = suite_from_names(
+            &DETECTOR_NAMES.map(String::from),
+            FusionPolicy::parse("weighted").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(quad.names(), DETECTOR_NAMES.to_vec());
     }
 
     #[test]
@@ -127,18 +205,57 @@ mod tests {
         let program = crate::workloads::Workload::mini().program();
         let txn_only = suite_from_names(&["txn".into()], FusionPolicy::Any).unwrap();
         let bundle = golden_evidence(&program, 7, &[], &txn_only);
-        assert!(bundle.capture.is_some());
-        assert!(bundle.power.is_none(), "no power work for txn-only suites");
-        assert!(bundle.power_calibration.is_empty());
+        assert!(bundle.capture().is_some());
+        assert!(
+            bundle.power().is_none(),
+            "no power work for txn-only suites"
+        );
+        assert!(bundle.calibration(Channel::Power).is_empty());
 
         let both = suite_from_names(&["txn".into(), "power".into()], FusionPolicy::Any).unwrap();
         let bundle = golden_evidence(&program, 7, &[8, 9], &both);
-        assert!(bundle.capture.is_some());
-        assert!(bundle.power.is_some());
+        assert!(bundle.capture().is_some());
+        assert!(bundle.power().is_some());
         assert_eq!(
-            bundle.power_calibration.len(),
+            bundle.calibration(Channel::Power).len(),
             3,
             "primary + two calibration repetitions"
+        );
+    }
+
+    #[test]
+    fn calibration_reruns_are_shared_across_detectors() {
+        // A suite with three repeat-calibrated detectors must plan the
+        // *max* of their calibration requests — the reruns are shared —
+        // and every calibrated channel must be fed from them.
+        let suite = suite_from_names(
+            &[
+                "txn".into(),
+                "power".into(),
+                "acoustic".into(),
+                "thermal".into(),
+            ],
+            FusionPolicy::Any,
+        )
+        .unwrap();
+        assert_eq!(
+            suite.calibration_runs(),
+            5,
+            "max across detectors, not the sum (5+5+5 would be 15)"
+        );
+        let program = crate::workloads::Workload::mini().program();
+        let seeds: Vec<u64> = (1..5).collect();
+        let bundle = golden_evidence(&program, 7, &seeds, &suite);
+        for channel in [Channel::Power, Channel::Acoustic, Channel::Thermal] {
+            assert_eq!(
+                bundle.calibration(channel).len(),
+                5,
+                "{channel}: primary + four shared reruns"
+            );
+        }
+        assert!(
+            bundle.calibration(Channel::Txn).is_empty(),
+            "the txn judge does not calibrate"
         );
     }
 }

@@ -53,6 +53,7 @@ pub use mitm::Offramps;
 pub use testbench::{BenchError, RunArtifacts, TestBench};
 pub use trojans::{Disposition, Trojan, TrojanCtx};
 pub use verdict::{
-    Detector, DetectorSuite, Evidence, EvidenceBundle, FusionPolicy, PowerSideChannelDetector,
+    AcousticDetector, Channel, ChannelData, ChannelRequest, ChannelSynth, Detector, DetectorSuite,
+    Evidence, EvidenceBundle, FusionPolicy, PowerSideChannelDetector, ThermalDetector,
     TransactionDetector, Verdict,
 };

@@ -145,13 +145,25 @@ impl Trojan for EndstopSpoofTrojan {
     }
 }
 
-/// TX2: a gain-style miscalibration of the hotend thermistor read-out.
-/// The firmware sees `offset_at_print_temp_c` fewer degrees at typical
-/// printing temperature (proportionally less when cooler, nothing at
-/// ambient — so MINTEMP stays quiet) and therefore silently overheats
-/// the material while every protection watches the spoofed value.
+/// TX2: a gain-style miscalibration of a thermistor read-out. The
+/// firmware sees proportionally fewer degrees of rise above ambient
+/// (nothing at ambient — so MINTEMP stays quiet) and therefore silently
+/// overheats the element while every protection watches the spoofed
+/// value.
+///
+/// Two variants share the mechanism: the default hotend spoof
+/// ([`ThermistorSpoofTrojan::reads_cold_by`], the paper-adjacent
+/// melt-zone overheat) and a bed spoof
+/// ([`ThermistorSpoofTrojan::bed_reads_cold_by`], spec `tx2:bed@<c>`).
+/// The bed variant is the quiet one: the bed regulates a few degrees
+/// hot for the whole print without delaying the (hotend-dominated)
+/// heat-up wait, so the motion timeline — and with it the txn, power
+/// and acoustic channels — stays byte-for-byte clean. Only a thermal
+/// eye on the *true* plant temperatures sees it.
 #[derive(Debug)]
 pub struct ThermistorSpoofTrojan {
+    /// Which thermistor channel is miscalibrated.
+    channel: AnalogChannel,
     /// Fraction of the temperature rise above ambient that is reported.
     gain: f64,
     ambient_c: f64,
@@ -163,9 +175,13 @@ pub struct ThermistorSpoofTrojan {
 }
 
 impl ThermistorSpoofTrojan {
-    /// Reference printing temperature used to express the spoof
+    /// Reference printing temperature used to express the hotend spoof
     /// magnitude.
     pub const REFERENCE_TEMP_C: f64 = 215.0;
+
+    /// Reference bed temperature used to express the bed spoof
+    /// magnitude.
+    pub const REFERENCE_BED_TEMP_C: f64 = 60.0;
 
     /// Creates TX2 reading `offset_at_print_temp_c` degrees cold at the
     /// 215 °C reference (e.g. 30 → a 215 °C melt zone reads ~185 °C).
@@ -174,15 +190,41 @@ impl ThermistorSpoofTrojan {
     ///
     /// Panics unless `0 <= offset < 190`.
     pub fn reads_cold_by(offset_at_print_temp_c: f64) -> Self {
-        let span = Self::REFERENCE_TEMP_C - 25.0;
+        Self::spoof(
+            AnalogChannel::HotendTherm,
+            offset_at_print_temp_c,
+            Self::REFERENCE_TEMP_C,
+            4267.0,
+        )
+    }
+
+    /// Creates the bed variant: the bed thermistor reads
+    /// `offset_at_bed_temp_c` degrees cold at the 60 °C reference, so a
+    /// bang-bang bed loop quietly regulates the plate that much hotter.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= offset < 35`.
+    pub fn bed_reads_cold_by(offset_at_bed_temp_c: f64) -> Self {
+        Self::spoof(
+            AnalogChannel::BedTherm,
+            offset_at_bed_temp_c,
+            Self::REFERENCE_BED_TEMP_C,
+            3950.0,
+        )
+    }
+
+    fn spoof(channel: AnalogChannel, offset_c: f64, reference_c: f64, beta: f64) -> Self {
+        let span = reference_c - 25.0;
         assert!(
-            (0.0..span).contains(&offset_at_print_temp_c),
+            (0.0..span).contains(&offset_c),
             "offset must be in [0, {span})"
         );
         ThermistorSpoofTrojan {
-            gain: (span - offset_at_print_temp_c) / span,
+            channel,
+            gain: (span - offset_c) / span,
             ambient_c: 25.0,
-            beta: 4267.0,
+            beta,
             r25: 100_000.0,
             pullup: 4_700.0,
             samples_spoofed: 0,
@@ -220,7 +262,14 @@ impl Trojan for ThermistorSpoofTrojan {
         "Sensor Fault"
     }
     fn effect(&self) -> &'static str {
-        "Spoofs the hotend thermistor cold; the firmware silently overheats the material"
+        match self.channel {
+            AnalogChannel::HotendTherm => {
+                "Spoofs the hotend thermistor cold; the firmware silently overheats the material"
+            }
+            AnalogChannel::BedTherm => {
+                "Spoofs the bed thermistor cold; the bed silently regulates hot"
+            }
+        }
     }
 
     fn on_control(&mut self, _ctx: &mut TrojanCtx<'_>, _event: &SignalEvent) -> Disposition {
@@ -228,18 +277,16 @@ impl Trojan for ThermistorSpoofTrojan {
     }
 
     fn on_feedback(&mut self, _ctx: &mut TrojanCtx<'_>, event: &SignalEvent) -> Disposition {
-        if let SignalEvent::Adc {
-            channel: AnalogChannel::HotendTherm,
-            counts,
-        } = event
-        {
-            let true_temp = self.counts_to_temp(*counts);
-            let spoofed = self.temp_to_counts(self.spoofed_temp(true_temp));
-            self.samples_spoofed += 1;
-            return Disposition::Replace(SignalEvent::Adc {
-                channel: AnalogChannel::HotendTherm,
-                counts: spoofed,
-            });
+        if let SignalEvent::Adc { channel, counts } = event {
+            if *channel == self.channel {
+                let true_temp = self.counts_to_temp(*counts);
+                let spoofed = self.temp_to_counts(self.spoofed_temp(true_temp));
+                self.samples_spoofed += 1;
+                return Disposition::Replace(SignalEvent::Adc {
+                    channel: *channel,
+                    counts: spoofed,
+                });
+            }
         }
         Disposition::Pass
     }
@@ -410,8 +457,51 @@ mod tests {
     }
 
     #[test]
+    fn tx2_bed_variant_spoofs_bed_and_leaves_hotend_alone() {
+        let mut h = TrojanHarness::new();
+        let mut t = ThermistorSpoofTrojan::bed_reads_cold_by(8.0);
+        // At ambient: unchanged. At the 60C reference: reads ~52C.
+        assert!((t.spoofed_temp(25.0) - 25.0).abs() < 1e-9);
+        assert!((t.spoofed_temp(60.0) - 52.0).abs() < 1e-9);
+        let true_counts = t.temp_to_counts(60.0);
+        let d = h.feedback(
+            &mut t,
+            Tick::ZERO,
+            SignalEvent::Adc {
+                channel: AnalogChannel::BedTherm,
+                counts: true_counts,
+            },
+        );
+        let Disposition::Replace(SignalEvent::Adc { channel, counts }) = d else {
+            panic!("expected replacement, got {d:?}");
+        };
+        assert_eq!(channel, AnalogChannel::BedTherm);
+        let reported = t.counts_to_temp(counts);
+        assert!(
+            (reported - 52.0).abs() < 2.0,
+            "60C bed must read ~52C, got {reported}"
+        );
+        // The hotend channel passes untouched.
+        let d = h.feedback(
+            &mut t,
+            Tick::ZERO,
+            SignalEvent::Adc {
+                channel: AnalogChannel::HotendTherm,
+                counts: 300,
+            },
+        );
+        assert_eq!(d, Disposition::Pass);
+    }
+
+    #[test]
     #[should_panic(expected = "offset must be in")]
     fn tx2_rejects_absurd_offset() {
         let _ = ThermistorSpoofTrojan::reads_cold_by(250.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "offset must be in")]
+    fn tx2_bed_rejects_absurd_offset() {
+        let _ = ThermistorSpoofTrojan::bed_reads_cold_by(40.0);
     }
 }

@@ -165,7 +165,8 @@ pub fn by_name(name: &str) -> Result<Box<dyn Trojan>, String> {
 /// | `t5:<steps>@<layer>` | Z shift of `<steps>` µsteps after `<layer>`   |
 /// | `t9:<scale>`     | fan underspeed at `<scale>` ∈ (0, 1] duty         |
 /// | `tx1:<steps>`    | endstop spoof after `<steps>` X µsteps            |
-/// | `tx2:<celsius>`  | thermistor reads cold by `<celsius>` °C           |
+/// | `tx2:<celsius>`  | hotend thermistor reads cold by `<celsius>` °C    |
+/// | `tx2:bed@<celsius>` | bed thermistor reads cold by `<celsius>` °C — the bed quietly regulates hot without touching motion |
 ///
 /// Every spec is validated here (never via constructor panics), so a
 /// campaign can reject a bad grid up front.
@@ -246,13 +247,29 @@ pub fn by_spec(spec: &str) -> Result<Box<dyn Trojan>, String> {
             Box::new(EndstopSpoofTrojan::after_steps(steps))
         }
         "tx2" => {
-            let offset: f64 = param
+            let (bed, offset) = match param.strip_prefix("bed@") {
+                Some(rest) => (true, rest),
+                None => (false, param),
+            };
+            let offset: f64 = offset
                 .parse()
                 .map_err(|_| format!("bad offset in {spec:?}"))?;
             if !(offset > 0.0 && offset.is_finite()) {
                 return Err(format!("offset must be positive in {spec:?}"));
             }
-            Box::new(ThermistorSpoofTrojan::reads_cold_by(offset))
+            let span = if bed {
+                ThermistorSpoofTrojan::REFERENCE_BED_TEMP_C - 25.0
+            } else {
+                ThermistorSpoofTrojan::REFERENCE_TEMP_C - 25.0
+            };
+            if offset >= span {
+                return Err(format!("offset must be under {span} in {spec:?}"));
+            }
+            if bed {
+                Box::new(ThermistorSpoofTrojan::bed_reads_cold_by(offset))
+            } else {
+                Box::new(ThermistorSpoofTrojan::reads_cold_by(offset))
+            }
         }
         other if TROJAN_NAMES.contains(&other) => {
             return Err(format!("trojan {other:?} takes no parameter (in {spec:?})"))
@@ -275,8 +292,17 @@ mod spec_tests {
     #[test]
     fn parameterized_specs_resolve() {
         for spec in [
-            "t1:2.5", "t2:0.25", "t2:1", "t4:10-40", "t4:30-80", "t5:100@1", "t5:200@5", "t9:0.5",
-            "tx1:5000", "tx2:15",
+            "t1:2.5",
+            "t2:0.25",
+            "t2:1",
+            "t4:10-40",
+            "t4:30-80",
+            "t5:100@1",
+            "t5:200@5",
+            "t9:0.5",
+            "tx1:5000",
+            "tx2:15",
+            "tx2:bed@8",
         ] {
             let t = by_spec(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
             let id = spec.split(':').next().unwrap().to_ascii_uppercase();
@@ -287,8 +313,22 @@ mod spec_tests {
     #[test]
     fn bad_specs_error_without_panicking() {
         for spec in [
-            "t2:0", "t2:1.5", "t2:x", "t4:40-10", "t4:5", "t5:0@2", "t5:100", "t9:-1", "t1:0",
-            "tx2:nan", "t3:1", "t6:2", "t99:1",
+            "t2:0",
+            "t2:1.5",
+            "t2:x",
+            "t4:40-10",
+            "t4:5",
+            "t5:0@2",
+            "t5:100",
+            "t9:-1",
+            "t1:0",
+            "tx2:nan",
+            "tx2:200",
+            "tx2:bed@40",
+            "tx2:bed@x",
+            "t3:1",
+            "t6:2",
+            "t99:1",
         ] {
             assert!(by_spec(spec).is_err(), "{spec} should be rejected");
         }

@@ -1,61 +1,276 @@
-//! Pluggable multi-modality judging: named detectors over named
-//! evidence streams, fused into one verdict.
+//! Pluggable multi-modality judging: named detectors over a generic
+//! observation plane, fused into one verdict.
 //!
 //! The paper's monitor is valuable precisely because a print can be
-//! judged from more than one evidence stream: the §V-C step-count
-//! comparison over the captured transactions, and (as the related-work
-//! baseline) a power side-channel over the driver rail. This module
-//! makes the judging layer a first-class API instead of a hard-wired
-//! comparator:
+//! judged from *independent physical evidence streams*: the §V-C
+//! step-count comparison over the captured transactions, a power
+//! side-channel over the driver rail, the acoustic/EM emission of the
+//! steppers, a thermal camera on the heated elements. This module makes
+//! the judging layer a first-class API in which a modality is **data,
+//! not a struct field**:
 //!
-//! * [`EvidenceBundle`] — the named evidence streams one print
-//!   produced (transaction capture, power trace, calibration repeats);
-//! * [`Detector`] — a named judge with a canonical policy string,
-//!   turning a golden and an observed bundle into [`Evidence`]
-//!   (sufficient statistics, not just a boolean);
+//! * [`Channel`] / [`ChannelData`] — the named evidence streams one
+//!   print can produce (`txn` capture, `power`, `acoustic`, `thermal`);
+//! * [`EvidenceBundle`] — a bundle of channels plus per-channel golden
+//!   calibration repetitions;
+//! * [`Detector`] — a named judge with a canonical policy string that
+//!   *declares* ([`Detector::channels`]) which channels it consumes,
+//!   how each is synthesized ([`ChannelSynth`]) and how many golden
+//!   calibration repetitions it wants — the harness provisions exactly
+//!   what the active suite asks for, sharing golden reruns across
+//!   detectors;
 //! * [`DetectorSuite`] — an ordered set of detectors plus a
-//!   [`FusionPolicy`], producing a fused [`Verdict`];
-//! * [`TransactionDetector`] / [`PowerSideChannelDetector`] — the two
-//!   shipped modalities, the former reproducing the campaign judge
-//!   byte for byte, the latter wrapping the repetition-calibrated
-//!   power comparator from `offramps-sidechannel`.
+//!   [`FusionPolicy`] (`any`, `all`, or calibrated [`FusionPolicy::Weighted`]
+//!   voting), producing a fused [`Verdict`];
+//! * the four shipped modalities: [`TransactionDetector`],
+//!   [`PowerSideChannelDetector`], [`AcousticDetector`],
+//!   [`ThermalDetector`].
 //!
-//! The two taps are *physically different*: the transaction monitor
-//! counts the controller's stream upstream of the Trojan mux, while a
-//! power sensor measures the driver rail downstream of it. A hardware
-//! Trojan that silently masks pulses is invisible to the first and
-//! visible to the second — which is exactly why fusing independent
-//! evidence channels beats any single judge.
+//! The taps are *physically different*: the transaction monitor counts
+//! the controller's stream upstream of the Trojan mux; power, acoustic
+//! and thermal sensors measure the plant downstream of it. A hardware
+//! Trojan that masks pulses is invisible to the first and visible to
+//! the others; one that only breaks step *timing* hides from the power
+//! envelope but clicks audibly; one that only tampers with heat leaves
+//! the motion plane spotless and glows on camera. Fusing independent
+//! channels beats any single judge — which is the paper's core claim
+//! about in-line intermediaries.
 //!
 //! A suite's [`DetectorSuite::policy`] string spells out every knob
 //! that shapes a verdict; content-addressed stores key scenario records
 //! by it, so changing the suite (or any detector default) re-addresses
 //! every cached verdict at once.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use offramps_sidechannel::{
-    CalibratedPowerDetector, PowerDetector, PowerDetectorConfig, PowerModel, PowerTrace,
+    compare_sampled, AcousticModel, AcousticTrace, ComparatorConfig, PowerDetectorConfig,
+    PowerModel, PowerTrace, SideChannelReport, ThermalCamera, ThermalTrace,
 };
 
 use crate::capture::Capture;
 use crate::detect::{self, DetectorConfig};
 
-/// The named evidence streams captured from one print.
-///
-/// A golden bundle may additionally carry `power_calibration`:
-/// repeated golden power traces (the published power-signature systems
-/// profile dozens of repetitions); observed bundles leave it empty.
+/// A named evidence stream. The observation plane is keyed by these:
+/// detectors declare which channels they consume, the harness
+/// synthesizes only the channels the active suite asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Channel {
+    /// The monitor's transaction capture (controller-side tap).
+    Txn,
+    /// The driver-rail power waveform (plant-side tap).
+    Power,
+    /// The acoustic/EM emission envelope (plant-side step timing).
+    Acoustic,
+    /// The thermal-camera scene trace (true plant temperatures).
+    Thermal,
+}
+
+impl Channel {
+    /// Every channel, in canonical order.
+    pub const ALL: [Channel; 4] = [
+        Channel::Txn,
+        Channel::Power,
+        Channel::Acoustic,
+        Channel::Thermal,
+    ];
+
+    /// Short stable name (`"txn"`, `"power"`, `"acoustic"`,
+    /// `"thermal"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Channel::Txn => "txn",
+            Channel::Power => "power",
+            Channel::Acoustic => "acoustic",
+            Channel::Thermal => "thermal",
+        }
+    }
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One channel's payload.
+#[derive(Debug, Clone)]
+pub enum ChannelData {
+    /// A transaction capture.
+    Txn(Capture),
+    /// A synthesized power waveform.
+    Power(PowerTrace),
+    /// A synthesized acoustic/EM emission envelope.
+    Acoustic(AcousticTrace),
+    /// A synthesized thermal-camera trace.
+    Thermal(ThermalTrace),
+}
+
+impl ChannelData {
+    /// Which channel this payload belongs to.
+    pub fn channel(&self) -> Channel {
+        match self {
+            ChannelData::Txn(_) => Channel::Txn,
+            ChannelData::Power(_) => Channel::Power,
+            ChannelData::Acoustic(_) => Channel::Acoustic,
+            ChannelData::Thermal(_) => Channel::Thermal,
+        }
+    }
+
+    /// The sampled scalar view, for the window-comparator modalities
+    /// (`None` for the transaction capture, which is not a sampled
+    /// waveform).
+    pub fn samples(&self) -> Option<&[f64]> {
+        match self {
+            ChannelData::Txn(_) => None,
+            ChannelData::Power(t) => Some(t.samples()),
+            ChannelData::Acoustic(t) => Some(t.samples()),
+            ChannelData::Thermal(t) => Some(t.samples()),
+        }
+    }
+}
+
+/// How a channel is synthesized from one run's artifacts. The harness
+/// (`offramps_bench::detectors`) interprets these: `Capture` comes from
+/// the monitor tap, `Power`/`Acoustic` from the plant-side signal
+/// trace, `Thermal` from the plant temperature samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChannelSynth {
+    /// The monitor's transaction capture (no synthesis model).
+    Capture,
+    /// Power waveform synthesis with this electrical model.
+    Power(PowerModel),
+    /// Acoustic/EM envelope synthesis with this emission model.
+    Acoustic(AcousticModel),
+    /// Thermal-scene synthesis with this camera model.
+    Thermal(ThermalCamera),
+}
+
+impl ChannelSynth {
+    /// The channel this synthesis produces.
+    pub fn channel(&self) -> Channel {
+        match self {
+            ChannelSynth::Capture => Channel::Txn,
+            ChannelSynth::Power(_) => Channel::Power,
+            ChannelSynth::Acoustic(_) => Channel::Acoustic,
+            ChannelSynth::Thermal(_) => Channel::Thermal,
+        }
+    }
+
+    /// Whether producing this channel requires the plant-side signal
+    /// trace to be recorded during the run.
+    pub fn needs_plant_trace(&self) -> bool {
+        matches!(self, ChannelSynth::Power(_) | ChannelSynth::Acoustic(_))
+    }
+}
+
+/// One detector's declaration of a channel it consumes.
+#[derive(Debug, Clone)]
+pub struct ChannelRequest {
+    /// How the channel is produced from run artifacts.
+    pub synth: ChannelSynth,
+    /// How many golden prints this detector wants for calibration on
+    /// this channel, primary run included (0 or 1 = the primary golden
+    /// run suffices, no repetitions).
+    pub calibration_runs: usize,
+}
+
+impl ChannelRequest {
+    /// A request for the transaction capture (no calibration).
+    pub fn capture() -> ChannelRequest {
+        ChannelRequest {
+            synth: ChannelSynth::Capture,
+            calibration_runs: 0,
+        }
+    }
+}
+
+/// The named evidence streams captured from one print: a bundle of
+/// channels, plus (on golden bundles) per-channel calibration
+/// repetitions — the published side-channel systems profile dozens of
+/// repeated golden prints; observed bundles carry no calibration.
 #[derive(Debug, Clone, Default)]
 pub struct EvidenceBundle {
-    /// The monitor's transaction capture (controller-side tap).
-    pub capture: Option<Capture>,
-    /// The synthesized power waveform (driver-rail tap).
-    pub power: Option<PowerTrace>,
-    /// Golden-side repetitions for calibration, primary run included.
-    /// With fewer than two entries the power judge falls back to the
-    /// single-profile comparator.
-    pub power_calibration: Vec<PowerTrace>,
+    channels: BTreeMap<Channel, ChannelData>,
+    calibration: BTreeMap<Channel, Vec<ChannelData>>,
+}
+
+impl EvidenceBundle {
+    /// A bundle holding just a transaction capture (the txn-only
+    /// harness shape).
+    pub fn from_capture(capture: Capture) -> EvidenceBundle {
+        let mut bundle = EvidenceBundle::default();
+        bundle.insert(ChannelData::Txn(capture));
+        bundle
+    }
+
+    /// Inserts (or replaces) one channel's payload.
+    pub fn insert(&mut self, data: ChannelData) {
+        self.channels.insert(data.channel(), data);
+    }
+
+    /// Installs a channel's golden calibration repetitions (primary run
+    /// first, by convention).
+    pub fn insert_calibration(&mut self, channel: Channel, runs: Vec<ChannelData>) {
+        self.calibration.insert(channel, runs);
+    }
+
+    /// One channel's payload, if present.
+    pub fn get(&self, channel: Channel) -> Option<&ChannelData> {
+        self.channels.get(&channel)
+    }
+
+    /// One channel's calibration repetitions (empty when none).
+    pub fn calibration(&self, channel: Channel) -> &[ChannelData] {
+        self.calibration.get(&channel).map_or(&[], Vec::as_slice)
+    }
+
+    /// The channels present, in canonical order.
+    pub fn channels(&self) -> impl Iterator<Item = Channel> + '_ {
+        self.channels.keys().copied()
+    }
+
+    /// The transaction capture, if captured.
+    pub fn capture(&self) -> Option<&Capture> {
+        match self.channels.get(&Channel::Txn) {
+            Some(ChannelData::Txn(c)) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The power waveform, if synthesized.
+    pub fn power(&self) -> Option<&PowerTrace> {
+        match self.channels.get(&Channel::Power) {
+            Some(ChannelData::Power(t)) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The acoustic envelope, if synthesized.
+    pub fn acoustic(&self) -> Option<&AcousticTrace> {
+        match self.channels.get(&Channel::Acoustic) {
+            Some(ChannelData::Acoustic(t)) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The thermal-scene trace, if synthesized.
+    pub fn thermal(&self) -> Option<&ThermalTrace> {
+        match self.channels.get(&Channel::Thermal) {
+            Some(ChannelData::Thermal(t)) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// A channel's calibration repetitions as sample slices (skipping
+    /// any non-sampled payloads).
+    fn calibration_samples(&self, channel: Channel) -> Vec<&[f64]> {
+        self.calibration(channel)
+            .iter()
+            .filter_map(ChannelData::samples)
+            .collect()
+    }
 }
 
 /// One detector's judgment as sufficient statistics: everything needed
@@ -63,13 +278,13 @@ pub struct EvidenceBundle {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Evidence {
     /// The detector that produced this evidence (e.g. `"txn"`,
-    /// `"power"`).
+    /// `"power"`, `"acoustic"`, `"thermal"`).
     pub detector: String,
     /// The detector's own alarm; `None` when the evidence stream it
     /// needs was absent (an unjudged scenario, not a clean one).
     pub alarmed: Option<bool>,
     /// Units with an out-of-band signal: mismatching transactions for
-    /// the step-count judge, anomalous windows for the power judge.
+    /// the step-count judge, anomalous windows for the sampled judges.
     pub flagged: usize,
     /// Individual out-of-band values (a transaction with two bad axes
     /// counts twice); equals `flagged` for window-based judges.
@@ -80,7 +295,7 @@ pub struct Evidence {
     /// unjudged.
     pub threshold: Option<f64>,
     /// Largest deviation seen: percent difference for the step-count
-    /// judge, watts for the power judge.
+    /// judge, watts / a.u. / °C for the sampled judges.
     pub peak: f64,
     /// The end-of-print 0 %-margin totals check (transaction judge
     /// only; `None` elsewhere).
@@ -116,10 +331,24 @@ impl Evidence {
             self.flagged as f64 / self.compared as f64
         }
     }
+
+    /// Evidence from a sampled-channel comparison report.
+    fn from_report(detector: &'static str, report: SideChannelReport, base: f64) -> Evidence {
+        Evidence {
+            detector: detector.into(),
+            alarmed: Some(report.sabotage_suspected),
+            flagged: report.anomalous_windows,
+            flagged_values: report.anomalous_windows,
+            compared: report.windows_compared,
+            threshold: Some(base),
+            peak: report.largest_deviation_w,
+            final_totals_match: None,
+        }
+    }
 }
 
 /// How a suite combines its detectors' alarms into one verdict.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum FusionPolicy {
     /// Alarm when *any* judged detector alarms (the default: every
     /// independent evidence channel gets veto power over "clean").
@@ -128,39 +357,148 @@ pub enum FusionPolicy {
     /// Alarm only when *every* judged detector alarms (at least one
     /// must have judged).
     All,
+    /// Weighted voting: alarm when the weight of alarming judged
+    /// detectors reaches `threshold` of the total judged weight (and at
+    /// least one weighted detector alarms). `weights` maps detector
+    /// names to non-negative weights; an empty list weighs every judged
+    /// detector equally. The boundaries degenerate exactly:
+    /// `threshold = 0` is [`FusionPolicy::Any`], `threshold = 1` is
+    /// [`FusionPolicy::All`] (over the positively weighted detectors).
+    Weighted {
+        /// Per-detector weights, in canonical (suite) order; empty =
+        /// equal weights.
+        weights: Vec<(String, f64)>,
+        /// Fraction of the judged weight that must alarm, in `[0, 1]`.
+        threshold: f64,
+    },
 }
 
 impl FusionPolicy {
     /// Fuses per-detector evidence into the suite alarm. Unjudged
     /// evidence neither alarms nor vetoes.
-    pub fn fuse(self, evidence: &[Evidence]) -> bool {
-        let judged: Vec<bool> = evidence.iter().filter_map(|e| e.alarmed).collect();
+    pub fn fuse(&self, evidence: &[Evidence]) -> bool {
         match self {
-            FusionPolicy::Any => judged.iter().any(|&a| a),
-            FusionPolicy::All => !judged.is_empty() && judged.iter().all(|&a| a),
+            FusionPolicy::Any => evidence.iter().filter_map(|e| e.alarmed).any(|a| a),
+            FusionPolicy::All => {
+                let judged: Vec<bool> = evidence.iter().filter_map(|e| e.alarmed).collect();
+                !judged.is_empty() && judged.iter().all(|&a| a)
+            }
+            FusionPolicy::Weighted { weights, threshold } => {
+                let votes = evidence
+                    .iter()
+                    .filter_map(|e| e.alarmed.map(|a| (e.detector.as_str(), a)));
+                weighted_vote(weights, *threshold, votes)
+            }
         }
     }
 
-    /// Parses `"any"` / `"all"`.
+    /// Parses a fusion policy:
+    ///
+    /// * `any` / `all`;
+    /// * `weighted` — equal weights, threshold 0.5;
+    /// * `weighted@0.3` — equal weights, explicit threshold;
+    /// * `weighted:txn=1,power=0.5@0.3` — explicit weights (and
+    ///   optional `@threshold`, default 0.5).
     ///
     /// # Errors
     ///
-    /// Returns the unknown name back.
+    /// Returns a description of the malformed policy.
     pub fn parse(name: &str) -> Result<FusionPolicy, String> {
-        match name.to_ascii_lowercase().as_str() {
-            "any" => Ok(FusionPolicy::Any),
-            "all" => Ok(FusionPolicy::All),
-            other => Err(format!("unknown fusion policy {other:?} (any|all)")),
+        let name = name.trim().to_ascii_lowercase();
+        match name.as_str() {
+            "any" => return Ok(FusionPolicy::Any),
+            "all" => return Ok(FusionPolicy::All),
+            _ => {}
+        }
+        let Some(rest) = name.strip_prefix("weighted") else {
+            return Err(format!(
+                "unknown fusion policy {name:?} (any|all|weighted[:d=w,...][@threshold])"
+            ));
+        };
+        let (spec, threshold) = match rest.rsplit_once('@') {
+            Some((spec, t)) => {
+                let t: f64 = t
+                    .parse()
+                    .map_err(|_| format!("bad weighted threshold in {name:?}"))?;
+                (spec, t)
+            }
+            None => (rest, 0.5),
+        };
+        if !(0.0..=1.0).contains(&threshold) {
+            return Err(format!("weighted threshold must be in [0, 1] in {name:?}"));
+        }
+        let mut weights = Vec::new();
+        if let Some(list) = spec.strip_prefix(':') {
+            for part in list.split(',').filter(|p| !p.is_empty()) {
+                let (det, w) = part
+                    .split_once('=')
+                    .ok_or_else(|| format!("weighted wants d=w pairs, got {part:?}"))?;
+                let w: f64 = w
+                    .parse()
+                    .map_err(|_| format!("bad weight for {det:?} in {name:?}"))?;
+                if !(w.is_finite() && w >= 0.0) {
+                    return Err(format!("weight for {det:?} must be >= 0 in {name:?}"));
+                }
+                weights.push((det.trim().to_string(), w));
+            }
+            if weights.is_empty() {
+                return Err(format!("empty weight list in {name:?}"));
+            }
+        } else if !spec.is_empty() {
+            return Err(format!("unknown fusion policy {name:?}"));
+        }
+        Ok(FusionPolicy::Weighted { weights, threshold })
+    }
+}
+
+/// The weighted-vote rule shared by live fusion and offline weighted
+/// re-judging (`offramps_bench::analytics`): alarm when the alarming
+/// judged weight reaches `threshold` of the total judged weight and at
+/// least one positively weighted detector alarms. An empty weight list
+/// weighs every judged detector at 1; detectors absent from a non-empty
+/// list weigh 0.
+pub fn weighted_vote<'a>(
+    weights: &[(String, f64)],
+    threshold: f64,
+    votes: impl Iterator<Item = (&'a str, bool)>,
+) -> bool {
+    let weight_of = |det: &str| -> f64 {
+        if weights.is_empty() {
+            1.0
+        } else {
+            weights
+                .iter()
+                .find(|(name, _)| name == det)
+                .map_or(0.0, |(_, w)| *w)
+        }
+    };
+    let mut total = 0.0;
+    let mut alarmed = 0.0;
+    for (det, alarm) in votes {
+        let w = weight_of(det);
+        total += w;
+        if alarm {
+            alarmed += w;
         }
     }
+    total > 0.0 && alarmed > 0.0 && alarmed >= threshold * total
 }
 
 impl fmt::Display for FusionPolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            FusionPolicy::Any => "any",
-            FusionPolicy::All => "all",
-        })
+        match self {
+            FusionPolicy::Any => f.write_str("any"),
+            FusionPolicy::All => f.write_str("all"),
+            FusionPolicy::Weighted { weights, threshold } => {
+                if weights.is_empty() {
+                    write!(f, "weighted@{threshold}")
+                } else {
+                    let parts: Vec<String> =
+                        weights.iter().map(|(d, w)| format!("{d}={w}")).collect();
+                    write!(f, "weighted:{}@{threshold}", parts.join(","))
+                }
+            }
+        }
     }
 }
 
@@ -189,33 +527,33 @@ impl Verdict {
     pub fn power(&self) -> Option<&Evidence> {
         self.evidence_for(PowerSideChannelDetector::NAME)
     }
+
+    /// Shorthand for the acoustic judge's evidence.
+    pub fn acoustic(&self) -> Option<&Evidence> {
+        self.evidence_for(AcousticDetector::NAME)
+    }
+
+    /// Shorthand for the thermal judge's evidence.
+    pub fn thermal(&self) -> Option<&Evidence> {
+        self.evidence_for(ThermalDetector::NAME)
+    }
 }
 
 /// A named judge over evidence bundles.
 pub trait Detector: Send + Sync + fmt::Debug {
-    /// Short stable name (`"txn"`, `"power"`); keys evidence and CLI
-    /// selection.
+    /// Short stable name (`"txn"`, `"power"`, `"acoustic"`,
+    /// `"thermal"`); keys evidence and CLI selection.
     fn name(&self) -> &'static str;
 
     /// Canonical rendering of every knob that shapes this detector's
     /// verdicts — the content-address component for cached results.
     fn policy(&self) -> String;
 
-    /// Whether this detector needs a power trace captured.
-    fn needs_power(&self) -> bool {
-        false
-    }
-
-    /// How many repeated golden prints this detector wants for
-    /// calibration (0 = a single golden run suffices).
-    fn golden_power_runs(&self) -> usize {
-        0
-    }
-
-    /// The electrical model a harness should synthesize power traces
-    /// with, when this detector consumes them.
-    fn power_model(&self) -> Option<PowerModel> {
-        None
+    /// The channels this detector consumes: what to synthesize, and how
+    /// many golden calibration repetitions each channel wants. The
+    /// default is the bare transaction capture.
+    fn channels(&self) -> Vec<ChannelRequest> {
+        vec![ChannelRequest::capture()]
     }
 
     /// Judges an observed print against the golden evidence.
@@ -265,7 +603,7 @@ impl Detector for TransactionDetector {
     }
 
     fn judge(&self, golden: &EvidenceBundle, observed: &EvidenceBundle) -> Evidence {
-        let (Some(golden), Some(observed)) = (&golden.capture, &observed.capture) else {
+        let (Some(golden), Some(observed)) = (golden.capture(), observed.capture()) else {
             return Evidence::unjudged(self.name());
         };
         let n = golden.len().min(observed.len());
@@ -344,39 +682,204 @@ impl Detector for PowerSideChannelDetector {
         )
     }
 
-    fn needs_power(&self) -> bool {
-        true
-    }
-
-    fn golden_power_runs(&self) -> usize {
-        self.calibration_runs.max(1)
-    }
-
-    fn power_model(&self) -> Option<PowerModel> {
-        Some(self.model)
+    fn channels(&self) -> Vec<ChannelRequest> {
+        vec![ChannelRequest {
+            synth: ChannelSynth::Power(self.model),
+            calibration_runs: self.calibration_runs.max(1),
+        }]
     }
 
     fn judge(&self, golden: &EvidenceBundle, observed: &EvidenceBundle) -> Evidence {
-        let Some(observed_power) = &observed.power else {
+        let Some(observed_power) = observed.power() else {
             return Evidence::unjudged(self.name());
         };
-        let report = if golden.power_calibration.len() >= 2 {
-            CalibratedPowerDetector::calibrate(&golden.power_calibration, self.config)
-                .compare(observed_power)
-        } else if let Some(golden_power) = &golden.power {
-            PowerDetector::new(golden_power.clone(), self.config).compare(observed_power)
-        } else {
+        let calibration = golden.calibration_samples(Channel::Power);
+        let report = compare_sampled(
+            &calibration,
+            golden.power().map(PowerTrace::samples),
+            observed_power.samples(),
+            self.config.into(),
+        );
+        match report {
+            Some(report) => {
+                Evidence::from_report(self.name(), report, self.config.suspect_fraction)
+            }
+            None => Evidence::unjudged(self.name()),
+        }
+    }
+}
+
+/// The acoustic/EM side-channel judge: the stepper emission envelope
+/// ([`AcousticModel`]) compared window by window against a
+/// repetition-calibrated golden profile. Its click term makes it the
+/// detector of choice for feed-rate/void Trojans that keep per-window
+/// step *counts* (and therefore the power envelope) intact while
+/// breaking the step *cadence*.
+#[derive(Debug, Clone)]
+pub struct AcousticDetector {
+    /// Comparator tuning (sigma threshold, smoothing, suspect
+    /// fraction; `noise_sigma` must match the model's).
+    pub config: ComparatorConfig,
+    /// Emission model the acoustic envelopes are synthesized with.
+    pub model: AcousticModel,
+    /// Golden repetitions to calibrate from.
+    pub calibration_runs: usize,
+}
+
+impl AcousticDetector {
+    /// The detector's stable name.
+    pub const NAME: &'static str = "acoustic";
+
+    /// The campaign default: 1 s comparison windows over 20 ms frames
+    /// (averaging out move-boundary tone jitter the way the power judge
+    /// does), five golden repetitions (shared with the other calibrated
+    /// detectors), and a 5 % suspect fraction — emission is informative
+    /// only while motors run, so the long silent heat-up dilutes the
+    /// anomalous-window fraction and the bar sits lower than the power
+    /// judge's.
+    pub fn campaign() -> AcousticDetector {
+        let model = AcousticModel::default();
+        AcousticDetector {
+            config: ComparatorConfig {
+                sigma_threshold: 5.0,
+                noise_sigma: model.noise_sigma,
+                smoothing: 50,
+                suspect_fraction: 0.05,
+            },
+            model,
+            calibration_runs: 5,
+        }
+    }
+}
+
+impl Detector for AcousticDetector {
+    fn name(&self) -> &'static str {
+        AcousticDetector::NAME
+    }
+
+    fn policy(&self) -> String {
+        format!(
+            "sigma={};noise={};smooth={};base={};calib={};rate_hz={};tone={};click={};ratio={};mic_noise={}",
+            self.config.sigma_threshold,
+            self.config.noise_sigma,
+            self.config.smoothing,
+            self.config.suspect_fraction,
+            self.calibration_runs,
+            self.model.sample_rate_hz,
+            self.model.tone_per_kstep,
+            self.model.click_unit,
+            self.model.click_ratio,
+            self.model.noise_sigma,
+        )
+    }
+
+    fn channels(&self) -> Vec<ChannelRequest> {
+        vec![ChannelRequest {
+            synth: ChannelSynth::Acoustic(self.model),
+            calibration_runs: self.calibration_runs.max(1),
+        }]
+    }
+
+    fn judge(&self, golden: &EvidenceBundle, observed: &EvidenceBundle) -> Evidence {
+        let Some(observed_trace) = observed.acoustic() else {
             return Evidence::unjudged(self.name());
         };
-        Evidence {
-            detector: self.name().into(),
-            alarmed: Some(report.sabotage_suspected),
-            flagged: report.anomalous_windows,
-            flagged_values: report.anomalous_windows,
-            compared: report.windows_compared,
-            threshold: Some(self.config.suspect_fraction),
-            peak: report.largest_deviation_w,
-            final_totals_match: None,
+        let calibration = golden.calibration_samples(Channel::Acoustic);
+        let report = compare_sampled(
+            &calibration,
+            golden.acoustic().map(AcousticTrace::samples),
+            observed_trace.samples(),
+            self.config,
+        );
+        match report {
+            Some(report) => {
+                Evidence::from_report(self.name(), report, self.config.suspect_fraction)
+            }
+            None => Evidence::unjudged(self.name()),
+        }
+    }
+}
+
+/// The thermal-camera judge: the hotend+bed radiance proxy
+/// ([`ThermalCamera`]) compared against a repetition-calibrated golden
+/// profile, in °C. It catches temperature-manipulation attacks —
+/// forced-on MOSFETs, thermistor miscalibrations driving the control
+/// loop hot — that leave the motion plane (and therefore the txn,
+/// power and acoustic channels) spotless.
+#[derive(Debug, Clone)]
+pub struct ThermalDetector {
+    /// Comparator tuning (sigma threshold, smoothing, suspect
+    /// fraction; `noise_sigma` must match the camera's).
+    pub config: ComparatorConfig,
+    /// Camera model the thermal traces are synthesized with.
+    pub camera: ThermalCamera,
+    /// Golden repetitions to calibrate from.
+    pub calibration_runs: usize,
+}
+
+impl ThermalDetector {
+    /// The detector's stable name.
+    pub const NAME: &'static str = "thermal";
+
+    /// The campaign default: 2 s comparison windows over 0.5 s frames,
+    /// five golden repetitions (shared with the other calibrated
+    /// detectors).
+    pub fn campaign() -> ThermalDetector {
+        let camera = ThermalCamera::default();
+        ThermalDetector {
+            config: ComparatorConfig {
+                sigma_threshold: 5.0,
+                noise_sigma: camera.noise_sigma_c,
+                smoothing: 4,
+                suspect_fraction: 0.15,
+            },
+            camera,
+            calibration_runs: 5,
+        }
+    }
+}
+
+impl Detector for ThermalDetector {
+    fn name(&self) -> &'static str {
+        ThermalDetector::NAME
+    }
+
+    fn policy(&self) -> String {
+        format!(
+            "sigma={};noise={};smooth={};base={};calib={};frame_ms={};cam_noise={}",
+            self.config.sigma_threshold,
+            self.config.noise_sigma,
+            self.config.smoothing,
+            self.config.suspect_fraction,
+            self.calibration_runs,
+            self.camera.frame_period_ms,
+            self.camera.noise_sigma_c,
+        )
+    }
+
+    fn channels(&self) -> Vec<ChannelRequest> {
+        vec![ChannelRequest {
+            synth: ChannelSynth::Thermal(self.camera),
+            calibration_runs: self.calibration_runs.max(1),
+        }]
+    }
+
+    fn judge(&self, golden: &EvidenceBundle, observed: &EvidenceBundle) -> Evidence {
+        let Some(observed_trace) = observed.thermal() else {
+            return Evidence::unjudged(self.name());
+        };
+        let calibration = golden.calibration_samples(Channel::Thermal);
+        let report = compare_sampled(
+            &calibration,
+            golden.thermal().map(ThermalTrace::samples),
+            observed_trace.samples(),
+            self.config,
+        );
+        match report {
+            Some(report) => {
+                Evidence::from_report(self.name(), report, self.config.suspect_fraction)
+            }
+            None => Evidence::unjudged(self.name()),
         }
     }
 }
@@ -393,7 +896,9 @@ impl DetectorSuite {
     ///
     /// # Errors
     ///
-    /// Rejects an empty suite or duplicate detector names.
+    /// Rejects an empty suite, duplicate detector names, or a weighted
+    /// fusion policy naming a detector outside the suite (or with no
+    /// positive weight at all).
     pub fn new(
         detectors: Vec<Box<dyn Detector>>,
         fusion: FusionPolicy,
@@ -405,6 +910,26 @@ impl DetectorSuite {
         for d in &detectors {
             if !seen.insert(d.name()) {
                 return Err(format!("duplicate detector {:?} in suite", d.name()));
+            }
+        }
+        if let FusionPolicy::Weighted { weights, threshold } = &fusion {
+            if !(threshold.is_finite() && (0.0..=1.0).contains(threshold)) {
+                return Err("weighted fusion threshold must be in [0, 1]".into());
+            }
+            let mut named = std::collections::HashSet::new();
+            for (name, w) in weights {
+                if !seen.contains(name.as_str()) {
+                    return Err(format!("weighted fusion names unknown detector {name:?}"));
+                }
+                if !named.insert(name.as_str()) {
+                    return Err(format!("duplicate weight for detector {name:?}"));
+                }
+                if !(w.is_finite() && *w >= 0.0) {
+                    return Err(format!("weight for {name:?} must be >= 0"));
+                }
+            }
+            if !weights.is_empty() && weights.iter().all(|(_, w)| *w == 0.0) {
+                return Err("weighted fusion needs at least one positive weight".into());
             }
         }
         Ok(DetectorSuite { detectors, fusion })
@@ -430,29 +955,52 @@ impl DetectorSuite {
     }
 
     /// The fusion policy.
-    pub fn fusion(&self) -> FusionPolicy {
-        self.fusion
+    pub fn fusion(&self) -> &FusionPolicy {
+        &self.fusion
     }
 
-    /// Whether any detector needs a power trace captured.
-    pub fn needs_power(&self) -> bool {
-        self.detectors.iter().any(|d| d.needs_power())
+    /// The merged channel plan: every channel some detector consumes,
+    /// in first-declared order, with the *first* declarer's synthesis
+    /// model and the *largest* calibration-repetition request across
+    /// declarers. This is what the harness provisions — channels are
+    /// synthesized once and calibration reruns are shared, however many
+    /// detectors consume them.
+    pub fn channel_plan(&self) -> Vec<ChannelRequest> {
+        let mut plan: Vec<ChannelRequest> = Vec::new();
+        for d in &self.detectors {
+            for request in d.channels() {
+                match plan
+                    .iter_mut()
+                    .find(|r| r.synth.channel() == request.synth.channel())
+                {
+                    Some(existing) => {
+                        existing.calibration_runs =
+                            existing.calibration_runs.max(request.calibration_runs);
+                    }
+                    None => plan.push(request),
+                }
+            }
+        }
+        plan
     }
 
-    /// The most golden power repetitions any detector wants (0 when
-    /// none consume power).
-    pub fn golden_power_runs(&self) -> usize {
-        self.detectors
+    /// Whether any planned channel needs the plant-side signal trace
+    /// recorded.
+    pub fn needs_plant_trace(&self) -> bool {
+        self.channel_plan()
             .iter()
-            .map(|d| d.golden_power_runs())
+            .any(|r| r.synth.needs_plant_trace())
+    }
+
+    /// The most golden repetition runs any detector wants for
+    /// calibration (0 when no detector calibrates; the shared golden
+    /// reruns satisfy every calibrated channel at once).
+    pub fn calibration_runs(&self) -> usize {
+        self.channel_plan()
+            .iter()
+            .map(|r| r.calibration_runs)
             .max()
             .unwrap_or(0)
-    }
-
-    /// The electrical model power traces should be synthesized with
-    /// (the first power-consuming detector's).
-    pub fn power_model(&self) -> Option<PowerModel> {
-        self.detectors.iter().find_map(|d| d.power_model())
     }
 
     /// The canonical rendering of the whole judging policy. A
@@ -522,10 +1070,7 @@ mod tests {
     }
 
     fn capture_bundle(cap: Capture) -> EvidenceBundle {
-        EvidenceBundle {
-            capture: Some(cap),
-            ..EvidenceBundle::default()
-        }
+        EvidenceBundle::from_capture(cap)
     }
 
     fn step_trace(period_us: u64, seconds: u64) -> SignalTrace {
@@ -578,22 +1123,20 @@ mod tests {
     fn power_detector_calibrated_judges_sustained_change() {
         let det = PowerSideChannelDetector::campaign();
         let model = det.model;
-        let golden_runs: Vec<PowerTrace> = (0..5)
-            .map(|s| model.synthesize(&step_trace(250, 5), s))
+        let golden_runs: Vec<ChannelData> = (0..5)
+            .map(|s| ChannelData::Power(model.synthesize(&step_trace(250, 5), s)))
             .collect();
-        let golden = EvidenceBundle {
-            power: Some(golden_runs[0].clone()),
-            power_calibration: golden_runs,
-            ..EvidenceBundle::default()
-        };
-        let clean = EvidenceBundle {
-            power: Some(model.synthesize(&step_trace(250, 5), 99)),
-            ..EvidenceBundle::default()
-        };
-        let attacked = EvidenceBundle {
-            power: Some(model.synthesize(&step_trace(500, 5), 99)),
-            ..EvidenceBundle::default()
-        };
+        let mut golden = EvidenceBundle::default();
+        golden.insert(golden_runs[0].clone());
+        golden.insert_calibration(Channel::Power, golden_runs);
+        let mut clean = EvidenceBundle::default();
+        clean.insert(ChannelData::Power(
+            model.synthesize(&step_trace(250, 5), 99),
+        ));
+        let mut attacked = EvidenceBundle::default();
+        attacked.insert(ChannelData::Power(
+            model.synthesize(&step_trace(500, 5), 99),
+        ));
         let clean_ev = det.judge(&golden, &clean);
         assert_eq!(clean_ev.alarmed, Some(false), "{clean_ev:?}");
         assert!(clean_ev.compared > 0);
@@ -602,21 +1145,86 @@ mod tests {
         assert!(attacked_ev.peak > 1.0, "watts of sustained deviation");
         assert_eq!(attacked_ev.flagged, attacked_ev.flagged_values);
         // Single golden profile (no calibration repeats) still judges.
-        let single = EvidenceBundle {
-            power: Some(model.synthesize(&step_trace(250, 5), 1)),
-            ..EvidenceBundle::default()
-        };
+        let mut single = EvidenceBundle::default();
+        single.insert(ChannelData::Power(model.synthesize(&step_trace(250, 5), 1)));
         assert!(det.judge(&single, &attacked).judged());
         // No power at all: unjudged.
         assert!(!det.judge(&golden, &EvidenceBundle::default()).judged());
     }
 
     #[test]
-    fn fusion_policies() {
-        let ev = |name: &str, alarmed: Option<bool>| Evidence {
+    fn acoustic_detector_hears_cadence_breaks() {
+        let det = AcousticDetector::campaign();
+        let model = det.model;
+        // Golden: a steady train. Attacked: same rate with every 10th
+        // pulse masked — per-window counts barely change, the cadence
+        // does.
+        let steady = step_trace(250, 5);
+        let mut masked = SignalTrace::new();
+        let mut at = Tick::ZERO;
+        let mut i = 0u64;
+        while at < Tick::from_secs(5) {
+            if i % 10 != 9 {
+                masked.record(at, LogicEvent::new(Pin::XStep, Level::High));
+                masked.record(
+                    at + SimDuration::from_micros(2),
+                    LogicEvent::new(Pin::XStep, Level::Low),
+                );
+            }
+            at += SimDuration::from_micros(250);
+            i += 1;
+        }
+        let runs: Vec<ChannelData> = (0..5)
+            .map(|s| ChannelData::Acoustic(model.synthesize(&steady, s)))
+            .collect();
+        let mut golden = EvidenceBundle::default();
+        golden.insert(runs[0].clone());
+        golden.insert_calibration(Channel::Acoustic, runs);
+        let mut clean = EvidenceBundle::default();
+        clean.insert(ChannelData::Acoustic(model.synthesize(&steady, 99)));
+        let mut voided = EvidenceBundle::default();
+        voided.insert(ChannelData::Acoustic(model.synthesize(&masked, 99)));
+        assert_eq!(det.judge(&golden, &clean).alarmed, Some(false));
+        let ev = det.judge(&golden, &voided);
+        assert_eq!(ev.alarmed, Some(true), "{ev:?}");
+        assert!(!det.judge(&golden, &EvidenceBundle::default()).judged());
+    }
+
+    #[test]
+    fn thermal_detector_sees_hotter_scene() {
+        let det = ThermalDetector::campaign();
+        let camera = det.camera;
+        let scene = |offset: f64| -> Vec<(Tick, f64, f64)> {
+            (0..600)
+                .map(|i| (Tick::from_millis(i * 100), 210.0, 60.0 + offset))
+                .collect()
+        };
+        let runs: Vec<ChannelData> = (0..5)
+            .map(|s| ChannelData::Thermal(camera.synthesize(&scene(0.0), s)))
+            .collect();
+        let mut golden = EvidenceBundle::default();
+        golden.insert(runs[0].clone());
+        golden.insert_calibration(Channel::Thermal, runs);
+        let mut clean = EvidenceBundle::default();
+        clean.insert(ChannelData::Thermal(camera.synthesize(&scene(0.0), 99)));
+        let mut hot = EvidenceBundle::default();
+        hot.insert(ChannelData::Thermal(camera.synthesize(&scene(12.0), 99)));
+        assert_eq!(det.judge(&golden, &clean).alarmed, Some(false));
+        let ev = det.judge(&golden, &hot);
+        assert_eq!(ev.alarmed, Some(true), "{ev:?}");
+        assert!(ev.peak > 10.0, "°C of sustained deviation: {ev:?}");
+        assert!(!det.judge(&golden, &EvidenceBundle::default()).judged());
+    }
+
+    fn ev(name: &str, alarmed: Option<bool>) -> Evidence {
+        Evidence {
             alarmed,
             ..Evidence::unjudged(name)
-        };
+        }
+    }
+
+    #[test]
+    fn fusion_policies() {
         let both = [ev("a", Some(true)), ev("b", Some(false))];
         assert!(FusionPolicy::Any.fuse(&both));
         assert!(!FusionPolicy::All.fuse(&both));
@@ -631,6 +1239,87 @@ mod tests {
         assert!(!FusionPolicy::All.fuse(&none));
         assert_eq!(FusionPolicy::parse("ALL").unwrap(), FusionPolicy::All);
         assert!(FusionPolicy::parse("most").is_err());
+    }
+
+    #[test]
+    fn weighted_fusion_degenerates_to_any_and_all_at_the_boundaries() {
+        let weighted = |threshold: f64| FusionPolicy::Weighted {
+            weights: Vec::new(),
+            threshold,
+        };
+        // Every judged/alarmed combination over three detectors: the
+        // boundary thresholds must agree with any/all *exactly*.
+        let states = [None, Some(false), Some(true)];
+        for a in states {
+            for b in states {
+                for c in states {
+                    let evidence = [ev("a", a), ev("b", b), ev("c", c)];
+                    assert_eq!(
+                        weighted(0.0).fuse(&evidence),
+                        FusionPolicy::Any.fuse(&evidence),
+                        "threshold 0 must be any: {evidence:?}"
+                    );
+                    assert_eq!(
+                        weighted(1.0).fuse(&evidence),
+                        FusionPolicy::All.fuse(&evidence),
+                        "threshold 1 must be all: {evidence:?}"
+                    );
+                }
+            }
+        }
+        // Majority voting sits between the two.
+        let majority = weighted(0.5);
+        assert!(majority.fuse(&[
+            ev("a", Some(true)),
+            ev("b", Some(true)),
+            ev("c", Some(false))
+        ]));
+        assert!(!majority.fuse(&[
+            ev("a", Some(true)),
+            ev("b", Some(false)),
+            ev("c", Some(false))
+        ]));
+        // Zero-weighting a detector removes its vote.
+        let muted = FusionPolicy::Weighted {
+            weights: vec![("a".into(), 1.0), ("b".into(), 0.0)],
+            threshold: 0.5,
+        };
+        assert!(!muted.fuse(&[ev("a", Some(false)), ev("b", Some(true))]));
+        assert!(muted.fuse(&[ev("a", Some(true)), ev("b", Some(false))]));
+        // Detectors absent from a non-empty weight list weigh zero.
+        assert!(muted.fuse(&[ev("a", Some(true)), ev("zzz", Some(false))]));
+    }
+
+    #[test]
+    fn weighted_policy_parses_and_renders() {
+        let p = FusionPolicy::parse("weighted").unwrap();
+        assert_eq!(
+            p,
+            FusionPolicy::Weighted {
+                weights: Vec::new(),
+                threshold: 0.5
+            }
+        );
+        assert_eq!(p.to_string(), "weighted@0.5");
+        let p = FusionPolicy::parse("weighted@0.25").unwrap();
+        assert_eq!(p.to_string(), "weighted@0.25");
+        let p = FusionPolicy::parse("weighted:txn=1,power=0.5@0.75").unwrap();
+        assert_eq!(
+            p.to_string(),
+            "weighted:txn=1@0.75".replace("txn=1", "txn=1,power=0.5")
+        );
+        // Round-trips through its own rendering.
+        assert_eq!(FusionPolicy::parse(&p.to_string()).unwrap(), p);
+        for bad in [
+            "weighted@1.5",
+            "weighted@x",
+            "weighted:txn@0.5",
+            "weighted:txn=-1",
+            "weighted:",
+            "weightedx",
+        ] {
+            assert!(FusionPolicy::parse(bad).is_err(), "{bad}");
+        }
     }
 
     #[test]
@@ -663,10 +1352,27 @@ mod tests {
         )
         .unwrap();
         assert_ne!(all.policy(), policy, "fusion is part of the policy");
+        let quad = DetectorSuite::new(
+            vec![
+                Box::new(TransactionDetector::campaign()),
+                Box::new(PowerSideChannelDetector::campaign()),
+                Box::new(AcousticDetector::campaign()),
+                Box::new(ThermalDetector::campaign()),
+            ],
+            FusionPolicy::Weighted {
+                weights: Vec::new(),
+                threshold: 0.5,
+            },
+        )
+        .unwrap();
+        let policy = quad.policy();
+        assert!(policy.contains("+acoustic{"), "{policy}");
+        assert!(policy.contains("+thermal{"), "{policy}");
+        assert!(policy.ends_with("|fuse=weighted@0.5"), "{policy}");
     }
 
     #[test]
-    fn suite_rejects_empty_and_duplicates() {
+    fn suite_rejects_empty_duplicates_and_bad_weights() {
         assert!(DetectorSuite::new(Vec::new(), FusionPolicy::Any).is_err());
         let err = DetectorSuite::new(
             vec![
@@ -677,6 +1383,74 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("duplicate"), "{err}");
+        let weighted = |weights: Vec<(String, f64)>, threshold: f64| {
+            DetectorSuite::new(
+                vec![
+                    Box::new(TransactionDetector::campaign()) as Box<dyn Detector>,
+                    Box::new(PowerSideChannelDetector::campaign()),
+                ],
+                FusionPolicy::Weighted { weights, threshold },
+            )
+        };
+        assert!(
+            weighted(vec![("sonar".into(), 1.0)], 0.5).is_err(),
+            "unknown name"
+        );
+        assert!(
+            weighted(vec![("txn".into(), 0.0)], 0.5).is_err(),
+            "all zero"
+        );
+        assert!(weighted(vec![("txn".into(), 1.0), ("txn".into(), 2.0)], 0.5).is_err());
+        assert!(
+            weighted(vec![("txn".into(), 1.0)], 2.0).is_err(),
+            "threshold range"
+        );
+        assert!(weighted(vec![("txn".into(), 1.0), ("power".into(), 0.5)], 0.5).is_ok());
+    }
+
+    #[test]
+    fn channel_plan_merges_and_shares_calibration() {
+        let suite = DetectorSuite::new(
+            vec![
+                Box::new(TransactionDetector::campaign()),
+                Box::new(PowerSideChannelDetector::campaign()),
+                Box::new(AcousticDetector {
+                    calibration_runs: 3,
+                    ..AcousticDetector::campaign()
+                }),
+                Box::new(ThermalDetector::campaign()),
+            ],
+            FusionPolicy::Any,
+        )
+        .unwrap();
+        let plan = suite.channel_plan();
+        let channels: Vec<Channel> = plan.iter().map(|r| r.synth.channel()).collect();
+        assert_eq!(
+            channels,
+            vec![
+                Channel::Txn,
+                Channel::Power,
+                Channel::Acoustic,
+                Channel::Thermal
+            ]
+        );
+        assert!(suite.needs_plant_trace());
+        assert_eq!(
+            suite.calibration_runs(),
+            5,
+            "shared golden reruns: the max across detectors, not the sum"
+        );
+        // A thermal-only suite never asks for the plant trace.
+        let thermal_only = DetectorSuite::new(
+            vec![Box::new(ThermalDetector::campaign())],
+            FusionPolicy::Any,
+        )
+        .unwrap();
+        assert!(!thermal_only.needs_plant_trace());
+        assert_eq!(thermal_only.calibration_runs(), 5);
+        // The txn-only default plans no calibration at all.
+        assert_eq!(DetectorSuite::transaction_default().calibration_runs(), 0);
+        assert!(!DetectorSuite::transaction_default().needs_plant_trace());
     }
 
     #[test]
@@ -689,9 +1463,8 @@ mod tests {
             FusionPolicy::Any,
         )
         .unwrap();
-        assert!(suite.needs_power());
-        assert_eq!(suite.golden_power_runs(), 5);
-        assert!(suite.power_model().is_some());
+        assert!(suite.needs_plant_trace());
+        assert_eq!(suite.calibration_runs(), 5);
         assert_eq!(suite.names(), vec!["txn", "power"]);
 
         // Transaction tamper, no power evidence: fused alarm rides on

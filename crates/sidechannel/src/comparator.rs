@@ -1,0 +1,287 @@
+//! Modality-generic golden-profile comparison over sampled scalar
+//! traces.
+//!
+//! Every physical side channel this crate models — power on the driver
+//! rail, acoustic/EM emission from the steppers, a thermal camera on
+//! the heated elements — reduces to the same judging problem: a
+//! uniformly sampled scalar waveform, compared window by window against
+//! a golden profile, with an acceptance band calibrated from repeated
+//! golden prints. This module is that comparison, factored out once so
+//! a rule change can never drift between modalities:
+//!
+//! * [`ComparatorConfig`] — sigma threshold, sensor noise, smoothing
+//!   window, suspect fraction (unit-agnostic: watts, a.u., °C);
+//! * [`CalibratedProfile`] — per-window mean and acceptance band fitted
+//!   from two or more golden repetitions (the published power-signature
+//!   systems profile ~40 repeated prints; the same trick transfers to
+//!   any repeatable channel);
+//! * [`single_profile_compare`] — the fallback when only one golden
+//!   run exists: a fixed noise-derived threshold;
+//! * [`suspect_anomaly_fraction`] — the alarm rule shared by every
+//!   live comparator and every offline threshold-sweep re-judge.
+//!
+//! The power detectors in [`crate::detector`] are thin wrappers over
+//! these primitives (their numerics are pinned byte-for-byte by tests),
+//! and the acoustic/thermal detectors in `offramps::verdict` consume
+//! them directly.
+
+/// Unit-agnostic comparator tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComparatorConfig {
+    /// A window is anomalous when its deviation exceeds this many
+    /// band sigmas (calibrated) or effective noise sigmas (single
+    /// profile).
+    pub sigma_threshold: f64,
+    /// Sensor noise sigma, in the channel's own unit.
+    pub noise_sigma: f64,
+    /// Windows are smoothed over this many samples before comparison.
+    pub smoothing: usize,
+    /// Fraction of anomalous windows above which sabotage is suspected.
+    pub suspect_fraction: f64,
+}
+
+/// Outcome of one side-channel comparison (any modality).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SideChannelReport {
+    /// Windows compared (after smoothing).
+    pub windows_compared: usize,
+    /// Windows whose smoothed deviation exceeded the threshold.
+    pub anomalous_windows: usize,
+    /// Largest smoothed deviation, in the channel's unit.
+    pub largest_deviation_w: f64,
+    /// The verdict.
+    pub sabotage_suspected: bool,
+}
+
+impl SideChannelReport {
+    /// Fraction of windows flagged.
+    pub fn anomaly_fraction(&self) -> f64 {
+        if self.windows_compared == 0 {
+            0.0
+        } else {
+            self.anomalous_windows as f64 / self.windows_compared as f64
+        }
+    }
+}
+
+/// The side-channel alarm rule: the anomalous-window fraction strictly
+/// over the suspect fraction (zero compared windows never alarm). Both
+/// live comparators and any offline re-judge (threshold-sweep
+/// analytics) go through this one helper, so a rule change can never
+/// silently diverge between them.
+pub fn suspect_anomaly_fraction(
+    anomalous_windows: usize,
+    windows_compared: usize,
+    suspect_fraction: f64,
+) -> bool {
+    let fraction = if windows_compared == 0 {
+        0.0
+    } else {
+        anomalous_windows as f64 / windows_compared as f64
+    };
+    fraction > suspect_fraction
+}
+
+/// Boxcar-averages `samples` in chunks of `k` (the time-averaging a
+/// single-shot channel gets in lieu of repetition-averaging).
+pub fn smooth(samples: &[f64], k: usize) -> Vec<f64> {
+    if k <= 1 || samples.is_empty() {
+        return samples.to_vec();
+    }
+    let mut out = Vec::with_capacity(samples.len() / k + 1);
+    for chunk in samples.chunks(k) {
+        out.push(chunk.iter().sum::<f64>() / chunk.len() as f64);
+    }
+    out
+}
+
+/// Compares an observed trace against a *single* golden profile with a
+/// fixed noise-derived threshold. Smoothing over k windows reduces the
+/// noise on each compared value by sqrt(k); the *difference* of two
+/// noisy traces has sqrt(2) more.
+pub fn single_profile_compare(
+    golden: &[f64],
+    observed: &[f64],
+    config: ComparatorConfig,
+) -> SideChannelReport {
+    let golden = smooth(golden, config.smoothing);
+    let obs = smooth(observed, config.smoothing);
+    let n = golden.len().min(obs.len());
+    let sigma_eff =
+        config.noise_sigma / (config.smoothing.max(1) as f64).sqrt() * std::f64::consts::SQRT_2;
+    let threshold = config.sigma_threshold * sigma_eff;
+    let mut anomalous = 0usize;
+    let mut largest = 0.0f64;
+    for (g, o) in golden.iter().zip(&obs).take(n) {
+        let dev = (g - o).abs();
+        largest = largest.max(dev);
+        if dev > threshold {
+            anomalous += 1;
+        }
+    }
+    let mut report = SideChannelReport {
+        windows_compared: n,
+        anomalous_windows: anomalous,
+        largest_deviation_w: largest,
+        sabotage_suspected: false,
+    };
+    report.sabotage_suspected = suspect_anomaly_fraction(anomalous, n, config.suspect_fraction);
+    report
+}
+
+/// A per-window golden profile calibrated from repeated prints: mean
+/// plus an acceptance band that widens exactly where the machine is
+/// naturally variable (move boundaries under time noise, heater
+/// bang-bang phase), floored at the sensor-noise level so a perfectly
+/// repeatable window still tolerates read-out noise.
+#[derive(Debug, Clone)]
+pub struct CalibratedProfile {
+    mean: Vec<f64>,
+    band: Vec<f64>,
+    smoothing: usize,
+    sigma_threshold: f64,
+    suspect_fraction: f64,
+}
+
+impl CalibratedProfile {
+    /// Calibrates from repeated golden runs (two or more), given as raw
+    /// sample slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two repetitions.
+    pub fn calibrate(golden_runs: &[&[f64]], config: ComparatorConfig) -> Self {
+        assert!(golden_runs.len() >= 2, "calibration needs repeated prints");
+        let smoothed: Vec<Vec<f64>> = golden_runs
+            .iter()
+            .map(|t| smooth(t, config.smoothing))
+            .collect();
+        let n = smoothed.iter().map(Vec::len).min().unwrap_or(0);
+        let m = smoothed.len() as f64;
+        let mut mean = vec![0.0; n];
+        let mut band = vec![0.0; n];
+        for w in 0..n {
+            let mu = smoothed.iter().map(|s| s[w]).sum::<f64>() / m;
+            let var = smoothed.iter().map(|s| (s[w] - mu).powi(2)).sum::<f64>() / m;
+            mean[w] = mu;
+            // Noise floor: even a perfectly repeatable window keeps the
+            // sensor-noise band.
+            let noise_floor = config.noise_sigma / (config.smoothing.max(1) as f64).sqrt();
+            band[w] = var.sqrt().max(noise_floor);
+        }
+        CalibratedProfile {
+            mean,
+            band,
+            smoothing: config.smoothing,
+            sigma_threshold: config.sigma_threshold,
+            suspect_fraction: config.suspect_fraction,
+        }
+    }
+
+    /// Compares an observed run (raw samples) against the calibrated
+    /// profile.
+    pub fn compare(&self, observed: &[f64]) -> SideChannelReport {
+        let obs = smooth(observed, self.smoothing);
+        let n = self.mean.len().min(obs.len());
+        let mut anomalous = 0usize;
+        let mut largest = 0.0f64;
+        for (i, o) in obs.iter().enumerate().take(n) {
+            let dev = (self.mean[i] - o).abs();
+            largest = largest.max(dev);
+            if dev > self.sigma_threshold * self.band[i] {
+                anomalous += 1;
+            }
+        }
+        let mut report = SideChannelReport {
+            windows_compared: n,
+            anomalous_windows: anomalous,
+            largest_deviation_w: largest,
+            sabotage_suspected: false,
+        };
+        report.sabotage_suspected = suspect_anomaly_fraction(anomalous, n, self.suspect_fraction);
+        report
+    }
+}
+
+/// Judges one observed sample vector: the calibrated comparator when
+/// two or more golden repetitions exist, the single-profile fallback
+/// when only a primary golden run does, `None` when there is no golden
+/// material at all. This is the one entry point every sampled-trace
+/// detector (`power`, `acoustic`, `thermal`) routes through.
+pub fn compare_sampled(
+    calibration: &[&[f64]],
+    golden: Option<&[f64]>,
+    observed: &[f64],
+    config: ComparatorConfig,
+) -> Option<SideChannelReport> {
+    if calibration.len() >= 2 {
+        Some(CalibratedProfile::calibrate(calibration, config).compare(observed))
+    } else {
+        golden.map(|g| single_profile_compare(g, observed, config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ComparatorConfig {
+        ComparatorConfig {
+            sigma_threshold: 4.0,
+            noise_sigma: 1.5,
+            smoothing: 20,
+            suspect_fraction: 0.01,
+        }
+    }
+
+    #[test]
+    fn smoothing_reduces_vector_length_and_preserves_mean() {
+        assert_eq!(smooth(&[1.0; 100], 10).len(), 10);
+        assert_eq!(smooth(&[1.0; 5], 1).len(), 5);
+        assert!(smooth(&[], 10).is_empty());
+        let s = smooth(&[2.0, 4.0, 6.0, 8.0], 2);
+        assert_eq!(s, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn calibrated_band_floors_at_noise() {
+        // Three identical runs: band must still be the noise floor, not
+        // zero.
+        let run = vec![5.0; 100];
+        let runs: Vec<&[f64]> = vec![&run, &run, &run];
+        let profile = CalibratedProfile::calibrate(&runs, cfg());
+        let shifted: Vec<f64> = run.iter().map(|v| v + 10.0).collect();
+        let rep = profile.compare(&shifted);
+        assert!(rep.sabotage_suspected, "{rep:?}");
+        let same = profile.compare(&run);
+        assert!(!same.sabotage_suspected, "{same:?}");
+        assert_eq!(same.anomalous_windows, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated prints")]
+    fn calibration_needs_repeats() {
+        let run = vec![1.0; 10];
+        let runs: Vec<&[f64]> = vec![&run];
+        let _ = CalibratedProfile::calibrate(&runs, cfg());
+    }
+
+    #[test]
+    fn compare_sampled_selects_comparator() {
+        let golden = vec![2.0; 200];
+        let attacked: Vec<f64> = golden.iter().map(|v| v + 50.0).collect();
+        let calibration: Vec<&[f64]> = vec![&golden, &golden];
+        let rep = compare_sampled(&calibration, None, &attacked, cfg()).unwrap();
+        assert!(rep.sabotage_suspected);
+        let rep = compare_sampled(&[], Some(&golden), &attacked, cfg()).unwrap();
+        assert!(rep.sabotage_suspected);
+        assert!(compare_sampled(&[], None, &attacked, cfg()).is_none());
+    }
+
+    #[test]
+    fn alarm_rule_is_strict() {
+        assert!(!suspect_anomaly_fraction(1, 100, 0.01), "at threshold");
+        assert!(suspect_anomaly_fraction(2, 100, 0.01), "over threshold");
+        assert!(!suspect_anomaly_fraction(5, 0, 0.0), "nothing compared");
+    }
+}

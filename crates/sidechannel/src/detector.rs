@@ -1,5 +1,14 @@
 //! Golden-profile power comparison (the Gatlin-et-al.-style detector).
+//!
+//! Both power comparators are thin wrappers over the modality-generic
+//! primitives in [`crate::comparator`] — the power channel was the
+//! first sampled side channel this crate modelled, and its judging
+//! rules turned out to be exactly the ones the acoustic and thermal
+//! channels need too.
 
+use crate::comparator::{
+    single_profile_compare, CalibratedProfile, ComparatorConfig, SideChannelReport,
+};
 use crate::model::PowerTrace;
 
 /// Baseline detector tuning.
@@ -29,46 +38,15 @@ impl Default for PowerDetectorConfig {
     }
 }
 
-/// Outcome of a power side-channel comparison.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SideChannelReport {
-    /// Windows compared (after smoothing).
-    pub windows_compared: usize,
-    /// Windows whose smoothed deviation exceeded the threshold.
-    pub anomalous_windows: usize,
-    /// Largest smoothed deviation, W.
-    pub largest_deviation_w: f64,
-    /// The verdict.
-    pub sabotage_suspected: bool,
-}
-
-impl SideChannelReport {
-    /// Fraction of windows flagged.
-    pub fn anomaly_fraction(&self) -> f64 {
-        if self.windows_compared == 0 {
-            0.0
-        } else {
-            self.anomalous_windows as f64 / self.windows_compared as f64
+impl From<PowerDetectorConfig> for ComparatorConfig {
+    fn from(c: PowerDetectorConfig) -> ComparatorConfig {
+        ComparatorConfig {
+            sigma_threshold: c.sigma_threshold,
+            noise_sigma: c.noise_sigma_w,
+            smoothing: c.smoothing,
+            suspect_fraction: c.suspect_fraction,
         }
     }
-}
-
-/// The power judge's alarm rule: the anomalous-window fraction strictly
-/// over the suspect fraction (zero compared windows never alarm). Both
-/// live comparators and any offline re-judge (threshold-sweep
-/// analytics) go through this one helper, so a rule change can never
-/// silently diverge between them.
-pub fn suspect_anomaly_fraction(
-    anomalous_windows: usize,
-    windows_compared: usize,
-    suspect_fraction: f64,
-) -> bool {
-    let fraction = if windows_compared == 0 {
-        0.0
-    } else {
-        anomalous_windows as f64 / windows_compared as f64
-    };
-    fraction > suspect_fraction
 }
 
 /// The golden-profile comparator.
@@ -91,60 +69,25 @@ pub struct PowerDetector {
     config: PowerDetectorConfig,
 }
 
-fn smooth(samples: &[f64], k: usize) -> Vec<f64> {
-    if k <= 1 || samples.is_empty() {
-        return samples.to_vec();
-    }
-    let mut out = Vec::with_capacity(samples.len() / k + 1);
-    for chunk in samples.chunks(k) {
-        out.push(chunk.iter().sum::<f64>() / chunk.len() as f64);
-    }
-    out
-}
-
 impl PowerDetector {
     /// Creates the detector from a golden power trace.
     pub fn new(golden: PowerTrace, config: PowerDetectorConfig) -> Self {
         PowerDetector {
-            golden: smooth(golden.samples(), config.smoothing),
+            golden: golden.samples().to_vec(),
             config,
         }
     }
 
     /// Compares an observed trace against the golden profile.
     pub fn compare(&self, observed: &PowerTrace) -> SideChannelReport {
-        let obs = smooth(observed.samples(), self.config.smoothing);
-        let n = self.golden.len().min(obs.len());
-        // Smoothing over k windows reduces the noise on each compared
-        // value by sqrt(k); the *difference* of two noisy traces has
-        // sqrt(2) more.
-        let sigma_eff = self.config.noise_sigma_w / (self.config.smoothing.max(1) as f64).sqrt()
-            * std::f64::consts::SQRT_2;
-        let threshold = self.config.sigma_threshold * sigma_eff;
-        let mut anomalous = 0usize;
-        let mut largest = 0.0f64;
-        for (g, o) in self.golden.iter().zip(&obs).take(n) {
-            let dev = (g - o).abs();
-            largest = largest.max(dev);
-            if dev > threshold {
-                anomalous += 1;
-            }
-        }
-        let mut report = SideChannelReport {
-            windows_compared: n,
-            anomalous_windows: anomalous,
-            largest_deviation_w: largest,
-            sabotage_suspected: false,
-        };
-        report.sabotage_suspected =
-            suspect_anomaly_fraction(anomalous, n, self.config.suspect_fraction);
-        report
+        single_profile_compare(&self.golden, observed.samples(), self.config.into())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::comparator::smooth;
     use crate::model::PowerModel;
     use offramps_des::{SimDuration, Tick};
     use offramps_signals::{Level, LogicEvent, Pin, SignalTrace};
@@ -199,13 +142,34 @@ mod tests {
     }
 
     #[test]
-    fn smoothing_reduces_vector_length() {
-        assert_eq!(smooth(&[1.0; 100], 10).len(), 10);
-        assert_eq!(smooth(&[1.0; 5], 1).len(), 5);
-        assert!(smooth(&[], 10).is_empty());
-        // Mean preserved.
-        let s = smooth(&[2.0, 4.0, 6.0, 8.0], 2);
-        assert_eq!(s, vec![3.0, 7.0]);
+    fn single_profile_matches_preexisting_numerics() {
+        // The wrapper must reproduce the original inline comparison:
+        // threshold = sigma * noise/sqrt(k) * sqrt(2) over smoothed
+        // windows.
+        let model = PowerModel::default();
+        let golden = model.synthesize(&print_like_trace(250, 5), 1);
+        let observed = model.synthesize(&print_like_trace(300, 5), 2);
+        let config = PowerDetectorConfig::default();
+        let rep = PowerDetector::new(golden.clone(), config).compare(&observed);
+
+        let g = smooth(golden.samples(), config.smoothing);
+        let o = smooth(observed.samples(), config.smoothing);
+        let n = g.len().min(o.len());
+        let sigma_eff =
+            config.noise_sigma_w / (config.smoothing as f64).sqrt() * std::f64::consts::SQRT_2;
+        let threshold = config.sigma_threshold * sigma_eff;
+        let mut anomalous = 0;
+        let mut largest = 0.0f64;
+        for (a, b) in g.iter().zip(&o).take(n) {
+            let dev = (a - b).abs();
+            largest = largest.max(dev);
+            if dev > threshold {
+                anomalous += 1;
+            }
+        }
+        assert_eq!(rep.windows_compared, n);
+        assert_eq!(rep.anomalous_windows, anomalous);
+        assert_eq!(rep.largest_deviation_w, largest);
     }
 
     #[test]
@@ -226,11 +190,7 @@ mod tests {
 /// the acceptance band exactly where the machine is naturally variable.
 #[derive(Debug, Clone)]
 pub struct CalibratedPowerDetector {
-    mean: Vec<f64>,
-    band: Vec<f64>,
-    smoothing: usize,
-    sigma_threshold: f64,
-    suspect_fraction: f64,
+    profile: CalibratedProfile,
 }
 
 impl CalibratedPowerDetector {
@@ -240,54 +200,15 @@ impl CalibratedPowerDetector {
     ///
     /// Panics with fewer than two repetitions.
     pub fn calibrate(golden_runs: &[PowerTrace], config: PowerDetectorConfig) -> Self {
-        assert!(golden_runs.len() >= 2, "calibration needs repeated prints");
-        let smoothed: Vec<Vec<f64>> = golden_runs
-            .iter()
-            .map(|t| smooth(t.samples(), config.smoothing))
-            .collect();
-        let n = smoothed.iter().map(Vec::len).min().unwrap_or(0);
-        let m = smoothed.len() as f64;
-        let mut mean = vec![0.0; n];
-        let mut band = vec![0.0; n];
-        for w in 0..n {
-            let mu = smoothed.iter().map(|s| s[w]).sum::<f64>() / m;
-            let var = smoothed.iter().map(|s| (s[w] - mu).powi(2)).sum::<f64>() / m;
-            mean[w] = mu;
-            // Noise floor: even a perfectly repeatable window keeps the
-            // sensor-noise band.
-            let noise_floor = config.noise_sigma_w / (config.smoothing.max(1) as f64).sqrt();
-            band[w] = var.sqrt().max(noise_floor);
-        }
+        let samples: Vec<&[f64]> = golden_runs.iter().map(PowerTrace::samples).collect();
         CalibratedPowerDetector {
-            mean,
-            band,
-            smoothing: config.smoothing,
-            sigma_threshold: config.sigma_threshold,
-            suspect_fraction: config.suspect_fraction,
+            profile: CalibratedProfile::calibrate(&samples, config.into()),
         }
     }
 
     /// Compares an observed print against the calibrated profile.
     pub fn compare(&self, observed: &PowerTrace) -> SideChannelReport {
-        let obs = smooth(observed.samples(), self.smoothing);
-        let n = self.mean.len().min(obs.len());
-        let mut anomalous = 0usize;
-        let mut largest = 0.0f64;
-        for (i, o) in obs.iter().enumerate().take(n) {
-            let dev = (self.mean[i] - o).abs();
-            largest = largest.max(dev);
-            if dev > self.sigma_threshold * self.band[i] {
-                anomalous += 1;
-            }
-        }
-        let mut report = SideChannelReport {
-            windows_compared: n,
-            anomalous_windows: anomalous,
-            largest_deviation_w: largest,
-            sabotage_suspected: false,
-        };
-        report.sabotage_suspected = suspect_anomaly_fraction(anomalous, n, self.suspect_fraction);
-        report
+        self.profile.compare(observed.samples())
     }
 }
 

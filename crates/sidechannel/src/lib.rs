@@ -11,18 +11,28 @@
 //! directly to control signals, is uniquely able to modify or analyze
 //! prints with no loss of data."
 //!
-//! This crate makes that comparison quantitative:
+//! This crate makes that comparison quantitative — and, since PR 5,
+//! generic over *modalities*:
 //!
 //! * [`PowerModel`] — synthesizes the power waveform a shunt sensor
 //!   would see from a recorded [`SignalTrace`]: per-motor stepping power
 //!   (proportional to step rate), heater gate power, fan power, summed
 //!   into **one** channel and corrupted with Gaussian sensor noise,
-//! * [`PowerDetector`] — the golden-profile comparator: windowed
-//!   absolute deviation against the golden trace with a noise-calibrated
-//!   threshold (the published power-signature systems average ~40
-//!   repetitions to fight exactly this noise; the baseline here gets the
-//!   single-shot channel, like OFFRAMPS does),
-//! * the `baseline` experiment in `offramps-bench` runs both detectors
+//! * [`AcousticModel`] — the acoustic/EM channel: per-frame emission
+//!   intensity from the total stepping rate plus "clicks" at step-timing
+//!   discontinuities (the signature of masked/injected pulses that keep
+//!   per-window step counts — and therefore power — intact),
+//! * [`ThermalCamera`] — the thermal channel: the hotend+bed radiance
+//!   proxy resampled at camera frame rate, observing *true* plant
+//!   temperatures rather than the spoofable thermistor read-out,
+//! * [`comparator`] — the modality-generic judging core: golden-profile
+//!   windowed comparison ([`single_profile_compare`]) and the
+//!   repetition-calibrated acceptance band ([`CalibratedProfile`]) that
+//!   every sampled channel shares,
+//! * [`PowerDetector`] / [`CalibratedPowerDetector`] — the power-typed
+//!   wrappers the baseline experiment and the campaign `power` judge
+//!   use,
+//! * the `baseline` experiment in `offramps-bench` runs the detectors
 //!   over the Table II attacks and reports who catches what.
 //!
 //! [`SignalTrace`]: offramps_signals::SignalTrace
@@ -30,11 +40,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod acoustic;
+pub mod comparator;
 mod detector;
 mod model;
+mod thermal;
 
-pub use detector::{
-    suspect_anomaly_fraction, CalibratedPowerDetector, PowerDetector, PowerDetectorConfig,
-    SideChannelReport,
+pub use acoustic::{AcousticModel, AcousticTrace};
+pub use comparator::{
+    compare_sampled, single_profile_compare, suspect_anomaly_fraction, CalibratedProfile,
+    ComparatorConfig, SideChannelReport,
 };
+pub use detector::{CalibratedPowerDetector, PowerDetector, PowerDetectorConfig};
 pub use model::{PowerModel, PowerTrace};
+pub use thermal::{ThermalCamera, ThermalTrace};

@@ -144,6 +144,20 @@ impl SignalTrace {
         count
     }
 
+    /// Ticks of the rising transitions on one pin, in order. Pins reset
+    /// low, so the first recorded `High` counts; repeated same-level
+    /// entries are not edges. This is the step-timing view the
+    /// acoustic/EM side-channel model consumes: each rising STEP edge is
+    /// one motor "tick" whose spacing sets the emitted tone.
+    pub fn rising_edge_ticks(&self, pin: Pin) -> impl Iterator<Item = Tick> + '_ {
+        let mut last = Level::Low;
+        self.pin_entries(pin).filter_map(move |e| {
+            let rising = last == Level::Low && e.event.level == Level::High;
+            last = e.event.level;
+            rising.then_some(e.tick)
+        })
+    }
+
     /// Pulse statistics for one pin.
     pub fn pin_stats(&self, pin: Pin) -> PinStats {
         let mut stats = PinStats {
@@ -330,6 +344,29 @@ mod tests {
         assert!(t.entries()[0].tick < t.entries()[1].tick);
         assert!(!t.is_empty());
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn rising_edge_ticks_match_stats() {
+        let mut t = SignalTrace::new();
+        t.record(Tick::ZERO, LogicEvent::new(Pin::XStep, Level::Low));
+        pulse(&mut t, Pin::XStep, 10, 2);
+        t.record(
+            Tick::from_micros(30),
+            LogicEvent::new(Pin::XStep, Level::High),
+        );
+        // A repeated High is not a second edge.
+        t.record(
+            Tick::from_micros(31),
+            LogicEvent::new(Pin::XStep, Level::High),
+        );
+        let ticks: Vec<Tick> = t.rising_edge_ticks(Pin::XStep).collect();
+        assert_eq!(
+            ticks,
+            vec![Tick::from_micros(10), Tick::from_micros(30)],
+            "{ticks:?}"
+        );
+        assert_eq!(ticks.len() as u64, t.pin_stats(Pin::XStep).rising_edges);
     }
 
     #[test]

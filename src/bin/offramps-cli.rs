@@ -48,7 +48,8 @@ USAGE:
                         [--trojans none,t1,...,flaw3d-r90,flaw3d-rel20|all]
                         [--workloads mini,standard,tall,detection]
                         [--corpus N] [--sweep] [--list]
-                        [--detectors txn,power] [--fuse any|all]
+                        [--detectors txn,power,acoustic,thermal]
+                        [--fuse any|all|weighted[:d=w,...][@thr]]
                         [--cache DIR] [--timing-json out.json]
   offramps-cli analytics --cache DIR [--json out.json]
 
@@ -68,15 +69,27 @@ the detector reliably catches).
                   trigger-layer grids, 33 attacks) instead of --trojans
   --list          print the expanded workloads, attacks and scenario
                   count, then exit without simulating
-  --detectors     comma list of judges: txn (the paper's step-count
-                  comparison, the default) and/or power (the calibrated
-                  power side-channel over the driver rail — a tap
-                  *downstream* of the Trojan mux, so it sees signal
-                  tampering the upstream txn monitor cannot). Each
-                  scenario carries per-detector evidence in the JSON;
-                  the verdict column fuses them (--fuse any|all).
-                  Changing the suite changes scenario-store keys: no
-                  stale verdicts are ever served.
+  --detectors     comma list of judges over the observation plane:
+                  txn (the paper's step-count comparison, the default),
+                  power (the calibrated power side-channel over the
+                  driver rail — a tap *downstream* of the Trojan mux,
+                  so it sees signal tampering the upstream txn monitor
+                  cannot), acoustic (the stepper emission envelope —
+                  catches cadence-breaking feed/void Trojans whose
+                  per-window step counts, and therefore power, stay
+                  intact), and thermal (a camera on the *true* plant
+                  temperatures — catches heat tampering that leaves
+                  motion spotless, e.g. tx2:bed@8). The bench
+                  synthesizes only the channels the suite asks for and
+                  shares golden calibration reruns across detectors.
+                  Each scenario carries per-detector evidence in the
+                  JSON; the verdict column fuses them (--fuse any|all,
+                  or weighted voting: --fuse weighted@0.5 for equal
+                  weights, --fuse weighted:txn=1,power=0.5@0.5 for
+                  explicit ones — analytics calibrates weights on a
+                  stored corpus for you). Changing the suite changes
+                  scenario-store keys: no stale verdicts are ever
+                  served.
   --cache DIR     run the campaign through the persistent scenario store
                   at DIR: cached scenarios are answered from disk, only
                   new or invalidated ones are simulated, fresh results
@@ -86,12 +99,16 @@ the detector reliably catches).
                   (per-scenario wall_ms) next to the deterministic report
 
 The analytics subcommand re-judges every scenario record in a store at
-a grid of suspect-fraction thresholds (no simulation): per-attack
-detection-rate curves plus the clean-reprint false-positive curve —
-the corpus-wide ROC. Records carrying power evidence additionally get
-a power-judge curve and an any-alarm fused curve; records written
-before power evidence existed are reported (not errors) and feed only
-the transaction curves.
+a grid of suspect-fraction thresholds (no simulation): per-attack,
+per-detector detection-rate curves plus the clean-reprint
+false-positive curve — the corpus-wide ROC. Records carrying side
+evidence (power/acoustic/thermal) additionally get per-modality curves
+and an any-alarm fused curve; corpora with two or more side modalities
+also get a calibrated weighted-fusion ROC (weights fitted on the
+records, reusable via --fuse weighted:...). Records missing a modality
+are reported per detector (unjudged by <detector>: N), never errors,
+and the campaigns that populated the store are listed from their
+campaign@1 provenance records.
 ";
 
 fn main() -> ExitCode {
@@ -378,10 +395,6 @@ fn cmd_analytics(args: &[String]) -> Result<ExitCode, String> {
     }
     let report = AnalyticsReport::over(&observations, &THRESHOLD_GRID);
     print!("{}", report.summary());
-    // Records written before power evidence existed (or by
-    // transaction-only suites) parse fine but cannot feed the power or
-    // fused curves — count and report them instead of erroring.
-    let pre_power = observations.iter().filter(|o| o.power.is_none()).count();
     println!(
         "records: {}   attacks: {}   thresholds: {}   skipped: {}",
         observations.len(),
@@ -389,10 +402,41 @@ fn cmd_analytics(args: &[String]) -> Result<ExitCode, String> {
         report.thresholds.len(),
         skipped
     );
-    if pre_power > 0 {
-        println!(
-            "pre-power records: {pre_power} (no power evidence; skipped for power/fused curves)"
-        );
+    // Records missing a modality — written before that detector
+    // existed, or by suites that never ran it — parse fine but cannot
+    // feed that modality's curves: count and report them per detector
+    // instead of erroring (pre-power and pre-acoustic/pre-thermal
+    // stores report the same way).
+    for detector in offramps_bench::analytics::SIDE_DETECTOR_ORDER {
+        let unjudged = observations
+            .iter()
+            .filter(|o| !o.side_for(detector).is_some_and(|s| s.judged))
+            .count();
+        if unjudged > 0 {
+            println!(
+                "unjudged by {detector}: {unjudged} (no {detector} evidence; excluded from its curves)"
+            );
+        }
+    }
+    if let Some(weighted) = &report.weighted {
+        println!("calibrated weighted fusion: --fuse '{}'", weighted.policy());
+    }
+    // Which campaigns populated this store (campaign@1 provenance).
+    let campaigns = offramps_bench::cache::store_campaigns(&store);
+    if !campaigns.is_empty() {
+        println!("campaigns: {}", campaigns.len());
+        for c in &campaigns {
+            println!(
+                "  seed={} workloads={} attacks={} runs={} sweep={} scenarios={} policy={}",
+                c.master_seed,
+                c.workloads,
+                c.attacks,
+                c.runs_per_cell,
+                c.sweep,
+                c.scenarios,
+                c.policy
+            );
+        }
     }
     if let Some(path) = opt(args, "--json") {
         use offramps_bench::json::ToJson;
