@@ -32,7 +32,7 @@ use offramps_store::Store;
 
 use offramps::verdict::{Evidence, Verdict};
 
-use crate::campaign::{run_scenario, CampaignReport, CampaignSpec, Scenario, ScenarioResult};
+use crate::campaign::{CampaignReport, CampaignSpec, Engine, Scenario, ScenarioResult};
 use crate::json::{self, ObjectWriter, Value};
 use crate::workloads::Workload;
 
@@ -455,6 +455,23 @@ pub fn run_campaign_cached(
     threads: usize,
     store: &mut Store,
 ) -> Result<(CampaignReport, CacheStats), String> {
+    run_campaign_cached_with(spec, threads, store, Engine::default())
+}
+
+/// [`run_campaign_cached`] with an explicit execution engine for the
+/// misses. Cache keys, payloads and report artifacts are engine
+/// independent — a store warmed by the solo engine serves 100 % hits
+/// under the batched engine and vice versa.
+///
+/// # Errors
+///
+/// Same conditions as [`run_campaign_cached`].
+pub fn run_campaign_cached_with(
+    spec: &CampaignSpec,
+    threads: usize,
+    store: &mut Store,
+    engine: Engine,
+) -> Result<(CampaignReport, CacheStats), String> {
     let suite = spec.suite()?;
     let scenarios = spec.scenarios()?;
     let t0 = Instant::now();
@@ -516,14 +533,18 @@ pub fn run_campaign_cached(
             .map(|(w, bundle)| (w.label(), bundle))
             .collect();
 
-        let fresh = crate::campaign::parallel_map(&misses, threads, |sc| {
-            run_scenario(
-                sc,
-                &programs[sc.workload.as_str()],
-                &goldens[sc.workload.as_str()],
-                &suite,
-            )
-        });
+        let workload_order: Vec<&str> = workloads.iter().map(|w| w.label()).collect();
+        let fresh = crate::campaign::execute_scenarios(
+            &misses,
+            &workload_order,
+            &programs,
+            &goldens,
+            &suite,
+            threads,
+            engine,
+        );
+        // `fresh` comes back in `misses` order, which is matrix order —
+        // so store appends stay in matrix order for every engine.
         for r in fresh {
             let index = r.scenario.index;
             store

@@ -56,7 +56,9 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use offramps::verdict::{DetectorSuite, EvidenceBundle, FusionPolicy, Verdict};
-use offramps::{trojans, SignalPath, TestBench, TransactionDetector, Trojan};
+use offramps::{
+    trojans, BenchError, RunArtifacts, SignalPath, TestBench, TransactionDetector, Trojan,
+};
 use offramps_attacks::Flaw3dTrojan;
 use offramps_des::SeedSplitter;
 use offramps_gcode::Program;
@@ -555,9 +557,18 @@ impl ToJson for CampaignReport {
     }
 }
 
-/// Maps `f` over `items` on a pool of `threads` workers, preserving
-/// input order in the output. Work is claimed from a shared atomic
-/// index, so stragglers never idle the pool.
+/// Maps `f` over `items` on a pool of `threads` workers.
+///
+/// **Order-preservation invariant:** `output[i]` is `f(&items[i])`, for
+/// every `i`, regardless of which worker computed it or in what order
+/// workers finished — callers reassemble matrix-order results (and
+/// matrix-order store appends) on the strength of this, so the
+/// claiming strategy below may change but the invariant may not.
+///
+/// Work is claimed from a shared atomic index in contiguous chunks of a
+/// few items per `fetch_add` — less cache-line traffic on the counter
+/// than claiming one item at a time, while chunks stay small enough
+/// that a straggling chunk never idles the rest of the pool.
 pub(crate) fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -565,15 +576,21 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let workers = threads.max(1).min(items.len().max(1));
+    // Aim for several claims per worker so finish times even out.
+    let chunk = (items.len() / (workers * 8)).clamp(1, 16);
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                let result = f(item);
-                *slots[i].lock().expect("result slot") = Some(result);
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= items.len() {
+                    break;
+                }
+                for (i, item) in items.iter().enumerate().skip(start).take(chunk) {
+                    let result = f(item);
+                    *slots[i].lock().expect("result slot") = Some(result);
+                }
             });
         }
     });
@@ -613,14 +630,39 @@ pub(crate) fn golden_evidence(
     )
 }
 
-/// Runs one scenario and judges it with the suite against its
-/// workload's golden evidence.
-pub(crate) fn run_scenario(
+/// Default lanes per lockstep batch. Big enough to amortize queue and
+/// program-image overhead across siblings, small enough that the
+/// per-lane working sets still fit in cache together.
+pub const DEFAULT_LOCKSTEP_BATCH: usize = 8;
+
+/// How scenario simulations are executed. This is an execution knob
+/// only — results, summaries and JSON artifacts are byte-identical for
+/// every engine (and every batch size), a property
+/// `tests/lockstep_equivalence.rs` pins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// One solo scheduler per scenario — the pre-batch engine, kept as
+    /// the equivalence oracle.
+    Solo,
+    /// Lockstep batches of at most this many sibling lanes per
+    /// workload group (`0` means one batch per whole group).
+    Lockstep(usize),
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::Lockstep(DEFAULT_LOCKSTEP_BATCH)
+    }
+}
+
+/// Builds the bench and job for one scenario: capture path, plant
+/// trace when the suite consumes it, and the scenario's attack either
+/// armed in the interceptor or applied to the G-code upstream.
+fn scenario_bench(
     scenario: &Scenario,
     program: &Arc<Program>,
-    golden: &EvidenceBundle,
     suite: &DetectorSuite,
-) -> ScenarioResult {
+) -> (TestBench, Arc<Program>) {
     let mut bench = TestBench::new(scenario.seed)
         .signal_path(SignalPath::capture())
         .record_plant_trace(suite.needs_plant_trace());
@@ -630,8 +672,21 @@ pub(crate) fn run_scenario(
         Attack::Trojan(trojan) => bench = bench.with_trojan(trojan),
         Attack::Flaw3d(attack) => job = Arc::new(attack.apply(program)),
     }
+    (bench, job)
+}
+
+/// Judges one scenario's run outcome against its golden evidence.
+/// `sim_ms` is the host time attributed to the simulation itself;
+/// judging time is added on top.
+fn judge_outcome(
+    scenario: &Scenario,
+    outcome: Result<RunArtifacts, BenchError>,
+    golden: &EvidenceBundle,
+    suite: &DetectorSuite,
+    sim_ms: u64,
+) -> ScenarioResult {
     let t0 = Instant::now();
-    match bench.run(&job) {
+    match outcome {
         Ok(art) => {
             let fw_state = format!("{:?}", art.fw_state);
             let events = art.events;
@@ -645,7 +700,7 @@ pub(crate) fn run_scenario(
                 sim_ns,
                 fw_steps,
                 verdict: suite.judge(golden, &observed),
-                wall_ms: t0.elapsed().as_millis() as u64,
+                wall_ms: sim_ms + t0.elapsed().as_millis() as u64,
             }
         }
         Err(e) => ScenarioResult {
@@ -655,18 +710,141 @@ pub(crate) fn run_scenario(
             sim_ns: 0,
             fw_steps: [0; 4],
             verdict: suite.unjudged(),
-            wall_ms: t0.elapsed().as_millis() as u64,
+            wall_ms: sim_ms,
         },
     }
 }
 
-/// Executes the campaign on `threads` workers.
+/// Runs one scenario on the solo engine and judges it with the suite
+/// against its workload's golden evidence.
+pub(crate) fn run_scenario(
+    scenario: &Scenario,
+    program: &Arc<Program>,
+    golden: &EvidenceBundle,
+    suite: &DetectorSuite,
+) -> ScenarioResult {
+    let (bench, job) = scenario_bench(scenario, program, suite);
+    let t0 = Instant::now();
+    let outcome = bench.run(&job);
+    let sim_ms = t0.elapsed().as_millis() as u64;
+    judge_outcome(scenario, outcome, golden, suite, sim_ms)
+}
+
+/// Runs a batch of sibling scenarios of one workload in lockstep —
+/// one shared event queue, the workload's program image hot in cache —
+/// then judges each lane. Per-lane results are exactly what
+/// [`run_scenario`] produces; batch `wall_ms` is split evenly across
+/// lanes (host timing lives only in the non-deterministic sidecar).
+pub(crate) fn run_scenario_batch(
+    batch: &[&Scenario],
+    program: &Arc<Program>,
+    golden: &EvidenceBundle,
+    suite: &DetectorSuite,
+) -> Vec<ScenarioResult> {
+    let (benches, jobs): (Vec<_>, Vec<_>) = batch
+        .iter()
+        .map(|sc| scenario_bench(sc, program, suite))
+        .unzip();
+    let t0 = Instant::now();
+    let outcomes = TestBench::run_batch(benches, &jobs);
+    let sim_ms = t0.elapsed().as_millis() as u64 / batch.len() as u64;
+    batch
+        .iter()
+        .zip(outcomes)
+        .map(|(sc, outcome)| judge_outcome(sc, outcome, golden, suite, sim_ms))
+        .collect()
+}
+
+/// Plans the lockstep batches for a scenario matrix: scenarios are
+/// grouped by workload (groups ordered like `workload_order`, members
+/// in matrix order) and chunked to at most `batch` lanes. A function
+/// of the spec alone — never of threads or scheduling — so the plan is
+/// deterministic; and since every batch is judged lane by lane, the
+/// plan does not shape the artifacts either.
+pub(crate) fn lockstep_batches<'a>(
+    scenarios: impl IntoIterator<Item = &'a Scenario>,
+    workload_order: &[&str],
+    batch: usize,
+) -> Vec<Vec<&'a Scenario>> {
+    let mut groups: HashMap<&str, Vec<&Scenario>> = HashMap::new();
+    for sc in scenarios {
+        groups.entry(sc.workload.as_str()).or_default().push(sc);
+    }
+    let mut out = Vec::new();
+    for label in workload_order {
+        let Some(group) = groups.remove(label) else {
+            continue;
+        };
+        let lanes = if batch == 0 {
+            group.len()
+        } else {
+            batch.max(1)
+        };
+        for chunk in group.chunks(lanes) {
+            out.push(chunk.to_vec());
+        }
+    }
+    debug_assert!(groups.is_empty(), "every scenario workload is listed");
+    out
+}
+
+/// Executes a planned scenario list — the whole matrix, or a cached
+/// campaign's misses — on `threads` workers with the chosen engine.
+/// Results come back in input order either way (the lockstep plan is
+/// reassembled through each scenario's matrix index, so callers index
+/// the output by position in `scenarios`).
+pub(crate) fn execute_scenarios(
+    scenarios: &[&Scenario],
+    workload_order: &[&str],
+    programs: &HashMap<&str, Arc<Program>>,
+    goldens: &HashMap<&str, EvidenceBundle>,
+    suite: &DetectorSuite,
+    threads: usize,
+    engine: Engine,
+) -> Vec<ScenarioResult> {
+    match engine {
+        Engine::Solo => parallel_map(scenarios, threads, |sc| {
+            run_scenario(
+                sc,
+                &programs[sc.workload.as_str()],
+                &goldens[sc.workload.as_str()],
+                suite,
+            )
+        }),
+        Engine::Lockstep(batch) => {
+            let batches = lockstep_batches(scenarios.iter().copied(), workload_order, batch);
+            let ran = parallel_map(&batches, threads, |batch| {
+                let label = batch[0].workload.as_str();
+                run_scenario_batch(batch, &programs[label], &goldens[label], suite)
+            });
+            // Batches group by workload, but the caller expects input
+            // order — reassemble through each scenario's matrix index.
+            let index_of: HashMap<usize, usize> = scenarios
+                .iter()
+                .enumerate()
+                .map(|(pos, sc)| (sc.index, pos))
+                .collect();
+            let mut slots: Vec<Option<ScenarioResult>> = scenarios.iter().map(|_| None).collect();
+            for result in ran.into_iter().flatten() {
+                let pos = index_of[&result.scenario.index];
+                slots[pos] = Some(result);
+            }
+            slots
+                .into_iter()
+                .map(|slot| slot.expect("every scenario ran in exactly one batch"))
+                .collect()
+        }
+    }
+}
+
+/// Executes the campaign on `threads` workers with the default
+/// (lockstep-batched) engine.
 ///
 /// Programs are sliced once per workload label and shared as
 /// `Arc<Program>`; golden evidence bundles are produced first (also in
 /// parallel, with shared calibration repetitions when the suite
-/// consumes them), then the full scenario matrix fans out. Results are
-/// assembled in matrix order.
+/// consumes them), then the scenario matrix runs in lockstep batches
+/// grouped by workload. Results are assembled in matrix order.
 ///
 /// # Errors
 ///
@@ -689,6 +867,22 @@ pub(crate) fn run_scenario(
 /// assert_eq!(one.summary(), four.summary()); // thread count is invisible
 /// ```
 pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> Result<CampaignReport, String> {
+    run_campaign_with(spec, threads, Engine::default())
+}
+
+/// [`run_campaign`] with an explicit execution engine. Artifacts are
+/// byte-identical for every engine and batch size; the engine only
+/// changes how fast they are produced.
+///
+/// # Errors
+///
+/// Reports an invalid trojan or detector name or a duplicate workload
+/// label in the spec.
+pub fn run_campaign_with(
+    spec: &CampaignSpec,
+    threads: usize,
+    engine: Engine,
+) -> Result<CampaignReport, String> {
     let suite = spec.suite()?;
     let scenarios = spec.scenarios()?;
     let t0 = Instant::now();
@@ -714,14 +908,17 @@ pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> Result<CampaignRepor
         .collect();
 
     // The scenario matrix.
-    let results = parallel_map(&scenarios, threads, |sc| {
-        run_scenario(
-            sc,
-            &programs[sc.workload.as_str()],
-            &goldens[sc.workload.as_str()],
-            &suite,
-        )
-    });
+    let workload_order: Vec<&str> = spec.workloads.iter().map(Workload::label).collect();
+    let scenario_refs: Vec<&Scenario> = scenarios.iter().collect();
+    let results = execute_scenarios(
+        &scenario_refs,
+        &workload_order,
+        &programs,
+        &goldens,
+        &suite,
+        threads,
+        engine,
+    );
 
     Ok(CampaignReport {
         spec: spec.clone(),

@@ -10,6 +10,7 @@
 
 pub mod analytics;
 pub mod baseline;
+pub mod benchreport;
 pub mod cache;
 pub mod campaign;
 pub mod corpus;

@@ -1,0 +1,103 @@
+//! The batched lockstep engine's contract, pinned as a matrix:
+//!
+//! * campaign **summary and JSON are byte-identical** to the pre-batch
+//!   solo engine for batch sizes 1, 4, and full (one batch per workload
+//!   group), at 1 and 4 worker threads — the engine is an execution
+//!   knob, never an artifact knob;
+//! * a store warmed by the solo engine serves a batched rerun with
+//!   **100% hits and zero simulated scenarios** — batching must not
+//!   perturb store keys or recorded payloads.
+
+use std::path::PathBuf;
+
+use offramps_bench::cache::{run_campaign_cached_with, CacheStats};
+use offramps_bench::campaign::{run_campaign_with, CampaignSpec, Engine};
+use offramps_bench::corpus::CorpusSpec;
+use offramps_bench::json::ToJson;
+use offramps_bench::workloads::Workload;
+use offramps_store::Store;
+
+fn temp_store(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "offramps-lockstep-itest-{name}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Canonical + generated workloads with uneven per-group scenario
+/// counts: 4 workloads x 5 attacks leaves partial final batches at
+/// batch size 4 and exercises the workload-group batching boundaries.
+fn matrix_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec {
+        trojans: vec![
+            "none".into(),
+            "t2:0.5".into(),
+            "t5:200@2".into(),
+            "tx1".into(),
+            "flaw3d-r50".into(),
+        ],
+        workloads: vec![Workload::mini(), Workload::tall()],
+        ..CampaignSpec::default_matrix(1187)
+    };
+    spec.workloads.extend(CorpusSpec::new(2).expand(1187));
+    spec
+}
+
+#[test]
+fn batch_and_thread_matrix_is_byte_identical_to_the_solo_engine() {
+    let spec = matrix_spec();
+    let oracle = run_campaign_with(&spec, 1, Engine::Solo).expect("valid spec");
+    let summary = oracle.summary();
+    let json = oracle.to_json();
+    assert_eq!(oracle.results.len(), 20, "fixture shape");
+
+    for batch in [1usize, 4, 0] {
+        for threads in [1usize, 4] {
+            let report =
+                run_campaign_with(&spec, threads, Engine::Lockstep(batch)).expect("valid spec");
+            let label = format!("batch={batch} threads={threads}");
+            assert_eq!(report.summary(), summary, "summary differs at {label}");
+            assert_eq!(report.to_json(), json, "JSON differs at {label}");
+            assert_eq!(report.threads, threads, "resolved thread count at {label}");
+        }
+    }
+}
+
+#[test]
+fn solo_warmed_store_serves_the_batched_engine_entirely_from_cache() {
+    let root = temp_store("warm");
+    let spec = matrix_spec();
+
+    let mut store = Store::open(&root).unwrap();
+    let (cold, stats) =
+        run_campaign_cached_with(&spec, 2, &mut store, Engine::Solo).expect("valid spec");
+    assert_eq!(
+        stats,
+        CacheStats {
+            hits: 0,
+            misses: 20
+        },
+        "cold store simulates everything"
+    );
+
+    // Reopen to force an index rebuild from the shard logs, then rerun
+    // on the batched engine at a different thread count.
+    drop(store);
+    let mut store = Store::open(&root).unwrap();
+    let (warm, stats) =
+        run_campaign_cached_with(&spec, 4, &mut store, Engine::Lockstep(4)).expect("valid spec");
+    assert_eq!(
+        stats,
+        CacheStats {
+            hits: 20,
+            misses: 0
+        },
+        "solo-warmed store must fully serve the batched engine"
+    );
+    assert_eq!(warm.summary(), cold.summary());
+    assert_eq!(warm.to_json(), cold.to_json());
+
+    std::fs::remove_dir_all(&root).unwrap();
+}

@@ -29,12 +29,14 @@
 #![warn(missing_docs)]
 
 mod component;
+mod lockstep;
 mod queue;
 mod rng;
 mod scheduler;
 mod time;
 
 pub use component::{ActionSink, CompId, InPort, OutPort, SimComponent, SinkAction};
+pub use lockstep::{LaneSet, LaneStepInfo, LockstepScheduler};
 pub use queue::{Event, EventId, EventQueue};
 pub use rng::{DetRng, SeedSplitter};
 pub use scheduler::{ComponentSet, Scheduler, StepInfo, StepKind};

@@ -1,0 +1,850 @@
+//! Batched lockstep execution: N sibling scenarios ("lanes") of the
+//! same workload stepping through **one** scheduler.
+//!
+//! The campaign sweep matrix runs many scenarios that differ only in
+//! attack spec and seed. Running each in its own [`crate::Scheduler`]
+//! means fresh allocations and a cold program image per scenario. The
+//! [`LockstepScheduler`] instead multiplexes sibling scenarios over one
+//! shared topology: calendar allocations amortize across lanes, and
+//! the workload's G-code program and calibration data stay in cache
+//! while every lane consumes them.
+//!
+//! Each lane owns a private calendar — the same structure the solo
+//! [`crate::Scheduler`] uses: per-route FIFO lanes for the
+//! overwhelmingly in-order sends, one wake slot per component, and a
+//! small spill heap for rare out-of-order sends. Lanes take turns on
+//! the CPU in **quanta**: the scheduler runs the current lane for up
+//! to [`QUANTUM`] consecutive events, then rotates round-robin to the
+//! next lane with pending work. A large quantum keeps each lane's
+//! working set hot (interleaving lanes per *event* thrashes the cache
+//! and costs more than batching saves); rotation guarantees every lane
+//! still progresses, so a harness watching lane clocks sees all lanes
+//! advance.
+//!
+//! # Determinism
+//!
+//! Interleaving lanes must not change any lane's behaviour. That holds
+//! *structurally* here: lanes share nothing that orders events — each
+//! lane has its own calendar, its own schedule-sequence counter
+//! (starting at zero, exactly like a fresh solo scheduler), its own
+//! clock, and its own wake slots. Routed sends land in the sending
+//! lane's calendar by construction, so no event can cross lanes. A
+//! lane therefore observes exactly the tick sequence, payload order,
+//! and event count it would observe running solo, for **any** rotation
+//! policy and any batch composition. Campaign artifacts stay
+//! byte-identical for every batch size (pinned by
+//! `tests/lockstep_equivalence.rs` in `offramps-bench`).
+//!
+//! # Example
+//!
+//! ```
+//! use offramps_des::{
+//!     ActionSink, CompId, ComponentSet, InPort, LockstepScheduler, SimComponent, SimDuration,
+//!     Tick,
+//! };
+//!
+//! /// Wakes every `period` microseconds, `count` times.
+//! struct Beeper {
+//!     period: u64,
+//!     count: u64,
+//!     ticks: Vec<Tick>,
+//! }
+//! impl SimComponent for Beeper {
+//!     type Payload = ();
+//!     fn start(&mut self, now: Tick, sink: &mut ActionSink<()>) {
+//!         sink.wake_at(now + SimDuration::from_micros(self.period));
+//!     }
+//!     fn on_event(&mut self, _: Tick, _: InPort, _: (), _: &mut ActionSink<()>) {}
+//!     fn on_tick(&mut self, now: Tick, sink: &mut ActionSink<()>) {
+//!         self.ticks.push(now);
+//!         if (self.ticks.len() as u64) < self.count {
+//!             sink.wake_at(now + SimDuration::from_micros(self.period));
+//!         }
+//!     }
+//! }
+//! struct Solo(Beeper);
+//! impl ComponentSet<()> for Solo {
+//!     fn len(&self) -> usize { 1 }
+//!     fn component(&mut self, _: CompId) -> &mut dyn SimComponent<Payload = ()> { &mut self.0 }
+//! }
+//!
+//! // Two lanes with different periods share one scheduler.
+//! let mut lanes = vec![
+//!     Solo(Beeper { period: 3, count: 4, ticks: Vec::new() }),
+//!     Solo(Beeper { period: 5, count: 2, ticks: Vec::new() }),
+//! ];
+//! let mut sched: LockstepScheduler<()> = LockstepScheduler::new(lanes.len());
+//! sched.add_component();
+//! sched.start(&mut lanes[..]);
+//! while sched.step(&mut lanes[..]).is_some() {}
+//! assert_eq!(lanes[0].0.ticks.len(), 4);
+//! assert_eq!(lanes[1].0.ticks.len(), 2);
+//! assert_eq!(sched.lane_events(0), 4);
+//! assert_eq!(sched.lane_events(1), 2);
+//! ```
+
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::component::{ActionSink, CompId, InPort, OutPort, SimComponent, SinkAction};
+use crate::scheduler::{ComponentSet, Source, Spill, StepInfo, StepKind};
+use crate::time::Tick;
+
+/// Maximum consecutive events one lane runs before the scheduler
+/// rotates to the next lane with pending work. Large enough that
+/// rotation overhead vanishes and each lane's calendar stays hot;
+/// small enough that sibling lanes' clocks advance together from a
+/// harness's point of view.
+pub const QUANTUM: u32 = 65_536;
+
+/// The sibling scenarios stepped by a [`LockstepScheduler`], indexed by
+/// lane. Every lane exposes the same component topology (same ids,
+/// same ports); only component *state* differs between lanes.
+pub trait LaneSet<P> {
+    /// Number of lanes; must equal the scheduler's lane count.
+    fn lanes(&self) -> usize;
+
+    /// Mutable access to one lane's components.
+    fn lane(&mut self, lane: usize) -> &mut dyn ComponentSet<P>;
+
+    /// One component of one lane. The scheduler's per-event hot path
+    /// goes through here: implementors whose lane lookup is static
+    /// (like slices) resolve it without an intermediate virtual call.
+    fn component(&mut self, lane: usize, comp: CompId) -> &mut dyn SimComponent<Payload = P> {
+        self.lane(lane).component(comp)
+    }
+}
+
+/// A slice of component sets is a lane set: one element per lane.
+impl<P, C: ComponentSet<P>> LaneSet<P> for [C] {
+    fn lanes(&self) -> usize {
+        self.len()
+    }
+
+    fn lane(&mut self, lane: usize) -> &mut dyn ComponentSet<P> {
+        &mut self[lane]
+    }
+
+    #[inline]
+    fn component(&mut self, lane: usize, comp: CompId) -> &mut dyn SimComponent<Payload = P> {
+        self[lane].component(comp)
+    }
+}
+
+/// One lane's private calendar — the same structure as the solo
+/// [`crate::Scheduler`], minus the shared topology. Everything that
+/// orders or counts a lane's events lives here, which is what makes
+/// the lockstep interleave structurally unable to perturb a lane.
+#[derive(Debug)]
+struct LaneCal<P> {
+    /// Per-route FIFO of in-order sends, parallel to the shared route
+    /// table: `(tick, seq, payload)`.
+    fifos: Vec<VecDeque<(Tick, u64, P)>>,
+    /// At most one pending wake per component: `(tick, seq)`.
+    wakes: Vec<Option<(Tick, u64)>>,
+    /// Rare out-of-order sends.
+    spill: BinaryHeap<Spill<P>>,
+    /// Memoized calendar scan: the next delivery, valid until this
+    /// lane's next write phase.
+    picked: Option<(Tick, u64, Source)>,
+    /// The lane's own schedule sequence — starts at zero like a fresh
+    /// solo scheduler, so the lane's `(tick, seq)` stream is identical
+    /// to its solo run.
+    next_seq: u64,
+    /// Live events this lane has pending.
+    live: usize,
+    /// The lane's own clock: tick of its most recently delivered event.
+    now: Tick,
+    /// Events delivered to this lane so far.
+    events: u64,
+    /// Deactivated lanes' pending events are dropped, not delivered.
+    active: bool,
+}
+
+impl<P> LaneCal<P> {
+    /// Scans the calendar for the earliest pending delivery by
+    /// `(tick, seq)` — identical to the solo scheduler's scan.
+    #[inline]
+    fn pick(&self) -> Option<(Tick, u64, Source)> {
+        let mut best: Option<(Tick, u64, Source)> = None;
+        for (comp, slot) in self.wakes.iter().enumerate() {
+            if let Some((tick, seq)) = *slot {
+                if best.is_none_or(|(bt, bs, _)| (tick, seq) < (bt, bs)) {
+                    best = Some((tick, seq, Source::Wake(comp)));
+                }
+            }
+        }
+        for (idx, fifo) in self.fifos.iter().enumerate() {
+            if let Some(&(tick, seq, _)) = fifo.front() {
+                if best.is_none_or(|(bt, bs, _)| (tick, seq) < (bt, bs)) {
+                    best = Some((tick, seq, Source::Route(idx)));
+                }
+            }
+        }
+        if let Some(spill) = self.spill.peek() {
+            if best.is_none_or(|(bt, bs, _)| (spill.tick, spill.seq) < (bt, bs)) {
+                best = Some((spill.tick, spill.seq, Source::Spill));
+            }
+        }
+        best
+    }
+}
+
+/// Report of one processed lockstep event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneStepInfo {
+    /// Which lane the event belonged to.
+    pub lane: usize,
+    /// The delivered event, in solo-scheduler terms.
+    pub info: StepInfo,
+    /// True when this step consumed the lane's last live event.
+    pub lane_drained: bool,
+}
+
+/// Steps N sibling scenarios, each through its own calendar, rotating
+/// between lanes in quanta. See the module docs for why this is both
+/// fast and exactly deterministic per lane.
+#[derive(Debug)]
+pub struct LockstepScheduler<P> {
+    /// `route_idx[comp][out_port]` — index into the shared route table.
+    route_idx: Vec<Vec<Option<u32>>>,
+    /// `(dest, in_port)` per route — topology, shared by every lane.
+    route_meta: Vec<(CompId, InPort)>,
+    lanes: Vec<LaneCal<P>>,
+    sink: ActionSink<P>,
+    /// Rotation state: the lane currently on the CPU and how many more
+    /// events it may run before the scheduler rotates.
+    current: usize,
+    quantum_left: u32,
+    /// Lane selected by the last [`LockstepScheduler::peek`], consumed
+    /// by the next [`LockstepScheduler::step`] so the peek/step pair
+    /// positions only once. Invalidated by anything that changes lane
+    /// liveness outside a step.
+    positioned: Option<usize>,
+}
+
+impl<P> LockstepScheduler<P> {
+    /// Creates a scheduler for `lanes` sibling scenarios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn new(lanes: usize) -> Self {
+        assert!(lanes > 0, "a lockstep batch needs at least one lane");
+        LockstepScheduler {
+            route_idx: Vec::new(),
+            route_meta: Vec::new(),
+            lanes: (0..lanes)
+                .map(|_| LaneCal {
+                    fifos: Vec::new(),
+                    wakes: Vec::new(),
+                    spill: BinaryHeap::new(),
+                    picked: None,
+                    next_seq: 0,
+                    live: 0,
+                    now: Tick::ZERO,
+                    events: 0,
+                    active: true,
+                })
+                .collect(),
+            sink: ActionSink::new(),
+            current: 0,
+            quantum_left: QUANTUM,
+            positioned: None,
+        }
+    }
+
+    /// Number of lanes in the batch.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Registers the next component slot (in every lane at once) and
+    /// returns its id. Lanes share one topology by construction.
+    pub fn add_component(&mut self) -> CompId {
+        let id = CompId(self.route_idx.len());
+        self.route_idx.push(Vec::new());
+        for lane in &mut self.lanes {
+            lane.wakes.push(None);
+        }
+        id
+    }
+
+    /// Routes `from`'s output `port` to `to`'s input `in_port`, in
+    /// every lane. Reconnecting an already-routed port redirects it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either component id was not issued by this scheduler.
+    pub fn connect(&mut self, from: CompId, port: OutPort, to: CompId, in_port: InPort) {
+        assert!(to.0 < self.route_idx.len(), "unknown destination component");
+        let table = &mut self.route_idx[from.0];
+        if table.len() <= port.0 {
+            table.resize(port.0 + 1, None);
+        }
+        match table[port.0] {
+            Some(idx) => self.route_meta[idx as usize] = (to, in_port),
+            None => {
+                let idx = u32::try_from(self.route_meta.len()).expect("too many routes");
+                table[port.0] = Some(idx);
+                self.route_meta.push((to, in_port));
+                for lane in &mut self.lanes {
+                    lane.fifos.push(VecDeque::new());
+                }
+            }
+        }
+    }
+
+    /// Boots every lane: within a lane, components start in
+    /// registration order with each component's actions committed
+    /// before the next boots — identical to [`crate::Scheduler::start`]
+    /// running that lane solo.
+    pub fn start<L: LaneSet<P> + ?Sized>(&mut self, set: &mut L) {
+        debug_assert_eq!(set.lanes(), self.lanes.len(), "lane count mismatch");
+        for lane in 0..self.lanes.len() {
+            debug_assert_eq!(
+                set.lane(lane).len(),
+                self.route_idx.len(),
+                "component set size mismatch"
+            );
+            for index in 0..self.route_idx.len() {
+                let id = CompId(index);
+                self.sink.begin(Tick::ZERO);
+                set.component(lane, id).start(Tick::ZERO, &mut self.sink);
+                commit(
+                    &mut self.lanes[lane],
+                    &self.route_idx,
+                    &self.route_meta,
+                    &mut self.sink,
+                    id,
+                );
+            }
+        }
+    }
+
+    /// Selects the lane the next [`LockstepScheduler::step`] will run:
+    /// the current lane while it is active, has pending work, and has
+    /// quantum left; otherwise the next such lane round-robin (with a
+    /// fresh quantum). Returns `None` when every active lane has
+    /// drained. Idempotent between steps, so `peek`/`step` agree.
+    #[inline]
+    fn position(&mut self) -> Option<usize> {
+        let n = self.lanes.len();
+        if self.quantum_left == 0 {
+            self.current = (self.current + 1) % n;
+            self.quantum_left = QUANTUM;
+        }
+        for _ in 0..n {
+            let lane = &self.lanes[self.current];
+            if lane.active && lane.live > 0 {
+                return Some(self.current);
+            }
+            self.current = (self.current + 1) % n;
+            self.quantum_left = QUANTUM;
+        }
+        None
+    }
+
+    /// The lane and tick of the event the next
+    /// [`LockstepScheduler::step`] will deliver, without delivering it.
+    /// Unlike the solo scheduler's global-order peek, the lane is
+    /// chosen by quantum rotation; the tick is that lane's earliest
+    /// pending event. The calendar scan is memoized for the step.
+    #[inline]
+    pub fn peek(&mut self) -> Option<(usize, Tick)> {
+        let lane_idx = self.position()?;
+        self.positioned = Some(lane_idx);
+        let cal = &mut self.lanes[lane_idx];
+        if let Some((tick, _, _)) = cal.picked {
+            return Some((lane_idx, tick));
+        }
+        let found = cal.pick().expect("live lane has a pending event");
+        cal.picked = Some(found);
+        Some((lane_idx, found.0))
+    }
+
+    /// Delivers the next event of the current lane (rotating lanes at
+    /// quantum boundaries): the read phase runs that lane's component
+    /// callback, the write phase commits its buffered commands back
+    /// into the lane's own calendar. Returns `None` when no live
+    /// events remain in any active lane.
+    pub fn step<L: LaneSet<P> + ?Sized>(&mut self, set: &mut L) -> Option<LaneStepInfo> {
+        let lane_idx = match self.positioned.take() {
+            Some(lane) => lane,
+            None => self.position()?,
+        };
+        self.quantum_left -= 1;
+
+        // One split borrow for the whole step: the lane's calendar, the
+        // shared topology, and the sink are disjoint fields.
+        let Self {
+            lanes,
+            route_idx,
+            route_meta,
+            sink,
+            ..
+        } = self;
+        let cal = &mut lanes[lane_idx];
+        let (tick, _seq, source) = match cal.picked.take() {
+            Some(memo) => memo,
+            None => cal.pick().expect("live lane has a pending event"),
+        };
+        debug_assert!(tick >= cal.now, "lane clock must be monotonic");
+        cal.now = tick;
+        cal.events += 1;
+        cal.live -= 1;
+
+        // Read phase, fused with the calendar pop: the lane's callback
+        // buffers deferred commands into the (disjointly borrowed)
+        // shared sink.
+        sink.begin(tick);
+        let (comp, kind) = match source {
+            Source::Wake(comp) => {
+                cal.wakes[comp] = None;
+                let comp = CompId(comp);
+                set.component(lane_idx, comp).on_tick(tick, sink);
+                (comp, StepKind::Wake)
+            }
+            Source::Route(idx) => {
+                let (_, _, payload) = cal.fifos[idx]
+                    .pop_front()
+                    .expect("picked route lane has a front event");
+                let (dest, port) = route_meta[idx];
+                set.component(lane_idx, dest)
+                    .on_event(tick, port, payload, sink);
+                (dest, StepKind::Event(port))
+            }
+            Source::Spill => {
+                let spill = cal.spill.pop().expect("picked spill heap has a head");
+                set.component(lane_idx, spill.dest)
+                    .on_event(tick, spill.port, spill.payload, sink);
+                (spill.dest, StepKind::Event(spill.port))
+            }
+        };
+
+        // Write phase: commit them to the lane's own calendar.
+        let live = commit(cal, route_idx, route_meta, sink, comp);
+
+        Some(LaneStepInfo {
+            lane: lane_idx,
+            info: StepInfo { tick, comp, kind },
+            lane_drained: live == 0,
+        })
+    }
+
+    /// Removes a lane from the batch: its pending events are dropped
+    /// and its calendar freed. Used by a harness when one lane reaches
+    /// its termination condition before its siblings.
+    pub fn deactivate_lane(&mut self, lane: usize) {
+        self.positioned = None;
+        let cal = &mut self.lanes[lane];
+        cal.active = false;
+        cal.live = 0;
+        cal.picked = None;
+        cal.spill.clear();
+        for fifo in &mut cal.fifos {
+            fifo.clear();
+        }
+        for slot in &mut cal.wakes {
+            *slot = None;
+        }
+    }
+
+    /// Whether a lane is still being delivered events.
+    pub fn lane_active(&self, lane: usize) -> bool {
+        self.lanes[lane].active
+    }
+
+    /// A lane's own clock: the tick of its most recently delivered
+    /// event (`Tick::ZERO` before any).
+    pub fn lane_now(&self, lane: usize) -> Tick {
+        self.lanes[lane].now
+    }
+
+    /// Events delivered to a lane so far — equal to the solo
+    /// scheduler's [`crate::Scheduler::events`] for the same scenario.
+    pub fn lane_events(&self, lane: usize) -> u64 {
+        self.lanes[lane].events
+    }
+
+    /// Live events a lane currently has pending. Zero means the lane
+    /// has stalled (or finished): stepping will never run it again.
+    pub fn lane_live(&self, lane: usize) -> usize {
+        self.lanes[lane].live
+    }
+}
+
+/// Write phase for one lane — the same commit rules as the solo
+/// scheduler's, applied to the lane's own calendar, so the lane's
+/// sequence-number stream matches its solo run exactly. Returns the
+/// lane's live-event count after the commit. A free function over the
+/// scheduler's split-borrowed fields so the step hot path indexes the
+/// lane exactly once.
+fn commit<P>(
+    cal: &mut LaneCal<P>,
+    route_idx: &[Vec<Option<u32>>],
+    route_meta: &[(CompId, InPort)],
+    sink: &mut ActionSink<P>,
+    from: CompId,
+) -> usize {
+    cal.picked = None;
+    for action in sink.drain() {
+        match action {
+            SinkAction::Send { port, at, payload } => {
+                let Some(&Some(idx)) = route_idx[from.0].get(port.0) else {
+                    panic!(
+                        "component {} sent on unconnected output port {}",
+                        from.0, port.0
+                    );
+                };
+                let idx = idx as usize;
+                let seq = cal.next_seq;
+                cal.next_seq += 1;
+                debug_assert!(at >= cal.now, "the sink clamps sends to the callback's now");
+                let fifo = &mut cal.fifos[idx];
+                if fifo.back().is_none_or(|&(tail, _, _)| tail <= at) {
+                    fifo.push_back((at, seq, payload));
+                } else {
+                    let (dest, port) = route_meta[idx];
+                    cal.spill.push(Spill {
+                        tick: at,
+                        seq,
+                        dest,
+                        port,
+                        payload,
+                    });
+                }
+                cal.live += 1;
+            }
+            SinkAction::WakeAt(t) => {
+                let slot = &mut cal.wakes[from.0];
+                if let Some((pending, _)) = *slot {
+                    // A later pending wake is *replaced* (and still
+                    // consumes a sequence number, modelling the
+                    // solo cancel-and-reschedule); an earlier one
+                    // wins outright and consumes nothing.
+                    if pending <= t {
+                        continue;
+                    }
+                } else {
+                    cal.live += 1;
+                }
+                let seq = cal.next_seq;
+                cal.next_seq += 1;
+                *slot = Some((t, seq));
+            }
+        }
+    }
+    cal.live
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::SimComponent;
+    use crate::scheduler::Scheduler;
+    use crate::time::SimDuration;
+
+    /// Same fixture as the solo scheduler tests: asks for several wakes
+    /// per callback and records when it runs.
+    #[derive(Debug, Default, Clone)]
+    struct Waker {
+        ticks: Vec<Tick>,
+        requests: Vec<Vec<u64>>,
+    }
+
+    impl SimComponent for Waker {
+        type Payload = ();
+
+        fn start(&mut self, now: Tick, sink: &mut ActionSink<()>) {
+            for micros in self.requests.first().cloned().unwrap_or_default() {
+                sink.wake_at(now + SimDuration::from_micros(micros));
+            }
+        }
+
+        fn on_event(&mut self, _: Tick, _: InPort, _: (), _: &mut ActionSink<()>) {}
+
+        fn on_tick(&mut self, now: Tick, sink: &mut ActionSink<()>) {
+            self.ticks.push(now);
+            for micros in self
+                .requests
+                .get(self.ticks.len())
+                .cloned()
+                .unwrap_or_default()
+            {
+                sink.wake_at(now + SimDuration::from_micros(micros));
+            }
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    struct SoloWaker(Waker);
+
+    impl ComponentSet<()> for SoloWaker {
+        fn len(&self) -> usize {
+            1
+        }
+
+        fn component(&mut self, _: CompId) -> &mut dyn SimComponent<Payload = ()> {
+            &mut self.0
+        }
+    }
+
+    fn run_solo(requests: Vec<Vec<u64>>) -> (Vec<Tick>, u64) {
+        let mut sched: Scheduler<()> = Scheduler::new();
+        sched.add_component();
+        let mut lane = SoloWaker(Waker {
+            ticks: Vec::new(),
+            requests,
+        });
+        sched.start(&mut lane);
+        while sched.step(&mut lane).is_some() {}
+        (lane.0.ticks, sched.events())
+    }
+
+    fn lane_fixtures() -> Vec<Vec<Vec<u64>>> {
+        vec![
+            vec![vec![30, 10, 20], vec![5], vec![1]],
+            vec![vec![50, 5], vec![100], vec![2], vec![2]],
+            vec![vec![7], vec![3]],
+            vec![vec![5, 50]],
+        ]
+    }
+
+    #[test]
+    fn lanes_match_solo_runs_exactly() {
+        let fixtures = lane_fixtures();
+        let solo: Vec<(Vec<Tick>, u64)> = fixtures.iter().cloned().map(run_solo).collect();
+
+        let mut lanes: Vec<SoloWaker> = fixtures
+            .into_iter()
+            .map(|requests| {
+                SoloWaker(Waker {
+                    ticks: Vec::new(),
+                    requests,
+                })
+            })
+            .collect();
+        let mut sched: LockstepScheduler<()> = LockstepScheduler::new(lanes.len());
+        sched.add_component();
+        sched.start(&mut lanes[..]);
+        while sched.step(&mut lanes[..]).is_some() {}
+
+        for (lane, (ticks, events)) in solo.iter().enumerate() {
+            assert_eq!(&lanes[lane].0.ticks, ticks, "lane {lane} tick sequence");
+            assert_eq!(sched.lane_events(lane), *events, "lane {lane} event count");
+            assert_eq!(sched.lane_live(lane), 0, "lane {lane} drains");
+        }
+    }
+
+    #[test]
+    fn peek_reports_next_delivery_and_clocks_are_per_lane() {
+        let mut lanes = [
+            SoloWaker(Waker {
+                ticks: Vec::new(),
+                requests: vec![vec![10], vec![10]],
+            }),
+            SoloWaker(Waker {
+                ticks: Vec::new(),
+                requests: vec![vec![4], vec![4]],
+            }),
+        ];
+        let mut sched: LockstepScheduler<()> = LockstepScheduler::new(2);
+        sched.add_component();
+        sched.start(&mut lanes[..]);
+
+        // Rotation starts at lane 0, which keeps the CPU while it has
+        // work and quantum — its siblings' earlier ticks don't preempt
+        // it (clocks are per lane, so cross-lane tick order is free).
+        assert_eq!(sched.peek(), Some((0, Tick::from_micros(10))));
+        let step = sched.step(&mut lanes[..]).unwrap();
+        assert_eq!(step.lane, 0);
+        assert_eq!(step.info.tick, Tick::from_micros(10));
+        assert!(!step.lane_drained, "lane 0 re-armed");
+        assert_eq!(sched.lane_now(0), Tick::from_micros(10));
+        assert_eq!(sched.lane_now(1), Tick::ZERO, "lane 1 clock untouched");
+
+        assert_eq!(sched.peek(), Some((0, Tick::from_micros(20))));
+        sched.step(&mut lanes[..]).unwrap();
+        // Lane 0 drained; rotation hands the CPU to lane 1.
+        assert_eq!(sched.peek(), Some((1, Tick::from_micros(4))));
+        while sched.step(&mut lanes[..]).is_some() {}
+        assert_eq!(sched.peek(), None);
+        assert_eq!(sched.lane_events(0), 2);
+        assert_eq!(sched.lane_events(1), 2);
+        assert_eq!(sched.lane_now(1), Tick::from_micros(8));
+    }
+
+    #[test]
+    fn rotation_bounds_a_lane_run_and_every_lane_progresses() {
+        // Two lanes, each with QUANTUM + 2 chained wakes: the current
+        // lane must be preempted at the quantum boundary, and both
+        // lanes must still run to completion.
+        let count = QUANTUM as usize + 2;
+        let mut lanes = [
+            SoloWaker(Waker {
+                ticks: Vec::new(),
+                requests: vec![vec![1]; count],
+            }),
+            SoloWaker(Waker {
+                ticks: Vec::new(),
+                requests: vec![vec![1]; count],
+            }),
+        ];
+        let mut sched: LockstepScheduler<()> = LockstepScheduler::new(2);
+        sched.add_component();
+        sched.start(&mut lanes[..]);
+
+        let mut order = Vec::new();
+        while let Some(step) = sched.step(&mut lanes[..]) {
+            order.push(step.lane);
+        }
+        assert_eq!(sched.lane_events(0), count as u64);
+        assert_eq!(sched.lane_events(1), count as u64);
+
+        // No run may exceed the quantum while the other lane has work;
+        // only the final drain of the last lane may run unbounded.
+        let both_live = 2 * count - 2; // up to each lane's final event
+        let mut run = 0usize;
+        let mut prev = usize::MAX;
+        let mut rotations = 0usize;
+        for &lane in &order[..both_live] {
+            if lane == prev {
+                run += 1;
+            } else {
+                rotations += usize::from(prev != usize::MAX);
+                run = 1;
+                prev = lane;
+            }
+            assert!(run <= QUANTUM as usize, "lane {lane} overran its quantum");
+        }
+        assert!(
+            rotations >= 2,
+            "both lanes interleaved: {rotations} rotations"
+        );
+    }
+
+    #[test]
+    fn deactivated_lane_events_are_discarded_not_delivered() {
+        let mut lanes = [
+            SoloWaker(Waker {
+                ticks: Vec::new(),
+                requests: vec![vec![2], vec![2], vec![2]],
+            }),
+            SoloWaker(Waker {
+                ticks: Vec::new(),
+                requests: vec![vec![3], vec![3], vec![3]],
+            }),
+        ];
+        let mut sched: LockstepScheduler<()> = LockstepScheduler::new(2);
+        sched.add_component();
+        sched.start(&mut lanes[..]);
+
+        // Deliver lane 0's first wake, then retire it.
+        let step = sched.step(&mut lanes[..]).unwrap();
+        assert_eq!(step.lane, 0);
+        sched.deactivate_lane(0);
+        assert!(!sched.lane_active(0));
+        assert_eq!(sched.lane_live(0), 0, "pending events dropped");
+
+        // Only lane 1's events are delivered from here on.
+        while let Some(step) = sched.step(&mut lanes[..]) {
+            assert_eq!(step.lane, 1);
+        }
+        assert_eq!(lanes[0].0.ticks.len(), 1, "lane 0 stopped after retirement");
+        assert_eq!(lanes[1].0.ticks.len(), 3);
+        assert_eq!(sched.lane_events(0), 1, "discarded events are not counted");
+        assert_eq!(sched.peek(), None);
+    }
+
+    /// Ping-pong routing inside each lane, with per-lane bounce counts.
+    #[derive(Debug, Default)]
+    struct Echo {
+        seen: Vec<u64>,
+        bounces: u64,
+    }
+
+    impl SimComponent for Echo {
+        type Payload = u64;
+
+        fn on_event(&mut self, now: Tick, _: InPort, payload: u64, sink: &mut ActionSink<u64>) {
+            self.seen.push(payload);
+            if payload < self.bounces {
+                sink.send_at(OutPort(0), now + SimDuration::from_micros(1), payload + 1);
+            }
+        }
+
+        fn on_tick(&mut self, _: Tick, _: &mut ActionSink<u64>) {}
+    }
+
+    /// Kicks the rally off with one send at start.
+    #[derive(Debug, Default)]
+    struct Server;
+
+    impl SimComponent for Server {
+        type Payload = u64;
+
+        fn start(&mut self, now: Tick, sink: &mut ActionSink<u64>) {
+            sink.send_at(OutPort(0), now + SimDuration::from_micros(1), 0);
+        }
+
+        fn on_event(&mut self, _: Tick, _: InPort, _: u64, _: &mut ActionSink<u64>) {}
+
+        fn on_tick(&mut self, _: Tick, _: &mut ActionSink<u64>) {}
+    }
+
+    struct Rally {
+        server: Server,
+        left: Echo,
+        right: Echo,
+    }
+
+    impl ComponentSet<u64> for Rally {
+        fn len(&self) -> usize {
+            3
+        }
+
+        fn component(&mut self, id: CompId) -> &mut dyn SimComponent<Payload = u64> {
+            match id.index() {
+                0 => &mut self.server,
+                1 => &mut self.left,
+                _ => &mut self.right,
+            }
+        }
+    }
+
+    #[test]
+    fn routed_sends_stay_inside_their_lane() {
+        let bounces = [6u64, 3, 9];
+        let mut lanes: Vec<Rally> = bounces
+            .iter()
+            .map(|&b| Rally {
+                server: Server,
+                left: Echo {
+                    seen: Vec::new(),
+                    bounces: b,
+                },
+                right: Echo {
+                    seen: Vec::new(),
+                    bounces: b,
+                },
+            })
+            .collect();
+
+        let mut sched: LockstepScheduler<u64> = LockstepScheduler::new(lanes.len());
+        let server = sched.add_component();
+        let left = sched.add_component();
+        let right = sched.add_component();
+        sched.connect(server, OutPort(0), left, InPort(0));
+        sched.connect(left, OutPort(0), right, InPort(0));
+        sched.connect(right, OutPort(0), left, InPort(0));
+        sched.start(&mut lanes[..]);
+        while sched.step(&mut lanes[..]).is_some() {}
+
+        for (lane, &b) in bounces.iter().enumerate() {
+            let expect_left: Vec<u64> = (0..=b).step_by(2).collect();
+            let expect_right: Vec<u64> = (1..=b).step_by(2).collect();
+            assert_eq!(lanes[lane].left.seen, expect_left, "lane {lane} left");
+            assert_eq!(lanes[lane].right.seen, expect_right, "lane {lane} right");
+        }
+    }
+}

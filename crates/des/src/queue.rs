@@ -1,9 +1,21 @@
-//! Stable priority event queue.
+//! Stable priority event queue over an arena of payload slots.
 //!
 //! Events scheduled for the same tick are delivered in schedule (FIFO)
 //! order, which keeps co-simulation of the firmware, interceptor and plant
 //! deterministic: when a STEP edge and an endstop change land on the same
 //! tick, the one scheduled first is processed first, every run.
+//!
+//! # Hot-path layout
+//!
+//! Payloads live in an **arena** of reusable slots; the binary heap holds
+//! only small `Copy` ordering records (`tick`, `seq`, slot index), so heap
+//! sift operations never move payloads. Cancellation is **lazy deletion
+//! stamped by the schedule sequence number**: [`EventQueue::cancel`] frees
+//! the slot immediately (exact `len`/`is_empty` accounting, O(1), no
+//! hashing) and the orphaned heap record is discarded when it surfaces,
+//! recognised by its stale stamp. The old `HashSet<u64>` tombstone set —
+//! and its per-pop hash lookup — is gone, and a cancelled id that has
+//! already drained can no longer linger in the bookkeeping.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -11,39 +23,49 @@ use std::collections::BinaryHeap;
 use crate::time::Tick;
 
 /// Identifier handed out for every scheduled event; can be used to cancel.
+///
+/// The id names one *incarnation* of an arena slot: once the event fires
+/// or is cancelled, the id goes permanently stale and
+/// [`EventQueue::cancel`] refuses it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct EventId(u64);
+pub struct EventId {
+    slot: u32,
+    seq: u64,
+}
 
 /// An event popped from the [`EventQueue`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Event<E> {
     /// The simulated instant the event fires at.
     pub tick: Tick,
-    /// The identifier assigned at scheduling time.
+    /// The identifier assigned at scheduling time (stale now that the
+    /// event has fired).
     pub id: EventId,
     /// The caller-supplied payload.
     pub payload: E,
 }
 
-#[derive(Debug)]
-struct Entry<E> {
+/// Heap ordering record: 24 bytes, `Copy`, payload-free — the only thing
+/// sift operations move.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
     tick: Tick,
     seq: u64,
-    payload: E,
+    slot: u32,
 }
 
-impl<E> PartialEq for Entry<E> {
+impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
         self.tick == other.tick && self.seq == other.seq
     }
 }
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<E> Ord for Entry<E> {
+impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert to get earliest-tick-first and
         // FIFO (lowest sequence number first) among equal ticks.
@@ -52,6 +74,17 @@ impl<E> Ord for Entry<E> {
             .cmp(&self.tick)
             .then_with(|| other.seq.cmp(&self.seq))
     }
+}
+
+/// One arena slot. `seq` stamps the incarnation currently (or last)
+/// stored here; `payload` is `Some` exactly while that incarnation is
+/// live. A heap record fires only if its stamp still matches — records
+/// whose event was cancelled (slot freed or reused) go stale and are
+/// skipped.
+#[derive(Debug)]
+struct Slot<E> {
+    seq: u64,
+    payload: Option<E>,
 }
 
 /// A deterministic, stable min-queue of timestamped events.
@@ -64,13 +97,16 @@ impl<E> Ord for Entry<E> {
 /// let mut q = EventQueue::new();
 /// let id = q.schedule(Tick::from_micros(1), 42u32);
 /// q.cancel(id);
-/// assert!(q.pop().is_none()); // cancelled events are skipped
+/// assert!(q.is_empty()); // cancellation is accounted for immediately
+/// assert!(q.pop().is_none());
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    heap: BinaryHeap<HeapEntry>,
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
     next_seq: u64,
-    cancelled: std::collections::HashSet<u64>,
+    live: usize,
     last_popped: Tick,
 }
 
@@ -85,8 +121,10 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
-            cancelled: std::collections::HashSet::new(),
+            live: 0,
             last_popped: Tick::ZERO,
         }
     }
@@ -98,33 +136,70 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         let tick = tick.max(self.last_popped);
-        self.heap.push(Entry { tick, seq, payload });
-        EventId(seq)
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                s.seq = seq;
+                s.payload = Some(payload);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("more than 2^32 live events");
+                self.slots.push(Slot {
+                    seq,
+                    payload: Some(payload),
+                });
+                slot
+            }
+        };
+        self.heap.push(HeapEntry { tick, seq, slot });
+        self.live += 1;
+        EventId { slot, seq }
     }
 
-    /// Cancels a previously scheduled event. Cancelling an already-fired or
-    /// unknown id is a no-op. Returns `true` if the id had not fired yet.
+    /// Cancels a previously scheduled event. Returns `true` — and frees
+    /// the payload slot at once, so `len`/`is_empty` stay exact — if the
+    /// id was still pending. Cancelling an already-fired, already-
+    /// cancelled or unknown id is a refused no-op (`false`).
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 < self.next_seq {
-            self.cancelled.insert(id.0)
-        } else {
-            false
+        match self.slots.get_mut(id.slot as usize) {
+            Some(slot) if slot.seq == id.seq && slot.payload.is_some() => {
+                slot.payload = None;
+                self.free.push(id.slot);
+                self.live -= 1;
+                true
+            }
+            _ => false,
         }
     }
 
-    /// Removes and returns the earliest pending event, skipping cancelled
-    /// ones. Returns `None` when the queue is exhausted.
+    /// Whether a heap record still names a live incarnation.
+    fn is_live(&self, entry: &HeapEntry) -> bool {
+        let slot = &self.slots[entry.slot as usize];
+        slot.seq == entry.seq && slot.payload.is_some()
+    }
+
+    /// Removes and returns the earliest pending event, skipping the
+    /// stale records of cancelled ones. Returns `None` when the queue is
+    /// exhausted.
     pub fn pop(&mut self) -> Option<Event<E>> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
+            if !self.is_live(&entry) {
+                continue; // stale record of a cancelled event
             }
+            let slot = &mut self.slots[entry.slot as usize];
+            let payload = slot.payload.take().expect("live slot has a payload");
+            self.free.push(entry.slot);
+            self.live -= 1;
             debug_assert!(entry.tick >= self.last_popped, "event queue went backwards");
             self.last_popped = entry.tick;
             return Some(Event {
                 tick: entry.tick,
-                id: EventId(entry.seq),
-                payload: entry.payload,
+                id: EventId {
+                    slot: entry.slot,
+                    seq: entry.seq,
+                },
+                payload,
             });
         }
         None
@@ -132,31 +207,50 @@ impl<E> EventQueue<E> {
 
     /// The tick of the earliest pending (non-cancelled) event.
     pub fn peek_tick(&mut self) -> Option<Tick> {
-        while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-                continue;
-            }
-            return Some(entry.tick);
-        }
-        None
+        self.peek().map(|(tick, _)| tick)
     }
 
-    /// Number of pending events, including not-yet-reaped cancelled ones.
+    /// The earliest pending event's tick and a borrow of its payload,
+    /// without removing it. Stale records of cancelled events are swept
+    /// out of the way, like [`EventQueue::pop`] does.
+    pub fn peek(&mut self) -> Option<(Tick, &E)> {
+        loop {
+            let live = match self.heap.peek() {
+                None => return None,
+                Some(entry) => self.is_live(entry),
+            };
+            if live {
+                let entry = *self.heap.peek().expect("head just observed");
+                let payload = self.slots[entry.slot as usize]
+                    .payload
+                    .as_ref()
+                    .expect("live slot has a payload");
+                return Some((entry.tick, payload));
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// Number of pending events. Exact: cancellations are deducted
+    /// immediately, whether or not their heap records have surfaced.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.live
     }
 
     /// True if no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live == 0
     }
 
     /// The timestamp of the most recently popped event.
     pub fn now(&self) -> Tick {
         self.last_popped
+    }
+
+    /// Arena capacity in slots (diagnostics: peaks at the maximum number
+    /// of simultaneously pending events, then stays flat).
+    pub fn arena_slots(&self) -> usize {
+        self.slots.len()
     }
 }
 
@@ -201,10 +295,68 @@ mod tests {
         let mut q = EventQueue::new();
         let a = q.schedule(Tick::from_micros(1), 'a');
         assert_eq!(q.pop().unwrap().payload, 'a');
-        // The id is known but already fired; cancelling marks it, but the
-        // mark can never suppress anything.
-        q.cancel(a);
+        // The id is stale: the incarnation it names has already fired.
+        assert!(!q.cancel(a));
         assert!(q.pop().is_none());
+    }
+
+    /// The regression the arena redesign fixes: cancelled ids of events
+    /// that had already drained used to linger in a tombstone set, so
+    /// `len`/`is_empty`/`peek_tick` disagreed until enough pops swept
+    /// them out. All three must agree immediately, in every order of
+    /// cancel and drain.
+    #[test]
+    fn cancel_then_drain_keeps_accounting_exact() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Tick::from_micros(1), 'a');
+        let b = q.schedule(Tick::from_micros(2), 'b');
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel is refused");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_tick(), Some(Tick::from_micros(2)));
+        assert_eq!(q.pop().unwrap().payload, 'b');
+        assert!(!q.cancel(b), "cancel of a drained id is refused");
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+        assert_eq!(q.peek_tick(), None);
+
+        // Cancel *after* the event fired (the historical underflow:
+        // `heap.len() - cancelled.len()` with an empty heap).
+        let c = q.schedule(Tick::from_micros(3), 'c');
+        assert_eq!(q.pop().unwrap().payload, 'c');
+        assert!(!q.cancel(c));
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+        assert_eq!(q.peek_tick(), None);
+        assert!(q.pop().is_none());
+    }
+
+    /// A freed slot is reused by later schedules; the stale heap record
+    /// of the cancelled incarnation must neither fire nor suppress the
+    /// new tenant.
+    #[test]
+    fn slot_reuse_does_not_resurrect_cancelled_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Tick::from_micros(5), 'a');
+        assert!(q.cancel(a));
+        // Reuses a's arena slot with an *earlier* tick: the stale record
+        // for 'a' (micros 5) is still in the heap behind it.
+        let b = q.schedule(Tick::from_micros(1), 'b');
+        assert_eq!(q.arena_slots(), 1, "slot was reused, not grown");
+        assert_eq!(q.len(), 1);
+        let e = q.pop().unwrap();
+        assert_eq!(e.payload, 'b');
+        assert_eq!(e.id, b);
+        assert!(q.pop().is_none(), "a's stale record must not fire");
+
+        // And with a *later* tick, where the stale record surfaces first.
+        let c = q.schedule(Tick::from_micros(9), 'c');
+        assert!(q.cancel(c));
+        let d = q.schedule(Tick::from_micros(20), 'd');
+        assert_eq!(q.peek_tick(), Some(Tick::from_micros(20)));
+        assert_eq!(q.pop().unwrap().payload, 'd');
+        assert!(!q.cancel(d));
+        assert!(q.is_empty());
     }
 
     #[test]
@@ -266,7 +418,8 @@ mod tests {
         }
     }
 
-    /// Cancelling a subset removes exactly that subset.
+    /// Cancelling a subset removes exactly that subset, and the exact
+    /// accounting holds at every intermediate point.
     #[test]
     fn cancellation_removes_exact_subset() {
         for seed in 0u64..64 {
@@ -280,9 +433,12 @@ mod tests {
                 .enumerate()
                 .map(|(i, t)| (i, q.schedule(Tick::new(*t), i)))
                 .collect();
+            let mut remaining = n;
             for (i, id) in &ids {
                 if rng.chance(0.5) {
-                    q.cancel(*id);
+                    assert!(q.cancel(*id), "seed {seed}");
+                    remaining -= 1;
+                    assert_eq!(q.len(), remaining, "seed {seed}");
                 } else {
                     expect.push(*i);
                 }
@@ -291,6 +447,7 @@ mod tests {
             got.sort_unstable();
             expect.sort_unstable();
             assert_eq!(got, expect, "seed {seed}");
+            assert!(q.is_empty(), "seed {seed}");
         }
     }
 }

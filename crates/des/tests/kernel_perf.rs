@@ -1,0 +1,163 @@
+//! Manual kernel-overhead probe: solo `Scheduler` vs `LockstepScheduler`
+//! on an identical wake/route churn workload.
+//!
+//! Ignored by default — it is a timing probe, not a correctness test.
+//! Run with:
+//!
+//! ```text
+//! cargo test --release -p offramps-des --test kernel_perf -- --ignored --nocapture
+//! ```
+
+use offramps_des::{
+    ActionSink, CompId, ComponentSet, InPort, LockstepScheduler, OutPort, Scheduler, SimComponent,
+    SimDuration, Tick,
+};
+use std::time::Instant;
+
+const PORT_IN: InPort = InPort(0);
+const PORT_OUT: OutPort = OutPort(0);
+
+/// Ping-pong endpoint: each delivery sends one payload onward and each
+/// wake re-arms, exercising the fifo, wake-slot, and write-phase paths.
+struct Churn {
+    sends: u64,
+}
+
+impl SimComponent for Churn {
+    type Payload = u64;
+
+    fn start(&mut self, now: Tick, sink: &mut ActionSink<u64>) {
+        sink.send_at(PORT_OUT, now + SimDuration::from_micros(10), 0);
+        sink.wake_at(now + SimDuration::from_micros(7));
+    }
+
+    fn on_event(&mut self, now: Tick, _port: InPort, n: u64, sink: &mut ActionSink<u64>) {
+        self.sends += 1;
+        sink.send_at(PORT_OUT, now + SimDuration::from_micros(10), n + 1);
+    }
+
+    fn on_tick(&mut self, now: Tick, sink: &mut ActionSink<u64>) {
+        sink.wake_at(now + SimDuration::from_micros(7));
+    }
+}
+
+struct Pair {
+    a: Churn,
+    b: Churn,
+}
+
+impl Pair {
+    fn new() -> Self {
+        Pair {
+            a: Churn { sends: 0 },
+            b: Churn { sends: 0 },
+        }
+    }
+}
+
+impl ComponentSet<u64> for Pair {
+    fn len(&self) -> usize {
+        2
+    }
+
+    fn component(&mut self, id: CompId) -> &mut dyn SimComponent<Payload = u64> {
+        match id.index() {
+            0 => &mut self.a,
+            _ => &mut self.b,
+        }
+    }
+}
+
+const STEPS: u64 = 20_000_000;
+
+#[test]
+#[ignore = "timing probe, run manually with --ignored --nocapture"]
+fn kernel_overhead_probe() {
+    // Solo kernel.
+    let mut comps = Pair::new();
+    let mut sched: Scheduler<u64> = Scheduler::new();
+    let a = sched.add_component();
+    let b = sched.add_component();
+    sched.connect(a, PORT_OUT, b, PORT_IN);
+    sched.connect(b, PORT_OUT, a, PORT_IN);
+    sched.start(&mut comps);
+    let t0 = Instant::now();
+    let mut n = 0u64;
+    while n < STEPS {
+        let next = sched.peek_tick().unwrap();
+        assert!(next >= Tick::ZERO);
+        sched.step(&mut comps).unwrap();
+        n += 1;
+    }
+    let solo = t0.elapsed();
+    println!(
+        "solo      {STEPS} steps in {solo:?}  ({:.1} ns/step)",
+        solo.as_nanos() as f64 / STEPS as f64
+    );
+
+    for lanes_n in [1usize, 8] {
+        let mut lanes: Vec<Pair> = (0..lanes_n).map(|_| Pair::new()).collect();
+        let mut sched: LockstepScheduler<u64> = LockstepScheduler::new(lanes_n);
+        let a = sched.add_component();
+        let b = sched.add_component();
+        sched.connect(a, PORT_OUT, b, PORT_IN);
+        sched.connect(b, PORT_OUT, a, PORT_IN);
+        sched.start(&mut lanes[..]);
+        let t0 = Instant::now();
+        let mut n = 0u64;
+        while n < STEPS {
+            let (_, next) = sched.peek().unwrap();
+            assert!(next >= Tick::ZERO);
+            sched.step(&mut lanes[..]).unwrap();
+            n += 1;
+        }
+        let lock = t0.elapsed();
+        println!(
+            "lockstep{lanes_n} {STEPS} steps in {lock:?}  ({:.1} ns/step)",
+            lock.as_nanos() as f64 / STEPS as f64
+        );
+    }
+}
+
+#[test]
+#[ignore = "timing probe, run manually with --ignored --nocapture"]
+fn kernel_overhead_probe_steponly() {
+    // Same workloads, no peek in the loop: isolates peek's share.
+    let mut comps = Pair::new();
+    let mut sched: Scheduler<u64> = Scheduler::new();
+    let a = sched.add_component();
+    let b = sched.add_component();
+    sched.connect(a, PORT_OUT, b, PORT_IN);
+    sched.connect(b, PORT_OUT, a, PORT_IN);
+    sched.start(&mut comps);
+    let t0 = Instant::now();
+    let mut n = 0u64;
+    while n < STEPS {
+        sched.step(&mut comps).unwrap();
+        n += 1;
+    }
+    let solo = t0.elapsed();
+    println!(
+        "solo/nopeek      {STEPS} steps in {solo:?}  ({:.1} ns/step)",
+        solo.as_nanos() as f64 / STEPS as f64
+    );
+
+    let mut lanes: Vec<Pair> = vec![Pair::new()];
+    let mut sched: LockstepScheduler<u64> = LockstepScheduler::new(1);
+    let a = sched.add_component();
+    let b = sched.add_component();
+    sched.connect(a, PORT_OUT, b, PORT_IN);
+    sched.connect(b, PORT_OUT, a, PORT_IN);
+    sched.start(&mut lanes[..]);
+    let t0 = Instant::now();
+    let mut n = 0u64;
+    while n < STEPS {
+        sched.step(&mut lanes[..]).unwrap();
+        n += 1;
+    }
+    let lock = t0.elapsed();
+    println!(
+        "lockstep1/nopeek {STEPS} steps in {lock:?}  ({:.1} ns/step)",
+        lock.as_nanos() as f64 / STEPS as f64
+    );
+}

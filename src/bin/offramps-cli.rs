@@ -26,8 +26,11 @@ use offramps::trojans;
 use offramps::{detect, Capture, FusionPolicy, SignalPath, TestBench};
 use offramps_attacks::Flaw3dTrojan;
 use offramps_bench::analytics::{AnalyticsReport, THRESHOLD_GRID};
-use offramps_bench::cache::{run_campaign_cached, store_observations};
-use offramps_bench::campaign::{run_campaign, sweep_attacks, CampaignReport, CampaignSpec};
+use offramps_bench::benchreport;
+use offramps_bench::cache::{run_campaign_cached_with, store_observations};
+use offramps_bench::campaign::{
+    run_campaign_with, sweep_attacks, CampaignReport, CampaignSpec, Engine,
+};
 use offramps_bench::corpus::CorpusSpec;
 use offramps_bench::workloads::Workload;
 use offramps_gcode::slicer::{slice, SlicerConfig, Solid};
@@ -44,7 +47,8 @@ USAGE:
   offramps-cli attack   <file.gcode> (--reduction FACTOR | --relocation N)
   offramps-cli detect   <golden.csv> <observed.csv> [--margin PCT]
   offramps-cli stats    <file.gcode>
-  offramps-cli campaign [--threads N] [--seed N] [--runs K] [--json out.json]
+  offramps-cli campaign [--threads N] [--batch solo|full|N] [--seed N]
+                        [--runs K] [--json out.json]
                         [--trojans none,t1,...,flaw3d-r90,flaw3d-rel20|all]
                         [--workloads mini,standard,tall,detection]
                         [--corpus N] [--sweep] [--list]
@@ -52,9 +56,17 @@ USAGE:
                         [--fuse any|all|weighted[:d=w,...][@thr]]
                         [--cache DIR] [--timing-json out.json]
   offramps-cli analytics --cache DIR [--json out.json]
+  offramps-cli bench    [--threads N] [--reps K] [--json BENCH_campaign.json]
 
 The campaign subcommand fans the attack x workload x seed matrix across
 worker threads; results are identical for every --threads value.
+--threads 0 (or omitting it) uses one worker per available CPU; the
+resolved count is reported in the JSON `threads` field. Scenario
+simulations run on the batched lockstep engine by default (--batch 8):
+sibling scenarios of one workload step through a shared scheduler,
+keeping the program image hot in cache. --batch solo runs the pre-batch
+one-scheduler-per-scenario engine, --batch full one batch per workload
+group — summaries and JSON are byte-identical for every choice.
 Attacks: none, hardware Trojans t1-t9/tx1/tx2 (the monitor taps
 upstream of the Trojan mux, so only Trojans whose physical damage feeds
 back into motion surface in the capture), parameterized Trojan specs
@@ -97,6 +109,16 @@ the detector reliably catches).
                   to an uncached run for any thread count.
   --timing-json   write the non-deterministic host-timing sidecar
                   (per-scenario wall_ms) next to the deterministic report
+
+The bench subcommand runs the pinned sweep (mini + 4 corpus workloads,
+33 sweep attacks, seed 42) --reps times per engine and writes the
+benchmark trajectory: a recorded pre-batch baseline entry plus measured
+entries for the current solo and lockstep engines, with median wall
+clock, events/sec, and speedups over the baseline. Scenario and event
+counts are deterministic and validated against their pinned values —
+the report refuses to absorb a behaviour change. --threads defaults to
+1 (the pinned single-worker measurement); --json defaults to printing
+only.
 
 The analytics subcommand re-judges every scenario record in a store at
 a grid of suspect-fraction thresholds (no simulation): per-attack,
@@ -168,6 +190,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "stats" => cmd_stats(&args[1..]),
         "campaign" => cmd_campaign(&args[1..]),
         "analytics" => cmd_analytics(&args[1..]),
+        "bench" => cmd_bench(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -288,8 +311,40 @@ fn cmd_detect(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
+/// Resolves `--threads` (0 or absent = one worker per available CPU).
+fn resolve_threads(args: &[String]) -> Result<usize, String> {
+    let requested = opt_u64(args, "--threads", 0)? as usize;
+    Ok(if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    })
+}
+
+/// Parses `--batch solo|full|N` into an execution engine (default: the
+/// lockstep engine at its default batch size).
+fn resolve_engine(args: &[String]) -> Result<Engine, String> {
+    match opt(args, "--batch").as_deref() {
+        None => Ok(Engine::default()),
+        Some("solo") => Ok(Engine::Solo),
+        Some("full") => Ok(Engine::Lockstep(0)),
+        Some(v) => {
+            let lanes: usize = v
+                .parse()
+                .map_err(|_| format!("--batch expects solo, full or a lane count, got {v:?}"))?;
+            if lanes == 0 {
+                return Err("--batch 0 is spelled --batch full".into());
+            }
+            Ok(Engine::Lockstep(lanes))
+        }
+    }
+}
+
 fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
-    let threads = opt_u64(args, "--threads", 1)? as usize;
+    let threads = resolve_threads(args)?;
+    let engine = resolve_engine(args)?;
     let seed = opt_u64(args, "--seed", 42)?;
     let runs = opt_u64(args, "--runs", 1)? as u32;
 
@@ -353,11 +408,12 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
     if let Some(dir) = opt(args, "--cache") {
         let mut store =
             Store::open(&dir).map_err(|e| format!("cannot open scenario store {dir}: {e}"))?;
-        let (cached_report, stats) = run_campaign_cached(&spec, threads.max(1), &mut store)?;
+        let (cached_report, stats) =
+            run_campaign_cached_with(&spec, threads.max(1), &mut store, engine)?;
         report = cached_report;
         cache_line = Some(format!("{} (dir: {dir})", stats.summary_line()));
     } else {
-        report = run_campaign(&spec, threads.max(1))?;
+        report = run_campaign_with(&spec, threads.max(1), engine)?;
     }
     print!("{}", report.summary());
     println!(
@@ -378,6 +434,47 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
         std::fs::write(&path, report.timing_json())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("timings written: {path}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
+    let threads = opt_u64(args, "--threads", 1)? as usize;
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    let reps = (opt_u64(args, "--reps", 3)? as usize).max(1);
+    let report = benchreport::run_bench(threads, reps)?;
+    for entry in &report.entries {
+        println!(
+            "{:<9} {:<55} wall: {:>6} {}  throughput: {:.0} events/s",
+            entry.name,
+            entry.engine,
+            format!("{:.2}s", entry.wall_s),
+            if entry.recorded {
+                "(recorded)"
+            } else {
+                "(median)  "
+            },
+            entry.events_per_sec,
+        );
+    }
+    println!(
+        "pinned sweep: {} scenarios, {} events   threads: {}   reps: {}",
+        report.scenarios, report.events, report.threads, reps
+    );
+    println!(
+        "speedup vs baseline: {:.2}x wall, {:.2}x throughput",
+        report.speedup_wall, report.speedup_throughput
+    );
+    if let Some(path) = opt(args, "--json") {
+        use offramps_bench::json::ToJson;
+        std::fs::write(&path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("trajectory written: {path}");
     }
     Ok(ExitCode::SUCCESS)
 }
