@@ -30,7 +30,7 @@
 use std::collections::BTreeMap;
 
 use offramps::detect;
-use offramps::verdict::weighted_vote;
+use offramps::verdict::{weighted_vote, TimeToDetection};
 
 use crate::campaign::ScenarioResult;
 use crate::json::{ObjectWriter, ToJson, Value};
@@ -113,6 +113,10 @@ pub struct Observation {
     /// The sampled side-channel judges' statistics, when the record
     /// carries them (canonical order).
     pub side: Vec<SideObservation>,
+    /// Time-to-detection, for records produced by an online campaign
+    /// whose fused monitor alarmed mid-print (`None` for every post-hoc
+    /// record and for online clean runs).
+    pub ttd: Option<TimeToDetection>,
 }
 
 impl Observation {
@@ -139,6 +143,7 @@ impl Observation {
             final_totals_match: r.final_totals_match(),
             judged: r.suspect_fraction().is_some(),
             side,
+            ttd: r.ttd,
         }
     }
 
@@ -190,6 +195,23 @@ impl Observation {
             }
         }
         sort_side(&mut side);
+        // TTD rides only on records written by an online campaign whose
+        // fused monitor alarmed; every other record simply lacks the
+        // fields.
+        let ttd = match v.get("ttd_step") {
+            None => None,
+            Some(step) => Some(TimeToDetection {
+                alarm_step: step.as_u64().ok_or("ttd_step is not an integer")?,
+                print_fraction: v
+                    .get("ttd_print_fraction")
+                    .and_then(Value::as_f64)
+                    .ok_or("payload missing number \"ttd_print_fraction\"")?,
+                material_saved: v
+                    .get("ttd_material_saved")
+                    .and_then(Value::as_f64)
+                    .ok_or("payload missing number \"ttd_material_saved\"")?,
+            }),
+        };
         Ok(Observation {
             attack: str_field("trojan")?,
             workload: str_field("workload")?,
@@ -202,6 +224,7 @@ impl Observation {
             },
             judged: v.get("suspect_fraction").is_some(),
             side,
+            ttd,
         })
     }
 
@@ -323,6 +346,46 @@ pub struct SideCurve {
     pub detection_rate: Vec<f64>,
 }
 
+/// Time-to-detection distribution for one attack, over the online
+/// records whose fused monitor alarmed mid-print. Every JSON field it
+/// emits is `ttd_`-prefixed, so online-only artifact additions stay
+/// greppable (and strippable) line by line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TtdStats {
+    /// Records carrying a TTD mark (fused online alarms).
+    pub alarms: usize,
+    /// Earliest alarming monitor slice across the group.
+    pub min_step: u64,
+    /// Latest alarming monitor slice across the group.
+    pub max_step: u64,
+    /// Mean alarming slice.
+    pub mean_step: f64,
+    /// Mean fraction of the print completed at the alarm.
+    pub mean_print_fraction: f64,
+    /// Mean fraction of the print's filament saved by halting there.
+    pub mean_material_saved: f64,
+}
+
+impl TtdStats {
+    /// Aggregates a group's TTD marks (`None` when nothing alarmed
+    /// online).
+    fn over<'a>(marks: impl Iterator<Item = &'a TimeToDetection>) -> Option<TtdStats> {
+        let marks: Vec<&TimeToDetection> = marks.collect();
+        if marks.is_empty() {
+            return None;
+        }
+        let n = marks.len() as f64;
+        Some(TtdStats {
+            alarms: marks.len(),
+            min_step: marks.iter().map(|t| t.alarm_step).min().expect("non-empty"),
+            max_step: marks.iter().map(|t| t.alarm_step).max().expect("non-empty"),
+            mean_step: marks.iter().map(|t| t.alarm_step as f64).sum::<f64>() / n,
+            mean_print_fraction: marks.iter().map(|t| t.print_fraction).sum::<f64>() / n,
+            mean_material_saved: marks.iter().map(|t| t.material_saved).sum::<f64>() / n,
+        })
+    }
+}
+
 /// One attack's detection-rate curves over the threshold grid: the
 /// transaction judge always, plus one curve per side modality present
 /// and the any-alarm fusion when any side evidence exists.
@@ -349,6 +412,10 @@ pub struct AttackCurve {
     /// [`Observation::fused_detected_at`]), whatever fusion policy the
     /// live campaign ran with.
     pub fused_detection_rate: Option<Vec<f64>>,
+    /// Time-to-detection distribution — present only when some record
+    /// in the group carries an online alarm mark, so post-hoc corpora
+    /// keep their pre-online artifact shape.
+    pub ttd: Option<TtdStats>,
 }
 
 impl AttackCurve {
@@ -367,8 +434,21 @@ impl ToJson for AttackCurve {
     fn write_json(&self, out: &mut String, indent: usize) {
         let render = crate::json::number_array;
         let mut w = ObjectWriter::new(out, indent);
-        w.string("attack", &self.attack)
-            .int("scenarios", self.scenarios as i128)
+        w.string("attack", &self.attack);
+        // Every TTD field is `ttd_`-prefixed and one per line, and the
+        // block sits before the unconditional "scenarios" key (the
+        // writer attaches the separating comma to the *previous* line),
+        // so online additions can be stripped — or grepped — line by
+        // line, leaving the post-hoc bytes exactly.
+        if let Some(t) = &self.ttd {
+            w.int("ttd_alarms", t.alarms as i128)
+                .int("ttd_min_step", t.min_step as i128)
+                .int("ttd_max_step", t.max_step as i128)
+                .float("ttd_mean_step", t.mean_step)
+                .float("ttd_mean_print_fraction", t.mean_print_fraction)
+                .float("ttd_mean_material_saved", t.mean_material_saved);
+        }
+        w.int("scenarios", self.scenarios as i128)
             .int("judged", self.judged as i128)
             .raw("detection_rate", &render(&self.detection_rate));
         // Per-detector curves appear only for the modalities a corpus
@@ -552,6 +632,7 @@ impl AnalyticsReport {
                     side,
                     fused_judged,
                     fused_detection_rate,
+                    ttd: TtdStats::over(group.iter().filter_map(|o| o.ttd.as_ref())),
                 }
             })
             .collect();
@@ -738,6 +819,38 @@ impl AnalyticsReport {
                 },
             );
         }
+        if self.curves.iter().any(|c| c.ttd.is_some()) {
+            out.push_str(
+                "\ntime-to-detection (fused online alarms; print fraction done at alarm)\n",
+            );
+            out.push_str(&format!(
+                "{:<14} {:>5} {:>6} {:>9} {:>9} {:>10} {:>10} {:>10}\n",
+                "attack",
+                "runs",
+                "alarms",
+                "min_step",
+                "max_step",
+                "mean_step",
+                "mean_done",
+                "mean_saved"
+            ));
+            out.push_str(&"-".repeat(80));
+            out.push('\n');
+            for c in self.summary_rows() {
+                let Some(t) = &c.ttd else { continue };
+                out.push_str(&format!(
+                    "{:<14} {:>5} {:>6} {:>9} {:>9} {:>10.1} {:>10.3} {:>10.3}\n",
+                    c.attack,
+                    c.scenarios,
+                    t.alarms,
+                    t.min_step,
+                    t.max_step,
+                    t.mean_step,
+                    t.mean_print_fraction,
+                    t.mean_material_saved
+                ));
+            }
+        }
         out
     }
 }
@@ -854,6 +967,7 @@ mod tests {
             final_totals_match: totals,
             judged: true,
             side: Vec::new(),
+            ttd: None,
         }
     }
 
@@ -1087,6 +1201,61 @@ mod tests {
             "{table}"
         );
         assert!(table.contains("weighted fusion (calibrated:"), "{table}");
+    }
+
+    #[test]
+    fn online_records_surface_ttd_distributions() {
+        let mark = |step: u64, done: f64, saved: f64| {
+            Some(TimeToDetection {
+                alarm_step: step,
+                print_fraction: done,
+                material_saved: saved,
+            })
+        };
+        let observations = vec![
+            obs("none", 0, 100, Some(true)),
+            Observation {
+                ttd: mark(10, 0.2, 0.85),
+                ..obs("t2", 40, 100, Some(true))
+            },
+            Observation {
+                ttd: mark(30, 0.6, 0.45),
+                ..obs("t2", 20, 100, Some(true))
+            },
+            // An online attacked run the monitor never caught mid-print.
+            obs("t2", 5, 100, Some(true)),
+        ];
+        let report = AnalyticsReport::over(&observations, &THRESHOLD_GRID);
+        let t2 = report.curve("t2").unwrap().ttd.as_ref().unwrap();
+        assert_eq!(t2.alarms, 2, "uncaught runs don't dilute the stats");
+        assert_eq!((t2.min_step, t2.max_step), (10, 30));
+        assert_eq!(t2.mean_step, 20.0);
+        assert_eq!(t2.mean_print_fraction, 0.4);
+        assert_eq!(t2.mean_material_saved, 0.65);
+        assert!(report.curve("none").unwrap().ttd.is_none());
+
+        let json = crate::json::to_string_pretty(&report);
+        assert!(json.contains("\"ttd_alarms\": 2"), "{json}");
+        assert!(json.contains("\"ttd_mean_print_fraction\": 0.4"), "{json}");
+        // Every online-only JSON addition carries the ttd_ marker on
+        // its own line — the strippability the equivalence harness and
+        // CI rely on.
+        let stripped: String = json
+            .lines()
+            .filter(|l| !l.contains("ttd_"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(!stripped.contains("ttd"), "{stripped}");
+
+        let table = report.summary();
+        assert!(table.contains("time-to-detection"), "{table}");
+        assert!(table.contains("mean_saved"), "{table}");
+
+        // A TTD-free corpus keeps the pre-online shape: no section, no
+        // fields.
+        let post_hoc = AnalyticsReport::over(&[obs("t2", 40, 100, Some(true))], &THRESHOLD_GRID);
+        assert!(!crate::json::to_string_pretty(&post_hoc).contains("ttd"));
+        assert!(!post_hoc.summary().contains("time-to-detection"));
     }
 
     #[test]

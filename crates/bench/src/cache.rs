@@ -30,7 +30,7 @@ use offramps_gcode::spec::WorkloadSpec;
 use offramps_gcode::Program;
 use offramps_store::Store;
 
-use offramps::verdict::{Evidence, Verdict};
+use offramps::verdict::{Evidence, TimeToDetection, Verdict};
 
 use crate::campaign::{CampaignReport, CampaignSpec, Engine, Scenario, ScenarioResult};
 use crate::json::{self, ObjectWriter, Value};
@@ -422,6 +422,24 @@ pub fn decode_result(scenario: Scenario, payload: &str) -> Result<ScenarioResult
             }]
         }
     };
+    // Time-to-detection: written only by online campaigns whose fused
+    // monitor alarmed mid-print. Absent from every pre-online record
+    // (and from online clean runs), so a store warmed post-hoc decodes
+    // with `ttd: None` — same verdict, no TTD line.
+    let ttd = match v.get("ttd_step") {
+        None => None,
+        Some(step) => Some(TimeToDetection {
+            alarm_step: step
+                .as_u64()
+                .ok_or("payload field \"ttd_step\" is not an integer")?,
+            print_fraction: field(&v, "ttd_print_fraction")?
+                .as_f64()
+                .ok_or("payload field \"ttd_print_fraction\" is not a number")?,
+            material_saved: field(&v, "ttd_material_saved")?
+                .as_f64()
+                .ok_or("payload field \"ttd_material_saved\" is not a number")?,
+        }),
+    };
     Ok(ScenarioResult {
         scenario,
         fw_state: field(&v, "fw_state")?
@@ -435,6 +453,7 @@ pub fn decode_result(scenario: Scenario, payload: &str) -> Result<ScenarioResult
             alarmed: detected,
             evidence,
         },
+        ttd,
         wall_ms: 0,
     })
 }
@@ -500,7 +519,18 @@ pub fn run_campaign_cached_with(
     for (sc, key) in scenarios.iter().zip(&keys) {
         let decoded = store
             .get(key)
-            .and_then(|p| decode_result(sc.clone(), p).ok());
+            .and_then(|p| decode_result(sc.clone(), p).ok())
+            .map(|mut r| {
+                // Scenario keys are online-agnostic, so an online-warmed
+                // store can serve a post-hoc campaign — which must keep
+                // its pre-online artifact shape byte for byte: stored
+                // time-to-detection marks ride along only when this
+                // campaign judges online too.
+                if !spec.online {
+                    r.ttd = None;
+                }
+                r
+            });
         if decoded.is_none() {
             misses.push(sc);
         }
@@ -539,7 +569,10 @@ pub fn run_campaign_cached_with(
             &workload_order,
             &programs,
             &goldens,
-            &suite,
+            crate::campaign::Judging {
+                suite: &suite,
+                online: spec.online,
+            },
             threads,
             engine,
         );
@@ -676,6 +709,7 @@ mod tests {
                 alarmed: true,
                 evidence: vec![txn_evidence.clone()],
             },
+            ttd: None,
             wall_ms: 999, // must NOT survive: host timing is not cached
         };
         let decoded = decode_result(scenario, &encode_result(&original)).unwrap();
@@ -746,6 +780,23 @@ mod tests {
         let decoded = decode_result(partial.scenario.clone(), &payload).unwrap();
         assert_eq!(decoded.verdict, partial.verdict);
         assert_eq!(decoded.to_json(), partial.to_json());
+
+        // Online results carry their time-to-detection — and only then:
+        // a post-hoc payload must not grow the fields.
+        assert!(!payload.contains("ttd_"), "{payload}");
+        let online = ScenarioResult {
+            ttd: Some(offramps::TimeToDetection {
+                alarm_step: 42,
+                print_fraction: 0.125,
+                material_saved: 0.8753,
+            }),
+            ..partial
+        };
+        let payload = encode_result(&online);
+        assert!(payload.contains("\"ttd_step\": 42"), "{payload}");
+        let decoded = decode_result(online.scenario.clone(), &payload).unwrap();
+        assert_eq!(decoded.ttd, online.ttd, "TTD round-trips");
+        assert_eq!(decoded.to_json(), online.to_json());
     }
 
     #[test]

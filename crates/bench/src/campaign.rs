@@ -55,7 +55,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use offramps::verdict::{DetectorSuite, EvidenceBundle, FusionPolicy, Verdict};
+use offramps::verdict::{
+    DetectorSuite, EvidenceBundle, FusionPolicy, StreamingSuite, TimeToDetection, Verdict,
+};
 use offramps::{
     trojans, BenchError, RunArtifacts, SignalPath, TestBench, TransactionDetector, Trojan,
 };
@@ -191,6 +193,13 @@ pub struct CampaignSpec {
     pub detectors: Vec<String>,
     /// How the suite fuses per-detector alarms.
     pub fusion: FusionPolicy,
+    /// Judge each scenario *online*: replay its evidence through the
+    /// suite's streaming facets ([`StreamingSuite`]) and record
+    /// time-to-detection. Finalized streaming verdicts are
+    /// byte-identical to the post-hoc path, so this adds TTD columns to
+    /// fresh results without perturbing any verdict, summary line, or
+    /// cache key.
+    pub online: bool,
 }
 
 impl CampaignSpec {
@@ -208,6 +217,7 @@ impl CampaignSpec {
             runs_per_cell: 1,
             detectors: vec![TransactionDetector::NAME.to_string()],
             fusion: FusionPolicy::Any,
+            online: false,
         }
     }
 
@@ -316,6 +326,11 @@ pub struct ScenarioResult {
     pub fw_steps: [i64; 4],
     /// The detector suite's fused verdict and per-detector evidence.
     pub verdict: Verdict,
+    /// Time-to-detection under online judging: `Some` iff the campaign
+    /// ran with [`CampaignSpec::online`] and the fused monitor alarmed
+    /// mid-print. Post-hoc campaigns always carry `None`, keeping their
+    /// artifacts byte-identical to the pre-online format.
+    pub ttd: Option<TimeToDetection>,
     /// Host milliseconds the run took (excluded from the deterministic
     /// summary and JSON; see [`CampaignReport::timing_json`]).
     pub wall_ms: u64,
@@ -388,6 +403,18 @@ impl ScenarioResult {
     /// campaigns stay byte-identical); any further detectors ride in an
     /// `evidence` array of per-detector sufficient statistics.
     pub(crate) fn write_verdict_fields(&self, w: &mut ObjectWriter<'_>) {
+        // Online-only fields: absent entirely on post-hoc campaigns and
+        // on online scenarios that never alarmed, so default artifacts
+        // keep their pre-online shape byte for byte. They lead the
+        // block — the writer attaches the separating comma to the line
+        // *before* each new key, so an online-only field must always be
+        // followed by an unconditional one ("detected") for the
+        // artifact minus its `ttd_` lines to equal the post-hoc bytes.
+        if let Some(ttd) = self.ttd {
+            w.int("ttd_step", ttd.alarm_step as i128)
+                .float("ttd_print_fraction", ttd.print_fraction)
+                .float("ttd_material_saved", ttd.material_saved);
+        }
         w.bool("detected", self.detected())
             .int("mismatches", self.mismatches() as i128)
             .int(
@@ -530,6 +557,11 @@ impl ToJson for CampaignReport {
         let mut w = ObjectWriter::new(out, indent);
         w.int("master_seed", self.spec.master_seed as i128)
             .int("runs_per_cell", self.spec.runs_per_cell.max(1) as i128);
+        // Online judging is part of the artifact's metadata; post-hoc
+        // campaigns keep the pre-online shape byte for byte.
+        if self.spec.online {
+            w.bool("online", true);
+        }
         // Non-default suites are part of the artifact's metadata; the
         // default transaction-only suite keeps the pre-suite shape so
         // existing reports stay byte-identical.
@@ -675,16 +707,32 @@ fn scenario_bench(
     (bench, job)
 }
 
+/// One campaign's judging configuration, threaded as a unit to every
+/// worker: the suite each scenario is judged with, and whether the
+/// evidence is replayed through its streaming facets (online) or
+/// judged post-hoc.
+#[derive(Clone, Copy)]
+pub(crate) struct Judging<'a> {
+    /// The detector suite judging every scenario.
+    pub suite: &'a DetectorSuite,
+    /// Replay online and record time-to-detection.
+    pub online: bool,
+}
+
 /// Judges one scenario's run outcome against its golden evidence.
 /// `sim_ms` is the host time attributed to the simulation itself;
-/// judging time is added on top.
+/// judging time is added on top. Online judging replays the evidence
+/// through the suite's streaming facets instead — the finalized verdict
+/// is byte-identical to the post-hoc judge, and the fused monitor's
+/// time-to-detection rides along.
 fn judge_outcome(
     scenario: &Scenario,
     outcome: Result<RunArtifacts, BenchError>,
     golden: &EvidenceBundle,
-    suite: &DetectorSuite,
+    judging: Judging<'_>,
     sim_ms: u64,
 ) -> ScenarioResult {
+    let Judging { suite, online } = judging;
     let t0 = Instant::now();
     match outcome {
         Ok(art) => {
@@ -693,13 +741,20 @@ fn judge_outcome(
             let sim_ns = art.sim_time.as_duration().as_nanos();
             let fw_steps = art.fw_steps;
             let observed = detectors::observed_evidence(art, scenario.seed, suite);
+            let (verdict, ttd) = if online {
+                let outcome = StreamingSuite::new(suite).run(golden, &observed);
+                (outcome.verdict, outcome.ttd)
+            } else {
+                (suite.judge(golden, &observed), None)
+            };
             ScenarioResult {
                 scenario: scenario.clone(),
                 fw_state,
                 events,
                 sim_ns,
                 fw_steps,
-                verdict: suite.judge(golden, &observed),
+                verdict,
+                ttd,
                 wall_ms: sim_ms + t0.elapsed().as_millis() as u64,
             }
         }
@@ -710,6 +765,7 @@ fn judge_outcome(
             sim_ns: 0,
             fw_steps: [0; 4],
             verdict: suite.unjudged(),
+            ttd: None,
             wall_ms: sim_ms,
         },
     }
@@ -721,13 +777,13 @@ pub(crate) fn run_scenario(
     scenario: &Scenario,
     program: &Arc<Program>,
     golden: &EvidenceBundle,
-    suite: &DetectorSuite,
+    judging: Judging<'_>,
 ) -> ScenarioResult {
-    let (bench, job) = scenario_bench(scenario, program, suite);
+    let (bench, job) = scenario_bench(scenario, program, judging.suite);
     let t0 = Instant::now();
     let outcome = bench.run(&job);
     let sim_ms = t0.elapsed().as_millis() as u64;
-    judge_outcome(scenario, outcome, golden, suite, sim_ms)
+    judge_outcome(scenario, outcome, golden, judging, sim_ms)
 }
 
 /// Runs a batch of sibling scenarios of one workload in lockstep —
@@ -739,11 +795,11 @@ pub(crate) fn run_scenario_batch(
     batch: &[&Scenario],
     program: &Arc<Program>,
     golden: &EvidenceBundle,
-    suite: &DetectorSuite,
+    judging: Judging<'_>,
 ) -> Vec<ScenarioResult> {
     let (benches, jobs): (Vec<_>, Vec<_>) = batch
         .iter()
-        .map(|sc| scenario_bench(sc, program, suite))
+        .map(|sc| scenario_bench(sc, program, judging.suite))
         .unzip();
     let t0 = Instant::now();
     let outcomes = TestBench::run_batch(benches, &jobs);
@@ -751,7 +807,7 @@ pub(crate) fn run_scenario_batch(
     batch
         .iter()
         .zip(outcomes)
-        .map(|(sc, outcome)| judge_outcome(sc, outcome, golden, suite, sim_ms))
+        .map(|(sc, outcome)| judge_outcome(sc, outcome, golden, judging, sim_ms))
         .collect()
 }
 
@@ -798,7 +854,7 @@ pub(crate) fn execute_scenarios(
     workload_order: &[&str],
     programs: &HashMap<&str, Arc<Program>>,
     goldens: &HashMap<&str, EvidenceBundle>,
-    suite: &DetectorSuite,
+    judging: Judging<'_>,
     threads: usize,
     engine: Engine,
 ) -> Vec<ScenarioResult> {
@@ -808,14 +864,14 @@ pub(crate) fn execute_scenarios(
                 sc,
                 &programs[sc.workload.as_str()],
                 &goldens[sc.workload.as_str()],
-                suite,
+                judging,
             )
         }),
         Engine::Lockstep(batch) => {
             let batches = lockstep_batches(scenarios.iter().copied(), workload_order, batch);
             let ran = parallel_map(&batches, threads, |batch| {
                 let label = batch[0].workload.as_str();
-                run_scenario_batch(batch, &programs[label], &goldens[label], suite)
+                run_scenario_batch(batch, &programs[label], &goldens[label], judging)
             });
             // Batches group by workload, but the caller expects input
             // order — reassemble through each scenario's matrix index.
@@ -915,7 +971,10 @@ pub fn run_campaign_with(
         &workload_order,
         &programs,
         &goldens,
-        &suite,
+        Judging {
+            suite: &suite,
+            online: spec.online,
+        },
         threads,
         engine,
     );

@@ -308,6 +308,135 @@ impl OnlineDetector {
     }
 }
 
+/// Incremental form of [`compare`]: feed observed transactions as the
+/// capture grows, read the provisional alarm between windows, and
+/// [`StreamingCompare::finalize`] into the byte-identical
+/// [`DetectionReport`] the whole-print comparison produces.
+///
+/// Unlike the legacy [`OnlineDetector`] (which hard-codes a 20-sample
+/// warm-up), the provisional alarm here applies the same
+/// [`floored_suspect_fraction`] rule the campaign judge applies
+/// post-hoc, evaluated over the prefix seen so far — so the online and
+/// offline verdicts can never disagree at end-of-print.
+#[derive(Debug, Clone)]
+pub struct StreamingCompare {
+    golden: Capture,
+    config: DetectorConfig,
+    compared: usize,
+    observed_len: usize,
+    mismatches: Vec<Mismatch>,
+    mismatched_transactions: usize,
+    largest: f64,
+}
+
+impl StreamingCompare {
+    /// Starts an incremental comparison against a golden capture.
+    pub fn new(golden: Capture, config: DetectorConfig) -> Self {
+        StreamingCompare {
+            golden,
+            config,
+            compared: 0,
+            observed_len: 0,
+            mismatches: Vec::new(),
+            mismatched_transactions: 0,
+            largest: 0.0,
+        }
+    }
+
+    /// Feeds the next observed transaction (positional, like
+    /// [`compare`]: the i-th observed transaction is judged against the
+    /// i-th golden one; transactions past the golden print's end only
+    /// count toward the length difference).
+    pub fn feed(&mut self, t: &Transaction) {
+        self.observed_len += 1;
+        let Some(g) = self.golden.transactions().get(self.compared).copied() else {
+            return;
+        };
+        let mut any = false;
+        for axis in 0..4 {
+            let pct = percent_diff(
+                g.counts[axis],
+                t.counts[axis],
+                self.config.denominator_floor,
+            );
+            self.largest = self.largest.max(pct);
+            if pct > self.config.margin * 100.0 {
+                self.mismatches.push(Mismatch {
+                    index: g.index,
+                    axis,
+                    golden: g.counts[axis],
+                    observed: t.counts[axis],
+                    percent: pct,
+                });
+                any = true;
+            }
+        }
+        if any {
+            self.mismatched_transactions += 1;
+        }
+        self.compared += 1;
+    }
+
+    /// Transactions compared so far.
+    pub fn compared(&self) -> usize {
+        self.compared
+    }
+
+    /// Transactions with at least one out-of-margin axis so far.
+    pub fn mismatched_transactions(&self) -> usize {
+        self.mismatched_transactions
+    }
+
+    /// Out-of-margin values so far (every axis counted).
+    pub fn mismatch_values(&self) -> usize {
+        self.mismatches.len()
+    }
+
+    /// Largest percent difference seen so far.
+    pub fn largest_percent(&self) -> f64 {
+        self.largest
+    }
+
+    /// The provisional mid-print alarm: the mismatch fraction over the
+    /// prefix seen so far, judged against the configured suspect
+    /// fraction floored for that prefix length (so fewer than
+    /// [`SUSPECT_TRANSACTION_FLOOR`] mismatching transactions can never
+    /// halt a print). The end-of-print totals check only lands at
+    /// [`StreamingCompare::finalize`].
+    pub fn provisionally_suspected(&self) -> bool {
+        if self.compared == 0 {
+            return false;
+        }
+        self.mismatched_transactions as f64 / self.compared as f64
+            > floored_suspect_fraction(self.config.suspect_fraction, self.compared)
+    }
+
+    /// Closes the stream with the observed capture's end-of-print
+    /// totals (when recorded) and returns the report — byte-identical
+    /// to [`compare`] over the full captures.
+    pub fn finalize(self, observed_final: Option<[i32; 4]>) -> DetectionReport {
+        let final_totals_match = if self.config.final_check {
+            match (self.golden.final_counts(), observed_final) {
+                (Some(g), Some(o)) => Some(g == o),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        let mut report = DetectionReport {
+            mismatches: self.mismatches,
+            largest_percent: self.largest,
+            transactions_compared: self.compared,
+            final_totals_match,
+            length_difference: self.golden.len().abs_diff(self.observed_len),
+            trojan_suspected: false,
+        };
+        report.trojan_suspected = report.mismatch_fraction() > self.config.suspect_fraction
+            || report.final_totals_match == Some(false);
+        report
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -557,6 +686,46 @@ mod randomized_tests {
                 .collect();
             let rep = compare(&cap, &tampered, &DetectorConfig::default());
             assert!(rep.trojan_suspected, "seed {seed}");
+        }
+    }
+
+    /// Feeding any observed capture transaction-by-transaction and
+    /// finalizing reproduces the offline report byte-for-byte —
+    /// including mismatch order, largest percent, length difference and
+    /// the end-of-print totals check.
+    #[test]
+    fn streaming_compare_finalize_matches_offline_compare() {
+        for seed in 0u64..64 {
+            let mut rng = DetRng::from_seed(seed ^ 0xf00d);
+            let cap = random_capture(&mut rng, 60);
+            let observed = random_capture(&mut rng, 60);
+            let cfg = DetectorConfig::default();
+            let offline = compare(&cap, &observed, &cfg);
+            let mut stream = StreamingCompare::new(cap.clone(), cfg);
+            for t in observed.transactions() {
+                stream.feed(t);
+            }
+            assert_eq!(
+                stream.finalize(observed.final_counts()),
+                offline,
+                "seed {seed}"
+            );
+        }
+    }
+
+    /// A clean prefix never provisionally alarms; once the whole run is
+    /// fed, the provisional rule agrees with the floored offline one.
+    #[test]
+    fn streaming_compare_provisional_rule_is_floored() {
+        for seed in 0u64..32 {
+            let mut rng = DetRng::from_seed(seed ^ 0xabba);
+            let cap = random_capture(&mut rng, 60);
+            let cfg = DetectorConfig::default();
+            let mut stream = StreamingCompare::new(cap.clone(), cfg);
+            for t in cap.transactions() {
+                stream.feed(t);
+                assert!(!stream.provisionally_suspected(), "seed {seed}");
+            }
         }
     }
 

@@ -48,12 +48,13 @@ pub mod verdict;
 
 pub use capture::{Capture, Transaction, TRANSACTION_BYTES};
 pub use config::{MitmConfig, SignalPath};
-pub use detect::{DetectionReport, DetectorConfig, Mismatch, OnlineDetector};
+pub use detect::{DetectionReport, DetectorConfig, Mismatch, OnlineDetector, StreamingCompare};
 pub use mitm::Offramps;
 pub use testbench::{BenchError, RunArtifacts, TestBench};
 pub use trojans::{Disposition, Trojan, TrojanCtx};
 pub use verdict::{
     AcousticDetector, Channel, ChannelData, ChannelRequest, ChannelSynth, Detector, DetectorSuite,
-    Evidence, EvidenceBundle, FusionPolicy, PowerSideChannelDetector, ThermalDetector,
-    TransactionDetector, Verdict,
+    Evidence, EvidenceBundle, FusionPolicy, OnlineMonitor, OnlineOutcome, OnlineStep,
+    PowerSideChannelDetector, StreamState, StreamingDetector, StreamingSuite, ThermalDetector,
+    TimeToDetection, TransactionDetector, Verdict, WindowData, WindowEvidence,
 };

@@ -221,6 +221,171 @@ pub fn compare_sampled(
     }
 }
 
+/// The golden material a [`StreamingComparator`] judges against: the
+/// same selection rule as [`compare_sampled`], frozen at `begin` time.
+#[derive(Debug, Clone)]
+enum StreamProfile {
+    /// Repetition-calibrated per-window mean and band.
+    Calibrated(CalibratedProfile),
+    /// Single-golden fallback: the smoothed golden profile plus the
+    /// fixed noise-derived threshold of [`single_profile_compare`].
+    Single { golden: Vec<f64>, threshold: f64 },
+}
+
+/// Incremental form of [`compare_sampled`]: feed raw samples as a live
+/// sensor would deliver them, read the provisional alarm between
+/// windows, and [`StreamingComparator::finalize`] into the
+/// byte-identical [`SideChannelReport`] the batch comparator produces
+/// over the full trace.
+///
+/// The state after feeding the first `t` samples depends only on `t`,
+/// never on how the feed was chunked — smoothing windows are emitted
+/// exactly when `smoothing` raw samples have accumulated (the partial
+/// final chunk is averaged at finalize, matching [`smooth`]), so any
+/// slicing of the same sample stream yields the same verdicts.
+#[derive(Debug, Clone)]
+pub struct StreamingComparator {
+    profile: StreamProfile,
+    smoothing: usize,
+    suspect_fraction: f64,
+    buf: Vec<f64>,
+    windows_compared: usize,
+    anomalous_windows: usize,
+    largest: f64,
+}
+
+impl StreamingComparator {
+    /// Starts a streaming comparison with the same golden-material
+    /// selection as [`compare_sampled`]: calibrated profile when two or
+    /// more repetitions exist, single-golden fallback otherwise, `None`
+    /// when there is no golden material at all.
+    pub fn begin(
+        calibration: &[&[f64]],
+        golden: Option<&[f64]>,
+        config: ComparatorConfig,
+    ) -> Option<Self> {
+        let profile = if calibration.len() >= 2 {
+            StreamProfile::Calibrated(CalibratedProfile::calibrate(calibration, config))
+        } else {
+            let g = golden?;
+            let sigma_eff = config.noise_sigma / (config.smoothing.max(1) as f64).sqrt()
+                * std::f64::consts::SQRT_2;
+            StreamProfile::Single {
+                golden: smooth(g, config.smoothing),
+                threshold: config.sigma_threshold * sigma_eff,
+            }
+        };
+        Some(StreamingComparator {
+            profile,
+            smoothing: config.smoothing.max(1),
+            suspect_fraction: config.suspect_fraction,
+            buf: Vec::new(),
+            windows_compared: 0,
+            anomalous_windows: 0,
+            largest: 0.0,
+        })
+    }
+
+    /// Judges one completed smoothing window. Windows beyond the golden
+    /// profile's length are ignored, exactly like the batch
+    /// comparators' min-length truncation.
+    fn take_window(&mut self, value: f64) {
+        let (dev, threshold) = match &self.profile {
+            StreamProfile::Calibrated(p) => {
+                if self.windows_compared >= p.mean.len() {
+                    return;
+                }
+                let w = self.windows_compared;
+                ((p.mean[w] - value).abs(), p.sigma_threshold * p.band[w])
+            }
+            StreamProfile::Single { golden, threshold } => {
+                if self.windows_compared >= golden.len() {
+                    return;
+                }
+                ((golden[self.windows_compared] - value).abs(), *threshold)
+            }
+        };
+        self.largest = self.largest.max(dev);
+        if dev > threshold {
+            self.anomalous_windows += 1;
+        }
+        self.windows_compared += 1;
+    }
+
+    /// Feeds one raw sample.
+    pub fn push(&mut self, sample: f64) {
+        if self.smoothing == 1 {
+            // `smooth` passes samples through untouched at k <= 1.
+            self.take_window(sample);
+            return;
+        }
+        self.buf.push(sample);
+        if self.buf.len() == self.smoothing {
+            let avg = self.buf.iter().sum::<f64>() / self.buf.len() as f64;
+            self.buf.clear();
+            self.take_window(avg);
+        }
+    }
+
+    /// Feeds a slice of raw samples (any chunking).
+    pub fn extend(&mut self, samples: &[f64]) {
+        for &s in samples {
+            self.push(s);
+        }
+    }
+
+    /// Windows fully judged so far (the partial smoothing chunk, if
+    /// any, is not yet a window).
+    pub fn windows_compared(&self) -> usize {
+        self.windows_compared
+    }
+
+    /// Windows flagged anomalous so far.
+    pub fn anomalous_windows(&self) -> usize {
+        self.anomalous_windows
+    }
+
+    /// Largest smoothed deviation seen so far.
+    pub fn largest_deviation(&self) -> f64 {
+        self.largest
+    }
+
+    /// The provisional mid-print alarm: the shared
+    /// [`suspect_anomaly_fraction`] rule over the windows judged so
+    /// far. Strictly tightens toward the final verdict as windows
+    /// accumulate; zero windows never alarm.
+    pub fn suspected_so_far(&self) -> bool {
+        suspect_anomaly_fraction(
+            self.anomalous_windows,
+            self.windows_compared,
+            self.suspect_fraction,
+        )
+    }
+
+    /// Flushes the partial final smoothing chunk (averaged over its own
+    /// length, like [`smooth`]) and returns the report — byte-identical
+    /// to what [`compare_sampled`] produces over the full trace.
+    pub fn finalize(mut self) -> SideChannelReport {
+        if !self.buf.is_empty() {
+            let avg = self.buf.iter().sum::<f64>() / self.buf.len() as f64;
+            self.buf.clear();
+            self.take_window(avg);
+        }
+        let mut report = SideChannelReport {
+            windows_compared: self.windows_compared,
+            anomalous_windows: self.anomalous_windows,
+            largest_deviation_w: self.largest,
+            sabotage_suspected: false,
+        };
+        report.sabotage_suspected = suspect_anomaly_fraction(
+            self.anomalous_windows,
+            self.windows_compared,
+            self.suspect_fraction,
+        );
+        report
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,5 +448,128 @@ mod tests {
         assert!(!suspect_anomaly_fraction(1, 100, 0.01), "at threshold");
         assert!(suspect_anomaly_fraction(2, 100, 0.01), "over threshold");
         assert!(!suspect_anomaly_fraction(5, 0, 0.0), "nothing compared");
+    }
+
+    /// Deterministic pseudo-random sample synthesis for the streaming
+    /// equivalence checks (xorshift, no external RNG).
+    fn noisy(seed: u64, n: usize, base: f64) -> Vec<f64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                base + (x % 1000) as f64 / 100.0
+            })
+            .collect()
+    }
+
+    /// Feeds `observed` into a fresh streaming comparator in chunks
+    /// drawn from the same xorshift, and returns the finalized report.
+    fn stream_in_chunks(
+        calibration: &[&[f64]],
+        golden: Option<&[f64]>,
+        observed: &[f64],
+        config: ComparatorConfig,
+        chunk_seed: u64,
+    ) -> SideChannelReport {
+        let mut s = StreamingComparator::begin(calibration, golden, config).unwrap();
+        let mut x = chunk_seed | 1;
+        let mut i = 0;
+        while i < observed.len() {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let k = 1 + (x % 37) as usize;
+            let end = (i + k).min(observed.len());
+            s.extend(&observed[i..end]);
+            i = end;
+        }
+        s.finalize()
+    }
+
+    #[test]
+    fn streaming_finalize_matches_batch_for_any_chunking() {
+        // Lengths straddling smoothing boundaries: empty, shorter than
+        // one window, exact multiples, and a partial final chunk.
+        for len in [0usize, 7, 20, 200, 213] {
+            for seed in [3u64, 99, 1234] {
+                let a = noisy(seed, 240, 5.0);
+                let b = noisy(seed.wrapping_mul(31), 240, 5.0);
+                let calibration: Vec<&[f64]> = vec![&a, &b];
+                let observed = noisy(seed ^ 0xdead, len, 5.0 + (seed % 3) as f64 * 20.0);
+
+                let batch = compare_sampled(&calibration, None, &observed, cfg()).unwrap();
+                for chunk_seed in [1u64, 5, 77] {
+                    let streamed =
+                        stream_in_chunks(&calibration, None, &observed, cfg(), chunk_seed);
+                    assert_eq!(streamed, batch, "calibrated len={len} seed={seed}");
+                }
+
+                let batch = compare_sampled(&[], Some(&a), &observed, cfg()).unwrap();
+                for chunk_seed in [1u64, 5, 77] {
+                    let streamed = stream_in_chunks(&[], Some(&a), &observed, cfg(), chunk_seed);
+                    assert_eq!(streamed, batch, "single len={len} seed={seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch_without_smoothing() {
+        let golden = vec![2.0; 50];
+        let observed: Vec<f64> = (0..50).map(|i| 2.0 + i as f64).collect();
+        let config = ComparatorConfig {
+            smoothing: 1,
+            ..cfg()
+        };
+        let batch = single_profile_compare(&golden, &observed, config);
+        let mut s = StreamingComparator::begin(&[], Some(&golden), config).unwrap();
+        s.extend(&observed);
+        assert_eq!(s.finalize(), batch);
+    }
+
+    #[test]
+    fn streaming_selects_like_compare_sampled() {
+        assert!(
+            StreamingComparator::begin(&[], None, cfg()).is_none(),
+            "no golden material"
+        );
+        let run = vec![1.0; 10];
+        assert!(StreamingComparator::begin(&[], Some(&run), cfg()).is_some());
+        let calibration: Vec<&[f64]> = vec![&run, &run];
+        assert!(StreamingComparator::begin(&calibration, None, cfg()).is_some());
+    }
+
+    #[test]
+    fn provisional_alarm_rises_mid_stream_and_never_fires_clean() {
+        let run = vec![5.0; 400];
+        let runs: Vec<&[f64]> = vec![&run, &run, &run];
+        let config = ComparatorConfig {
+            smoothing: 20,
+            ..cfg()
+        };
+
+        // Clean replay: provisional alarm stays off at every sample.
+        let mut s = StreamingComparator::begin(&runs, None, config).unwrap();
+        for &v in &run {
+            s.push(v);
+            assert!(!s.suspected_so_far(), "clean run must never alarm");
+        }
+        assert!(!s.finalize().sabotage_suspected);
+
+        // Sabotage from sample 200 on: the alarm must rise strictly
+        // before the stream ends.
+        let mut s = StreamingComparator::begin(&runs, None, config).unwrap();
+        let mut alarm_at = None;
+        for (i, &v) in run.iter().enumerate() {
+            s.push(if i >= 200 { v + 50.0 } else { v });
+            if alarm_at.is_none() && s.suspected_so_far() {
+                alarm_at = Some(i);
+            }
+        }
+        let alarm_at = alarm_at.expect("sabotage must alarm mid-stream");
+        assert!(alarm_at >= 200 && alarm_at < run.len() - 1, "{alarm_at}");
+        assert!(s.finalize().sabotage_suspected);
     }
 }

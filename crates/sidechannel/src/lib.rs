@@ -49,7 +49,7 @@ mod thermal;
 pub use acoustic::{AcousticModel, AcousticTrace};
 pub use comparator::{
     compare_sampled, single_profile_compare, suspect_anomaly_fraction, CalibratedProfile,
-    ComparatorConfig, SideChannelReport,
+    ComparatorConfig, SideChannelReport, StreamingComparator,
 };
 pub use detector::{CalibratedPowerDetector, PowerDetector, PowerDetectorConfig};
 pub use model::{PowerModel, PowerTrace};

@@ -1,54 +1,93 @@
 //! Real-time print guarding: the §V-C claim that "this analysis can also
 //! be done in real-time while printing, enabling a user to halt a print
-//! as soon as a Trojan is suspected" — with the material saved
-//! quantified.
+//! as soon as a Trojan is suspected" — now across the whole observation
+//! plane. All four judges (txn, power, acoustic, thermal) stream the
+//! replayed print in 100 ms evidence windows; the fused vote raises the
+//! alarm mid-print, and the finalized verdict is byte-identical to the
+//! post-hoc suite.
 //!
 //! ```bash
 //! cargo run --release --example online_guard
 //! ```
 
-use offramps::{detect, OnlineDetector, SignalPath, TestBench};
+use std::sync::Arc;
+
+use offramps::{FusionPolicy, SignalPath, StreamingSuite, TestBench};
 use offramps_attacks::Flaw3dTrojan;
+use offramps_bench::detectors::{
+    golden_evidence, observed_evidence, suite_from_names, DETECTOR_NAMES,
+};
 use offramps_bench::workloads;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = workloads::standard_part();
+    let names: Vec<String> = DETECTOR_NAMES.iter().map(|s| s.to_string()).collect();
+    let suite = suite_from_names(&names, FusionPolicy::Any)?;
 
-    println!("capturing the golden reference...");
-    let golden = TestBench::new(1)
-        .signal_path(SignalPath::capture())
-        .run(&program)?
-        .capture
-        .unwrap();
+    println!("capturing the golden reference (+ shared calibration reruns)...");
+    let golden = golden_evidence(&program, 1, &[101, 102, 103, 104], &suite);
 
     println!("printing a Flaw3D-compromised job (reduction x0.85)...\n");
-    let attacked = std::sync::Arc::new(Flaw3dTrojan::Reduction { factor: 0.85 }.apply(&program));
-    let run = TestBench::new(2)
+    let attacked = Arc::new(Flaw3dTrojan::Reduction { factor: 0.85 }.apply(&program));
+    let art = TestBench::new(2)
         .signal_path(SignalPath::capture())
+        .record_plant_trace(true)
         .run(&attacked)?;
-    let observed = run.capture.unwrap();
+    let observed = observed_evidence(art, 2, &suite);
 
-    // Replay the capture through the online detector, transaction by
-    // transaction, as the host would during the print.
-    let mut guard = OnlineDetector::new(golden.clone(), detect::DetectorConfig::default());
-    for (i, t) in observed.transactions().iter().enumerate() {
-        let mismatches = guard.feed(*t);
-        if !mismatches.is_empty() && guard.alarmed() {
-            let total = observed.len();
-            let pct = 100.0 * i as f64 / total as f64;
-            println!("ALARM at transaction {i}/{total} ({pct:.0}% through the print):");
-            for m in mismatches.iter().take(3) {
-                println!("  {m}");
-            }
-            println!(
-                "\nhalting here saves {:.0}% of the machine time and material\n\
-                 (the paper: \"large malicious divergences can be detected and\n\
-                 aborted early to save machine time and material cost\").",
-                100.0 - pct
-            );
-            return Ok(());
+    // Stream the observation plane through the fused monitor slice by
+    // slice, exactly as the host would while the print is still running.
+    let streaming = StreamingSuite::new(&suite);
+    let mut monitor = streaming.monitor(&golden, &observed);
+    let total = monitor.steps_total();
+    while let Some(step) = monitor.step() {
+        if !step.alarmed {
+            continue;
         }
+        let voters: Vec<&str> = step
+            .windows
+            .iter()
+            .filter(|w| w.alarmed == Some(true))
+            .map(|w| w.detector)
+            .collect();
+        println!(
+            "ALARM at window {}/{} ({} into the print), raised by: {}",
+            step.step,
+            total,
+            step.elapsed,
+            voters.join(", ")
+        );
+        break;
     }
-    println!("print completed without alarm (unexpected for this demo)");
-    std::process::exit(1);
+
+    let outcome = monitor.finish();
+    println!(
+        "\nfinal fused verdict: {}",
+        if outcome.verdict.alarmed {
+            "TROJAN SUSPECTED"
+        } else {
+            "clean"
+        }
+    );
+    for e in &outcome.verdict.evidence {
+        println!(
+            "  {:<9} alarmed={:?}  flagged {} of {} units",
+            e.detector, e.alarmed, e.flagged, e.compared
+        );
+    }
+    let Some(ttd) = outcome.ttd else {
+        println!("print completed without a mid-print alarm (unexpected for this demo)");
+        std::process::exit(1);
+    };
+    println!(
+        "\ntime to detection: window {} of {} ({:.0}% of the print done)\n\
+         halting here saves {:.0}% of the job's filament\n\
+         (the paper: \"large malicious divergences can be detected and\n\
+         aborted early to save machine time and material cost\").",
+        ttd.alarm_step,
+        total,
+        100.0 * ttd.print_fraction,
+        100.0 * ttd.material_saved,
+    );
+    Ok(())
 }

@@ -48,7 +48,7 @@ USAGE:
   offramps-cli detect   <golden.csv> <observed.csv> [--margin PCT]
   offramps-cli stats    <file.gcode>
   offramps-cli campaign [--threads N] [--batch solo|full|N] [--seed N]
-                        [--runs K] [--json out.json]
+                        [--runs K] [--json out.json] [--online]
                         [--trojans none,t1,...,flaw3d-r90,flaw3d-rel20|all]
                         [--workloads mini,standard,tall,detection]
                         [--corpus N] [--sweep] [--list]
@@ -102,6 +102,19 @@ the detector reliably catches).
                   stored corpus for you). Changing the suite changes
                   scenario-store keys: no stale verdicts are ever
                   served.
+  --online        judge each scenario with the streaming online monitor
+                  instead of post-hoc: the detectors consume the
+                  replayed observation plane in 100 ms evidence windows
+                  and the fused vote alarms at the first window that
+                  crosses its calibrated threshold. Finalized verdicts
+                  are byte-identical to the post-hoc path; the summary
+                  gains an `online:` time-to-detection line, and the
+                  JSON gains an `\"online\": true` marker plus per-result
+                  ttd_step / ttd_print_fraction / ttd_material_saved
+                  fields (analytics aggregates them into per-attack TTD
+                  distributions). Scenario-store keys are unchanged, so
+                  a post-hoc-warmed --cache DIR serves an online rerun
+                  without re-simulating anything.
   --cache DIR     run the campaign through the persistent scenario store
                   at DIR: cached scenarios are answered from disk, only
                   new or invalidated ones are simulated, fresh results
@@ -379,6 +392,9 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
     if let Some(policy) = opt(args, "--fuse") {
         spec.fusion = FusionPolicy::parse(&policy)?;
     }
+    if args.iter().any(|a| a == "--online") {
+        spec.online = true;
+    }
     spec.suite()?; // validate detector names before simulating
 
     if args.iter().any(|a| a == "--list") {
@@ -416,6 +432,30 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
         report = run_campaign_with(&spec, threads.max(1), engine)?;
     }
     print!("{}", report.summary());
+    if report.spec.online {
+        // Deterministic (fixed iteration order over matrix-ordered
+        // results), so CI can diff this line across thread counts.
+        let marks: Vec<_> = report.results.iter().filter_map(|r| r.ttd).collect();
+        if marks.is_empty() {
+            println!(
+                "online: no mid-print alarms across {} scenarios",
+                report.results.len()
+            );
+        } else {
+            let n = marks.len() as f64;
+            let mean_step = marks.iter().map(|t| t.alarm_step as f64).sum::<f64>() / n;
+            let mean_done = marks.iter().map(|t| t.print_fraction).sum::<f64>() / n;
+            let mean_saved = marks.iter().map(|t| t.material_saved).sum::<f64>() / n;
+            println!(
+                "online: {} of {} scenarios alarmed mid-print   mean alarm step {:.1}   mean print done {:.1}%   mean material saved {:.1}%",
+                marks.len(),
+                report.results.len(),
+                mean_step,
+                mean_done * 100.0,
+                mean_saved * 100.0,
+            );
+        }
+    }
     println!(
         "threads: {}   wall: {:.2}s   throughput: {:.0} events/s",
         report.threads,
