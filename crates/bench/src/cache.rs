@@ -28,6 +28,7 @@ use std::time::Instant;
 use offramps_gcode::slicer::Solid;
 use offramps_gcode::spec::WorkloadSpec;
 use offramps_gcode::Program;
+use offramps_obs::Obs;
 use offramps_store::Store;
 
 use offramps::verdict::{Evidence, TimeToDetection, Verdict};
@@ -491,6 +492,30 @@ pub fn run_campaign_cached_with(
     store: &mut Store,
     engine: Engine,
 ) -> Result<(CampaignReport, CacheStats), String> {
+    run_campaign_cached_observed(spec, threads, store, engine, &Obs::disabled(), false)
+}
+
+/// [`run_campaign_cached_with`] with the observability plane attached
+/// (see [`crate::campaign::run_campaign_observed`] for the campaign
+/// side). On top of the campaign metrics, an enabled handle records
+/// the store's effectiveness (`store.hits` / `store.misses` /
+/// `store.appends`, `campaign.scenarios_decoded`) and the open-time
+/// shard-scan rollup (`store.scan.*` — lines walked, records,
+/// superseded rewrites, torn and foreign lines skipped). All of it is
+/// a pure function of the store state and the spec, so the metrics
+/// document stays deterministic.
+///
+/// # Errors
+///
+/// Same conditions as [`run_campaign_cached`].
+pub fn run_campaign_cached_observed(
+    spec: &CampaignSpec,
+    threads: usize,
+    store: &mut Store,
+    engine: Engine,
+    obs: &Obs,
+    trace_alarms: bool,
+) -> Result<(CampaignReport, CacheStats), String> {
     let suite = spec.suite()?;
     let scenarios = spec.scenarios()?;
     let t0 = Instant::now();
@@ -540,6 +565,19 @@ pub fn run_campaign_cached_with(
         hits: scenarios.len() - misses.len(),
         misses: misses.len(),
     };
+    if obs.is_enabled() {
+        obs.count("store.hits", stats.hits as u64);
+        obs.count("store.misses", stats.misses as u64);
+        // Fresh results are appended below, one record per miss.
+        obs.count("store.appends", stats.misses as u64);
+        obs.count("campaign.scenarios_decoded", stats.hits as u64);
+        let scan = store.scan_stats();
+        obs.count("store.scan.lines", scan.lines as u64);
+        obs.count("store.scan.records", scan.records as u64);
+        obs.count("store.scan.superseded", scan.superseded as u64);
+        obs.count("store.scan.torn", scan.torn as u64);
+        obs.count("store.scan.foreign", scan.foreign as u64);
+    }
 
     if !misses.is_empty() {
         let needed: HashSet<&str> = misses.iter().map(|sc| sc.workload.as_str()).collect();
@@ -572,6 +610,8 @@ pub fn run_campaign_cached_with(
             crate::campaign::Judging {
                 suite: &suite,
                 online: spec.online,
+                obs,
+                trace_alarms,
             },
             threads,
             engine,

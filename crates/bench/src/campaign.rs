@@ -56,7 +56,8 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use offramps::verdict::{
-    DetectorSuite, EvidenceBundle, FusionPolicy, StreamingSuite, TimeToDetection, Verdict,
+    DetectorSuite, EvidenceBundle, FusionPolicy, OnlineMonitor, OnlineOutcome, OnlineStep,
+    StreamingSuite, TimeToDetection, Verdict,
 };
 use offramps::{
     trojans, BenchError, RunArtifacts, SignalPath, TestBench, TransactionDetector, Trojan,
@@ -64,6 +65,7 @@ use offramps::{
 use offramps_attacks::Flaw3dTrojan;
 use offramps_des::SeedSplitter;
 use offramps_gcode::Program;
+use offramps_obs::{FlightRecorder, MetricClass, Obs};
 
 use crate::detectors;
 use crate::json::{ObjectWriter, ToJson};
@@ -518,11 +520,35 @@ impl CampaignReport {
     /// [`CampaignReport::summary`]) because wall time varies run to run
     /// — the main artifacts stay byte-identical for any thread count.
     pub fn timing_json(&self) -> String {
+        self.timing_json_observed(&Obs::disabled())
+    }
+
+    /// [`CampaignReport::timing_json`] with the observability plane's
+    /// *execution-class* counters embedded (lockstep lane rotations and
+    /// friends — numbers that legitimately vary with the engine and
+    /// batch size, so they belong in this non-deterministic sidecar,
+    /// never in the metrics document). A disabled handle, or one with
+    /// no execution counters, produces the plain sidecar byte for byte.
+    pub fn timing_json_observed(&self, obs: &Obs) -> String {
         let mut out = String::new();
         let mut w = ObjectWriter::new(&mut out, 0);
         w.int("threads", self.threads as i128)
             .float("wall_s", self.wall_s)
             .float("events_per_sec", self.events_per_sec());
+        if let Some(registry) = obs.is_enabled().then(|| obs.registry()) {
+            let exec = registry.counters_of(MetricClass::Execution);
+            if !exec.is_empty() {
+                let mut body = String::from("{");
+                for (i, (name, value)) in exec.iter().enumerate() {
+                    if i > 0 {
+                        body.push(',');
+                    }
+                    body.push_str(&format!("\n    {}: {}", crate::json::escape(name), value));
+                }
+                body.push_str("\n  }");
+                w.raw("exec_metrics", &body);
+            }
+        }
         let mut scenarios = String::from("[");
         for (i, r) in self.results.iter().enumerate() {
             if i > 0 {
@@ -717,6 +743,13 @@ pub(crate) struct Judging<'a> {
     pub suite: &'a DetectorSuite,
     /// Replay online and record time-to-detection.
     pub online: bool,
+    /// The observability plane (disabled on the default path, where it
+    /// costs nothing and records nothing).
+    pub obs: &'a Obs,
+    /// Keep a flight recorder per online scenario and narrate the
+    /// first fused alarm as a trace. Traces only — the metrics are
+    /// identical with or without narration.
+    pub trace_alarms: bool,
 }
 
 /// Judges one scenario's run outcome against its golden evidence.
@@ -732,18 +765,45 @@ fn judge_outcome(
     judging: Judging<'_>,
     sim_ms: u64,
 ) -> ScenarioResult {
-    let Judging { suite, online } = judging;
+    let Judging {
+        suite,
+        online,
+        obs,
+        trace_alarms,
+    } = judging;
+    if obs.is_enabled() {
+        obs.count("campaign.scenarios_simulated", 1);
+    }
     let t0 = Instant::now();
     match outcome {
         Ok(art) => {
+            if obs.is_enabled() {
+                obs.count("kernel.events_committed", art.kernel.events);
+                obs.count("kernel.wake_dedups", art.kernel.wake_dedups);
+                obs.count("kernel.spill_heap_hits", art.kernel.spills);
+                obs.count_exec("kernel.lane_rotations", art.kernel.rotations);
+            }
             let fw_state = format!("{:?}", art.fw_state);
             let events = art.events;
             let sim_ns = art.sim_time.as_duration().as_nanos();
             let fw_steps = art.fw_steps;
             let observed = detectors::observed_evidence(art, scenario.seed, suite);
             let (verdict, ttd) = if online {
-                let outcome = StreamingSuite::new(suite).run(golden, &observed);
+                let streaming = StreamingSuite::new(suite);
+                let outcome = if obs.is_enabled() {
+                    observe_online(
+                        scenario,
+                        suite,
+                        streaming.monitor(golden, &observed),
+                        obs,
+                        trace_alarms,
+                    )
+                } else {
+                    streaming.run(golden, &observed)
+                };
                 (outcome.verdict, outcome.ttd)
+            } else if obs.is_enabled() {
+                (suite.judge_observed(golden, &observed, obs), None)
             } else {
                 (suite.judge(golden, &observed), None)
             };
@@ -769,6 +829,103 @@ fn judge_outcome(
             wall_ms: sim_ms,
         },
     }
+}
+
+/// Evidence windows the per-scenario flight recorder keeps: the
+/// alarming slice plus the two before it — enough context to see the
+/// margin close without narrating the whole print.
+pub const FLIGHT_RECORDER_WINDOWS: usize = 3;
+
+/// Drives one online replay slice by slice with the observability
+/// plane on: the monitor's window rollup and final verdict metrics are
+/// always published (via [`OnlineMonitor::finish_observed`]); with
+/// `trace_alarms`, a [`FlightRecorder`] keeps the last
+/// [`FLIGHT_RECORDER_WINDOWS`] slices and the first fused alarm is
+/// rendered as a narrated timeline under the scenario's matrix index.
+/// The outcome — and every metric — is byte-identical with tracing on
+/// or off.
+fn observe_online(
+    scenario: &Scenario,
+    suite: &DetectorSuite,
+    mut monitor: OnlineMonitor<'_>,
+    obs: &Obs,
+    trace_alarms: bool,
+) -> OnlineOutcome {
+    let mut recorder = FlightRecorder::new(FLIGHT_RECORDER_WINDOWS);
+    let mut narrative: Option<(u64, f64, Vec<String>)> = None;
+    while let Some(step) = monitor.step() {
+        if !trace_alarms {
+            continue;
+        }
+        let (alarmed, window, secs) = (
+            step.alarmed,
+            step.step,
+            step.elapsed.as_nanos() as f64 / 1e9,
+        );
+        recorder.push(step);
+        if alarmed && narrative.is_none() {
+            let lines = recorder
+                .iter()
+                .map(|s| narrate_step(suite, s))
+                .collect::<Vec<_>>();
+            narrative = Some((window, secs, lines));
+        }
+    }
+    let outcome = monitor.finish_observed(obs);
+    if let Some((window, secs, body)) = narrative {
+        let mut lines = vec![format!(
+            "#{} {}/{} run {}: ALARM at window {} (t={secs:.1}s)",
+            scenario.index, scenario.workload, scenario.trojan, scenario.run, window
+        )];
+        lines.extend(body);
+        if let Some(ttd) = outcome.ttd {
+            lines.push(format!(
+                "  halt: print {:.1}% done, material saved {:.1}%",
+                ttd.print_fraction * 100.0,
+                ttd.material_saved * 100.0
+            ));
+        }
+        obs.record_trace(scenario.index, lines);
+    }
+    outcome
+}
+
+/// One flight-recorder slice as a narrative line: every judged
+/// detector's provisional count and threshold margin (`-> VOTE` when
+/// it alarmed), then the fused tally against the policy's effective
+/// threshold (`-> ALARM` when the fusion fired).
+fn narrate_step(suite: &DetectorSuite, step: &OnlineStep) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for w in &step.windows {
+        let Some(alarmed) = w.alarmed else { continue };
+        let mut part = format!("{} {}/{}", w.detector, w.flagged, w.compared);
+        if let Some(margin) = w.margin() {
+            part.push_str(&format!(" {margin:+.4}"));
+        }
+        if alarmed {
+            part.push_str(" -> VOTE");
+        }
+        parts.push(part);
+    }
+    let tally = suite.fusion().tally_votes(
+        step.windows
+            .iter()
+            .filter_map(|w| w.alarmed.map(|a| (w.detector, a))),
+    );
+    let mut line = format!("  window {}: ", step.step);
+    if !parts.is_empty() {
+        line.push_str(&parts.join(", "));
+        line.push_str("; ");
+    }
+    line.push_str(&format!(
+        "fused {:.2}/{:.2}",
+        tally.alarmed_fraction(),
+        tally.threshold
+    ));
+    if step.alarmed {
+        line.push_str(" -> ALARM");
+    }
+    line
 }
 
 /// Runs one scenario on the solo engine and judges it with the suite
@@ -939,6 +1096,29 @@ pub fn run_campaign_with(
     threads: usize,
     engine: Engine,
 ) -> Result<CampaignReport, String> {
+    run_campaign_observed(spec, threads, engine, &Obs::disabled(), false)
+}
+
+/// [`run_campaign_with`] with the observability plane attached. With a
+/// disabled handle this *is* the default path; with an enabled one,
+/// deterministic-class metrics (kernel counters, verdict rollups,
+/// campaign totals) accumulate into `obs` — commutatively, so the
+/// rendered metrics document is byte-identical for every thread count,
+/// engine and batch size — and `trace_alarms` additionally narrates
+/// each online scenario's first fused alarm from its flight recorder.
+/// The report itself is byte-identical to [`run_campaign_with`] in
+/// every case.
+///
+/// # Errors
+///
+/// Same conditions as [`run_campaign_with`].
+pub fn run_campaign_observed(
+    spec: &CampaignSpec,
+    threads: usize,
+    engine: Engine,
+    obs: &Obs,
+    trace_alarms: bool,
+) -> Result<CampaignReport, String> {
     let suite = spec.suite()?;
     let scenarios = spec.scenarios()?;
     let t0 = Instant::now();
@@ -974,6 +1154,8 @@ pub fn run_campaign_with(
         Judging {
             suite: &suite,
             online: spec.online,
+            obs,
+            trace_alarms,
         },
         threads,
         engine,

@@ -54,7 +54,7 @@ pub use testbench::{BenchError, RunArtifacts, TestBench};
 pub use trojans::{Disposition, Trojan, TrojanCtx};
 pub use verdict::{
     AcousticDetector, Channel, ChannelData, ChannelRequest, ChannelSynth, Detector, DetectorSuite,
-    Evidence, EvidenceBundle, FusionPolicy, OnlineMonitor, OnlineOutcome, OnlineStep,
+    Evidence, EvidenceBundle, FusionPolicy, FusionTally, OnlineMonitor, OnlineOutcome, OnlineStep,
     PowerSideChannelDetector, StreamState, StreamingDetector, StreamingSuite, ThermalDetector,
     TimeToDetection, TransactionDetector, Verdict, WindowData, WindowEvidence,
 };

@@ -17,7 +17,8 @@ use std::fmt;
 use std::sync::Arc;
 
 use offramps_des::{
-    CompId, ComponentSet, LockstepScheduler, Scheduler, SimComponent, SimDuration, StepKind, Tick,
+    CompId, ComponentSet, KernelStats, LockstepScheduler, Scheduler, SimComponent, SimDuration,
+    StepKind, Tick,
 };
 use offramps_firmware::{Firmware, FirmwareConfig, FwState};
 use offramps_gcode::Program;
@@ -84,6 +85,10 @@ pub struct RunArtifacts {
     pub sim_time: Tick,
     /// Total events processed.
     pub events: u64,
+    /// Kernel hot-path counters for the run (wake-slot dedups, spill
+    /// hits, lockstep rotations) — the observability plane's per-run
+    /// rollup; `kernel.events` equals `events`.
+    pub kernel: KernelStats,
     /// `(time, hotend °C, bed °C)` sampled at the ADC period.
     pub temps: Vec<(Tick, f64, f64)>,
     /// Firmware step counters at the end, [`offramps_signals::Axis::ALL`]
@@ -324,6 +329,7 @@ impl TestBench {
             plant_trace,
             sim_time: now,
             events: sched.events(),
+            kernel: sched.stats(),
             temps,
             fw_steps: rig.fw.step_counts(),
         })
@@ -527,6 +533,7 @@ impl TestBench {
                     plant_trace,
                     sim_time: now,
                     events: sched.lane_events(lane),
+                    kernel: sched.lane_stats(lane),
                     temps: m.temps,
                     fw_steps: rig.fw.step_counts(),
                 })

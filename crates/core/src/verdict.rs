@@ -45,6 +45,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use offramps_des::SimDuration;
+use offramps_obs::Obs;
 use offramps_sidechannel::{
     compare_sampled, AcousticModel, AcousticTrace, ComparatorConfig, PowerDetectorConfig,
     PowerModel, PowerTrace, SideChannelReport, StreamingComparator, ThermalCamera, ThermalTrace,
@@ -393,6 +394,53 @@ impl FusionPolicy {
         }
     }
 
+    /// The arithmetic behind one fused vote, for narration: the judged
+    /// weight that alarmed, the total judged weight, and the policy's
+    /// effective threshold (`any` degenerates to 0, `all` to 1, over
+    /// equal weights). [`FusionPolicy::fuse`] stays the authoritative
+    /// decision; the tally only explains it.
+    pub fn tally_votes<'a>(&self, votes: impl Iterator<Item = (&'a str, bool)>) -> FusionTally {
+        let (weights, threshold): (&[(String, f64)], f64) = match self {
+            FusionPolicy::Any => (&[], 0.0),
+            FusionPolicy::All => (&[], 1.0),
+            FusionPolicy::Weighted { weights, threshold } => (weights, *threshold),
+        };
+        let weight_of = |det: &str| -> f64 {
+            if weights.is_empty() {
+                1.0
+            } else {
+                weights
+                    .iter()
+                    .find(|(name, _)| name == det)
+                    .map_or(0.0, |(_, w)| *w)
+            }
+        };
+        let mut total = 0.0;
+        let mut alarmed = 0.0;
+        for (det, alarm) in votes {
+            let w = weight_of(det);
+            total += w;
+            if alarm {
+                alarmed += w;
+            }
+        }
+        FusionTally {
+            alarmed_weight: alarmed,
+            total_weight: total,
+            threshold,
+        }
+    }
+
+    /// [`FusionPolicy::tally_votes`] over per-detector evidence
+    /// (unjudged evidence carries no weight, as in `fuse`).
+    pub fn tally(&self, evidence: &[Evidence]) -> FusionTally {
+        self.tally_votes(
+            evidence
+                .iter()
+                .filter_map(|e| e.alarmed.map(|a| (e.detector.as_str(), a))),
+        )
+    }
+
     /// Parses a fusion policy:
     ///
     /// * `any` / `all`;
@@ -449,6 +497,31 @@ impl FusionPolicy {
             return Err(format!("unknown fusion policy {name:?}"));
         }
         Ok(FusionPolicy::Weighted { weights, threshold })
+    }
+}
+
+/// The numbers behind one fused vote, produced by
+/// [`FusionPolicy::tally_votes`]: how much judged weight alarmed out
+/// of how much, against which effective threshold. Rendered by the
+/// campaign flight recorder as `fused 0.25/0.50`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusionTally {
+    /// Judged weight whose detectors alarmed.
+    pub alarmed_weight: f64,
+    /// Total judged weight.
+    pub total_weight: f64,
+    /// The policy's effective alarm threshold over the judged weight.
+    pub threshold: f64,
+}
+
+impl FusionTally {
+    /// Alarmed fraction of the judged weight (0 when nothing judged).
+    pub fn alarmed_fraction(&self) -> f64 {
+        if self.total_weight == 0.0 {
+            0.0
+        } else {
+            self.alarmed_weight / self.total_weight
+        }
     }
 }
 
@@ -537,6 +610,34 @@ impl Verdict {
     /// Shorthand for the thermal judge's evidence.
     pub fn thermal(&self) -> Option<&Evidence> {
         self.evidence_for(ThermalDetector::NAME)
+    }
+
+    /// Publishes this verdict's per-detector rollup into the
+    /// observability plane: `verdict.<name>.judged`,
+    /// `verdict.<name>.alarms`, and `verdict.<name>.margin_micros` —
+    /// the flagged fraction's signed distance to the detector's alarm
+    /// threshold, in micro-units so registry merges stay exact — plus
+    /// the fused `verdict.fused_alarms`. Everything recorded is a pure
+    /// function of the verdict, so the metrics document stays
+    /// byte-identical across thread counts and engines.
+    pub fn record_metrics(&self, obs: &Obs) {
+        if !obs.is_enabled() {
+            return;
+        }
+        for e in &self.evidence {
+            let Some(alarmed) = e.alarmed else { continue };
+            obs.count(&format!("verdict.{}.judged", e.detector), 1);
+            if alarmed {
+                obs.count(&format!("verdict.{}.alarms", e.detector), 1);
+            }
+            if let Some(threshold) = e.threshold {
+                let margin = ((e.flagged_fraction() - threshold) * 1e6).round() as i64;
+                obs.observe(&format!("verdict.{}.margin_micros", e.detector), margin);
+            }
+        }
+        if self.alarmed {
+            obs.count("verdict.fused_alarms", 1);
+        }
     }
 }
 
@@ -1060,6 +1161,20 @@ impl DetectorSuite {
         }
     }
 
+    /// [`DetectorSuite::judge`] with the observability plane wired:
+    /// the verdict's per-detector rollup is recorded into `obs` (a
+    /// no-op when disabled).
+    pub fn judge_observed(
+        &self,
+        golden: &EvidenceBundle,
+        observed: &EvidenceBundle,
+        obs: &Obs,
+    ) -> Verdict {
+        let verdict = self.judge(golden, observed);
+        verdict.record_metrics(obs);
+        verdict
+    }
+
     /// The verdict for a print that produced no evidence at all (a
     /// bench error): every detector unjudged, no alarm.
     pub fn unjudged(&self) -> Verdict {
@@ -1095,6 +1210,11 @@ pub struct WindowEvidence {
     pub flagged: usize,
     /// Units fully compared so far.
     pub compared: usize,
+    /// The flagged-fraction threshold the provisional alarm was judged
+    /// against (for the transaction judge, floored at the prefix seen
+    /// so far); `None` while unjudged. Lets an alarm narrative state
+    /// the margin each vote carried.
+    pub threshold: Option<f64>,
 }
 
 impl WindowEvidence {
@@ -1104,7 +1224,24 @@ impl WindowEvidence {
             alarmed: None,
             flagged: 0,
             compared: 0,
+            threshold: None,
         }
+    }
+
+    /// Fraction of compared units flagged so far (0 before anything
+    /// compared).
+    pub fn flagged_fraction(&self) -> f64 {
+        if self.compared == 0 {
+            0.0
+        } else {
+            self.flagged as f64 / self.compared as f64
+        }
+    }
+
+    /// Signed distance of the flagged fraction to the alarm threshold
+    /// (`None` while unjudged): positive at or above the bar.
+    pub fn margin(&self) -> Option<f64> {
+        self.threshold.map(|t| self.flagged_fraction() - t)
     }
 }
 
@@ -1208,7 +1345,9 @@ fn sampled_judge_window(
     window: WindowData<'_>,
 ) -> WindowEvidence {
     let StateInner::Sampled {
-        name, comparator, ..
+        name,
+        base,
+        comparator,
     } = &mut state.inner
     else {
         return WindowEvidence::unjudged(detector);
@@ -1223,6 +1362,7 @@ fn sampled_judge_window(
                 alarmed: Some(c.suspected_so_far()),
                 flagged: c.anomalous_windows(),
                 compared: c.windows_compared(),
+                threshold: Some(*base),
             }
         }
         None => WindowEvidence::unjudged(name),
@@ -1282,6 +1422,11 @@ impl StreamingDetector for TransactionDetector {
             alarmed: Some(stream.provisionally_suspected()),
             flagged: stream.mismatched_transactions(),
             compared: stream.compared(),
+            // The same prefix-floored bar the provisional alarm used.
+            threshold: Some(detect::floored_suspect_fraction(
+                self.base.suspect_fraction,
+                stream.compared(),
+            )),
         }
     }
 
@@ -1606,6 +1751,8 @@ pub struct OnlineMonitor<'a> {
     steps_total: u64,
     step: u64,
     alarm: Option<AlarmMark>,
+    windows_judged: u64,
+    votes: u64,
 }
 
 impl<'a> OnlineMonitor<'a> {
@@ -1659,6 +1806,8 @@ impl<'a> OnlineMonitor<'a> {
             steps_total: end_ticks.div_ceil(slice_ticks),
             step: 0,
             alarm: None,
+            windows_judged: 0,
+            votes: 0,
         }
     }
 
@@ -1702,6 +1851,16 @@ impl<'a> OnlineMonitor<'a> {
                 None => WindowEvidence::unjudged(lane.detector.name()),
             };
             windows.push(view);
+        }
+        for w in &windows {
+            match w.alarmed {
+                Some(true) => {
+                    self.windows_judged += 1;
+                    self.votes += 1;
+                }
+                Some(false) => self.windows_judged += 1,
+                None => {}
+            }
         }
         let provisional: Vec<Evidence> = windows
             .iter()
@@ -1777,6 +1936,27 @@ impl<'a> OnlineMonitor<'a> {
             }
         });
         OnlineOutcome { verdict, ttd }
+    }
+
+    /// [`OnlineMonitor::finish`] with the observability plane wired:
+    /// drains the remaining slices first, then publishes the replay's
+    /// window rollup (`verdict.online.windows_judged`,
+    /// `verdict.online.votes`) and the final verdict's per-detector
+    /// metrics into `obs`. Byte-identical outcome to [`finish`], and a
+    /// no-op on a disabled handle.
+    ///
+    /// [`finish`]: OnlineMonitor::finish
+    pub fn finish_observed(mut self, obs: &Obs) -> OnlineOutcome {
+        while self.step().is_some() {}
+        let windows_judged = self.windows_judged;
+        let votes = self.votes;
+        let outcome = self.finish();
+        if obs.is_enabled() {
+            obs.count("verdict.online.windows_judged", windows_judged);
+            obs.count("verdict.online.votes", votes);
+            outcome.verdict.record_metrics(obs);
+        }
+        outcome
     }
 }
 

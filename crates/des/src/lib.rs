@@ -39,5 +39,5 @@ pub use component::{ActionSink, CompId, InPort, OutPort, SimComponent, SinkActio
 pub use lockstep::{LaneSet, LaneStepInfo, LockstepScheduler};
 pub use queue::{Event, EventId, EventQueue};
 pub use rng::{DetRng, SeedSplitter};
-pub use scheduler::{ComponentSet, Scheduler, StepInfo, StepKind};
+pub use scheduler::{ComponentSet, KernelStats, Scheduler, StepInfo, StepKind};
 pub use time::{SimDuration, Tick, TICKS_PER_MICRO, TICKS_PER_MILLI, TICKS_PER_SEC, TICK_NS};

@@ -86,7 +86,7 @@
 use std::collections::{BinaryHeap, VecDeque};
 
 use crate::component::{ActionSink, CompId, InPort, OutPort, SimComponent, SinkAction};
-use crate::scheduler::{ComponentSet, Source, Spill, StepInfo, StepKind};
+use crate::scheduler::{ComponentSet, KernelStats, Source, Spill, StepInfo, StepKind};
 use crate::time::Tick;
 
 /// Maximum consecutive events one lane runs before the scheduler
@@ -156,6 +156,15 @@ struct LaneCal<P> {
     now: Tick,
     /// Events delivered to this lane so far.
     events: u64,
+    /// Sends that regressed within a lane FIFO and took this lane's
+    /// spill heap — matches the solo run's count, since the commit
+    /// rules are identical and lanes are isolated.
+    spilled: u64,
+    /// Wake requests folded into an already-armed slot of this lane.
+    wake_dedups: u64,
+    /// Quantum hand-offs onto this lane — execution shape of the
+    /// batch, not scenario behaviour; the solo equivalent is zero.
+    rotations: u64,
     /// Deactivated lanes' pending events are dropped, not delivered.
     active: bool,
 }
@@ -215,6 +224,8 @@ pub struct LockstepScheduler<P> {
     /// events it may run before the scheduler rotates.
     current: usize,
     quantum_left: u32,
+    /// The lane the previous step delivered to, for counting hand-offs.
+    last_ran: Option<usize>,
     /// Lane selected by the last [`LockstepScheduler::peek`], consumed
     /// by the next [`LockstepScheduler::step`] so the peek/step pair
     /// positions only once. Invalidated by anything that changes lane
@@ -243,12 +254,16 @@ impl<P> LockstepScheduler<P> {
                     live: 0,
                     now: Tick::ZERO,
                     events: 0,
+                    spilled: 0,
+                    wake_dedups: 0,
+                    rotations: 0,
                     active: true,
                 })
                 .collect(),
             sink: ActionSink::new(),
             current: 0,
             quantum_left: QUANTUM,
+            last_ran: None,
             positioned: None,
         }
     }
@@ -373,6 +388,10 @@ impl<P> LockstepScheduler<P> {
             None => self.position()?,
         };
         self.quantum_left -= 1;
+        if self.last_ran != Some(lane_idx) {
+            self.lanes[lane_idx].rotations += 1;
+            self.last_ran = Some(lane_idx);
+        }
 
         // One split borrow for the whole step: the lane's calendar, the
         // shared topology, and the sink are disjoint fields.
@@ -471,6 +490,22 @@ impl<P> LockstepScheduler<P> {
     pub fn lane_live(&self, lane: usize) -> usize {
         self.lanes[lane].live
     }
+
+    /// Snapshot of one lane's kernel counters, for the observability
+    /// plane. `events`, `wake_dedups` and `spills` equal the solo
+    /// scheduler's for the same scenario (the commit rules are
+    /// identical and lanes share nothing); `rotations` counts quantum
+    /// hand-offs onto this lane, an execution-shape statistic with no
+    /// solo counterpart.
+    pub fn lane_stats(&self, lane: usize) -> KernelStats {
+        let cal = &self.lanes[lane];
+        KernelStats {
+            events: cal.events,
+            wake_dedups: cal.wake_dedups,
+            spills: cal.spilled,
+            rotations: cal.rotations,
+        }
+    }
 }
 
 /// Write phase for one lane — the same commit rules as the solo
@@ -505,6 +540,7 @@ fn commit<P>(
                     fifo.push_back((at, seq, payload));
                 } else {
                     let (dest, port) = route_meta[idx];
+                    cal.spilled += 1;
                     cal.spill.push(Spill {
                         tick: at,
                         seq,
@@ -521,7 +557,9 @@ fn commit<P>(
                     // A later pending wake is *replaced* (and still
                     // consumes a sequence number, modelling the
                     // solo cancel-and-reschedule); an earlier one
-                    // wins outright and consumes nothing.
+                    // wins outright and consumes nothing. Both fold
+                    // into the armed slot: one dedup either way.
+                    cal.wake_dedups += 1;
                     if pending <= t {
                         continue;
                     }
@@ -589,7 +627,7 @@ mod tests {
         }
     }
 
-    fn run_solo(requests: Vec<Vec<u64>>) -> (Vec<Tick>, u64) {
+    fn run_solo(requests: Vec<Vec<u64>>) -> (Vec<Tick>, KernelStats) {
         let mut sched: Scheduler<()> = Scheduler::new();
         sched.add_component();
         let mut lane = SoloWaker(Waker {
@@ -598,7 +636,7 @@ mod tests {
         });
         sched.start(&mut lane);
         while sched.step(&mut lane).is_some() {}
-        (lane.0.ticks, sched.events())
+        (lane.0.ticks, sched.stats())
     }
 
     fn lane_fixtures() -> Vec<Vec<Vec<u64>>> {
@@ -613,7 +651,7 @@ mod tests {
     #[test]
     fn lanes_match_solo_runs_exactly() {
         let fixtures = lane_fixtures();
-        let solo: Vec<(Vec<Tick>, u64)> = fixtures.iter().cloned().map(run_solo).collect();
+        let solo: Vec<(Vec<Tick>, KernelStats)> = fixtures.iter().cloned().map(run_solo).collect();
 
         let mut lanes: Vec<SoloWaker> = fixtures
             .into_iter()
@@ -629,10 +667,22 @@ mod tests {
         sched.start(&mut lanes[..]);
         while sched.step(&mut lanes[..]).is_some() {}
 
-        for (lane, (ticks, events)) in solo.iter().enumerate() {
+        for (lane, (ticks, stats)) in solo.iter().enumerate() {
             assert_eq!(&lanes[lane].0.ticks, ticks, "lane {lane} tick sequence");
-            assert_eq!(sched.lane_events(lane), *events, "lane {lane} event count");
+            assert_eq!(sched.lane_events(lane), stats.events, "lane {lane} events");
             assert_eq!(sched.lane_live(lane), 0, "lane {lane} drains");
+            // The deterministic kernel counters match the solo run;
+            // only the rotation count is engine-specific.
+            let lane_stats = sched.lane_stats(lane);
+            assert_eq!(
+                KernelStats {
+                    rotations: 0,
+                    ..lane_stats
+                },
+                *stats,
+                "lane {lane} deterministic counters"
+            );
+            assert!(lane_stats.rotations >= 1, "lane {lane} ran at least once");
         }
     }
 

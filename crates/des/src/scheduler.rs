@@ -124,6 +124,33 @@ pub enum StepKind {
     Event(InPort),
 }
 
+/// Hot-path counters of one kernel run, snapshotted after the run and
+/// published through the observability plane. The kernel keeps these
+/// as plain integer fields bumped on paths it already touches — no
+/// handles, locks, or branches are added to the hot loop, so the
+/// counters exist whether or not anything reads them.
+///
+/// `events`, `wake_dedups` and `spills` are pure functions of the
+/// scenario (identical between the solo and lockstep engines, pinned
+/// by the lockstep equivalence tests). `rotations` counts lockstep
+/// quantum hand-offs into a lane — an *execution* property of how the
+/// batch was scheduled, zero on the solo engine — and is therefore
+/// only ever reported beside wall-clock timings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Events delivered (completed read/write step cycles).
+    pub events: u64,
+    /// Wake requests folded into an already-armed wake slot (skipped
+    /// as later than the pending wake, or replacing a later one).
+    pub wake_dedups: u64,
+    /// Sends whose delivery time regressed within their route lane and
+    /// took the spill heap.
+    pub spills: u64,
+    /// Lockstep quantum rotations onto this scenario's lane; zero on
+    /// the solo scheduler.
+    pub rotations: u64,
+}
+
 /// Report of one processed event, returned by [`Scheduler::step`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StepInfo {
@@ -211,6 +238,7 @@ pub struct Scheduler<P> {
     live: usize,
     events: u64,
     spilled: u64,
+    wake_dedups: u64,
     /// Memo of the last calendar scan, valid until the next write phase;
     /// lets the harness's peek-then-step pattern scan once per event.
     picked: Option<(Tick, u64, Source)>,
@@ -236,6 +264,7 @@ impl<P> Scheduler<P> {
             live: 0,
             events: 0,
             spilled: 0,
+            wake_dedups: 0,
             picked: None,
         }
     }
@@ -423,6 +452,23 @@ impl<P> Scheduler<P> {
         self.spilled
     }
 
+    /// Wake requests deduplicated into an already-armed slot
+    /// (diagnostics: how much work the slot design saves over a queue).
+    pub fn wake_dedups(&self) -> u64 {
+        self.wake_dedups
+    }
+
+    /// Snapshot of the run's kernel counters, for the observability
+    /// plane. `rotations` is zero: the solo scheduler never rotates.
+    pub fn stats(&self) -> KernelStats {
+        KernelStats {
+            events: self.events,
+            wake_dedups: self.wake_dedups,
+            spills: self.spilled,
+            rotations: 0,
+        }
+    }
+
     /// Write phase of one step: drains the shared sink, appending sends
     /// to their route lanes (or the spill heap when out of order) and
     /// folding wake requests into `from`'s wake slot. Every accepted
@@ -460,6 +506,9 @@ impl<P> Scheduler<P> {
                 SinkAction::WakeAt(t) => {
                     let slot = &mut self.wakes[from.0];
                     if let Some((pending, _)) = *slot {
+                        // Either outcome folds the request into the
+                        // armed slot instead of queueing a new entry.
+                        self.wake_dedups += 1;
                         if pending <= t {
                             continue;
                         }
@@ -673,6 +722,32 @@ mod tests {
         );
         assert_eq!(sched.spilled(), 2, "10 and 20 regressed behind 30");
         assert!(sched.is_empty());
+    }
+
+    #[test]
+    fn wake_dedups_are_counted_and_snapshot_in_stats() {
+        let mut sched: Scheduler<()> = Scheduler::new();
+        sched.add_component();
+        // Three requests in one callback: the first arms the slot, the
+        // earlier second replaces it, the later third is skipped — two
+        // deduplications either way.
+        let mut waker = Waker {
+            ticks: Vec::new(),
+            requests: vec![vec![30, 10, 20]],
+        };
+        let mut set: [&mut dyn SimComponent<Payload = ()>; 1] = [&mut waker];
+        sched.start(&mut set[..]);
+        while sched.step(&mut set[..]).is_some() {}
+        assert_eq!(sched.wake_dedups(), 2);
+        assert_eq!(
+            sched.stats(),
+            KernelStats {
+                events: 1,
+                wake_dedups: 2,
+                spills: 0,
+                rotations: 0,
+            }
+        );
     }
 
     #[test]

@@ -75,6 +75,29 @@ struct Record {
     value: String,
 }
 
+/// Rollup of the shard-log scan [`Store::open`] performed: how many
+/// lines it walked and what became of each. `records` counts lines that
+/// parsed; `superseded` counts parsed lines that an earlier line's
+/// fingerprint already occupied (rewrite history, last wins); `torn`
+/// and `foreign` partition the skipped lines into damage (bad UTF-8,
+/// framing, fingerprint/key disagreement) versus other format
+/// generations (unknown record tag). Purely a function of the bytes on
+/// disk, so it is deterministic for a given store state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Non-empty lines walked across all shard logs.
+    pub lines: usize,
+    /// Lines that parsed into a record (including superseded ones).
+    pub records: usize,
+    /// Parsed lines overwritten by a later line for the same key.
+    pub superseded: usize,
+    /// Damaged lines skipped: torn writes, bad escapes or UTF-8,
+    /// fingerprint/key mismatches.
+    pub torn: usize,
+    /// Well-framed lines in a foreign format generation (unknown tag).
+    pub foreign: usize,
+}
+
 /// A content-addressed record store rooted at a directory.
 ///
 /// See the [crate docs](crate) for layout and guarantees. All methods
@@ -85,7 +108,7 @@ struct Record {
 pub struct Store {
     root: PathBuf,
     index: BTreeMap<Fingerprint, Record>,
-    malformed: usize,
+    scan: ScanStats,
 }
 
 impl Store {
@@ -103,7 +126,7 @@ impl Store {
         let mut store = Store {
             root,
             index: BTreeMap::new(),
-            malformed: 0,
+            scan: ScanStats::default(),
         };
         for shard in 0..SHARD_COUNT {
             let path = store.shard_path(shard as u8);
@@ -119,11 +142,16 @@ impl Store {
                 if raw.is_empty() {
                     continue;
                 }
-                match std::str::from_utf8(raw).ok().and_then(parse_line) {
-                    Some((fp, record)) => {
-                        store.index.insert(fp, record);
+                store.scan.lines += 1;
+                match std::str::from_utf8(raw).ok().map(parse_line) {
+                    Some(ParsedLine::Record(fp, record)) => {
+                        store.scan.records += 1;
+                        if store.index.insert(fp, record).is_some() {
+                            store.scan.superseded += 1;
+                        }
                     }
-                    None => store.malformed += 1,
+                    Some(ParsedLine::Foreign) => store.scan.foreign += 1,
+                    Some(ParsedLine::Torn) | None => store.scan.torn += 1,
                 }
             }
         }
@@ -147,7 +175,13 @@ impl Store {
 
     /// Lines skipped while loading (torn writes, foreign format tags).
     pub fn malformed_lines(&self) -> usize {
-        self.malformed
+        self.scan.torn + self.scan.foreign
+    }
+
+    /// The rollup of the open-time shard-log scan. Frozen at
+    /// [`Store::open`]: later [`Store::put`]s do not move it.
+    pub fn scan_stats(&self) -> ScanStats {
+        self.scan
     }
 
     /// Looks up the value stored under `key`, verifying the full key —
@@ -254,21 +288,42 @@ fn unescape_field(s: &str) -> Option<String> {
     Some(out)
 }
 
-/// Parses one shard-log line; `None` for anything malformed (wrong
-/// field count, bad escapes, fingerprint/key disagreement, foreign
-/// tag).
-fn parse_line(line: &str) -> Option<(Fingerprint, Record)> {
+/// What one shard-log line turned out to be.
+enum ParsedLine {
+    /// A well-formed record in the current format.
+    Record(Fingerprint, Record),
+    /// A line carrying an unknown format tag — another generation's
+    /// record, skipped for forward compatibility.
+    Foreign,
+    /// Damage: wrong field count, bad escapes, fingerprint/key
+    /// disagreement.
+    Torn,
+}
+
+/// Classifies one shard-log line (see [`ParsedLine`]).
+fn parse_line(line: &str) -> ParsedLine {
     let mut fields = line.split('\t');
-    if fields.next()? != RECORD_TAG {
-        return None;
+    match fields.next() {
+        Some(tag) if tag == RECORD_TAG => {}
+        // An unknown tag only reads as "foreign format" when the line
+        // is at least framed like a record (tag field + payload);
+        // tab-less garbage is damage.
+        Some(_) if line.contains('\t') => return ParsedLine::Foreign,
+        _ => return ParsedLine::Torn,
     }
-    let fp = Fingerprint::from_hex(fields.next()?)?;
-    let key = unescape_field(fields.next()?)?;
-    let value = unescape_field(fields.next()?)?;
-    if fields.next().is_some() || Fingerprint::of(&key) != fp {
-        return None;
+    let parsed = (|| {
+        let fp = Fingerprint::from_hex(fields.next()?)?;
+        let key = unescape_field(fields.next()?)?;
+        let value = unescape_field(fields.next()?)?;
+        if fields.next().is_some() || Fingerprint::of(&key) != fp {
+            return None;
+        }
+        Some((fp, Record { key, value }))
+    })();
+    match parsed {
+        Some((fp, record)) => ParsedLine::Record(fp, record),
+        None => ParsedLine::Torn,
     }
-    Some((fp, Record { key, value }))
 }
 
 #[cfg(test)]
@@ -371,6 +426,45 @@ mod tests {
         assert_eq!(reloaded.get("good"), Some("value"));
         assert_eq!(reloaded.len(), 1);
         assert_eq!(reloaded.malformed_lines(), 4);
+        // The scan rollup classifies the skips: the future-tag line is
+        // foreign; the torn append, garbage line and non-UTF-8 line
+        // are damage.
+        assert_eq!(
+            reloaded.scan_stats(),
+            ScanStats {
+                lines: 5,
+                records: 1,
+                superseded: 0,
+                torn: 3,
+                foreign: 1,
+            }
+        );
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn scan_stats_count_superseded_rewrites() {
+        let root = temp_root("scan-superseded");
+        let mut store = Store::open(&root).unwrap();
+        store.put("k", "first").unwrap();
+        store.put("k", "second").unwrap();
+        store.put("k", "third").unwrap();
+        store.put("other", "v").unwrap();
+        assert_eq!(store.scan_stats(), ScanStats::default(), "frozen at open");
+
+        let reloaded = Store::open(&root).unwrap();
+        assert_eq!(reloaded.get("k"), Some("third"));
+        assert_eq!(
+            reloaded.scan_stats(),
+            ScanStats {
+                lines: 4,
+                records: 4,
+                superseded: 2,
+                torn: 0,
+                foreign: 0,
+            }
+        );
+        assert_eq!(reloaded.malformed_lines(), 0);
         fs::remove_dir_all(&root).unwrap();
     }
 

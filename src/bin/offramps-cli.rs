@@ -27,14 +27,15 @@ use offramps::{detect, Capture, FusionPolicy, SignalPath, TestBench};
 use offramps_attacks::Flaw3dTrojan;
 use offramps_bench::analytics::{AnalyticsReport, THRESHOLD_GRID};
 use offramps_bench::benchreport;
-use offramps_bench::cache::{run_campaign_cached_with, store_observations};
+use offramps_bench::cache::{run_campaign_cached_observed, store_observations};
 use offramps_bench::campaign::{
-    run_campaign_with, sweep_attacks, CampaignReport, CampaignSpec, Engine,
+    run_campaign_observed, sweep_attacks, CampaignReport, CampaignSpec, Engine,
 };
 use offramps_bench::corpus::CorpusSpec;
 use offramps_bench::workloads::Workload;
 use offramps_gcode::slicer::{slice, SlicerConfig, Solid};
 use offramps_gcode::{parse, ProgramStats};
+use offramps_obs::Obs;
 use offramps_store::Store;
 
 const USAGE: &str = "\
@@ -55,7 +56,8 @@ USAGE:
                         [--detectors txn,power,acoustic,thermal]
                         [--fuse any|all|weighted[:d=w,...][@thr]]
                         [--cache DIR] [--timing-json out.json]
-  offramps-cli analytics --cache DIR [--json out.json]
+                        [--metrics[=FILE]] [--trace-alarms]
+  offramps-cli analytics --cache DIR [--json out.json] [--metrics[=FILE]]
   offramps-cli bench    [--threads N] [--reps K] [--json BENCH_campaign.json]
 
 The campaign subcommand fans the attack x workload x seed matrix across
@@ -122,6 +124,23 @@ the detector reliably catches).
                   to an uncached run for any thread count.
   --timing-json   write the non-deterministic host-timing sidecar
                   (per-scenario wall_ms) next to the deterministic report
+  --metrics[=FILE] turn on the observability plane and render its
+                  deterministic metrics document — kernel counters
+                  (events committed, wake-slot dedups, spill-heap
+                  hits), per-detector verdict rollups (windows judged,
+                  votes, threshold margins in micro-units), campaign
+                  and store totals — as canonical JSON, to stdout
+                  (bare) or FILE (=FILE). The document is byte-identical
+                  for every --threads and --batch; execution-class
+                  counters that legitimately vary (lockstep lane
+                  rotations) ride in the --timing-json sidecar instead.
+                  Off by default, and the default path records nothing.
+  --trace-alarms  (needs --online) keep a per-scenario flight recorder
+                  of the last evidence windows and narrate each first
+                  fused alarm as a deterministic timeline: the raising
+                  detectors with their threshold margins, the fused
+                  weight against the policy threshold, and the halt
+                  line with material saved.
 
 The bench subcommand runs the pinned sweep (mini + 4 corpus workloads,
 33 sweep attacks, seed 42) --reps times per engine and writes the
@@ -355,9 +374,85 @@ fn resolve_engine(args: &[String]) -> Result<Engine, String> {
     }
 }
 
+/// Where `--metrics` sends the deterministic metrics document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum MetricsSink {
+    /// No `--metrics` flag: the observability plane stays off.
+    Off,
+    /// Bare `--metrics`: print the document.
+    Stdout,
+    /// `--metrics=FILE`: write the document to FILE.
+    File(String),
+}
+
+/// Parses every `--metrics` / `--metrics=FILE` occurrence. Repeating
+/// the same destination is harmless; naming two different ones is an
+/// error (the document would silently go to only one of them).
+fn resolve_metrics(args: &[String]) -> Result<MetricsSink, String> {
+    let mut sink = MetricsSink::Off;
+    for arg in args {
+        let requested = if arg == "--metrics" {
+            MetricsSink::Stdout
+        } else if let Some(path) = arg.strip_prefix("--metrics=") {
+            if path.is_empty() {
+                return Err("--metrics= needs a file path (bare --metrics prints)".into());
+            }
+            MetricsSink::File(path.to_string())
+        } else {
+            continue;
+        };
+        match &sink {
+            MetricsSink::Off => sink = requested,
+            prev if *prev == requested => {}
+            MetricsSink::Stdout => {
+                return Err(format!(
+                    "conflicting --metrics destinations: stdout and {requested:?}"
+                ))
+            }
+            MetricsSink::File(prev) => {
+                return Err(format!(
+                    "conflicting --metrics destinations: {prev:?} and {requested:?}"
+                ))
+            }
+        }
+    }
+    Ok(sink)
+}
+
+/// Resolves the campaign's observability flags: the metrics sink and
+/// whether to narrate online alarms. `--trace-alarms` replays the
+/// online monitor's flight recorder, so it is rejected without
+/// `--online`.
+fn campaign_obs_flags(args: &[String]) -> Result<(MetricsSink, bool), String> {
+    let sink = resolve_metrics(args)?;
+    let trace_alarms = args.iter().any(|a| a == "--trace-alarms");
+    if trace_alarms && !args.iter().any(|a| a == "--online") {
+        return Err("--trace-alarms narrates the online monitor; add --online".into());
+    }
+    Ok((sink, trace_alarms))
+}
+
+/// Emits the metrics document to its sink (no-op when the plane is
+/// off).
+fn emit_metrics(obs: &Obs, sink: &MetricsSink) -> Result<(), String> {
+    let Some(json) = obs.metrics_json() else {
+        return Ok(());
+    };
+    match sink {
+        MetricsSink::Off => {}
+        MetricsSink::Stdout => print!("{json}"),
+        MetricsSink::File(path) => {
+            std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("metrics written: {path}");
+        }
+    }
+    Ok(())
+}
+
 fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
     let threads = resolve_threads(args)?;
     let engine = resolve_engine(args)?;
+    let (metrics, trace_alarms) = campaign_obs_flags(args)?;
     let seed = opt_u64(args, "--seed", 42)?;
     let runs = opt_u64(args, "--runs", 1)? as u32;
 
@@ -419,17 +514,28 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
         return Ok(ExitCode::SUCCESS);
     }
 
+    let obs = if metrics != MetricsSink::Off || trace_alarms {
+        Obs::enabled()
+    } else {
+        Obs::disabled()
+    };
     let report: CampaignReport;
     let mut cache_line = None;
     if let Some(dir) = opt(args, "--cache") {
         let mut store =
             Store::open(&dir).map_err(|e| format!("cannot open scenario store {dir}: {e}"))?;
-        let (cached_report, stats) =
-            run_campaign_cached_with(&spec, threads.max(1), &mut store, engine)?;
+        let (cached_report, stats) = run_campaign_cached_observed(
+            &spec,
+            threads.max(1),
+            &mut store,
+            engine,
+            &obs,
+            trace_alarms,
+        )?;
         report = cached_report;
         cache_line = Some(format!("{} (dir: {dir})", stats.summary_line()));
     } else {
-        report = run_campaign_with(&spec, threads.max(1), engine)?;
+        report = run_campaign_observed(&spec, threads.max(1), engine, &obs, trace_alarms)?;
     }
     print!("{}", report.summary());
     if report.spec.online {
@@ -456,6 +562,15 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
             );
         }
     }
+    if trace_alarms {
+        // Matrix-index order (BTreeMap), so CI can diff the narrated
+        // timelines across thread counts byte for byte.
+        for lines in obs.traces().values() {
+            for line in lines {
+                println!("trace: {line}");
+            }
+        }
+    }
     println!(
         "threads: {}   wall: {:.2}s   throughput: {:.0} events/s",
         report.threads,
@@ -465,13 +580,14 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
     if let Some(line) = cache_line {
         println!("{line}");
     }
+    emit_metrics(&obs, &metrics)?;
     if let Some(path) = opt(args, "--json") {
         use offramps_bench::json::ToJson;
         std::fs::write(&path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("report written:  {path}");
     }
     if let Some(path) = opt(args, "--timing-json") {
-        std::fs::write(&path, report.timing_json())
+        std::fs::write(&path, report.timing_json_observed(&obs))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("timings written: {path}");
     }
@@ -523,6 +639,7 @@ fn cmd_analytics(args: &[String]) -> Result<ExitCode, String> {
     let Some(dir) = opt(args, "--cache") else {
         return Err("analytics needs --cache DIR".into());
     };
+    let metrics = resolve_metrics(args)?;
     let store = Store::open(&dir).map_err(|e| format!("cannot open scenario store {dir}: {e}"))?;
     let (observations, skipped) = store_observations(&store);
     if observations.is_empty() {
@@ -575,6 +692,20 @@ fn cmd_analytics(args: &[String]) -> Result<ExitCode, String> {
             );
         }
     }
+    if metrics != MetricsSink::Off {
+        // Everything here is a pure function of the store's bytes, so
+        // the document is deterministic for a given store state.
+        let obs = Obs::enabled();
+        let scan = store.scan_stats();
+        obs.count("store.scan.lines", scan.lines as u64);
+        obs.count("store.scan.records", scan.records as u64);
+        obs.count("store.scan.superseded", scan.superseded as u64);
+        obs.count("store.scan.torn", scan.torn as u64);
+        obs.count("store.scan.foreign", scan.foreign as u64);
+        obs.count("analytics.observations", observations.len() as u64);
+        obs.count("analytics.skipped", skipped as u64);
+        emit_metrics(&obs, &metrics)?;
+    }
     if let Some(path) = opt(args, "--json") {
         use offramps_bench::json::ToJson;
         std::fs::write(&path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -596,4 +727,65 @@ fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
     println!("travel path:      {:.1} mm", s.travel_path_mm);
     println!("max hotend target:{:.0} C", s.max_hotend_target);
     Ok(ExitCode::SUCCESS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn metrics_flag_parses_every_destination() {
+        assert_eq!(
+            resolve_metrics(&argv(&["--online"])).unwrap(),
+            MetricsSink::Off
+        );
+        assert_eq!(
+            resolve_metrics(&argv(&["--metrics"])).unwrap(),
+            MetricsSink::Stdout
+        );
+        assert_eq!(
+            resolve_metrics(&argv(&["--metrics=m.json"])).unwrap(),
+            MetricsSink::File("m.json".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_metrics_must_agree() {
+        // Repeating the same destination is harmless...
+        assert_eq!(
+            resolve_metrics(&argv(&["--metrics", "--metrics"])).unwrap(),
+            MetricsSink::Stdout
+        );
+        assert_eq!(
+            resolve_metrics(&argv(&["--metrics=a.json", "--metrics=a.json"])).unwrap(),
+            MetricsSink::File("a.json".into())
+        );
+        // ...but two different ones would silently drop one document.
+        for conflict in [
+            &["--metrics", "--metrics=a.json"][..],
+            &["--metrics=a.json", "--metrics"][..],
+            &["--metrics=a.json", "--metrics=b.json"][..],
+        ] {
+            let err = resolve_metrics(&argv(conflict)).unwrap_err();
+            assert!(err.contains("conflicting"), "{conflict:?}: {err}");
+        }
+        let err = resolve_metrics(&argv(&["--metrics="])).unwrap_err();
+        assert!(err.contains("file path"), "{err}");
+    }
+
+    #[test]
+    fn trace_alarms_requires_online() {
+        let err = campaign_obs_flags(&argv(&["--trace-alarms"])).unwrap_err();
+        assert!(err.contains("--online"), "{err}");
+        let (sink, trace) = campaign_obs_flags(&argv(&["--online", "--trace-alarms"])).unwrap();
+        assert_eq!(sink, MetricsSink::Off);
+        assert!(trace);
+        let (sink, trace) = campaign_obs_flags(&argv(&["--online", "--metrics=m.json"])).unwrap();
+        assert_eq!(sink, MetricsSink::File("m.json".into()));
+        assert!(!trace);
+    }
 }
