@@ -33,7 +33,7 @@ impl Default for ExecState {
 
 impl ExecState {
     /// Applies a non-move command's effect on the interpreter state.
-    pub fn apply_non_move(&mut self, cmd: &GCommand) {
+    pub(crate) fn apply_non_move(&mut self, cmd: &GCommand) {
         match cmd {
             GCommand::AbsolutePositioning => {
                 self.absolute = true;
@@ -75,7 +75,7 @@ impl ExecState {
     }
 
     /// The E delta a move would produce, without applying it.
-    pub fn move_e_delta(&self, e: Option<f64>) -> f64 {
+    pub(crate) fn move_e_delta(&self, e: Option<f64>) -> f64 {
         match e {
             None => 0.0,
             Some(v) if self.e_absolute => v - self.e,
@@ -84,7 +84,7 @@ impl ExecState {
     }
 
     /// Applies a move's targets to the state. Returns the XY path length.
-    pub fn apply_move(
+    pub(crate) fn apply_move(
         &mut self,
         x: Option<f64>,
         y: Option<f64>,
@@ -111,7 +111,7 @@ impl ExecState {
     /// its original delta, respecting the current mode. Call **before**
     /// `apply_move` on the original values.
     #[cfg(test)]
-    pub fn rewrite_e(&self, new_delta: f64) -> f64 {
+    pub(crate) fn rewrite_e(&self, new_delta: f64) -> f64 {
         if self.e_absolute {
             self.e + new_delta
         } else {

@@ -21,7 +21,7 @@
 //!   [`SCENARIO_KEY_VERSION`]) changes the key, so stale records are
 //!   simply never addressed again.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -518,9 +518,10 @@ pub fn run_campaign_cached_observed(
 ) -> Result<(CampaignReport, CacheStats), String> {
     let suite = spec.suite()?;
     let scenarios = spec.scenarios()?;
+    // detlint: allow(D2) -- wall-clock here feeds only the --timing-json sidecar, never deterministic artifacts
     let t0 = Instant::now();
 
-    let canon: HashMap<&str, String> = spec
+    let canon: BTreeMap<&str, String> = spec
         .workloads
         .iter()
         .map(|w| (w.label(), canonical_workload_json(w.spec())))
@@ -580,20 +581,20 @@ pub fn run_campaign_cached_observed(
     }
 
     if !misses.is_empty() {
-        let needed: HashSet<&str> = misses.iter().map(|sc| sc.workload.as_str()).collect();
+        let needed: BTreeSet<&str> = misses.iter().map(|sc| sc.workload.as_str()).collect();
         let workloads: Vec<&Workload> = spec
             .workloads
             .iter()
             .filter(|w| needed.contains(w.label()))
             .collect();
-        let programs: HashMap<&str, Arc<Program>> = workloads
+        let programs: BTreeMap<&str, Arc<Program>> = workloads
             .iter()
             .zip(crate::campaign::parallel_map(&workloads, threads, |w| {
                 w.program()
             }))
             .map(|(w, program)| (w.label(), program))
             .collect();
-        let goldens: HashMap<&str, offramps::EvidenceBundle> = workloads
+        let goldens: BTreeMap<&str, offramps::EvidenceBundle> = workloads
             .iter()
             .zip(crate::campaign::parallel_map(&workloads, threads, |w| {
                 crate::campaign::golden_evidence(spec, w, &programs[w.label()], &suite)

@@ -50,7 +50,7 @@
 //! every scenario's [`ScenarioResult`] carries the suite's fused
 //! [`Verdict`] with per-detector [`offramps::verdict::Evidence`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -251,7 +251,7 @@ impl CampaignSpec {
     /// Reports the first unknown attack name or duplicate workload
     /// label.
     pub fn scenarios(&self) -> Result<Vec<Scenario>, String> {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for w in &self.workloads {
             if !seen.insert(w.label()) {
                 return Err(format!("duplicate workload label {:?}", w.label()));
@@ -774,6 +774,7 @@ fn judge_outcome(
     if obs.is_enabled() {
         obs.count("campaign.scenarios_simulated", 1);
     }
+    // detlint: allow(D2) -- verdict wall-clock is execution-class, emitted only via the timing sidecar
     let t0 = Instant::now();
     match outcome {
         Ok(art) => {
@@ -937,6 +938,7 @@ pub(crate) fn run_scenario(
     judging: Judging<'_>,
 ) -> ScenarioResult {
     let (bench, job) = scenario_bench(scenario, program, judging.suite);
+    // detlint: allow(D2) -- per-scenario sim_ms is execution-class, reported only in the timing sidecar
     let t0 = Instant::now();
     let outcome = bench.run(&job);
     let sim_ms = t0.elapsed().as_millis() as u64;
@@ -958,6 +960,7 @@ pub(crate) fn run_scenario_batch(
         .iter()
         .map(|sc| scenario_bench(sc, program, judging.suite))
         .unzip();
+    // detlint: allow(D2) -- batched sim_ms is execution-class, reported only in the timing sidecar
     let t0 = Instant::now();
     let outcomes = TestBench::run_batch(benches, &jobs);
     let sim_ms = t0.elapsed().as_millis() as u64 / batch.len() as u64;
@@ -979,7 +982,7 @@ pub(crate) fn lockstep_batches<'a>(
     workload_order: &[&str],
     batch: usize,
 ) -> Vec<Vec<&'a Scenario>> {
-    let mut groups: HashMap<&str, Vec<&Scenario>> = HashMap::new();
+    let mut groups: BTreeMap<&str, Vec<&Scenario>> = BTreeMap::new();
     for sc in scenarios {
         groups.entry(sc.workload.as_str()).or_default().push(sc);
     }
@@ -1009,8 +1012,8 @@ pub(crate) fn lockstep_batches<'a>(
 pub(crate) fn execute_scenarios(
     scenarios: &[&Scenario],
     workload_order: &[&str],
-    programs: &HashMap<&str, Arc<Program>>,
-    goldens: &HashMap<&str, EvidenceBundle>,
+    programs: &BTreeMap<&str, Arc<Program>>,
+    goldens: &BTreeMap<&str, EvidenceBundle>,
     judging: Judging<'_>,
     threads: usize,
     engine: Engine,
@@ -1032,7 +1035,7 @@ pub(crate) fn execute_scenarios(
             });
             // Batches group by workload, but the caller expects input
             // order — reassemble through each scenario's matrix index.
-            let index_of: HashMap<usize, usize> = scenarios
+            let index_of: BTreeMap<usize, usize> = scenarios
                 .iter()
                 .enumerate()
                 .map(|(pos, sc)| (sc.index, pos))
@@ -1121,11 +1124,12 @@ pub fn run_campaign_observed(
 ) -> Result<CampaignReport, String> {
     let suite = spec.suite()?;
     let scenarios = spec.scenarios()?;
+    // detlint: allow(D2) -- campaign wall-clock feeds only the --timing-json sidecar, never deterministic artifacts
     let t0 = Instant::now();
 
     // Slice each workload once (labels validated unique by
     // `scenarios()` above).
-    let programs: HashMap<&str, Arc<Program>> = spec
+    let programs: BTreeMap<&str, Arc<Program>> = spec
         .workloads
         .iter()
         .zip(parallel_map(&spec.workloads, threads, Workload::program))
@@ -1134,7 +1138,7 @@ pub fn run_campaign_observed(
 
     // Golden evidence, one bundle per workload label, fanned over the
     // pool.
-    let goldens: HashMap<&str, EvidenceBundle> = spec
+    let goldens: BTreeMap<&str, EvidenceBundle> = spec
         .workloads
         .iter()
         .zip(parallel_map(&spec.workloads, threads, |w| {

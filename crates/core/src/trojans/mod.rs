@@ -341,7 +341,7 @@ pub(crate) mod test_util {
     use offramps_des::DetRng;
 
     /// Minimal harness for exercising a Trojan in isolation.
-    pub struct TrojanHarness {
+    pub(crate) struct TrojanHarness {
         pub rng: DetRng,
         pub injections: Vec<(Tick, SignalEvent)>,
         pub feedback_injections: Vec<(Tick, SignalEvent)>,
@@ -350,7 +350,7 @@ pub(crate) mod test_util {
     }
 
     impl TrojanHarness {
-        pub fn new() -> Self {
+        pub(crate) fn new() -> Self {
             TrojanHarness {
                 rng: DetRng::from_seed(7),
                 injections: Vec::new(),
@@ -360,7 +360,7 @@ pub(crate) mod test_util {
             }
         }
 
-        pub fn control(&mut self, t: &mut dyn Trojan, now: Tick, ev: SignalEvent) -> Disposition {
+        pub(crate) fn control(&mut self, t: &mut dyn Trojan, now: Tick, ev: SignalEvent) -> Disposition {
             let mut ctx = TrojanCtx {
                 now,
                 homed: self.homed,
@@ -372,7 +372,7 @@ pub(crate) mod test_util {
             t.on_control(&mut ctx, &ev)
         }
 
-        pub fn feedback(&mut self, t: &mut dyn Trojan, now: Tick, ev: SignalEvent) -> Disposition {
+        pub(crate) fn feedback(&mut self, t: &mut dyn Trojan, now: Tick, ev: SignalEvent) -> Disposition {
             let mut ctx = TrojanCtx {
                 now,
                 homed: self.homed,
@@ -384,7 +384,7 @@ pub(crate) mod test_util {
             t.on_feedback(&mut ctx, &ev)
         }
 
-        pub fn wake(&mut self, t: &mut dyn Trojan, now: Tick) {
+        pub(crate) fn wake(&mut self, t: &mut dyn Trojan, now: Tick) {
             let mut ctx = TrojanCtx {
                 now,
                 homed: self.homed,

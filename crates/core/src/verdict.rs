@@ -1033,7 +1033,7 @@ impl DetectorSuite {
         if detectors.is_empty() {
             return Err("a detector suite needs at least one detector".into());
         }
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for d in &detectors {
             if !seen.insert(d.name()) {
                 return Err(format!("duplicate detector {:?} in suite", d.name()));
@@ -1043,7 +1043,7 @@ impl DetectorSuite {
             if !(threshold.is_finite() && (0.0..=1.0).contains(threshold)) {
                 return Err("weighted fusion threshold must be in [0, 1]".into());
             }
-            let mut named = std::collections::HashSet::new();
+            let mut named = std::collections::BTreeSet::new();
             for (name, w) in weights {
                 if !seen.contains(name.as_str()) {
                     return Err(format!("weighted fusion names unknown detector {name:?}"));

@@ -94,7 +94,7 @@ use crate::time::Tick;
 /// rotation overhead vanishes and each lane's calendar stays hot;
 /// small enough that sibling lanes' clocks advance together from a
 /// harness's point of view.
-pub const QUANTUM: u32 = 65_536;
+pub(crate) const QUANTUM: u32 = 65_536;
 
 /// The sibling scenarios stepped by a [`LockstepScheduler`], indexed by
 /// lane. Every lane exposes the same component topology (same ids,

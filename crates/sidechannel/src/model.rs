@@ -105,8 +105,8 @@ impl PowerModel {
         let mut enabled_any = vec![false; n];
 
         // Walk the trace once, accumulating per window.
-        let mut last_level: std::collections::HashMap<Pin, (Level, Tick)> =
-            std::collections::HashMap::new();
+        let mut last_level: std::collections::BTreeMap<Pin, (Level, Tick)> =
+            std::collections::BTreeMap::new();
         let win_of = |t: Tick| ((t.ticks() / period.ticks()) as usize).min(n - 1);
         let spread_high = |acc: &mut Vec<f64>, from: Tick, to: Tick| {
             // Distribute a high interval across windows as duty.

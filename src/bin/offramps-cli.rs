@@ -347,6 +347,7 @@ fn cmd_detect(args: &[String]) -> Result<ExitCode, String> {
 fn resolve_threads(args: &[String]) -> Result<usize, String> {
     let requested = opt_u64(args, "--threads", 0)? as usize;
     Ok(if requested == 0 {
+        // detlint: allow(D2) -- thread-count resolution is execution-class, reported only beside wall-clock timings
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
@@ -597,6 +598,7 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
 fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
     let threads = opt_u64(args, "--threads", 1)? as usize;
     let threads = if threads == 0 {
+        // detlint: allow(D2) -- thread-count resolution is execution-class, reported only beside wall-clock timings
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)

@@ -1,0 +1,8 @@
+// D0 negative: a justified suppression silences the finding (it still
+// counts as suppressed — CI reports the tally).
+
+fn wall_ms() -> u64 {
+    // detlint: allow(D2) -- fixture: host timing feeds only the sidecar
+    let t0 = Instant::now();
+    t0.elapsed().as_millis() as u64
+}

@@ -1,0 +1,9 @@
+// D0 positive: suppressions without justification (or naming unknown
+// rules) are findings themselves, and suppress nothing.
+
+fn wall() -> u64 {
+    let t0 = Instant::now(); // detlint: allow(D2)
+    let t1 = Instant::now(); // detlint: allow(D9) -- no such rule
+    let _ = (t0, t1);
+    0
+}

@@ -1,0 +1,29 @@
+// D1 negative: keyed hash lookups are fine; ordered traversal is
+// fine; test modules are exempt.
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+fn lookup(table: &HashMap<String, u64>, key: &str) -> Option<u64> {
+    table.get(key).copied()
+}
+
+fn membership(seen: &mut HashSet<String>, label: &str) -> bool {
+    seen.insert(label.to_string())
+}
+
+fn ordered(sorted: &BTreeMap<String, u64>) -> u64 {
+    sorted.values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_traverse_hashes() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        for (k, v) in &m {
+            assert!(k < v);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+// D1 positive: unordered hash traversal in artifact-producing code.
+// Not compiled — a lexical corpus for the detlint self-test.
+use std::collections::{HashMap, HashSet};
+
+fn summarize(counts: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in counts {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}
+
+fn tags() -> Vec<String> {
+    let mut set = HashSet::new();
+    set.insert("a".to_string());
+    set.iter().cloned().collect()
+}
+
+fn debug_dump(index: HashMap<u32, u32>) -> String {
+    format!("{:?}", index)
+}

@@ -1,0 +1,26 @@
+// D2 negative: simulated time is the only clock; holding an `Instant`
+// handed in by a caller (without reading the host clock) is fine.
+use std::time::Instant;
+
+pub struct Sidecar {
+    started: Instant,
+}
+
+fn sim_elapsed(now_ticks: u64, start_ticks: u64) -> u64 {
+    now_ticks - start_ticks
+}
+
+fn since(sidecar: &Sidecar, later: Instant) -> u64 {
+    later.duration_since(sidecar.started).as_millis() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn tests_may_time_themselves() {
+        let t0 = Instant::now();
+        assert!(t0.elapsed().as_secs() < 60);
+    }
+}

@@ -1,0 +1,15 @@
+// D3 negative: integer formatting in JSON emitters is canonical;
+// Debug formatting outside JSON-emitting functions (diagnostics,
+// error paths) is not this rule's business.
+
+fn counts_json(hits: u64, misses: u64) -> String {
+    format!("{{\"hits\": {hits}, \"misses\": {misses}}}")
+}
+
+fn diagnostics(state: &[u32]) -> String {
+    format!("machine state: {:?}", state)
+}
+
+fn narrate(frac: f64) -> String {
+    format!("print {:.1}% done", frac * 100.0)
+}

@@ -1,0 +1,12 @@
+// D3 positive: raw Debug / float formatting inside JSON-emitting
+// functions.
+
+fn to_json(v: f64, items: &[u32]) -> String {
+    let mut out = format!("{{\"v\": {}}}", v as f64);
+    out.push_str(&format!("{:?}", items));
+    out
+}
+
+fn render_row(frac: f64) -> String {
+    format!("{:.3}", frac)
+}

@@ -1,0 +1,20 @@
+// D4 negative: components answer exclusively through the sink.
+
+impl SimComponent for Relay {
+    type Payload = u32;
+
+    fn on_event(&mut self, now: Tick, _port: InPort, p: u32, sink: &mut ActionSink<u32>) {
+        sink.send(OutPort(0), p + 1);
+        sink.send_at(OutPort(1), now + Tick::from_micros(5), p);
+    }
+
+    fn on_tick(&mut self, now: Tick, sink: &mut ActionSink<u32>) {
+        sink.wake_at(now + Tick::from_micros(100));
+    }
+}
+
+fn harness(scheduler: &mut Scheduler<u32>, comps: &mut Comps) {
+    // Outside a SimComponent impl the scheduler API is exactly the
+    // right thing to call.
+    scheduler.step(comps);
+}

@@ -1,0 +1,16 @@
+// D4 positive: a SimComponent callback bypassing the ActionSink
+// write-phase discipline.
+
+impl SimComponent for Relay {
+    type Payload = u32;
+
+    fn on_event(&mut self, now: Tick, _port: InPort, _p: u32, sink: &mut ActionSink<u32>) {
+        let mut sched = Scheduler::new();
+        sched.step(&mut self.comps);
+        sink.drain().for_each(drop);
+    }
+
+    fn on_tick(&mut self, _now: Tick, sink: &mut ActionSink<u32>) {
+        sink.begin(Tick::ZERO);
+    }
+}

@@ -1,0 +1,10 @@
+// D5 positive: metric-name hygiene violations.
+
+fn publish(obs: &Obs, reg: &mut MetricsRegistry) {
+    obs.count("Kernel.Events", 1);
+    obs.count("flat_name", 1);
+    obs.observe("campaign.margin", -3);
+    obs.count("campaign.margin", 1);
+    reg.add("lane.rotations", MetricClass::Deterministic, 1);
+    obs.count_exec("lane.rotations", 1);
+}

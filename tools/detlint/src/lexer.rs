@@ -1,0 +1,453 @@
+//! A lightweight Rust lexer — just enough structure for determinism
+//! linting.
+//!
+//! The workspace is offline and dependency-free, so `detlint` cannot
+//! lean on `syn` or `proc-macro2`. It does not need to: every rule in
+//! [`crate::rules`] operates on token *shapes* (identifier runs,
+//! punctuation, string literals with their spans), not on a full AST.
+//! The lexer therefore handles exactly the lexical features that would
+//! otherwise produce false tokens — nested block comments, raw strings
+//! with `#` fences, byte/char literals, lifetimes vs. char literals —
+//! and flattens everything else to single-character punctuation.
+//!
+//! Line comments are not discarded: they are returned alongside the
+//! token stream because `// detlint: allow(..)` suppressions live
+//! there.
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `for`, ...).
+    Ident,
+    /// String literal — `text` holds the *contents* (no quotes, raw
+    /// escapes preserved as written).
+    Str,
+    /// Character or byte literal (contents not preserved).
+    Char,
+    /// Numeric literal, suffix included (`1_000u64`, `0.25`).
+    Num,
+    /// A single punctuation character (`.`, `:`, `{`, ...).
+    Punct,
+    /// A lifetime (`'a`), label included.
+    Lifetime,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when the token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// True when the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// One `//` line comment (text after the slashes, untrimmed) with its
+/// 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// Tokenizes `src`, returning the token stream and every line comment.
+///
+/// The lexer is intentionally forgiving: an unterminated string or
+/// comment consumes to end of input instead of erroring, so a finding
+/// is never masked by a parse failure elsewhere in the file.
+pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let at = |i: usize| -> u8 {
+        if i < bytes.len() {
+            bytes[i]
+        } else {
+            0
+        }
+    };
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if at(i + 1) == b'/' => {
+                let start = i + 2;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    line,
+                    text: src[start.min(bytes.len())..i].to_string(),
+                });
+            }
+            b'/' if at(i + 1) == b'*' => {
+                // Nested block comment.
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && at(i + 1) == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && at(i + 1) == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let (tok, ni, nl) = lex_string(src, i, line);
+                toks.push(tok);
+                i = ni;
+                line = nl;
+            }
+            b'\'' => {
+                // Lifetime or char literal.
+                let n1 = at(i + 1);
+                let is_ident_start = n1 == b'_' || n1.is_ascii_alphabetic();
+                if is_ident_start && at(i + 2) != b'\'' {
+                    let start = i + 1;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric())
+                    {
+                        i += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: src[start..i].to_string(),
+                        line,
+                    });
+                } else {
+                    // Char literal: consume to the closing quote,
+                    // honouring escapes.
+                    i += 1;
+                    if at(i) == b'\\' {
+                        i += 2;
+                        // \u{..} escapes
+                        if at(i - 1) == b'u' && at(i) == b'{' {
+                            while i < bytes.len() && bytes[i] != b'}' {
+                                i += 1;
+                            }
+                        }
+                    } else if i < bytes.len() {
+                        // Step over one (possibly multi-byte) char.
+                        i += src[i..].chars().next().map_or(1, char::len_utf8);
+                    }
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        i += 1;
+                    }
+                    i = (i + 1).min(bytes.len());
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line,
+                    });
+                }
+            }
+            b'r' | b'b' | b'c' if starts_string_prefix(bytes, i) => {
+                let (tok, ni, nl) = lex_prefixed_string(src, i, line);
+                toks.push(tok);
+                i = ni;
+                line = nl;
+            }
+            _ if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                // Raw identifier `r#name` never reaches here (handled
+                // by the prefix branch), so this is a plain ident.
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                // Integer part (hex/oct/bin digits, underscores,
+                // suffix letters all fold in).
+                while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                // Fractional part — but not a `..` range.
+                if at(i) == b'.' && at(i + 1) != b'.' && at(i + 1).is_ascii_digit() {
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric())
+                    {
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                // Everything else is single-character punctuation; the
+                // rules recognise multi-char operators (`::`, `->`) as
+                // adjacent punct tokens.
+                let ch_len = src[i..].chars().next().map_or(1, char::len_utf8);
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: src[i..i + ch_len].to_string(),
+                    line,
+                });
+                i += ch_len;
+            }
+        }
+    }
+    (toks, comments)
+}
+
+/// Does `r`/`b`/`c` at `i` begin a (raw) string/byte literal rather
+/// than an identifier?
+fn starts_string_prefix(bytes: &[u8], i: usize) -> bool {
+    let at = |j: usize| -> u8 {
+        if j < bytes.len() {
+            bytes[j]
+        } else {
+            0
+        }
+    };
+    match bytes[i] {
+        b'b' => matches!(at(i + 1), b'"' | b'\'') || (at(i + 1) == b'r' && raw_tail(bytes, i + 2)),
+        b'c' => at(i + 1) == b'"',
+        b'r' => raw_tail(bytes, i + 1),
+        _ => false,
+    }
+}
+
+/// After an `r`, is what follows `#*"` (a raw string, not `r#ident`)?
+fn raw_tail(bytes: &[u8], mut j: usize) -> bool {
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'"'
+}
+
+/// Lexes a plain `"..."` string starting at `i` (the opening quote).
+fn lex_string(src: &str, i: usize, mut line: u32) -> (Tok, usize, u32) {
+    let bytes = src.as_bytes();
+    let tok_line = line;
+    let start = i + 1;
+    let mut j = start;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => {
+                // An escaped newline (line-continuation) still ends a
+                // source line — keep the counter honest.
+                if j + 1 < bytes.len() && bytes[j + 1] == b'\n' {
+                    line += 1;
+                }
+                j += 2;
+            }
+            b'"' => break,
+            b'\n' => {
+                line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    let end = j.min(bytes.len());
+    (
+        Tok {
+            kind: TokKind::Str,
+            text: src[start.min(end)..end].to_string(),
+            line: tok_line,
+        },
+        (end + 1).min(bytes.len()),
+        line,
+    )
+}
+
+/// Lexes a prefixed string (`r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`,
+/// `c"..."`) or a `b'x'` byte literal, starting at the prefix.
+fn lex_prefixed_string(src: &str, i: usize, mut line: u32) -> (Tok, usize, u32) {
+    let bytes = src.as_bytes();
+    let tok_line = line;
+    let mut j = i;
+    // Skip the letter prefix (r, b, c, br).
+    while j < bytes.len() && bytes[j].is_ascii_alphabetic() {
+        j += 1;
+    }
+    // b'x' byte literal.
+    if j < bytes.len() && bytes[j] == b'\'' {
+        j += 1;
+        if j < bytes.len() && bytes[j] == b'\\' {
+            j += 2;
+        } else {
+            j += 1;
+        }
+        while j < bytes.len() && bytes[j] != b'\'' {
+            j += 1;
+        }
+        return (
+            Tok {
+                kind: TokKind::Char,
+                text: String::new(),
+                line: tok_line,
+            },
+            (j + 1).min(bytes.len()),
+            line,
+        );
+    }
+    let mut hashes = 0usize;
+    while j < bytes.len() && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert!(j < bytes.len() && bytes[j] == b'"');
+    let raw =
+        hashes > 0 || src.as_bytes()[i] == b'r' || (bytes[i] == b'b' && at_is(bytes, i + 1, b'r'));
+    let start = j + 1;
+    j += 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\n' => {
+                line += 1;
+                j += 1;
+            }
+            b'\\' if !raw => j += 2,
+            b'"' => {
+                // A raw string only closes when followed by its fence.
+                let mut k = j + 1;
+                let mut seen = 0usize;
+                while seen < hashes && k < bytes.len() && bytes[k] == b'#' {
+                    seen += 1;
+                    k += 1;
+                }
+                if seen == hashes {
+                    return (
+                        Tok {
+                            kind: TokKind::Str,
+                            text: src[start..j].to_string(),
+                            line: tok_line,
+                        },
+                        k,
+                        line,
+                    );
+                }
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (
+        Tok {
+            kind: TokKind::Str,
+            text: src[start.min(bytes.len())..].to_string(),
+            line: tok_line,
+        },
+        bytes.len(),
+        line,
+    )
+}
+
+fn at_is(bytes: &[u8], i: usize, b: u8) -> bool {
+    i < bytes.len() && bytes[i] == b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).0.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let (toks, _) = lex("fn main() {\n  x.iter();\n}");
+        assert!(toks[0].is_ident("fn"));
+        assert!(toks[1].is_ident("main"));
+        let iter = toks.iter().find(|t| t.is_ident("iter")).unwrap();
+        assert_eq!(iter.line, 2);
+    }
+
+    #[test]
+    fn escaped_newline_in_string_still_counts_the_line() {
+        let (toks, _) = lex("let s = \"a\\\nb\";\nafter");
+        let after = toks.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let (toks, comments) = lex("let a = 1; // detlint: allow(D1) -- why\nlet b = 2;");
+        assert!(toks.iter().all(|t| t.kind != TokKind::Str));
+        assert_eq!(comments.len(), 1);
+        assert_eq!(comments[0].line, 1);
+        assert!(comments[0].text.contains("detlint: allow(D1)"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_count_lines() {
+        let (toks, _) = lex("/* a /* b\n */ still comment\n */ after");
+        assert_eq!(toks.len(), 1);
+        assert!(toks[0].is_ident("after"));
+        assert_eq!(toks[0].line, 3);
+    }
+
+    #[test]
+    fn strings_raw_strings_and_escapes() {
+        let t = kinds(r####"let s = "a\"b"; let r = r#"raw "q" end"#;"####);
+        let strs: Vec<&String> = t
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, s)| s)
+            .collect();
+        assert_eq!(strs[0], "a\\\"b");
+        assert_eq!(strs[1], "raw \"q\" end");
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Lifetime && s == "a"));
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn numbers_keep_suffix_and_fraction() {
+        let t = kinds("let a = 1_000u64; let b = 0.25; let r = 0..n;");
+        let nums: Vec<&String> = t
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Num)
+            .map(|(_, s)| s)
+            .collect();
+        assert_eq!(nums, ["1_000u64", "0.25", "0"]);
+    }
+
+    #[test]
+    fn format_string_with_braces_survives() {
+        let (toks, _) = lex(r#"format!("{:?} and {x:.2}", map)"#);
+        let s = toks.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert_eq!(s.text, "{:?} and {x:.2}");
+    }
+}

@@ -1,0 +1,11 @@
+//! `detlint` — static enforcement of the workspace's byte-identity
+//! contract.
+//!
+//! See [`rules`] for the rule set, [`engine`] for walking and
+//! suppression semantics, and `tools/detlint/fixtures/` for the golden
+//! corpus (one positive and one negative file per rule) that the
+//! self-tests replay.
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;

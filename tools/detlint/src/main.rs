@@ -1,0 +1,82 @@
+//! CLI entry point: `detlint [--rules] [--verbose] PATH...`
+//!
+//! Exit codes: 0 = clean (suppressions allowed), 1 = at least one
+//! unsuppressed finding, 2 = usage or I/O error. CI gates on this next
+//! to clippy.
+
+use detlint::engine;
+use detlint::rules::{self, RULES};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut verbose = false;
+    let mut roots = Vec::new();
+    for arg in &args {
+        match arg.as_str() {
+            "--rules" => {
+                print_rules();
+                return ExitCode::SUCCESS;
+            }
+            "--verbose" => verbose = true,
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("detlint: unknown flag {arg}");
+                print_usage();
+                return ExitCode::from(2);
+            }
+            _ => roots.push(arg.clone()),
+        }
+    }
+    if roots.is_empty() {
+        print_usage();
+        return ExitCode::from(2);
+    }
+
+    let report = engine::lint_paths(&roots);
+    for err in &report.errors {
+        eprintln!("detlint: error: {err}");
+    }
+    for f in &report.findings {
+        if f.suppressed && !verbose {
+            continue;
+        }
+        let marker = if f.suppressed { " [suppressed]" } else { "" };
+        println!("{}{marker}", f.render());
+        if !f.suppressed {
+            if let Some(info) = rules::rule(f.rule) {
+                println!("  hint: {}", info.hint);
+            }
+        }
+    }
+    println!(
+        "detlint: {} unsuppressed finding(s), {} suppressed, {} file(s) scanned",
+        report.unsuppressed(),
+        report.suppressed(),
+        report.files_scanned
+    );
+    if !report.errors.is_empty() {
+        ExitCode::from(2)
+    } else if report.unsuppressed() > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage: detlint [--rules] [--verbose] PATH...");
+    eprintln!("  lints .rs files under each PATH for determinism-contract hazards");
+    eprintln!("  suppress a finding with: // detlint: allow(<rule>) -- <reason>");
+}
+
+fn print_rules() {
+    println!("detlint rules (suppress with `// detlint: allow(<rule>) -- <reason>`):");
+    for r in RULES {
+        println!("  {}  {}", r.id, r.summary);
+        println!("      fix: {}", r.hint);
+    }
+}
