@@ -29,7 +29,11 @@ fn benches(c: &mut Criterion) {
     group.sampling_mode(SamplingMode::Flat).sample_size(10);
     for (name, engine) in [
         ("solo", Engine::Solo),
+        ("lockstep1", Engine::Lockstep(1)),
+        ("lockstep2", Engine::Lockstep(2)),
+        ("lockstep4", Engine::Lockstep(4)),
         ("lockstep", Engine::Lockstep(DEFAULT_LOCKSTEP_BATCH)),
+        ("lockstep-full", Engine::Lockstep(0)),
     ] {
         group.bench_function(name, |b| {
             b.iter(|| {

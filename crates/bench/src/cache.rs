@@ -540,6 +540,7 @@ pub fn run_campaign_cached_observed(
         })
         .collect();
 
+    let decode_start = obs.clock_micros();
     let mut results: Vec<Option<ScenarioResult>> = Vec::with_capacity(scenarios.len());
     let mut misses: Vec<&Scenario> = Vec::new();
     for (sc, key) in scenarios.iter().zip(&keys) {
@@ -562,6 +563,7 @@ pub fn run_campaign_cached_observed(
         }
         results.push(decoded);
     }
+    obs.record_span("campaign", None, "decode", decode_start, obs.clock_micros());
     let stats = CacheStats {
         hits: scenarios.len() - misses.len(),
         misses: misses.len(),
@@ -587,6 +589,7 @@ pub fn run_campaign_cached_observed(
             .iter()
             .filter(|w| needed.contains(w.label()))
             .collect();
+        let slice_start = obs.clock_micros();
         let programs: BTreeMap<&str, Arc<Program>> = workloads
             .iter()
             .zip(crate::campaign::parallel_map(&workloads, threads, |w| {
@@ -594,20 +597,17 @@ pub fn run_campaign_cached_observed(
             }))
             .map(|(w, program)| (w.label(), program))
             .collect();
-        let goldens: BTreeMap<&str, offramps::EvidenceBundle> = workloads
-            .iter()
-            .zip(crate::campaign::parallel_map(&workloads, threads, |w| {
-                crate::campaign::golden_evidence(spec, w, &programs[w.label()], &suite)
-            }))
-            .map(|(w, bundle)| (w.label(), bundle))
-            .collect();
-
-        let workload_order: Vec<&str> = workloads.iter().map(|w| w.label()).collect();
-        let fresh = crate::campaign::execute_scenarios(
+        obs.record_span("campaign", None, "slice", slice_start, obs.clock_micros());
+        // Golden provisioning is engine shaped: solo fans golden
+        // bundles over the pool first; lockstep fuses each workload's
+        // golden lanes into its first miss batch. Either way golden
+        // runs happen only for workloads with at least one miss, and
+        // the artifacts (and store payloads) are engine independent.
+        let fresh = crate::campaign::execute_campaign(
+            spec,
+            &workloads,
             &misses,
-            &workload_order,
             &programs,
-            &goldens,
             crate::campaign::Judging {
                 suite: &suite,
                 online: spec.online,

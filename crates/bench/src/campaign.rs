@@ -50,7 +50,7 @@
 //! every scenario's [`ScenarioResult`] carries the suite's fused
 //! [`Verdict`] with per-detector [`offramps::verdict::Evidence`].
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -548,6 +548,29 @@ impl CampaignReport {
                 body.push_str("\n  }");
                 w.raw("exec_metrics", &body);
             }
+            let spans = obs.spans();
+            if !spans.is_empty() {
+                let mut body = String::from("[");
+                for (i, span) in spans.iter().enumerate() {
+                    if i > 0 {
+                        body.push(',');
+                    }
+                    body.push_str(&format!(
+                        "\n    {{\"label\": {}, \"component\": {}",
+                        crate::json::escape(&span.label),
+                        crate::json::escape(span.component),
+                    ));
+                    if let Some(scenario) = span.scenario {
+                        body.push_str(&format!(", \"scenario\": {scenario}"));
+                    }
+                    body.push_str(&format!(
+                        ", \"start_us\": {}, \"end_us\": {}}}",
+                        span.start_micros, span.end_micros
+                    ));
+                }
+                body.push_str("\n  ]");
+                w.raw("spans", &body);
+            }
         }
         let mut scenarios = String::from("[");
         for (i, r) in self.results.iter().enumerate() {
@@ -774,9 +797,10 @@ fn judge_outcome(
     if obs.is_enabled() {
         obs.count("campaign.scenarios_simulated", 1);
     }
+    let judge_start = obs.clock_micros();
     // detlint: allow(D2) -- verdict wall-clock is execution-class, emitted only via the timing sidecar
     let t0 = Instant::now();
-    match outcome {
+    let result = match outcome {
         Ok(art) => {
             if obs.is_enabled() {
                 obs.count("kernel.events_committed", art.kernel.events);
@@ -829,7 +853,15 @@ fn judge_outcome(
             ttd: None,
             wall_ms: sim_ms,
         },
-    }
+    };
+    obs.record_span(
+        "campaign",
+        Some(scenario.index),
+        "judge",
+        judge_start,
+        obs.clock_micros(),
+    );
+    result
 }
 
 /// Evidence windows the per-scenario flight recorder keeps: the
@@ -971,6 +1003,59 @@ pub(crate) fn run_scenario_batch(
         .collect()
 }
 
+/// Runs one workload's golden lanes (the primary capture plus every
+/// shared calibration repetition the suite consumes) and its first
+/// scenario chunk as sibling lanes of **one** lockstep batch, then
+/// judges the scenario lanes against the bundle assembled from the
+/// golden lanes — golden-run fusion. The golden artifacts, and thus
+/// the bundle, are byte-identical to a standalone
+/// [`golden_evidence`] call: every lane's event stream is seq-from-0
+/// identical to its solo run whatever batch it rides in, a property
+/// `tests/lockstep_equivalence.rs` pins.
+pub(crate) fn run_fused_batch(
+    spec: &CampaignSpec,
+    batch: &[&Scenario],
+    program: &Arc<Program>,
+    judging: Judging<'_>,
+) -> (EvidenceBundle, Vec<ScenarioResult>) {
+    let suite = judging.suite;
+    let label = batch[0].workload.as_str();
+    let seeds = detectors::golden_seed_plan(
+        spec.golden_seed(label),
+        &spec.calibration_seeds(label, suite.calibration_runs()),
+        suite,
+    );
+    let needs_plant_trace = suite.needs_plant_trace();
+    let mut benches: Vec<TestBench> = seeds
+        .iter()
+        .map(|&seed| detectors::golden_bench(seed, needs_plant_trace))
+        .collect();
+    let mut jobs: Vec<Arc<Program>> = seeds.iter().map(|_| Arc::clone(program)).collect();
+    for sc in batch {
+        let (bench, job) = scenario_bench(sc, program, suite);
+        benches.push(bench);
+        jobs.push(job);
+    }
+    // detlint: allow(D2) -- fused-batch sim_ms is execution-class, reported only in the timing sidecar
+    let t0 = Instant::now();
+    let mut outcomes = TestBench::run_batch(benches, &jobs).into_iter();
+    let golden_runs: Vec<(u64, RunArtifacts)> = seeds
+        .iter()
+        .map(|&seed| {
+            let run = outcomes.next().expect("golden lane").expect("golden run");
+            (seed, run)
+        })
+        .collect();
+    let sim_ms = t0.elapsed().as_millis() as u64 / (seeds.len() + batch.len()) as u64;
+    let golden = detectors::golden_bundle_from_runs(golden_runs, suite);
+    let results = batch
+        .iter()
+        .zip(outcomes)
+        .map(|(sc, outcome)| judge_outcome(sc, outcome, &golden, judging, sim_ms))
+        .collect();
+    (golden, results)
+}
+
 /// Plans the lockstep batches for a scenario matrix: scenarios are
 /// grouped by workload (groups ordered like `workload_order`, members
 /// in matrix order) and chunked to at most `batch` lanes. A function
@@ -1053,6 +1138,135 @@ pub(crate) fn execute_scenarios(
     }
 }
 
+/// Provisions golden evidence and executes a planned scenario list in
+/// one engine-shaped pass. The solo engine keeps the two-phase shape —
+/// golden bundles fanned over the pool, then the scenario matrix. The
+/// lockstep engine **fuses**: wave 1 runs each workload's golden lanes
+/// inside its first scenario batch ([`run_fused_batch`]), so golden
+/// calibration shares the batch's cache residency and the
+/// [`parallel_map`] slot accounting; wave 2 runs the remaining batches
+/// against the fresh bundles. Wave 2's chunking lines up with the
+/// original plan (removing a group's first chunk leaves the remaining
+/// chunk boundaries unchanged), and every artifact is byte-identical
+/// across engines, batch sizes and thread counts either way.
+pub(crate) fn execute_campaign(
+    spec: &CampaignSpec,
+    workloads: &[&Workload],
+    scenarios: &[&Scenario],
+    programs: &BTreeMap<&str, Arc<Program>>,
+    judging: Judging<'_>,
+    threads: usize,
+    engine: Engine,
+) -> Vec<ScenarioResult> {
+    let workload_order: Vec<&str> = workloads.iter().map(|w| w.label()).collect();
+    match engine {
+        Engine::Solo => {
+            let golden_start = judging.obs.clock_micros();
+            let goldens: BTreeMap<&str, EvidenceBundle> = workloads
+                .iter()
+                .zip(parallel_map(workloads, threads, |w| {
+                    golden_evidence(spec, w, &programs[w.label()], judging.suite)
+                }))
+                .map(|(w, bundle)| (w.label(), bundle))
+                .collect();
+            let simulate_start = judging.obs.clock_micros();
+            judging
+                .obs
+                .record_span("campaign", None, "golden", golden_start, simulate_start);
+            let results = execute_scenarios(
+                scenarios,
+                &workload_order,
+                programs,
+                &goldens,
+                judging,
+                threads,
+                engine,
+            );
+            judging.obs.record_span(
+                "campaign",
+                None,
+                "simulate",
+                simulate_start,
+                judging.obs.clock_micros(),
+            );
+            results
+        }
+        Engine::Lockstep(batch) => {
+            let batches = lockstep_batches(scenarios.iter().copied(), &workload_order, batch);
+            // Wave 1: each workload's first batch, fused with its
+            // golden lanes. Later batches of the same workload wait for
+            // the bundle.
+            let mut fused: Vec<Vec<&Scenario>> = Vec::new();
+            let mut rest: Vec<&Scenario> = Vec::new();
+            let mut seen: BTreeSet<&str> = BTreeSet::new();
+            for b in batches {
+                if seen.insert(b[0].workload.as_str()) {
+                    fused.push(b);
+                } else {
+                    rest.extend(b);
+                }
+            }
+            let wave1_start = judging.obs.clock_micros();
+            let wave1 = parallel_map(&fused, threads, |batch| {
+                run_fused_batch(spec, batch, &programs[batch[0].workload.as_str()], judging)
+            });
+            // Golden fusion makes the golden phase part of wave 1's
+            // simulation — the span label says so instead of
+            // pretending a separate golden phase ran.
+            judging.obs.record_span(
+                "campaign",
+                None,
+                "golden+simulate",
+                wave1_start,
+                judging.obs.clock_micros(),
+            );
+            let index_of: BTreeMap<usize, usize> = scenarios
+                .iter()
+                .enumerate()
+                .map(|(pos, sc)| (sc.index, pos))
+                .collect();
+            let mut slots: Vec<Option<ScenarioResult>> = scenarios.iter().map(|_| None).collect();
+            let mut goldens: BTreeMap<&str, EvidenceBundle> = BTreeMap::new();
+            for (batch, (golden, results)) in fused.iter().zip(wave1) {
+                goldens.insert(batch[0].workload.as_str(), golden);
+                for r in results {
+                    let pos = index_of[&r.scenario.index];
+                    slots[pos] = Some(r);
+                }
+            }
+            // Wave 2: the remaining batches, judged against the fresh
+            // bundles.
+            if !rest.is_empty() {
+                let wave2_start = judging.obs.clock_micros();
+                let wave2 = execute_scenarios(
+                    &rest,
+                    &workload_order,
+                    programs,
+                    &goldens,
+                    judging,
+                    threads,
+                    engine,
+                );
+                judging.obs.record_span(
+                    "campaign",
+                    None,
+                    "simulate",
+                    wave2_start,
+                    judging.obs.clock_micros(),
+                );
+                for r in wave2 {
+                    let pos = index_of[&r.scenario.index];
+                    slots[pos] = Some(r);
+                }
+            }
+            slots
+                .into_iter()
+                .map(|slot| slot.expect("every scenario ran in exactly one wave"))
+                .collect()
+        }
+    }
+}
+
 /// Executes the campaign on `threads` workers with the default
 /// (lockstep-batched) engine.
 ///
@@ -1129,32 +1343,26 @@ pub fn run_campaign_observed(
 
     // Slice each workload once (labels validated unique by
     // `scenarios()` above).
+    let slice_start = obs.clock_micros();
     let programs: BTreeMap<&str, Arc<Program>> = spec
         .workloads
         .iter()
         .zip(parallel_map(&spec.workloads, threads, Workload::program))
         .map(|(w, program)| (w.label(), program))
         .collect();
+    obs.record_span("campaign", None, "slice", slice_start, obs.clock_micros());
 
-    // Golden evidence, one bundle per workload label, fanned over the
-    // pool.
-    let goldens: BTreeMap<&str, EvidenceBundle> = spec
-        .workloads
-        .iter()
-        .zip(parallel_map(&spec.workloads, threads, |w| {
-            golden_evidence(spec, w, &programs[w.label()], &suite)
-        }))
-        .map(|(w, bundle)| (w.label(), bundle))
-        .collect();
-
-    // The scenario matrix.
-    let workload_order: Vec<&str> = spec.workloads.iter().map(Workload::label).collect();
+    // Golden evidence and the scenario matrix, engine shaped: the solo
+    // engine provisions golden bundles first and then runs scenarios;
+    // the lockstep engine fuses each workload's golden lanes into its
+    // first scenario batch.
+    let workload_refs: Vec<&Workload> = spec.workloads.iter().collect();
     let scenario_refs: Vec<&Scenario> = scenarios.iter().collect();
-    let results = execute_scenarios(
+    let results = execute_campaign(
+        spec,
+        &workload_refs,
         &scenario_refs,
-        &workload_order,
         &programs,
-        &goldens,
         Judging {
             suite: &suite,
             online: spec.online,

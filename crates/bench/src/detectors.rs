@@ -64,6 +64,16 @@ pub fn suite_from_names(names: &[String], fusion: FusionPolicy) -> Result<Detect
     DetectorSuite::new(detectors, fusion)
 }
 
+/// The bench one golden lane (the primary capture or a shared
+/// calibration repetition) runs on. Shared by [`golden_evidence`] and
+/// the campaign engine's fused batches, so a golden lane is configured
+/// identically wherever it executes.
+pub(crate) fn golden_bench(seed: u64, needs_plant_trace: bool) -> TestBench {
+    TestBench::new(seed)
+        .signal_path(SignalPath::capture())
+        .record_plant_trace(needs_plant_trace)
+}
+
 /// Runs one print through the capture path, recording the plant-side
 /// trace when the suite's channel plan consumes it.
 pub(crate) fn capture_run(
@@ -71,10 +81,7 @@ pub(crate) fn capture_run(
     seed: u64,
     needs_plant_trace: bool,
 ) -> Result<RunArtifacts, offramps::BenchError> {
-    TestBench::new(seed)
-        .signal_path(SignalPath::capture())
-        .record_plant_trace(needs_plant_trace)
-        .run(program)
+    golden_bench(seed, needs_plant_trace).run(program)
 }
 
 /// Synthesizes one planned channel from a run's artifacts (`None` when
@@ -136,40 +143,68 @@ pub fn golden_evidence(
     calibration_seeds: &[u64],
     suite: &DetectorSuite,
 ) -> EvidenceBundle {
-    let plan = suite.channel_plan();
-    let needs_plant_trace = plan.iter().any(|r| r.synth.needs_plant_trace());
-    let max_calibration = suite.calibration_runs();
+    let needs_plant_trace = suite
+        .channel_plan()
+        .iter()
+        .any(|r| r.synth.needs_plant_trace());
+    let seeds = golden_seed_plan(primary_seed, calibration_seeds, suite);
 
     // Calibrating suites rerun the same golden workload several times —
     // the lockstep batch shape — so the primary print and every shared
     // calibration repetition run as sibling lanes of one batch, keeping
     // the program image hot. Non-calibrating suites take the plain solo
     // run. Either way the artifacts are identical per seed.
-    let (art, repeats) = if max_calibration >= 2 && !calibration_seeds.is_empty() {
-        let seeds: Vec<u64> = std::iter::once(primary_seed)
-            .chain(calibration_seeds.iter().copied().take(max_calibration - 1))
-            .collect();
+    let runs: Vec<(u64, RunArtifacts)> = if seeds.len() > 1 {
         let benches = seeds
             .iter()
-            .map(|&seed| {
-                TestBench::new(seed)
-                    .signal_path(SignalPath::capture())
-                    .record_plant_trace(needs_plant_trace)
-            })
+            .map(|&seed| golden_bench(seed, needs_plant_trace))
             .collect();
         let programs: Vec<Arc<Program>> = seeds.iter().map(|_| Arc::clone(program)).collect();
-        let mut runs = TestBench::run_batch(benches, &programs).into_iter();
-        let art = runs.next().expect("primary lane").expect("golden run");
-        let repeats: Vec<(u64, RunArtifacts)> = seeds[1..]
+        seeds
             .iter()
             .copied()
-            .zip(runs.map(|run| run.expect("golden calibration run")))
-            .collect();
-        (art, repeats)
+            .zip(TestBench::run_batch(benches, &programs))
+            .map(|(seed, run)| (seed, run.expect("golden run")))
+            .collect()
     } else {
         let art = capture_run(program, primary_seed, needs_plant_trace).expect("golden run");
-        (art, Vec::new())
+        vec![(primary_seed, art)]
     };
+    golden_bundle_from_runs(runs, suite)
+}
+
+/// The golden seeds one workload's evidence is built from: the primary
+/// seed first, then every shared calibration repetition the suite
+/// consumes (no tail for non-calibrating suites). The campaign engine
+/// uses this plan to provision golden lanes inside a scenario batch;
+/// [`golden_evidence`] uses it for the standalone path. One function,
+/// so the two can never disagree about which seeds run.
+pub(crate) fn golden_seed_plan(
+    primary_seed: u64,
+    calibration_seeds: &[u64],
+    suite: &DetectorSuite,
+) -> Vec<u64> {
+    let max_calibration = suite.calibration_runs();
+    let mut seeds = vec![primary_seed];
+    if max_calibration >= 2 {
+        seeds.extend(calibration_seeds.iter().copied().take(max_calibration - 1));
+    }
+    seeds
+}
+
+/// Assembles the golden bundle from already-simulated golden runs, in
+/// [`golden_seed_plan`] order (`runs[0]` is the primary capture). This
+/// is the synthesis half of [`golden_evidence`], split out so the
+/// lockstep campaign engine can run the golden lanes as siblings of a
+/// scenario batch and still build the byte-identical bundle.
+pub(crate) fn golden_bundle_from_runs(
+    mut runs: Vec<(u64, RunArtifacts)>,
+    suite: &DetectorSuite,
+) -> EvidenceBundle {
+    let plan = suite.channel_plan();
+    let max_calibration = suite.calibration_runs();
+    let repeats = runs.split_off(1);
+    let (primary_seed, art) = runs.pop().expect("primary golden run");
     let mut bundle = observed_evidence(art, primary_seed, suite);
 
     if max_calibration >= 2 {
@@ -183,14 +218,14 @@ pub fn golden_evidence(
             let Some(primary) = bundle.get(channel).cloned() else {
                 continue;
             };
-            let mut runs = vec![primary];
+            let mut calib = vec![primary];
             for (seed, art) in repeats.iter().take(request.calibration_runs - 1) {
-                runs.push(
+                calib.push(
                     synthesize(&request.synth, art, *seed)
                         .expect("calibration run carries the planned channel source"),
                 );
             }
-            bundle.insert_calibration(channel, runs);
+            bundle.insert_calibration(channel, calib);
         }
     }
     bundle

@@ -1,0 +1,53 @@
+//! Paired campaign-engine probe: the mini sweep timed per engine in
+//! alternating rounds, so host clock drift (severe on shared boxes)
+//! cancels out of the within-round comparisons. `offramps-cli bench`
+//! is the pinned trajectory; this probe is for localizing engine
+//! overhead — lane-count scaling separates per-event engine cost
+//! (visible at 1 lane) from working-set pressure (grows with lanes).
+//!
+//! Host timing, so `#[ignore]`d; run with:
+//! `cargo test --release -p offramps-bench --test campaign_engine_probe -- --ignored --nocapture`
+
+use std::time::Instant;
+
+use offramps_bench::campaign::{run_campaign_with, sweep_attacks, CampaignSpec, Engine};
+use offramps_bench::workloads::Workload;
+
+fn mini_sweep() -> CampaignSpec {
+    let mut spec = CampaignSpec::default_matrix(42);
+    spec.trojans = sweep_attacks();
+    spec.workloads = vec![Workload::mini()];
+    spec
+}
+
+#[test]
+#[ignore = "host-timing probe; run explicitly with --ignored --nocapture"]
+fn paired_engine_probe() {
+    let spec = mini_sweep();
+    let engines = [
+        ("solo", Engine::Solo),
+        ("lockstep1", Engine::Lockstep(1)),
+        ("lockstep2", Engine::Lockstep(2)),
+        ("lockstep8", Engine::Lockstep(8)),
+        ("full", Engine::Lockstep(0)),
+    ];
+    let mut walls = vec![Vec::new(); engines.len()];
+    const ROUNDS: usize = 4;
+    for round in 0..ROUNDS {
+        for (slot, (name, engine)) in engines.iter().enumerate() {
+            let t0 = Instant::now();
+            let report = run_campaign_with(&spec, 1, *engine).expect("campaign runs");
+            let wall = t0.elapsed().as_secs_f64();
+            walls[slot].push(wall);
+            println!(
+                "round{round} {name:<10} {wall:>7.3}s  events={}",
+                report.total_events()
+            );
+        }
+    }
+    for (slot, (name, _)) in engines.iter().enumerate() {
+        let mut w = walls[slot].clone();
+        w.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        println!("{name:<10} min={:.3}s median={:.3}s", w[0], w[w.len() / 2]);
+    }
+}

@@ -45,6 +45,22 @@ fn matrix_spec() -> CampaignSpec {
     spec
 }
 
+/// A compact calibrated matrix: the power and thermal detectors both
+/// calibrate from shared golden reruns, so every workload's golden
+/// evidence needs multiple golden simulations — the shape where the
+/// lockstep engine fuses the golden lanes into the workload's first
+/// scenario batch instead of provisioning them up front.
+fn calibrated_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec {
+        trojans: vec!["none".into(), "t2:0.5".into(), "t9:0.5".into()],
+        workloads: vec![Workload::mini()],
+        detectors: vec!["txn".into(), "power".into(), "thermal".into()],
+        ..CampaignSpec::default_matrix(2203)
+    };
+    spec.workloads.extend(CorpusSpec::new(1).expand(2203));
+    spec
+}
+
 #[test]
 fn batch_and_thread_matrix_is_byte_identical_to_the_solo_engine() {
     let spec = matrix_spec();
@@ -98,6 +114,72 @@ fn solo_warmed_store_serves_the_batched_engine_entirely_from_cache() {
     );
     assert_eq!(warm.summary(), cold.summary());
     assert_eq!(warm.to_json(), cold.to_json());
+
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn calibrated_campaigns_fuse_golden_lanes_without_perturbing_artifacts() {
+    let spec = calibrated_spec();
+    let oracle = run_campaign_with(&spec, 1, Engine::Solo).expect("valid spec");
+    assert_eq!(oracle.results.len(), 6, "fixture shape");
+
+    for batch in [1usize, 4, 0] {
+        for threads in [1usize, 4] {
+            let report =
+                run_campaign_with(&spec, threads, Engine::Lockstep(batch)).expect("valid spec");
+            let label = format!("batch={batch} threads={threads}");
+            assert_eq!(
+                report.summary(),
+                oracle.summary(),
+                "summary differs at {label}"
+            );
+            assert_eq!(
+                report.to_json(),
+                oracle.to_json(),
+                "JSON differs at {label}"
+            );
+        }
+    }
+}
+
+#[test]
+fn solo_warmed_store_serves_the_fused_golden_engine_from_cache() {
+    let root = temp_store("warm-calibrated");
+    let spec = calibrated_spec();
+
+    let mut store = Store::open(&root).unwrap();
+    let (cold, stats) =
+        run_campaign_cached_with(&spec, 1, &mut store, Engine::Solo).expect("valid spec");
+    assert_eq!(stats, CacheStats { hits: 0, misses: 6 });
+
+    // The fused-golden engine on a fully warmed store: every scenario
+    // is a hit, so no golden lane may run either — golden provisioning
+    // only happens for workloads that still have misses.
+    drop(store);
+    let mut store = Store::open(&root).unwrap();
+    let (warm, stats) =
+        run_campaign_cached_with(&spec, 4, &mut store, Engine::Lockstep(4)).expect("valid spec");
+    assert_eq!(
+        stats,
+        CacheStats { hits: 6, misses: 0 },
+        "solo-warmed store must fully serve the fused-golden engine"
+    );
+    assert_eq!(warm.summary(), cold.summary());
+    assert_eq!(warm.to_json(), cold.to_json());
+
+    // And the other direction: a store warmed by the fused-golden
+    // engine serves a solo rerun without simulating anything.
+    drop(store);
+    let mut store = Store::open(&root).unwrap();
+    let (back, stats) =
+        run_campaign_cached_with(&spec, 2, &mut store, Engine::Solo).expect("valid spec");
+    assert_eq!(
+        stats,
+        CacheStats { hits: 6, misses: 0 },
+        "fused-golden-warmed store must fully serve the solo engine"
+    );
+    assert_eq!(back.to_json(), cold.to_json());
 
     std::fs::remove_dir_all(&root).unwrap();
 }

@@ -17,8 +17,8 @@ use std::fmt;
 use std::sync::Arc;
 
 use offramps_des::{
-    CompId, ComponentSet, KernelStats, LockstepScheduler, Scheduler, SimComponent, SimDuration,
-    StepKind, Tick,
+    CompId, ComponentSet, DriveCmd, DriveExit, KernelStats, LockstepScheduler, Scheduler,
+    SimComponent, SimDuration, StepKind, Tick,
 };
 use offramps_firmware::{Firmware, FirmwareConfig, FwState};
 use offramps_gcode::Program;
@@ -446,60 +446,78 @@ impl TestBench {
         let mut sched = Self::wire_lockstep(rigs.len());
         sched.start(&mut rigs[..]);
 
+        // The admit closure and the per-step closure borrow disjoint
+        // state, so the lane limits are copied out of `meta` up front.
+        let limits: Vec<Tick> = meta.iter().map(|m| m.limit_tick).collect();
         let mut remaining = rigs.len();
         while remaining > 0 {
-            // Mirror of the solo loop's peek-before-step limit check:
-            // an event beyond the lane's time limit is never delivered.
-            let Some((lane, next)) = sched.peek() else {
-                break;
-            };
-            if next > meta[lane].limit_tick {
-                let outcome = if matches!(rigs[lane].fw.state(), FwState::Running) {
-                    Err(BenchError::SimTimeLimit {
-                        limit: meta[lane].max_sim_time,
-                    })
-                } else {
-                    Ok(())
-                };
-                meta[lane].outcome = Some(outcome);
-                sched.deactivate_lane(lane);
-                remaining -= 1;
-                continue;
-            }
+            // `drive` runs the whole batch: admission mirrors the solo
+            // loop's peek-before-step limit check (an event beyond its
+            // lane's time limit is never delivered — the drive blocks
+            // and the lane terminates below), and the per-step closure
+            // is the solo loop's body, per lane.
+            let exit = sched.drive(
+                &mut rigs[..],
+                |lane, tick| tick <= limits[lane],
+                |rigs, step| {
+                    let lane = step.lane;
+                    let tick = step.info.tick;
 
-            let step = sched.step(&mut rigs[..]).expect("peeked event exists");
-            let lane = step.lane;
-            let tick = step.info.tick;
+                    if step.info.comp.index() == PLANT && step.info.kind == StepKind::Wake {
+                        let s = rigs[lane].plant.status(tick);
+                        meta[lane].temps.push((tick, s.hotend_c, s.bed_c));
+                    }
 
-            if step.info.comp.index() == PLANT && step.info.kind == StepKind::Wake {
-                let s = rigs[lane].plant.status(tick);
-                meta[lane].temps.push((tick, s.hotend_c, s.bed_c));
-            }
-
-            // Same drain-grace termination as the solo loop, per lane.
-            let mut done = None;
-            if !matches!(rigs[lane].fw.state(), FwState::Running) {
-                match meta[lane].stop_deadline {
-                    None => meta[lane].stop_deadline = Some(tick + meta[lane].drain_time),
-                    Some(deadline) if tick >= deadline => done = Some(Ok(())),
-                    Some(_) => {}
+                    // Same drain-grace termination as the solo loop.
+                    let mut done = None;
+                    if !matches!(rigs[lane].fw.state(), FwState::Running) {
+                        match meta[lane].stop_deadline {
+                            None => meta[lane].stop_deadline = Some(tick + meta[lane].drain_time),
+                            Some(deadline) if tick >= deadline => done = Some(Ok(())),
+                            Some(_) => {}
+                        }
+                    }
+                    // Lane queue drained: the solo loop would exit on
+                    // peek and report a stall iff the firmware was
+                    // still running. `tick` is the lane's clock — the
+                    // event just delivered is its newest.
+                    if done.is_none() && step.lane_drained {
+                        done = Some(if matches!(rigs[lane].fw.state(), FwState::Running) {
+                            Err(BenchError::Stalled { at: tick })
+                        } else {
+                            Ok(())
+                        });
+                    }
+                    match done {
+                        None => DriveCmd::Continue,
+                        Some(outcome) => {
+                            meta[lane].outcome = Some(outcome);
+                            remaining -= 1;
+                            if remaining == 0 {
+                                DriveCmd::RetireAndStop
+                            } else {
+                                DriveCmd::Retire
+                            }
+                        }
+                    }
+                },
+            );
+            match exit {
+                // A lane's next event is beyond its time limit: the
+                // event is never delivered; the lane terminates here.
+                DriveExit::Blocked { lane, .. } => {
+                    let outcome = if matches!(rigs[lane].fw.state(), FwState::Running) {
+                        Err(BenchError::SimTimeLimit {
+                            limit: meta[lane].max_sim_time,
+                        })
+                    } else {
+                        Ok(())
+                    };
+                    meta[lane].outcome = Some(outcome);
+                    sched.deactivate_lane(lane);
+                    remaining -= 1;
                 }
-            }
-            // Lane queue drained: the solo loop would exit on peek and
-            // report a stall iff the firmware was still running.
-            if done.is_none() && step.lane_drained {
-                done = Some(if matches!(rigs[lane].fw.state(), FwState::Running) {
-                    Err(BenchError::Stalled {
-                        at: sched.lane_now(lane),
-                    })
-                } else {
-                    Ok(())
-                });
-            }
-            if let Some(outcome) = done {
-                meta[lane].outcome = Some(outcome);
-                sched.deactivate_lane(lane);
-                remaining -= 1;
+                DriveExit::Stopped | DriveExit::Idle => break,
             }
         }
 

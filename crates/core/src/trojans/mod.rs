@@ -360,7 +360,12 @@ pub(crate) mod test_util {
             }
         }
 
-        pub(crate) fn control(&mut self, t: &mut dyn Trojan, now: Tick, ev: SignalEvent) -> Disposition {
+        pub(crate) fn control(
+            &mut self,
+            t: &mut dyn Trojan,
+            now: Tick,
+            ev: SignalEvent,
+        ) -> Disposition {
             let mut ctx = TrojanCtx {
                 now,
                 homed: self.homed,
@@ -372,7 +377,12 @@ pub(crate) mod test_util {
             t.on_control(&mut ctx, &ev)
         }
 
-        pub(crate) fn feedback(&mut self, t: &mut dyn Trojan, now: Tick, ev: SignalEvent) -> Disposition {
+        pub(crate) fn feedback(
+            &mut self,
+            t: &mut dyn Trojan,
+            now: Tick,
+            ev: SignalEvent,
+        ) -> Disposition {
             let mut ctx = TrojanCtx {
                 now,
                 homed: self.homed,

@@ -36,7 +36,7 @@ mod scheduler;
 mod time;
 
 pub use component::{ActionSink, CompId, InPort, OutPort, SimComponent, SinkAction};
-pub use lockstep::{LaneSet, LaneStepInfo, LockstepScheduler};
+pub use lockstep::{DriveCmd, DriveExit, LaneSet, LaneStepInfo, LockstepScheduler};
 pub use queue::{Event, EventId, EventQueue};
 pub use rng::{DetRng, SeedSplitter};
 pub use scheduler::{ComponentSet, KernelStats, Scheduler, StepInfo, StepKind};

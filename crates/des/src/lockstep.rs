@@ -9,30 +9,62 @@
 //! the workload's G-code program and calibration data stay in cache
 //! while every lane consumes them.
 //!
-//! Each lane owns a private calendar — the same structure the solo
-//! [`crate::Scheduler`] uses: per-route FIFO lanes for the
+//! # Hot-path layout: batch-level calendar tables
+//!
+//! Logically each lane owns a private calendar — the same structure the
+//! solo [`crate::Scheduler`] uses: per-route FIFOs for the
 //! overwhelmingly in-order sends, one wake slot per component, and a
-//! small spill heap for rare out-of-order sends. Lanes take turns on
-//! the CPU in **quanta**: the scheduler runs the current lane for up
-//! to [`QUANTUM`] consecutive events, then rotates round-robin to the
-//! next lane with pending work. A large quantum keeps each lane's
-//! working set hot (interleaving lanes per *event* thrashes the cache
-//! and costs more than batching saves); rotation guarantees every lane
-//! still progresses, so a harness watching lane clocks sees all lanes
-//! advance.
+//! small spill heap for rare out-of-order sends. Physically the batch
+//! lays the hot state out in flat, lane-major tables sized
+//! `lanes × routes` (or `lanes × components`):
+//!
+//! * **pick keys** (`PickKey`) — each FIFO's front `(tick, seq)`,
+//!   back tick and length, cached inline in one contiguous array. The
+//!   per-event pick scan — find the lane's earliest pending delivery —
+//!   walks this one allocation and never dereferences a queue.
+//! * **wake slots** — at most one pending `(tick, seq)` per component.
+//! * **payload rings** — the FIFO payloads themselves, one ring buffer
+//!   per `(lane, route)`. Deep queues (the firmware's step-pulse
+//!   trains) push and pop through contiguous ring storage, which the
+//!   hardware prefetches; an index-linked slab was measurably slower
+//!   here because chain order decays away from memory order under
+//!   churn. `tests/kernel_perf.rs` keeps the pre-batching layout — a
+//!   `Vec` of `VecDeque`s per lane, pick scan dereferencing every
+//!   ring's front — alive as a reference and measures the difference.
+//!
+//! Lanes take turns on the CPU in **quanta**: the scheduler runs the
+//! current lane for up to [`QUANTUM`] consecutive events, then rotates
+//! round-robin to the next lane with pending work. The quantum is
+//! sized so that a typical lane runs to completion in one quantum —
+//! interleaving lanes per event (or per small quantum) measurably
+//! costs more in calendar/firmware cache churn than it buys; rotation
+//! remains as the progress guarantee, so a harness watching lane
+//! clocks sees every lane advance even when one lane's event supply
+//! is unbounded. The harness hot path is
+//! [`LockstepScheduler::drive`], which runs whole quanta with the
+//! current lane's calendar rows hoisted out of the per-event loop and
+//! hands control back through closures; at a quantum hand-off it
+//! checks whether sibling lanes' next events target the **same
+//! component** as the incoming lane's, and steps those that do as one
+//! pass over the lane set ([`LaneSet::step_kind_batch`]) so the
+//! component's decode tables are warm across every sibling before the
+//! new quantum starts.
 //!
 //! # Determinism
 //!
 //! Interleaving lanes must not change any lane's behaviour. That holds
 //! *structurally* here: lanes share nothing that orders events — each
-//! lane has its own calendar, its own schedule-sequence counter
+//! lane has its own calendar rows, its own schedule-sequence counter
 //! (starting at zero, exactly like a fresh solo scheduler), its own
-//! clock, and its own wake slots. Routed sends land in the sending
-//! lane's calendar by construction, so no event can cross lanes. A
-//! lane therefore observes exactly the tick sequence, payload order,
-//! and event count it would observe running solo, for **any** rotation
-//! policy and any batch composition. Campaign artifacts stay
-//! byte-identical for every batch size (pinned by
+//! clock, and its own wake slots. The tables are shared **storage**,
+//! never shared **ordering**: a row belongs to exactly one lane.
+//! Routed sends land in the sending lane's calendar by construction,
+//! so no event can cross lanes. A lane therefore observes exactly the
+//! tick sequence, payload order, and event count it would observe
+//! running solo, for **any** rotation policy and any batch composition
+//! — which is also what makes the hand-off burst safe: every burst
+//! lane still consumes its own earliest `(tick, seq)`. Campaign
+//! artifacts stay byte-identical for every batch size (pinned by
 //! `tests/lockstep_equivalence.rs` in `offramps-bench`).
 //!
 //! # Example
@@ -90,11 +122,17 @@ use crate::scheduler::{ComponentSet, KernelStats, Source, Spill, StepInfo, StepK
 use crate::time::Tick;
 
 /// Maximum consecutive events one lane runs before the scheduler
-/// rotates to the next lane with pending work. Large enough that
-/// rotation overhead vanishes and each lane's calendar stays hot;
-/// small enough that sibling lanes' clocks advance together from a
-/// harness's point of view.
-pub(crate) const QUANTUM: u32 = 65_536;
+/// rotates to the next lane with pending work. Deliberately huge:
+/// print-scale scenarios retire a few hundred thousand events, so in
+/// production a lane effectively runs to completion before the next
+/// lane starts, and rotation survives as a *progress guarantee* (no
+/// lane starves a harness watching lane clocks) rather than a
+/// throughput device. Paired A/B runs of the pinned sweep measured
+/// every smaller quantum (64Ki and below) slower — interleaving lanes
+/// churns each lane's calendar rows and firmware state through cache
+/// for no artifact-visible benefit, since rotation policy is an
+/// execution knob that artifacts are byte-identical across.
+pub(crate) const QUANTUM: u32 = 1_048_576;
 
 /// The sibling scenarios stepped by a [`LockstepScheduler`], indexed by
 /// lane. Every lane exposes the same component topology (same ids,
@@ -111,6 +149,23 @@ pub trait LaneSet<P> {
     /// (like slices) resolve it without an intermediate virtual call.
     fn component(&mut self, lane: usize, comp: CompId) -> &mut dyn SimComponent<Payload = P> {
         self.lane(lane).component(comp)
+    }
+
+    /// Steps several sibling lanes through the **same** component in
+    /// one pass: `f` runs once per listed lane, back to back, with
+    /// that lane's instance of `comp`, so the component's code and
+    /// data tables stay hot across lanes. The scheduler calls this at
+    /// quantum hand-offs ([`LockstepScheduler::drive`] and
+    /// [`LockstepScheduler::step_burst`]).
+    fn step_kind_batch(
+        &mut self,
+        comp: CompId,
+        lanes: &[usize],
+        f: &mut dyn FnMut(usize, &mut dyn SimComponent<Payload = P>),
+    ) {
+        for &lane in lanes {
+            f(lane, self.component(lane, comp));
+        }
     }
 }
 
@@ -130,17 +185,36 @@ impl<P, C: ComponentSet<P>> LaneSet<P> for [C] {
     }
 }
 
-/// One lane's private calendar — the same structure as the solo
-/// [`crate::Scheduler`], minus the shared topology. Everything that
-/// orders or counts a lane's events lives here, which is what makes
-/// the lockstep interleave structurally unable to perturb a lane.
+/// One `(lane, route)` FIFO's ordering state, cached inline so the
+/// pick scan reads only this 32-byte record: the FIFO's front
+/// `(tick, seq)` (its pick candidate), back tick (the in-order append
+/// check), and length. Stored in one flat lane-major table per batch;
+/// the payload tuples live in the matching ring of
+/// [`LockstepScheduler::queues`].
+#[derive(Debug, Clone, Copy)]
+struct PickKey {
+    front_tick: Tick,
+    front_seq: u64,
+    back_tick: Tick,
+    len: u32,
+}
+
+impl PickKey {
+    const EMPTY: PickKey = PickKey {
+        front_tick: Tick::ZERO,
+        front_seq: 0,
+        back_tick: Tick::ZERO,
+        len: 0,
+    };
+}
+
+/// One lane's calendar state that is *not* laid out in the batch-level
+/// tables: the rare-path spill heap plus counters and clocks.
+/// Everything that orders or counts a lane's events is still strictly
+/// per-lane, which is what makes the lockstep interleave structurally
+/// unable to perturb a lane.
 #[derive(Debug)]
 struct LaneCal<P> {
-    /// Per-route FIFO of in-order sends, parallel to the shared route
-    /// table: `(tick, seq, payload)`.
-    fifos: Vec<VecDeque<(Tick, u64, P)>>,
-    /// At most one pending wake per component: `(tick, seq)`.
-    wakes: Vec<Option<(Tick, u64)>>,
     /// Rare out-of-order sends.
     spill: BinaryHeap<Spill<P>>,
     /// Memoized calendar scan: the next delivery, valid until this
@@ -169,32 +243,45 @@ struct LaneCal<P> {
     active: bool,
 }
 
-impl<P> LaneCal<P> {
-    /// Scans the calendar for the earliest pending delivery by
-    /// `(tick, seq)` — identical to the solo scheduler's scan.
-    #[inline]
-    fn pick(&self) -> Option<(Tick, u64, Source)> {
-        let mut best: Option<(Tick, u64, Source)> = None;
-        for (comp, slot) in self.wakes.iter().enumerate() {
-            if let Some((tick, seq)) = *slot {
-                if best.is_none_or(|(bt, bs, _)| (tick, seq) < (bt, bs)) {
-                    best = Some((tick, seq, Source::Wake(comp)));
-                }
+/// Scans one lane's calendar rows for the earliest pending delivery by
+/// `(tick, seq)` — identical ordering to the solo scheduler's scan,
+/// but over the flat batch tables: wake slots, cached FIFO pick keys,
+/// spill head. No queue dereferences.
+#[inline(always)]
+fn pick<P>(
+    wakes: &[Option<(Tick, u64)>],
+    keys: &[PickKey],
+    spill: &BinaryHeap<Spill<P>>,
+) -> Option<(Tick, u64, Source)> {
+    let mut best: Option<(Tick, u64, Source)> = None;
+    for (comp, slot) in wakes.iter().enumerate() {
+        if let Some((tick, seq)) = *slot {
+            if best.is_none_or(|(bt, bs, _)| (tick, seq) < (bt, bs)) {
+                best = Some((tick, seq, Source::Wake(comp)));
             }
         }
-        for (idx, fifo) in self.fifos.iter().enumerate() {
-            if let Some(&(tick, seq, _)) = fifo.front() {
-                if best.is_none_or(|(bt, bs, _)| (tick, seq) < (bt, bs)) {
-                    best = Some((tick, seq, Source::Route(idx)));
-                }
-            }
+    }
+    for (idx, key) in keys.iter().enumerate() {
+        if key.len > 0 && best.is_none_or(|(bt, bs, _)| (key.front_tick, key.front_seq) < (bt, bs))
+        {
+            best = Some((key.front_tick, key.front_seq, Source::Route(idx)));
         }
-        if let Some(spill) = self.spill.peek() {
-            if best.is_none_or(|(bt, bs, _)| (spill.tick, spill.seq) < (bt, bs)) {
-                best = Some((spill.tick, spill.seq, Source::Spill));
-            }
+    }
+    if let Some(spill) = spill.peek() {
+        if best.is_none_or(|(bt, bs, _)| (spill.tick, spill.seq) < (bt, bs)) {
+            best = Some((spill.tick, spill.seq, Source::Spill));
         }
-        best
+    }
+    best
+}
+
+/// The destination component a picked source resolves to.
+#[inline]
+fn source_comp<P>(cal: &LaneCal<P>, route_meta: &[(CompId, InPort)], source: Source) -> CompId {
+    match source {
+        Source::Wake(comp) => CompId(comp),
+        Source::Route(idx) => route_meta[idx].0,
+        Source::Spill => cal.spill.peek().expect("picked spill heap has a head").dest,
     }
 }
 
@@ -209,6 +296,40 @@ pub struct LaneStepInfo {
     pub lane_drained: bool,
 }
 
+/// Harness verdict after each event delivered by
+/// [`LockstepScheduler::drive`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriveCmd {
+    /// Keep stepping.
+    Continue,
+    /// The delivered lane reached a termination condition: drop its
+    /// pending events ([`LockstepScheduler::deactivate_lane`]) and
+    /// keep driving the other lanes.
+    Retire,
+    /// Retire the delivered lane and stop driving (e.g. it was the
+    /// last lane the harness was waiting on).
+    RetireAndStop,
+}
+
+/// Why [`LockstepScheduler::drive`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriveExit {
+    /// The admit closure vetoed a lane's next event (e.g. beyond its
+    /// time limit). The event stays pending; the harness decides —
+    /// typically [`LockstepScheduler::deactivate_lane`] — and drives
+    /// again.
+    Blocked {
+        /// The vetoed lane.
+        lane: usize,
+        /// The pending event's tick.
+        tick: Tick,
+    },
+    /// The harness returned [`DriveCmd::RetireAndStop`].
+    Stopped,
+    /// No live events remain in any active lane.
+    Idle,
+}
+
 /// Steps N sibling scenarios, each through its own calendar, rotating
 /// between lanes in quanta. See the module docs for why this is both
 /// fast and exactly deterministic per lane.
@@ -218,12 +339,23 @@ pub struct LockstepScheduler<P> {
     route_idx: Vec<Vec<Option<u32>>>,
     /// `(dest, in_port)` per route — topology, shared by every lane.
     route_meta: Vec<(CompId, InPort)>,
+    /// Flat lane-major payload rings: `queues[lane * routes + route]`
+    /// holds that FIFO's `(tick, seq, payload)` tuples.
+    queues: Vec<VecDeque<(Tick, u64, P)>>,
+    /// Flat lane-major pick keys, parallel to `queues`.
+    keys: Vec<PickKey>,
+    /// Flat lane-major wake slots (`wakes[lane * comps + comp]`): at
+    /// most one pending `(tick, seq)` wake per component.
+    wakes: Vec<Option<(Tick, u64)>>,
     lanes: Vec<LaneCal<P>>,
     sink: ActionSink<P>,
     /// Rotation state: the lane currently on the CPU and how many more
     /// events it may run before the scheduler rotates.
     current: usize,
     quantum_left: u32,
+    /// Events per lane run before rotation; [`QUANTUM`] in production,
+    /// shrunk by tests that observe rotation directly.
+    quantum: u32,
     /// The lane the previous step delivered to, for counting hand-offs.
     last_ran: Option<usize>,
     /// Lane selected by the last [`LockstepScheduler::peek`], consumed
@@ -231,6 +363,9 @@ pub struct LockstepScheduler<P> {
     /// positions only once. Invalidated by anything that changes lane
     /// liveness outside a step.
     positioned: Option<usize>,
+    /// Reused hand-off burst buffers.
+    burst_scratch: Vec<usize>,
+    burst_infos: Vec<LaneStepInfo>,
 }
 
 impl<P> LockstepScheduler<P> {
@@ -244,10 +379,11 @@ impl<P> LockstepScheduler<P> {
         LockstepScheduler {
             route_idx: Vec::new(),
             route_meta: Vec::new(),
+            queues: Vec::new(),
+            keys: Vec::new(),
+            wakes: Vec::new(),
             lanes: (0..lanes)
                 .map(|_| LaneCal {
-                    fifos: Vec::new(),
-                    wakes: Vec::new(),
                     spill: BinaryHeap::new(),
                     picked: None,
                     next_seq: 0,
@@ -263,8 +399,11 @@ impl<P> LockstepScheduler<P> {
             sink: ActionSink::new(),
             current: 0,
             quantum_left: QUANTUM,
+            quantum: QUANTUM,
             last_ran: None,
             positioned: None,
+            burst_scratch: Vec::new(),
+            burst_infos: Vec::new(),
         }
     }
 
@@ -273,14 +412,32 @@ impl<P> LockstepScheduler<P> {
         self.lanes.len()
     }
 
+    /// Shrinks the rotation quantum so tests can observe preemption
+    /// without driving [`QUANTUM`]-scale event counts. Rotation policy
+    /// is an execution knob — artifacts are byte-identical for any
+    /// quantum — so tests exercising the boundary at a small quantum
+    /// cover the production path.
+    #[cfg(test)]
+    fn set_quantum(&mut self, quantum: u32) {
+        assert!(quantum > 0, "a zero quantum would never admit an event");
+        self.quantum = quantum;
+        self.quantum_left = quantum;
+    }
+
     /// Registers the next component slot (in every lane at once) and
     /// returns its id. Lanes share one topology by construction.
     pub fn add_component(&mut self) -> CompId {
         let id = CompId(self.route_idx.len());
         self.route_idx.push(Vec::new());
-        for lane in &mut self.lanes {
-            lane.wakes.push(None);
+        // Re-stride the flat wake table for the widened per-lane row.
+        let lanes = self.lanes.len();
+        let old = self.route_idx.len() - 1;
+        let mut wakes = Vec::with_capacity(lanes * (old + 1));
+        for lane in 0..lanes {
+            wakes.extend_from_slice(&self.wakes[lane * old..(lane + 1) * old]);
+            wakes.push(None);
         }
+        self.wakes = wakes;
         id
     }
 
@@ -302,9 +459,21 @@ impl<P> LockstepScheduler<P> {
                 let idx = u32::try_from(self.route_meta.len()).expect("too many routes");
                 table[port.0] = Some(idx);
                 self.route_meta.push((to, in_port));
-                for lane in &mut self.lanes {
-                    lane.fifos.push(VecDeque::new());
+                // Re-stride the flat ring and key tables for the
+                // widened per-lane row.
+                let lanes = self.lanes.len();
+                let old = self.route_meta.len() - 1;
+                let mut queues = Vec::with_capacity(lanes * (old + 1));
+                let mut keys = Vec::with_capacity(lanes * (old + 1));
+                let mut old_queues = std::mem::take(&mut self.queues).into_iter();
+                for lane in 0..lanes {
+                    queues.extend(old_queues.by_ref().take(old));
+                    queues.push(VecDeque::new());
+                    keys.extend_from_slice(&self.keys[lane * old..(lane + 1) * old]);
+                    keys.push(PickKey::EMPTY);
                 }
+                self.queues = queues;
+                self.keys = keys;
             }
         }
     }
@@ -325,11 +494,26 @@ impl<P> LockstepScheduler<P> {
                 let id = CompId(index);
                 self.sink.begin(Tick::ZERO);
                 set.component(lane, id).start(Tick::ZERO, &mut self.sink);
+                let Self {
+                    lanes,
+                    route_idx,
+                    route_meta,
+                    queues,
+                    keys,
+                    wakes,
+                    sink,
+                    ..
+                } = self;
+                let nr = route_meta.len();
+                let nc = route_idx.len();
                 commit(
-                    &mut self.lanes[lane],
-                    &self.route_idx,
-                    &self.route_meta,
-                    &mut self.sink,
+                    &mut lanes[lane],
+                    &mut queues[lane * nr..(lane + 1) * nr],
+                    &mut keys[lane * nr..(lane + 1) * nr],
+                    &mut wakes[lane * nc..(lane + 1) * nc],
+                    route_idx,
+                    route_meta,
+                    sink,
                     id,
                 );
             }
@@ -346,7 +530,7 @@ impl<P> LockstepScheduler<P> {
         let n = self.lanes.len();
         if self.quantum_left == 0 {
             self.current = (self.current + 1) % n;
-            self.quantum_left = QUANTUM;
+            self.quantum_left = self.quantum;
         }
         for _ in 0..n {
             let lane = &self.lanes[self.current];
@@ -354,7 +538,7 @@ impl<P> LockstepScheduler<P> {
                 return Some(self.current);
             }
             self.current = (self.current + 1) % n;
-            self.quantum_left = QUANTUM;
+            self.quantum_left = self.quantum;
         }
         None
     }
@@ -368,11 +552,18 @@ impl<P> LockstepScheduler<P> {
     pub fn peek(&mut self) -> Option<(usize, Tick)> {
         let lane_idx = self.position()?;
         self.positioned = Some(lane_idx);
+        let nr = self.route_meta.len();
+        let nc = self.route_idx.len();
         let cal = &mut self.lanes[lane_idx];
         if let Some((tick, _, _)) = cal.picked {
             return Some((lane_idx, tick));
         }
-        let found = cal.pick().expect("live lane has a pending event");
+        let found = pick(
+            &self.wakes[lane_idx * nc..(lane_idx + 1) * nc],
+            &self.keys[lane_idx * nr..(lane_idx + 1) * nr],
+            &cal.spill,
+        )
+        .expect("live lane has a pending event");
         cal.picked = Some(found);
         Some((lane_idx, found.0))
     }
@@ -380,7 +571,7 @@ impl<P> LockstepScheduler<P> {
     /// Delivers the next event of the current lane (rotating lanes at
     /// quantum boundaries): the read phase runs that lane's component
     /// callback, the write phase commits its buffered commands back
-    /// into the lane's own calendar. Returns `None` when no live
+    /// into the lane's own calendar rows. Returns `None` when no live
     /// events remain in any active lane.
     pub fn step<L: LaneSet<P> + ?Sized>(&mut self, set: &mut L) -> Option<LaneStepInfo> {
         let lane_idx = match self.positioned.take() {
@@ -393,55 +584,42 @@ impl<P> LockstepScheduler<P> {
             self.last_ran = Some(lane_idx);
         }
 
-        // One split borrow for the whole step: the lane's calendar, the
-        // shared topology, and the sink are disjoint fields.
+        // One split borrow for the whole step: the lane's calendar
+        // rows, the shared topology, and the sink are disjoint fields.
         let Self {
             lanes,
             route_idx,
             route_meta,
+            queues,
+            keys,
+            wakes,
             sink,
             ..
         } = self;
+        let nr = route_meta.len();
+        let nc = route_idx.len();
         let cal = &mut lanes[lane_idx];
+        let lane_queues = &mut queues[lane_idx * nr..(lane_idx + 1) * nr];
+        let lane_keys = &mut keys[lane_idx * nr..(lane_idx + 1) * nr];
+        let lane_wakes = &mut wakes[lane_idx * nc..(lane_idx + 1) * nc];
         let (tick, _seq, source) = match cal.picked.take() {
             Some(memo) => memo,
-            None => cal.pick().expect("live lane has a pending event"),
+            None => pick(lane_wakes, lane_keys, &cal.spill).expect("live lane has a pending event"),
         };
-        debug_assert!(tick >= cal.now, "lane clock must be monotonic");
-        cal.now = tick;
-        cal.events += 1;
-        cal.live -= 1;
-
-        // Read phase, fused with the calendar pop: the lane's callback
-        // buffers deferred commands into the (disjointly borrowed)
-        // shared sink.
-        sink.begin(tick);
-        let (comp, kind) = match source {
-            Source::Wake(comp) => {
-                cal.wakes[comp] = None;
-                let comp = CompId(comp);
-                set.component(lane_idx, comp).on_tick(tick, sink);
-                (comp, StepKind::Wake)
-            }
-            Source::Route(idx) => {
-                let (_, _, payload) = cal.fifos[idx]
-                    .pop_front()
-                    .expect("picked route lane has a front event");
-                let (dest, port) = route_meta[idx];
-                set.component(lane_idx, dest)
-                    .on_event(tick, port, payload, sink);
-                (dest, StepKind::Event(port))
-            }
-            Source::Spill => {
-                let spill = cal.spill.pop().expect("picked spill heap has a head");
-                set.component(lane_idx, spill.dest)
-                    .on_event(tick, spill.port, spill.payload, sink);
-                (spill.dest, StepKind::Event(spill.port))
-            }
-        };
-
-        // Write phase: commit them to the lane's own calendar.
-        let live = commit(cal, route_idx, route_meta, sink, comp);
+        let comp = source_comp(cal, route_meta, source);
+        let (kind, live) = deliver(
+            set.component(lane_idx, comp),
+            comp,
+            tick,
+            source,
+            cal,
+            lane_queues,
+            lane_keys,
+            lane_wakes,
+            route_idx,
+            route_meta,
+            sink,
+        );
 
         Some(LaneStepInfo {
             lane: lane_idx,
@@ -450,22 +628,351 @@ impl<P> LockstepScheduler<P> {
         })
     }
 
+    /// Runs the batch under harness control — the hot path behind
+    /// `TestBench::run_batch`. Equivalent to a `peek`/`step` loop, but
+    /// whole quanta run with the current lane's calendar rows hoisted
+    /// out of the per-event loop, and quantum hand-offs step
+    /// same-component sibling lanes as one pass over the lane set
+    /// ([`LaneSet::step_kind_batch`]).
+    ///
+    /// Per pending event, `admit(lane, tick)` is consulted **before**
+    /// delivery: `false` leaves the event pending and returns
+    /// [`DriveExit::Blocked`], mirroring the solo loop's
+    /// peek-before-step time-limit check — the harness typically
+    /// retires the lane and drives again. After every delivered event,
+    /// `on_step` reports it and rules on the lane's fate
+    /// ([`DriveCmd`]). Exactly the events a plain `step` loop would
+    /// deliver are delivered — per-lane streams are identical for any
+    /// drive pattern; only the cross-lane interleave (free under the
+    /// determinism contract) changes.
+    pub fn drive<L: LaneSet<P> + ?Sized>(
+        &mut self,
+        set: &mut L,
+        mut admit: impl FnMut(usize, Tick) -> bool,
+        mut on_step: impl FnMut(&mut L, LaneStepInfo) -> DriveCmd,
+    ) -> DriveExit {
+        self.positioned = None;
+        loop {
+            let Some(lane_idx) = self.position() else {
+                return DriveExit::Idle;
+            };
+
+            // Quantum hand-off: step sibling lanes whose next event
+            // targets the same component as one pass, then reposition
+            // (the incoming lane keeps the CPU for its quantum run).
+            if self.last_ran != Some(lane_idx) {
+                match self.handoff(set, &mut admit, &mut on_step, lane_idx) {
+                    None => continue,
+                    Some(exit) => return exit,
+                }
+            }
+
+            // Quantum run: the current lane keeps the CPU; its
+            // calendar rows stay hoisted for the whole run.
+            let mut retire = false;
+            let mut stop = false;
+            let mut blocked = None;
+            {
+                let Self {
+                    lanes,
+                    route_idx,
+                    route_meta,
+                    queues,
+                    keys,
+                    wakes,
+                    sink,
+                    quantum_left,
+                    ..
+                } = self;
+                let nr = route_meta.len();
+                let nc = route_idx.len();
+                let cal = &mut lanes[lane_idx];
+                let lane_queues = &mut queues[lane_idx * nr..(lane_idx + 1) * nr];
+                let lane_keys = &mut keys[lane_idx * nr..(lane_idx + 1) * nr];
+                let lane_wakes = &mut wakes[lane_idx * nc..(lane_idx + 1) * nc];
+                loop {
+                    let (tick, seq, source) = match cal.picked.take() {
+                        Some(memo) => memo,
+                        None => pick(lane_wakes, lane_keys, &cal.spill)
+                            .expect("live lane has a pending event"),
+                    };
+                    if !admit(lane_idx, tick) {
+                        cal.picked = Some((tick, seq, source));
+                        blocked = Some(tick);
+                        break;
+                    }
+                    let comp = source_comp(cal, route_meta, source);
+                    let (kind, live) = deliver(
+                        set.component(lane_idx, comp),
+                        comp,
+                        tick,
+                        source,
+                        cal,
+                        lane_queues,
+                        lane_keys,
+                        lane_wakes,
+                        route_idx,
+                        route_meta,
+                        sink,
+                    );
+                    *quantum_left -= 1;
+                    let drained = live == 0;
+                    match on_step(
+                        set,
+                        LaneStepInfo {
+                            lane: lane_idx,
+                            info: StepInfo { tick, comp, kind },
+                            lane_drained: drained,
+                        },
+                    ) {
+                        DriveCmd::Continue => {}
+                        DriveCmd::Retire => {
+                            retire = true;
+                            break;
+                        }
+                        DriveCmd::RetireAndStop => {
+                            retire = true;
+                            stop = true;
+                            break;
+                        }
+                    }
+                    if drained || *quantum_left == 0 {
+                        break;
+                    }
+                }
+            }
+            if retire {
+                self.deactivate_lane(lane_idx);
+            }
+            if stop {
+                return DriveExit::Stopped;
+            }
+            if let Some(tick) = blocked {
+                return DriveExit::Blocked {
+                    lane: lane_idx,
+                    tick,
+                };
+            }
+        }
+    }
+
+    /// One quantum hand-off inside [`LockstepScheduler::drive`]: the
+    /// incoming lane plus every sibling whose next event targets the
+    /// same component (and that `admit` accepts) deliver one event as
+    /// one pass over the lane set, then `on_step` rules on each
+    /// delivered event in pass order. Returns the exit the drive loop
+    /// must take, or `None` to keep driving. If `admit` vetoes the
+    /// *incoming* lane's event, nothing is delivered and the drive
+    /// blocks, exactly like the per-event path.
+    fn handoff<L: LaneSet<P> + ?Sized>(
+        &mut self,
+        set: &mut L,
+        admit: &mut impl FnMut(usize, Tick) -> bool,
+        on_step: &mut impl FnMut(&mut L, LaneStepInfo) -> DriveCmd,
+        lane_idx: usize,
+    ) -> Option<DriveExit> {
+        let nr = self.route_meta.len();
+        let nc = self.route_idx.len();
+        // Memoize the incoming lane's pick and resolve its component.
+        let (tick, comp) = {
+            let cal = &mut self.lanes[lane_idx];
+            if cal.picked.is_none() {
+                cal.picked = Some(
+                    pick(
+                        &self.wakes[lane_idx * nc..(lane_idx + 1) * nc],
+                        &self.keys[lane_idx * nr..(lane_idx + 1) * nr],
+                        &cal.spill,
+                    )
+                    .expect("live lane has a pending event"),
+                );
+            }
+            let (tick, _, source) = cal.picked.expect("memoized above");
+            (tick, source_comp(cal, &self.route_meta, source))
+        };
+        if !admit(lane_idx, tick) {
+            return Some(DriveExit::Blocked {
+                lane: lane_idx,
+                tick,
+            });
+        }
+
+        // Gather sibling lanes whose next event also lands on `comp`,
+        // memoizing their calendar scans along the way (sound: only a
+        // lane's own write phase invalidates its pick).
+        let mut burst = std::mem::take(&mut self.burst_scratch);
+        burst.clear();
+        burst.push(lane_idx);
+        for other in 0..self.lanes.len() {
+            if other == lane_idx {
+                continue;
+            }
+            let cal = &mut self.lanes[other];
+            if !cal.active || cal.live == 0 {
+                continue;
+            }
+            if cal.picked.is_none() {
+                cal.picked = Some(
+                    pick(
+                        &self.wakes[other * nc..(other + 1) * nc],
+                        &self.keys[other * nr..(other + 1) * nr],
+                        &cal.spill,
+                    )
+                    .expect("live lane has a pending event"),
+                );
+            }
+            let (tick, _, source) = cal.picked.expect("memoized above");
+            if source_comp(cal, &self.route_meta, source) == comp && admit(other, tick) {
+                burst.push(other);
+            }
+        }
+
+        // Deliver the burst as one pass over the lane set. Verdicts
+        // are collected after the pass: lanes are isolated, so a later
+        // burst lane's delivery cannot perturb an earlier one, and
+        // retirement only drops a lane's *future* events.
+        let mut infos = std::mem::take(&mut self.burst_infos);
+        infos.clear();
+        {
+            let Self {
+                lanes,
+                route_idx,
+                route_meta,
+                queues,
+                keys,
+                wakes,
+                sink,
+                quantum_left,
+                last_ran,
+                ..
+            } = self;
+            let mut prev = *last_ran;
+            set.step_kind_batch(comp, &burst, &mut |lane, component| {
+                *quantum_left = quantum_left.saturating_sub(1);
+                let cal = &mut lanes[lane];
+                if prev != Some(lane) {
+                    cal.rotations += 1;
+                    prev = Some(lane);
+                }
+                let (tick, _seq, source) = cal.picked.take().expect("burst lanes were memoized");
+                let lane_queues = &mut queues[lane * nr..(lane + 1) * nr];
+                let lane_keys = &mut keys[lane * nr..(lane + 1) * nr];
+                let lane_wakes = &mut wakes[lane * nc..(lane + 1) * nc];
+                let (kind, live) = deliver(
+                    component,
+                    comp,
+                    tick,
+                    source,
+                    cal,
+                    lane_queues,
+                    lane_keys,
+                    lane_wakes,
+                    route_idx,
+                    route_meta,
+                    sink,
+                );
+                infos.push(LaneStepInfo {
+                    lane,
+                    info: StepInfo { tick, comp, kind },
+                    lane_drained: live == 0,
+                });
+            });
+            // The incoming lane retains the CPU for its fresh quantum.
+            *last_ran = Some(lane_idx);
+        }
+        burst.clear();
+        self.burst_scratch = burst;
+
+        let mut stop = false;
+        let mut retired: Vec<usize> = Vec::new();
+        for &info in &infos {
+            match on_step(set, info) {
+                DriveCmd::Continue => {}
+                DriveCmd::Retire => retired.push(info.lane),
+                DriveCmd::RetireAndStop => {
+                    retired.push(info.lane);
+                    stop = true;
+                }
+            }
+        }
+        infos.clear();
+        self.burst_infos = infos;
+        for lane in retired {
+            self.deactivate_lane(lane);
+        }
+        if stop {
+            return Some(DriveExit::Stopped);
+        }
+        None
+    }
+
+    /// Like [`LockstepScheduler::step`], but at quantum hand-offs the
+    /// scheduler checks which sibling lanes' next events target the
+    /// same component as the incoming lane's; those that do (and that
+    /// `admit` accepts, given their lane and next tick) are stepped as
+    /// **one pass** over the lane set via [`LaneSet::step_kind_batch`].
+    /// Mid-quantum this is exactly `step` — no sibling scan. The
+    /// incoming lane is stepped unconditionally (like `step`); `admit`
+    /// filters only siblings. Appends one [`LaneStepInfo`] per
+    /// delivered event to `out`, the incoming lane's first. Returns
+    /// `false` when no live events remain in any active lane.
+    pub fn step_burst<L: LaneSet<P> + ?Sized>(
+        &mut self,
+        set: &mut L,
+        admit: impl Fn(usize, Tick) -> bool,
+        out: &mut Vec<LaneStepInfo>,
+    ) -> bool {
+        let lane_idx = match self.positioned.take() {
+            Some(lane) => lane,
+            None => match self.position() {
+                Some(lane) => lane,
+                None => return false,
+            },
+        };
+        if self.last_ran == Some(lane_idx) {
+            // Mid-quantum hot path: the current lane keeps the CPU.
+            self.positioned = Some(lane_idx);
+            match self.step(set) {
+                Some(info) => {
+                    out.push(info);
+                    return true;
+                }
+                None => return false,
+            }
+        }
+        let exit = self.handoff(
+            set,
+            &mut |lane, tick| lane == lane_idx || admit(lane, tick),
+            &mut |_, info| {
+                out.push(info);
+                DriveCmd::Continue
+            },
+            lane_idx,
+        );
+        debug_assert!(exit.is_none(), "the incoming lane is always admitted");
+        true
+    }
+
     /// Removes a lane from the batch: its pending events are dropped
-    /// and its calendar freed. Used by a harness when one lane reaches
-    /// its termination condition before its siblings.
+    /// and its calendar rows cleared. Used by a harness when one lane
+    /// reaches its termination condition before its siblings.
     pub fn deactivate_lane(&mut self, lane: usize) {
         self.positioned = None;
+        let nr = self.route_meta.len();
+        let nc = self.route_idx.len();
+        for queue in &mut self.queues[lane * nr..(lane + 1) * nr] {
+            queue.clear();
+        }
+        for key in &mut self.keys[lane * nr..(lane + 1) * nr] {
+            *key = PickKey::EMPTY;
+        }
+        for slot in &mut self.wakes[lane * nc..(lane + 1) * nc] {
+            *slot = None;
+        }
         let cal = &mut self.lanes[lane];
         cal.active = false;
         cal.live = 0;
         cal.picked = None;
         cal.spill.clear();
-        for fifo in &mut cal.fifos {
-            fifo.clear();
-        }
-        for slot in &mut cal.wakes {
-            *slot = None;
-        }
     }
 
     /// Whether a lane is still being delivered events.
@@ -508,14 +1015,97 @@ impl<P> LockstepScheduler<P> {
     }
 }
 
+/// Delivers one picked event to its lane: read phase (pop the source,
+/// run the callback) fused with the write phase ([`commit`]). A free
+/// function over the scheduler's split-borrowed fields so every caller
+/// — `step`, `drive`'s quantum run, and the hand-off burst — shares
+/// one code path. Returns the step kind and the lane's live-event
+/// count after the commit.
+#[expect(
+    clippy::too_many_arguments,
+    reason = "split-borrowed scheduler fields; bundling them would re-borrow per event"
+)]
+#[inline(always)]
+fn deliver<P>(
+    component: &mut dyn SimComponent<Payload = P>,
+    comp: CompId,
+    tick: Tick,
+    source: Source,
+    cal: &mut LaneCal<P>,
+    lane_queues: &mut [VecDeque<(Tick, u64, P)>],
+    lane_keys: &mut [PickKey],
+    lane_wakes: &mut [Option<(Tick, u64)>],
+    route_idx: &[Vec<Option<u32>>],
+    route_meta: &[(CompId, InPort)],
+    sink: &mut ActionSink<P>,
+) -> (StepKind, usize) {
+    debug_assert!(tick >= cal.now, "lane clock must be monotonic");
+    cal.now = tick;
+    cal.events += 1;
+    cal.live -= 1;
+
+    // Read phase, fused with the calendar pop: the lane's callback
+    // buffers deferred commands into the shared sink.
+    sink.begin(tick);
+    let kind = match source {
+        Source::Wake(idx) => {
+            lane_wakes[idx] = None;
+            component.on_tick(tick, sink);
+            StepKind::Wake
+        }
+        Source::Route(idx) => {
+            let (_, _, payload) = lane_queues[idx]
+                .pop_front()
+                .expect("picked route lane has a front event");
+            let key = &mut lane_keys[idx];
+            key.len -= 1;
+            if key.len > 0 {
+                let &(t, s, _) = lane_queues[idx]
+                    .front()
+                    .expect("key length tracks the ring");
+                key.front_tick = t;
+                key.front_seq = s;
+            }
+            let port = route_meta[idx].1;
+            component.on_event(tick, port, payload, sink);
+            StepKind::Event(port)
+        }
+        Source::Spill => {
+            let spill = cal.spill.pop().expect("picked spill heap has a head");
+            component.on_event(tick, spill.port, spill.payload, sink);
+            StepKind::Event(spill.port)
+        }
+    };
+
+    // Write phase: commit the buffered commands to the lane's own
+    // calendar rows.
+    let live = commit(
+        cal,
+        lane_queues,
+        lane_keys,
+        lane_wakes,
+        route_idx,
+        route_meta,
+        sink,
+        comp,
+    );
+    (kind, live)
+}
+
 /// Write phase for one lane — the same commit rules as the solo
-/// scheduler's, applied to the lane's own calendar, so the lane's
+/// scheduler's, applied to the lane's own calendar rows, so the lane's
 /// sequence-number stream matches its solo run exactly. Returns the
-/// lane's live-event count after the commit. A free function over the
-/// scheduler's split-borrowed fields so the step hot path indexes the
-/// lane exactly once.
+/// lane's live-event count after the commit.
+#[expect(
+    clippy::too_many_arguments,
+    reason = "split-borrowed scheduler fields; bundling them would re-borrow per event"
+)]
+#[inline(always)]
 fn commit<P>(
     cal: &mut LaneCal<P>,
+    lane_queues: &mut [VecDeque<(Tick, u64, P)>],
+    lane_keys: &mut [PickKey],
+    lane_wakes: &mut [Option<(Tick, u64)>],
     route_idx: &[Vec<Option<u32>>],
     route_meta: &[(CompId, InPort)],
     sink: &mut ActionSink<P>,
@@ -535,9 +1125,15 @@ fn commit<P>(
                 let seq = cal.next_seq;
                 cal.next_seq += 1;
                 debug_assert!(at >= cal.now, "the sink clamps sends to the callback's now");
-                let fifo = &mut cal.fifos[idx];
-                if fifo.back().is_none_or(|&(tail, _, _)| tail <= at) {
-                    fifo.push_back((at, seq, payload));
+                let key = &mut lane_keys[idx];
+                if key.len == 0 || key.back_tick <= at {
+                    if key.len == 0 {
+                        key.front_tick = at;
+                        key.front_seq = seq;
+                    }
+                    key.back_tick = at;
+                    key.len += 1;
+                    lane_queues[idx].push_back((at, seq, payload));
                 } else {
                     let (dest, port) = route_meta[idx];
                     cal.spilled += 1;
@@ -552,7 +1148,7 @@ fn commit<P>(
                 cal.live += 1;
             }
             SinkAction::WakeAt(t) => {
-                let slot = &mut cal.wakes[from.0];
+                let slot = &mut lane_wakes[from.0];
                 if let Some((pending, _)) = *slot {
                     // A later pending wake is *replaced* (and still
                     // consumes a sequence number, modelling the
@@ -648,12 +1244,8 @@ mod tests {
         ]
     }
 
-    #[test]
-    fn lanes_match_solo_runs_exactly() {
-        let fixtures = lane_fixtures();
-        let solo: Vec<(Vec<Tick>, KernelStats)> = fixtures.iter().cloned().map(run_solo).collect();
-
-        let mut lanes: Vec<SoloWaker> = fixtures
+    fn fixture_lanes() -> Vec<SoloWaker> {
+        lane_fixtures()
             .into_iter()
             .map(|requests| {
                 SoloWaker(Waker {
@@ -661,18 +1253,18 @@ mod tests {
                     requests,
                 })
             })
-            .collect();
-        let mut sched: LockstepScheduler<()> = LockstepScheduler::new(lanes.len());
-        sched.add_component();
-        sched.start(&mut lanes[..]);
-        while sched.step(&mut lanes[..]).is_some() {}
+            .collect()
+    }
 
+    /// Asserts every fixture lane matched its solo run tick-for-tick,
+    /// with solo-identical deterministic kernel counters.
+    fn assert_matches_solo(lanes: &[SoloWaker], sched: &LockstepScheduler<()>) {
+        let solo: Vec<(Vec<Tick>, KernelStats)> =
+            lane_fixtures().into_iter().map(run_solo).collect();
         for (lane, (ticks, stats)) in solo.iter().enumerate() {
             assert_eq!(&lanes[lane].0.ticks, ticks, "lane {lane} tick sequence");
             assert_eq!(sched.lane_events(lane), stats.events, "lane {lane} events");
             assert_eq!(sched.lane_live(lane), 0, "lane {lane} drains");
-            // The deterministic kernel counters match the solo run;
-            // only the rotation count is engine-specific.
             let lane_stats = sched.lane_stats(lane);
             assert_eq!(
                 KernelStats {
@@ -684,6 +1276,232 @@ mod tests {
             );
             assert!(lane_stats.rotations >= 1, "lane {lane} ran at least once");
         }
+    }
+
+    #[test]
+    fn lanes_match_solo_runs_exactly() {
+        let mut lanes = fixture_lanes();
+        let mut sched: LockstepScheduler<()> = LockstepScheduler::new(lanes.len());
+        sched.add_component();
+        sched.start(&mut lanes[..]);
+        while sched.step(&mut lanes[..]).is_some() {}
+        assert_matches_solo(&lanes, &sched);
+    }
+
+    #[test]
+    fn burst_stepping_matches_solo_runs_exactly() {
+        let mut lanes = fixture_lanes();
+        let mut sched: LockstepScheduler<()> = LockstepScheduler::new(lanes.len());
+        sched.add_component();
+        sched.start(&mut lanes[..]);
+        let mut burst = Vec::new();
+        let mut delivered = 0u64;
+        while sched.step_burst(&mut lanes[..], |_, _| true, &mut burst) {
+            delivered += burst.len() as u64;
+            burst.clear();
+        }
+        assert_matches_solo(&lanes, &sched);
+        let total: u64 = (0..lanes.len()).map(|l| sched.lane_events(l)).sum();
+        assert_eq!(delivered, total, "one info per delivered event");
+    }
+
+    #[test]
+    fn drive_matches_solo_runs_exactly() {
+        let mut lanes = fixture_lanes();
+        let mut sched: LockstepScheduler<()> = LockstepScheduler::new(lanes.len());
+        sched.add_component();
+        sched.start(&mut lanes[..]);
+        let mut delivered = 0u64;
+        let exit = sched.drive(
+            &mut lanes[..],
+            |_, _| true,
+            |_, _| {
+                delivered += 1;
+                DriveCmd::Continue
+            },
+        );
+        assert_eq!(exit, DriveExit::Idle);
+        assert_matches_solo(&lanes, &sched);
+        let total: u64 = (0..lanes.len()).map(|l| sched.lane_events(l)).sum();
+        assert_eq!(delivered, total, "one on_step per delivered event");
+    }
+
+    #[test]
+    fn drive_blocks_on_vetoed_events_and_resumes_after_retirement() {
+        // Lane 0 is limited to t <= 10µs: its first out-of-limit wake
+        // must be vetoed, the drive must report Blocked, and after the
+        // harness deactivates the lane the remaining lanes must still
+        // finish their full solo schedules.
+        let mut lanes = fixture_lanes();
+        let n = lanes.len();
+        let limit = Tick::from_micros(10);
+        let mut sched: LockstepScheduler<()> = LockstepScheduler::new(n);
+        sched.add_component();
+        sched.start(&mut lanes[..]);
+        let mut blocked_at = None;
+        loop {
+            match sched.drive(
+                &mut lanes[..],
+                |lane, tick| lane != 0 || tick <= limit,
+                |_, _| DriveCmd::Continue,
+            ) {
+                DriveExit::Blocked { lane, tick } => {
+                    assert_eq!(lane, 0, "only lane 0 is limited");
+                    assert!(tick > limit, "vetoed event is beyond the limit");
+                    assert!(blocked_at.is_none(), "blocks once");
+                    blocked_at = Some(tick);
+                    sched.deactivate_lane(0);
+                }
+                DriveExit::Stopped => panic!("no harness stop requested"),
+                DriveExit::Idle => break,
+            }
+        }
+        assert!(blocked_at.is_some(), "lane 0 hit its limit");
+        for tick in &lanes[0].0.ticks {
+            assert!(*tick <= limit, "no delivery beyond the veto");
+        }
+        // The unlimited lanes still match solo exactly.
+        let solo: Vec<(Vec<Tick>, KernelStats)> =
+            lane_fixtures().into_iter().map(run_solo).collect();
+        for lane in 1..n {
+            assert_eq!(&lanes[lane].0.ticks, &solo[lane].0, "lane {lane} ticks");
+        }
+    }
+
+    #[test]
+    fn drive_retire_and_stop_halt_the_batch() {
+        let mut lanes = fixture_lanes();
+        let mut sched: LockstepScheduler<()> = LockstepScheduler::new(lanes.len());
+        sched.add_component();
+        sched.start(&mut lanes[..]);
+        // Retire each lane after its first delivered event; stop once
+        // the last lane retires.
+        let n = lanes.len();
+        let mut retired = 0usize;
+        let exit = sched.drive(
+            &mut lanes[..],
+            |_, _| true,
+            |_, _| {
+                retired += 1;
+                if retired == n {
+                    DriveCmd::RetireAndStop
+                } else {
+                    DriveCmd::Retire
+                }
+            },
+        );
+        assert_eq!(exit, DriveExit::Stopped);
+        for lane in 0..n {
+            assert_eq!(sched.lane_events(lane), 1, "lane {lane} stepped once");
+            assert!(!sched.lane_active(lane), "lane {lane} retired");
+        }
+        assert_eq!(sched.peek(), None, "nothing left to run");
+    }
+
+    #[test]
+    fn quantum_handoff_bursts_sibling_lanes_through_one_component() {
+        // Three lanes with identical schedules: the very first step is
+        // a hand-off (no lane ran yet), every lane's next event targets
+        // component 0 at 1µs, so one step_burst delivers all three as
+        // one pass — the incoming lane first.
+        let mut lanes: Vec<SoloWaker> = (0..3)
+            .map(|_| {
+                SoloWaker(Waker {
+                    ticks: Vec::new(),
+                    requests: vec![vec![1], vec![1]],
+                })
+            })
+            .collect();
+        let mut sched: LockstepScheduler<()> = LockstepScheduler::new(3);
+        sched.add_component();
+        sched.start(&mut lanes[..]);
+        let mut burst = Vec::new();
+        assert!(sched.step_burst(&mut lanes[..], |_, _| true, &mut burst));
+        assert_eq!(burst.len(), 3, "all sibling lanes burst together");
+        assert_eq!(burst[0].lane, 0, "incoming lane first");
+        for info in &burst {
+            assert_eq!(info.info.comp, CompId(0));
+            assert_eq!(info.info.tick, Tick::from_micros(1));
+            assert_eq!(info.info.kind, StepKind::Wake);
+        }
+        // The burst delivered one event per lane.
+        for lane in 0..3 {
+            assert_eq!(sched.lane_events(lane), 1);
+        }
+    }
+
+    #[test]
+    fn burst_admission_vetoes_sibling_lanes_but_not_the_incoming_lane() {
+        let mut lanes: Vec<SoloWaker> = (0..3)
+            .map(|_| {
+                SoloWaker(Waker {
+                    ticks: Vec::new(),
+                    requests: vec![vec![1]],
+                })
+            })
+            .collect();
+        let mut sched: LockstepScheduler<()> = LockstepScheduler::new(3);
+        sched.add_component();
+        sched.start(&mut lanes[..]);
+        let mut burst = Vec::new();
+        // Admission only accepts lane 0 — but the veto filters only
+        // *siblings*: the incoming lane always steps, like plain step.
+        assert!(sched.step_burst(&mut lanes[..], |lane, _| lane == 0, &mut burst));
+        assert_eq!(burst.len(), 1, "siblings vetoed");
+        assert_eq!(burst[0].lane, 0);
+        burst.clear();
+        // Lane 0 drained; the next hand-off's incoming lane is lane 1,
+        // which steps despite the admit veto (lane 2 stays filtered).
+        assert!(sched.step_burst(&mut lanes[..], |lane, _| lane == 0, &mut burst));
+        assert_eq!(burst.len(), 1);
+        assert_eq!(burst[0].lane, 1);
+    }
+
+    #[test]
+    fn calendar_rows_are_cleared_by_retirement_and_reused() {
+        // Two-lane rally: deactivating one lane mid-flight clears its
+        // rows (keys, rings, wakes) while the sibling's rows — in the
+        // same flat tables — keep their state and finish solo-exact.
+        let mut lanes: Vec<Rally> = (0..2)
+            .map(|_| Rally {
+                server: Server,
+                left: Echo {
+                    seen: Vec::new(),
+                    bounces: 9,
+                },
+                right: Echo {
+                    seen: Vec::new(),
+                    bounces: 9,
+                },
+            })
+            .collect();
+        let mut sched: LockstepScheduler<u64> = LockstepScheduler::new(2);
+        let server = sched.add_component();
+        let left = sched.add_component();
+        let right = sched.add_component();
+        sched.connect(server, OutPort(0), left, InPort(0));
+        sched.connect(left, OutPort(0), right, InPort(0));
+        sched.connect(right, OutPort(0), left, InPort(0));
+        sched.start(&mut lanes[..]);
+        for _ in 0..3 {
+            sched.step(&mut lanes[..]).unwrap();
+        }
+        sched.deactivate_lane(0);
+        let nr = sched.route_meta.len();
+        for key in &sched.keys[..nr] {
+            assert_eq!(key.len, 0, "lane 0 keys cleared");
+        }
+        for queue in &sched.queues[..nr] {
+            assert!(queue.is_empty(), "lane 0 rings cleared");
+        }
+        assert!(sched.wakes[..sched.route_idx.len()]
+            .iter()
+            .all(Option::is_none));
+        while sched.step(&mut lanes[..]).is_some() {}
+        let expect_left: Vec<u64> = (0..=9).step_by(2).collect();
+        let expect_right: Vec<u64> = (1..=9).step_by(2).collect();
+        assert_eq!(lanes[1].left.seen, expect_left, "lane 1 left unaffected");
+        assert_eq!(lanes[1].right.seen, expect_right, "lane 1 right unaffected");
     }
 
     #[test]
@@ -726,10 +1544,15 @@ mod tests {
 
     #[test]
     fn rotation_bounds_a_lane_run_and_every_lane_progresses() {
-        // Two lanes, each with QUANTUM + 2 chained wakes: the current
+        // Two lanes, each with quantum + 2 chained wakes: the current
         // lane must be preempted at the quantum boundary, and both
-        // lanes must still run to completion.
-        let count = QUANTUM as usize + 2;
+        // lanes must still run to completion. The quantum is shrunk so
+        // the boundary is reachable in thousands of events rather than
+        // the production [`QUANTUM`]'s millions; rotation policy is an
+        // execution knob, so the small-quantum boundary is the same
+        // code path production crosses.
+        const TEST_QUANTUM: u32 = 4096;
+        let count = TEST_QUANTUM as usize + 2;
         let mut lanes = [
             SoloWaker(Waker {
                 ticks: Vec::new(),
@@ -741,6 +1564,7 @@ mod tests {
             }),
         ];
         let mut sched: LockstepScheduler<()> = LockstepScheduler::new(2);
+        sched.set_quantum(TEST_QUANTUM);
         sched.add_component();
         sched.start(&mut lanes[..]);
 
@@ -765,7 +1589,10 @@ mod tests {
                 run = 1;
                 prev = lane;
             }
-            assert!(run <= QUANTUM as usize, "lane {lane} overran its quantum");
+            assert!(
+                run <= TEST_QUANTUM as usize,
+                "lane {lane} overran its quantum"
+            );
         }
         assert!(
             rotations >= 2,

@@ -336,10 +336,16 @@ impl TraceEvent {
     }
 }
 
-/// A named interval of simulated time within one component — the
-/// span form of [`TraceEvent`], for work that has an extent (a
-/// detector judging a print, a campaign decoding a store) rather than
-/// an instant.
+/// A named interval within one component — the span form of
+/// [`TraceEvent`], for work that has an extent (a detector judging a
+/// print, a campaign decoding a store) rather than an instant.
+///
+/// Deterministic traces stamp spans with **sim-step time**. The
+/// campaign's *phase* spans (`simulate`, `golden`, `decode`, `judge`)
+/// are execution-class instead: they measure host time against the
+/// [`Obs`] handle's clock and are reported only in the
+/// `--timing-json` sidecar, never in a deterministic artifact — the
+/// same split [`MetricClass`] draws for counters.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Span {
     pub component: &'static str,
@@ -424,13 +430,32 @@ impl<T> FlightRecorder<T> {
 /// The mutexes are coarse on purpose: producers publish per-scenario
 /// rollups (one registry merge, at most one trace block), not
 /// per-event increments, so contention is a few locks per scenario.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ObsSink {
     registry: Mutex<MetricsRegistry>,
     /// Alarm narratives keyed by scenario matrix index — a `BTreeMap`
     /// so draining yields matrix order no matter which worker finished
     /// first.
     traces: Mutex<BTreeMap<usize, Vec<String>>>,
+    /// Execution-class phase spans, measured against `epoch`.
+    spans: Mutex<Vec<Span>>,
+    /// Host-clock origin of [`Obs::clock_micros`] — stamped when the
+    /// handle is enabled, so span offsets are comparable within one
+    /// run.
+    // detlint: allow(D2) -- the span clock is execution-class, reported only via the timing sidecar
+    epoch: std::time::Instant,
+}
+
+impl Default for ObsSink {
+    fn default() -> Self {
+        ObsSink {
+            registry: Mutex::default(),
+            traces: Mutex::default(),
+            spans: Mutex::default(),
+            // detlint: allow(D2) -- the span clock is execution-class, reported only via the timing sidecar
+            epoch: std::time::Instant::now(),
+        }
+    }
 }
 
 /// The zero-cost observability handle threaded through the layers.
@@ -506,6 +531,59 @@ impl Obs {
                 .lock()
                 .expect("obs traces lock")
                 .insert(scenario, lines);
+        }
+    }
+
+    /// Microseconds of host time since the handle was enabled (always
+    /// 0 when disabled). Execution-class by construction: use it only
+    /// to stamp spans destined for the timing sidecar.
+    pub fn clock_micros(&self) -> u64 {
+        match &self.0 {
+            // detlint: allow(D2) -- the span clock is execution-class, reported only via the timing sidecar
+            Some(sink) => sink.epoch.elapsed().as_micros() as u64,
+            None => 0,
+        }
+    }
+
+    /// Records one execution-class phase span (no-op when disabled).
+    /// `start_micros`/`end_micros` come from [`Obs::clock_micros`].
+    pub fn record_span(
+        &self,
+        component: &'static str,
+        scenario: Option<usize>,
+        label: &str,
+        start_micros: u64,
+        end_micros: u64,
+    ) {
+        if let Some(sink) = &self.0 {
+            sink.spans.lock().expect("obs spans lock").push(Span {
+                component,
+                scenario,
+                label: label.to_string(),
+                start_micros,
+                end_micros,
+            });
+        }
+    }
+
+    /// All recorded phase spans, sorted by start offset (then end,
+    /// label, scenario) so the sidecar's span order does not depend on
+    /// worker completion order. Empty when disabled.
+    pub fn spans(&self) -> Vec<Span> {
+        match &self.0 {
+            Some(sink) => {
+                let mut spans = sink.spans.lock().expect("obs spans lock").clone();
+                spans.sort_by(|a, b| {
+                    (a.start_micros, a.end_micros, &a.label, a.scenario).cmp(&(
+                        b.start_micros,
+                        b.end_micros,
+                        &b.label,
+                        b.scenario,
+                    ))
+                });
+                spans
+            }
+            None => Vec::new(),
         }
     }
 
@@ -663,6 +741,26 @@ mod tests {
             vec![1, 4],
             "matrix order, not insertion order"
         );
+    }
+
+    #[test]
+    fn spans_record_only_when_enabled_and_sort_by_start() {
+        let off = Obs::disabled();
+        off.record_span("campaign", None, "simulate", 0, 10);
+        assert_eq!(off.clock_micros(), 0);
+        assert!(off.spans().is_empty());
+
+        let obs = Obs::enabled();
+        obs.record_span("campaign", None, "simulate", 500, 900);
+        obs.record_span("campaign", Some(3), "judge", 120, 480);
+        obs.record_span("campaign", None, "slice", 0, 100);
+        let spans = obs.spans();
+        assert_eq!(
+            spans.iter().map(|s| s.label.as_str()).collect::<Vec<_>>(),
+            vec!["slice", "judge", "simulate"],
+            "sorted by start offset, not insertion order"
+        );
+        assert_eq!(spans[1].scenario, Some(3));
     }
 
     #[test]

@@ -59,6 +59,7 @@ USAGE:
                         [--metrics[=FILE]] [--trace-alarms]
   offramps-cli analytics --cache DIR [--json out.json] [--metrics[=FILE]]
   offramps-cli bench    [--threads N] [--reps K] [--json BENCH_campaign.json]
+                        [--assert-order]
 
 The campaign subcommand fans the attack x workload x seed matrix across
 worker threads; results are identical for every --threads value.
@@ -123,7 +124,9 @@ the detector reliably catches).
                   are appended. The summary and JSON are byte-identical
                   to an uncached run for any thread count.
   --timing-json   write the non-deterministic host-timing sidecar
-                  (per-scenario wall_ms) next to the deterministic report
+                  (per-scenario wall_ms, execution-class counters, and
+                  campaign phase spans: slice/golden/simulate/decode/
+                  judge) next to the deterministic report
   --metrics[=FILE] turn on the observability plane and render its
                   deterministic metrics document — kernel counters
                   (events committed, wake-slot dedups, spill-heap
@@ -150,7 +153,10 @@ clock, events/sec, and speedups over the baseline. Scenario and event
 counts are deterministic and validated against their pinned values —
 the report refuses to absorb a behaviour change. --threads defaults to
 1 (the pinned single-worker measurement); --json defaults to printing
-only.
+only. The output always ends with the measured `lockstep vs solo` delta
+row; --assert-order additionally exits nonzero when the default
+(lockstep) engine measured slower than solo — an informational gate for
+CI, since wall clock on shared runners is noisy.
 
 The analytics subcommand re-judges every scenario record in a store at
 a grid of suspect-fraction thresholds (no simulation): per-attack,
@@ -515,7 +521,10 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
         return Ok(ExitCode::SUCCESS);
     }
 
-    let obs = if metrics != MetricsSink::Off || trace_alarms {
+    // The timing sidecar carries execution-class counters and phase
+    // spans, so asking for it turns the observability plane on too.
+    let obs = if metrics != MetricsSink::Off || trace_alarms || opt(args, "--timing-json").is_some()
+    {
         Obs::enabled()
     } else {
         Obs::disabled()
@@ -629,10 +638,22 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
         "speedup vs baseline: {:.2}x wall, {:.2}x throughput",
         report.speedup_wall, report.speedup_throughput
     );
+    let order = report
+        .engine_order()
+        .expect("run_bench measures both engines");
+    println!("{}", order.summary_line());
     if let Some(path) = opt(args, "--json") {
         use offramps_bench::json::ToJson;
         std::fs::write(&path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("trajectory written: {path}");
+    }
+    if args.iter().any(|a| a == "--assert-order") && !order.default_engine_fastest() {
+        eprintln!(
+            "bench: --assert-order failed: the default (lockstep) engine is slower than solo \
+             on this run ({:.3}s vs {:.3}s)",
+            order.lockstep_wall_s, order.solo_wall_s
+        );
+        return Ok(ExitCode::FAILURE);
     }
     Ok(ExitCode::SUCCESS)
 }
